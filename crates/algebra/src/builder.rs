@@ -1,0 +1,193 @@
+//! Fluent construction of logical plans.
+//!
+//! The mediator's decomposer and the test/bench suites build many plans by
+//! hand; [`PlanBuilder`] keeps that terse without hiding the tree shape.
+
+use disco_common::{QualifiedName, Schema, Value};
+
+use crate::expr::{AggFunc, ScalarExpr};
+use crate::logical::{AggExpr, JoinKind, LogicalPlan};
+use crate::predicate::{CompareOp, JoinPredicate, Predicate, SelectPredicate};
+
+/// Builder wrapping a [`LogicalPlan`] under construction.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: LogicalPlan,
+}
+
+impl PlanBuilder {
+    /// Start from a collection scan.
+    pub fn scan(collection: QualifiedName, schema: Schema) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Scan { collection, schema },
+        }
+    }
+
+    /// Start from an existing plan.
+    pub fn from_plan(plan: LogicalPlan) -> Self {
+        PlanBuilder { plan }
+    }
+
+    /// Add a selection with a single `attr op value` conjunct.
+    pub fn select(self, attr: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+        self.select_pred(Predicate::single(SelectPredicate::new(
+            attr,
+            op,
+            value.into(),
+        )))
+    }
+
+    /// Add a selection with an arbitrary predicate.
+    pub fn select_pred(self, predicate: Predicate) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Select {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        }
+    }
+
+    /// Project to plain attribute references.
+    pub fn project_attrs(self, attrs: &[&str]) -> Self {
+        let columns = attrs
+            .iter()
+            .map(|a| ((*a).to_string(), ScalarExpr::attr(*a)))
+            .collect();
+        PlanBuilder {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                columns,
+            },
+        }
+    }
+
+    /// Project to named expressions.
+    pub fn project(self, columns: Vec<(String, ScalarExpr)>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                columns,
+            },
+        }
+    }
+
+    /// Sort ascending by the given attributes.
+    pub fn sort_asc(self, attrs: &[&str]) -> Self {
+        let keys = attrs.iter().map(|a| ((*a).to_string(), true)).collect();
+        PlanBuilder {
+            plan: LogicalPlan::Sort {
+                input: Box::new(self.plan),
+                keys,
+            },
+        }
+    }
+
+    /// Inner equi-join with another plan.
+    pub fn join(
+        self,
+        other: PlanBuilder,
+        left_attr: impl Into<String>,
+        right_attr: impl Into<String>,
+    ) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+                predicate: JoinPredicate::equi(left_attr, right_attr),
+                kind: JoinKind::Inner,
+            },
+        }
+    }
+
+    /// Union with another plan.
+    pub fn union(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Union {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Duplicate elimination.
+    pub fn dedup(self) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Dedup {
+                input: Box::new(self.plan),
+            },
+        }
+    }
+
+    /// Group and aggregate.
+    pub fn aggregate(self, group_by: &[&str], aggs: Vec<(&str, AggFunc, Option<&str>)>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Aggregate {
+                input: Box::new(self.plan),
+                group_by: group_by.iter().map(|s| (*s).to_string()).collect(),
+                aggs: aggs
+                    .into_iter()
+                    .map(|(name, func, arg)| AggExpr {
+                        name: name.to_string(),
+                        func,
+                        arg: arg.map(str::to_string),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Wrap in a `submit` to the given wrapper.
+    pub fn submit(self, wrapper: impl Into<String>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Submit {
+                wrapper: wrapper.into(),
+                input: Box::new(self.plan),
+            },
+        }
+    }
+
+    /// Finish, yielding the plan.
+    pub fn build(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::OperatorKind;
+    use disco_common::{AttributeDef, DataType};
+
+    fn emp() -> PlanBuilder {
+        PlanBuilder::scan(
+            QualifiedName::new("hr", "Employee"),
+            Schema::new(vec![
+                AttributeDef::new("id", DataType::Long),
+                AttributeDef::new("salary", DataType::Long),
+            ]),
+        )
+    }
+
+    #[test]
+    fn chained_plan_shape() {
+        let plan = emp()
+            .select("salary", CompareOp::Gt, 1000i64)
+            .project_attrs(&["id"])
+            .submit("hr")
+            .build();
+        assert_eq!(plan.kind(), OperatorKind::Submit);
+        assert_eq!(plan.node_count(), 4);
+        assert_eq!(plan.output_schema().unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn join_and_aggregate() {
+        let plan = emp()
+            .join(emp(), "id", "id")
+            .aggregate(&[], vec![("n", AggFunc::Count, None)])
+            .build();
+        assert_eq!(plan.kind(), OperatorKind::Aggregate);
+        let s = plan.output_schema().unwrap();
+        assert_eq!(s.attribute("n").unwrap().ty, DataType::Long);
+    }
+}

@@ -1,0 +1,164 @@
+//! Indented pretty-printing of plans.
+//!
+//! Plans appear in optimizer traces, `EXPLAIN`-style example output and
+//! error messages, so a stable readable rendering matters.
+
+use std::fmt::Write as _;
+
+use crate::logical::LogicalPlan;
+use crate::physical::PhysicalPlan;
+
+/// Render a logical plan as an indented tree.
+pub fn explain_logical(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    fmt_logical(plan, 0, &mut out);
+    out
+}
+
+fn fmt_logical(plan: &LogicalPlan, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match plan {
+        LogicalPlan::Scan { collection, schema } => {
+            let _ = writeln!(out, "scan {collection} {schema}");
+        }
+        LogicalPlan::Select { predicate, .. } => {
+            let _ = writeln!(out, "select [{predicate}]");
+        }
+        LogicalPlan::Project { columns, .. } => {
+            let cols: Vec<String> = columns
+                .iter()
+                .map(|(n, e)| {
+                    let es = e.to_string();
+                    if &es == n {
+                        es
+                    } else {
+                        format!("{n} := {es}")
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "project [{}]", cols.join(", "));
+        }
+        LogicalPlan::Sort { keys, .. } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|(k, asc)| format!("{k} {}", if *asc { "asc" } else { "desc" }))
+                .collect();
+            let _ = writeln!(out, "sort [{}]", ks.join(", "));
+        }
+        LogicalPlan::Join {
+            predicate, kind, ..
+        } => {
+            let _ = writeln!(out, "join ({kind}) [{predicate}]");
+        }
+        LogicalPlan::Union { .. } => {
+            let _ = writeln!(out, "union");
+        }
+        LogicalPlan::Dedup { .. } => {
+            let _ = writeln!(out, "dedup");
+        }
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            let ag: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "aggregate group by [{}] [{}]",
+                group_by.join(", "),
+                ag.join(", ")
+            );
+        }
+        LogicalPlan::Submit { wrapper, .. } => {
+            let _ = writeln!(out, "submit -> {wrapper}");
+        }
+    }
+    for c in plan.children() {
+        fmt_logical(c, depth + 1, out);
+    }
+}
+
+/// Render a physical plan as an indented tree; remote subplans are shown
+/// nested one level deeper under their `submit` leaf.
+pub fn explain_physical(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    fmt_physical(plan, 0, &mut out);
+    out
+}
+
+fn fmt_physical(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match plan {
+        PhysicalPlan::SubmitRemote {
+            wrapper, plan: sub, ..
+        } => {
+            let _ = writeln!(out, "submit -> {wrapper}");
+            fmt_logical(sub, depth + 1, out);
+            return;
+        }
+        PhysicalPlan::Filter { predicate, .. } => {
+            let _ = writeln!(out, "filter [{predicate}]");
+        }
+        PhysicalPlan::Project { columns, .. } => {
+            let cols: Vec<String> = columns.iter().map(|(n, _)| n.clone()).collect();
+            let _ = writeln!(out, "project [{}]", cols.join(", "));
+        }
+        PhysicalPlan::Sort { keys, .. } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|(k, asc)| format!("{k} {}", if *asc { "asc" } else { "desc" }))
+                .collect();
+            let _ = writeln!(out, "sort [{}]", ks.join(", "));
+        }
+        PhysicalPlan::Join {
+            algo, predicate, ..
+        } => {
+            let _ = writeln!(out, "{algo}-join [{predicate}]");
+        }
+        PhysicalPlan::Union { .. } => {
+            let _ = writeln!(out, "union");
+        }
+        PhysicalPlan::Dedup { .. } => {
+            let _ = writeln!(out, "dedup");
+        }
+        PhysicalPlan::Aggregate { group_by, aggs, .. } => {
+            let ag: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "aggregate group by [{}] [{}]",
+                group_by.join(", "),
+                ag.join(", ")
+            );
+        }
+    }
+    for c in plan.children() {
+        fmt_physical(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::predicate::CompareOp;
+    use disco_common::{AttributeDef, DataType, QualifiedName, Schema};
+
+    #[test]
+    fn logical_explain_shape() {
+        let plan = PlanBuilder::scan(
+            QualifiedName::new("hr", "Employee"),
+            Schema::new(vec![AttributeDef::new("salary", DataType::Long)]),
+        )
+        .select("salary", CompareOp::Eq, 10i64)
+        .submit("hr")
+        .build();
+        let text = explain_logical(&plan);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("submit -> hr"));
+        assert!(lines[1].trim_start().starts_with("select [salary = 10]"));
+        assert!(lines[2].trim_start().starts_with("scan hr.Employee"));
+        // Indentation grows with depth.
+        assert!(lines[2].starts_with("    "));
+    }
+}

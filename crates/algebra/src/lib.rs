@@ -1,0 +1,35 @@
+//! The mediator's object algebra (paper §2.2).
+//!
+//! The mediator translates declarative queries into trees of algebraic
+//! operators. The paper fixes the operator vocabulary:
+//!
+//! * unary — `scan`, `select`, `project`, `sort`;
+//! * binary — `join`, `union`;
+//! * aggregate — duplicate elimination and aggregate functions;
+//! * `submit` — issuing a subplan to a wrapper.
+//!
+//! This crate defines:
+//!
+//! * [`expr`] — scalar expressions over tuple attributes and aggregate
+//!   function descriptors;
+//! * [`predicate`] — selection and join predicates (the shapes the cost-rule
+//!   grammar of Figure 9 can bind against);
+//! * [`logical`] — the logical plan tree the optimizer enumerates and the
+//!   cost model estimates;
+//! * [`physical`] — mediator-local physical operators (the paper's
+//!   local-scope rules apply to these);
+//! * [`builder`] — ergonomic plan construction;
+//! * [`display`] — indented plan pretty-printing.
+
+pub mod builder;
+pub mod display;
+pub mod expr;
+pub mod logical;
+pub mod physical;
+pub mod predicate;
+
+pub use builder::PlanBuilder;
+pub use expr::{AggFunc, ScalarExpr};
+pub use logical::{JoinKind, LogicalPlan, OperatorKind};
+pub use physical::{PhysicalJoinAlgo, PhysicalPlan, ScanAlgo};
+pub use predicate::{CompareOp, JoinPredicate, Predicate, SelectPredicate};

@@ -1,0 +1,575 @@
+//! Logical plan trees.
+//!
+//! A plan is "a tree of algebraic operators" (paper §2.2). The same tree
+//! shape is used for full mediator plans and for the subplans shipped to
+//! wrappers by the `submit` operator — wrappers receive logical algebra and
+//! choose their own access paths, which is exactly why the mediator needs
+//! wrapper-provided cost rules to price them.
+
+use std::fmt;
+
+use disco_common::{AttributeDef, DataType, DiscoError, QualifiedName, Result, Schema};
+
+use crate::expr::{AggFunc, ScalarExpr};
+use crate::predicate::{JoinPredicate, Predicate};
+
+/// Join flavours. The paper's algebra uses inner joins; outer variants are
+/// kept for completeness of the mediator algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinKind::Inner => f.write_str("inner"),
+            JoinKind::LeftOuter => f.write_str("left-outer"),
+        }
+    }
+}
+
+/// Discriminant of a plan node; the vocabulary rule heads and wrapper
+/// capability lists are expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperatorKind {
+    Scan,
+    Select,
+    Project,
+    Sort,
+    Join,
+    Union,
+    Dedup,
+    Aggregate,
+    Submit,
+}
+
+impl OperatorKind {
+    /// Lower-case keyword as used in the cost-rule grammar (Figure 9).
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::Scan => "scan",
+            OperatorKind::Select => "select",
+            OperatorKind::Project => "project",
+            OperatorKind::Sort => "sort",
+            OperatorKind::Join => "join",
+            OperatorKind::Union => "union",
+            OperatorKind::Dedup => "dedup",
+            OperatorKind::Aggregate => "aggregate",
+            OperatorKind::Submit => "submit",
+        }
+    }
+
+    /// Parse the keyword form.
+    pub fn parse(s: &str) -> Option<OperatorKind> {
+        Some(match s {
+            "scan" => OperatorKind::Scan,
+            "select" => OperatorKind::Select,
+            "project" => OperatorKind::Project,
+            "sort" => OperatorKind::Sort,
+            "join" => OperatorKind::Join,
+            "union" => OperatorKind::Union,
+            "dedup" => OperatorKind::Dedup,
+            "aggregate" => OperatorKind::Aggregate,
+            "submit" => OperatorKind::Submit,
+            _ => return None,
+        })
+    }
+
+    /// All operator kinds, in grammar order.
+    pub const ALL: [OperatorKind; 9] = [
+        OperatorKind::Scan,
+        OperatorKind::Select,
+        OperatorKind::Project,
+        OperatorKind::Sort,
+        OperatorKind::Union,
+        OperatorKind::Join,
+        OperatorKind::Dedup,
+        OperatorKind::Aggregate,
+        OperatorKind::Submit,
+    ];
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One aggregate output column: `name := func(attr)`; `attr` is `None` for
+/// `count(*)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Output column name.
+    pub name: String,
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input attribute, or `None` for `count(*)`.
+    pub arg: Option<String>,
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "{} := {}({})", self.name, self.func, a),
+            None => write!(f, "{} := {}(*)", self.name, self.func),
+        }
+    }
+}
+
+/// A logical algebra tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of a registered collection. Carries the collection's schema so
+    /// schemas of derived nodes can be computed without a catalog handle.
+    Scan {
+        collection: QualifiedName,
+        schema: Schema,
+    },
+    /// Selection by a conjunctive predicate.
+    Select {
+        input: Box<LogicalPlan>,
+        predicate: Predicate,
+    },
+    /// Projection to named expressions.
+    Project {
+        input: Box<LogicalPlan>,
+        /// `(output name, expression)` pairs.
+        columns: Vec<(String, ScalarExpr)>,
+    },
+    /// Sort by `(attribute, ascending)` keys.
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<(String, bool)>,
+    },
+    /// Join of two inputs on an attribute predicate.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        predicate: JoinPredicate,
+        kind: JoinKind,
+    },
+    /// Set union (inputs must be union-compatible).
+    Union {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
+    /// Duplicate elimination.
+    Dedup { input: Box<LogicalPlan> },
+    /// Grouping and aggregate computation.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<String>,
+        aggs: Vec<AggExpr>,
+    },
+    /// Subplan issued to a wrapper (paper's `submit` operator).
+    Submit {
+        /// Registered wrapper name.
+        wrapper: String,
+        input: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// The node's operator kind.
+    pub fn kind(&self) -> OperatorKind {
+        match self {
+            LogicalPlan::Scan { .. } => OperatorKind::Scan,
+            LogicalPlan::Select { .. } => OperatorKind::Select,
+            LogicalPlan::Project { .. } => OperatorKind::Project,
+            LogicalPlan::Sort { .. } => OperatorKind::Sort,
+            LogicalPlan::Join { .. } => OperatorKind::Join,
+            LogicalPlan::Union { .. } => OperatorKind::Union,
+            LogicalPlan::Dedup { .. } => OperatorKind::Dedup,
+            LogicalPlan::Aggregate { .. } => OperatorKind::Aggregate,
+            LogicalPlan::Submit { .. } => OperatorKind::Submit,
+        }
+    }
+
+    /// Child nodes, left to right.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Dedup { input }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Submit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
+    /// The single base collection this subtree reads, if the subtree is a
+    /// linear pipeline over one scan.
+    ///
+    /// Collection-scope cost rules (`select(employee, P)`) match a node by
+    /// the collection its input derives from (the paper unifies the rule
+    /// variable `C` with "the result of the scan"). Join subtrees and unions
+    /// derive from several collections and return `None`.
+    pub fn base_collection(&self) -> Option<&QualifiedName> {
+        match self {
+            LogicalPlan::Scan { collection, .. } => Some(collection),
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Dedup { input }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Submit { input, .. } => input.base_collection(),
+            LogicalPlan::Join { .. } | LogicalPlan::Union { .. } => None,
+        }
+    }
+
+    /// All distinct collections scanned anywhere in the subtree.
+    pub fn collections(&self) -> Vec<&QualifiedName> {
+        fn walk<'a>(p: &'a LogicalPlan, out: &mut Vec<&'a QualifiedName>) {
+            if let LogicalPlan::Scan { collection, .. } = p {
+                if !out.contains(&collection) {
+                    out.push(collection);
+                }
+            }
+            for c in p.children() {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Compute the output schema of this plan.
+    ///
+    /// Fails with [`DiscoError::Plan`] when the tree is inconsistent
+    /// (projection of an unknown attribute, union of incompatible inputs…).
+    pub fn output_schema(&self) -> Result<Schema> {
+        match self {
+            LogicalPlan::Scan { schema, .. } => Ok(schema.clone()),
+            LogicalPlan::Select { input, predicate } => {
+                let s = input.output_schema()?;
+                for c in &predicate.conjuncts {
+                    if s.index_of(&c.attribute).is_none() {
+                        return Err(DiscoError::Plan(format!(
+                            "selection references unknown attribute `{}`",
+                            c.attribute
+                        )));
+                    }
+                }
+                Ok(s)
+            }
+            LogicalPlan::Project { input, columns } => {
+                let s = input.output_schema()?;
+                let mut attrs = Vec::with_capacity(columns.len());
+                for (name, e) in columns {
+                    let ty = infer_expr_type(e, &s)?;
+                    attrs.push(AttributeDef::new(name.clone(), ty));
+                }
+                Ok(Schema::new(attrs))
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let s = input.output_schema()?;
+                for (k, _) in keys {
+                    if s.index_of(k).is_none() {
+                        return Err(DiscoError::Plan(format!(
+                            "sort key `{k}` not in input schema"
+                        )));
+                    }
+                }
+                Ok(s)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+                ..
+            } => {
+                let ls = left.output_schema()?;
+                let rs = right.output_schema()?;
+                if ls.index_of(&predicate.left_attr).is_none() {
+                    return Err(DiscoError::Plan(format!(
+                        "join attribute `{}` not in left input",
+                        predicate.left_attr
+                    )));
+                }
+                if rs.index_of(&predicate.right_attr).is_none() {
+                    return Err(DiscoError::Plan(format!(
+                        "join attribute `{}` not in right input",
+                        predicate.right_attr
+                    )));
+                }
+                Ok(ls.join(&rs))
+            }
+            LogicalPlan::Union { left, right } => {
+                let ls = left.output_schema()?;
+                let rs = right.output_schema()?;
+                if ls.arity() != rs.arity() {
+                    return Err(DiscoError::Plan(format!(
+                        "union of incompatible arities {} vs {}",
+                        ls.arity(),
+                        rs.arity()
+                    )));
+                }
+                Ok(ls)
+            }
+            LogicalPlan::Dedup { input } => input.output_schema(),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let s = input.output_schema()?;
+                let mut attrs = Vec::with_capacity(group_by.len() + aggs.len());
+                for g in group_by {
+                    let a = s.attribute(g).ok_or_else(|| {
+                        DiscoError::Plan(format!("group-by attribute `{g}` not in input"))
+                    })?;
+                    attrs.push(a.clone());
+                }
+                for agg in aggs {
+                    let ty = match agg.func {
+                        AggFunc::Count => DataType::Long,
+                        AggFunc::Sum | AggFunc::Avg => DataType::Double,
+                        AggFunc::Min | AggFunc::Max => match &agg.arg {
+                            Some(arg) => {
+                                s.attribute(arg)
+                                    .ok_or_else(|| {
+                                        DiscoError::Plan(format!(
+                                            "aggregate argument `{arg}` not in input"
+                                        ))
+                                    })?
+                                    .ty
+                            }
+                            None => {
+                                return Err(DiscoError::Plan(
+                                    "min/max require an attribute argument".into(),
+                                ))
+                            }
+                        },
+                    };
+                    if let Some(arg) = &agg.arg {
+                        if s.index_of(arg).is_none() {
+                            return Err(DiscoError::Plan(format!(
+                                "aggregate argument `{arg}` not in input"
+                            )));
+                        }
+                    }
+                    attrs.push(AttributeDef::new(agg.name.clone(), ty));
+                }
+                Ok(Schema::new(attrs))
+            }
+            LogicalPlan::Submit { input, .. } => input.output_schema(),
+        }
+    }
+}
+
+/// Infer the result type of a projection expression.
+fn infer_expr_type(e: &ScalarExpr, schema: &Schema) -> Result<DataType> {
+    match e {
+        ScalarExpr::Attr(name) => schema
+            .attribute(name)
+            .map(|a| a.ty)
+            .ok_or_else(|| DiscoError::Plan(format!("projection of unknown attribute `{name}`"))),
+        ScalarExpr::Const(v) => Ok(v.data_type().unwrap_or(DataType::Str)),
+        ScalarExpr::Binary { left, right, .. } => {
+            let lt = infer_expr_type(left, schema)?;
+            let rt = infer_expr_type(right, schema)?;
+            match (lt, rt) {
+                (DataType::Long, DataType::Long) => Ok(DataType::Long),
+                (DataType::Long | DataType::Double, DataType::Long | DataType::Double) => {
+                    Ok(DataType::Double)
+                }
+                _ => Err(DiscoError::Plan(format!(
+                    "arithmetic over non-numeric types {lt} and {rt}"
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, SelectPredicate};
+    use disco_common::Value;
+
+    fn emp_scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            collection: QualifiedName::new("hr", "Employee"),
+            schema: Schema::new(vec![
+                AttributeDef::new("id", DataType::Long),
+                AttributeDef::new("name", DataType::Str),
+                AttributeDef::new("salary", DataType::Long),
+            ]),
+        }
+    }
+
+    #[test]
+    fn operator_kind_round_trip() {
+        for k in OperatorKind::ALL {
+            assert_eq!(OperatorKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(OperatorKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn schema_flows_through_select_and_sort() {
+        let plan = LogicalPlan::Sort {
+            input: Box::new(LogicalPlan::Select {
+                input: Box::new(emp_scan()),
+                predicate: Predicate::single(SelectPredicate::new(
+                    "salary",
+                    CompareOp::Gt,
+                    Value::Long(1000),
+                )),
+            }),
+            keys: vec![("name".into(), true)],
+        };
+        let s = plan.output_schema().unwrap();
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn select_unknown_attribute_fails() {
+        let plan = LogicalPlan::Select {
+            input: Box::new(emp_scan()),
+            predicate: Predicate::single(SelectPredicate::new(
+                "wage",
+                CompareOp::Eq,
+                Value::Long(1),
+            )),
+        };
+        assert_eq!(plan.output_schema().unwrap_err().kind(), "plan");
+    }
+
+    #[test]
+    fn project_builds_new_schema() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(emp_scan()),
+            columns: vec![
+                ("who".into(), ScalarExpr::attr("name")),
+                (
+                    "double_pay".into(),
+                    ScalarExpr::Binary {
+                        op: crate::expr::ArithOp::Mul,
+                        left: Box::new(ScalarExpr::attr("salary")),
+                        right: Box::new(ScalarExpr::constant(2i64)),
+                    },
+                ),
+            ],
+        };
+        let s = plan.output_schema().unwrap();
+        assert_eq!(s.index_of("who"), Some(0));
+        assert_eq!(s.attribute("double_pay").unwrap().ty, DataType::Long);
+    }
+
+    #[test]
+    fn join_concatenates_schemas() {
+        let dept = LogicalPlan::Scan {
+            collection: QualifiedName::new("hr", "Dept"),
+            schema: Schema::new(vec![
+                AttributeDef::new("dept_id", DataType::Long),
+                AttributeDef::new("dept_name", DataType::Str),
+            ]),
+        };
+        let plan = LogicalPlan::Join {
+            left: Box::new(emp_scan()),
+            right: Box::new(dept),
+            predicate: JoinPredicate::equi("id", "dept_id"),
+            kind: JoinKind::Inner,
+        };
+        let s = plan.output_schema().unwrap();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(plan.collections().len(), 2);
+        assert!(plan.base_collection().is_none());
+    }
+
+    #[test]
+    fn join_missing_attr_fails() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(emp_scan()),
+            right: Box::new(emp_scan()),
+            predicate: JoinPredicate::equi("nope", "id"),
+            kind: JoinKind::Inner,
+        };
+        assert!(plan.output_schema().is_err());
+    }
+
+    #[test]
+    fn base_collection_follows_linear_chains() {
+        let plan = LogicalPlan::Submit {
+            wrapper: "hr".into(),
+            input: Box::new(LogicalPlan::Select {
+                input: Box::new(emp_scan()),
+                predicate: Predicate::always(),
+            }),
+        };
+        assert_eq!(
+            plan.base_collection().unwrap(),
+            &QualifiedName::new("hr", "Employee")
+        );
+    }
+
+    #[test]
+    fn aggregate_schema_types() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(emp_scan()),
+            group_by: vec!["name".into()],
+            aggs: vec![
+                AggExpr {
+                    name: "n".into(),
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+                AggExpr {
+                    name: "total".into(),
+                    func: AggFunc::Sum,
+                    arg: Some("salary".into()),
+                },
+                AggExpr {
+                    name: "top".into(),
+                    func: AggFunc::Max,
+                    arg: Some("salary".into()),
+                },
+            ],
+        };
+        let s = plan.output_schema().unwrap();
+        assert_eq!(s.attribute("n").unwrap().ty, DataType::Long);
+        assert_eq!(s.attribute("total").unwrap().ty, DataType::Double);
+        assert_eq!(s.attribute("top").unwrap().ty, DataType::Long);
+    }
+
+    #[test]
+    fn union_arity_mismatch_fails() {
+        let small = LogicalPlan::Project {
+            input: Box::new(emp_scan()),
+            columns: vec![("id".into(), ScalarExpr::attr("id"))],
+        };
+        let plan = LogicalPlan::Union {
+            left: Box::new(emp_scan()),
+            right: Box::new(small),
+        };
+        assert!(plan.output_schema().is_err());
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        let plan = LogicalPlan::Dedup {
+            input: Box::new(LogicalPlan::Select {
+                input: Box::new(emp_scan()),
+                predicate: Predicate::always(),
+            }),
+        };
+        assert_eq!(plan.node_count(), 3);
+    }
+}

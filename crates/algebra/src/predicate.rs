@@ -1,0 +1,259 @@
+//! Selection and join predicates.
+//!
+//! The cost-rule grammar of Figure 9 binds rule heads against predicates of
+//! the shape `attribute = value` (selection) and `attribute = attribute`
+//! (join). We generalize the comparison operator — the generic cost model
+//! (§2.3) already distinguishes equality from range restrictions when
+//! deriving selectivity — while keeping the same matchable structure:
+//! an attribute name, an operator, and a constant or a peer attribute.
+
+use std::fmt;
+
+use disco_common::{Tuple, Value};
+
+/// Comparison operators usable in selection and join predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluate the comparison on two values.
+    ///
+    /// Incomparable values (type mismatch, nulls vs non-null under `=`)
+    /// fail the predicate rather than erroring: heterogeneous sources may
+    /// hold dirty data and a selection should simply not return such rows.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        match a.partial_cmp_value(b) {
+            Some(ord) => match self {
+                CompareOp::Eq => ord.is_eq(),
+                CompareOp::Ne => ord.is_ne(),
+                CompareOp::Lt => ord.is_lt(),
+                CompareOp::Le => ord.is_le(),
+                CompareOp::Gt => ord.is_gt(),
+                CompareOp::Ge => ord.is_ge(),
+            },
+            None => false,
+        }
+    }
+
+    /// The operator with its arguments swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+
+    /// Token used in plan display and rule text (`=`, `!=`, `<`, …).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// One `attribute op constant` restriction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPredicate {
+    /// Attribute restricted (unqualified; resolved against the input schema).
+    pub attribute: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Constant compared against.
+    pub value: Value,
+}
+
+impl SelectPredicate {
+    /// Convenience constructor.
+    pub fn new(attribute: impl Into<String>, op: CompareOp, value: Value) -> Self {
+        SelectPredicate {
+            attribute: attribute.into(),
+            op,
+            value,
+        }
+    }
+
+    /// Evaluate on a tuple given the resolved attribute position.
+    pub fn eval_at(&self, tuple: &Tuple, idx: usize) -> bool {
+        tuple
+            .get(idx)
+            .map(|v| self.op.eval(v, &self.value))
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for SelectPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attribute, self.op, self.value)
+    }
+}
+
+/// Conjunction of [`SelectPredicate`]s — the selection condition of a
+/// `select` node. An empty conjunction is `true`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Predicate {
+    /// Conjuncts, all of which must hold.
+    pub conjuncts: Vec<SelectPredicate>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn always() -> Self {
+        Predicate {
+            conjuncts: Vec::new(),
+        }
+    }
+
+    /// Single-conjunct predicate.
+    pub fn single(p: SelectPredicate) -> Self {
+        Predicate { conjuncts: vec![p] }
+    }
+
+    /// Conjunction of the given restrictions.
+    pub fn all(conjuncts: Vec<SelectPredicate>) -> Self {
+        Predicate { conjuncts }
+    }
+
+    /// `true` if there are no conjuncts.
+    pub fn is_trivial(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" and ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An equi-style join predicate `left_attr op right_attr`.
+///
+/// `left_attr` resolves against the left input schema and `right_attr`
+/// against the right one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPredicate {
+    /// Attribute of the left input.
+    pub left_attr: String,
+    /// Comparison operator (equality for the classic case).
+    pub op: CompareOp,
+    /// Attribute of the right input.
+    pub right_attr: String,
+}
+
+impl JoinPredicate {
+    /// Convenience constructor for the common equality join.
+    pub fn equi(left_attr: impl Into<String>, right_attr: impl Into<String>) -> Self {
+        JoinPredicate {
+            left_attr: left_attr.into(),
+            op: CompareOp::Eq,
+            right_attr: right_attr.into(),
+        }
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left_attr, self.op, self.right_attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_ops_on_numbers() {
+        let a = Value::Long(3);
+        let b = Value::Double(3.0);
+        assert!(CompareOp::Eq.eval(&a, &b));
+        assert!(CompareOp::Le.eval(&a, &b));
+        assert!(!CompareOp::Lt.eval(&a, &b));
+        assert!(CompareOp::Gt.eval(&Value::Long(5), &a));
+        assert!(CompareOp::Ne.eval(&Value::Long(5), &a));
+    }
+
+    #[test]
+    fn nulls_fail_everything() {
+        assert!(!CompareOp::Eq.eval(&Value::Null, &Value::Null));
+        assert!(!CompareOp::Ne.eval(&Value::Null, &Value::Long(1)));
+        assert!(!CompareOp::Lt.eval(&Value::Null, &Value::Long(1)));
+    }
+
+    #[test]
+    fn type_mismatch_fails() {
+        assert!(!CompareOp::Eq.eval(&Value::Long(1), &Value::Str("1".into())));
+    }
+
+    #[test]
+    fn flipping() {
+        assert_eq!(CompareOp::Lt.flipped(), CompareOp::Gt);
+        assert_eq!(CompareOp::Ge.flipped(), CompareOp::Le);
+        assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
+        // a < b iff b > a
+        let (a, b) = (Value::Long(1), Value::Long(2));
+        assert_eq!(
+            CompareOp::Lt.eval(&a, &b),
+            CompareOp::Lt.flipped().eval(&b, &a)
+        );
+    }
+
+    #[test]
+    fn select_predicate_eval() {
+        let t = Tuple::new(vec![Value::Long(10), Value::Str("hi".into())]);
+        let p = SelectPredicate::new("x", CompareOp::Ge, Value::Long(10));
+        assert!(p.eval_at(&t, 0));
+        assert!(!p.eval_at(&t, 1)); // type mismatch
+        assert!(!p.eval_at(&t, 9)); // out of range
+    }
+
+    #[test]
+    fn predicate_display() {
+        let p = Predicate::all(vec![
+            SelectPredicate::new("a", CompareOp::Eq, Value::Long(1)),
+            SelectPredicate::new("b", CompareOp::Lt, Value::Str("z".into())),
+        ]);
+        assert_eq!(p.to_string(), "a = 1 and b < \"z\"");
+        assert_eq!(Predicate::always().to_string(), "true");
+    }
+
+    #[test]
+    fn join_predicate_display() {
+        assert_eq!(
+            JoinPredicate::equi("id", "part_id").to_string(),
+            "id = part_id"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion micro-benches of the cost communication language: parse,
+//! compile, and VM evaluation throughput — the paper ships compiled
+//! formulas precisely because "fast evaluation times are a requirement
+//! due to the computational intensity of query optimization" (§2.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use disco_common::Value;
+use disco_costlang::ast::PathLeaf;
+use disco_costlang::bytecode::{AttrSpec, CollSpec};
+use disco_costlang::{compile_document, eval_program, parse_document, CostVar, EvalEnv};
+
+const YAO_DOC: &str = r#"
+let PageSize = 4096;
+let IO = 25.0;
+let Output = 9.0;
+rule select(AtomicParts, Id < $V) {
+    let CountPage = AtomicParts.TotalSize / PageSize;
+    CountObject = AtomicParts.CountObject * selectivity("Id", $V);
+    TotalSize = CountObject * AtomicParts.ObjectSize;
+    TimeFirst = 145;
+    TimeNext = Output;
+    TotalTime = IO * yao(CountObject, CountPage) + CountObject * Output;
+}
+"#;
+
+struct BenchEnv;
+
+impl EvalEnv for BenchEnv {
+    fn path(&self, _c: &CollSpec, _a: Option<&AttrSpec>, leaf: PathLeaf) -> Option<Value> {
+        Some(match leaf {
+            PathLeaf::Stat(disco_catalog::StatName::TotalSize) => Value::Double(3_920_000.0),
+            PathLeaf::Stat(disco_catalog::StatName::ObjectSize) => Value::Double(56.0),
+            PathLeaf::Stat(_) => Value::Double(70_000.0),
+            PathLeaf::Cost(_) => Value::Double(70_000.0),
+        })
+    }
+    fn binding(&self, _n: &str) -> Option<Value> {
+        Some(Value::Long(7_000))
+    }
+    fn param(&self, name: &str) -> Option<Value> {
+        Some(Value::Double(match name {
+            "PageSize" => 4_096.0,
+            "IO" => 25.0,
+            _ => 9.0,
+        }))
+    }
+    fn self_var(&self, _v: CostVar) -> Option<f64> {
+        None
+    }
+    fn call(&self, func: &str, args: &[Value]) -> Option<Value> {
+        match func {
+            "selectivity" => Some(Value::Double(0.1)),
+            "yao" => {
+                let (k, m) = (args[0].as_f64()?, args[1].as_f64()?);
+                Some(Value::Double(m * (1.0 - (-k / m).exp())))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn bench_parse_compile(c: &mut Criterion) {
+    c.bench_function("parse_document_yao", |b| {
+        b.iter(|| parse_document(YAO_DOC).unwrap())
+    });
+    let parsed = parse_document(YAO_DOC).unwrap();
+    c.bench_function("compile_document_yao", |b| {
+        b.iter(|| compile_document(&parsed).unwrap())
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let compiled = compile_document(&parse_document(YAO_DOC).unwrap()).unwrap();
+    let body = &compiled.rules[0].body;
+    let env = BenchEnv;
+    c.bench_function("vm_eval_yao_rule", |b| {
+        b.iter(|| eval_program(&body.program, &env).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_parse_compile, bench_vm);
+criterion_main!(benches);

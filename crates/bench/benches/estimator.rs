@@ -1,0 +1,81 @@
+//! Criterion micro-benches of the cost estimator (E5 companion): plan
+//! estimation latency under growing registered-rule counts, with and
+//! without matching-relevant scopes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use disco_core::{EstimateOptions, Estimator, Provenance, RuleRegistry};
+use disco_costlang::{compile_document, parse_document};
+use disco_oo7::{index_scan_selectivity, Oo7Config};
+use disco_sources::DataSource;
+use disco_wrapper::{SourceWrapper, Wrapper};
+
+fn env_with_rules(n_rules: usize) -> (disco_catalog::Catalog, RuleRegistry) {
+    let config = Oo7Config::small();
+    let store = disco_oo7::build_store(&config).unwrap();
+    let wrapper = SourceWrapper::new("oo7", store);
+    let reg_payload = wrapper.registration().unwrap();
+
+    let mut catalog = disco_catalog::Catalog::new();
+    catalog
+        .register_wrapper("oo7", reg_payload.capabilities.clone())
+        .unwrap();
+    for (c, s, st) in &reg_payload.collections {
+        catalog
+            .register_collection("oo7", c.clone(), s.clone(), st.clone())
+            .unwrap();
+    }
+    let mut registry = RuleRegistry::with_default_model();
+    // Register n query-scope rules for distinct constants (the
+    // "proliferation of query-specific cost rules" of §3.3.2).
+    let mut doc = String::new();
+    for i in 0..n_rules {
+        doc.push_str(&format!(
+            "rule select(AtomicParts, Id = {i}) {{ TotalTime = {i}; }}\n"
+        ));
+    }
+    let compiled = compile_document(&parse_document(&doc).unwrap()).unwrap();
+    for rule in compiled.rules {
+        registry
+            .register_compiled(Provenance::Wrapper("oo7".into()), rule)
+            .unwrap();
+    }
+    let _ = wrapper.source().statistics("AtomicParts");
+    (catalog, registry)
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let config = Oo7Config::small();
+    let plan = index_scan_selectivity("oo7", &config, 0.3);
+    let mut group = c.benchmark_group("estimate_under_rule_load");
+    for n in [0usize, 100, 1_000, 5_000] {
+        let (catalog, registry) = env_with_rules(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let est = Estimator::new(&registry, &catalog);
+            b.iter(|| {
+                est.estimate_report(&plan, &EstimateOptions::default())
+                    .unwrap()
+                    .unwrap()
+                    .cost
+                    .total_time
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    use disco_core::pattern::match_head;
+    let config = Oo7Config::small();
+    let plan = index_scan_selectivity("oo7", &config, 0.3);
+    let doc =
+        compile_document(&parse_document("rule select($C, $A < $V) { TotalTime = 1; }").unwrap())
+            .unwrap();
+    let head = doc.rules[0].head.clone();
+    c.bench_function("match_head_select", |b| {
+        b.iter(|| match_head(&head, &plan, None).is_some())
+    });
+}
+
+criterion_group!(benches, bench_estimation, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benches of the simulated source substrate: B+-tree
+//! operations and subplan execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use disco_algebra::CompareOp;
+use disco_common::Value;
+use disco_oo7::{index_scan_selectivity, Oo7Config};
+use disco_sources::{BPlusTree, DataSource};
+
+fn bench_btree(c: &mut Criterion) {
+    let tree = BPlusTree::build((0..100_000i64).map(|i| (Value::Long(i), i as u32)));
+    c.bench_function("btree_lookup", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7_919) % 100_000;
+            tree.lookup(&Value::Long(k)).len()
+        })
+    });
+    c.bench_function("btree_range_1pct", |b| {
+        b.iter(|| tree.scan(CompareOp::Lt, &Value::Long(1_000)).unwrap().len())
+    });
+}
+
+fn bench_index_scan(c: &mut Criterion) {
+    let config = Oo7Config::small();
+    let store = disco_oo7::build_store(&config).unwrap();
+    let plan = index_scan_selectivity("oo7", &config, 0.1);
+    c.bench_function("paged_store_index_scan_10pct", |b| {
+        b.iter(|| store.execute(&plan).unwrap().stats.pages_read)
+    });
+}
+
+criterion_group!(benches, bench_btree, bench_index_scan);
+criterion_main!(benches);

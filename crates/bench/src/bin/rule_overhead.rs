@@ -1,0 +1,100 @@
+//! E5 — estimation overhead vs registered-rule count (§3.3.2: "the
+//! drawback to this expressiveness is the proliferation of query-specific
+//! cost rules that tends to slow down the cost estimate process").
+//!
+//! Registers N query-scope rules and measures wall-clock estimation
+//! latency of a fixed plan, plus the estimator's work counters. Also
+//! shows the §4.2 cut-off: a constant-formula rule at the root skips the
+//! whole subtree.
+//!
+//! ```text
+//! cargo run --release -p disco-bench --bin rule_overhead
+//! ```
+
+use std::time::Instant;
+
+use disco_bench::setup::oo7_env;
+use disco_bench::Table;
+use disco_core::{EstimateOptions, Estimator, Provenance};
+use disco_costlang::{compile_document, parse_document};
+use disco_oo7::{index_scan_selectivity, rules, Oo7Config};
+
+fn main() {
+    let config = Oo7Config::paper();
+    let plan = index_scan_selectivity("oo7", &config, 0.3);
+
+    println!("E5 — estimation latency vs registered rule count\n");
+    let mut t = Table::new(&["rules", "est. latency (µs)", "nodes visited", "rule evals"]);
+    for n in [0usize, 10, 100, 1_000, 10_000] {
+        let mut env = oo7_env(&config, &rules::yao_rules()).expect("setup");
+        // N query-scope rules for other constants — they must be
+        // considered (same operator) but not match.
+        let mut doc = String::new();
+        for i in 0..n {
+            doc.push_str(&format!(
+                "rule select(AtomicParts, Id = {}) {{ TotalTime = {i}; }}\n",
+                1_000_000 + i as i64
+            ));
+        }
+        let compiled = compile_document(&parse_document(&doc).unwrap()).unwrap();
+        for rule in compiled.rules {
+            env.registry
+                .register_compiled(Provenance::Wrapper("oo7".into()), rule)
+                .unwrap();
+        }
+        let est = Estimator::new(&env.registry, &env.catalog);
+        // Warm up, then time.
+        let report = est
+            .estimate_report(&plan, &EstimateOptions::default())
+            .unwrap()
+            .unwrap();
+        let iters = 200;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = est
+                .estimate_report(&plan, &EstimateOptions::default())
+                .unwrap()
+                .unwrap();
+        }
+        let us = start.elapsed().as_micros() as f64 / iters as f64;
+        t.row(vec![
+            n.to_string(),
+            format!("{us:.1}"),
+            report.nodes_visited.to_string(),
+            report.rules_evaluated.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Cut-off demonstration (§4.2): constant root formulas skip children.
+    println!("\nrequired-variable cut-off (§4.2):");
+    let env = oo7_env(&config, &rules::calibrated()).expect("setup");
+    let est = Estimator::new(&env.registry, &env.catalog);
+    let full = est
+        .estimate_report(&plan, &EstimateOptions::default())
+        .unwrap()
+        .unwrap();
+
+    let mut env2 = oo7_env(
+        &config,
+        "rule select($C, $P) {
+            CountObject = 10; TotalSize = 560;
+            TimeFirst = 1; TimeNext = 1; TotalTime = 100;
+        }",
+    )
+    .expect("setup");
+    let _ = &mut env2;
+    let est2 = Estimator::new(&env2.registry, &env2.catalog);
+    let cut = est2
+        .estimate_report(&plan, &EstimateOptions::default())
+        .unwrap()
+        .unwrap();
+    println!(
+        "  generic model:       {} nodes visited",
+        full.nodes_visited
+    );
+    println!(
+        "  constant-rule model: {} nodes visited (subtree cut)",
+        cut.nodes_visited
+    );
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for the paper's evaluation (DESIGN.md §3).
+//!
+//! Each experiment id (E1–E7) has a library runner here — so integration
+//! tests can assert on the *shapes* the paper reports — and a binary under
+//! `src/bin/` that prints the same rows the paper's figure/table shows.
+
+pub mod fig12;
+pub mod historical;
+pub mod plan_quality;
+pub mod report;
+pub mod setup;
+
+pub use fig12::{run_fig12, Fig12Row};
+pub use plan_quality::{run_plan_quality, PlanQualityRow};
+pub use report::{error_stats, Table};

@@ -1,0 +1,128 @@
+//! Experiment E4 — end-to-end optimizer benefit.
+//!
+//! The mediator must decide whether to push a selection into the wrapper
+//! (index scan at the source, few tuples shipped) or fetch the collection
+//! and filter locally. The generic model's linear index-scan formula
+//! over-prices the pushdown at moderate selectivities and flips to the
+//! fetch-all plan far too early; the wrapper's Yao rule keeps the
+//! estimate honest. We measure the *executed* time of each model's chosen
+//! plan and compare with the oracle (cheapest measured plan).
+
+use disco_common::Result;
+use disco_mediator::Mediator;
+use disco_oo7::{build_store, rules, Oo7Config};
+use disco_wrapper::SourceWrapper;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct PlanQualityRow {
+    pub selectivity: f64,
+    /// Measured time of the generic-model mediator's chosen plan (s).
+    pub generic_s: f64,
+    /// Did the generic-model mediator push the selection down?
+    pub generic_pushed: bool,
+    /// Measured time of the blended-model mediator's chosen plan (s).
+    pub blended_s: f64,
+    /// Did the blended-model mediator push the selection down?
+    pub blended_pushed: bool,
+    /// Best measured time over both choices (s).
+    pub oracle_s: f64,
+}
+
+fn mediator_with(config: &Oo7Config, cost_doc: &str) -> Result<Mediator> {
+    let mut m = Mediator::new();
+    m.register(Box::new(
+        SourceWrapper::new("oo7", build_store(config)?).with_cost_rules(cost_doc),
+    ))?;
+    Ok(m)
+}
+
+/// Whether the chosen plan pushes a selection into the wrapper.
+fn pushes_select(plan: &disco_algebra::PhysicalPlan) -> bool {
+    use disco_algebra::{LogicalPlan, PhysicalPlan};
+    fn submitted_has_select(p: &LogicalPlan) -> bool {
+        matches!(p, LogicalPlan::Select { .. })
+            || p.children().iter().any(|c| submitted_has_select(c))
+    }
+    fn walk(p: &PhysicalPlan) -> bool {
+        if let PhysicalPlan::SubmitRemote { plan, .. } = p {
+            if submitted_has_select(plan) {
+                return true;
+            }
+        }
+        p.children().iter().any(|c| walk(c))
+    }
+    walk(plan)
+}
+
+/// Run the sweep: for each selectivity, plan + execute the same query
+/// under both models.
+pub fn run_plan_quality(config: &Oo7Config, selectivities: &[f64]) -> Result<Vec<PlanQualityRow>> {
+    let mut generic = mediator_with(config, &rules::calibrated())?;
+    let mut blended = mediator_with(config, &rules::yao_rules())?;
+
+    let mut rows = Vec::new();
+    for &sel in selectivities {
+        let k = (sel * config.atomic_parts as f64).round() as i64;
+        let sql = format!("SELECT X FROM AtomicParts WHERE Id < {k}");
+
+        let gplan = generic.plan(&sql)?;
+        let generic_pushed = pushes_select(&gplan.physical);
+        let gres = generic.execute_plan(gplan)?;
+
+        let bplan = blended.plan(&sql)?;
+        let blended_pushed = pushes_select(&bplan.physical);
+        let bres = blended.execute_plan(bplan)?;
+
+        rows.push(PlanQualityRow {
+            selectivity: sel,
+            generic_s: gres.measured_ms / 1_000.0,
+            generic_pushed,
+            blended_s: bres.measured_ms / 1_000.0,
+            blended_pushed,
+            oracle_s: gres.measured_ms.min(bres.measured_ms) / 1_000.0,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blended_never_loses_and_sometimes_wins() {
+        let config = Oo7Config::small();
+        let rows = run_plan_quality(&config, &[0.05, 0.35, 0.6]).unwrap();
+        for r in &rows {
+            assert!(
+                r.blended_s <= r.generic_s * 1.05,
+                "blended {} worse than generic {} at sel {}",
+                r.blended_s,
+                r.generic_s,
+                r.selectivity
+            );
+            assert!(r.blended_s <= r.oracle_s * 1.05);
+        }
+        // At some moderate selectivity the generic model flips to the
+        // fetch-all plan while Yao keeps pushing — with a real measured
+        // penalty.
+        let flipped: Vec<&PlanQualityRow> = rows
+            .iter()
+            .filter(|r| !r.generic_pushed && r.blended_pushed)
+            .collect();
+        assert!(
+            !flipped.is_empty(),
+            "expected the generic model to mis-plan somewhere: {rows:?}"
+        );
+        for r in flipped {
+            assert!(
+                r.generic_s > 1.5 * r.blended_s,
+                "expected a real penalty at sel {}: {} vs {}",
+                r.selectivity,
+                r.generic_s,
+                r.blended_s
+            );
+        }
+    }
+}

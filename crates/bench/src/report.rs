@@ -1,0 +1,107 @@
+//! Table formatting and error metrics for experiment output.
+
+/// A simple fixed-width table printer.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{c:>width$}", width = widths[i]));
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Mean and maximum absolute relative error of estimates vs measurements.
+///
+/// Pairs with a zero measurement are skipped.
+pub fn error_stats(pairs: &[(f64, f64)]) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut max: f64 = 0.0;
+    let mut n = 0usize;
+    for (estimate, measured) in pairs {
+        if *measured == 0.0 {
+            continue;
+        }
+        let rel = ((estimate - measured) / measured).abs();
+        sum += rel;
+        max = max.max(rel);
+        n += 1;
+    }
+    if n == 0 {
+        (0.0, 0.0)
+    } else {
+        (sum / n as f64, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["sel", "time"]);
+        t.row(vec!["0.1".into(), "69.2".into()]);
+        t.row(vec!["0.70".into(), "466.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("sel") && lines[0].contains("time"));
+        assert!(lines[3].trim_start().starts_with("0.70"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn error_stats_mean_and_max() {
+        let (mean, max) = error_stats(&[(110.0, 100.0), (80.0, 100.0), (100.0, 0.0)]);
+        assert!((mean - 0.15).abs() < 1e-12);
+        assert!((max - 0.2).abs() < 1e-12);
+        assert_eq!(error_stats(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared experiment setup: registries and catalogs for the OO7 store
+//! under different wrapper-implementor effort levels.
+
+use disco_catalog::Catalog;
+use disco_common::Result;
+use disco_core::RuleRegistry;
+use disco_costlang::{compile_document, parse_document};
+use disco_oo7::{build_store, Oo7Config};
+use disco_sources::PagedStore;
+use disco_wrapper::{SourceWrapper, Wrapper};
+
+/// A registered OO7 environment: catalog + registry + direct store access.
+pub struct Oo7Env {
+    pub catalog: Catalog,
+    pub registry: RuleRegistry,
+    pub store: PagedStore,
+    pub wrapper_name: String,
+}
+
+/// Build the OO7 store and register it under the given cost document.
+pub fn oo7_env(config: &Oo7Config, cost_document: &str) -> Result<Oo7Env> {
+    let store = build_store(config)?;
+    // Wrap a clone for registration; keep the original for direct
+    // "experiment" execution.
+    let wrapper = SourceWrapper::new("oo7", store.clone()).with_cost_rules(cost_document);
+    let reg_payload = wrapper.registration()?;
+
+    let mut catalog = Catalog::new();
+    catalog.register_wrapper("oo7", reg_payload.capabilities.clone())?;
+    for (coll, schema, stats) in &reg_payload.collections {
+        catalog.register_collection("oo7", coll.clone(), schema.clone(), stats.clone())?;
+    }
+    let mut registry = RuleRegistry::with_default_model();
+    registry.register_document("oo7", &reg_payload.cost_rules)?;
+
+    Ok(Oo7Env {
+        catalog,
+        registry,
+        store,
+        wrapper_name: "oo7".into(),
+    })
+}
+
+/// Compile a cost document (diagnostics for shipping-size reports).
+pub fn compile_text(doc: &str) -> Result<disco_costlang::CompiledDocument> {
+    compile_document(&parse_document(doc)?)
+}

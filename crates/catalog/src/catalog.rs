@@ -1,0 +1,362 @@
+//! The mediator catalog (paper §2.1, Figure 1).
+//!
+//! During the registration phase the mediator contacts each wrapper and
+//! uploads "the schema of the wrapper …, capabilities of the wrapper (the
+//! set of operations the wrapper can execute), and cost information.
+//! Schema and cost information are stored in the mediator catalog." Cost
+//! rules themselves live in `disco-core`'s rule registry; the catalog holds
+//! everything else and is the single name-resolution authority.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use disco_algebra::OperatorKind;
+use disco_common::{DiscoError, QualifiedName, Result, Schema, WrapperId};
+
+use crate::stats::CollectionStats;
+
+/// The set of algebraic operations a wrapper can execute (paper §2.1).
+///
+/// The paper assumes all wrappers execute all operations and defers
+/// discrepancies to \[KTV97\]; we store real capability sets and let the
+/// decomposer consult them, defaulting to "everything".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capabilities {
+    ops: BTreeSet<OperatorKind>,
+}
+
+impl Capabilities {
+    /// A wrapper that executes the full algebra (the paper's assumption).
+    pub fn full() -> Self {
+        Capabilities {
+            ops: OperatorKind::ALL.into_iter().collect(),
+        }
+    }
+
+    /// A wrapper that can only scan (e.g. a flat file with no predicate
+    /// evaluation); the mediator must compensate locally.
+    pub fn scan_only() -> Self {
+        Capabilities {
+            ops: [OperatorKind::Scan].into_iter().collect(),
+        }
+    }
+
+    /// A wrapper executing exactly the given operations (scan is implied).
+    pub fn of(ops: &[OperatorKind]) -> Self {
+        let mut set: BTreeSet<OperatorKind> = ops.iter().copied().collect();
+        set.insert(OperatorKind::Scan);
+        Capabilities { ops: set }
+    }
+
+    /// Can the wrapper execute `op`?
+    pub fn supports(&self, op: OperatorKind) -> bool {
+        self.ops.contains(&op)
+    }
+
+    /// The supported operations.
+    pub fn ops(&self) -> impl Iterator<Item = OperatorKind> + '_ {
+        self.ops.iter().copied()
+    }
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities::full()
+    }
+}
+
+/// One registered collection: schema plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogCollection {
+    /// Fully qualified address.
+    pub name: QualifiedName,
+    /// Exported interface schema.
+    pub schema: Schema,
+    /// Exported (or defaulted) statistics.
+    pub stats: CollectionStats,
+}
+
+/// Everything the catalog knows about one wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrapperEntry {
+    /// Mediator-assigned identifier.
+    pub id: WrapperId,
+    /// Registered name.
+    pub name: String,
+    /// Operations the wrapper executes.
+    pub capabilities: Capabilities,
+    /// Collections keyed by collection name.
+    pub collections: BTreeMap<String, CatalogCollection>,
+}
+
+/// The mediator catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    wrappers: BTreeMap<String, WrapperEntry>,
+    next_id: u32,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a wrapper by name. Fails on duplicates — the paper's
+    /// re-registration interface is [`Catalog::unregister_wrapper`] followed
+    /// by a fresh registration.
+    pub fn register_wrapper(
+        &mut self,
+        name: impl Into<String>,
+        capabilities: Capabilities,
+    ) -> Result<WrapperId> {
+        let name = name.into();
+        if self.wrappers.contains_key(&name) {
+            return Err(DiscoError::Catalog(format!(
+                "wrapper `{name}` is already registered"
+            )));
+        }
+        let id = WrapperId(self.next_id);
+        self.next_id += 1;
+        self.wrappers.insert(
+            name.clone(),
+            WrapperEntry {
+                id,
+                name,
+                capabilities,
+                collections: BTreeMap::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Remove a wrapper and all its collections (the administrative
+    /// re-registration path of §2.1).
+    pub fn unregister_wrapper(&mut self, name: &str) -> Result<()> {
+        self.wrappers
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{name}` is not registered")))
+    }
+
+    /// Register a collection under a wrapper.
+    pub fn register_collection(
+        &mut self,
+        wrapper: &str,
+        collection: impl Into<String>,
+        schema: Schema,
+        stats: CollectionStats,
+    ) -> Result<()> {
+        let collection = collection.into();
+        let entry = self
+            .wrappers
+            .get_mut(wrapper)
+            .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{wrapper}` is not registered")))?;
+        if entry.collections.contains_key(&collection) {
+            return Err(DiscoError::Catalog(format!(
+                "collection `{wrapper}.{collection}` is already registered"
+            )));
+        }
+        let name = QualifiedName::new(wrapper, collection.clone());
+        entry.collections.insert(
+            collection,
+            CatalogCollection {
+                name,
+                schema,
+                stats,
+            },
+        );
+        Ok(())
+    }
+
+    /// Wrapper entry by name.
+    pub fn wrapper(&self, name: &str) -> Option<&WrapperEntry> {
+        self.wrappers.get(name)
+    }
+
+    /// All wrapper entries, ordered by name.
+    pub fn wrappers(&self) -> impl Iterator<Item = &WrapperEntry> {
+        self.wrappers.values()
+    }
+
+    /// Collection by qualified name.
+    pub fn collection(&self, name: &QualifiedName) -> Result<&CatalogCollection> {
+        self.wrappers
+            .get(&name.wrapper)
+            .and_then(|w| w.collections.get(&name.collection))
+            .ok_or_else(|| DiscoError::Catalog(format!("unknown collection `{name}`")))
+    }
+
+    /// Statistics of a collection.
+    pub fn stats(&self, name: &QualifiedName) -> Result<&CollectionStats> {
+        self.collection(name).map(|c| &c.stats)
+    }
+
+    /// Replace the statistics of a registered collection (statistics
+    /// refresh without full re-registration).
+    pub fn update_stats(&mut self, name: &QualifiedName, stats: CollectionStats) -> Result<()> {
+        let entry = self
+            .wrappers
+            .get_mut(&name.wrapper)
+            .and_then(|w| w.collections.get_mut(&name.collection))
+            .ok_or_else(|| DiscoError::Catalog(format!("unknown collection `{name}`")))?;
+        entry.stats = stats;
+        Ok(())
+    }
+
+    /// Resolve a bare collection name to qualified names across wrappers.
+    ///
+    /// Client queries may name collections unqualified; ambiguity is a
+    /// catalog error surfaced to the user.
+    pub fn resolve(&self, collection: &str) -> Result<QualifiedName> {
+        let matches: Vec<&CatalogCollection> = self
+            .wrappers
+            .values()
+            .filter_map(|w| w.collections.get(collection))
+            .collect();
+        match matches.len() {
+            0 => Err(DiscoError::Catalog(format!(
+                "unknown collection `{collection}`"
+            ))),
+            1 => Ok(matches[0].name.clone()),
+            n => Err(DiscoError::Catalog(format!(
+                "collection `{collection}` is ambiguous across {n} wrappers; qualify it"
+            ))),
+        }
+    }
+
+    /// Number of registered collections across all wrappers.
+    pub fn collection_count(&self) -> usize {
+        self.wrappers.values().map(|w| w.collections.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ExtentStats;
+    use disco_common::{AttributeDef, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![AttributeDef::new("id", DataType::Long)])
+    }
+
+    fn catalog_with_two_wrappers() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_wrapper("hr", Capabilities::full()).unwrap();
+        c.register_wrapper("files", Capabilities::scan_only())
+            .unwrap();
+        c.register_collection(
+            "hr",
+            "Employee",
+            schema(),
+            CollectionStats::new(ExtentStats::of(10, 8)),
+        )
+        .unwrap();
+        c.register_collection(
+            "files",
+            "Log",
+            schema(),
+            CollectionStats::new(ExtentStats::of(5, 8)),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = catalog_with_two_wrappers();
+        assert_eq!(c.collection_count(), 2);
+        let q = QualifiedName::new("hr", "Employee");
+        assert_eq!(c.collection(&q).unwrap().name, q);
+        assert_eq!(c.stats(&q).unwrap().extent.count_object, 10);
+    }
+
+    #[test]
+    fn wrapper_ids_are_unique() {
+        let c = catalog_with_two_wrappers();
+        assert_ne!(c.wrapper("hr").unwrap().id, c.wrapper("files").unwrap().id);
+    }
+
+    #[test]
+    fn duplicate_wrapper_rejected() {
+        let mut c = catalog_with_two_wrappers();
+        let e = c.register_wrapper("hr", Capabilities::full()).unwrap_err();
+        assert_eq!(e.kind(), "catalog");
+    }
+
+    #[test]
+    fn duplicate_collection_rejected() {
+        let mut c = catalog_with_two_wrappers();
+        let e = c
+            .register_collection("hr", "Employee", schema(), CollectionStats::defaults_for())
+            .unwrap_err();
+        assert_eq!(e.kind(), "catalog");
+    }
+
+    #[test]
+    fn collection_on_unknown_wrapper_rejected() {
+        let mut c = Catalog::new();
+        let e = c
+            .register_collection("ghost", "X", schema(), CollectionStats::defaults_for())
+            .unwrap_err();
+        assert_eq!(e.kind(), "catalog");
+    }
+
+    #[test]
+    fn resolve_unqualified() {
+        let c = catalog_with_two_wrappers();
+        assert_eq!(
+            c.resolve("Log").unwrap(),
+            QualifiedName::new("files", "Log")
+        );
+        assert!(c.resolve("Nothing").is_err());
+    }
+
+    #[test]
+    fn resolve_ambiguous_fails() {
+        let mut c = catalog_with_two_wrappers();
+        c.register_collection(
+            "files",
+            "Employee",
+            schema(),
+            CollectionStats::defaults_for(),
+        )
+        .unwrap();
+        let e = c.resolve("Employee").unwrap_err();
+        assert!(e.message().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unregister_frees_name() {
+        let mut c = catalog_with_two_wrappers();
+        c.unregister_wrapper("hr").unwrap();
+        assert!(c.wrapper("hr").is_none());
+        assert!(c.register_wrapper("hr", Capabilities::full()).is_ok());
+        assert!(c.unregister_wrapper("nope").is_err());
+    }
+
+    #[test]
+    fn update_stats_replaces() {
+        let mut c = catalog_with_two_wrappers();
+        let q = QualifiedName::new("hr", "Employee");
+        c.update_stats(&q, CollectionStats::new(ExtentStats::of(999, 8)))
+            .unwrap();
+        assert_eq!(c.stats(&q).unwrap().extent.count_object, 999);
+    }
+
+    #[test]
+    fn capabilities() {
+        let c = catalog_with_two_wrappers();
+        assert!(c
+            .wrapper("hr")
+            .unwrap()
+            .capabilities
+            .supports(OperatorKind::Join));
+        let f = &c.wrapper("files").unwrap().capabilities;
+        assert!(f.supports(OperatorKind::Scan));
+        assert!(!f.supports(OperatorKind::Select));
+        let sel = Capabilities::of(&[OperatorKind::Select]);
+        assert!(sel.supports(OperatorKind::Scan) && sel.supports(OperatorKind::Select));
+    }
+}

@@ -1,0 +1,288 @@
+//! Equi-width and equi-depth histograms over numeric attributes.
+//!
+//! The paper's cost-rule bodies may call an ad-hoc `selectivity(A, V)`
+//! function "that could handle, for example, histogram statistics
+//! \[IP95, PIHS96\]" (§3.3.2). This module provides those statistics: a
+//! wrapper can build a histogram over a column and export a rule whose
+//! selectivity estimates beat the uniform min/max interpolation of the
+//! generic model.
+
+use disco_algebra::CompareOp;
+
+/// Construction discipline of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramKind {
+    /// Buckets of equal value-range width.
+    EquiWidth,
+    /// Buckets of (approximately) equal tuple count.
+    EquiDepth,
+}
+
+/// One bucket: value range `[lo, hi)` (the last bucket is closed) with a
+/// tuple count and a distinct-value estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    pub lo: f64,
+    pub hi: f64,
+    pub count: u64,
+    pub distinct: u64,
+}
+
+/// A histogram over a numeric attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    kind: HistogramKind,
+    buckets: Vec<Bucket>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build an equi-width histogram from raw values.
+    ///
+    /// Returns `None` for empty input or a non-positive bucket count.
+    pub fn equi_width(values: &[f64], nbuckets: usize) -> Option<Histogram> {
+        if values.is_empty() || nbuckets == 0 {
+            return None;
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        let width = ((hi - lo) / nbuckets as f64).max(f64::MIN_POSITIVE);
+        let mut buckets: Vec<Bucket> = (0..nbuckets)
+            .map(|i| Bucket {
+                lo: lo + width * i as f64,
+                hi: if i + 1 == nbuckets {
+                    hi
+                } else {
+                    lo + width * (i + 1) as f64
+                },
+                count: 0,
+                distinct: 0,
+            })
+            .collect();
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        fill_distinct_counts(&sorted, &mut buckets);
+        Some(Histogram {
+            kind: HistogramKind::EquiWidth,
+            total: values.len() as u64,
+            buckets,
+        })
+    }
+
+    /// Build an equi-depth histogram from raw values.
+    pub fn equi_depth(values: &[f64], nbuckets: usize) -> Option<Histogram> {
+        if values.is_empty() || nbuckets == 0 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        if !sorted[0].is_finite() || !sorted[sorted.len() - 1].is_finite() {
+            return None;
+        }
+        let n = sorted.len();
+        let per = n.div_ceil(nbuckets);
+        let mut buckets = Vec::with_capacity(nbuckets);
+        let mut start = 0;
+        while start < n {
+            let end = (start + per).min(n);
+            let slice = &sorted[start..end];
+            let mut distinct = 1;
+            for w in slice.windows(2) {
+                if w[0] != w[1] {
+                    distinct += 1;
+                }
+            }
+            buckets.push(Bucket {
+                lo: slice[0],
+                hi: slice[slice.len() - 1],
+                count: slice.len() as u64,
+                distinct,
+            });
+            start = end;
+        }
+        Some(Histogram {
+            kind: HistogramKind::EquiDepth,
+            total: n as u64,
+            buckets,
+        })
+    }
+
+    /// Construction discipline.
+    pub fn kind(&self) -> HistogramKind {
+        self.kind
+    }
+
+    /// The buckets, ordered by range.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Total tuple count summarized.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated selectivity of `attr op v` under this histogram,
+    /// in `[0, 1]`.
+    pub fn selectivity(&self, op: CompareOp, v: f64) -> f64 {
+        let total = self.total as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let sel = match op {
+            CompareOp::Eq => self.eq_fraction(v),
+            CompareOp::Ne => 1.0 - self.eq_fraction(v),
+            CompareOp::Lt => self.less_fraction(v, false),
+            CompareOp::Le => self.less_fraction(v, true),
+            CompareOp::Gt => 1.0 - self.less_fraction(v, true),
+            CompareOp::Ge => 1.0 - self.less_fraction(v, false),
+        };
+        sel.clamp(0.0, 1.0)
+    }
+
+    /// Fraction of tuples equal to `v`: uniform within each containing
+    /// bucket (`count / distinct`), summed over all buckets whose closed
+    /// range covers `v` — equi-depth buckets of heavily duplicated values
+    /// can share a degenerate range.
+    fn eq_fraction(&self, v: f64) -> f64 {
+        let total = self.total as f64;
+        let mut acc = 0.0;
+        for b in &self.buckets {
+            if v >= b.lo && v <= b.hi {
+                let d = b.distinct.max(1) as f64;
+                acc += b.count as f64 / d;
+            }
+        }
+        (acc / total).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of tuples `< v` (or `<= v` with `inclusive`), interpolating
+    /// linearly inside each bucket overlapping `v`.
+    fn less_fraction(&self, v: f64, inclusive: bool) -> f64 {
+        let total = self.total as f64;
+        let mut acc = 0.0;
+        for b in &self.buckets {
+            if v > b.hi {
+                acc += b.count as f64;
+            } else if v >= b.lo {
+                if b.hi > b.lo {
+                    let frac = ((v - b.lo) / (b.hi - b.lo)).clamp(0.0, 1.0);
+                    acc += b.count as f64 * frac;
+                }
+                if inclusive {
+                    // Add the equal sliver estimated like eq_fraction.
+                    let d = b.distinct.max(1) as f64;
+                    acc += b.count as f64 / d;
+                }
+            }
+        }
+        (acc / total).clamp(0.0, 1.0)
+    }
+}
+
+/// Fill `count`/`distinct` of each bucket from the sorted values.
+fn fill_distinct_counts(sorted: &[f64], buckets: &mut [Bucket]) {
+    let last = buckets.len() - 1;
+    let mut bi = 0;
+    let mut prev: Option<f64> = None;
+    for &v in sorted {
+        while bi < last && v >= buckets[bi].hi {
+            bi += 1;
+            prev = None;
+        }
+        buckets[bi].count += 1;
+        if prev != Some(v) {
+            buckets[bi].distinct += 1;
+            prev = Some(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform() -> Vec<f64> {
+        (0..1000).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(Histogram::equi_width(&[], 4).is_none());
+        assert!(Histogram::equi_depth(&[], 4).is_none());
+        assert!(Histogram::equi_width(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn equi_width_counts_sum_to_total() {
+        let h = Histogram::equi_width(&uniform(), 10).unwrap();
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.buckets().iter().map(|b| b.count).sum::<u64>(), 1000);
+        assert_eq!(h.buckets().len(), 10);
+    }
+
+    #[test]
+    fn equi_depth_balances_counts() {
+        let mut skew: Vec<f64> = (0..900).map(|_| 1.0).collect();
+        skew.extend((0..100).map(|i| 10.0 + i as f64));
+        let h = Histogram::equi_depth(&skew, 10).unwrap();
+        for b in h.buckets() {
+            assert!(b.count <= 150, "bucket count {} too large", b.count);
+        }
+    }
+
+    #[test]
+    fn uniform_range_selectivity_is_linear() {
+        let h = Histogram::equi_width(&uniform(), 20).unwrap();
+        let s = h.selectivity(CompareOp::Lt, 250.0);
+        assert!((s - 0.25).abs() < 0.02, "got {s}");
+        let s = h.selectivity(CompareOp::Ge, 900.0);
+        assert!((s - 0.1).abs() < 0.02, "got {s}");
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let h = Histogram::equi_width(&uniform(), 10).unwrap();
+        let s = h.selectivity(CompareOp::Eq, 123.0);
+        assert!((s - 0.001).abs() < 1e-4, "got {s}");
+    }
+
+    #[test]
+    fn selectivity_bounds() {
+        let h = Histogram::equi_depth(&uniform(), 7).unwrap();
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            for v in [-5.0, 0.0, 500.5, 999.0, 2000.0] {
+                let s = h.selectivity(op, v);
+                assert!((0.0..=1.0).contains(&s), "{op:?} {v} -> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_values() {
+        let h = Histogram::equi_width(&uniform(), 10).unwrap();
+        assert_eq!(h.selectivity(CompareOp::Lt, -1.0), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Gt, 5000.0), 0.0);
+        assert!((h.selectivity(CompareOp::Ge, -1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_eq_beats_uniform_assumption() {
+        // 90% of values are 42; histogram should estimate eq(42) >> 1/distinct.
+        let mut vals: Vec<f64> = (0..900).map(|_| 42.0).collect();
+        vals.extend((0..100).map(|i| 100.0 + i as f64));
+        let h = Histogram::equi_depth(&vals, 10).unwrap();
+        let s = h.selectivity(CompareOp::Eq, 42.0);
+        assert!(s > 0.5, "skewed eq estimate too small: {s}");
+    }
+}

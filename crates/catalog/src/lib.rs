@@ -1,0 +1,30 @@
+//! Statistics and the mediator catalog (paper §3.2).
+//!
+//! Wrappers export, per collection, the triplet `(CountObject, TotalSize,
+//! ObjectSize)` and per attribute the tuple `(Indexed, CountDistinct, Min,
+//! Max)` through the `cardinality extent/attribute` methods of the extended
+//! IDL interface. The mediator calls those methods at registration time and
+//! stores the results in its catalog; cost formulas then reference them by
+//! the Figure 7 name scheme (`C.CountObject`, `C.A.Min`, …).
+//!
+//! Modules:
+//!
+//! * [`stats`] — the statistic records and the Figure 7 addressing scheme,
+//!   including the default values used when a source exports nothing;
+//! * [`histogram`] — optional equi-width / equi-depth histograms, the kind
+//!   of ad-hoc statistic the paper's `selectivity(A, V)` wrapper function
+//!   can consult (\[IP95, PIHS96\]);
+//! * [`selectivity`] — deriving restriction and join selectivities from
+//!   statistics, per the generic model of §2.3;
+//! * [`catalog`] — the mediator's registry of wrappers, collections,
+//!   schemas, capabilities and statistics.
+
+pub mod catalog;
+pub mod histogram;
+pub mod selectivity;
+pub mod stats;
+
+pub use catalog::{Capabilities, Catalog, CatalogCollection, WrapperEntry};
+pub use histogram::{Histogram, HistogramKind};
+pub use selectivity::{join_selectivity, predicate_selectivity, restriction_selectivity};
+pub use stats::{AttributeStats, CollectionStats, ExtentStats, StatName};

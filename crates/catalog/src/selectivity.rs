@@ -1,0 +1,216 @@
+//! Deriving selectivities from exported statistics (paper §2.3, §6).
+//!
+//! The generic cost model "requires the selectivity of a selection that can
+//! be derived from the minimum, maximum, and number of distinct values of
+//! the restricted attributes". This module implements that derivation:
+//!
+//! * equality — `1 / CountDistinct`;
+//! * range — linear interpolation between `Min` and `Max` for numeric
+//!   attributes (uniformity assumption);
+//! * fallbacks — the classical System-R defaults (`1/10` for equality,
+//!   `1/3` for ranges) when the statistics are missing, "as usual" (§6);
+//! * histograms — consulted first when present (the \[IP95\] refinement the
+//!   paper's ad-hoc `selectivity(A, V)` functions may implement);
+//! * joins — the paper estimates join selectivity as
+//!   `1 / min(CountDistinct(A), CountDistinct(B))`. (System R uses `max`;
+//!   we follow the paper's formula.)
+
+use disco_algebra::{CompareOp, JoinPredicate, Predicate, SelectPredicate};
+use disco_common::Value;
+
+use crate::stats::CollectionStats;
+
+/// Default equality selectivity when statistics are absent.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+/// Default range selectivity when statistics are absent.
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Selectivity of one `attr op value` restriction against a collection.
+pub fn restriction_selectivity(stats: &CollectionStats, pred: &SelectPredicate) -> f64 {
+    let attr = stats.attribute(&pred.attribute);
+
+    // Histogram first: the most specific information available.
+    if let (Some(h), Some(v)) = (&attr.histogram, pred.value.as_f64()) {
+        return h.selectivity(pred.op, v);
+    }
+
+    match pred.op {
+        CompareOp::Eq => {
+            if attr.count_distinct > 0 {
+                (1.0 / attr.count_distinct as f64).min(1.0)
+            } else {
+                DEFAULT_EQ_SELECTIVITY
+            }
+        }
+        CompareOp::Ne => {
+            let eq = restriction_selectivity(
+                stats,
+                &SelectPredicate::new(pred.attribute.clone(), CompareOp::Eq, pred.value.clone()),
+            );
+            (1.0 - eq).clamp(0.0, 1.0)
+        }
+        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
+            range_selectivity(&attr.min, &attr.max, pred.op, &pred.value)
+                .unwrap_or(DEFAULT_RANGE_SELECTIVITY)
+        }
+    }
+}
+
+/// Interpolated range selectivity, or `None` when the bounds are unusable.
+fn range_selectivity(min: &Value, max: &Value, op: CompareOp, v: &Value) -> Option<f64> {
+    let (lo, hi, x) = (min.as_f64()?, max.as_f64()?, v.as_f64()?);
+    if !(lo.is_finite() && hi.is_finite() && x.is_finite()) || hi < lo {
+        return None;
+    }
+    let width = hi - lo;
+    // Point domain: every object holds the single value.
+    let frac_below = if width == 0.0 {
+        if x > lo {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        ((x - lo) / width).clamp(0.0, 1.0)
+    };
+    let sel = match op {
+        CompareOp::Lt | CompareOp::Le => frac_below,
+        CompareOp::Gt | CompareOp::Ge => 1.0 - frac_below,
+        _ => return None,
+    };
+    Some(sel.clamp(0.0, 1.0))
+}
+
+/// Selectivity of a conjunctive predicate (independence assumption).
+pub fn predicate_selectivity(stats: &CollectionStats, pred: &Predicate) -> f64 {
+    pred.conjuncts
+        .iter()
+        .map(|c| restriction_selectivity(stats, c))
+        .product::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// Join selectivity per the paper:
+/// `1 / min(CountDistinct(left), CountDistinct(right))`.
+///
+/// The estimated join cardinality is then `|L| * |R| * selectivity`.
+pub fn join_selectivity(
+    left: &CollectionStats,
+    right: &CollectionStats,
+    pred: &JoinPredicate,
+) -> f64 {
+    let dl = left.attribute(&pred.left_attr).count_distinct.max(1);
+    let dr = right.attribute(&pred.right_attr).count_distinct.max(1);
+    1.0 / dl.min(dr) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::stats::{AttributeStats, ExtentStats};
+
+    fn emp() -> CollectionStats {
+        CollectionStats::new(ExtentStats::of(10_000, 120))
+            .with_attribute(
+                "salary",
+                AttributeStats::indexed(100, Value::Long(1_000), Value::Long(31_000)),
+            )
+            .with_attribute(
+                "name",
+                AttributeStats::new(
+                    10_000,
+                    Value::Str("Adiba".into()),
+                    Value::Str("Valduriez".into()),
+                ),
+            )
+    }
+
+    #[test]
+    fn equality_uses_distinct_count() {
+        let p = SelectPredicate::new("salary", CompareOp::Eq, Value::Long(2_000));
+        assert!((restriction_selectivity(&emp(), &p) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inequality_is_complement() {
+        let p = SelectPredicate::new("salary", CompareOp::Ne, Value::Long(2_000));
+        assert!((restriction_selectivity(&emp(), &p) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_interpolates_between_bounds() {
+        // salary in [1000, 31000]; < 16000 is half the domain.
+        let p = SelectPredicate::new("salary", CompareOp::Lt, Value::Long(16_000));
+        assert!((restriction_selectivity(&emp(), &p) - 0.5).abs() < 1e-12);
+        let p = SelectPredicate::new("salary", CompareOp::Ge, Value::Long(31_000));
+        assert!(restriction_selectivity(&emp(), &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_clamps_outside_domain() {
+        let p = SelectPredicate::new("salary", CompareOp::Lt, Value::Long(-5));
+        assert_eq!(restriction_selectivity(&emp(), &p), 0.0);
+        let p = SelectPredicate::new("salary", CompareOp::Le, Value::Long(100_000));
+        assert_eq!(restriction_selectivity(&emp(), &p), 1.0);
+    }
+
+    #[test]
+    fn string_ranges_fall_back_to_default() {
+        let p = SelectPredicate::new("name", CompareOp::Lt, Value::Str("M".into()));
+        assert!((restriction_selectivity(&emp(), &p) - DEFAULT_RANGE_SELECTIVITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_attribute_uses_derived_defaults() {
+        // Default CountDistinct = CountObject/10 = 1000 -> eq sel 0.001.
+        let p = SelectPredicate::new("ghost", CompareOp::Eq, Value::Long(1));
+        assert!((restriction_selectivity(&emp(), &p) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_takes_precedence() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let h = Histogram::equi_width(&vals, 10).unwrap();
+        let stats = CollectionStats::new(ExtentStats::of(1000, 8)).with_attribute(
+            "x",
+            // Bogus distinct count: histogram must win over 1/2.
+            AttributeStats::new(2, Value::Long(0), Value::Long(9)).with_histogram(h),
+        );
+        let p = SelectPredicate::new("x", CompareOp::Eq, Value::Long(3));
+        let s = restriction_selectivity(&stats, &p);
+        assert!((s - 0.1).abs() < 0.03, "got {s}");
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let pred = Predicate::all(vec![
+            SelectPredicate::new("salary", CompareOp::Eq, Value::Long(2_000)),
+            SelectPredicate::new("salary", CompareOp::Lt, Value::Long(16_000)),
+        ]);
+        let s = predicate_selectivity(&emp(), &pred);
+        assert!((s - 0.005).abs() < 1e-12);
+        assert_eq!(predicate_selectivity(&emp(), &Predicate::always()), 1.0);
+    }
+
+    #[test]
+    fn join_selectivity_uses_min_distinct() {
+        let l = emp(); // salary distinct = 100
+        let r = CollectionStats::new(ExtentStats::of(500, 50)).with_attribute(
+            "grade",
+            AttributeStats::new(20, Value::Long(0), Value::Long(19)),
+        );
+        let p = JoinPredicate::equi("salary", "grade");
+        assert!((join_selectivity(&l, &r, &p) - 1.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_domain_range() {
+        let stats = CollectionStats::new(ExtentStats::of(10, 8))
+            .with_attribute("k", AttributeStats::new(1, Value::Long(5), Value::Long(5)));
+        let lt = SelectPredicate::new("k", CompareOp::Lt, Value::Long(5));
+        assert_eq!(restriction_selectivity(&stats, &lt), 0.0);
+        let gt5 = SelectPredicate::new("k", CompareOp::Gt, Value::Long(4));
+        assert_eq!(restriction_selectivity(&stats, &gt5), 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Statistic records and the Figure 7 addressing scheme.
+//!
+//! The exported statistics mirror the paper exactly:
+//!
+//! * per extent — `CountObject`, `TotalSize` (bytes), `ObjectSize` (average
+//!   bytes per object);
+//! * per attribute — `Indexed`, `CountDistinct`, `Min`, `Max`.
+//!
+//! When a source exports nothing, "standard values are given, as usual"
+//! (§6); [`CollectionStats::defaults_for`] supplies those.
+
+use std::collections::BTreeMap;
+
+use disco_common::Value;
+
+use crate::histogram::Histogram;
+
+/// Default extent cardinality assumed for sources that export nothing.
+pub const DEFAULT_COUNT_OBJECT: u64 = 1_000;
+/// Default average object size in bytes for silent sources.
+pub const DEFAULT_OBJECT_SIZE: u64 = 100;
+/// Default distinct-value fraction (`CountDistinct = CountObject / 10`).
+pub const DEFAULT_DISTINCT_DIVISOR: u64 = 10;
+
+/// The statistic names of the Figure 7 scheme, used both by the cost
+/// language resolver and by the catalog's generic lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatName {
+    /// `C.CountObject` — cardinality of the extent.
+    CountObject,
+    /// `C.TotalSize` — extent size in bytes.
+    TotalSize,
+    /// `C.ObjectSize` — average object size in bytes.
+    ObjectSize,
+    /// `C.CountPage` — derived page count (`TotalSize / PageSize`); the
+    /// paper derives it inside formulas, we expose it for convenience too.
+    CountPage,
+    /// `C.A.Indexed` — whether an index exists on the attribute.
+    Indexed,
+    /// `C.A.CountDistinct` — distinct values of the attribute.
+    CountDistinct,
+    /// `C.A.Min` — minimum value of the attribute.
+    Min,
+    /// `C.A.Max` — maximum value of the attribute.
+    Max,
+}
+
+impl StatName {
+    /// Parse a Figure 7 statistic name (case-sensitive, as in the paper).
+    pub fn parse(s: &str) -> Option<StatName> {
+        Some(match s {
+            "CountObject" => StatName::CountObject,
+            "TotalSize" => StatName::TotalSize,
+            "ObjectSize" => StatName::ObjectSize,
+            "CountPage" => StatName::CountPage,
+            "Indexed" => StatName::Indexed,
+            "CountDistinct" => StatName::CountDistinct,
+            "Min" => StatName::Min,
+            "Max" => StatName::Max,
+            _ => return None,
+        })
+    }
+
+    /// `true` for statistics addressed through an attribute
+    /// (`C.A.Stat` rather than `C.Stat`).
+    pub fn is_attribute_stat(self) -> bool {
+        matches!(
+            self,
+            StatName::Indexed | StatName::CountDistinct | StatName::Min | StatName::Max
+        )
+    }
+}
+
+/// The `extent` cardinality method's triplet (Figure 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentStats {
+    /// Number of objects in the extent.
+    pub count_object: u64,
+    /// Size of the extent in bytes.
+    pub total_size: u64,
+    /// Average size of one object in bytes.
+    pub object_size: u64,
+}
+
+impl ExtentStats {
+    /// Build from a count and average object size (`total = count * size`).
+    pub fn of(count_object: u64, object_size: u64) -> Self {
+        ExtentStats {
+            count_object,
+            total_size: count_object * object_size,
+            object_size,
+        }
+    }
+
+    /// Page count for a given page size, rounding up; at least 1 for a
+    /// non-empty extent.
+    pub fn count_pages(&self, page_size: u64) -> u64 {
+        if self.total_size == 0 {
+            0
+        } else {
+            self.total_size.div_ceil(page_size)
+        }
+    }
+}
+
+/// The `attribute` cardinality method's record (Figure 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeStats {
+    /// An index exists on this attribute.
+    pub indexed: bool,
+    /// Number of distinct values in the extent.
+    pub count_distinct: u64,
+    /// Minimum value (polymorphic `Constant`).
+    pub min: Value,
+    /// Maximum value.
+    pub max: Value,
+    /// Optional richer distribution summary — the kind of statistic an
+    /// ad-hoc wrapper `selectivity(A, V)` function would consult.
+    pub histogram: Option<Histogram>,
+}
+
+impl AttributeStats {
+    /// Unindexed attribute with the given distinct count and bounds.
+    pub fn new(count_distinct: u64, min: Value, max: Value) -> Self {
+        AttributeStats {
+            indexed: false,
+            count_distinct,
+            min,
+            max,
+            histogram: None,
+        }
+    }
+
+    /// Same, with an index present.
+    pub fn indexed(count_distinct: u64, min: Value, max: Value) -> Self {
+        AttributeStats {
+            indexed: true,
+            count_distinct,
+            min,
+            max,
+            histogram: None,
+        }
+    }
+
+    /// Attach a histogram.
+    pub fn with_histogram(mut self, h: Histogram) -> Self {
+        self.histogram = Some(h);
+        self
+    }
+
+    /// Default attribute statistics for a collection of `count_object`
+    /// objects: unindexed, `CountDistinct = CountObject / 10`, unknown
+    /// bounds.
+    pub fn defaults_for(count_object: u64) -> Self {
+        AttributeStats {
+            indexed: false,
+            count_distinct: (count_object / DEFAULT_DISTINCT_DIVISOR).max(1),
+            min: Value::Null,
+            max: Value::Null,
+            histogram: None,
+        }
+    }
+}
+
+/// All statistics of one collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionStats {
+    /// Extent triplet.
+    pub extent: ExtentStats,
+    /// Per-attribute records, keyed by attribute name.
+    pub attributes: BTreeMap<String, AttributeStats>,
+}
+
+impl CollectionStats {
+    /// Build with no attribute statistics yet.
+    pub fn new(extent: ExtentStats) -> Self {
+        CollectionStats {
+            extent,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// The standard values assumed for a source that exports nothing.
+    pub fn defaults_for() -> Self {
+        CollectionStats::new(ExtentStats::of(DEFAULT_COUNT_OBJECT, DEFAULT_OBJECT_SIZE))
+    }
+
+    /// Add statistics for an attribute (builder style).
+    pub fn with_attribute(mut self, name: impl Into<String>, stats: AttributeStats) -> Self {
+        self.attributes.insert(name.into(), stats);
+        self
+    }
+
+    /// Attribute statistics, falling back to defaults derived from the
+    /// extent when the wrapper did not export this attribute.
+    pub fn attribute(&self, name: &str) -> AttributeStats {
+        self.attributes
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| AttributeStats::defaults_for(self.extent.count_object))
+    }
+
+    /// Generic statistic lookup by the Figure 7 scheme.
+    ///
+    /// Attribute statistics require `attr`; extent statistics ignore it.
+    /// `CountPage` is derived with the given `page_size`.
+    pub fn stat(&self, stat: StatName, attr: Option<&str>, page_size: u64) -> Value {
+        match stat {
+            StatName::CountObject => Value::Long(self.extent.count_object as i64),
+            StatName::TotalSize => Value::Long(self.extent.total_size as i64),
+            StatName::ObjectSize => Value::Long(self.extent.object_size as i64),
+            StatName::CountPage => Value::Long(self.extent.count_pages(page_size) as i64),
+            StatName::Indexed | StatName::CountDistinct | StatName::Min | StatName::Max => {
+                let Some(attr) = attr else {
+                    return Value::Null;
+                };
+                let a = self.attribute(attr);
+                match stat {
+                    StatName::Indexed => Value::Bool(a.indexed),
+                    StatName::CountDistinct => Value::Long(a.count_distinct as i64),
+                    StatName::Min => a.min,
+                    StatName::Max => a.max,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_name_round_trip() {
+        for (s, n) in [
+            ("CountObject", StatName::CountObject),
+            ("TotalSize", StatName::TotalSize),
+            ("ObjectSize", StatName::ObjectSize),
+            ("CountPage", StatName::CountPage),
+            ("Indexed", StatName::Indexed),
+            ("CountDistinct", StatName::CountDistinct),
+            ("Min", StatName::Min),
+            ("Max", StatName::Max),
+        ] {
+            assert_eq!(StatName::parse(s), Some(n));
+        }
+        assert_eq!(StatName::parse("countobject"), None);
+    }
+
+    #[test]
+    fn extent_page_count_rounds_up() {
+        let e = ExtentStats::of(70_000, 56);
+        assert_eq!(e.total_size, 3_920_000);
+        assert_eq!(e.count_pages(4_096), 958); // ceil(3920000/4096)
+        assert_eq!(ExtentStats::of(0, 56).count_pages(4_096), 0);
+        assert_eq!(ExtentStats::of(1, 1).count_pages(4_096), 1);
+    }
+
+    #[test]
+    fn attribute_defaults_derived_from_extent() {
+        let s = CollectionStats::new(ExtentStats::of(500, 10));
+        let a = s.attribute("anything");
+        assert!(!a.indexed);
+        assert_eq!(a.count_distinct, 50);
+        assert!(a.min.is_null());
+    }
+
+    #[test]
+    fn defaults_never_zero_distinct() {
+        let a = AttributeStats::defaults_for(3);
+        assert_eq!(a.count_distinct, 1);
+    }
+
+    #[test]
+    fn generic_stat_lookup() {
+        let s = CollectionStats::new(ExtentStats::of(100, 40)).with_attribute(
+            "id",
+            AttributeStats::indexed(100, Value::Long(0), Value::Long(99)),
+        );
+        assert_eq!(s.stat(StatName::CountObject, None, 4096), Value::Long(100));
+        assert_eq!(s.stat(StatName::TotalSize, None, 4096), Value::Long(4000));
+        assert_eq!(s.stat(StatName::CountPage, None, 4096), Value::Long(1));
+        assert_eq!(
+            s.stat(StatName::Indexed, Some("id"), 4096),
+            Value::Bool(true)
+        );
+        assert_eq!(s.stat(StatName::Max, Some("id"), 4096), Value::Long(99));
+        // Attribute stat without attribute name is Null.
+        assert_eq!(s.stat(StatName::Min, None, 4096), Value::Null);
+    }
+
+    #[test]
+    fn is_attribute_stat_partition() {
+        assert!(StatName::Indexed.is_attribute_stat());
+        assert!(!StatName::CountPage.is_attribute_stat());
+        assert!(!StatName::TotalSize.is_attribute_stat());
+    }
+}

@@ -1,0 +1,102 @@
+//! Umbrella error type for the workspace.
+//!
+//! Each layer reports failures through [`DiscoError`]; variants carry enough
+//! context (usually a message built at the failure site) to diagnose without
+//! a backtrace. User-facing paths (parsing queries or cost-rule text,
+//! registering wrappers, executing plans) never panic.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DiscoError>;
+
+/// All failure modes of the DISCO reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoError {
+    /// Lexing/parsing failure in the cost communication language or in the
+    /// mediator's query language. Carries a human-readable message that
+    /// includes the offending position.
+    Parse(String),
+    /// Semantic failure resolving names against the mediator catalog
+    /// (unknown wrapper, collection or attribute, duplicate registration…).
+    Catalog(String),
+    /// A plan was structurally invalid for the requested operation
+    /// (e.g. join predicate referencing a missing attribute).
+    Plan(String),
+    /// Cost estimation failed (unresolvable statistic, arithmetic on
+    /// non-numeric values, no rule found where the default scope should
+    /// have guaranteed one).
+    Cost(String),
+    /// A simulated data source failed to execute a subplan.
+    Source(String),
+    /// Runtime execution failure at the mediator.
+    Exec(String),
+    /// The operation is valid but not supported by this implementation or
+    /// by the target wrapper's capabilities.
+    Unsupported(String),
+}
+
+impl DiscoError {
+    /// Short category tag, used in logs and test assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DiscoError::Parse(_) => "parse",
+            DiscoError::Catalog(_) => "catalog",
+            DiscoError::Plan(_) => "plan",
+            DiscoError::Cost(_) => "cost",
+            DiscoError::Source(_) => "source",
+            DiscoError::Exec(_) => "exec",
+            DiscoError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The message the variant was constructed with.
+    pub fn message(&self) -> &str {
+        match self {
+            DiscoError::Parse(m)
+            | DiscoError::Catalog(m)
+            | DiscoError::Plan(m)
+            | DiscoError::Cost(m)
+            | DiscoError::Source(m)
+            | DiscoError::Exec(m)
+            | DiscoError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for DiscoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for DiscoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_messages() {
+        let e = DiscoError::Parse("unexpected ')' at 1:4".into());
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected ')' at 1:4");
+        assert_eq!(e.to_string(), "parse error: unexpected ')' at 1:4");
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            DiscoError::Parse("p".into()),
+            DiscoError::Catalog("c".into()),
+            DiscoError::Plan("pl".into()),
+            DiscoError::Cost("co".into()),
+            DiscoError::Source("s".into()),
+            DiscoError::Exec("e".into()),
+            DiscoError::Unsupported("u".into()),
+        ];
+        for v in variants {
+            assert!(v.to_string().contains(v.kind()));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared substrate types for the `disco-rs` workspace.
+//!
+//! This crate holds the vocabulary every other crate speaks:
+//!
+//! * [`Value`] — the polymorphic constant type of the paper's cost
+//!   communication language (`Constant` in Figure 4) and the cell type of
+//!   tuples flowing through the mediator;
+//! * [`DataType`] — the elementary types of the exported IDL interfaces;
+//! * [`Schema`] / [`Tuple`] — rows exchanged between wrappers and mediator;
+//! * [`DiscoError`] — the umbrella error type;
+//! * [`rng`] — deterministic random number helpers used by the simulated
+//!   data sources and workload generators.
+//!
+//! Nothing here is specific to cost modelling; it is the substrate the DISCO
+//! reproduction is built on.
+
+pub mod error;
+pub mod rng;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{DiscoError, Result};
+pub use schema::{AttributeDef, QualifiedName, Schema, WrapperId};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

@@ -1,0 +1,187 @@
+//! Schemas and names.
+//!
+//! A data source exports one or more *collections* (the paper's term for
+//! extents of interface instances); each collection has a flat attribute
+//! schema. The mediator addresses a collection by a [`QualifiedName`]
+//! (`wrapper.collection`) once wrappers are registered.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Identifier assigned by the mediator to a registered wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WrapperId(pub u32);
+
+impl fmt::Display for WrapperId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// One attribute of an exported interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Attribute name as it appears in the IDL interface.
+    pub name: String,
+    /// Elementary type of the attribute.
+    pub ty: DataType,
+}
+
+impl AttributeDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        AttributeDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Flat attribute schema of a collection or of an intermediate result.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attributes: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Build a schema from attribute definitions.
+    pub fn new(attributes: Vec<AttributeDef>) -> Self {
+        Schema { attributes }
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Attribute definition by name.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeDef> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Schema of the concatenation `self ++ other` (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut attributes = self.attributes.clone();
+        attributes.extend(other.attributes.iter().cloned());
+        Schema { attributes }
+    }
+
+    /// Schema restricted to `names`, in the order given.
+    ///
+    /// Unknown names are skipped; callers validate against the catalog
+    /// before projecting.
+    pub fn project(&self, names: &[String]) -> Schema {
+        let attributes = names
+            .iter()
+            .filter_map(|n| self.attribute(n).cloned())
+            .collect();
+        Schema { attributes }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// `wrapper.collection` address of a registered collection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QualifiedName {
+    /// Registered wrapper name (e.g. `"oo7"`).
+    pub wrapper: String,
+    /// Collection name within that wrapper (e.g. `"AtomicParts"`).
+    pub collection: String,
+}
+
+impl QualifiedName {
+    /// Convenience constructor.
+    pub fn new(wrapper: impl Into<String>, collection: impl Into<String>) -> Self {
+        QualifiedName {
+            wrapper: wrapper.into(),
+            collection: collection.into(),
+        }
+    }
+}
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.wrapper, self.collection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            AttributeDef::new("a", DataType::Long),
+            AttributeDef::new("b", DataType::Str),
+            AttributeDef::new("c", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = abc();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.attribute("c").unwrap().ty, DataType::Double);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = abc();
+        let t = Schema::new(vec![AttributeDef::new("d", DataType::Bool)]);
+        let j = s.join(&t);
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.index_of("d"), Some(3));
+    }
+
+    #[test]
+    fn project_preserves_requested_order() {
+        let s = abc();
+        let p = s.project(&["c".to_string(), "a".to_string()]);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.index_of("c"), Some(0));
+        assert_eq!(p.index_of("a"), Some(1));
+    }
+
+    #[test]
+    fn project_skips_unknown() {
+        let s = abc();
+        let p = s.project(&["nope".to_string(), "a".to_string()]);
+        assert_eq!(p.arity(), 1);
+    }
+
+    #[test]
+    fn qualified_name_display() {
+        let q = QualifiedName::new("oo7", "AtomicParts");
+        assert_eq!(q.to_string(), "oo7.AtomicParts");
+    }
+
+    #[test]
+    fn schema_display() {
+        assert_eq!(abc().to_string(), "(a: long, b: string, c: double)");
+    }
+}

@@ -1,0 +1,127 @@
+//! Row representation exchanged between sources, wrappers and the mediator.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A flat row of [`Value`]s.
+///
+/// Tuples carry no schema pointer; operators that need attribute positions
+/// resolve them once against the plan's schema and then index numerically,
+/// keeping the hot execution path allocation-free.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Cell at `idx`, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All cells.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Concatenation `self ++ other` (join output row).
+    pub fn join(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Row restricted to the cells at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        let values = indices
+            .iter()
+            .filter_map(|&i| self.values.get(i).cloned())
+            .collect();
+        Tuple { values }
+    }
+
+    /// Approximate serialized width in bytes (sum of cell widths).
+    pub fn width(&self) -> u64 {
+        self.values.iter().map(Value::width).sum()
+    }
+
+    /// Consume the tuple, yielding its cells.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Tuple {
+        Tuple::new(vec![
+            Value::Long(1),
+            Value::Str("x".into()),
+            Value::Double(2.5),
+        ])
+    }
+
+    #[test]
+    fn get_and_arity() {
+        let t = row();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::Long(1)));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn join_concatenates_cells() {
+        let t = row().join(&Tuple::new(vec![Value::Bool(true)]));
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.get(3), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = row().project(&[2, 0]);
+        assert_eq!(t.values(), &[Value::Double(2.5), Value::Long(1)]);
+    }
+
+    #[test]
+    fn width_sums_cells() {
+        assert_eq!(row().width(), 8 + 1 + 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(row().to_string(), "[1, \"x\", 2.5]");
+    }
+}

@@ -1,0 +1,147 @@
+//! The per-node cost record.
+
+use std::fmt;
+
+use disco_costlang::CostVar;
+
+/// Estimated (or measured) cost of one plan node.
+///
+/// Times are in **milliseconds** (the paper's unit); `count_object` and
+/// `total_size` describe the node's output (objects and bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeCost {
+    /// Response time to the first tuple.
+    pub time_first: f64,
+    /// Average time per subsequent tuple.
+    pub time_next: f64,
+    /// Total work to produce all tuples.
+    pub total_time: f64,
+    /// Output cardinality.
+    pub count_object: f64,
+    /// Output size in bytes.
+    pub total_size: f64,
+}
+
+impl NodeCost {
+    /// The zero cost.
+    pub const ZERO: NodeCost = NodeCost {
+        time_first: 0.0,
+        time_next: 0.0,
+        total_time: 0.0,
+        count_object: 0.0,
+        total_size: 0.0,
+    };
+
+    /// Read a variable.
+    pub fn get(&self, var: CostVar) -> f64 {
+        match var {
+            CostVar::TimeFirst => self.time_first,
+            CostVar::TimeNext => self.time_next,
+            CostVar::TotalTime => self.total_time,
+            CostVar::CountObject => self.count_object,
+            CostVar::TotalSize => self.total_size,
+        }
+    }
+
+    /// Write a variable.
+    pub fn set(&mut self, var: CostVar, value: f64) {
+        match var {
+            CostVar::TimeFirst => self.time_first = value,
+            CostVar::TimeNext => self.time_next = value,
+            CostVar::TotalTime => self.total_time = value,
+            CostVar::CountObject => self.count_object = value,
+            CostVar::TotalSize => self.total_size = value,
+        }
+    }
+}
+
+impl fmt::Display for NodeCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.1}ms (first {:.1}ms, next {:.3}ms) -> {:.0} objects / {:.0} bytes",
+            self.total_time, self.time_first, self.time_next, self.count_object, self.total_size
+        )
+    }
+}
+
+/// Partially computed cost during bottom-up evaluation: variables are
+/// filled in the order `CountObject`, `TotalSize`, `TimeFirst`,
+/// `TimeNext`, `TotalTime`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartialCost {
+    values: [Option<f64>; 5],
+}
+
+impl PartialCost {
+    fn idx(var: CostVar) -> usize {
+        match var {
+            CostVar::TimeFirst => 0,
+            CostVar::TimeNext => 1,
+            CostVar::TotalTime => 2,
+            CostVar::CountObject => 3,
+            CostVar::TotalSize => 4,
+        }
+    }
+
+    /// Already-computed value of `var`.
+    pub fn get(&self, var: CostVar) -> Option<f64> {
+        self.values[Self::idx(var)]
+    }
+
+    /// Record `var`.
+    pub fn set(&mut self, var: CostVar, value: f64) {
+        self.values[Self::idx(var)] = Some(value);
+    }
+
+    /// Finalize; every variable must have been computed.
+    pub fn finish(self) -> Option<NodeCost> {
+        Some(NodeCost {
+            time_first: self.values[0]?,
+            time_next: self.values[1]?,
+            total_time: self.values[2]?,
+            count_object: self.values[3]?,
+            total_size: self.values[4]?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut c = NodeCost::ZERO;
+        for (i, v) in CostVar::ALL.iter().enumerate() {
+            c.set(*v, i as f64 + 1.0);
+        }
+        for (i, v) in CostVar::ALL.iter().enumerate() {
+            assert_eq!(c.get(*v), i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn partial_requires_all_vars() {
+        let mut p = PartialCost::default();
+        for v in CostVar::ALL {
+            assert!(p.finish().is_none());
+            p.set(v, 1.0);
+        }
+        assert!(p.finish().is_some());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = NodeCost {
+            time_first: 120.0,
+            time_next: 0.5,
+            total_time: 500.0,
+            count_object: 700.0,
+            total_size: 39200.0,
+        };
+        let s = c.to_string();
+        assert!(s.contains("total 500.0ms"));
+        assert!(s.contains("700 objects"));
+    }
+}

@@ -1,0 +1,676 @@
+//! The cost evaluation algorithm (paper §4, Figure 11).
+//!
+//! Estimating a plan is a recursive traversal with two phases: formulas
+//! are *associated* with nodes top-down (most specific matching rule per
+//! result variable, falling back up the scope hierarchy per variable), and
+//! *evaluated* bottom-up (children before parents, `CountObject`/`TotalSize`
+//! before the time variables, minimum over equally specific rules).
+//!
+//! Two optimizations from the paper are implemented:
+//!
+//! * **required-variable cut-off** (§4.2): a child is only estimated when
+//!   some selected formula actually reads one of its cost variables —
+//!   children are forced lazily, so a constant-valued rule skips its whole
+//!   subtree;
+//! * **cost-limit abandonment** (§4.3.2): when a node's `TotalTime`
+//!   already exceeds the best plan found so far, estimation stops and the
+//!   plan is rejected.
+
+use disco_algebra::{CompareOp, LogicalPlan, SelectPredicate};
+use disco_catalog::{restriction_selectivity, Catalog, CollectionStats};
+use disco_common::{DiscoError, QualifiedName, Result, Value};
+use disco_costlang::ast::PathLeaf;
+use disco_costlang::bytecode::{AttrSpec, ChildRef, CollSpec, Instr};
+use disco_costlang::{eval_program, CostVar, EvalEnv};
+
+use crate::cost::{NodeCost, PartialCost};
+use crate::explain::{Attribution, ExplainNode};
+use crate::pattern::{match_head, BindingValue, Bindings};
+use crate::registry::{Provenance, RuleRegistry};
+use crate::rules::{RegisteredRule, RuleBody};
+use crate::yao::yao_pages;
+
+/// Evaluation order: size variables first (other formulas consume them),
+/// then times.
+const VAR_ORDER: [CostVar; 5] = [
+    CostVar::CountObject,
+    CostVar::TotalSize,
+    CostVar::TimeFirst,
+    CostVar::TimeNext,
+    CostVar::TotalTime,
+];
+
+/// Options controlling one estimation run.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateOptions {
+    /// Abandon the plan as soon as any node's `TotalTime` exceeds this
+    /// (the best-current-plan bound of §4.3.2).
+    pub cost_limit: Option<f64>,
+    /// Force the wrapper execution context instead of inferring it.
+    pub wrapper: Option<String>,
+}
+
+/// Result of an estimation run, with work counters for the overhead
+/// experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateReport {
+    pub cost: NodeCost,
+    /// Plan nodes actually visited (subtree cut-off reduces this).
+    pub nodes_visited: usize,
+    /// Rule bodies evaluated (compiled programs + native formulas).
+    pub rules_evaluated: usize,
+}
+
+/// The estimator: a rule registry plus the catalog it resolves statistics
+/// from.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    registry: &'a RuleRegistry,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Estimator<'a> {
+    /// Build an estimator over a registry and catalog.
+    pub fn new(registry: &'a RuleRegistry, catalog: &'a Catalog) -> Self {
+        Estimator { registry, catalog }
+    }
+
+    /// Estimate a plan's cost.
+    pub fn estimate(&self, plan: &LogicalPlan) -> Result<NodeCost> {
+        self.estimate_report(plan, &EstimateOptions::default())?
+            .map(|r| r.cost)
+            .ok_or_else(|| DiscoError::Cost("estimation pruned without a cost limit".into()))
+    }
+
+    /// Estimate a plan as if it executed entirely at `wrapper` (used for
+    /// pricing wrapper subplans outside a full `submit` tree).
+    pub fn estimate_in_wrapper(&self, plan: &LogicalPlan, wrapper: &str) -> Result<NodeCost> {
+        let opts = EstimateOptions {
+            wrapper: Some(wrapper.to_owned()),
+            ..Default::default()
+        };
+        self.estimate_report(plan, &opts)?
+            .map(|r| r.cost)
+            .ok_or_else(|| DiscoError::Cost("estimation pruned without a cost limit".into()))
+    }
+
+    /// Full estimation entry point. `Ok(None)` means the plan was
+    /// abandoned because it exceeded `opts.cost_limit`.
+    pub fn estimate_report(
+        &self,
+        plan: &LogicalPlan,
+        opts: &EstimateOptions,
+    ) -> Result<Option<EstimateReport>> {
+        let ctx = match &opts.wrapper {
+            Some(w) => Some(w.clone()),
+            None => infer_wrapper_context(plan),
+        };
+        let mut run = Run {
+            est: *self,
+            limit: opts.cost_limit,
+            nodes_visited: 0,
+            rules_evaluated: 0,
+            explain: false,
+        };
+        match run.node(plan, ctx.as_deref(), true) {
+            Ok((cost, _)) => Ok(Some(EstimateReport {
+                cost,
+                nodes_visited: run.nodes_visited,
+                rules_evaluated: run.rules_evaluated,
+            })),
+            Err(EstErr::Pruned) => Ok(None),
+            Err(EstErr::Fatal(e)) => Err(e),
+        }
+    }
+
+    /// Estimate with a full per-node, per-variable rule attribution — the
+    /// observable form of the scope-hierarchy blending.
+    pub fn explain(
+        &self,
+        plan: &LogicalPlan,
+        opts: &EstimateOptions,
+    ) -> Result<Option<ExplainNode>> {
+        let ctx = match &opts.wrapper {
+            Some(w) => Some(w.clone()),
+            None => infer_wrapper_context(plan),
+        };
+        let mut run = Run {
+            est: *self,
+            limit: opts.cost_limit,
+            nodes_visited: 0,
+            rules_evaluated: 0,
+            explain: true,
+        };
+        match run.node(plan, ctx.as_deref(), true) {
+            Ok((_, node)) => Ok(Some(node.expect("explain mode builds a node"))),
+            Err(EstErr::Pruned) => Ok(None),
+            Err(EstErr::Fatal(e)) => Err(e),
+        }
+    }
+}
+
+/// Infer the wrapper context of a plan with no explicit `submit` nodes:
+/// if every scanned collection belongs to one wrapper, the plan is a
+/// subplan of that wrapper; otherwise it is mediator-level.
+fn infer_wrapper_context(plan: &LogicalPlan) -> Option<String> {
+    fn has_submit(p: &LogicalPlan) -> bool {
+        matches!(p, LogicalPlan::Submit { .. }) || p.children().iter().any(|c| has_submit(c))
+    }
+    if has_submit(plan) {
+        return None;
+    }
+    let collections = plan.collections();
+    let first = collections.first()?;
+    collections
+        .iter()
+        .all(|c| c.wrapper == first.wrapper)
+        .then(|| first.wrapper.clone())
+}
+
+enum EstErr {
+    Pruned,
+    Fatal(DiscoError),
+}
+
+struct Run<'a> {
+    est: Estimator<'a>,
+    limit: Option<f64>,
+    nodes_visited: usize,
+    rules_evaluated: usize,
+    explain: bool,
+}
+
+struct Candidate<'a> {
+    rule: &'a RegisteredRule,
+    bindings: Bindings,
+}
+
+impl<'a> Run<'a> {
+    fn node(
+        &mut self,
+        plan: &LogicalPlan,
+        ctx: Option<&str>,
+        is_root: bool,
+    ) -> std::result::Result<(NodeCost, Option<ExplainNode>), EstErr> {
+        self.nodes_visited += 1;
+
+        // Context under which children execute: submit switches into the
+        // target wrapper.
+        let child_ctx: Option<String> = match plan {
+            LogicalPlan::Submit { wrapper, .. } => Some(wrapper.clone()),
+            _ => ctx.map(str::to_owned),
+        };
+
+        // Phase 1 (association): gather matching rules, most specific
+        // first (the registry keeps them sorted).
+        let candidates: Vec<Candidate<'a>> = self
+            .est
+            .registry
+            .candidates(plan.kind())
+            .filter(|r| match &r.provenance {
+                Provenance::Default => true,
+                Provenance::Local => ctx.is_none(),
+                Provenance::Wrapper(w) => ctx == Some(w.as_str()),
+            })
+            .filter_map(|r| {
+                match_head(&r.head, plan, r.declared_in.as_deref())
+                    .map(|bindings| Candidate { rule: r, bindings })
+            })
+            .collect();
+
+        let child_plans = plan.children();
+        let mut children: Vec<Option<NodeCost>> = vec![None; child_plans.len()];
+        let mut children_explain: Vec<Option<ExplainNode>> = vec![None; child_plans.len()];
+        let mut attributions: Vec<Attribution> = Vec::new();
+
+        // Phase 2 (evaluation), per variable with per-variable fallback.
+        let mut partial = PartialCost::default();
+        for var in VAR_ORDER {
+            let mut value: Option<f64> = None;
+            let mut i = 0;
+            while i < candidates.len() {
+                // One specificity class: equal (scope, specificity).
+                let key = (candidates[i].rule.scope, candidates[i].rule.specificity);
+                let mut j = i;
+                let mut class_values: Vec<f64> = Vec::new();
+                let mut class_rules: Vec<String> = Vec::new();
+                while j < candidates.len()
+                    && (candidates[j].rule.scope, candidates[j].rule.specificity) == key
+                {
+                    let cand = &candidates[j];
+                    if cand.rule.provides_var(var) {
+                        if let Some(v) = self.eval_candidate(
+                            cand,
+                            var,
+                            plan,
+                            &child_plans,
+                            &mut children,
+                            &mut children_explain,
+                            child_ctx.as_deref(),
+                            ctx,
+                            &partial,
+                        )? {
+                            class_values.push(v);
+                            if self.explain {
+                                class_rules.push(describe_rule(cand.rule));
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if !class_values.is_empty() {
+                    // "All formulas are invoked and the lowest value is
+                    // assigned to the variable" (§4.2 step 3).
+                    value = class_values.iter().copied().reduce(f64::min);
+                    if self.explain {
+                        attributions.push(Attribution {
+                            var,
+                            scope: key.0,
+                            specificity: key.1,
+                            rules: class_rules,
+                            value: value.expect("non-empty class"),
+                        });
+                    }
+                    break;
+                }
+                i = j;
+            }
+            let Some(v) = value else {
+                return Err(EstErr::Fatal(DiscoError::Cost(format!(
+                    "no applicable formula computes {var} for operator `{}`",
+                    plan.kind()
+                ))));
+            };
+            partial.set(var, v);
+        }
+        let cost = partial.finish().expect("all variables computed");
+        let explain_node = self.explain.then(|| ExplainNode {
+            operator: describe_node(plan),
+            cost,
+            attributions,
+            children: children_explain.into_iter().flatten().collect(),
+        });
+
+        // Branch-and-bound abandonment (§4.3.2). Checked only where cost
+        // accumulates monotonically — mediator-level nodes and the plan
+        // root. Inside wrapper subtrees an index-access formula may price
+        // a selection *below* its child scan, so a child-level check
+        // could wrongly abandon a cheap plan.
+        if let Some(limit) = self.limit {
+            if (is_root || ctx.is_none()) && cost.total_time > limit {
+                return Err(EstErr::Pruned);
+            }
+        }
+        Ok((cost, explain_node))
+    }
+
+    /// Evaluate one candidate rule for one variable. `Ok(None)` = formula
+    /// inapplicable (evaluation failed) — the caller falls back.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_candidate(
+        &mut self,
+        cand: &Candidate<'a>,
+        var: CostVar,
+        plan: &LogicalPlan,
+        child_plans: &[&LogicalPlan],
+        children: &mut Vec<Option<NodeCost>>,
+        children_explain: &mut [Option<ExplainNode>],
+        child_ctx: Option<&str>,
+        ctx: Option<&str>,
+        partial: &PartialCost,
+    ) -> std::result::Result<Option<f64>, EstErr> {
+        // Force exactly the children this rule needs (§4.2 optimization:
+        // "if no variables required from a child node, the recursive call
+        // to the child is cut").
+        let needed = match &cand.rule.body {
+            RuleBody::Native(_) => (0..child_plans.len()).collect::<Vec<_>>(),
+            RuleBody::Compiled(body) => children_needed(body, &cand.bindings, plan),
+        };
+        for &i in &needed {
+            if children[i].is_none() {
+                let (c, e) = self.node(child_plans[i], child_ctx, false)?;
+                children[i] = Some(c);
+                children_explain[i] = e;
+            }
+        }
+        self.rules_evaluated += 1;
+
+        let rule_wrapper = match &cand.rule.provenance {
+            Provenance::Wrapper(w) => Some(w.as_str()),
+            _ => ctx,
+        };
+        match &cand.rule.body {
+            RuleBody::Native(native) => {
+                let forced: Vec<NodeCost> = children
+                    .iter()
+                    .map(|c| c.unwrap_or(NodeCost::ZERO))
+                    .collect();
+                let nctx = NativeCtx {
+                    node: plan,
+                    children: &forced,
+                    catalog: self.est.catalog,
+                    registry: self.est.registry,
+                    wrapper: ctx,
+                    partial,
+                };
+                Ok(native.eval(var, &nctx))
+            }
+            RuleBody::Compiled(body) => {
+                let env = RuleEnv {
+                    bindings: &cand.bindings,
+                    node: plan,
+                    children,
+                    catalog: self.est.catalog,
+                    registry: self.est.registry,
+                    ctx,
+                    rule_wrapper,
+                    partial,
+                };
+                match eval_program(&body.program, &env) {
+                    Ok(locals) => {
+                        let slot = body.output_slot(var).expect("provides_var checked");
+                        Ok(locals[slot as usize].as_f64())
+                    }
+                    Err(_) => Ok(None),
+                }
+            }
+        }
+    }
+}
+
+/// Human-readable node description (first line of the plan display).
+fn describe_node(plan: &LogicalPlan) -> String {
+    disco_algebra::display::explain_logical(plan)
+        .lines()
+        .next()
+        .unwrap_or("?")
+        .to_owned()
+}
+
+/// Rule description: provenance, scope and printed head.
+fn describe_rule(rule: &RegisteredRule) -> String {
+    let who = match &rule.provenance {
+        Provenance::Default => "default".to_owned(),
+        Provenance::Local => "local".to_owned(),
+        Provenance::Wrapper(w) => format!("wrapper {w}"),
+    };
+    format!("{who}: {}", disco_costlang::print_head(&rule.head))
+}
+
+/// Child indexes whose *cost variables* a compiled body reads.
+fn children_needed(
+    body: &disco_costlang::CompiledBody,
+    bindings: &Bindings,
+    plan: &LogicalPlan,
+) -> Vec<usize> {
+    let mut needed = Vec::new();
+    let mut push = |i: usize| {
+        if !needed.contains(&i) {
+            needed.push(i);
+        }
+    };
+    for instr in &body.program.instrs {
+        let Instr::LoadPath(p) = instr else { continue };
+        let path = &body.program.paths[*p as usize];
+        if !matches!(path.leaf, PathLeaf::Cost(_)) {
+            continue;
+        }
+        match &path.coll {
+            CollSpec::Child(c) => push(child_slot(*c)),
+            CollSpec::Binding(name) => {
+                if let Some(BindingValue::Coll { child: Some(c), .. }) = bindings.get(name) {
+                    push(child_slot(*c));
+                }
+            }
+            CollSpec::Named(n) => {
+                if let Some(i) = plan
+                    .children()
+                    .iter()
+                    .position(|c| c.base_collection().is_some_and(|q| q.collection == *n))
+                {
+                    push(i);
+                }
+            }
+        }
+    }
+    needed
+}
+
+fn child_slot(c: ChildRef) -> usize {
+    match c {
+        ChildRef::Input | ChildRef::Left => 0,
+        ChildRef::Right => 1,
+    }
+}
+
+/// Context handed to native formulas (the generic model).
+pub struct NativeCtx<'a> {
+    /// The node being estimated.
+    pub node: &'a LogicalPlan,
+    /// Costs of all children (forced before native evaluation).
+    pub children: &'a [NodeCost],
+    /// The mediator catalog.
+    pub catalog: &'a Catalog,
+    /// The rule registry (parameter lookup).
+    pub registry: &'a RuleRegistry,
+    /// Wrapper execution context of the node, if any.
+    pub wrapper: Option<&'a str>,
+    /// Variables of this node already computed.
+    pub partial: &'a PartialCost,
+}
+
+impl NativeCtx<'_> {
+    /// Parameter lookup: context wrapper's parameters shadow the mediator
+    /// defaults — a wrapper exporting just `let IO = 12;` thereby
+    /// re-calibrates the generic model for its own operations.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        if let Some(w) = self.wrapper {
+            if let Some(p) = self.registry.wrapper_params(w) {
+                if let Some(v) = p.get_f64(name) {
+                    return Some(v);
+                }
+            }
+        }
+        self.registry.params().get_f64(name)
+    }
+
+    /// Parameter with a hard default of 0 — for optional additive terms.
+    pub fn param_or(&self, name: &str, default: f64) -> f64 {
+        self.param(name).unwrap_or(default)
+    }
+
+    /// Page size in effect.
+    pub fn page_size(&self) -> f64 {
+        self.param("PageSize")
+            .unwrap_or(crate::params::DEFAULT_PAGE_SIZE)
+    }
+
+    /// Statistics of a collection.
+    pub fn stats(&self, name: &QualifiedName) -> Option<&CollectionStats> {
+        self.catalog.stats(name).ok()
+    }
+
+    /// Statistics of the base collection a subtree derives from.
+    pub fn base_stats(&self, plan: &LogicalPlan) -> Option<&CollectionStats> {
+        plan.base_collection().and_then(|q| self.stats(q))
+    }
+
+    /// Cost of child `i`.
+    pub fn child(&self, i: usize) -> NodeCost {
+        self.children.get(i).copied().unwrap_or(NodeCost::ZERO)
+    }
+}
+
+/// `EvalEnv` implementation backing compiled wrapper rules.
+struct RuleEnv<'a> {
+    bindings: &'a Bindings,
+    node: &'a LogicalPlan,
+    children: &'a [Option<NodeCost>],
+    catalog: &'a Catalog,
+    registry: &'a RuleRegistry,
+    /// Wrapper execution context of the node.
+    ctx: Option<&'a str>,
+    /// Wrapper whose parameter namespace the rule sees.
+    rule_wrapper: Option<&'a str>,
+    partial: &'a PartialCost,
+}
+
+impl RuleEnv<'_> {
+    fn page_size(&self) -> u64 {
+        self.param_lookup("PageSize")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(crate::params::DEFAULT_PAGE_SIZE) as u64
+    }
+
+    fn param_lookup(&self, name: &str) -> Option<Value> {
+        if let Some(w) = self.rule_wrapper {
+            if let Some(p) = self.registry.wrapper_params(w) {
+                if let Some(v) = p.get(name) {
+                    return Some(v.clone());
+                }
+            }
+        }
+        self.registry.params().get(name).cloned()
+    }
+
+    /// Resolve a collection spec to (child index, collection name).
+    fn resolve_coll(&self, spec: &CollSpec) -> (Option<usize>, Option<QualifiedName>) {
+        match spec {
+            CollSpec::Child(c) => {
+                let i = child_slot(*c);
+                let coll = self
+                    .node
+                    .children()
+                    .get(i)
+                    .and_then(|p| p.base_collection())
+                    .cloned();
+                (Some(i), coll)
+            }
+            CollSpec::Binding(name) => match self.bindings.get(name) {
+                Some(BindingValue::Coll { child, collection }) => {
+                    (child.map(child_slot), collection.clone())
+                }
+                _ => (None, None),
+            },
+            CollSpec::Named(n) => {
+                let coll = self.lookup_named(n);
+                let child = self
+                    .node
+                    .children()
+                    .iter()
+                    .position(|c| c.base_collection().is_some_and(|q| q.collection == *n));
+                (child, coll)
+            }
+        }
+    }
+
+    fn lookup_named(&self, name: &str) -> Option<QualifiedName> {
+        if let Some(w) = self.ctx {
+            let q = QualifiedName::new(w, name);
+            if self.catalog.collection(&q).is_ok() {
+                return Some(q);
+            }
+        }
+        self.catalog.resolve(name).ok()
+    }
+
+    fn stats_for_selectivity(&self) -> Option<&CollectionStats> {
+        let coll = match self.bindings.primary_coll() {
+            Some(BindingValue::Coll {
+                collection: Some(q),
+                ..
+            }) => Some(q.clone()),
+            _ => self.node.base_collection().cloned(),
+        }?;
+        self.catalog.stats(&coll).ok()
+    }
+}
+
+impl EvalEnv for RuleEnv<'_> {
+    fn path(&self, coll: &CollSpec, attr: Option<&AttrSpec>, leaf: PathLeaf) -> Option<Value> {
+        let (child, collection) = self.resolve_coll(coll);
+        match leaf {
+            PathLeaf::Cost(var) => {
+                if let Some(i) = child {
+                    if let Some(Some(c)) = self.children.get(i) {
+                        return Some(Value::Double(c.get(var)));
+                    }
+                }
+                // A collection term with no child (scan leaf, or a named
+                // collection) still exposes its size statistics.
+                let q = collection?;
+                let stats = self.catalog.stats(&q).ok()?;
+                match var {
+                    CostVar::CountObject => Some(Value::Long(stats.extent.count_object as i64)),
+                    CostVar::TotalSize => Some(Value::Long(stats.extent.total_size as i64)),
+                    _ => None,
+                }
+            }
+            PathLeaf::Stat(stat) => {
+                let q = collection?;
+                let stats = self.catalog.stats(&q).ok()?;
+                let attr_name: Option<String> = match attr {
+                    None => None,
+                    Some(AttrSpec::Named(a)) => Some(a.clone()),
+                    Some(AttrSpec::Binding(v)) => match self.bindings.get(v) {
+                        Some(BindingValue::Attr(a)) => Some(a.clone()),
+                        _ => return None,
+                    },
+                };
+                let v = stats.stat(stat, attr_name.as_deref(), self.page_size());
+                (!v.is_null()).then_some(v)
+            }
+        }
+    }
+
+    fn binding(&self, name: &str) -> Option<Value> {
+        match self.bindings.get(name)? {
+            BindingValue::Attr(a) => Some(Value::Str(a.clone())),
+            BindingValue::Value(v) => Some(v.clone()),
+            BindingValue::Pred(p) => Some(Value::Str(p.clone())),
+            BindingValue::Coll { collection, .. } => collection
+                .as_ref()
+                .map(|q| Value::Str(q.collection.clone())),
+        }
+    }
+
+    fn param(&self, name: &str) -> Option<Value> {
+        self.param_lookup(name)
+    }
+
+    fn self_var(&self, var: CostVar) -> Option<f64> {
+        self.partial.get(var)
+    }
+
+    fn call(&self, func: &str, args: &[Value]) -> Option<Value> {
+        match func {
+            // The Figure 8 ad-hoc selectivity function, backed by the
+            // catalog (histograms when available).
+            "selectivity" => {
+                let [attr, value] = args else { return None };
+                let attr = attr.as_str()?;
+                let stats = self.stats_for_selectivity()?;
+                let op = match &self.bindings.matched_pred {
+                    Some(p) if p.attribute == attr => p.op,
+                    _ => CompareOp::Eq,
+                };
+                let pred = SelectPredicate::new(attr, op, value.clone());
+                Some(Value::Double(restriction_selectivity(stats, &pred)))
+            }
+            // Yao's formula as a convenience: yao(k, pages).
+            "yao" => {
+                let [k, m] = args else { return None };
+                let (k, m) = (k.as_f64()?, m.as_f64()?);
+                if k < 0.0 || m < 0.0 {
+                    return None;
+                }
+                Some(Value::Double(yao_pages(
+                    u64::MAX,
+                    m.round() as u64,
+                    k.round() as u64,
+                )))
+            }
+            _ => None,
+        }
+    }
+}

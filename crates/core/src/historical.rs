@@ -1,0 +1,377 @@
+//! Historical costs and parameter adjustment (paper §4.3.1).
+//!
+//! Two complementary mechanisms:
+//!
+//! * [`HistoryRecorder`] — after a subquery executes, record its *real*
+//!   cost as a query-scope rule matching that exact subquery ("a new
+//!   formula is added after a subquery has been executed and the
+//!   associated formula are now real costs, not estimates"). This is the
+//!   HERMES-style cache integrated at the bottom of the scope hierarchy.
+//! * [`ParamAdjuster`] — "one solution takes existing formulas and adjusts
+//!   the input parameters until the formula returns a cost close to real
+//!   execution the cost. Thus, we store only the adjusted parameters
+//!   instead of new formulas." [`fit_param`] solves for the parameter
+//!   value; [`ParamAdjuster`] smooths repeated observations.
+
+use disco_algebra::{LogicalPlan, OperatorKind};
+use disco_common::{DiscoError, Result, Value};
+use disco_costlang::ast::{AttrTerm, CollTerm, HeadArg, PredRhs, RuleHead, Stmt};
+use disco_costlang::{compile_body, CostVar, Expr};
+
+use crate::cost::NodeCost;
+use crate::registry::{Provenance, RuleRegistry};
+
+/// Records executed subqueries as query-scope rules.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    recorded: usize,
+}
+
+impl HistoryRecorder {
+    /// New, empty recorder.
+    pub fn new() -> Self {
+        HistoryRecorder::default()
+    }
+
+    /// Number of rules recorded so far.
+    pub fn recorded(&self) -> usize {
+        self.recorded
+    }
+
+    /// Record the measured cost of an executed wrapper subquery.
+    ///
+    /// The subquery's root operator is converted to a fully bound head
+    /// (constants included → query scope) and a constant-formula body
+    /// holding the real costs. Supported shapes are the ones wrappers
+    /// execute: `scan(C)`, `select(C, a op v)` (single conjunct) and
+    /// `join(C1, C2, a = b)`; other shapes are rejected — exactly the
+    /// limitation the paper notes ("new formulas are restricted to one
+    /// specific subquery").
+    pub fn record(
+        &mut self,
+        registry: &mut RuleRegistry,
+        wrapper: &str,
+        plan: &LogicalPlan,
+        measured: NodeCost,
+    ) -> Result<usize> {
+        let head = exact_head(plan)?;
+        let body = constant_body(measured)?;
+        let rule = disco_costlang::CompiledRule {
+            head,
+            body,
+            declared_in: None,
+        };
+        let id = registry.register_compiled(Provenance::Wrapper(wrapper.to_owned()), rule)?;
+        self.recorded += 1;
+        Ok(id)
+    }
+}
+
+/// Build a fully bound head matching exactly this subquery shape.
+fn exact_head(plan: &LogicalPlan) -> Result<RuleHead> {
+    match plan {
+        LogicalPlan::Scan { collection, .. } => Ok(RuleHead {
+            op: OperatorKind::Scan,
+            args: vec![HeadArg::Coll(CollTerm::Named(
+                collection.collection.clone(),
+            ))],
+        }),
+        LogicalPlan::Select { input, predicate } => {
+            let coll = input.base_collection().ok_or_else(|| {
+                DiscoError::Unsupported("cannot record selection without a base collection".into())
+            })?;
+            let [c] = predicate.conjuncts.as_slice() else {
+                return Err(DiscoError::Unsupported(
+                    "historical rules cover single-conjunct selections only".into(),
+                ));
+            };
+            Ok(RuleHead {
+                op: OperatorKind::Select,
+                args: vec![
+                    HeadArg::Coll(CollTerm::Named(coll.collection.clone())),
+                    HeadArg::Pred {
+                        left: AttrTerm::Named(c.attribute.clone()),
+                        op: c.op,
+                        right: PredRhs::Const(c.value.clone()),
+                    },
+                ],
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            let (lc, rc) = match (left.base_collection(), right.base_collection()) {
+                (Some(l), Some(r)) => (l, r),
+                _ => {
+                    return Err(DiscoError::Unsupported(
+                        "cannot record join without base collections".into(),
+                    ))
+                }
+            };
+            Ok(RuleHead {
+                op: OperatorKind::Join,
+                args: vec![
+                    HeadArg::Coll(CollTerm::Named(lc.collection.clone())),
+                    HeadArg::Coll(CollTerm::Named(rc.collection.clone())),
+                    HeadArg::Pred {
+                        left: AttrTerm::Named(predicate.left_attr.clone()),
+                        op: predicate.op,
+                        right: PredRhs::Ident(predicate.right_attr.clone()),
+                    },
+                ],
+            })
+        }
+        // Submit wrappers and final projections are cost-transparent for
+        // recording purposes: the head matches the operator that did the
+        // work.
+        LogicalPlan::Submit { input, .. } | LogicalPlan::Project { input, .. } => exact_head(input),
+        other => Err(DiscoError::Unsupported(format!(
+            "historical recording does not support `{}` roots",
+            other.kind()
+        ))),
+    }
+}
+
+/// A body assigning the measured constants to every variable.
+fn constant_body(measured: NodeCost) -> Result<disco_costlang::CompiledBody> {
+    let stmts: Vec<Stmt> = CostVar::ALL
+        .iter()
+        .map(|v| Stmt::Assign {
+            var: *v,
+            expr: Expr::Num(measured.get(*v)),
+        })
+        .collect();
+    compile_body(&stmts, &Default::default())
+}
+
+/// Fit a parameter value so that `estimate_fn(param) ≈ observed`.
+///
+/// `estimate_fn` re-runs the existing cost formula with a trial parameter
+/// value; the solver assumes the estimate is monotone in the parameter
+/// (true for the linear coefficients of the calibration model) and
+/// bisects on `[lo, hi]`.
+pub fn fit_param(estimate_fn: impl Fn(f64) -> f64, observed: f64, lo: f64, hi: f64) -> Option<f64> {
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return None;
+    }
+    let (flo, fhi) = (estimate_fn(lo), estimate_fn(hi));
+    let increasing = fhi >= flo;
+    // Observed outside the bracket: clamp to the nearest bound.
+    if increasing && observed <= flo || !increasing && observed >= flo {
+        return Some(lo);
+    }
+    if increasing && observed >= fhi || !increasing && observed <= fhi {
+        return Some(hi);
+    }
+    let (mut a, mut b) = (lo, hi);
+    for _ in 0..64 {
+        let mid = 0.5 * (a + b);
+        let fm = estimate_fn(mid);
+        let go_right = if increasing {
+            fm < observed
+        } else {
+            fm > observed
+        };
+        if go_right {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+/// Smooths repeated (estimated, observed) pairs into a multiplicative
+/// correction, and can push a fitted value into a wrapper parameter.
+#[derive(Debug, Clone)]
+pub struct ParamAdjuster {
+    /// EWMA smoothing weight for new observations.
+    pub alpha: f64,
+    factor: f64,
+    observations: usize,
+}
+
+impl Default for ParamAdjuster {
+    fn default() -> Self {
+        ParamAdjuster {
+            alpha: 0.3,
+            factor: 1.0,
+            observations: 0,
+        }
+    }
+}
+
+impl ParamAdjuster {
+    /// New adjuster with the default smoothing.
+    pub fn new() -> Self {
+        ParamAdjuster::default()
+    }
+
+    /// Feed one (estimated, observed) total-time pair.
+    pub fn observe(&mut self, estimated: f64, observed: f64) {
+        if estimated <= 0.0 || observed <= 0.0 {
+            return;
+        }
+        let ratio = observed / estimated;
+        self.factor = if self.observations == 0 {
+            ratio
+        } else {
+            (1.0 - self.alpha) * self.factor + self.alpha * ratio
+        };
+        self.observations += 1;
+    }
+
+    /// Current multiplicative correction (`observed / estimated`, smoothed).
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Number of observations folded in.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Apply the correction to an estimate.
+    pub fn adjusted(&self, estimate: f64) -> f64 {
+        estimate * self.factor
+    }
+
+    /// Store a fitted parameter value in a wrapper's parameter table, so
+    /// every formula reading it is "simultaneously adjusted" (§4.3.1).
+    pub fn store_param(registry: &mut RuleRegistry, wrapper: &str, param: &str, value: f64) {
+        registry
+            .wrapper_params_mut(wrapper)
+            .set(param, Value::Double(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::{CompareOp, PlanBuilder};
+    use disco_common::{AttributeDef, DataType, QualifiedName, Schema};
+
+    fn emp() -> PlanBuilder {
+        PlanBuilder::scan(
+            QualifiedName::new("hr", "Employee"),
+            Schema::new(vec![AttributeDef::new("salary", DataType::Long)]),
+        )
+    }
+
+    fn measured() -> NodeCost {
+        NodeCost {
+            time_first: 10.0,
+            time_next: 1.0,
+            total_time: 1234.0,
+            count_object: 50.0,
+            total_size: 5000.0,
+        }
+    }
+
+    #[test]
+    fn record_select_creates_query_scope_rule() {
+        let mut reg = RuleRegistry::empty();
+        let mut rec = HistoryRecorder::new();
+        let plan = emp().select("salary", CompareOp::Eq, 77i64).build();
+        let id = rec.record(&mut reg, "hr", &plan, measured()).unwrap();
+        let rule = reg.rule(id).unwrap();
+        assert_eq!(rule.scope, crate::scope::Scope::Query);
+        assert_eq!(rec.recorded(), 1);
+        // The recorded rule matches the same plan…
+        assert!(crate::pattern::match_head(&rule.head, &plan, None).is_some());
+        // …but not a perturbed one.
+        let other = emp().select("salary", CompareOp::Eq, 78i64).build();
+        assert!(crate::pattern::match_head(&rule.head, &other, None).is_none());
+    }
+
+    #[test]
+    fn record_scan_and_join() {
+        let mut reg = RuleRegistry::empty();
+        let mut rec = HistoryRecorder::new();
+        rec.record(&mut reg, "hr", &emp().build(), measured())
+            .unwrap();
+        let join = emp().join(emp(), "salary", "salary").build();
+        rec.record(&mut reg, "hr", &join, measured()).unwrap();
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn unsupported_shapes_rejected() {
+        let mut reg = RuleRegistry::empty();
+        let mut rec = HistoryRecorder::new();
+        let multi = emp()
+            .select_pred(disco_algebra::Predicate::all(vec![
+                disco_algebra::SelectPredicate::new("salary", CompareOp::Gt, 1i64.into()),
+                disco_algebra::SelectPredicate::new("salary", CompareOp::Lt, 9i64.into()),
+            ]))
+            .build();
+        assert!(rec.record(&mut reg, "hr", &multi, measured()).is_err());
+        let sort = emp().sort_asc(&["salary"]).build();
+        assert!(rec.record(&mut reg, "hr", &sort, measured()).is_err());
+    }
+
+    #[test]
+    fn submit_unwraps_to_payload() {
+        let mut reg = RuleRegistry::empty();
+        let mut rec = HistoryRecorder::new();
+        let plan = emp()
+            .select("salary", CompareOp::Eq, 1i64)
+            .submit("hr")
+            .build();
+        let id = rec.record(&mut reg, "hr", &plan, measured()).unwrap();
+        assert_eq!(reg.rule(id).unwrap().head.op, OperatorKind::Select);
+    }
+
+    #[test]
+    fn fit_param_recovers_linear_coefficient() {
+        // estimate(p) = 1000 * p + 500; observed with true p = 25.
+        let f = |p: f64| 1000.0 * p + 500.0;
+        let p = fit_param(f, f(25.0), 0.0, 1000.0).unwrap();
+        assert!((p - 25.0).abs() < 1e-6, "p={p}");
+    }
+
+    #[test]
+    fn fit_param_clamps_out_of_range() {
+        let f = |p: f64| p;
+        assert_eq!(fit_param(f, -5.0, 0.0, 10.0), Some(0.0));
+        assert_eq!(fit_param(f, 50.0, 0.0, 10.0), Some(10.0));
+        assert_eq!(fit_param(f, 5.0, 10.0, 0.0), None);
+    }
+
+    #[test]
+    fn fit_param_handles_decreasing() {
+        let f = |p: f64| 100.0 - p;
+        let p = fit_param(f, 40.0, 0.0, 100.0).unwrap();
+        assert!((p - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adjuster_converges_to_ratio() {
+        let mut a = ParamAdjuster::new();
+        for _ in 0..50 {
+            a.observe(100.0, 250.0);
+        }
+        assert!((a.factor() - 2.5).abs() < 1e-6);
+        assert!((a.adjusted(40.0) - 100.0).abs() < 1e-6);
+        assert_eq!(a.observations(), 50);
+    }
+
+    #[test]
+    fn adjuster_ignores_degenerate_pairs() {
+        let mut a = ParamAdjuster::new();
+        a.observe(0.0, 10.0);
+        a.observe(10.0, 0.0);
+        assert_eq!(a.factor(), 1.0);
+        assert_eq!(a.observations(), 0);
+    }
+
+    #[test]
+    fn store_param_lands_in_wrapper_namespace() {
+        let mut reg = RuleRegistry::empty();
+        ParamAdjuster::store_param(&mut reg, "hr", "IO", 42.0);
+        assert_eq!(reg.wrapper_params("hr").unwrap().get_f64("IO"), Some(42.0));
+    }
+}

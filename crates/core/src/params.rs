@@ -1,0 +1,125 @@
+//! Calibration parameters.
+//!
+//! The generic cost model's coefficients — what the calibration approach
+//! of \[DKS92\]/\[GST96\] estimates per class of system. Wrapper registration
+//! documents may override or extend them with `let` definitions; the
+//! estimator looks parameters up wrapper-first, then in these mediator
+//! globals.
+//!
+//! Units: times in milliseconds, sizes in bytes.
+
+use disco_common::Value;
+
+/// An ordered name → value table with latest-wins semantics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Params {
+    entries: Vec<(String, Value)>,
+}
+
+/// The paper's measured ObjectStore constants (§5): 25 ms per page read,
+/// 9 ms to process/deliver one object.
+pub const DEFAULT_IO_MS: f64 = 25.0;
+/// See [`DEFAULT_IO_MS`].
+pub const DEFAULT_OUTPUT_MS: f64 = 9.0;
+/// Page size used in the OO7 experiment.
+pub const DEFAULT_PAGE_SIZE: f64 = 4096.0;
+
+impl Params {
+    /// Empty table.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// The mediator's default calibration constants.
+    ///
+    /// `IO`/`Output`/`PageSize` are the paper's §5 values; the remaining
+    /// coefficients are this implementation's calibration of its own
+    /// simulated substrate (documented in DESIGN.md).
+    pub fn mediator_defaults() -> Self {
+        let mut p = Params::new();
+        p.set("PageSize", Value::Double(DEFAULT_PAGE_SIZE));
+        p.set("IO", Value::Double(DEFAULT_IO_MS));
+        p.set("Output", Value::Double(DEFAULT_OUTPUT_MS));
+        // Query start-up overhead (the `120` of Figure 8).
+        p.set("Overhead", Value::Double(120.0));
+        // CPU per predicate evaluation / hash operation on one object.
+        p.set("CpuPred", Value::Double(0.05));
+        p.set("CpuScan", Value::Double(0.01));
+        p.set("CpuHash", Value::Double(0.02));
+        // Sort cost factor: SortFactor * n * log2(n).
+        p.set("SortFactor", Value::Double(0.02));
+        // Index probe CPU (tree descent, leaf search).
+        p.set("IdxProbe", Value::Double(2.0));
+        // Uniform communication model (§2.3 assumes uniform costs).
+        p.set("MsgLatency", Value::Double(100.0));
+        p.set("PerByte", Value::Double(0.001));
+        // Default duplicate-elimination survival ratio.
+        p.set("DedupSel", Value::Double(0.5));
+        p
+    }
+
+    /// Set (or override) a parameter.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        self.entries.push((name.into(), value));
+    }
+
+    /// Latest value for `name`.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Numeric view of a parameter.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_f64)
+    }
+
+    /// Extend with `(name, value)` pairs (e.g. a wrapper's `let` results).
+    pub fn extend_from(&mut self, pairs: &[(String, Value)]) {
+        for (n, v) in pairs {
+            self.set(n.clone(), v.clone());
+        }
+    }
+
+    /// Number of entries (including shadowed ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no parameters are defined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_wins() {
+        let mut p = Params::new();
+        p.set("IO", Value::Double(25.0));
+        p.set("IO", Value::Double(10.0));
+        assert_eq!(p.get_f64("IO"), Some(10.0));
+    }
+
+    #[test]
+    fn defaults_present() {
+        let p = Params::mediator_defaults();
+        assert_eq!(p.get_f64("IO"), Some(25.0));
+        assert_eq!(p.get_f64("Output"), Some(9.0));
+        assert_eq!(p.get_f64("PageSize"), Some(4096.0));
+        assert!(p.get_f64("Nothing").is_none());
+    }
+
+    #[test]
+    fn extend_from_pairs() {
+        let mut p = Params::mediator_defaults();
+        p.extend_from(&[("IO".into(), Value::Double(5.0))]);
+        assert_eq!(p.get_f64("IO"), Some(5.0));
+    }
+}

@@ -1,0 +1,319 @@
+//! The rule registry: the mediator's blended cost model store.
+//!
+//! "Specific cost information are imported from a wrapper to the mediator
+//! when a data source is registered. Then, during query processing, some
+//! standard cost computation functions of the mediator are overridden by
+//! the imported cost functions for the given data source."
+//!
+//! Rules are indexed by operator kind and kept sorted most-specific-first
+//! (the paper implements "our own efficient [overriding mechanism] based on
+//! kind of virtual tables"; the per-operator sorted index plays that role).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use disco_algebra::OperatorKind;
+use disco_common::{DiscoError, Result};
+use disco_costlang::ast::RuleHead;
+use disco_costlang::{CompiledDocument, CompiledRule};
+
+use crate::params::Params;
+use crate::rules::{NativeFormula, RegisteredRule, RuleBody};
+use crate::scope::{derive_scope, specificity, Scope};
+
+/// Who a rule came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// The mediator's generic model — applies everywhere.
+    Default,
+    /// The mediator's own physical operators — applies outside any wrapper.
+    Local,
+    /// A registered wrapper — applies to nodes executing at that wrapper.
+    Wrapper(String),
+}
+
+/// The rule store.
+#[derive(Debug, Clone, Default)]
+pub struct RuleRegistry {
+    rules: Vec<Option<RegisteredRule>>,
+    by_op: HashMap<OperatorKind, Vec<usize>>,
+    global_params: Params,
+    wrapper_params: HashMap<String, Params>,
+    next_seq: usize,
+}
+
+impl RuleRegistry {
+    /// An empty registry — no default model. Used by tests; real setups
+    /// want [`RuleRegistry::with_default_model`].
+    pub fn empty() -> Self {
+        RuleRegistry {
+            global_params: Params::mediator_defaults(),
+            ..Default::default()
+        }
+    }
+
+    /// Registry with the mediator's generic cost model installed
+    /// (default-scope rules for every operator and variable, §4.1: "The
+    /// default-scope … contains a rule for all variables and operators").
+    pub fn with_default_model() -> Self {
+        let mut r = RuleRegistry::empty();
+        crate::generic::install_default_model(&mut r);
+        r
+    }
+
+    /// Global (mediator) parameters.
+    pub fn params(&self) -> &Params {
+        &self.global_params
+    }
+
+    /// Mutable access to the global parameters (calibration adjustments).
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.global_params
+    }
+
+    /// Parameters a given wrapper registered.
+    pub fn wrapper_params(&self, wrapper: &str) -> Option<&Params> {
+        self.wrapper_params.get(wrapper)
+    }
+
+    /// Mutable wrapper parameters (the §4.3.1 parameter-adjustment path).
+    pub fn wrapper_params_mut(&mut self, wrapper: &str) -> &mut Params {
+        self.wrapper_params.entry(wrapper.to_owned()).or_default()
+    }
+
+    /// Install everything a compiled registration document exports:
+    /// wrapper parameters and cost rules. Statistics/schemas are the
+    /// catalog's business and are returned by the caller's compilation
+    /// step.
+    pub fn register_document(&mut self, wrapper: &str, doc: &CompiledDocument) -> Result<()> {
+        self.wrapper_params
+            .entry(wrapper.to_owned())
+            .or_default()
+            .extend_from(&doc.params);
+        for rule in &doc.rules {
+            self.register_compiled(Provenance::Wrapper(wrapper.to_owned()), rule.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Register one compiled rule. Scope and specificity derive from the
+    /// head shape (and enclosing interface); `Default`/`Local` provenance
+    /// forces the corresponding scope.
+    pub fn register_compiled(
+        &mut self,
+        provenance: Provenance,
+        rule: CompiledRule,
+    ) -> Result<usize> {
+        let scope = match &provenance {
+            Provenance::Default => Scope::Default,
+            Provenance::Local => Scope::Local,
+            Provenance::Wrapper(_) => derive_scope(&rule.head, rule.declared_in.as_deref()),
+        };
+        let spec = specificity(&rule.head, rule.declared_in.as_deref());
+        self.insert(RegisteredRule {
+            id: 0,
+            provenance,
+            scope,
+            specificity: spec,
+            seq: 0,
+            head: rule.head,
+            declared_in: rule.declared_in,
+            body: RuleBody::Compiled(rule.body),
+        })
+    }
+
+    /// Register a native rule with an explicit scope.
+    pub fn register_native(
+        &mut self,
+        provenance: Provenance,
+        scope: Scope,
+        head: RuleHead,
+        native: Arc<dyn NativeFormula>,
+    ) -> Result<usize> {
+        let spec = specificity(&head, None);
+        self.insert(RegisteredRule {
+            id: 0,
+            provenance,
+            scope,
+            specificity: spec,
+            seq: 0,
+            head,
+            declared_in: None,
+            body: RuleBody::Native(native),
+        })
+    }
+
+    fn insert(&mut self, mut rule: RegisteredRule) -> Result<usize> {
+        if rule.head.args.is_empty() {
+            return Err(DiscoError::Cost("rule head has no arguments".into()));
+        }
+        let id = self.rules.len();
+        rule.id = id;
+        rule.seq = self.next_seq;
+        self.next_seq += 1;
+        let op = rule.head.op;
+        self.rules.push(Some(rule));
+        let ids = self.by_op.entry(op).or_default();
+        ids.push(id);
+        // Keep most-specific-first order; ties by declaration order.
+        let rules = &self.rules;
+        ids.sort_by_key(|&i| rules[i].as_ref().expect("live rule").rank());
+        Ok(id)
+    }
+
+    /// Remove all rules and parameters of a wrapper (re-registration,
+    /// §2.1's administrative interface).
+    pub fn remove_wrapper(&mut self, wrapper: &str) {
+        let target = Provenance::Wrapper(wrapper.to_owned());
+        for slot in &mut self.rules {
+            if slot.as_ref().is_some_and(|r| r.provenance == target) {
+                *slot = None;
+            }
+        }
+        for ids in self.by_op.values_mut() {
+            ids.retain(|&i| self.rules[i].is_some());
+        }
+        self.wrapper_params.remove(wrapper);
+    }
+
+    /// Candidate rules for an operator kind, most specific first.
+    pub fn candidates(&self, op: OperatorKind) -> impl Iterator<Item = &RegisteredRule> {
+        self.by_op
+            .get(&op)
+            .into_iter()
+            .flatten()
+            .filter_map(|&i| self.rules[i].as_ref())
+    }
+
+    /// A rule by id (if still installed).
+    pub fn rule(&self, id: usize) -> Option<&RegisteredRule> {
+        self.rules.get(id).and_then(|r| r.as_ref())
+    }
+
+    /// Number of live rules.
+    pub fn len(&self) -> usize {
+        self.rules.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// `true` when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count of live rules per scope (diagnostics, experiments).
+    pub fn count_in_scope(&self, scope: Scope) -> usize {
+        self.rules
+            .iter()
+            .filter(|r| r.as_ref().is_some_and(|r| r.scope == scope))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_costlang::{compile_document, parse_document};
+
+    fn doc(src: &str) -> CompiledDocument {
+        compile_document(&parse_document(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn registration_sorts_by_specificity() {
+        let mut reg = RuleRegistry::empty();
+        reg.register_document(
+            "w",
+            &doc(r#"
+                rule select($C, $P) { TotalTime = 1; }
+                rule select(Employee, salary = 77) { TotalTime = 2; }
+                rule select(Employee, $P) { TotalTime = 3; }
+                rule select(Employee, salary = $V) { TotalTime = 4; }
+            "#),
+        )
+        .unwrap();
+        let scopes: Vec<Scope> = reg
+            .candidates(OperatorKind::Select)
+            .map(|r| r.scope)
+            .collect();
+        assert_eq!(
+            scopes,
+            vec![
+                Scope::Query,
+                Scope::Predicate,
+                Scope::Collection,
+                Scope::Wrapper
+            ]
+        );
+    }
+
+    #[test]
+    fn declaration_order_breaks_ties() {
+        let mut reg = RuleRegistry::empty();
+        reg.register_document(
+            "w",
+            &doc(r#"
+                rule select(Employee, $P) { TotalTime = 1; }
+                rule select(Manager, $P) { TotalTime = 2; }
+            "#),
+        )
+        .unwrap();
+        let seqs: Vec<usize> = reg
+            .candidates(OperatorKind::Select)
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn wrapper_params_installed() {
+        let mut reg = RuleRegistry::empty();
+        reg.register_document("w", &doc("let IO = 7;")).unwrap();
+        assert_eq!(reg.wrapper_params("w").unwrap().get_f64("IO"), Some(7.0));
+        assert!(reg.wrapper_params("other").is_none());
+    }
+
+    #[test]
+    fn remove_wrapper_clears_rules_and_params() {
+        let mut reg = RuleRegistry::empty();
+        reg.register_document("a", &doc("let X = 1; rule scan($C) { TotalTime = 1; }"))
+            .unwrap();
+        reg.register_document("b", &doc("rule scan($C) { TotalTime = 2; }"))
+            .unwrap();
+        assert_eq!(reg.len(), 2);
+        reg.remove_wrapper("a");
+        assert_eq!(reg.len(), 1);
+        assert!(reg.wrapper_params("a").is_none());
+        assert_eq!(reg.candidates(OperatorKind::Scan).count(), 1);
+    }
+
+    #[test]
+    fn default_model_provides_every_operator() {
+        let reg = RuleRegistry::with_default_model();
+        for op in OperatorKind::ALL {
+            let rules: Vec<_> = reg.candidates(op).collect();
+            assert!(!rules.is_empty(), "no default rule for {op}");
+            assert!(rules.iter().any(|r| r.scope == Scope::Default));
+            // The default rule must provide every variable.
+            let default = rules.iter().find(|r| r.scope == Scope::Default).unwrap();
+            for v in disco_costlang::CostVar::ALL {
+                assert!(default.provides_var(v), "{op} default lacks {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn interface_nested_rules_are_collection_scope() {
+        let mut reg = RuleRegistry::empty();
+        reg.register_document(
+            "w",
+            &doc(r#"interface Employee {
+                attribute long salary;
+                rule scan($C) { TotalTime = 1; }
+            }"#),
+        )
+        .unwrap();
+        let r = reg.candidates(OperatorKind::Scan).next().unwrap();
+        assert_eq!(r.scope, Scope::Collection);
+        assert_eq!(r.declared_in.as_deref(), Some("Employee"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Registered rules: compiled wrapper formulas and native (Rust) formulas.
+//!
+//! The mediator's generic model and local-operator costs are *native*
+//! rules — Rust implementations of the \[GST96\]-style calibration formulas,
+//! which need conditionals (index present? cheapest join algorithm?) the
+//! rule language deliberately omits. Wrapper-shipped rules are *compiled*
+//! bodies evaluated by the `disco-costlang` VM. Both kinds live in the same
+//! scope hierarchy and are selected by the same matching machinery, which
+//! is exactly the blending the paper describes.
+
+use std::fmt;
+use std::sync::Arc;
+
+use disco_costlang::ast::RuleHead;
+use disco_costlang::{CompiledBody, CostVar};
+
+use crate::estimator::NativeCtx;
+use crate::registry::Provenance;
+use crate::scope::Scope;
+
+/// A Rust-implemented cost formula set.
+pub trait NativeFormula: Send + Sync {
+    /// The result variables this formula can compute.
+    fn provides(&self) -> &[CostVar];
+
+    /// Compute one variable; `None` means "not applicable here", causing
+    /// the estimator to fall back exactly like a failed compiled formula.
+    fn eval(&self, var: CostVar, ctx: &NativeCtx<'_>) -> Option<f64>;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+/// The executable part of a registered rule.
+#[derive(Clone)]
+pub enum RuleBody {
+    /// Wrapper-shipped bytecode.
+    Compiled(CompiledBody),
+    /// Built-in Rust formula (generic model, local operators, recorded
+    /// history).
+    Native(Arc<dyn NativeFormula>),
+}
+
+impl fmt::Debug for RuleBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleBody::Compiled(b) => write!(f, "Compiled({} instrs)", b.program.instrs.len()),
+            RuleBody::Native(n) => write!(f, "Native({})", n.name()),
+        }
+    }
+}
+
+/// A rule installed in the registry.
+#[derive(Debug, Clone)]
+pub struct RegisteredRule {
+    /// Registry-assigned identifier.
+    pub id: usize,
+    /// Who shipped the rule.
+    pub provenance: Provenance,
+    /// Scope in the specialization hierarchy.
+    pub scope: Scope,
+    /// Within-scope specificity (bound parameter count).
+    pub specificity: u32,
+    /// Declaration order — the §3.3.2 tie-breaker.
+    pub seq: usize,
+    /// Operator pattern.
+    pub head: RuleHead,
+    /// Collection of the enclosing interface, for interface-nested rules.
+    pub declared_in: Option<String>,
+    /// Executable body.
+    pub body: RuleBody,
+}
+
+impl RegisteredRule {
+    /// Variables this rule can provide.
+    pub fn provides(&self) -> Vec<CostVar> {
+        match &self.body {
+            RuleBody::Compiled(b) => {
+                let mut vars: Vec<CostVar> = b.output_vars().collect();
+                vars.dedup();
+                vars
+            }
+            RuleBody::Native(n) => n.provides().to_vec(),
+        }
+    }
+
+    /// `true` if the rule can compute `var`.
+    pub fn provides_var(&self, var: CostVar) -> bool {
+        match &self.body {
+            RuleBody::Compiled(b) => b.output_vars().any(|v| v == var),
+            RuleBody::Native(n) => n.provides().contains(&var),
+        }
+    }
+
+    /// Sort key: most specific first, then declaration order.
+    pub fn rank(&self) -> (std::cmp::Reverse<(Scope, u32)>, usize) {
+        (std::cmp::Reverse((self.scope, self.specificity)), self.seq)
+    }
+}

@@ -1,0 +1,201 @@
+//! The scope specialization hierarchy (paper §4.1, Figure 10).
+//!
+//! Rules are grouped by applicability domain. From least to most specific:
+//!
+//! * **Default** — the mediator's generic model; "contains a rule for all
+//!   variables and operators", guaranteeing estimation always succeeds;
+//! * **Local** — the mediator's own physical operators (footnote 1);
+//! * **Wrapper** — operator-oriented rules of one wrapper, any collection;
+//! * **Collection** — rules for a specific collection, any predicate;
+//! * **Predicate** — specific collection *and* attribute;
+//! * **Query** — exact subqueries (constants bound): hand-written
+//!   query-specific rules or recorded historical costs (§4.3.1).
+//!
+//! Within a scope, rules with more bound parameters win (§3.3.2: "we
+//! select the most specific rule, with more bound parameters"); remaining
+//! ties go to declaration order.
+
+use disco_costlang::ast::{CollTerm, HeadArg, PredRhs, RuleHead};
+use disco_costlang::AttrTerm;
+
+/// Applicability domain of a rule. Ordered: later variants are more
+/// specific and are matched first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    Default,
+    Local,
+    Wrapper,
+    Collection,
+    Predicate,
+    Query,
+}
+
+impl Scope {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scope::Default => "default",
+            Scope::Local => "local",
+            Scope::Wrapper => "wrapper",
+            Scope::Collection => "collection",
+            Scope::Predicate => "predicate",
+            Scope::Query => "query",
+        }
+    }
+}
+
+/// Number of bound (literal) parameters in a head — the within-scope
+/// specificity refinement.
+///
+/// `select(R, P)` scores 0, `select(Employee, P)` 1,
+/// `select(Employee, salary = $V)` 2, `select(Employee, salary = 77)` 3,
+/// `join(Employee, Book, id = id)` 4 — reproducing the matching-order
+/// example of §4.1.
+pub fn specificity(head: &RuleHead, declared_in: Option<&str>) -> u32 {
+    let mut n = 0;
+    let mut coll_seen = false;
+    for arg in &head.args {
+        match arg {
+            HeadArg::Coll(CollTerm::Named(_)) => {
+                n += 1;
+                coll_seen = true;
+            }
+            HeadArg::Coll(CollTerm::Var(_)) => {}
+            HeadArg::Pred { left, right, .. } => {
+                if matches!(left, AttrTerm::Named(_)) {
+                    n += 1;
+                }
+                match right {
+                    PredRhs::Const(_) | PredRhs::Ident(_) => n += 1,
+                    PredRhs::Var(_) => {}
+                }
+            }
+            HeadArg::AnyPred(_) => {}
+            HeadArg::Attr(AttrTerm::Named(_)) => n += 1,
+            HeadArg::Attr(AttrTerm::Var(_)) => {}
+            HeadArg::AttrList(_) => n += 1,
+        }
+    }
+    // A rule declared inside an interface is implicitly bound to that
+    // collection even when its head uses a variable.
+    if declared_in.is_some() && !coll_seen {
+        n += 1;
+    }
+    n
+}
+
+/// Derive the scope of a wrapper-exported rule from its head shape.
+///
+/// The strongest bound dimension decides: a bound constant makes a
+/// query-scope rule, a bound attribute a predicate-scope rule, a bound
+/// collection (explicitly or via the enclosing interface) a
+/// collection-scope rule; otherwise the rule is wrapper-scope.
+pub fn derive_scope(head: &RuleHead, declared_in: Option<&str>) -> Scope {
+    let mut coll = declared_in.is_some();
+    let mut attr = false;
+    let mut value = false;
+    for arg in &head.args {
+        match arg {
+            HeadArg::Coll(CollTerm::Named(_)) => coll = true,
+            HeadArg::Coll(CollTerm::Var(_)) => {}
+            HeadArg::Pred { left, right, .. } => {
+                if matches!(left, AttrTerm::Named(_)) {
+                    attr = true;
+                }
+                match right {
+                    PredRhs::Const(_) => value = true,
+                    // A literal rhs in a join head is an attribute name.
+                    PredRhs::Ident(_) => attr = true,
+                    PredRhs::Var(_) => {}
+                }
+            }
+            HeadArg::Attr(AttrTerm::Named(_)) => attr = true,
+            HeadArg::AttrList(_) => attr = true,
+            HeadArg::AnyPred(_) | HeadArg::Attr(AttrTerm::Var(_)) => {}
+        }
+    }
+    if value {
+        Scope::Query
+    } else if attr {
+        Scope::Predicate
+    } else if coll {
+        Scope::Collection
+    } else {
+        Scope::Wrapper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_costlang::parse_document;
+
+    fn head(src: &str) -> RuleHead {
+        let doc = parse_document(&format!("rule {src} {{ TotalTime = 1; }}")).unwrap();
+        doc.rules[0].head.clone()
+    }
+
+    #[test]
+    fn scope_ordering_matches_figure_10() {
+        assert!(Scope::Default < Scope::Wrapper);
+        assert!(Scope::Wrapper < Scope::Collection);
+        assert!(Scope::Collection < Scope::Predicate);
+        assert!(Scope::Predicate < Scope::Query);
+        assert!(Scope::Default < Scope::Local);
+    }
+
+    #[test]
+    fn specificity_reproduces_section_4_1_example() {
+        let ranks = [
+            specificity(&head("select($R, $P)"), None),
+            specificity(&head("select(Employee, $P)"), None),
+            specificity(&head("select(Employee, salary = $A)"), None),
+            specificity(&head("select(Employee, salary = 77)"), None),
+        ];
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]), "{ranks:?}");
+
+        let joins = [
+            specificity(&head("join($R1, $R2, $P)"), None),
+            specificity(&head("join(Employee, Book, $P)"), None),
+            specificity(&head("join(Employee, Book, id = id)"), None),
+        ];
+        assert!(joins.windows(2).all(|w| w[0] < w[1]), "{joins:?}");
+    }
+
+    #[test]
+    fn scope_derivation() {
+        assert_eq!(derive_scope(&head("select($C, $P)"), None), Scope::Wrapper);
+        assert_eq!(
+            derive_scope(&head("select(Employee, $P)"), None),
+            Scope::Collection
+        );
+        assert_eq!(
+            derive_scope(&head("select(Employee, salary = $V)"), None),
+            Scope::Predicate
+        );
+        assert_eq!(
+            derive_scope(&head("select(Employee, salary = 77)"), None),
+            Scope::Query
+        );
+        assert_eq!(derive_scope(&head("scan($C)"), None), Scope::Wrapper);
+        assert_eq!(
+            derive_scope(&head("scan(Employee)"), None),
+            Scope::Collection
+        );
+        assert_eq!(
+            derive_scope(&head("join($R1, $R2, id = id)"), None),
+            Scope::Predicate
+        );
+    }
+
+    #[test]
+    fn interface_rules_are_collection_scope() {
+        assert_eq!(
+            derive_scope(&head("scan($C)"), Some("Employee")),
+            Scope::Collection
+        );
+        assert_eq!(specificity(&head("scan($C)"), Some("Employee")), 1);
+        // Explicitly named collection doesn't double count.
+        assert_eq!(specificity(&head("scan(Employee)"), Some("Employee")), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Yao's page-access formula \[Yao77\].
+//!
+//! Given `n` objects uniformly distributed over `m` pages, an index scan
+//! fetching `k` qualifying objects touches, in expectation, a number of
+//! distinct pages given by Yao's formula. The paper (§5) uses the
+//! exponential approximation `m * (1 - exp(-k/m))` in the improved cost
+//! rule of Figure 13; we provide both forms.
+
+/// Exact Yao formula: expected distinct pages touched when fetching `k`
+/// of `n` objects spread evenly over `m` pages.
+///
+/// `m * (1 - Π_{i=0}^{k-1} (n - n/m - i) / (n - i))`.
+pub fn yao_pages_exact(n: u64, m: u64, k: u64) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    if k >= n {
+        return m as f64;
+    }
+    let n = n as f64;
+    let m_f = m as f64;
+    let per_page = n / m_f;
+    let mut prod = 1.0f64;
+    for i in 0..k {
+        let i = i as f64;
+        let num = n - per_page - i;
+        let den = n - i;
+        if num <= 0.0 || den <= 0.0 {
+            prod = 0.0;
+            break;
+        }
+        prod *= num / den;
+        if prod < 1e-12 {
+            prod = 0.0;
+            break;
+        }
+    }
+    m_f * (1.0 - prod)
+}
+
+/// The paper's exponential approximation (Figure 13):
+/// `m * (1 - exp(-k / m))`.
+pub fn yao_pages(n: u64, m: u64, k: u64) -> f64 {
+    let _ = n; // the approximation only depends on k and m
+    if m == 0 || k == 0 {
+        return 0.0;
+    }
+    let m_f = m as f64;
+    m_f * (1.0 - (-(k as f64) / m_f).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(yao_pages(100, 10, 0), 0.0);
+        assert_eq!(yao_pages(100, 0, 5), 0.0);
+        assert_eq!(yao_pages_exact(100, 10, 0), 0.0);
+        assert_eq!(yao_pages_exact(0, 10, 5), 0.0);
+        assert_eq!(yao_pages_exact(100, 10, 100), 10.0);
+    }
+
+    #[test]
+    fn bounded_by_page_count_and_k() {
+        for k in [1u64, 10, 100, 1000, 70_000] {
+            let p = yao_pages_exact(70_000, 1_000, k);
+            assert!(p <= 1_000.0 + 1e-9, "k={k} p={p}");
+            assert!(p <= k as f64 + 1e-9 || k as f64 > 1_000.0, "k={k} p={p}");
+            let a = yao_pages(70_000, 1_000, k);
+            assert!(a <= 1_000.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let mut prev = 0.0;
+        for k in (0..=70_000).step_by(700) {
+            let p = yao_pages_exact(70_000, 1_000, k as u64);
+            assert!(p >= prev - 1e-9, "k={k}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn approximation_tracks_exact_within_percent() {
+        // The OO7 parameters of §5: n = 70000, m = 1000 (70 objects/page).
+        for k in [700u64, 7_000, 21_000, 49_000] {
+            let exact = yao_pages_exact(70_000, 1_000, k);
+            let approx = yao_pages(70_000, 1_000, k);
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.02, "k={k} exact={exact} approx={approx} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn single_object_touches_one_page() {
+        let p = yao_pages_exact(70_000, 1_000, 1);
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturates_near_full_selectivity() {
+        // Fetching half the objects already touches ~all pages at 70/page.
+        let p = yao_pages_exact(70_000, 1_000, 35_000);
+        assert!(p > 999.9, "p={p}");
+    }
+}

@@ -1,0 +1,384 @@
+//! End-to-end tests of the cost-blending machinery: wrapper rules
+//! overriding the generic model through the scope hierarchy, exactly as
+//! §4 describes.
+
+use disco_algebra::{CompareOp, PlanBuilder};
+use disco_catalog::{AttributeStats, Capabilities, Catalog, CollectionStats, ExtentStats};
+use disco_common::{AttributeDef, DataType, QualifiedName, Schema, Value};
+use disco_core::{EstimateOptions, Estimator, HistoryRecorder, NodeCost, RuleRegistry};
+use disco_costlang::{compile_document, parse_document};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_wrapper("hr", Capabilities::full()).unwrap();
+    let stats = CollectionStats::new(ExtentStats::of(10_000, 120))
+        .with_attribute(
+            "salary",
+            AttributeStats::indexed(100, Value::Long(1_000), Value::Long(30_000)),
+        )
+        .with_attribute(
+            "name",
+            AttributeStats::new(
+                10_000,
+                Value::Str("Adiba".into()),
+                Value::Str("Valduriez".into()),
+            ),
+        );
+    c.register_collection(
+        "hr",
+        "Employee",
+        Schema::new(vec![
+            AttributeDef::new("salary", DataType::Long),
+            AttributeDef::new("name", DataType::Str),
+        ]),
+        stats,
+    )
+    .unwrap();
+    c
+}
+
+fn registry_with(rules: &str) -> RuleRegistry {
+    let mut reg = RuleRegistry::with_default_model();
+    let doc = compile_document(&parse_document(rules).unwrap()).unwrap();
+    reg.register_document("hr", &doc).unwrap();
+    reg
+}
+
+fn employee() -> PlanBuilder {
+    PlanBuilder::scan(
+        QualifiedName::new("hr", "Employee"),
+        Schema::new(vec![
+            AttributeDef::new("salary", DataType::Long),
+            AttributeDef::new("name", DataType::Str),
+        ]),
+    )
+}
+
+fn estimate(reg: &RuleRegistry, cat: &Catalog, plan: &disco_algebra::LogicalPlan) -> NodeCost {
+    Estimator::new(reg, cat).estimate(plan).unwrap()
+}
+
+#[test]
+fn wrapper_scan_rule_overrides_generic() {
+    let cat = catalog();
+    let reg = registry_with("rule scan($C) { TotalTime = 777; }");
+    let plan = employee().build();
+    let c = estimate(&reg, &cat, &plan);
+    // TotalTime from the wrapper rule…
+    assert_eq!(c.total_time, 777.0);
+    // …but CountObject/TotalSize still from the generic model (per-variable
+    // fallback, §4.1: "the scope hierarchy is scanned until the first
+    // less-specific rule is found").
+    assert_eq!(c.count_object, 10_000.0);
+    assert_eq!(c.total_size, 1_200_000.0);
+}
+
+#[test]
+fn figure_8_scan_rule_evaluates_statistics() {
+    let cat = catalog();
+    // TotalTime = 120 + TotalSize*12 + CountObject/CountDistinct(salary).
+    let reg = registry_with(
+        "rule scan(Employee) {
+            TotalTime = 120 + Employee.TotalSize * 12
+                      + Employee.CountObject / Employee.salary.CountDistinct;
+        }",
+    );
+    let c = estimate(&reg, &cat, &employee().build());
+    let expected = 120.0 + 1_200_000.0 * 12.0 + 10_000.0 / 100.0;
+    assert_eq!(c.total_time, expected);
+}
+
+#[test]
+fn figure_8_select_rule_uses_child_results() {
+    let cat = catalog();
+    let reg = registry_with(
+        "rule select($C, $A = $V) {
+            CountObject = $C.CountObject * selectivity($A, $V);
+            TotalSize = CountObject * $C.ObjectSize;
+            TotalTime = $C.TotalTime + $C.TotalSize * 25;
+        }",
+    );
+    let plan = employee()
+        .select("salary", CompareOp::Eq, 10_000i64)
+        .build();
+    let c = estimate(&reg, &cat, &plan);
+    // selectivity(salary = v) = 1/CountDistinct = 0.01.
+    assert_eq!(c.count_object, 100.0);
+    assert_eq!(c.total_size, 100.0 * 120.0);
+    // Child = generic scan estimate.
+    let scan_cost = estimate(&reg, &cat, &employee().build());
+    assert_eq!(c.total_time, scan_cost.total_time + 1_200_000.0 * 25.0);
+}
+
+#[test]
+fn most_specific_scope_wins() {
+    let cat = catalog();
+    let reg = registry_with(
+        "rule select($C, $P) { TotalTime = 1; }
+         rule select(Employee, $P) { TotalTime = 2; }
+         rule select(Employee, salary = $V) { TotalTime = 3; }
+         rule select(Employee, salary = 777) { TotalTime = 4; }",
+    );
+    let cases = [
+        (employee().select("name", CompareOp::Eq, "x").build(), 2.0),
+        (
+            employee().select("salary", CompareOp::Eq, 5i64).build(),
+            3.0,
+        ),
+        (
+            employee().select("salary", CompareOp::Eq, 777i64).build(),
+            4.0,
+        ),
+    ];
+    for (plan, want) in cases {
+        let c = estimate(&reg, &cat, &plan);
+        assert_eq!(c.total_time, want, "{plan:?}");
+    }
+    // Wrapper-scope rule fires when the collection doesn't resolve.
+    let join = employee().join(employee(), "salary", "salary");
+    let over_join = join.select("name", CompareOp::Eq, "x").build();
+    let c = estimate(&reg, &cat, &over_join);
+    assert_eq!(c.total_time, 1.0);
+}
+
+#[test]
+fn equally_specific_rules_min_combine() {
+    let cat = catalog();
+    // Two collection-scope rules for the same node: lowest value wins
+    // (§4.2 step 3).
+    let reg = registry_with(
+        "rule select(Employee, $P) { TotalTime = 500; }
+         rule select(Employee, $P) { TotalTime = 300; }",
+    );
+    let plan = employee().select("salary", CompareOp::Eq, 5i64).build();
+    assert_eq!(estimate(&reg, &cat, &plan).total_time, 300.0);
+}
+
+#[test]
+fn failing_specific_rule_falls_back() {
+    let cat = catalog();
+    // The predicate-scope rule divides by zero at evaluation time; the
+    // collection-scope rule must take over.
+    let reg = registry_with(
+        "rule select(Employee, salary = $V) { TotalTime = 1 / 0; }
+         rule select(Employee, $P) { TotalTime = 42; }",
+    );
+    let plan = employee().select("salary", CompareOp::Eq, 5i64).build();
+    assert_eq!(estimate(&reg, &cat, &plan).total_time, 42.0);
+}
+
+#[test]
+fn historical_rule_caches_real_cost() {
+    let cat = catalog();
+    let mut reg = registry_with("rule select(Employee, salary = $V) { TotalTime = 1000; }");
+    let plan = employee().select("salary", CompareOp::Eq, 77i64).build();
+    let mut rec = HistoryRecorder::new();
+    let real = NodeCost {
+        time_first: 5.0,
+        time_next: 0.1,
+        total_time: 333.0,
+        count_object: 12.0,
+        total_size: 1440.0,
+    };
+    rec.record(&mut reg, "hr", &plan, real).unwrap();
+    // The recorded query-scope rule beats the predicate-scope rule…
+    let c = estimate(&reg, &cat, &plan);
+    assert_eq!(c.total_time, 333.0);
+    assert_eq!(c.count_object, 12.0);
+    // …and only for the identical subquery.
+    let other = employee().select("salary", CompareOp::Eq, 78i64).build();
+    assert_eq!(estimate(&reg, &cat, &other).total_time, 1000.0);
+}
+
+#[test]
+fn cost_limit_abandons_expensive_plans() {
+    let cat = catalog();
+    let reg = RuleRegistry::with_default_model();
+    let est = Estimator::new(&reg, &cat);
+    let plan = employee().build();
+    let full = est.estimate(&plan).unwrap();
+
+    let opts = EstimateOptions {
+        cost_limit: Some(full.total_time / 2.0),
+        ..Default::default()
+    };
+    assert!(est.estimate_report(&plan, &opts).unwrap().is_none());
+
+    let opts = EstimateOptions {
+        cost_limit: Some(full.total_time * 2.0),
+        ..Default::default()
+    };
+    let report = est.estimate_report(&plan, &opts).unwrap().unwrap();
+    assert_eq!(report.cost.total_time, full.total_time);
+}
+
+#[test]
+fn cost_limit_prunes_midway_through_the_tree() {
+    let cat = catalog();
+    let reg = RuleRegistry::with_default_model();
+    let est = Estimator::new(&reg, &cat);
+    // A join whose children alone exceed the limit: the run must abandon
+    // before finishing the root.
+    let plan = employee().join(employee(), "salary", "salary").build();
+    let scan = est.estimate(&employee().build()).unwrap();
+    let opts = EstimateOptions {
+        cost_limit: Some(scan.total_time * 0.9),
+        ..Default::default()
+    };
+    assert!(est.estimate_report(&plan, &opts).unwrap().is_none());
+}
+
+#[test]
+fn constant_rules_cut_child_subtrees() {
+    let cat = catalog();
+    // A constant rule for every variable at the root operator: children
+    // need not be estimated at all (§4.2: "in the best case, the root node
+    // has formulas containing only constants and consequently no recursive
+    // traversal of the tree is performed").
+    let reg = registry_with(
+        "rule select($C, $P) {
+            CountObject = 10; TotalSize = 100;
+            TimeFirst = 1; TimeNext = 1; TotalTime = 50;
+        }",
+    );
+    let est = Estimator::new(&reg, &cat);
+    let plan = employee().select("salary", CompareOp::Eq, 5i64).build();
+    let report = est
+        .estimate_report(&plan, &EstimateOptions::default())
+        .unwrap()
+        .unwrap();
+    assert_eq!(report.cost.total_time, 50.0);
+    assert_eq!(report.nodes_visited, 1, "child scan should be cut");
+
+    // Same plan under the pure generic model visits both nodes.
+    let reg2 = RuleRegistry::with_default_model();
+    let report2 = Estimator::new(&reg2, &cat)
+        .estimate_report(&plan, &EstimateOptions::default())
+        .unwrap()
+        .unwrap();
+    assert_eq!(report2.nodes_visited, 2);
+}
+
+#[test]
+fn wrapper_param_recalibrates_generic_model() {
+    let cat = catalog();
+    // The wrapper exports only a parameter override — no rules. The
+    // generic model must pick it up for this wrapper's operations.
+    let reg = registry_with("let IO = 50;");
+    let base = RuleRegistry::with_default_model();
+    let plan = employee().build();
+    let with_override = estimate(&reg, &cat, &plan);
+    let without = estimate(&base, &cat, &plan);
+    // Scan pays pages * IO; doubling IO from 25 to 50 adds pages*25.
+    let pages = (1_200_000f64 / 4096.0).ceil();
+    assert!((with_override.total_time - without.total_time - pages * 25.0).abs() < 1e-6);
+}
+
+#[test]
+fn figure_13_yao_rule_beats_calibration_shape() {
+    let cat = catalog();
+    // Figure 13, expressed in the cost language with the yao() helper.
+    let reg = registry_with(
+        "let IO = 25.0;
+         let Output = 9.0;
+         let PageSize = 4096;
+         rule select($C, salary = $V) {
+            let CountPage = $C.TotalSize / PageSize;
+            CountObject = $C.CountObject * selectivity(\"salary\", $V);
+            TotalSize = CountObject * $C.ObjectSize;
+            TimeFirst = 120 + IO;
+            TimeNext = Output;
+            TotalTime = IO * yao(CountObject, CountPage) + CountObject * Output;
+         }",
+    );
+    let plan = employee()
+        .select("salary", CompareOp::Eq, 10_000i64)
+        .build();
+    let c = estimate(&reg, &cat, &plan);
+    // k = 100 qualifying objects over 293 pages.
+    let pages = (1_200_000f64 / 4096.0).ceil();
+    let yao = pages * (1.0 - (-100.0 / pages).exp());
+    assert!((c.total_time - (25.0 * yao + 100.0 * 9.0)).abs() < 1e-6);
+    // The generic calibrated estimate charges one page per object and is
+    // higher (k*(IO+Output) + overhead vs IO*yao(k) + k*Output).
+    let generic = RuleRegistry::with_default_model();
+    let cal = estimate(&generic, &cat, &plan);
+    assert!(cal.total_time > c.total_time);
+}
+
+#[test]
+fn local_scope_prices_mediator_side_operators() {
+    let cat = catalog();
+    let reg = RuleRegistry::with_default_model();
+    // submit(select(scan)) ⊳ mediator-side join of two subanswers: the
+    // join node sits outside any wrapper and must use the local model
+    // (hash join), not the generic wrapper-side model with Output costs.
+    let sub = |v: i64| employee().select("salary", CompareOp::Le, v).submit("hr");
+    let plan = sub(2_000).join(sub(3_000), "salary", "salary").build();
+    let c = estimate(&reg, &cat, &plan);
+    assert!(c.total_time > 0.0);
+    // The mediator-level join adds only CPU over the submit costs.
+    let left = estimate(&reg, &cat, &sub(2_000).build());
+    let right = estimate(&reg, &cat, &sub(3_000).build());
+    assert!(c.total_time >= left.total_time + right.total_time);
+    let overheads = c.total_time - left.total_time - right.total_time;
+    // Hash-join CPU is far below another full index-scan.
+    assert!(
+        overheads < left.total_time,
+        "local join too expensive: {overheads}"
+    );
+}
+
+#[test]
+fn explain_shows_per_variable_attribution() {
+    use disco_costlang::CostVar;
+
+    let cat = catalog();
+    // Wrapper provides only TotalTime at predicate scope; everything else
+    // falls back to the default scope.
+    let reg = registry_with("rule select(Employee, salary = $V) { TotalTime = 77; }");
+    let est = Estimator::new(&reg, &cat);
+    let plan = employee().select("salary", CompareOp::Eq, 5i64).build();
+    let node = est
+        .explain(&plan, &EstimateOptions::default())
+        .unwrap()
+        .unwrap();
+
+    let tt = node.attribution(CostVar::TotalTime).unwrap();
+    assert_eq!(tt.scope, disco_core::Scope::Predicate);
+    assert_eq!(tt.value, 77.0);
+    assert!(tt.rules[0].contains("wrapper hr"), "{:?}", tt.rules);
+
+    let count = node.attribution(CostVar::CountObject).unwrap();
+    assert_eq!(count.scope, disco_core::Scope::Default);
+
+    // The child scan was estimated and appears in the tree.
+    assert_eq!(node.children.len(), 1);
+    assert!(node.children[0].operator.starts_with("scan"));
+
+    // Rendering mentions the blend.
+    let text = node.render();
+    assert!(text.contains("predicate scope"), "{text}");
+    assert!(text.contains("default scope"), "{text}");
+}
+
+#[test]
+fn explain_records_min_combination() {
+    let cat = catalog();
+    let reg = registry_with(
+        "rule select(Employee, $P) { TotalTime = 500; }
+         rule select(Employee, $P) { TotalTime = 300; }",
+    );
+    let est = Estimator::new(&reg, &cat);
+    let plan = employee().select("salary", CompareOp::Eq, 5i64).build();
+    let node = est
+        .explain(&plan, &EstimateOptions::default())
+        .unwrap()
+        .unwrap();
+    let tt = node
+        .attribution(disco_costlang::CostVar::TotalTime)
+        .unwrap();
+    assert_eq!(tt.rules.len(), 2);
+    assert_eq!(tt.value, 300.0);
+    assert!(node.render().contains("min of 2 rules"));
+}

@@ -1,0 +1,161 @@
+//! Property tests on estimator invariants.
+
+use proptest::prelude::*;
+
+use disco_algebra::{AggFunc, CompareOp, LogicalPlan, PlanBuilder};
+use disco_catalog::{AttributeStats, Capabilities, Catalog, CollectionStats, ExtentStats};
+use disco_common::{AttributeDef, DataType, QualifiedName, Schema, Value};
+use disco_core::{EstimateOptions, Estimator, RuleRegistry};
+
+fn catalog(count: u64, distinct: u64, indexed: bool) -> Catalog {
+    let mut c = Catalog::new();
+    c.register_wrapper("w", Capabilities::full()).unwrap();
+    let mut attr = AttributeStats::new(
+        distinct.max(1),
+        Value::Long(0),
+        Value::Long(distinct.max(1) as i64 - 1),
+    );
+    attr.indexed = indexed;
+    c.register_collection(
+        "w",
+        "T",
+        schema(),
+        CollectionStats::new(ExtentStats::of(count, 56)).with_attribute("a", attr),
+    )
+    .unwrap();
+    c
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("a", DataType::Long),
+        AttributeDef::new("b", DataType::Long),
+    ])
+}
+
+fn scan() -> PlanBuilder {
+    PlanBuilder::scan(QualifiedName::new("w", "T"), schema())
+}
+
+/// A random linear plan over the one collection.
+fn plan_strategy() -> impl Strategy<Value = LogicalPlan> {
+    let op = prop::sample::select(vec![
+        CompareOp::Eq,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+        CompareOp::Ne,
+    ]);
+    (
+        prop::collection::vec((0usize..6, op, -10i64..3_000), 0..4),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(steps, project, aggregate)| {
+            let mut b = scan();
+            for (kind, op, v) in steps {
+                b = match kind {
+                    0..=2 => b.select("a", op, v),
+                    3 => b.select("b", op, v),
+                    4 => b.sort_asc(&["a"]),
+                    _ => b.dedup(),
+                };
+            }
+            if project {
+                b = b.project_attrs(&["a"]);
+            }
+            if aggregate {
+                b = b.aggregate(&[], vec![("n", AggFunc::Count, None)]);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Estimates are always finite and non-negative, for every variable,
+    /// under arbitrary linear plans and catalog scales.
+    #[test]
+    fn estimates_are_finite_and_nonnegative(
+        plan in plan_strategy(),
+        count in 1u64..200_000,
+        distinct in 1u64..10_000,
+        indexed in any::<bool>(),
+    ) {
+        let cat = catalog(count, distinct, indexed);
+        let reg = RuleRegistry::with_default_model();
+        let est = Estimator::new(&reg, &cat);
+        let c = est.estimate(&plan).unwrap();
+        for v in disco_costlang::CostVar::ALL {
+            let x = c.get(v);
+            prop_assert!(x.is_finite(), "{v} = {x} for {plan:?}");
+            prop_assert!(x >= 0.0, "{v} = {x} for {plan:?}");
+        }
+        // Cardinality never exceeds the base collection.
+        prop_assert!(c.count_object <= count as f64 + 1e-6);
+    }
+
+    /// Wrapping a plan in `submit` adds communication cost and preserves
+    /// the answer shape.
+    #[test]
+    fn submit_adds_cost_preserves_shape(
+        plan in plan_strategy(),
+        count in 1u64..50_000,
+    ) {
+        let cat = catalog(count, (count / 7).max(1), true);
+        let reg = RuleRegistry::with_default_model();
+        let est = Estimator::new(&reg, &cat);
+        let bare = est.estimate(&plan).unwrap();
+        let submitted = LogicalPlan::Submit { wrapper: "w".into(), input: Box::new(plan) };
+        let sub = est.estimate(&submitted).unwrap();
+        prop_assert!(sub.total_time > bare.total_time);
+        prop_assert!((sub.count_object - bare.count_object).abs() < 1e-6);
+    }
+
+    /// The cost limit behaves as a threshold at the root: limits above
+    /// the true cost keep the plan, limits below abandon it.
+    #[test]
+    fn cost_limit_is_a_threshold(
+        plan in plan_strategy(),
+        count in 1u64..50_000,
+    ) {
+        let cat = catalog(count, (count / 3).max(1), false);
+        let reg = RuleRegistry::with_default_model();
+        let est = Estimator::new(&reg, &cat);
+        let full = est.estimate(&plan).unwrap();
+        let above = EstimateOptions {
+            cost_limit: Some(full.total_time * 1.01 + 1.0),
+            ..Default::default()
+        };
+        prop_assert!(est.estimate_report(&plan, &above).unwrap().is_some());
+        let below = EstimateOptions {
+            cost_limit: Some(full.total_time * 0.99 - 1.0),
+            ..Default::default()
+        };
+        prop_assert!(est.estimate_report(&plan, &below).unwrap().is_none());
+    }
+
+    /// Explain mode computes exactly the same cost as plain estimation
+    /// and attributes every variable of every node.
+    #[test]
+    fn explain_is_faithful(
+        plan in plan_strategy(),
+        count in 1u64..50_000,
+    ) {
+        let cat = catalog(count, (count / 5).max(1), true);
+        let reg = RuleRegistry::with_default_model();
+        let est = Estimator::new(&reg, &cat);
+        let plain = est.estimate(&plan).unwrap();
+        let node = est.explain(&plan, &EstimateOptions::default()).unwrap().unwrap();
+        prop_assert_eq!(node.cost, plain);
+        fn check(n: &disco_core::ExplainNode) {
+            assert_eq!(n.attributions.len(), 5, "{:?}", n.operator);
+            for c in &n.children {
+                check(c);
+            }
+        }
+        check(&node);
+    }
+}

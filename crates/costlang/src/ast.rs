@@ -1,0 +1,292 @@
+//! Abstract syntax of the cost communication language.
+
+use std::fmt;
+
+use disco_algebra::{CompareOp, OperatorKind};
+use disco_common::{DataType, Value};
+
+/// The five result variables a cost formula may compute (paper §2.3, §3).
+///
+/// `TimeFirst`/`TimeNext`/`TotalTime` are the time estimates; `CountObject`
+/// and `TotalSize` are the size rules "integrated within the cost rules".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostVar {
+    TimeFirst,
+    TimeNext,
+    TotalTime,
+    CountObject,
+    TotalSize,
+}
+
+impl CostVar {
+    /// All result variables.
+    pub const ALL: [CostVar; 5] = [
+        CostVar::TimeFirst,
+        CostVar::TimeNext,
+        CostVar::TotalTime,
+        CostVar::CountObject,
+        CostVar::TotalSize,
+    ];
+
+    /// Canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostVar::TimeFirst => "TimeFirst",
+            CostVar::TimeNext => "TimeNext",
+            CostVar::TotalTime => "TotalTime",
+            CostVar::CountObject => "CountObject",
+            CostVar::TotalSize => "TotalSize",
+        }
+    }
+
+    /// Parse the canonical spelling.
+    pub fn parse(s: &str) -> Option<CostVar> {
+        Some(match s {
+            "TimeFirst" => CostVar::TimeFirst,
+            "TimeNext" => CostVar::TimeNext,
+            "TotalTime" => CostVar::TotalTime,
+            "CountObject" => CostVar::CountObject,
+            "TotalSize" => CostVar::TotalSize,
+            _ => return None,
+        })
+    }
+
+    /// `true` for the statistics-like results (`CountObject`, `TotalSize`)
+    /// that other formulas commonly consume; the estimator computes these
+    /// before the time variables.
+    pub fn is_size(self) -> bool {
+        matches!(self, CostVar::CountObject | CostVar::TotalSize)
+    }
+}
+
+impl fmt::Display for CostVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed registration document: interfaces, wrapper-level parameter
+/// and function definitions, and wrapper-scope rules, in source order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    pub interfaces: Vec<InterfaceDef>,
+    pub lets: Vec<LetDef>,
+    /// Wrapper-defined helper functions (`let f($x) = …;`).
+    pub funcs: Vec<FuncDef>,
+    /// Wrapper-scope rules (rules outside any interface body).
+    pub rules: Vec<RuleDef>,
+}
+
+/// A wrapper-defined helper function, e.g.
+/// `let pages($bytes) = ceil($bytes / PageSize);` — the paper lets
+/// implementors "define their own local variables or functions to
+/// parameterize their formulas" (§3.3.1).
+///
+/// Functions are expanded inline at compile time; they may call earlier
+/// definitions but not themselves (no recursion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    /// Parameter names (referenced as `$name` in the body).
+    pub params: Vec<String>,
+    pub body: Expr,
+}
+
+/// One `interface Name { … }` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceDef {
+    pub name: String,
+    /// `attribute <type> <name>;` declarations, in order.
+    pub attributes: Vec<(String, DataType)>,
+    /// The `cardinality extent(...)` record, if exported.
+    pub extent: Option<CardExtent>,
+    /// The `cardinality attribute(...)` records.
+    pub attribute_cards: Vec<CardAttribute>,
+    /// Collection-scope rules declared inside the interface body.
+    pub rules: Vec<RuleDef>,
+}
+
+/// Exported extent statistics: the values the mediator obtains by calling
+/// the paper's `extent` cardinality method (Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardExtent {
+    pub count_object: u64,
+    pub total_size: u64,
+    pub object_size: u64,
+}
+
+/// Exported per-attribute statistics (`attribute` cardinality method).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardAttribute {
+    pub attribute: String,
+    pub indexed: bool,
+    pub count_distinct: u64,
+    pub min: Value,
+    pub max: Value,
+}
+
+/// A wrapper-level parameter definition, e.g. `let PageSize = 4096;`.
+///
+/// The paper lets implementors "define their own local variables or
+/// functions to parameterize their formulas".
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetDef {
+    pub name: String,
+    pub expr: Expr,
+}
+
+/// One cost rule: a head pattern and a body of formulas (Figure 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDef {
+    pub head: RuleHead,
+    pub body: Vec<Stmt>,
+}
+
+/// The operator pattern a rule applies to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleHead {
+    pub op: OperatorKind,
+    pub args: Vec<HeadArg>,
+}
+
+/// A collection term in a rule head or body path: a literal collection
+/// name or a free variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollTerm {
+    Named(String),
+    Var(String),
+}
+
+/// An attribute term: literal name or free variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrTerm {
+    Named(String),
+    Var(String),
+}
+
+/// Right-hand side of a head predicate.
+///
+/// In a `select` pattern a bare identifier or literal is the compared
+/// constant and a variable binds to it; in a `join` pattern the right-hand
+/// side names an attribute of the right input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredRhs {
+    Const(Value),
+    Ident(String),
+    Var(String),
+}
+
+/// One argument of a rule head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadArg {
+    /// A collection term (`scan($C)`, `select(employee, …)`).
+    Coll(CollTerm),
+    /// A comparison predicate (`salary = $V`, `$A1 = $A2`).
+    Pred {
+        left: AttrTerm,
+        op: CompareOp,
+        right: PredRhs,
+    },
+    /// A free predicate variable matching any predicate (`select($C, $P)`).
+    AnyPred(String),
+    /// A literal attribute list (`project($C, [a, b])`).
+    AttrList(Vec<String>),
+    /// A single attribute term (`sort($C, $A)`).
+    Attr(AttrTerm),
+}
+
+/// A statement in a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;` — rule-local intermediate value.
+    Let { name: String, expr: Expr },
+    /// `ResultVar = expr;` — output formula.
+    Assign { var: CostVar, expr: Expr },
+}
+
+/// Binary arithmetic operators of the formula grammar (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// Operator symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Base of a dotted path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathBase {
+    /// Literal identifier: a collection name, or the reserved child
+    /// references `input` / `left` / `right`.
+    Ident(String),
+    /// Head-bound variable (`$C`).
+    Var(String),
+}
+
+/// One segment after the base of a path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathSeg {
+    Ident(String),
+    Var(String),
+}
+
+/// A formula expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Str(String),
+    /// Bare identifier: rule-local, wrapper parameter, or a bare result
+    /// variable — disambiguated by the compiler.
+    Ident(String),
+    /// Head-bound variable used as a value (`$V`).
+    Var(String),
+    /// Dotted path (`Employee.TotalSize`, `$C.salary.Min`, `input.TotalTime`).
+    Path {
+        base: PathBase,
+        segs: Vec<PathSeg>,
+    },
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+}
+
+/// Leaf of a compiled path: either a catalog statistic or a cost variable
+/// of a child node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathLeaf {
+    Stat(disco_catalog::StatName),
+    Cost(CostVar),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_var_round_trip() {
+        for v in CostVar::ALL {
+            assert_eq!(CostVar::parse(v.name()), Some(v));
+        }
+        assert_eq!(CostVar::parse("totaltime"), None);
+    }
+
+    #[test]
+    fn size_partition() {
+        assert!(CostVar::CountObject.is_size());
+        assert!(CostVar::TotalSize.is_size());
+        assert!(!CostVar::TotalTime.is_size());
+        assert!(!CostVar::TimeFirst.is_size());
+    }
+}

@@ -1,0 +1,95 @@
+//! Builtin functions available in cost formulas.
+//!
+//! The paper lets formulas "invoke functions from the standard Java
+//! library"; our VM ships the numeric subset relevant to cost modelling.
+//! Anything else (notably the ad-hoc `selectivity(A, V)` of Figure 8) is
+//! dispatched to the evaluation environment.
+
+/// Builtin functions compiled to direct opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    Min,
+    Max,
+    Exp,
+    Ln,
+    Log2,
+    Log10,
+    Sqrt,
+    Pow,
+    Ceil,
+    Floor,
+    Abs,
+}
+
+impl Builtin {
+    /// Look up a builtin by its source name.
+    pub fn parse(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "exp" => Builtin::Exp,
+            "ln" => Builtin::Ln,
+            "log2" => Builtin::Log2,
+            "log10" => Builtin::Log10,
+            "sqrt" => Builtin::Sqrt,
+            "pow" => Builtin::Pow,
+            "ceil" => Builtin::Ceil,
+            "floor" => Builtin::Floor,
+            "abs" => Builtin::Abs,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Min | Builtin::Max | Builtin::Pow => 2,
+            _ => 1,
+        }
+    }
+
+    /// Apply to numeric arguments (already checked for arity).
+    pub fn apply(self, args: &[f64]) -> f64 {
+        match self {
+            Builtin::Min => args[0].min(args[1]),
+            Builtin::Max => args[0].max(args[1]),
+            Builtin::Exp => args[0].exp(),
+            Builtin::Ln => args[0].ln(),
+            Builtin::Log2 => args[0].log2(),
+            Builtin::Log10 => args[0].log10(),
+            Builtin::Sqrt => args[0].sqrt(),
+            Builtin::Pow => args[0].powf(args[1]),
+            Builtin::Ceil => args[0].ceil(),
+            Builtin::Floor => args[0].floor(),
+            Builtin::Abs => args[0].abs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_arity() {
+        assert_eq!(Builtin::parse("min"), Some(Builtin::Min));
+        assert_eq!(Builtin::parse("selectivity"), None);
+        assert_eq!(Builtin::Min.arity(), 2);
+        assert_eq!(Builtin::Exp.arity(), 1);
+    }
+
+    #[test]
+    fn numeric_semantics() {
+        assert_eq!(Builtin::Min.apply(&[3.0, 5.0]), 3.0);
+        assert_eq!(Builtin::Max.apply(&[3.0, 5.0]), 5.0);
+        assert!((Builtin::Exp.apply(&[1.0]) - std::f64::consts::E).abs() < 1e-12);
+        assert_eq!(Builtin::Ln.apply(&[1.0]), 0.0);
+        assert_eq!(Builtin::Log2.apply(&[8.0]), 3.0);
+        assert_eq!(Builtin::Pow.apply(&[2.0, 10.0]), 1024.0);
+        assert_eq!(Builtin::Ceil.apply(&[1.2]), 2.0);
+        assert_eq!(Builtin::Floor.apply(&[1.8]), 1.0);
+        assert_eq!(Builtin::Abs.apply(&[-4.5]), 4.5);
+        assert_eq!(Builtin::Sqrt.apply(&[49.0]), 7.0);
+        assert_eq!(Builtin::Log10.apply(&[100.0]), 2.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The compiled form of cost formulas.
+//!
+//! The paper ships semi-compiled cost formulas from wrapper to mediator at
+//! registration time so that evaluation during optimization is fast (§2.4,
+//! §7). [`Program`] is that shipped form: a flat stack-machine instruction
+//! sequence plus constant/name/path pools.
+
+use disco_common::Value;
+
+use crate::ast::{CostVar, PathLeaf};
+use crate::builtins::Builtin;
+
+/// How a compiled path addresses its collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollSpec {
+    /// Literal collection name (`Employee.TotalSize`).
+    Named(String),
+    /// Head-bound collection variable (`$C.…`); the environment resolves
+    /// the binding to a child node and/or base collection.
+    Binding(String),
+    /// Reserved child references: `input` (unary), `left`/`right` (binary).
+    Child(ChildRef),
+}
+
+/// Which child of the current node a path refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildRef {
+    Input,
+    Left,
+    Right,
+}
+
+impl ChildRef {
+    /// Parse the reserved identifier, if it is one.
+    pub fn parse(s: &str) -> Option<ChildRef> {
+        Some(match s {
+            "input" => ChildRef::Input,
+            "left" => ChildRef::Left,
+            "right" => ChildRef::Right,
+            _ => return None,
+        })
+    }
+}
+
+/// How a compiled path addresses its attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrSpec {
+    Named(String),
+    /// Head-bound attribute variable (`$C.$A.Min`).
+    Binding(String),
+}
+
+/// A fully resolved path reference: collection, optional attribute, leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSpec {
+    pub coll: CollSpec,
+    pub attr: Option<AttrSpec>,
+    pub leaf: PathLeaf,
+}
+
+/// One stack-machine instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push constant pool entry.
+    Const(u16),
+    /// Push local slot.
+    LoadLocal(u16),
+    /// Pop into local slot.
+    StoreLocal(u16),
+    /// Push a head binding by name-pool index (`$V`).
+    LoadBinding(u16),
+    /// Push a wrapper/mediator parameter by name-pool index.
+    LoadParam(u16),
+    /// Push the current node's already-computed result variable.
+    LoadSelfVar(CostVar),
+    /// Push the value of a path-pool entry.
+    LoadPath(u16),
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    /// Apply a builtin to the top `arity` stack values.
+    CallBuiltin(Builtin),
+    /// Call an environment function (name-pool index, arg count).
+    CallEnv(u16, u8),
+}
+
+/// A compiled formula body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub instrs: Vec<Instr>,
+    pub consts: Vec<Value>,
+    pub names: Vec<String>,
+    pub paths: Vec<PathSpec>,
+    pub n_locals: u16,
+}
+
+impl Program {
+    /// Rough shipped size in bytes — used by tests/benches to show the
+    /// "semi-compiled" form is compact.
+    pub fn encoded_len(&self) -> usize {
+        self.instrs.len() * 4
+            + self
+                .consts
+                .iter()
+                .map(|c| c.width() as usize + 1)
+                .sum::<usize>()
+            + self.names.iter().map(|n| n.len() + 1).sum::<usize>()
+            + self.paths.len() * 8
+    }
+}
+
+/// A compiled rule body: the program plus the mapping from result variable
+/// to the local slot holding its final value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledBody {
+    pub program: Program,
+    /// `(variable, slot)` pairs, in assignment order (last assignment wins
+    /// per variable).
+    pub outputs: Vec<(CostVar, u16)>,
+}
+
+impl CompiledBody {
+    /// The result variables this body computes.
+    pub fn output_vars(&self) -> impl Iterator<Item = CostVar> + '_ {
+        self.outputs.iter().map(|(v, _)| *v)
+    }
+
+    /// Slot of a given output variable.
+    pub fn output_slot(&self, var: CostVar) -> Option<u16> {
+        self.outputs
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == var)
+            .map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_ref_parsing() {
+        assert_eq!(ChildRef::parse("input"), Some(ChildRef::Input));
+        assert_eq!(ChildRef::parse("left"), Some(ChildRef::Left));
+        assert_eq!(ChildRef::parse("right"), Some(ChildRef::Right));
+        assert_eq!(ChildRef::parse("Input"), None);
+    }
+
+    #[test]
+    fn output_slot_takes_last_assignment() {
+        let body = CompiledBody {
+            program: Program::default(),
+            outputs: vec![(CostVar::TotalTime, 0), (CostVar::TotalTime, 3)],
+        };
+        assert_eq!(body.output_slot(CostVar::TotalTime), Some(3));
+        assert_eq!(body.output_slot(CostVar::TimeNext), None);
+    }
+}

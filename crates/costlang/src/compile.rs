@@ -1,0 +1,829 @@
+//! Compiler from cost-rule ASTs to stack bytecode.
+//!
+//! "In compiling a rule, the head of each rule is converted into an
+//! internal structure that represents the operator pattern … The rule body
+//! is converted into object code. This compilation speeds up both the
+//! subsequent matching between query tree operators and rule heads and the
+//! evaluation for cost formula." (§4.1)
+
+use std::collections::HashMap;
+
+use disco_catalog::{AttributeStats, CollectionStats, ExtentStats, StatName};
+use disco_common::{AttributeDef, DiscoError, Result, Schema, Value};
+
+use crate::ast::{
+    AttrTerm, BinOp, CostVar, Document, Expr, FuncDef, HeadArg, InterfaceDef, PathBase, PathLeaf,
+    PathSeg, RuleDef, RuleHead, Stmt,
+};
+use crate::builtins::Builtin;
+use crate::bytecode::{AttrSpec, ChildRef, CollSpec, CompiledBody, Instr, PathSpec, Program};
+use crate::vm::{eval_program, EvalEnv};
+
+/// A rule ready for registration in the mediator: its (unchanged) head
+/// pattern plus the compiled body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledRule {
+    pub head: RuleHead,
+    pub body: CompiledBody,
+    /// Collection the rule was declared under, when it came from inside an
+    /// interface body (collection-oriented rules, §3.3).
+    pub declared_in: Option<String>,
+}
+
+/// The full compilation result of a registration document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledDocument {
+    /// `(collection name, schema, statistics)` for each interface.
+    pub interfaces: Vec<(String, Schema, CollectionStats)>,
+    /// Wrapper-level parameters, evaluated at compile time in order.
+    pub params: Vec<(String, Value)>,
+    /// All rules (wrapper-scope first, then per-interface), in source
+    /// order — the paper breaks specificity ties by declaration order.
+    pub rules: Vec<CompiledRule>,
+}
+
+/// Compile a parsed document: expand helper functions, evaluate `let`
+/// parameters, convert interfaces to catalog records, compile every rule
+/// body.
+pub fn compile_document(doc: &Document) -> Result<CompiledDocument> {
+    let mut out = CompiledDocument::default();
+
+    // Expand helper functions: each body sees the previously defined
+    // functions fully expanded, so rule compilation needs one pass.
+    let mut funcs: HashMap<String, FuncDef> = HashMap::new();
+    for f in &doc.funcs {
+        if Builtin::parse(&f.name).is_some() {
+            return Err(DiscoError::Parse(format!(
+                "`{}` shadows a builtin function",
+                f.name
+            )));
+        }
+        if references_call(&f.body, &f.name) {
+            return Err(DiscoError::Parse(format!(
+                "function `{}` may not call itself",
+                f.name
+            )));
+        }
+        let expanded = FuncDef {
+            name: f.name.clone(),
+            params: f.params.clone(),
+            body: expand_expr(&f.body, &funcs)?,
+        };
+        funcs.insert(f.name.clone(), expanded);
+    }
+
+    // Evaluate wrapper parameters eagerly, each seeing the previous ones.
+    for l in &doc.lets {
+        let expr = expand_expr(&l.expr, &funcs)?;
+        let body = compile_body(
+            &[Stmt::Let {
+                name: "__value".into(),
+                expr,
+            }],
+            &HeadVars::default(),
+        )?;
+        let env = ParamOnlyEnv {
+            params: &out.params,
+        };
+        let locals = eval_program(&body.program, &env)
+            .map_err(|e| DiscoError::Parse(format!("evaluating `let {}`: {e}", l.name)))?;
+        let value = locals
+            .first()
+            .cloned()
+            .ok_or_else(|| DiscoError::Parse(format!("`let {}` produced no value", l.name)))?;
+        out.params.push((l.name.clone(), value));
+    }
+
+    for rule in &doc.rules {
+        out.rules
+            .push(compile_rule(&expand_rule(rule, &funcs)?, None)?);
+    }
+    for iface in &doc.interfaces {
+        let (schema, stats) = interface_to_catalog(iface);
+        for rule in &iface.rules {
+            out.rules.push(compile_rule(
+                &expand_rule(rule, &funcs)?,
+                Some(iface.name.clone()),
+            )?);
+        }
+        out.interfaces.push((iface.name.clone(), schema, stats));
+    }
+    Ok(out)
+}
+
+/// Does `e` contain a call to `name`?
+fn references_call(e: &Expr, name: &str) -> bool {
+    match e {
+        Expr::Call(f, args) => f == name || args.iter().any(|a| references_call(a, name)),
+        Expr::Bin(_, l, r) => references_call(l, name) || references_call(r, name),
+        Expr::Neg(inner) => references_call(inner, name),
+        _ => false,
+    }
+}
+
+/// Expand user-function calls in an expression.
+fn expand_expr(e: &Expr, funcs: &HashMap<String, FuncDef>) -> Result<Expr> {
+    Ok(match e {
+        Expr::Call(name, args) => {
+            let args: Vec<Expr> = args
+                .iter()
+                .map(|a| expand_expr(a, funcs))
+                .collect::<Result<_>>()?;
+            match funcs.get(name) {
+                Some(f) => {
+                    if args.len() != f.params.len() {
+                        return Err(DiscoError::Parse(format!(
+                            "`{name}` takes {} argument(s), found {}",
+                            f.params.len(),
+                            args.len()
+                        )));
+                    }
+                    substitute(&f.body, &f.params, &args)?
+                }
+                None => Expr::Call(name.clone(), args),
+            }
+        }
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(expand_expr(l, funcs)?),
+            Box::new(expand_expr(r, funcs)?),
+        ),
+        Expr::Neg(inner) => Expr::Neg(Box::new(expand_expr(inner, funcs)?)),
+        other => other.clone(),
+    })
+}
+
+/// Replace function parameters (`$p`) by the call arguments.
+fn substitute(body: &Expr, params: &[String], args: &[Expr]) -> Result<Expr> {
+    Ok(match body {
+        Expr::Var(v) => match params.iter().position(|p| p == v) {
+            Some(i) => args[i].clone(),
+            None => body.clone(),
+        },
+        Expr::Path {
+            base: PathBase::Var(v),
+            ..
+        } if params.iter().any(|p| p == v) => {
+            return Err(DiscoError::Parse(format!(
+                "function parameter `${v}` is a value and cannot be used as a collection"
+            )))
+        }
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(substitute(l, params, args)?),
+            Box::new(substitute(r, params, args)?),
+        ),
+        Expr::Neg(inner) => Expr::Neg(Box::new(substitute(inner, params, args)?)),
+        Expr::Call(f, call_args) => Expr::Call(
+            f.clone(),
+            call_args
+                .iter()
+                .map(|a| substitute(a, params, args))
+                .collect::<Result<_>>()?,
+        ),
+        other => other.clone(),
+    })
+}
+
+/// Expand all function calls inside a rule body.
+fn expand_rule(rule: &RuleDef, funcs: &HashMap<String, FuncDef>) -> Result<RuleDef> {
+    let body = rule
+        .body
+        .iter()
+        .map(|s| {
+            Ok(match s {
+                Stmt::Let { name, expr } => Stmt::Let {
+                    name: name.clone(),
+                    expr: expand_expr(expr, funcs)?,
+                },
+                Stmt::Assign { var, expr } => Stmt::Assign {
+                    var: *var,
+                    expr: expand_expr(expr, funcs)?,
+                },
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(RuleDef {
+        head: rule.head.clone(),
+        body,
+    })
+}
+
+/// Convert an interface definition to catalog schema + statistics.
+pub fn interface_to_catalog(iface: &InterfaceDef) -> (Schema, CollectionStats) {
+    let schema = Schema::new(
+        iface
+            .attributes
+            .iter()
+            .map(|(n, t)| AttributeDef::new(n.clone(), *t))
+            .collect(),
+    );
+    let extent = iface
+        .extent
+        .as_ref()
+        .map(|e| ExtentStats {
+            count_object: e.count_object,
+            total_size: e.total_size,
+            object_size: e.object_size,
+        })
+        .unwrap_or_else(|| {
+            // Standard values, "as usual" (§6).
+            ExtentStats::of(
+                disco_catalog::stats::DEFAULT_COUNT_OBJECT,
+                disco_catalog::stats::DEFAULT_OBJECT_SIZE,
+            )
+        });
+    let mut stats = CollectionStats::new(extent);
+    for card in &iface.attribute_cards {
+        let mut a = AttributeStats::new(card.count_distinct, card.min.clone(), card.max.clone());
+        a.indexed = card.indexed;
+        stats = stats.with_attribute(card.attribute.clone(), a);
+    }
+    (schema, stats)
+}
+
+/// Compile one rule.
+pub fn compile_rule(rule: &RuleDef, declared_in: Option<String>) -> Result<CompiledRule> {
+    let head_vars = HeadVars::from_head(&rule.head);
+    let body = compile_body(&rule.body, &head_vars)?;
+    Ok(CompiledRule {
+        head: rule.head.clone(),
+        body,
+        declared_in,
+    })
+}
+
+/// The variables a head binds, used to validate body references.
+#[derive(Debug, Default)]
+pub struct HeadVars {
+    names: Vec<String>,
+}
+
+impl HeadVars {
+    /// Declare head variables explicitly — for compiling synthetic bodies
+    /// outside a full rule (tests, recorded constants).
+    pub fn of(names: &[&str]) -> Self {
+        HeadVars {
+            names: names.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    fn from_head(head: &RuleHead) -> Self {
+        let mut names = Vec::new();
+        let mut push = |s: &str| {
+            if !names.iter().any(|n| n == s) {
+                names.push(s.to_owned());
+            }
+        };
+        for arg in &head.args {
+            match arg {
+                HeadArg::Coll(crate::ast::CollTerm::Var(v)) => push(v),
+                HeadArg::Coll(_) => {}
+                HeadArg::Pred { left, right, .. } => {
+                    if let AttrTerm::Var(v) = left {
+                        push(v);
+                    }
+                    if let crate::ast::PredRhs::Var(v) = right {
+                        push(v);
+                    }
+                }
+                HeadArg::AnyPred(v) => push(v),
+                HeadArg::Attr(AttrTerm::Var(v)) => push(v),
+                HeadArg::Attr(_) | HeadArg::AttrList(_) => {}
+            }
+        }
+        HeadVars { names }
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+}
+
+/// Compile a rule body to a program plus its output map.
+pub fn compile_body(body: &[Stmt], head_vars: &HeadVars) -> Result<CompiledBody> {
+    let mut c = Compiler {
+        program: Program::default(),
+        locals: HashMap::new(),
+        head_vars,
+    };
+    let mut outputs = Vec::new();
+    for stmt in body {
+        match stmt {
+            Stmt::Let { name, expr } => {
+                c.expr(expr)?;
+                let slot = c.local_slot(name);
+                c.program.instrs.push(Instr::StoreLocal(slot));
+            }
+            Stmt::Assign { var, expr } => {
+                c.expr(expr)?;
+                let slot = c.local_slot(var.name());
+                c.program.instrs.push(Instr::StoreLocal(slot));
+                outputs.push((*var, slot));
+            }
+        }
+    }
+    c.program.n_locals = c.locals.len() as u16;
+    Ok(CompiledBody {
+        program: c.program,
+        outputs,
+    })
+}
+
+struct Compiler<'a> {
+    program: Program,
+    locals: HashMap<String, u16>,
+    head_vars: &'a HeadVars,
+}
+
+impl Compiler<'_> {
+    fn local_slot(&mut self, name: &str) -> u16 {
+        if let Some(&s) = self.locals.get(name) {
+            return s;
+        }
+        let s = self.locals.len() as u16;
+        self.locals.insert(name.to_owned(), s);
+        s
+    }
+
+    fn name_idx(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.program.names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        self.program.names.push(name.to_owned());
+        (self.program.names.len() - 1) as u16
+    }
+
+    fn const_idx(&mut self, v: Value) -> u16 {
+        if let Some(i) = self.program.consts.iter().position(|c| *c == v) {
+            return i as u16;
+        }
+        self.program.consts.push(v);
+        (self.program.consts.len() - 1) as u16
+    }
+
+    fn path_idx(&mut self, p: PathSpec) -> u16 {
+        if let Some(i) = self.program.paths.iter().position(|q| *q == p) {
+            return i as u16;
+        }
+        self.program.paths.push(p);
+        (self.program.paths.len() - 1) as u16
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<()> {
+        match e {
+            Expr::Num(n) => {
+                let idx = self.const_idx(Value::Double(*n));
+                self.program.instrs.push(Instr::Const(idx));
+            }
+            Expr::Str(s) => {
+                let idx = self.const_idx(Value::Str(s.clone()));
+                self.program.instrs.push(Instr::Const(idx));
+            }
+            Expr::Ident(name) => {
+                // Resolution order: rule-local (including previously
+                // assigned result variables), bare result variable of the
+                // current node, wrapper parameter.
+                if let Some(&slot) = self.locals.get(name) {
+                    self.program.instrs.push(Instr::LoadLocal(slot));
+                } else if let Some(var) = CostVar::parse(name) {
+                    self.program.instrs.push(Instr::LoadSelfVar(var));
+                } else {
+                    let idx = self.name_idx(name);
+                    self.program.instrs.push(Instr::LoadParam(idx));
+                }
+            }
+            Expr::Var(v) => {
+                if !self.head_vars.contains(v) {
+                    return Err(DiscoError::Parse(format!(
+                        "`${v}` is not bound by the rule head"
+                    )));
+                }
+                let idx = self.name_idx(v);
+                self.program.instrs.push(Instr::LoadBinding(idx));
+            }
+            Expr::Path { base, segs } => {
+                let spec = self.path_spec(base, segs)?;
+                let idx = self.path_idx(spec);
+                self.program.instrs.push(Instr::LoadPath(idx));
+            }
+            Expr::Neg(inner) => {
+                self.expr(inner)?;
+                self.program.instrs.push(Instr::Neg);
+            }
+            Expr::Bin(op, l, r) => {
+                self.expr(l)?;
+                self.expr(r)?;
+                self.program.instrs.push(match op {
+                    BinOp::Add => Instr::Add,
+                    BinOp::Sub => Instr::Sub,
+                    BinOp::Mul => Instr::Mul,
+                    BinOp::Div => Instr::Div,
+                });
+            }
+            Expr::Call(name, args) => {
+                if let Some(b) = Builtin::parse(name) {
+                    if args.len() != b.arity() {
+                        return Err(DiscoError::Parse(format!(
+                            "`{name}` takes {} argument(s), found {}",
+                            b.arity(),
+                            args.len()
+                        )));
+                    }
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.program.instrs.push(Instr::CallBuiltin(b));
+                } else {
+                    if args.len() > u8::MAX as usize {
+                        return Err(DiscoError::Parse(format!("too many arguments to `{name}`")));
+                    }
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    let idx = self.name_idx(name);
+                    self.program
+                        .instrs
+                        .push(Instr::CallEnv(idx, args.len() as u8));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn path_spec(&mut self, base: &PathBase, segs: &[PathSeg]) -> Result<PathSpec> {
+        let coll = match base {
+            PathBase::Var(v) => {
+                if !self.head_vars.contains(v) {
+                    return Err(DiscoError::Parse(format!(
+                        "`${v}` is not bound by the rule head"
+                    )));
+                }
+                CollSpec::Binding(v.clone())
+            }
+            PathBase::Ident(name) => match ChildRef::parse(name) {
+                Some(c) => CollSpec::Child(c),
+                None => CollSpec::Named(name.clone()),
+            },
+        };
+        let (attr, leaf_name) = match segs {
+            [leaf] => (None, leaf),
+            [attr, leaf] => {
+                let a = match attr {
+                    PathSeg::Ident(s) => AttrSpec::Named(s.clone()),
+                    PathSeg::Var(v) => {
+                        if !self.head_vars.contains(v) {
+                            return Err(DiscoError::Parse(format!(
+                                "`${v}` is not bound by the rule head"
+                            )));
+                        }
+                        AttrSpec::Binding(v.clone())
+                    }
+                };
+                (Some(a), leaf)
+            }
+            _ => return Err(DiscoError::Parse("invalid path arity".into())),
+        };
+        let leaf_str = match leaf_name {
+            PathSeg::Ident(s) => s.as_str(),
+            PathSeg::Var(_) => {
+                return Err(DiscoError::Parse(
+                    "the final path segment must be a statistic or result name, not a variable"
+                        .into(),
+                ))
+            }
+        };
+        // `CountObject`/`TotalSize` name both a statistic and a result
+        // variable; compiled as Cost, the environment falls back to the
+        // statistic when no child value is available.
+        let leaf = if attr.is_none() {
+            if let Some(var) = CostVar::parse(leaf_str) {
+                PathLeaf::Cost(var)
+            } else if let Some(stat) = StatName::parse(leaf_str) {
+                PathLeaf::Stat(stat)
+            } else {
+                return Err(DiscoError::Parse(format!(
+                    "`{leaf_str}` is not a statistic or result variable"
+                )));
+            }
+        } else {
+            match StatName::parse(leaf_str) {
+                Some(stat) if stat.is_attribute_stat() => PathLeaf::Stat(stat),
+                Some(_) => {
+                    return Err(DiscoError::Parse(format!(
+                        "`{leaf_str}` is an extent statistic and takes no attribute"
+                    )))
+                }
+                None => {
+                    return Err(DiscoError::Parse(format!(
+                        "`{leaf_str}` is not an attribute statistic"
+                    )))
+                }
+            }
+        };
+        Ok(PathSpec { coll, attr, leaf })
+    }
+}
+
+/// Environment exposing only already-evaluated parameters; used while
+/// evaluating `let` definitions at compile time.
+struct ParamOnlyEnv<'a> {
+    params: &'a [(String, Value)],
+}
+
+impl EvalEnv for ParamOnlyEnv<'_> {
+    fn path(&self, _coll: &CollSpec, _attr: Option<&AttrSpec>, _leaf: PathLeaf) -> Option<Value> {
+        None
+    }
+
+    fn binding(&self, _name: &str) -> Option<Value> {
+        None
+    }
+
+    fn param(&self, name: &str) -> Option<Value> {
+        self.params
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn self_var(&self, _var: CostVar) -> Option<f64> {
+        None
+    }
+
+    fn call(&self, _func: &str, _args: &[Value]) -> Option<Value> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn compile(src: &str) -> CompiledDocument {
+        compile_document(&parse_document(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lets_evaluate_in_order() {
+        let doc = compile("let PageSize = 4096; let Half = PageSize / 2;");
+        assert_eq!(doc.params[0], ("PageSize".into(), Value::Double(4096.0)));
+        assert_eq!(doc.params[1], ("Half".into(), Value::Double(2048.0)));
+    }
+
+    #[test]
+    fn let_referencing_unknown_param_fails() {
+        let doc = parse_document("let X = Nope * 2;").unwrap();
+        assert!(compile_document(&doc).is_err());
+    }
+
+    #[test]
+    fn interface_statistics_convert() {
+        let doc = compile(
+            r#"interface Employee {
+                attribute long salary;
+                cardinality extent(10000, 1200000, 120);
+                cardinality attribute(salary, indexed, 100, 1000, 30000);
+            }"#,
+        );
+        let (name, schema, stats) = &doc.interfaces[0];
+        assert_eq!(name, "Employee");
+        assert_eq!(schema.arity(), 1);
+        assert_eq!(stats.extent.count_object, 10_000);
+        let a = stats.attribute("salary");
+        assert!(a.indexed);
+        assert_eq!(a.max, Value::Long(30_000));
+    }
+
+    #[test]
+    fn interface_without_extent_gets_defaults() {
+        let doc = compile("interface T { attribute long x; }");
+        let (_, _, stats) = &doc.interfaces[0];
+        assert_eq!(
+            stats.extent.count_object,
+            disco_catalog::stats::DEFAULT_COUNT_OBJECT
+        );
+    }
+
+    #[test]
+    fn rule_bodies_compile_with_outputs() {
+        let doc = compile(
+            r#"rule select($C, $A = $V) {
+                CountObject = $C.CountObject * selectivity($A, $V);
+                TotalTime = $C.TotalTime + CountObject * 2;
+            }"#,
+        );
+        let rule = &doc.rules[0];
+        assert_eq!(rule.body.outputs.len(), 2);
+        assert!(rule.body.output_slot(CostVar::CountObject).is_some());
+        // The bare CountObject in the second formula must load the local,
+        // not LoadSelfVar.
+        assert!(rule
+            .body
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::LoadLocal(_))));
+        // selectivity is an env call.
+        assert!(rule
+            .body
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::CallEnv(_, 2))));
+    }
+
+    #[test]
+    fn bare_result_var_without_prior_assignment_loads_self() {
+        let doc = compile("rule select($C, $P) { TotalTime = CountObject * 2; }");
+        assert!(doc.rules[0]
+            .body
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::LoadSelfVar(CostVar::CountObject))));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let doc = parse_document("rule scan($C) { TotalTime = $V; }").unwrap();
+        let e = compile_document(&doc).unwrap_err();
+        assert!(e.message().contains("not bound"), "{}", e.message());
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        let doc = parse_document("rule scan($C) { TotalTime = min(1); }").unwrap();
+        assert!(compile_document(&doc).is_err());
+    }
+
+    #[test]
+    fn attribute_stat_paths() {
+        let doc = compile("rule select($C, $A = $V) { TotalTime = $C.$A.CountDistinct; }");
+        let p = &doc.rules[0].body.program.paths[0];
+        assert_eq!(p.attr, Some(AttrSpec::Binding("A".into())));
+        assert_eq!(p.leaf, PathLeaf::Stat(StatName::CountDistinct));
+    }
+
+    #[test]
+    fn extent_stat_with_attribute_rejected() {
+        let doc = parse_document("rule scan($C) { TotalTime = $C.salary.TotalSize; }").unwrap();
+        assert!(compile_document(&doc).is_err());
+    }
+
+    #[test]
+    fn time_leaf_on_named_collection_compiles_as_cost() {
+        // Figure 8: `C.TotalTime` — the child's computed time.
+        let doc = compile("rule select(employee, $P) { TotalTime = input.TotalTime + 1; }");
+        let p = &doc.rules[0].body.program.paths[0];
+        assert_eq!(p.coll, CollSpec::Child(ChildRef::Input));
+        assert_eq!(p.leaf, PathLeaf::Cost(CostVar::TotalTime));
+    }
+
+    #[test]
+    fn collection_scope_rules_remember_their_interface() {
+        let doc = compile(
+            r#"interface AtomicParts {
+                attribute long Id;
+                rule scan(AtomicParts) { TotalTime = 1; }
+            }
+            rule scan($C) { TotalTime = 2; }"#,
+        );
+        assert_eq!(doc.rules.len(), 2);
+        // Wrapper-scope rules come first, then interface rules.
+        assert_eq!(doc.rules[0].declared_in, None);
+        assert_eq!(doc.rules[1].declared_in, Some("AtomicParts".into()));
+    }
+
+    #[test]
+    fn unknown_leaf_rejected() {
+        let doc = parse_document("rule scan($C) { TotalTime = $C.Bogus; }").unwrap();
+        assert!(compile_document(&doc).is_err());
+    }
+}
+
+#[cfg(test)]
+mod func_tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn functions_expand_inline() {
+        let doc = parse_document(
+            "let PageSize = 4096;
+             let pages($bytes) = ceil($bytes / PageSize);
+             rule scan($C) { TotalTime = pages(10000) * 25; }",
+        )
+        .unwrap();
+        let compiled = compile_document(&doc).unwrap();
+        // The call is gone: only builtins and params remain.
+        let rule = &compiled.rules[0];
+        assert!(!rule
+            .body
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::CallEnv(..))));
+        assert!(rule
+            .body
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::CallBuiltin(_))));
+    }
+
+    #[test]
+    fn functions_compose() {
+        let doc = parse_document(
+            "let double($x) = $x * 2;
+             let quad($x) = double(double($x));
+             rule scan($C) { TotalTime = quad(10); }",
+        )
+        .unwrap();
+        let compiled = compile_document(&doc).unwrap();
+        // Evaluate the constant-only body.
+        struct NoEnv;
+        impl crate::vm::EvalEnv for NoEnv {
+            fn path(
+                &self,
+                _: &crate::bytecode::CollSpec,
+                _: Option<&crate::bytecode::AttrSpec>,
+                _: PathLeaf,
+            ) -> Option<Value> {
+                None
+            }
+            fn binding(&self, _: &str) -> Option<Value> {
+                None
+            }
+            fn param(&self, _: &str) -> Option<Value> {
+                None
+            }
+            fn self_var(&self, _: CostVar) -> Option<f64> {
+                None
+            }
+            fn call(&self, _: &str, _: &[Value]) -> Option<Value> {
+                None
+            }
+        }
+        let body = &compiled.rules[0].body;
+        let locals = eval_program(&body.program, &NoEnv).unwrap();
+        let slot = body.output_slot(CostVar::TotalTime).unwrap();
+        assert_eq!(locals[slot as usize].as_f64(), Some(40.0));
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let doc =
+            parse_document("let f($x) = f($x) + 1; rule scan($C) { TotalTime = f(1); }").unwrap();
+        let e = compile_document(&doc).unwrap_err();
+        assert!(e.message().contains("itself"), "{}", e.message());
+    }
+
+    #[test]
+    fn arity_checked_for_user_functions() {
+        let doc =
+            parse_document("let f($x, $y) = $x + $y; rule scan($C) { TotalTime = f(1); }").unwrap();
+        assert!(compile_document(&doc).is_err());
+    }
+
+    #[test]
+    fn params_are_values_not_collections() {
+        let doc = parse_document("let f($c) = $c.TotalSize; rule scan($C) { TotalTime = f(1); }")
+            .unwrap();
+        let e = compile_document(&doc).unwrap_err();
+        assert!(e.message().contains("collection"), "{}", e.message());
+    }
+
+    #[test]
+    fn builtin_shadowing_rejected() {
+        let doc = parse_document("let min($x) = $x;").unwrap();
+        assert!(compile_document(&doc).is_err());
+    }
+
+    #[test]
+    fn unknown_calls_still_go_to_env() {
+        let doc = parse_document(
+            "let half($x) = $x / 2;
+             rule select($C, $A = $V) { CountObject = half(selectivity($A, $V)); }",
+        )
+        .unwrap();
+        let compiled = compile_document(&doc).unwrap();
+        assert!(compiled.rules[0]
+            .body
+            .program
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::CallEnv(..))));
+    }
+
+    #[test]
+    fn functions_print_and_round_trip() {
+        let src = "let pages($b) = ceil(($b / 4096));\n";
+        let doc = parse_document(src).unwrap();
+        let printed = crate::print::print_document(&doc);
+        assert_eq!(parse_document(&printed).unwrap(), doc);
+        assert!(printed.contains("let pages($b)"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Hand-written lexer for the cost communication language.
+//!
+//! Supports `//` line comments and `/* */` block comments. Never panics on
+//! arbitrary input — malformed text yields a [`DiscoError::Parse`] with a
+//! position.
+
+use disco_common::{DiscoError, Result};
+
+use crate::token::{Pos, Tok, Token};
+
+/// Tokenize a whole document.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DiscoError {
+        DiscoError::Parse(format!("{} at {}", msg.into(), self.pos()))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = match c {
+                '{' => self.single(Tok::LBrace),
+                '}' => self.single(Tok::RBrace),
+                '(' => self.single(Tok::LParen),
+                ')' => self.single(Tok::RParen),
+                '[' => self.single(Tok::LBracket),
+                ']' => self.single(Tok::RBracket),
+                ',' => self.single(Tok::Comma),
+                ';' => self.single(Tok::Semi),
+                '.' => self.single(Tok::Dot),
+                '+' => self.single(Tok::Plus),
+                '-' => self.single(Tok::Minus),
+                '*' => self.single(Tok::Star),
+                '/' => self.single(Tok::Slash),
+                '=' => self.single(Tok::Eq),
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Ne
+                    } else {
+                        return Err(self.err("expected `=` after `!`"));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                '"' => self.string()?,
+                '$' => {
+                    self.bump();
+                    match self.ident_text() {
+                        Some(name) => Tok::Var(name),
+                        None => return Err(self.err("expected identifier after `$`")),
+                    }
+                }
+                c if c.is_ascii_digit() => self.number()?,
+                c if is_ident_start(c) => {
+                    let name = self.ident_text().expect("ident start checked");
+                    Tok::Ident(name)
+                }
+                c => return Err(self.err(format!("unexpected character `{c}`"))),
+            };
+            out.push(Token { tok, pos });
+        }
+    }
+
+    fn single(&mut self, t: Tok) -> Tok {
+        self.bump();
+        t
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(DiscoError::Parse(format!(
+                                    "unterminated block comment starting at {start}"
+                                )));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Tok> {
+        let start = self.pos();
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Tok::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(c) => {
+                        return Err(self.err(format!("unknown escape `\\{c}`")));
+                    }
+                    None => {
+                        return Err(DiscoError::Parse(format!(
+                            "unterminated string starting at {start}"
+                        )))
+                    }
+                },
+                Some(c) => s.push(c),
+                None => {
+                    return Err(DiscoError::Parse(format!(
+                        "unterminated string starting at {start}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok> {
+        let start_i = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            // Exponent must be followed by digits (with optional sign).
+            let save = (self.i, self.line, self.col);
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `12e` then identifier).
+                (self.i, self.line, self.col) = save;
+            }
+        }
+        let text: String = self.chars[start_i..self.i].iter().collect();
+        text.parse::<f64>()
+            .map(Tok::Number)
+            .map_err(|_| self.err(format!("invalid number literal `{text}`")))
+    }
+
+    fn ident_text(&mut self) -> Option<String> {
+        let c = self.peek()?;
+        if !is_ident_start(c) {
+            return None;
+        }
+        let start_i = self.i;
+        while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        let _ = self.src; // keep the borrow alive for potential future slicing
+        Some(self.chars[start_i..self.i].iter().collect())
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            toks("rule scan($C) { }"),
+            vec![
+                Tok::Ident("rule".into()),
+                Tok::Ident("scan".into()),
+                Tok::LParen,
+                Tok::Var("C".into()),
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("12"), vec![Tok::Number(12.0), Tok::Eof]);
+        assert_eq!(toks("12.5"), vec![Tok::Number(12.5), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Number(1000.0), Tok::Eof]);
+        assert_eq!(toks("2.5e-2"), vec![Tok::Number(0.025), Tok::Eof]);
+    }
+
+    #[test]
+    fn number_then_dot_path_is_not_a_float() {
+        // `Employee.TotalSize / 4096.CountPage` style is illegal, but
+        // `12.foo` must lex as number, dot, ident (error surfaced later).
+        assert_eq!(
+            toks("12.foo"),
+            vec![
+                Tok::Number(12.0),
+                Tok::Dot,
+                Tok::Ident("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != < <= > >="),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""Adiba" "a\"b""#),
+            vec![Tok::Str("Adiba".into()), Tok::Str("a\"b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "a // line comment\n /* block\n comment */ b";
+        assert_eq!(
+            toks(src),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = lex("a\n  #").unwrap_err();
+        assert_eq!(e.kind(), "parse");
+        assert!(e.message().contains("2:3"), "{}", e.message());
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("$ ").is_err());
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn trailing_exponent_is_backtracked() {
+        assert_eq!(
+            toks("12e x"),
+            vec![
+                Tok::Number(12.0),
+                Tok::Ident("e".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

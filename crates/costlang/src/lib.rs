@@ -1,0 +1,83 @@
+//! The cost communication language (paper §3).
+//!
+//! Wrappers describe their data and their costs in an extended IDL
+//! document. The paper extends the CORBA-IDL interface body with a
+//! `cardinality` section (exported statistics, Figures 4–5) and a cost
+//! formula section (rules binding formulas to operators, Figures 8–9, 13).
+//! This crate implements the whole pipeline:
+//!
+//! ```text
+//! source text ──lexer──► tokens ──parser──► AST ──compiler──► bytecode
+//!                                                   (shipped to mediator,
+//!                                                    evaluated by the VM)
+//! ```
+//!
+//! The paper semi-compiles formulas to Java bytecode shipped at
+//! registration time; we compile to a compact stack bytecode interpreted by
+//! [`vm::eval_program`], preserving the architecture (compile once at registration,
+//! evaluate fast during optimization).
+//!
+//! ## Surface syntax
+//!
+//! ```text
+//! // wrapper-level parameters usable in every rule
+//! let PageSize = 4096;
+//! let IO = 25.0;                      // ms per page fault
+//!
+//! interface Employee {
+//!     attribute long salary;
+//!     attribute string name;
+//!
+//!     // the values the mediator would obtain by calling the paper's
+//!     // `cardinality extent/attribute` methods at registration time
+//!     cardinality extent(10000, 1200000, 120);
+//!     cardinality attribute(salary, indexed, 100, 1000, 30000);
+//!     cardinality attribute(name, unindexed, 10000, "Adiba", "Valduriez");
+//!
+//!     // collection-scope rule (inside the interface)
+//!     rule scan(Employee) {
+//!         TotalTime = 120 + Employee.TotalSize * 12
+//!                   + Employee.CountObject / Employee.salary.CountDistinct;
+//!     }
+//! }
+//!
+//! // wrapper-scope rule with free variables ($-prefixed)
+//! rule select($C, $A = $V) {
+//!     CountObject = $C.CountObject * selectivity($A, $V);
+//!     TotalSize   = CountObject * $C.ObjectSize;
+//!     TotalTime   = $C.TotalTime + $C.TotalSize * 25;
+//! }
+//! ```
+//!
+//! Free variables carry a `$` prefix — the paper distinguishes variables
+//! from names typographically (Prolog-style capitalization, applied
+//! inconsistently: compare `C` in Figure 8 with `value` in Figure 13); the
+//! marker makes the distinction syntactic.
+//!
+//! A collection term bound to the node's input (e.g. `$C` above) exposes
+//! *both* the child node's computed cost variables (`$C.TotalTime`) and the
+//! base collection's statistics (`$C.salary.CountDistinct`) — matching the
+//! paper's reading of Figure 8 where "`c` represents the result of the
+//! scan and matches `C`".
+
+pub mod ast;
+pub mod builtins;
+pub mod bytecode;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+pub mod token;
+pub mod vm;
+
+pub use ast::{
+    AttrTerm, CardAttribute, CardExtent, CollTerm, CostVar, Document, Expr, HeadArg, InterfaceDef,
+    LetDef, PathLeaf, RuleDef, RuleHead, Stmt,
+};
+pub use bytecode::{CompiledBody, Instr, Program};
+pub use compile::{
+    compile_body, compile_document, interface_to_catalog, CompiledDocument, CompiledRule,
+};
+pub use parser::parse_document;
+pub use print::{print_document, print_expr, print_head, print_rule};
+pub use vm::{eval_program, EvalEnv, EvalError};

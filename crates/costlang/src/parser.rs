@@ -1,0 +1,829 @@
+//! Recursive-descent parser for registration documents.
+//!
+//! Implements the grammar of Figure 9 (cost rules) extended with the
+//! interface/cardinality syntax of Figures 3–5 and `let` parameter
+//! definitions. See the crate docs for the concrete surface syntax.
+
+use disco_algebra::{CompareOp, OperatorKind};
+use disco_common::{DataType, DiscoError, Result, Value};
+
+use crate::ast::{
+    AttrTerm, BinOp, CardAttribute, CardExtent, CollTerm, CostVar, Document, Expr, HeadArg,
+    InterfaceDef, LetDef, PathBase, PathSeg, PredRhs, RuleDef, RuleHead, Stmt,
+};
+use crate::lexer::lex;
+use crate::token::{Pos, Tok, Token};
+
+/// Parse a whole registration document.
+pub fn parse_document(src: &str) -> Result<Document> {
+    let tokens = lex(src)?;
+    Parser { tokens, i: 0 }.document()
+}
+
+/// Convert a numeric literal to a [`Value`], preserving integrality.
+fn num_to_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        Value::Long(n as i64)
+    } else {
+        Value::Double(n)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i.min(self.tokens.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i.min(self.tokens.len() - 1)].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].tok.clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DiscoError {
+        DiscoError::Parse(format!("{} at {}", msg.into(), self.pos()))
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<()> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", want, self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Tok::Ident(_) => match self.bump() {
+                Tok::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let neg = if *self.peek() == Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.peek() {
+            Tok::Number(_) => match self.bump() {
+                Tok::Number(n) => Ok(if neg { -n } else { n }),
+                _ => unreachable!(),
+            },
+            other => Err(self.err(format!("expected number, found {other}"))),
+        }
+    }
+
+    fn document(mut self) -> Result<Document> {
+        let mut doc = Document::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(doc),
+                Tok::Ident(kw) if kw == "interface" => {
+                    doc.interfaces.push(self.interface()?);
+                }
+                Tok::Ident(kw) if kw == "let" => match self.let_def()? {
+                    LetItem::Param(l) => doc.lets.push(l),
+                    LetItem::Func(f) => doc.funcs.push(f),
+                },
+                Tok::Ident(kw) if kw == "rule" => {
+                    doc.rules.push(self.rule()?);
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `interface`, `let` or `rule`, found {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn interface(&mut self) -> Result<InterfaceDef> {
+        self.expect(Tok::Ident("interface".into()))?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut def = InterfaceDef {
+            name,
+            attributes: Vec::new(),
+            extent: None,
+            attribute_cards: Vec::new(),
+            rules: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Tok::RBrace => {
+                    self.bump();
+                    return Ok(def);
+                }
+                Tok::Ident(kw) if kw == "attribute" => {
+                    self.bump();
+                    let ty_name = self.ident()?;
+                    let ty = parse_type(&ty_name)
+                        .ok_or_else(|| self.err(format!("unknown type `{ty_name}`")))?;
+                    let attr = self.ident()?;
+                    self.expect(Tok::Semi)?;
+                    def.attributes.push((attr, ty));
+                }
+                Tok::Ident(kw) if kw == "cardinality" => {
+                    self.bump();
+                    self.cardinality(&mut def)?;
+                }
+                Tok::Ident(kw) if kw == "rule" => {
+                    def.rules.push(self.rule()?);
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `attribute`, `cardinality`, `rule` or `}}`, found {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn cardinality(&mut self, def: &mut InterfaceDef) -> Result<()> {
+        let kind = self.ident()?;
+        self.expect(Tok::LParen)?;
+        match kind.as_str() {
+            "extent" => {
+                let count_object = self.number()? as u64;
+                self.expect(Tok::Comma)?;
+                let total_size = self.number()? as u64;
+                self.expect(Tok::Comma)?;
+                let object_size = self.number()? as u64;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                if def.extent.is_some() {
+                    return Err(self.err(format!(
+                        "duplicate `cardinality extent` in interface `{}`",
+                        def.name
+                    )));
+                }
+                def.extent = Some(CardExtent {
+                    count_object,
+                    total_size,
+                    object_size,
+                });
+            }
+            "attribute" => {
+                let attribute = self.ident()?;
+                self.expect(Tok::Comma)?;
+                let flag = self.ident()?;
+                let indexed = match flag.as_str() {
+                    "indexed" => true,
+                    "unindexed" => false,
+                    other => {
+                        return Err(self.err(format!(
+                            "expected `indexed` or `unindexed`, found `{other}`"
+                        )))
+                    }
+                };
+                self.expect(Tok::Comma)?;
+                let count_distinct = self.number()? as u64;
+                self.expect(Tok::Comma)?;
+                let min = self.constant()?;
+                self.expect(Tok::Comma)?;
+                let max = self.constant()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                def.attribute_cards.push(CardAttribute {
+                    attribute,
+                    indexed,
+                    count_distinct,
+                    min,
+                    max,
+                });
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected `extent` or `attribute` after `cardinality`, found `{other}`"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn constant(&mut self) -> Result<Value> {
+        match self.peek() {
+            Tok::Number(_) | Tok::Minus => Ok(num_to_value(self.number()?)),
+            Tok::Str(_) => match self.bump() {
+                Tok::Str(s) => Ok(Value::Str(s)),
+                _ => unreachable!(),
+            },
+            Tok::Ident(kw) if kw == "null" => {
+                self.bump();
+                Ok(Value::Null)
+            }
+            Tok::Ident(kw) if kw == "true" => {
+                self.bump();
+                Ok(Value::Bool(true))
+            }
+            Tok::Ident(kw) if kw == "false" => {
+                self.bump();
+                Ok(Value::Bool(false))
+            }
+            other => Err(self.err(format!("expected constant, found {other}"))),
+        }
+    }
+
+    /// `let name = expr;` (parameter) or `let name($a, $b) = expr;`
+    /// (helper function).
+    fn let_def(&mut self) -> Result<LetItem> {
+        self.expect(Tok::Ident("let".into()))?;
+        let name = self.ident()?;
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            let mut params = Vec::new();
+            if *self.peek() != Tok::RParen {
+                loop {
+                    match self.bump() {
+                        Tok::Var(v) => params.push(v),
+                        other => {
+                            return Err(self.err(format!(
+                                "function parameters are `$`-variables, found {other}"
+                            )))
+                        }
+                    }
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Eq)?;
+            let body = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(LetItem::Func(crate::ast::FuncDef { name, params, body }));
+        }
+        self.expect(Tok::Eq)?;
+        let expr = self.expr()?;
+        self.expect(Tok::Semi)?;
+        Ok(LetItem::Param(LetDef { name, expr }))
+    }
+
+    fn rule(&mut self) -> Result<RuleDef> {
+        self.expect(Tok::Ident("rule".into()))?;
+        let head = self.head()?;
+        self.expect(Tok::LBrace)?;
+        let mut body = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::RBrace => {
+                    self.bump();
+                    return Ok(RuleDef { head, body });
+                }
+                _ => body.push(self.stmt()?),
+            }
+        }
+    }
+
+    fn head(&mut self) -> Result<RuleHead> {
+        let op_name = self.ident()?;
+        let op = OperatorKind::parse(&op_name)
+            .ok_or_else(|| self.err(format!("unknown operator `{op_name}` in rule head")))?;
+        self.expect(Tok::LParen)?;
+        let mut raw: Vec<HeadArg> = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                raw.push(self.head_arg()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.classify_head(op, raw)
+    }
+
+    /// Parse one head argument without positional context.
+    fn head_arg(&mut self) -> Result<HeadArg> {
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let mut attrs = Vec::new();
+            if *self.peek() != Tok::RBracket {
+                loop {
+                    attrs.push(self.ident()?);
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RBracket)?;
+            return Ok(HeadArg::AttrList(attrs));
+        }
+        // Parse a term; a comparison operator promotes it to a predicate.
+        let left = match self.bump() {
+            Tok::Ident(s) => TermTok::Ident(s),
+            Tok::Var(s) => TermTok::Var(s),
+            Tok::Number(n) => TermTok::Const(num_to_value(n)),
+            Tok::Str(s) => TermTok::Const(Value::Str(s)),
+            other => return Err(self.err(format!("unexpected {other} in rule head"))),
+        };
+        let cmp = match self.peek() {
+            Tok::Eq => Some(CompareOp::Eq),
+            Tok::Ne => Some(CompareOp::Ne),
+            Tok::Lt => Some(CompareOp::Lt),
+            Tok::Le => Some(CompareOp::Le),
+            Tok::Gt => Some(CompareOp::Gt),
+            Tok::Ge => Some(CompareOp::Ge),
+            _ => None,
+        };
+        let Some(op) = cmp else {
+            return Ok(match left {
+                TermTok::Ident(s) => HeadArg::Coll(CollTerm::Named(s)),
+                TermTok::Var(s) => HeadArg::Coll(CollTerm::Var(s)),
+                TermTok::Const(v) => {
+                    return Err(self.err(format!("unexpected constant {v} in rule head")))
+                }
+            });
+        };
+        self.bump();
+        let lattr = match left {
+            TermTok::Ident(s) => AttrTerm::Named(s),
+            TermTok::Var(s) => AttrTerm::Var(s),
+            TermTok::Const(v) => {
+                return Err(self.err(format!("predicate left side cannot be constant {v}")))
+            }
+        };
+        let right = match self.bump() {
+            Tok::Ident(s) => PredRhs::Ident(s),
+            Tok::Var(s) => PredRhs::Var(s),
+            Tok::Number(n) => PredRhs::Const(num_to_value(n)),
+            Tok::Str(s) => PredRhs::Const(Value::Str(s)),
+            Tok::Minus => PredRhs::Const(num_to_value(-self.number()?)),
+            other => return Err(self.err(format!("unexpected {other} after comparison"))),
+        };
+        Ok(HeadArg::Pred {
+            left: lattr,
+            op,
+            right,
+        })
+    }
+
+    /// Re-classify positionally: collection slots stay collections; the
+    /// trailing slot of `select`/`project`/`join` may be a free predicate
+    /// variable; `sort`'s second slot is an attribute.
+    fn classify_head(&self, op: OperatorKind, mut raw: Vec<HeadArg>) -> Result<RuleHead> {
+        let arity = match op {
+            OperatorKind::Scan
+            | OperatorKind::Dedup
+            | OperatorKind::Aggregate
+            | OperatorKind::Submit => 1,
+            OperatorKind::Select
+            | OperatorKind::Project
+            | OperatorKind::Sort
+            | OperatorKind::Union => 2,
+            OperatorKind::Join => 3,
+        };
+        if raw.len() != arity {
+            return Err(self.err(format!(
+                "operator `{op}` takes {arity} argument(s), found {}",
+                raw.len()
+            )));
+        }
+        // Positions holding collections: 0 always; 1 for join/union.
+        let coll_slots: &[usize] = match op {
+            OperatorKind::Join | OperatorKind::Union => &[0, 1],
+            _ => &[0],
+        };
+        for (idx, arg) in raw.iter_mut().enumerate() {
+            if coll_slots.contains(&idx) {
+                if !matches!(arg, HeadArg::Coll(_)) {
+                    return Err(self.err(format!(
+                        "argument {} of `{op}` must be a collection term",
+                        idx + 1
+                    )));
+                }
+                continue;
+            }
+            // Trailing argument.
+            match op {
+                OperatorKind::Sort => {
+                    // A collection-parsed term here is really an attribute.
+                    if let HeadArg::Coll(c) = arg {
+                        *arg = HeadArg::Attr(match c {
+                            CollTerm::Named(s) => AttrTerm::Named(std::mem::take(s)),
+                            CollTerm::Var(s) => AttrTerm::Var(std::mem::take(s)),
+                        });
+                    } else {
+                        return Err(self.err("sort takes an attribute as second argument"));
+                    }
+                }
+                OperatorKind::Select | OperatorKind::Join | OperatorKind::Project => match arg {
+                    HeadArg::Pred { .. } | HeadArg::AttrList(_) => {}
+                    HeadArg::Coll(CollTerm::Var(v)) => {
+                        *arg = HeadArg::AnyPred(std::mem::take(v));
+                    }
+                    _ => {
+                        return Err(self.err(format!(
+                            "last argument of `{op}` must be a predicate, attribute list \
+                                 or free variable"
+                        )))
+                    }
+                },
+                _ => {
+                    return Err(self.err(format!("operator `{op}` takes no trailing argument")));
+                }
+            }
+        }
+        Ok(RuleHead { op, args: raw })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if *self.peek() == Tok::Ident("let".into()) {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(Tok::Eq)?;
+            let expr = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Let { name, expr });
+        }
+        let name = self.ident()?;
+        let var = CostVar::parse(&name).ok_or_else(|| {
+            self.err(format!(
+                "`{name}` is not a result variable (expected one of TimeFirst, TimeNext, \
+                 TotalTime, CountObject, TotalSize) — use `let {name} = …;` for locals"
+            ))
+        })?;
+        self.expect(Tok::Eq)?;
+        let expr = self.expr()?;
+        self.expect(Tok::Semi)?;
+        Ok(Stmt::Assign { var, expr })
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Tok::Number(n) => Ok(Expr::Num(n)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Var(v) => {
+                if *self.peek() == Tok::Dot {
+                    let segs = self.path_segs()?;
+                    Ok(Expr::Path {
+                        base: PathBase::Var(v),
+                        segs,
+                    })
+                } else {
+                    Ok(Expr::Var(v))
+                }
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    return Ok(Expr::Call(name, args));
+                }
+                if *self.peek() == Tok::Dot {
+                    let segs = self.path_segs()?;
+                    return Ok(Expr::Path {
+                        base: PathBase::Ident(name),
+                        segs,
+                    });
+                }
+                Ok(Expr::Ident(name))
+            }
+            other => Err(self.err(format!("unexpected {other} in expression"))),
+        }
+    }
+
+    fn path_segs(&mut self) -> Result<Vec<PathSeg>> {
+        let mut segs = Vec::new();
+        while *self.peek() == Tok::Dot {
+            self.bump();
+            match self.bump() {
+                Tok::Ident(s) => segs.push(PathSeg::Ident(s)),
+                Tok::Var(s) => segs.push(PathSeg::Var(s)),
+                other => return Err(self.err(format!("expected path segment, found {other}"))),
+            }
+        }
+        if segs.is_empty() || segs.len() > 2 {
+            return Err(self.err(format!(
+                "path expressions have 1 or 2 segments, found {}",
+                segs.len()
+            )));
+        }
+        Ok(segs)
+    }
+}
+
+enum TermTok {
+    Ident(String),
+    Var(String),
+    Const(Value),
+}
+
+/// A `let` item: plain parameter or helper function.
+enum LetItem {
+    Param(LetDef),
+    Func(crate::ast::FuncDef),
+}
+
+/// Map IDL elementary type keywords to [`DataType`].
+fn parse_type(s: &str) -> Option<DataType> {
+    Some(match s {
+        "long" | "short" | "int" => DataType::Long,
+        "double" | "float" => DataType::Double,
+        "string" | "String" => DataType::Str,
+        "boolean" | "bool" => DataType::Bool,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_4_style_interface() {
+        let doc = parse_document(
+            r#"
+            interface Employee {
+                attribute long salary;
+                attribute string name;
+                cardinality extent(10000, 1200000, 120);
+                cardinality attribute(salary, indexed, 10000, 1000, 30000);
+                cardinality attribute(name, indexed, 10000, "Adiba", "Valduriez");
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.interfaces.len(), 1);
+        let i = &doc.interfaces[0];
+        assert_eq!(i.name, "Employee");
+        assert_eq!(i.attributes.len(), 2);
+        assert_eq!(i.attributes[0], ("salary".into(), DataType::Long));
+        let e = i.extent.as_ref().unwrap();
+        assert_eq!(
+            (e.count_object, e.total_size, e.object_size),
+            (10000, 1200000, 120)
+        );
+        assert_eq!(i.attribute_cards[1].min, Value::Str("Adiba".into()));
+        assert!(i.attribute_cards[0].indexed);
+    }
+
+    #[test]
+    fn parses_figure_8_rules() {
+        let doc = parse_document(
+            r#"
+            rule scan(employee) {
+                TotalTime = 120 + employee.TotalSize * 12
+                          + employee.CountObject / employee.salary.CountDistinct;
+            }
+            rule select($C, $A = $V) {
+                CountObject = $C.CountObject * selectivity($A, $V);
+                TotalSize = CountObject * $C.ObjectSize;
+                TotalTime = $C.TotalTime + $C.TotalSize * 25;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.rules.len(), 2);
+        let scan = &doc.rules[0];
+        assert_eq!(scan.head.op, OperatorKind::Scan);
+        assert_eq!(
+            scan.head.args,
+            vec![HeadArg::Coll(CollTerm::Named("employee".into()))]
+        );
+        assert_eq!(scan.body.len(), 1);
+
+        let select = &doc.rules[1];
+        assert_eq!(select.head.op, OperatorKind::Select);
+        assert!(matches!(
+            &select.head.args[1],
+            HeadArg::Pred { left: AttrTerm::Var(a), op: CompareOp::Eq, right: PredRhs::Var(v) }
+                if a == "A" && v == "V"
+        ));
+        assert_eq!(select.body.len(), 3);
+        match &select.body[0] {
+            Stmt::Assign { var, expr } => {
+                assert_eq!(*var, CostVar::CountObject);
+                assert!(matches!(expr, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_predicate_scope_heads() {
+        let doc = parse_document(
+            r#"
+            rule select(Employee, salary = 77) { TotalTime = 1; }
+            rule select(Employee, salary = $V) { TotalTime = 2; }
+            rule select($C, $P) { TotalTime = 3; }
+            rule join($R1, $R2, $A1 = $A2) { TotalTime = 4; }
+            rule join(Employee, Book, id = id) { TotalTime = 5; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.rules.len(), 5);
+        assert!(matches!(
+            &doc.rules[0].head.args[1],
+            HeadArg::Pred {
+                right: PredRhs::Const(Value::Long(77)),
+                ..
+            }
+        ));
+        assert!(matches!(&doc.rules[2].head.args[1], HeadArg::AnyPred(p) if p == "P"));
+        assert!(matches!(
+            &doc.rules[3].head.args[2],
+            HeadArg::Pred {
+                left: AttrTerm::Var(_),
+                right: PredRhs::Var(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &doc.rules[4].head.args[2],
+            HeadArg::Pred { left: AttrTerm::Named(a), right: PredRhs::Ident(b), .. }
+                if a == "id" && b == "id"
+        ));
+    }
+
+    #[test]
+    fn parses_lets_and_locals() {
+        let doc = parse_document(
+            r#"
+            let PageSize = 4096;
+            let IO = 25.0;
+            rule select($C, Id = $V) {
+                let CountPage = $C.TotalSize / PageSize;
+                CountObject = $C.CountObject * ($V - $C.Id.Min) / ($C.Id.Max - $C.Id.Min);
+                TotalSize = CountObject * $C.ObjectSize;
+                TotalTime = IO * CountPage * (1 - exp(0 - CountObject / CountPage))
+                          + CountObject * 0.009;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.lets.len(), 2);
+        assert_eq!(doc.rules[0].body.len(), 4);
+        assert!(matches!(&doc.rules[0].body[0], Stmt::Let { name, .. } if name == "CountPage"));
+    }
+
+    #[test]
+    fn project_and_sort_heads() {
+        let doc = parse_document(
+            r#"
+            rule project($C, [id, name]) { TotalTime = 1; }
+            rule sort($C, $A) { TotalTime = 2; }
+            rule sort($C, salary) { TotalTime = 3; }
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(&doc.rules[0].head.args[1], HeadArg::AttrList(l) if l.len() == 2));
+        assert!(matches!(
+            &doc.rules[1].head.args[1],
+            HeadArg::Attr(AttrTerm::Var(_))
+        ));
+        assert!(matches!(
+            &doc.rules[2].head.args[1],
+            HeadArg::Attr(AttrTerm::Named(_))
+        ));
+    }
+
+    #[test]
+    fn collection_scope_rules_nest_in_interfaces() {
+        let doc = parse_document(
+            r#"
+            interface AtomicParts {
+                attribute long Id;
+                cardinality extent(70000, 3920000, 56);
+                rule scan(AtomicParts) { TotalTime = 120; }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.interfaces[0].rules.len(), 1);
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(parse_document("rule scan($C, $D) { }").is_err());
+        assert!(parse_document("rule join($A, $B) { }").is_err());
+        assert!(parse_document("rule select($C) { }").is_err());
+    }
+
+    #[test]
+    fn non_result_assignment_rejected() {
+        let e = parse_document("rule scan($C) { Total = 1; }").unwrap_err();
+        assert!(
+            e.message().contains("not a result variable"),
+            "{}",
+            e.message()
+        );
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        assert!(parse_document("rule frobnicate($C) { }").is_err());
+    }
+
+    #[test]
+    fn deep_paths_rejected() {
+        assert!(parse_document("rule scan($C) { TotalTime = a.b.c.d; }").is_err());
+    }
+
+    #[test]
+    fn precedence_and_negation() {
+        let doc = parse_document("rule scan($C) { TotalTime = 1 + 2 * 3 - -4; }").unwrap();
+        let Stmt::Assign { expr, .. } = &doc.rules[0].body[0] else {
+            panic!()
+        };
+        // ((1 + (2*3)) - (-4))
+        let Expr::Bin(BinOp::Sub, l, r) = expr else {
+            panic!("{expr:?}")
+        };
+        assert!(matches!(**r, Expr::Neg(_)));
+        let Expr::Bin(BinOp::Add, _, mul) = &**l else {
+            panic!()
+        };
+        assert!(matches!(**mul, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn empty_document_ok() {
+        let doc = parse_document("  // nothing\n").unwrap();
+        assert_eq!(doc, Document::default());
+    }
+
+    #[test]
+    fn negative_min_in_cardinality() {
+        let doc = parse_document(
+            "interface T { attribute long x; cardinality attribute(x, unindexed, 5, -10, 10); }",
+        )
+        .unwrap();
+        assert_eq!(doc.interfaces[0].attribute_cards[0].min, Value::Long(-10));
+    }
+}

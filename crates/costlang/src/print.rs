@@ -1,0 +1,245 @@
+//! Pretty-printing of cost documents.
+//!
+//! Renders an AST back to canonical source text. Used for diagnostics
+//! (showing the mediator administrator what a wrapper registered), for
+//! re-exporting adjusted documents, and — in tests — to establish the
+//! parse ↔ print round-trip property.
+
+use std::fmt::Write as _;
+
+use disco_common::Value;
+
+use crate::ast::{
+    AttrTerm, BinOp, CollTerm, Document, Expr, HeadArg, InterfaceDef, PathBase, PathSeg, PredRhs,
+    RuleDef, RuleHead, Stmt,
+};
+
+/// Render a whole document.
+pub fn print_document(doc: &Document) -> String {
+    let mut out = String::new();
+    for l in &doc.lets {
+        let _ = writeln!(out, "let {} = {};", l.name, print_expr(&l.expr));
+    }
+    for f in &doc.funcs {
+        let params: Vec<String> = f.params.iter().map(|p| format!("${p}")).collect();
+        let _ = writeln!(
+            out,
+            "let {}({}) = {};",
+            f.name,
+            params.join(", "),
+            print_expr(&f.body)
+        );
+    }
+    for r in &doc.rules {
+        out.push_str(&print_rule(r, 0));
+    }
+    for i in &doc.interfaces {
+        out.push_str(&print_interface(i));
+    }
+    out
+}
+
+fn print_interface(i: &InterfaceDef) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "interface {} {{", i.name);
+    for (name, ty) in &i.attributes {
+        let _ = writeln!(out, "    attribute {ty} {name};");
+    }
+    if let Some(e) = &i.extent {
+        let _ = writeln!(
+            out,
+            "    cardinality extent({}, {}, {});",
+            e.count_object, e.total_size, e.object_size
+        );
+    }
+    for c in &i.attribute_cards {
+        let _ = writeln!(
+            out,
+            "    cardinality attribute({}, {}, {}, {}, {});",
+            c.attribute,
+            if c.indexed { "indexed" } else { "unindexed" },
+            c.count_distinct,
+            print_value(&c.min),
+            print_value(&c.max)
+        );
+    }
+    for r in &i.rules {
+        out.push_str(&print_rule(r, 1));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render one rule at the given indent level.
+pub fn print_rule(r: &RuleDef, indent: usize) -> String {
+    let pad = "    ".repeat(indent);
+    let mut out = String::new();
+    let _ = writeln!(out, "{pad}rule {} {{", print_head(&r.head));
+    for s in &r.body {
+        match s {
+            Stmt::Let { name, expr } => {
+                let _ = writeln!(out, "{pad}    let {name} = {};", print_expr(expr));
+            }
+            Stmt::Assign { var, expr } => {
+                let _ = writeln!(out, "{pad}    {var} = {};", print_expr(expr));
+            }
+        }
+    }
+    let _ = writeln!(out, "{pad}}}");
+    out
+}
+
+/// Render a rule head.
+pub fn print_head(h: &RuleHead) -> String {
+    let args: Vec<String> = h.args.iter().map(print_head_arg).collect();
+    format!("{}({})", h.op, args.join(", "))
+}
+
+fn print_head_arg(a: &HeadArg) -> String {
+    match a {
+        HeadArg::Coll(CollTerm::Named(n)) => n.clone(),
+        HeadArg::Coll(CollTerm::Var(v)) => format!("${v}"),
+        HeadArg::Pred { left, op, right } => {
+            let l = match left {
+                AttrTerm::Named(n) => n.clone(),
+                AttrTerm::Var(v) => format!("${v}"),
+            };
+            let r = match right {
+                PredRhs::Const(v) => print_value(v),
+                PredRhs::Ident(s) => s.clone(),
+                PredRhs::Var(v) => format!("${v}"),
+            };
+            format!("{l} {} {r}", op.symbol())
+        }
+        HeadArg::AnyPred(v) => format!("${v}"),
+        HeadArg::AttrList(list) => format!("[{}]", list.join(", ")),
+        HeadArg::Attr(AttrTerm::Named(n)) => n.clone(),
+        HeadArg::Attr(AttrTerm::Var(v)) => format!("${v}"),
+    }
+}
+
+fn print_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Value::Null => "null".into(),
+        other => other.to_string(),
+    }
+}
+
+/// Render an expression with minimal parentheses (fully parenthesized
+/// binary operations, which re-parse identically).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Expr::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Expr::Ident(s) => s.clone(),
+        Expr::Var(v) => format!("${v}"),
+        Expr::Path { base, segs } => {
+            let mut out = match base {
+                PathBase::Ident(s) => s.clone(),
+                PathBase::Var(v) => format!("${v}"),
+            };
+            for s in segs {
+                out.push('.');
+                match s {
+                    PathSeg::Ident(i) => out.push_str(i),
+                    PathSeg::Var(v) => {
+                        out.push('$');
+                        out.push_str(v);
+                    }
+                }
+            }
+            out
+        }
+        Expr::Neg(inner) => format!("(-{})", print_expr(inner)),
+        Expr::Bin(op, l, r) => format!(
+            "({} {} {})",
+            print_expr(l),
+            match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            },
+            print_expr(r)
+        ),
+        Expr::Call(f, args) => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{f}({})", a.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn round_trip(src: &str) {
+        let doc = parse_document(src).unwrap();
+        let printed = print_document(&doc);
+        let reparsed = parse_document(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(doc, reparsed, "--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_figure_8() {
+        round_trip(
+            "rule scan(employee) {
+                TotalTime = 120 + employee.TotalSize * 12
+                          + employee.CountObject / employee.salary.CountDistinct;
+            }
+            rule select($C, $A = $V) {
+                CountObject = $C.CountObject * selectivity($A, $V);
+                TotalSize = CountObject * $C.ObjectSize;
+                TotalTime = $C.TotalTime + $C.TotalSize * 25;
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trips_interfaces() {
+        round_trip(
+            r#"interface Employee {
+                attribute long salary;
+                attribute string name;
+                cardinality extent(10000, 1200000, 120);
+                cardinality attribute(salary, indexed, 100, 1000, 30000);
+                cardinality attribute(name, unindexed, 10000, "Adiba", "Valduriez");
+                rule scan(Employee) { TotalTime = 1; }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_negation_and_strings() {
+        round_trip(
+            r#"let X = -4.5;
+            rule select($C, name = "O\"Brien") { TotalTime = 0 - X; }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_all_head_shapes() {
+        round_trip(
+            "rule project($C, [a, b]) { TotalTime = 1; }
+             rule project($C, $P) { TotalTime = 1; }
+             rule sort($C, $A) { TotalTime = 1; }
+             rule sort($C, salary) { TotalTime = 1; }
+             rule join($R1, $R2, $A1 = $A2) { TotalTime = 1; }
+             rule join(Employee, Book, id = id) { TotalTime = 1; }
+             rule union($A, $B) { TotalTime = 1; }
+             rule dedup($C) { TotalTime = 1; }
+             rule aggregate($C) { TotalTime = 1; }
+             rule submit($C) { TotalTime = 1; }
+             rule select(Employee, salary >= 77) { TotalTime = 1; }",
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Tokens of the cost communication language.
+
+use std::fmt;
+
+/// A source position (1-based line and column) for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare identifier or keyword (`interface`, `rule`, `scan`, names…).
+    Ident(String),
+    /// `$`-prefixed free variable (without the `$`).
+    Var(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string literal (unescaped content).
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// `=` — both assignment and the equality comparison in rule heads.
+    Eq,
+    /// `!=`
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Var(s) => write!(f, "`${s}`"),
+            Tok::Number(n) => write!(f, "number {n}"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::Ne => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}

@@ -1,0 +1,360 @@
+//! The bytecode VM that evaluates shipped cost formulas inside the
+//! mediator during query optimization.
+//!
+//! Evaluation is fail-soft by design: a formula that references an
+//! unavailable statistic or mixes types yields an [`EvalError`]; the
+//! estimator then falls back to a less specific rule, so a badly written
+//! wrapper rule degrades accuracy, never correctness.
+
+use std::fmt;
+
+use disco_common::Value;
+
+use crate::ast::{CostVar, PathLeaf};
+use crate::bytecode::{AttrSpec, CollSpec, Instr, Program};
+
+/// Failure modes of formula evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A path reference could not be resolved by the environment.
+    UnresolvedPath(String),
+    /// A head binding or parameter was unavailable.
+    Unresolved(String),
+    /// Arithmetic over non-numeric values.
+    Type(String),
+    /// An environment function call failed or is unknown.
+    Call(String),
+    /// Internal stack underflow — indicates a compiler bug, surfaced as an
+    /// error instead of a panic so optimization can continue.
+    Stack,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnresolvedPath(p) => write!(f, "unresolved path `{p}`"),
+            EvalError::Unresolved(n) => write!(f, "unresolved name `{n}`"),
+            EvalError::Type(m) => write!(f, "type error: {m}"),
+            EvalError::Call(m) => write!(f, "call error: {m}"),
+            EvalError::Stack => f.write_str("stack underflow"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluation environment a [`Program`] runs against.
+///
+/// The estimator in `disco-core` implements this over the plan node being
+/// costed: head bindings from rule matching, statistics from the catalog,
+/// child variables from already-estimated subtrees.
+pub trait EvalEnv {
+    /// Resolve a path reference (`$C.TotalTime`, `Employee.salary.Min`, …).
+    fn path(&self, coll: &CollSpec, attr: Option<&AttrSpec>, leaf: PathLeaf) -> Option<Value>;
+
+    /// Value of a head binding (`$V` → the matched constant, `$A` → the
+    /// matched attribute name as a string).
+    fn binding(&self, name: &str) -> Option<Value>;
+
+    /// Wrapper-level or mediator-level parameter (`PageSize`, `IO`, …).
+    fn param(&self, name: &str) -> Option<Value>;
+
+    /// Already-computed result variable of the *current* node (used when a
+    /// rule contributes only some variables and reads the others).
+    fn self_var(&self, var: CostVar) -> Option<f64>;
+
+    /// Ad-hoc function call (e.g. `selectivity`).
+    fn call(&self, func: &str, args: &[Value]) -> Option<Value>;
+}
+
+/// Run a program, returning the final local slots.
+///
+/// The caller reads outputs via [`crate::bytecode::CompiledBody::output_slot`].
+pub fn eval_program(program: &Program, env: &dyn EvalEnv) -> Result<Vec<Value>, EvalError> {
+    let mut locals = vec![Value::Null; program.n_locals as usize];
+    let mut stack: Vec<Value> = Vec::with_capacity(8);
+
+    fn popn(stack: &mut Vec<Value>) -> Result<f64, EvalError> {
+        let v = stack.pop().ok_or(EvalError::Stack)?;
+        v.as_f64()
+            .ok_or_else(|| EvalError::Type(format!("expected number, found {v}")))
+    }
+
+    for instr in &program.instrs {
+        match instr {
+            Instr::Const(i) => {
+                stack.push(program.consts[*i as usize].clone());
+            }
+            Instr::LoadLocal(s) => {
+                stack.push(locals[*s as usize].clone());
+            }
+            Instr::StoreLocal(s) => {
+                let v = stack.pop().ok_or(EvalError::Stack)?;
+                locals[*s as usize] = v;
+            }
+            Instr::LoadBinding(i) => {
+                let name = &program.names[*i as usize];
+                let v = env
+                    .binding(name)
+                    .ok_or_else(|| EvalError::Unresolved(format!("${name}")))?;
+                stack.push(v);
+            }
+            Instr::LoadParam(i) => {
+                let name = &program.names[*i as usize];
+                let v = env
+                    .param(name)
+                    .ok_or_else(|| EvalError::Unresolved(name.clone()))?;
+                stack.push(v);
+            }
+            Instr::LoadSelfVar(var) => {
+                let v = env
+                    .self_var(*var)
+                    .ok_or_else(|| EvalError::Unresolved(var.name().to_owned()))?;
+                stack.push(Value::Double(v));
+            }
+            Instr::LoadPath(i) => {
+                let p = &program.paths[*i as usize];
+                let v = env.path(&p.coll, p.attr.as_ref(), p.leaf).ok_or_else(|| {
+                    EvalError::UnresolvedPath(format!("{:?}.{:?}.{:?}", p.coll, p.attr, p.leaf))
+                })?;
+                stack.push(v);
+            }
+            Instr::Add => {
+                let (b, a) = (popn(&mut stack)?, popn(&mut stack)?);
+                stack.push(Value::Double(a + b));
+            }
+            Instr::Sub => {
+                let (b, a) = (popn(&mut stack)?, popn(&mut stack)?);
+                stack.push(Value::Double(a - b));
+            }
+            Instr::Mul => {
+                let (b, a) = (popn(&mut stack)?, popn(&mut stack)?);
+                stack.push(Value::Double(a * b));
+            }
+            Instr::Div => {
+                let (b, a) = (popn(&mut stack)?, popn(&mut stack)?);
+                if b == 0.0 {
+                    return Err(EvalError::Type("division by zero".into()));
+                }
+                stack.push(Value::Double(a / b));
+            }
+            Instr::Neg => {
+                let a = popn(&mut stack)?;
+                stack.push(Value::Double(-a));
+            }
+            Instr::CallBuiltin(b) => {
+                let arity = b.arity();
+                let mut args = [0.0f64; 2];
+                for k in (0..arity).rev() {
+                    args[k] = popn(&mut stack)?;
+                }
+                stack.push(Value::Double(b.apply(&args[..arity])));
+            }
+            Instr::CallEnv(i, argc) => {
+                let name = &program.names[*i as usize];
+                let n = *argc as usize;
+                if stack.len() < n {
+                    return Err(EvalError::Stack);
+                }
+                let args: Vec<Value> = stack.split_off(stack.len() - n);
+                let v = env
+                    .call(name, &args)
+                    .ok_or_else(|| EvalError::Call(format!("`{name}` failed or unknown")))?;
+                stack.push(v);
+            }
+        }
+    }
+    Ok(locals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    /// Test environment backed by closures-as-tables.
+    #[derive(Default)]
+    struct TestEnv {
+        params: Vec<(String, f64)>,
+        bindings: Vec<(String, Value)>,
+        self_vars: Vec<(CostVar, f64)>,
+        paths: Vec<(PathLeaf, f64)>,
+    }
+
+    impl EvalEnv for TestEnv {
+        fn path(&self, _c: &CollSpec, _a: Option<&AttrSpec>, leaf: PathLeaf) -> Option<Value> {
+            self.paths
+                .iter()
+                .find(|(l, _)| *l == leaf)
+                .map(|(_, v)| Value::Double(*v))
+        }
+        fn binding(&self, name: &str) -> Option<Value> {
+            self.bindings
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        }
+        fn param(&self, name: &str) -> Option<Value> {
+            self.params
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| Value::Double(*v))
+        }
+        fn self_var(&self, var: CostVar) -> Option<f64> {
+            self.self_vars
+                .iter()
+                .find(|(v, _)| *v == var)
+                .map(|(_, x)| *x)
+        }
+        fn call(&self, func: &str, args: &[Value]) -> Option<Value> {
+            match func {
+                "selectivity" => {
+                    let _ = args;
+                    Some(Value::Double(0.5))
+                }
+                _ => None,
+            }
+        }
+    }
+
+    fn body_of(src: &str) -> crate::bytecode::CompiledBody {
+        let doc = parse_document(src).unwrap();
+        crate::compile::compile_rule(&doc.rules[0], None)
+            .unwrap()
+            .body
+    }
+
+    fn run(src: &str, env: &TestEnv) -> Vec<(CostVar, f64)> {
+        let body = body_of(src);
+        let locals = eval_program(&body.program, env).unwrap();
+        body.outputs
+            .iter()
+            .map(|(v, s)| (*v, locals[*s as usize].as_f64().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let out = run(
+            "rule scan($C) { TotalTime = 1 + 2 * 3 - 10 / 4; }",
+            &TestEnv::default(),
+        );
+        assert_eq!(out, vec![(CostVar::TotalTime, 4.5)]);
+    }
+
+    #[test]
+    fn locals_thread_between_statements() {
+        let out = run(
+            "rule scan($C) { let x = 7; let y = x * 2; TotalTime = y + x; }",
+            &TestEnv::default(),
+        );
+        assert_eq!(out, vec![(CostVar::TotalTime, 21.0)]);
+    }
+
+    #[test]
+    fn outputs_feed_later_formulas() {
+        let out = run(
+            "rule scan($C) { CountObject = 10; TotalSize = CountObject * 56; }",
+            &TestEnv::default(),
+        );
+        assert_eq!(
+            out,
+            vec![(CostVar::CountObject, 10.0), (CostVar::TotalSize, 560.0)]
+        );
+    }
+
+    #[test]
+    fn bindings_and_params() {
+        let env = TestEnv {
+            params: vec![("PageSize".into(), 4096.0)],
+            bindings: vec![("V".into(), Value::Long(100))],
+            ..Default::default()
+        };
+        let out = run(
+            "rule select($C, $A = $V) { TotalTime = $V / PageSize; }",
+            &env,
+        );
+        assert!((out[0].1 - 100.0 / 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn env_call_dispatch() {
+        let env = TestEnv {
+            bindings: vec![
+                ("A".into(), Value::Str("salary".into())),
+                ("V".into(), Value::Long(7)),
+            ],
+            ..Default::default()
+        };
+        let out = run(
+            "rule select($C, $A = $V) { CountObject = 100 * selectivity($A, $V); }",
+            &env,
+        );
+        assert_eq!(out[0].1, 50.0);
+    }
+
+    #[test]
+    fn self_var_fallback() {
+        let env = TestEnv {
+            self_vars: vec![(CostVar::CountObject, 42.0)],
+            ..Default::default()
+        };
+        let out = run("rule select($C, $P) { TotalTime = CountObject * 2; }", &env);
+        assert_eq!(out[0].1, 84.0);
+    }
+
+    #[test]
+    fn paths_resolve_via_env() {
+        let env = TestEnv {
+            paths: vec![(PathLeaf::Cost(CostVar::TotalTime), 120.0)],
+            ..Default::default()
+        };
+        let out = run(
+            "rule select($C, $P) { TotalTime = $C.TotalTime + 5; }",
+            &env,
+        );
+        assert_eq!(out[0].1, 125.0);
+    }
+
+    #[test]
+    fn missing_binding_is_an_error_not_a_panic() {
+        let body = body_of("rule select($C, $A = $V) { TotalTime = $V; }");
+        let err = eval_program(&body.program, &TestEnv::default()).unwrap_err();
+        assert!(matches!(err, EvalError::Unresolved(_)));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let body = body_of("rule scan($C) { TotalTime = 1 / 0; }");
+        let err = eval_program(&body.program, &TestEnv::default()).unwrap_err();
+        assert!(matches!(err, EvalError::Type(_)));
+    }
+
+    #[test]
+    fn string_arithmetic_is_an_error() {
+        let body = body_of("rule scan($C) { TotalTime = \"abc\" + 1; }");
+        let err = eval_program(&body.program, &TestEnv::default()).unwrap_err();
+        assert!(matches!(err, EvalError::Type(_)));
+    }
+
+    #[test]
+    fn builtins_evaluate() {
+        let out = run(
+            "rule scan($C) { TotalTime = min(3, max(1, 2)) + exp(0) + pow(2, 3); }",
+            &TestEnv::default(),
+        );
+        assert_eq!(out[0].1, 2.0 + 1.0 + 8.0);
+    }
+
+    #[test]
+    fn yao_style_formula_evaluates() {
+        // The Figure 13 shape with inline numbers:
+        // IO*CP*(1 - exp(-k/CP)) + k*Output, IO=0.025s→25ms, k=7000, CP=1000.
+        let out = run(
+            "rule scan($C) { TotalTime = 25 * 1000 * (1 - exp(0 - 7000 / 1000)) + 7000 * 9; }",
+            &TestEnv::default(),
+        );
+        let expected = 25.0 * 1000.0 * (1.0 - (-7.0f64).exp()) + 63000.0;
+        assert!((out[0].1 - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,322 @@
+//! Property test: every syntactically valid document survives a
+//! print → parse round trip unchanged.
+
+use proptest::prelude::*;
+
+use disco_algebra::{CompareOp, OperatorKind};
+use disco_common::Value;
+use disco_costlang::ast::{
+    AttrTerm, BinOp, CardAttribute, CardExtent, CollTerm, CostVar, Document, Expr, FuncDef,
+    HeadArg, InterfaceDef, LetDef, PathBase, PathSeg, PredRhs, RuleDef, RuleHead, Stmt,
+};
+use disco_costlang::{parse_document, print_document};
+
+/// Identifiers that cannot collide with keywords or reserved result names.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "rule"
+                | "let"
+                | "interface"
+                | "attribute"
+                | "cardinality"
+                | "extent"
+                | "indexed"
+                | "unindexed"
+                | "null"
+                | "true"
+                | "false"
+                | "scan"
+                | "select"
+                | "project"
+                | "sort"
+                | "join"
+                | "union"
+                | "dedup"
+                | "aggregate"
+                | "submit"
+                | "input"
+                | "left"
+                | "right"
+                | "min"
+                | "max"
+                | "exp"
+                | "ln"
+                | "log2"
+                | "log10"
+                | "sqrt"
+                | "pow"
+                | "ceil"
+                | "floor"
+                | "abs"
+        )
+    })
+}
+
+fn upper_ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,6}".prop_filter("reserved", |s| {
+        CostVar::parse(s).is_none() && !matches!(s.as_str(), "String")
+    })
+}
+
+fn num() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u32..1_000_000).prop_map(f64::from),
+        (0.0f64..1e6).prop_map(|x| (x * 1e3).round() / 1e3),
+    ]
+}
+
+fn string_lit() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}".prop_map(|s| s.replace('\\', "x")) // printable ASCII, printer escapes quotes
+}
+
+fn compare_op() -> impl Strategy<Value = CompareOp> {
+    prop_oneof![
+        Just(CompareOp::Eq),
+        Just(CompareOp::Ne),
+        Just(CompareOp::Lt),
+        Just(CompareOp::Le),
+        Just(CompareOp::Gt),
+        Just(CompareOp::Ge),
+    ]
+}
+
+fn cost_var() -> impl Strategy<Value = CostVar> {
+    prop::sample::select(CostVar::ALL.to_vec())
+}
+
+fn path_seg() -> impl Strategy<Value = PathSeg> {
+    prop_oneof![
+        ident().prop_map(PathSeg::Ident),
+        upper_ident().prop_map(PathSeg::Var),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        num().prop_map(Expr::Num),
+        string_lit().prop_map(Expr::Str),
+        ident().prop_map(Expr::Ident),
+        upper_ident().prop_map(Expr::Var),
+        (
+            prop_oneof![
+                ident().prop_map(PathBase::Ident),
+                upper_ident().prop_map(PathBase::Var)
+            ],
+            prop::collection::vec(path_seg(), 1..=2)
+        )
+            .prop_map(|(base, segs)| Expr::Path { base, segs }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (
+                prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+            (ident(), prop::collection::vec(inner, 0..3)).prop_map(|(f, args)| Expr::Call(f, args)),
+        ]
+    })
+}
+
+fn coll_term() -> impl Strategy<Value = CollTerm> {
+    prop_oneof![
+        ident().prop_map(CollTerm::Named),
+        upper_ident().prop_map(CollTerm::Var),
+    ]
+}
+
+fn attr_term() -> impl Strategy<Value = AttrTerm> {
+    prop_oneof![
+        ident().prop_map(AttrTerm::Named),
+        upper_ident().prop_map(AttrTerm::Var),
+    ]
+}
+
+fn select_pred() -> impl Strategy<Value = HeadArg> {
+    (
+        attr_term(),
+        compare_op(),
+        prop_oneof![
+            num().prop_map(|n| PredRhs::Const(if n.fract() == 0.0 {
+                Value::Long(n as i64)
+            } else {
+                Value::Double(n)
+            })),
+            string_lit().prop_map(|s| PredRhs::Const(Value::Str(s))),
+            upper_ident().prop_map(PredRhs::Var),
+        ],
+    )
+        .prop_map(|(left, op, right)| HeadArg::Pred { left, op, right })
+}
+
+fn join_pred() -> impl Strategy<Value = HeadArg> {
+    (
+        attr_term(),
+        compare_op(),
+        prop_oneof![
+            ident().prop_map(PredRhs::Ident),
+            upper_ident().prop_map(PredRhs::Var)
+        ],
+    )
+        .prop_map(|(left, op, right)| HeadArg::Pred { left, op, right })
+}
+
+fn head() -> impl Strategy<Value = RuleHead> {
+    prop_oneof![
+        coll_term().prop_map(|c| RuleHead {
+            op: OperatorKind::Scan,
+            args: vec![HeadArg::Coll(c)]
+        }),
+        (
+            coll_term(),
+            prop_oneof![select_pred(), upper_ident().prop_map(HeadArg::AnyPred),]
+        )
+            .prop_map(|(c, p)| RuleHead {
+                op: OperatorKind::Select,
+                args: vec![HeadArg::Coll(c), p],
+            }),
+        (
+            coll_term(),
+            prop_oneof![
+                prop::collection::vec(ident(), 1..4).prop_map(HeadArg::AttrList),
+                upper_ident().prop_map(HeadArg::AnyPred),
+            ]
+        )
+            .prop_map(|(c, p)| RuleHead {
+                op: OperatorKind::Project,
+                args: vec![HeadArg::Coll(c), p],
+            }),
+        (coll_term(), attr_term()).prop_map(|(c, a)| RuleHead {
+            op: OperatorKind::Sort,
+            args: vec![HeadArg::Coll(c), HeadArg::Attr(a)],
+        }),
+        (
+            coll_term(),
+            coll_term(),
+            prop_oneof![join_pred(), upper_ident().prop_map(HeadArg::AnyPred),]
+        )
+            .prop_map(|(a, b, p)| RuleHead {
+                op: OperatorKind::Join,
+                args: vec![HeadArg::Coll(a), HeadArg::Coll(b), p],
+            }),
+        (coll_term(), coll_term()).prop_map(|(a, b)| RuleHead {
+            op: OperatorKind::Union,
+            args: vec![HeadArg::Coll(a), HeadArg::Coll(b)],
+        }),
+        coll_term().prop_map(|c| RuleHead {
+            op: OperatorKind::Dedup,
+            args: vec![HeadArg::Coll(c)]
+        }),
+        coll_term().prop_map(|c| RuleHead {
+            op: OperatorKind::Aggregate,
+            args: vec![HeadArg::Coll(c)],
+        }),
+        coll_term().prop_map(|c| RuleHead {
+            op: OperatorKind::Submit,
+            args: vec![HeadArg::Coll(c)]
+        }),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (ident(), expr()).prop_map(|(name, expr)| Stmt::Let { name, expr }),
+        (cost_var(), expr()).prop_map(|(var, expr)| Stmt::Assign { var, expr }),
+    ]
+}
+
+fn rule() -> impl Strategy<Value = RuleDef> {
+    (head(), prop::collection::vec(stmt(), 0..5)).prop_map(|(head, body)| RuleDef { head, body })
+}
+
+fn interface() -> impl Strategy<Value = InterfaceDef> {
+    (
+        upper_ident(),
+        prop::collection::vec(
+            (
+                ident(),
+                prop::sample::select(vec![
+                    disco_common::DataType::Long,
+                    disco_common::DataType::Double,
+                    disco_common::DataType::Str,
+                    disco_common::DataType::Bool,
+                ]),
+            ),
+            0..4,
+        ),
+        prop::option::of((0u64..1_000_000, 0u64..100_000_000, 1u64..10_000).prop_map(
+            |(count_object, total_size, object_size)| CardExtent {
+                count_object,
+                total_size,
+                object_size,
+            },
+        )),
+        prop::collection::vec(
+            (
+                ident(),
+                any::<bool>(),
+                1u64..100_000,
+                -1_000i64..1_000,
+                0i64..1_000_000,
+            )
+                .prop_map(|(attribute, indexed, count_distinct, min, max)| {
+                    CardAttribute {
+                        attribute,
+                        indexed,
+                        count_distinct,
+                        min: Value::Long(min),
+                        max: Value::Long(max),
+                    }
+                }),
+            0..3,
+        ),
+        prop::collection::vec(rule(), 0..2),
+    )
+        .prop_map(
+            |(name, attributes, extent, attribute_cards, rules)| InterfaceDef {
+                name,
+                attributes,
+                extent,
+                attribute_cards,
+                rules,
+            },
+        )
+}
+
+fn document() -> impl Strategy<Value = Document> {
+    (
+        prop::collection::vec(
+            (ident(), expr()).prop_map(|(name, expr)| LetDef { name, expr }),
+            0..3,
+        ),
+        prop::collection::vec(
+            (ident(), prop::collection::vec(upper_ident(), 0..3), expr())
+                .prop_map(|(name, params, body)| FuncDef { name, params, body }),
+            0..2,
+        ),
+        prop::collection::vec(rule(), 0..4),
+        prop::collection::vec(interface(), 0..2),
+    )
+        .prop_map(|(lets, funcs, rules, interfaces)| Document {
+            interfaces,
+            lets,
+            funcs,
+            rules,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn print_parse_round_trip(doc in document()) {
+        let printed = print_document(&doc);
+        let reparsed = parse_document(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        prop_assert_eq!(doc, reparsed, "--- printed ---\n{}", printed);
+    }
+}

@@ -1,0 +1,257 @@
+//! Property test: the bytecode VM computes exactly what a direct AST
+//! interpreter computes, for arbitrary generated rule bodies.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use disco_common::Value;
+use disco_costlang::ast::{BinOp, CostVar, Expr, PathLeaf, Stmt};
+use disco_costlang::bytecode::{AttrSpec, CollSpec};
+use disco_costlang::{compile_body, eval_program, EvalEnv};
+
+/// Fixed environment both evaluators see.
+struct FixedEnv;
+
+const PARAMS: [(&str, f64); 3] = [("p0", 4096.0), ("p1", 25.0), ("p2", 0.5)];
+const BINDINGS: [(&str, f64); 2] = [("V", 77.0), ("W", -3.0)];
+const SELF_VARS: [(CostVar, f64); 5] = [
+    (CostVar::TimeFirst, 1.0),
+    (CostVar::TimeNext, 2.0),
+    (CostVar::TotalTime, 3.0),
+    (CostVar::CountObject, 40.0),
+    (CostVar::TotalSize, 500.0),
+];
+
+impl EvalEnv for FixedEnv {
+    fn path(&self, _c: &CollSpec, _a: Option<&AttrSpec>, leaf: PathLeaf) -> Option<Value> {
+        // Deterministic per-leaf values.
+        let v = match leaf {
+            PathLeaf::Stat(s) => 100.0 + format!("{s:?}").len() as f64,
+            PathLeaf::Cost(c) => 200.0 + c.name().len() as f64,
+        };
+        Some(Value::Double(v))
+    }
+    fn binding(&self, name: &str) -> Option<Value> {
+        BINDINGS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| Value::Double(*v))
+    }
+    fn param(&self, name: &str) -> Option<Value> {
+        PARAMS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| Value::Double(*v))
+    }
+    fn self_var(&self, var: CostVar) -> Option<f64> {
+        SELF_VARS.iter().find(|(v, _)| *v == var).map(|(_, x)| *x)
+    }
+    fn call(&self, func: &str, args: &[Value]) -> Option<Value> {
+        if func == "extfn" {
+            let sum: f64 = args.iter().filter_map(Value::as_f64).sum();
+            Some(Value::Double(sum + 1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Reference AST interpreter mirroring the VM's semantics.
+fn eval_ref(
+    e: &Expr,
+    locals: &HashMap<String, f64>,
+    assigned: &HashMap<CostVar, f64>,
+) -> Option<f64> {
+    match e {
+        Expr::Num(n) => Some(*n),
+        Expr::Str(_) => None, // strings in arithmetic are errors either way
+        Expr::Ident(name) => {
+            if let Some(v) = locals.get(name) {
+                return Some(*v);
+            }
+            if let Some(var) = CostVar::parse(name) {
+                // Locals shadow; otherwise the node's self variable.
+                if let Some(v) = assigned.get(&var) {
+                    return Some(*v);
+                }
+                return FixedEnv.self_var(var);
+            }
+            FixedEnv.param(name).and_then(|v| v.as_f64())
+        }
+        Expr::Var(v) => FixedEnv.binding(v).and_then(|v| v.as_f64()),
+        Expr::Path { .. } => None, // handled only via fixed leaf table; skipped in strategy
+        Expr::Neg(inner) => Some(-eval_ref(inner, locals, assigned)?),
+        Expr::Bin(op, l, r) => {
+            let (a, b) = (
+                eval_ref(l, locals, assigned)?,
+                eval_ref(r, locals, assigned)?,
+            );
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    a / b
+                }
+            })
+        }
+        Expr::Call(f, args) => {
+            let vals: Vec<f64> = args
+                .iter()
+                .map(|a| eval_ref(a, locals, assigned))
+                .collect::<Option<_>>()?;
+            match f.as_str() {
+                "min" => Some(vals[0].min(vals[1])),
+                "max" => Some(vals[0].max(vals[1])),
+                "exp" => Some(vals[0].exp()),
+                "ln" => Some(vals[0].ln()),
+                "sqrt" => Some(vals[0].sqrt()),
+                "abs" => Some(vals[0].abs()),
+                "ceil" => Some(vals[0].ceil()),
+                "floor" => Some(vals[0].floor()),
+                "extfn" => Some(vals.iter().sum::<f64>() + 1.0),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Run a body through the reference interpreter.
+fn run_ref(body: &[Stmt]) -> Option<Vec<(CostVar, f64)>> {
+    let mut locals: HashMap<String, f64> = HashMap::new();
+    let mut assigned: HashMap<CostVar, f64> = HashMap::new();
+    let mut outputs = Vec::new();
+    for s in body {
+        match s {
+            Stmt::Let { name, expr } => {
+                let v = eval_ref(expr, &locals, &assigned)?;
+                locals.insert(name.clone(), v);
+            }
+            Stmt::Assign { var, expr } => {
+                let v = eval_ref(expr, &locals, &assigned)?;
+                // VM stores assigned vars as locals named after the var.
+                locals.insert(var.name().to_owned(), v);
+                assigned.insert(*var, v);
+                outputs.push((*var, v));
+            }
+        }
+    }
+    Some(outputs)
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["x".to_string(), "y".to_string(), "z".to_string()])
+}
+
+fn expr(defined: Vec<String>) -> impl Strategy<Value = Expr> {
+    let mut leaves = vec![
+        (0.0f64..1000.0).prop_map(Expr::Num).boxed(),
+        prop::sample::select(vec!["p0", "p1", "p2"])
+            .prop_map(|s| Expr::Ident(s.to_string()))
+            .boxed(),
+        prop::sample::select(vec!["V", "W"])
+            .prop_map(|s| Expr::Var(s.to_string()))
+            .boxed(),
+        prop::sample::select(CostVar::ALL.to_vec())
+            .prop_map(|v| Expr::Ident(v.name().to_string()))
+            .boxed(),
+    ];
+    if !defined.is_empty() {
+        leaves.push(prop::sample::select(defined).prop_map(Expr::Ident).boxed());
+    }
+    let leaf = prop::strategy::Union::new(leaves);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (
+                prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+            (
+                prop::sample::select(vec!["min", "max"]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(f, a, b)| Expr::Call(f.to_string(), vec![a, b])),
+            (
+                prop::sample::select(vec!["exp", "abs", "ceil", "floor"]),
+                inner.clone()
+            )
+                .prop_map(|(f, a)| Expr::Call(f.to_string(), vec![a])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Call("extfn".to_string(), vec![a, b])),
+        ]
+    })
+}
+
+fn body() -> impl Strategy<Value = Vec<Stmt>> {
+    // Build statements sequentially so later expressions may reference
+    // earlier locals.
+    (ident(), ident(), ident()).prop_flat_map(|(n1, n2, n3)| {
+        (
+            expr(vec![]),
+            expr(vec![n1.clone()]),
+            expr(vec![n1.clone(), n2.clone()]),
+            prop::sample::select(CostVar::ALL.to_vec()),
+            prop::sample::select(CostVar::ALL.to_vec()),
+        )
+            .prop_map(move |(e1, e2, e3, v1, v2)| {
+                vec![
+                    Stmt::Let {
+                        name: n1.clone(),
+                        expr: e1,
+                    },
+                    Stmt::Assign { var: v1, expr: e2 },
+                    Stmt::Let {
+                        name: n2.clone(),
+                        expr: e3.clone(),
+                    },
+                    Stmt::Assign { var: v2, expr: e3 },
+                    Stmt::Let {
+                        name: n3.clone(),
+                        expr: Expr::Num(1.0),
+                    },
+                ]
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn vm_matches_reference_interpreter(body in body()) {
+        let compiled =
+            compile_body(&body, &disco_costlang::compile::HeadVars::of(&["V", "W"])).unwrap();
+        let vm = eval_program(&compiled.program, &FixedEnv);
+        let reference = run_ref(&body);
+        match (vm, reference) {
+            (Ok(locals), Some(expected)) => {
+                // Last assignment per variable wins (matches output_slot).
+                let mut last: HashMap<CostVar, f64> = HashMap::new();
+                for (var, v) in expected {
+                    last.insert(var, v);
+                }
+                for (var, want) in last {
+                    let slot = compiled.output_slot(var).unwrap();
+                    let got = locals[slot as usize].as_f64().unwrap();
+                    // NaN == NaN for this comparison; exact bits otherwise.
+                    prop_assert!(
+                        got == want || (got.is_nan() && want.is_nan()),
+                        "{var}: vm {got} != ref {want}"
+                    );
+                }
+            }
+            (Err(_), None) => {} // both fail (division by zero)
+            (vm, reference) => {
+                prop_assert!(false, "divergence: vm {vm:?} vs ref {reference:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Plan execution (steps 4–6 of Figure 2).
+//!
+//! The executor walks the physical plan, submits wrapper subqueries,
+//! combines subanswers with the shared in-memory operators, and accounts
+//! *measured* time on a mediator-side virtual clock: wrapper-reported
+//! elapsed time + uniform communication cost + mediator CPU. Per-submit
+//! accounting supports both sequential and parallel submission semantics
+//! (Figure 2 shows steps 4a/4b issued concurrently) via
+//! [`ExecutionTrace::sequential_ms`] and [`ExecutionTrace::parallel_ms`].
+
+use std::collections::BTreeMap;
+
+use disco_algebra::{LogicalPlan, PhysicalJoinAlgo, PhysicalPlan};
+use disco_common::{DiscoError, Result, Schema, Tuple};
+use disco_core::{NodeCost, RuleRegistry};
+use disco_sources::exec;
+use disco_sources::{ExecStats, VirtualClock};
+use disco_wrapper::Wrapper;
+
+/// Record of one submitted subquery.
+#[derive(Debug, Clone)]
+pub struct SubmitTrace {
+    pub wrapper: String,
+    pub plan: LogicalPlan,
+    pub stats: ExecStats,
+    pub tuples: usize,
+    /// Size of the shipped subanswer in bytes.
+    pub bytes: u64,
+    /// Communication time charged for this subanswer (ms).
+    pub comm_ms: f64,
+}
+
+/// Accounting for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    pub submits: Vec<SubmitTrace>,
+    /// Mediator-side CPU time (ms).
+    pub mediator_ms: f64,
+    /// Communication time (ms).
+    pub communication_ms: f64,
+    /// Sum of wrapper-reported elapsed times (ms).
+    pub wrapper_ms: f64,
+}
+
+impl ExecutionTrace {
+    /// End-to-end time with sequential subquery submission: all wrapper
+    /// and communication time accumulates.
+    pub fn sequential_ms(&self) -> f64 {
+        self.wrapper_ms + self.communication_ms + self.mediator_ms
+    }
+
+    /// End-to-end time with parallel submission (steps 4a/4b of Figure 2
+    /// issued concurrently): the slowest subquery dominates.
+    pub fn parallel_ms(&self) -> f64 {
+        let slowest = self
+            .submits
+            .iter()
+            .map(|s| s.stats.elapsed_ms + s.comm_ms)
+            .fold(0.0, f64::max);
+        slowest + self.mediator_ms
+    }
+}
+
+/// A completed query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub tuples: Vec<Tuple>,
+    /// End-to-end simulated response time (ms).
+    pub measured_ms: f64,
+    /// The optimizer's estimate for the executed plan.
+    pub estimated: NodeCost,
+    pub trace: ExecutionTrace,
+}
+
+/// Executes physical plans against registered wrappers.
+pub struct Executor<'a> {
+    wrappers: &'a BTreeMap<String, Box<dyn Wrapper>>,
+    registry: &'a RuleRegistry,
+}
+
+impl<'a> Executor<'a> {
+    /// Build an executor over the wrapper table and registry (for the
+    /// mediator-side cost constants).
+    pub fn new(
+        wrappers: &'a BTreeMap<String, Box<dyn Wrapper>>,
+        registry: &'a RuleRegistry,
+    ) -> Self {
+        Executor { wrappers, registry }
+    }
+
+    fn param(&self, name: &str, default: f64) -> f64 {
+        self.registry.params().get_f64(name).unwrap_or(default)
+    }
+
+    /// Execute a plan, returning tuples, schema and the trace.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Schema, Vec<Tuple>, ExecutionTrace)> {
+        let mut clock = VirtualClock::new();
+        let mut trace = ExecutionTrace::default();
+        let (schema, tuples) = self.run(plan, &mut clock, &mut trace)?;
+        trace.mediator_ms = clock.now();
+        Ok((schema, tuples, trace))
+    }
+
+    fn run(
+        &self,
+        plan: &PhysicalPlan,
+        clock: &mut VirtualClock,
+        trace: &mut ExecutionTrace,
+    ) -> Result<(Schema, Vec<Tuple>)> {
+        let cpu_pred = self.param("CpuPred", 0.05);
+        let cpu_hash = self.param("CpuHash", 0.02);
+        match plan {
+            PhysicalPlan::SubmitRemote {
+                wrapper,
+                plan,
+                schema: expected_schema,
+            } => {
+                let w = self.wrappers.get(wrapper).ok_or_else(|| {
+                    DiscoError::Exec(format!("wrapper `{wrapper}` is not registered"))
+                })?;
+                let answer = w.execute(plan)?;
+                // A wrapper returning a different shape than it registered
+                // would silently misalign downstream column lookups.
+                if answer.schema.arity() != expected_schema.arity() {
+                    return Err(DiscoError::Exec(format!(
+                        "wrapper `{wrapper}` returned {} columns, plan expected {}",
+                        answer.schema.arity(),
+                        expected_schema.arity()
+                    )));
+                }
+                let bytes: u64 = answer.tuples.iter().map(Tuple::width).sum();
+                let comm =
+                    self.param("MsgLatency", 100.0) + bytes as f64 * self.param("PerByte", 0.001);
+                trace.wrapper_ms += answer.stats.elapsed_ms;
+                trace.communication_ms += comm;
+                trace.submits.push(SubmitTrace {
+                    wrapper: wrapper.clone(),
+                    plan: plan.clone(),
+                    stats: answer.stats,
+                    tuples: answer.tuples.len(),
+                    bytes,
+                    comm_ms: comm,
+                });
+                Ok((answer.schema, answer.tuples))
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let (schema, tuples) = self.run(input, clock, trace)?;
+                clock.charge(tuples.len() as f64 * predicate.conjuncts.len() as f64 * cpu_pred);
+                let out = exec::filter(&schema, &tuples, predicate)?;
+                Ok((schema, out))
+            }
+            PhysicalPlan::Project { input, columns } => {
+                let (schema, tuples) = self.run(input, clock, trace)?;
+                clock.charge(tuples.len() as f64 * cpu_hash);
+                exec::project(&schema, &tuples, columns)
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let (schema, mut tuples) = self.run(input, clock, trace)?;
+                let n = tuples.len() as f64;
+                clock.charge(self.param("SortFactor", 0.02) * n * n.max(2.0).log2());
+                exec::sort(&schema, &mut tuples, keys)?;
+                Ok((schema, tuples))
+            }
+            PhysicalPlan::Join {
+                algo,
+                left,
+                right,
+                predicate,
+            } => {
+                let (ls, lt) = self.run(left, clock, trace)?;
+                let (rs, rt) = self.run(right, clock, trace)?;
+                let out_schema = ls.join(&rs);
+                let out = match algo {
+                    PhysicalJoinAlgo::Hash => {
+                        clock.charge((lt.len() + rt.len()) as f64 * cpu_hash);
+                        let out = exec::hash_join(&ls, &lt, &rs, &rt, predicate)?;
+                        clock.charge(out.len() as f64 * cpu_hash);
+                        out
+                    }
+                    PhysicalJoinAlgo::SortMerge => {
+                        // Executed as sort + hash match; charged as the
+                        // sort-based algorithm it models.
+                        let sf = self.param("SortFactor", 0.02);
+                        let (nl, nr) = (lt.len() as f64, rt.len() as f64);
+                        clock.charge(sf * nl * nl.max(2.0).log2() + sf * nr * nr.max(2.0).log2());
+                        clock.charge((nl + nr) * cpu_pred);
+                        exec::hash_join(&ls, &lt, &rs, &rt, predicate)?
+                    }
+                    PhysicalJoinAlgo::NestedLoop => {
+                        clock.charge((lt.len() * rt.len()) as f64 * cpu_pred);
+                        exec::nested_loop_join(&ls, &lt, &rs, &rt, predicate)?
+                    }
+                };
+                Ok((out_schema, out))
+            }
+            PhysicalPlan::Union { left, right } => {
+                let (ls, mut lt) = self.run(left, clock, trace)?;
+                let (rs, rt) = self.run(right, clock, trace)?;
+                if ls.arity() != rs.arity() {
+                    return Err(DiscoError::Exec("union arity mismatch".into()));
+                }
+                clock.charge(rt.len() as f64 * cpu_hash);
+                lt.extend(rt);
+                Ok((ls, lt))
+            }
+            PhysicalPlan::Dedup { input } => {
+                let (schema, tuples) = self.run(input, clock, trace)?;
+                clock.charge(tuples.len() as f64 * cpu_hash);
+                Ok((schema, exec::dedup(&tuples)))
+            }
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let (schema, tuples) = self.run(input, clock, trace)?;
+                clock.charge(tuples.len() as f64 * cpu_hash);
+                let out = exec::aggregate(&schema, &tuples, group_by, aggs)?;
+                let out_schema = to_agg_schema(&schema, group_by, aggs)?;
+                Ok((out_schema, out))
+            }
+        }
+    }
+}
+
+/// Output schema of an aggregate over a known input schema.
+fn to_agg_schema(
+    input: &Schema,
+    group_by: &[String],
+    aggs: &[disco_algebra::logical::AggExpr],
+) -> Result<Schema> {
+    use disco_algebra::AggFunc;
+    use disco_common::{AttributeDef, DataType};
+    let mut attrs = Vec::with_capacity(group_by.len() + aggs.len());
+    for g in group_by {
+        let a = input
+            .attribute(g)
+            .ok_or_else(|| DiscoError::Exec(format!("unknown group-by attribute `{g}`")))?;
+        attrs.push(a.clone());
+    }
+    for a in aggs {
+        let ty = match a.func {
+            AggFunc::Count => DataType::Long,
+            AggFunc::Sum | AggFunc::Avg => DataType::Double,
+            AggFunc::Min | AggFunc::Max => a
+                .arg
+                .as_ref()
+                .and_then(|arg| input.attribute(arg))
+                .map(|d| d.ty)
+                .unwrap_or(DataType::Double),
+        };
+        attrs.push(AttributeDef::new(a.name.clone(), ty));
+    }
+    Ok(Schema::new(attrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::{CompareOp, JoinPredicate, PlanBuilder, Predicate, SelectPredicate};
+    use disco_common::{AttributeDef, DataType, QualifiedName, Value};
+    use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
+    use disco_wrapper::SourceWrapper;
+
+    fn wrappers() -> BTreeMap<String, Box<dyn Wrapper>> {
+        let schema = Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("v", DataType::Long),
+        ]);
+        let mut store = PagedStore::new("s", CostProfile::relational());
+        store
+            .add_collection(
+                "T",
+                CollectionBuilder::new(schema)
+                    .rows((0..100i64).map(|i| vec![Value::Long(i), Value::Long(i % 7)]))
+                    .object_size(16)
+                    .index("id"),
+            )
+            .unwrap();
+        let mut map: BTreeMap<String, Box<dyn Wrapper>> = BTreeMap::new();
+        map.insert("s".into(), Box::new(SourceWrapper::new("s", store)));
+        map
+    }
+
+    fn submit(v_max: i64) -> PhysicalPlan {
+        let schema = Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("v", DataType::Long),
+        ]);
+        let plan = PlanBuilder::scan(QualifiedName::new("s", "T"), schema.clone())
+            .select("id", CompareOp::Lt, v_max)
+            .build();
+        PhysicalPlan::SubmitRemote {
+            wrapper: "s".into(),
+            schema: plan.output_schema().unwrap(),
+            plan,
+        }
+    }
+
+    fn run(plan: &PhysicalPlan) -> (Schema, Vec<disco_common::Tuple>, ExecutionTrace) {
+        let w = wrappers();
+        let reg = disco_core::RuleRegistry::with_default_model();
+        // The registry must outlive the executor borrowing it.
+        let exec = Executor::new(&w, &reg);
+        exec.execute(plan).unwrap()
+    }
+
+    #[test]
+    fn submit_executes_and_traces() {
+        let (schema, tuples, trace) = run(&submit(10));
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(tuples.len(), 10);
+        assert_eq!(trace.submits.len(), 1);
+        assert!(trace.submits[0].comm_ms > 0.0);
+        assert!(trace.wrapper_ms > 0.0);
+        assert_eq!(trace.sequential_ms(), trace.parallel_ms());
+    }
+
+    #[test]
+    fn parallel_accounting_takes_max() {
+        let plan = PhysicalPlan::Union {
+            left: Box::new(submit(80)),
+            right: Box::new(submit(5)),
+        };
+        let (_, tuples, trace) = run(&plan);
+        assert_eq!(tuples.len(), 85);
+        let slow = trace
+            .submits
+            .iter()
+            .map(|s| s.stats.elapsed_ms + s.comm_ms)
+            .fold(0.0f64, f64::max);
+        let sum: f64 = trace
+            .submits
+            .iter()
+            .map(|s| s.stats.elapsed_ms + s.comm_ms)
+            .sum();
+        assert!((trace.parallel_ms() - (slow + trace.mediator_ms)).abs() < 1e-9);
+        assert!((trace.sequential_ms() - (sum + trace.mediator_ms)).abs() < 1e-9);
+        assert!(trace.parallel_ms() < trace.sequential_ms());
+    }
+
+    #[test]
+    fn join_algorithms_agree_on_output() {
+        let pred = JoinPredicate::equi("v", "v");
+        let variants = [
+            PhysicalJoinAlgo::Hash,
+            PhysicalJoinAlgo::SortMerge,
+            PhysicalJoinAlgo::NestedLoop,
+        ];
+        let mut sizes = Vec::new();
+        for algo in variants {
+            let plan = PhysicalPlan::Join {
+                algo,
+                left: Box::new(submit(10)),
+                right: Box::new(submit(10)),
+                predicate: pred.clone(),
+            };
+            let (_, tuples, _) = run(&plan);
+            sizes.push(tuples.len());
+        }
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[0], sizes[2]);
+        assert!(sizes[0] > 0);
+    }
+
+    #[test]
+    fn mediator_filter_sort_dedup_pipeline() {
+        let filtered = PhysicalPlan::Filter {
+            input: Box::new(submit(50)),
+            predicate: Predicate::single(SelectPredicate::new("v", CompareOp::Eq, Value::Long(3))),
+        };
+        let deduped = PhysicalPlan::Dedup {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(filtered),
+                columns: vec![("v".into(), disco_algebra::ScalarExpr::attr("v"))],
+            }),
+        };
+        let sorted = PhysicalPlan::Sort {
+            input: Box::new(deduped),
+            keys: vec![("v".into(), true)],
+        };
+        let (_, tuples, trace) = run(&sorted);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].get(0).unwrap().as_i64(), Some(3));
+        assert!(trace.mediator_ms > 0.0);
+    }
+
+    #[test]
+    fn missing_wrapper_is_an_exec_error() {
+        let w: BTreeMap<String, Box<dyn Wrapper>> = BTreeMap::new();
+        let reg = disco_core::RuleRegistry::with_default_model();
+        let exec = Executor::new(&w, &reg);
+        let err = exec.execute(&submit(10)).unwrap_err();
+        assert_eq!(err.kind(), "exec");
+    }
+}

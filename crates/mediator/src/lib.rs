@@ -1,0 +1,33 @@
+//! The DISCO mediator (paper §2).
+//!
+//! The mediator accepts declarative queries ("written in simple
+//! object/relational SQL", §2.2), decomposes them into algebraic
+//! subqueries — one per wrapper — plus a composition plan, optimizes the
+//! decomposition with the blended cost model of `disco-core`, executes the
+//! best plan by submitting subqueries to wrappers, and combines the
+//! subanswers.
+//!
+//! Modules:
+//!
+//! * [`sql`] — lexer, AST and parser for the query language;
+//! * [`analyze`] — name resolution against the catalog, predicate
+//!   classification (selections vs joins), output/aggregate validation;
+//! * [`optimizer`] — pushdown enumeration and dynamic-programming join
+//!   ordering, costed by the blended estimator; optional cost-limit
+//!   pruning (§4.3.2);
+//! * [`executor`] — pull-style execution: submit subqueries, combine
+//!   subanswers, account mediator-side virtual time;
+//! * [`mediator`] — the facade tying registration (Figure 1) and query
+//!   processing (Figure 2) together.
+
+pub mod analyze;
+pub mod executor;
+pub mod mediator;
+pub mod optimizer;
+pub mod sql;
+
+pub use analyze::{AnalyzedQuery, TableBinding};
+pub use executor::{ExecutionTrace, QueryResult};
+pub use mediator::{Mediator, MediatorOptions};
+pub use optimizer::{to_logical, OptimizedPlan, Optimizer, OptimizerOptions};
+pub use sql::{parse_query, parse_statement, Statement};

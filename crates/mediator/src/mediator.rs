@@ -1,0 +1,308 @@
+//! The mediator facade: registration phase + query phase (Figures 1–2).
+
+use std::collections::BTreeMap;
+
+use disco_algebra::display::explain_physical;
+use disco_algebra::PhysicalPlan;
+use disco_catalog::Catalog;
+use disco_common::{DiscoError, Result};
+use disco_core::{Estimator, HistoryRecorder, NodeCost, RuleRegistry};
+use disco_wrapper::Wrapper;
+
+use crate::analyze::analyze;
+use crate::executor::{Executor, QueryResult};
+use crate::optimizer::{OptimizedPlan, Optimizer, OptimizerOptions};
+
+/// Behaviour switches.
+#[derive(Debug, Clone, Default)]
+pub struct MediatorOptions {
+    /// Record executed subqueries as query-scope rules (§4.3.1).
+    pub record_history: bool,
+    /// Abandon estimation of plans worse than the current best (§4.3.2).
+    pub pruning: bool,
+    /// Issue wrapper subqueries concurrently (Figure 2 shows steps 4a/4b
+    /// in parallel): measured time is dominated by the slowest subquery
+    /// instead of their sum.
+    pub parallel_submits: bool,
+}
+
+/// The DISCO mediator.
+pub struct Mediator {
+    catalog: Catalog,
+    registry: RuleRegistry,
+    wrappers: BTreeMap<String, Box<dyn Wrapper>>,
+    history: HistoryRecorder,
+    options: MediatorOptions,
+}
+
+impl Default for Mediator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mediator {
+    /// A mediator with the generic cost model installed.
+    pub fn new() -> Self {
+        Mediator {
+            catalog: Catalog::new(),
+            registry: RuleRegistry::with_default_model(),
+            wrappers: BTreeMap::new(),
+            history: HistoryRecorder::new(),
+            options: MediatorOptions::default(),
+        }
+    }
+
+    /// Set behaviour options.
+    pub fn with_options(mut self, options: MediatorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The registration phase (Figure 1): upload the wrapper's schema,
+    /// capabilities, statistics and compiled cost rules.
+    pub fn register(&mut self, wrapper: Box<dyn Wrapper>) -> Result<()> {
+        let name = wrapper.name().to_owned();
+        let reg = wrapper.registration()?;
+        self.catalog
+            .register_wrapper(&name, reg.capabilities.clone())?;
+        for (coll, schema, stats) in &reg.collections {
+            self.catalog
+                .register_collection(&name, coll.clone(), schema.clone(), stats.clone())?;
+        }
+        self.registry.register_document(&name, &reg.cost_rules)?;
+        self.wrappers.insert(name, wrapper);
+        Ok(())
+    }
+
+    /// Remove a wrapper entirely (the administrative re-registration
+    /// interface of §2.1).
+    pub fn unregister(&mut self, name: &str) -> Result<()> {
+        self.catalog.unregister_wrapper(name)?;
+        self.registry.remove_wrapper(name);
+        self.wrappers.remove(name);
+        Ok(())
+    }
+
+    /// Re-register a wrapper in place (§2.1: "an administrative interface
+    /// … to re-register wrappers … necessary when the cost formulas are
+    /// improved by the wrapper implementor, or the statistics become out
+    /// of date"). Pulls a fresh registration payload from the wrapper and
+    /// replaces its catalog entries, parameters and rules; recorded
+    /// query-scope history for the wrapper is discarded with them.
+    pub fn refresh(&mut self, name: &str) -> Result<()> {
+        let wrapper = self
+            .wrappers
+            .get(name)
+            .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{name}` is not registered")))?;
+        let reg = wrapper.registration()?;
+        self.catalog.unregister_wrapper(name)?;
+        self.registry.remove_wrapper(name);
+        self.catalog
+            .register_wrapper(name, reg.capabilities.clone())?;
+        for (coll, schema, stats) in &reg.collections {
+            self.catalog
+                .register_collection(name, coll.clone(), schema.clone(), stats.clone())?;
+        }
+        self.registry.register_document(name, &reg.cost_rules)?;
+        Ok(())
+    }
+
+    /// The mediator catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The blended rule registry.
+    pub fn registry(&self) -> &RuleRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access (parameter adjustment, extra rules).
+    pub fn registry_mut(&mut self) -> &mut RuleRegistry {
+        &mut self.registry
+    }
+
+    /// Subqueries recorded into the history so far.
+    pub fn history_recorded(&self) -> usize {
+        self.history.recorded()
+    }
+
+    /// An estimator over the current registry/catalog.
+    pub fn estimator(&self) -> Estimator<'_> {
+        Estimator::new(&self.registry, &self.catalog)
+    }
+
+    /// Optimize a statement (a query or a `UNION [ALL]` chain) without
+    /// executing it.
+    pub fn plan(&self, sql: &str) -> Result<OptimizedPlan> {
+        let stmt = crate::sql::parse_statement(sql)?;
+        let opts = OptimizerOptions {
+            pruning: self.options.pruning,
+            ..Default::default()
+        };
+        let optimizer = Optimizer::new(&self.catalog, &self.registry, opts);
+
+        if stmt.branches.len() == 1 {
+            let mut query = stmt.branches.into_iter().next().expect("one branch");
+            query.order_by = stmt.order_by;
+            let analyzed = analyze(&query, &self.catalog)?;
+            return optimizer.optimize(&analyzed);
+        }
+
+        // Union chain: optimize each branch, then combine.
+        let mut branch_plans = Vec::with_capacity(stmt.branches.len());
+        let mut first_outputs: Option<Vec<String>> = None;
+        let mut considered = 0;
+        let mut pruned = 0;
+        let mut nodes = 0;
+        let mut rules = 0;
+        for query in &stmt.branches {
+            let analyzed = analyze(query, &self.catalog)?;
+            let outputs: Vec<String> = analyzed.output.iter().map(|(n, _)| n.clone()).collect();
+            match &first_outputs {
+                None => first_outputs = Some(outputs),
+                Some(first) => {
+                    if first.len() != outputs.len() {
+                        return Err(DiscoError::Plan(format!(
+                            "UNION branches have {} vs {} columns",
+                            first.len(),
+                            outputs.len()
+                        )));
+                    }
+                }
+            }
+            let plan = optimizer.optimize(&analyzed)?;
+            considered += plan.plans_considered;
+            pruned += plan.plans_pruned;
+            nodes += plan.estimator_nodes;
+            rules += plan.estimator_rules;
+            branch_plans.push(plan.physical);
+        }
+        let mut iter = branch_plans.into_iter();
+        let mut combined = iter.next().expect("at least two branches");
+        for right in iter {
+            combined = disco_algebra::PhysicalPlan::Union {
+                left: Box::new(combined),
+                right: Box::new(right),
+            };
+        }
+        if !stmt.all {
+            combined = disco_algebra::PhysicalPlan::Dedup {
+                input: Box::new(combined),
+            };
+        }
+        if !stmt.order_by.is_empty() {
+            let first = first_outputs.expect("branches analyzed");
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for (col, asc) in &stmt.order_by {
+                if col.table.is_some() || !first.contains(&col.column) {
+                    return Err(DiscoError::Plan(format!(
+                        "ORDER BY `{col}` must name an output column of the first UNION branch"
+                    )));
+                }
+                keys.push((col.column.clone(), *asc));
+            }
+            combined = disco_algebra::PhysicalPlan::Sort {
+                input: Box::new(combined),
+                keys,
+            };
+        }
+        let estimator = self.estimator();
+        let estimated = estimator.estimate(&crate::optimizer::to_logical(&combined))?;
+        Ok(OptimizedPlan {
+            physical: combined,
+            estimated,
+            plans_considered: considered,
+            plans_pruned: pruned,
+            estimator_nodes: nodes,
+            estimator_rules: rules,
+        })
+    }
+
+    /// Render the chosen plan's full cost attribution: which rule, from
+    /// which scope, computed each variable of each node (the observable
+    /// form of the Figure 10 blending).
+    pub fn explain_costs(&self, sql: &str) -> Result<String> {
+        let plan = self.plan(sql)?;
+        let logical = crate::optimizer::to_logical(&plan.physical);
+        let node = self
+            .estimator()
+            .explain(&logical, &Default::default())?
+            .ok_or_else(|| DiscoError::Cost("estimation pruned unexpectedly".into()))?;
+        Ok(node.render())
+    }
+
+    /// Render the chosen plan and its estimate.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let plan = self.plan(sql)?;
+        Ok(format!(
+            "{}estimated: {}\nplans considered: {} (pruned {})\n",
+            explain_physical(&plan.physical),
+            plan.estimated,
+            plan.plans_considered,
+            plan.plans_pruned
+        ))
+    }
+
+    /// Full query processing (Figure 2): parse, decompose, optimize,
+    /// execute, combine.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        let optimized = self.plan(sql)?;
+        self.execute_plan(optimized)
+    }
+
+    /// Execute a previously optimized plan.
+    pub fn execute_plan(&mut self, optimized: OptimizedPlan) -> Result<QueryResult> {
+        let executor = Executor::new(&self.wrappers, &self.registry);
+        let (schema, tuples, trace) = executor.execute(&optimized.physical)?;
+        let measured_ms = if self.options.parallel_submits {
+            trace.parallel_ms()
+        } else {
+            trace.sequential_ms()
+        };
+
+        if self.options.record_history {
+            for sub in &trace.submits {
+                let measured = NodeCost {
+                    time_first: sub.stats.time_first_ms,
+                    time_next: (sub.stats.elapsed_ms - sub.stats.time_first_ms)
+                        / (sub.tuples.max(1) as f64),
+                    total_time: sub.stats.elapsed_ms,
+                    count_object: sub.tuples as f64,
+                    total_size: sub.bytes as f64,
+                };
+                // Unsupported shapes (multi-conjunct etc.) are skipped —
+                // the paper notes the same restriction.
+                let _ = self
+                    .history
+                    .record(&mut self.registry, &sub.wrapper, &sub.plan, measured);
+            }
+        }
+        Ok(QueryResult {
+            schema,
+            tuples,
+            measured_ms,
+            estimated: optimized.estimated,
+            trace,
+        })
+    }
+
+    /// Direct access to a registered wrapper (experiments).
+    pub fn wrapper(&self, name: &str) -> Result<&dyn Wrapper> {
+        self.wrappers
+            .get(name)
+            .map(|w| w.as_ref())
+            .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{name}` is not registered")))
+    }
+
+    /// Names of all registered wrappers.
+    pub fn wrapper_names(&self) -> Vec<&str> {
+        self.wrappers.keys().map(String::as_str).collect()
+    }
+}
+
+/// Convenience: `explain` on an already-built physical plan.
+pub fn explain_plan(plan: &PhysicalPlan) -> String {
+    explain_physical(plan)
+}

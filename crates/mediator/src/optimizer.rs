@@ -1,0 +1,724 @@
+//! Plan enumeration and cost-based selection (paper §2.2, §4).
+//!
+//! "From a declarative query, the mediator can generate multiple access
+//! plans involving local operations at the data source level and global
+//! ones at the mediator level." The optimizer enumerates:
+//!
+//! * **pushdown variants** per table — execute selections/projections at
+//!   the wrapper (when its capabilities allow) or compensate at the
+//!   mediator;
+//! * **join orders** — left-deep trees, connected-subgraph-first, by
+//!   exhaustive permutation for small queries and greedily beyond;
+//!
+//! and prices every candidate with the blended estimator. With
+//! [`OptimizerOptions::pruning`] the current best plan's cost becomes the
+//! estimator's cost limit, abandoning estimation of worse plans midway
+//! (§4.3.2).
+
+use disco_algebra::{
+    CompareOp, JoinKind, JoinPredicate, LogicalPlan, OperatorKind, PhysicalJoinAlgo, PhysicalPlan,
+    Predicate, ScalarExpr, SelectPredicate,
+};
+use disco_catalog::Catalog;
+use disco_common::{DiscoError, Result};
+use disco_core::{EstimateOptions, Estimator, NodeCost, RuleRegistry};
+
+use crate::analyze::AnalyzedQuery;
+
+/// Tuning knobs for one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizerOptions {
+    /// Abandon plans whose partial cost exceeds the best found so far.
+    pub pruning: bool,
+    /// Up to this many tables, enumerate join orders exhaustively;
+    /// beyond, order greedily by estimated cardinality.
+    pub exhaustive_up_to: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            pruning: false,
+            exhaustive_up_to: 6,
+        }
+    }
+}
+
+/// The optimizer's output: the chosen plan plus work accounting.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    pub physical: PhysicalPlan,
+    /// Blended-model estimate of the chosen plan.
+    pub estimated: NodeCost,
+    /// Complete plans costed.
+    pub plans_considered: usize,
+    /// Plans abandoned by the cost limit (only with pruning).
+    pub plans_pruned: usize,
+    /// Total estimator node visits across the run.
+    pub estimator_nodes: usize,
+    /// Total rule-body evaluations across the run.
+    pub estimator_rules: usize,
+}
+
+/// Cost-based optimizer over a catalog and rule registry.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    registry: &'a RuleRegistry,
+    options: OptimizerOptions,
+}
+
+/// Convert a physical plan to the logical form the estimator prices.
+pub fn to_logical(plan: &PhysicalPlan) -> LogicalPlan {
+    match plan {
+        PhysicalPlan::SubmitRemote { wrapper, plan, .. } => LogicalPlan::Submit {
+            wrapper: wrapper.clone(),
+            input: Box::new(plan.clone()),
+        },
+        PhysicalPlan::Filter { input, predicate } => LogicalPlan::Select {
+            input: Box::new(to_logical(input)),
+            predicate: predicate.clone(),
+        },
+        PhysicalPlan::Project { input, columns } => LogicalPlan::Project {
+            input: Box::new(to_logical(input)),
+            columns: columns.clone(),
+        },
+        PhysicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(to_logical(input)),
+            keys: keys.clone(),
+        },
+        PhysicalPlan::Join {
+            left,
+            right,
+            predicate,
+            ..
+        } => LogicalPlan::Join {
+            left: Box::new(to_logical(left)),
+            right: Box::new(to_logical(right)),
+            predicate: predicate.clone(),
+            kind: JoinKind::Inner,
+        },
+        PhysicalPlan::Union { left, right } => LogicalPlan::Union {
+            left: Box::new(to_logical(left)),
+            right: Box::new(to_logical(right)),
+        },
+        PhysicalPlan::Dedup { input } => LogicalPlan::Dedup {
+            input: Box::new(to_logical(input)),
+        },
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(to_logical(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+    }
+}
+
+impl<'a> Optimizer<'a> {
+    /// Build an optimizer.
+    pub fn new(
+        catalog: &'a Catalog,
+        registry: &'a RuleRegistry,
+        options: OptimizerOptions,
+    ) -> Self {
+        Optimizer {
+            catalog,
+            registry,
+            options,
+        }
+    }
+
+    /// Optimize an analyzed query into a physical plan.
+    pub fn optimize(&self, q: &AnalyzedQuery) -> Result<OptimizedPlan> {
+        if q.tables.is_empty() {
+            return Err(DiscoError::Plan("query has no tables".into()));
+        }
+        let mut counters = Counters::default();
+        let estimator = Estimator::new(self.registry, self.catalog);
+
+        // Phase 1: best access variant per table.
+        let access: Vec<AccessPlan> = (0..q.tables.len())
+            .map(|t| self.best_access(q, t, &estimator, &mut counters))
+            .collect::<Result<_>>()?;
+
+        // Phase 2: join order.
+        let n = q.tables.len();
+        let (best_join, best_cost) = if n == 1 {
+            let plan = access[0].plan.clone();
+            let cost = self
+                .cost_full(q, &plan, None, &mut counters)?
+                .ok_or_else(|| {
+                    DiscoError::Cost("single-table plan was pruned without a limit".into())
+                })?;
+            (plan, cost)
+        } else if n <= self.options.exhaustive_up_to {
+            self.enumerate_orders(q, &access, &estimator, &mut counters)?
+        } else {
+            self.greedy_order(q, &access, &mut counters)?
+        };
+
+        let physical = self.finish_plan(q, best_join)?;
+        Ok(OptimizedPlan {
+            physical,
+            estimated: best_cost,
+            plans_considered: counters.considered,
+            plans_pruned: counters.pruned,
+            estimator_nodes: counters.nodes,
+            estimator_rules: counters.rules,
+        })
+    }
+
+    /// Enumerate pushdown variants for one table and keep the cheapest.
+    fn best_access(
+        &self,
+        q: &AnalyzedQuery,
+        t: usize,
+        estimator: &Estimator<'_>,
+        counters: &mut Counters,
+    ) -> Result<AccessPlan> {
+        let binding = &q.tables[t];
+        let caps = &self
+            .catalog
+            .wrapper(&binding.qname.wrapper)
+            .ok_or_else(|| {
+                DiscoError::Catalog(format!(
+                    "wrapper `{}` not registered",
+                    binding.qname.wrapper
+                ))
+            })?
+            .capabilities;
+        let can_select = caps.supports(OperatorKind::Select);
+        let can_project = caps.supports(OperatorKind::Project);
+        let sels: Vec<&SelectPredicate> = q
+            .selections
+            .iter()
+            .filter(|(ti, _)| *ti == t)
+            .map(|(_, p)| p)
+            .collect();
+
+        // Columns shipped out of the wrapper, with their qualified names.
+        let mut cols: Vec<String> = q.needed[t].clone();
+        if cols.is_empty() {
+            // Count-only queries still need one physical column.
+            cols.push(binding.schema.attributes()[0].name.clone());
+        }
+
+        let mut variants: Vec<(bool, bool)> = Vec::new();
+        for ps in [can_select && !sels.is_empty(), false] {
+            for pp in [can_project, false] {
+                if !variants.contains(&(ps, pp)) {
+                    variants.push((ps, pp));
+                }
+            }
+        }
+
+        let mut best: Option<(f64, AccessPlan)> = None;
+        for (push_select, push_project) in variants {
+            let plan = self.access_variant(q, t, &cols, &sels, push_select, push_project)?;
+            let logical = to_logical(&plan.plan);
+            let report = estimator
+                .estimate_report(&logical, &EstimateOptions::default())?
+                .expect("no cost limit set");
+            counters.nodes += report.nodes_visited;
+            counters.rules += report.rules_evaluated;
+            let cost = report.cost.total_time;
+            if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                best = Some((cost, plan));
+            }
+        }
+        Ok(best.expect("at least one variant").1)
+    }
+
+    fn access_variant(
+        &self,
+        q: &AnalyzedQuery,
+        t: usize,
+        cols: &[String],
+        sels: &[&SelectPredicate],
+        push_select: bool,
+        push_project: bool,
+    ) -> Result<AccessPlan> {
+        let binding = &q.tables[t];
+        let rename: Vec<(String, ScalarExpr)> = cols
+            .iter()
+            .map(|c| {
+                (
+                    format!("{}.{c}", binding.alias),
+                    ScalarExpr::attr(c.clone()),
+                )
+            })
+            .collect();
+
+        let mut inner = LogicalPlan::Scan {
+            collection: binding.qname.clone(),
+            schema: binding.schema.clone(),
+        };
+        if push_select && !sels.is_empty() {
+            inner = LogicalPlan::Select {
+                input: Box::new(inner),
+                predicate: Predicate::all(sels.iter().map(|p| (*p).clone()).collect()),
+            };
+        }
+        if push_project {
+            inner = LogicalPlan::Project {
+                input: Box::new(inner),
+                columns: rename.clone(),
+            };
+        }
+        let schema = inner.output_schema()?;
+        let mut phys = PhysicalPlan::SubmitRemote {
+            wrapper: binding.qname.wrapper.clone(),
+            plan: inner,
+            schema,
+        };
+        if !push_select && !sels.is_empty() {
+            // Names seen at the mediator depend on whether the wrapper
+            // already renamed.
+            let preds: Vec<SelectPredicate> = sels
+                .iter()
+                .map(|p| {
+                    let attr = if push_project {
+                        format!("{}.{}", binding.alias, p.attribute)
+                    } else {
+                        p.attribute.clone()
+                    };
+                    SelectPredicate::new(attr, p.op, p.value.clone())
+                })
+                .collect();
+            phys = PhysicalPlan::Filter {
+                input: Box::new(phys),
+                predicate: Predicate::all(preds),
+            };
+        }
+        if !push_project {
+            phys = PhysicalPlan::Project {
+                input: Box::new(phys),
+                columns: rename,
+            };
+        }
+        Ok(AccessPlan {
+            table: t,
+            plan: phys,
+        })
+    }
+
+    /// Exhaustive left-deep join-order enumeration with a
+    /// connected-subgraph-first constraint.
+    fn enumerate_orders(
+        &self,
+        q: &AnalyzedQuery,
+        access: &[AccessPlan],
+        _estimator: &Estimator<'_>,
+        counters: &mut Counters,
+    ) -> Result<(PhysicalPlan, NodeCost)> {
+        let n = access.len();
+        let mut best: Option<(f64, PhysicalPlan, NodeCost)> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        self.recurse_orders(q, access, &mut order, &mut used, &mut best, counters)?;
+        let (_, plan, cost) = best.ok_or_else(|| DiscoError::Plan("no join order found".into()))?;
+        Ok((plan, cost))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse_orders(
+        &self,
+        q: &AnalyzedQuery,
+        access: &[AccessPlan],
+        order: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        best: &mut Option<(f64, PhysicalPlan, NodeCost)>,
+        counters: &mut Counters,
+    ) -> Result<()> {
+        let n = access.len();
+        if order.len() == n {
+            let plan = self.build_join_tree(q, access, order)?;
+            let limit = if self.options.pruning {
+                best.as_ref().map(|(c, _, _)| *c)
+            } else {
+                None
+            };
+            match self.cost_full(q, &plan, limit, counters)? {
+                Some(cost) => {
+                    if best
+                        .as_ref()
+                        .map(|(c, _, _)| cost.total_time < *c)
+                        .unwrap_or(true)
+                    {
+                        *best = Some((cost.total_time, plan, cost));
+                    }
+                }
+                None => counters.pruned += 1,
+            }
+            return Ok(());
+        }
+        // Prefer tables connected to the current prefix; allow cross
+        // products only when nothing is connected.
+        let connected: Vec<usize> = (0..n)
+            .filter(|&i| !used[i])
+            .filter(|&i| {
+                order.is_empty()
+                    || q.joins.iter().any(|j| {
+                        (j.left_table == i && order.contains(&j.right_table))
+                            || (j.right_table == i && order.contains(&j.left_table))
+                    })
+            })
+            .collect();
+        let candidates: Vec<usize> = if connected.is_empty() {
+            (0..n).filter(|&i| !used[i]).collect()
+        } else {
+            connected
+        };
+        for i in candidates {
+            used[i] = true;
+            order.push(i);
+            self.recurse_orders(q, access, order, used, best, counters)?;
+            order.pop();
+            used[i] = false;
+        }
+        Ok(())
+    }
+
+    /// Greedy order for many-table queries: smallest estimated access
+    /// cardinality first, then connected tables.
+    fn greedy_order(
+        &self,
+        q: &AnalyzedQuery,
+        access: &[AccessPlan],
+        counters: &mut Counters,
+    ) -> Result<(PhysicalPlan, NodeCost)> {
+        let estimator = Estimator::new(self.registry, self.catalog);
+        let n = access.len();
+        let mut card = vec![0.0f64; n];
+        for (i, a) in access.iter().enumerate() {
+            let report = estimator
+                .estimate_report(&to_logical(&a.plan), &EstimateOptions::default())?
+                .expect("no limit");
+            counters.nodes += report.nodes_visited;
+            card[i] = report.cost.count_object;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        for _ in 0..n {
+            let next = (0..n)
+                .filter(|&i| !used[i])
+                .filter(|&i| {
+                    order.is_empty()
+                        || q.joins.iter().any(|j| {
+                            (j.left_table == i && order.contains(&j.right_table))
+                                || (j.right_table == i && order.contains(&j.left_table))
+                        })
+                })
+                .min_by(|&a, &b| card[a].total_cmp(&card[b]))
+                .or_else(|| {
+                    (0..n)
+                        .filter(|&i| !used[i])
+                        .min_by(|&a, &b| card[a].total_cmp(&card[b]))
+                })
+                .expect("tables remain");
+            used[next] = true;
+            order.push(next);
+        }
+        let plan = self.build_join_tree(q, access, &order)?;
+        let cost = self
+            .cost_full(q, &plan, None, counters)?
+            .expect("no limit set");
+        Ok((plan, cost))
+    }
+
+    /// Left-deep join tree over the given table order.
+    fn build_join_tree(
+        &self,
+        q: &AnalyzedQuery,
+        access: &[AccessPlan],
+        order: &[usize],
+    ) -> Result<PhysicalPlan> {
+        let mut in_tree: Vec<usize> = vec![order[0]];
+        let mut plan = access[order[0]].plan.clone();
+        let mut applied = vec![false; q.joins.len()];
+        for &next in &order[1..] {
+            // Find a join condition connecting `next` to the tree.
+            let found = q.joins.iter().enumerate().find(|(ji, j)| {
+                !applied[*ji]
+                    && ((j.left_table == next && in_tree.contains(&j.right_table))
+                        || (j.right_table == next && in_tree.contains(&j.left_table)))
+            });
+            let right = access[next].plan.clone();
+            plan = match found {
+                Some((ji, j)) => {
+                    applied[ji] = true;
+                    // Qualified names on both sides; flip so the left
+                    // attribute belongs to the tree.
+                    let (left_attr, op, right_attr) = if in_tree.contains(&j.left_table) {
+                        (
+                            format!("{}.{}", q.tables[j.left_table].alias, j.left_attr),
+                            j.op,
+                            format!("{}.{}", q.tables[j.right_table].alias, j.right_attr),
+                        )
+                    } else {
+                        (
+                            format!("{}.{}", q.tables[j.right_table].alias, j.right_attr),
+                            j.op.flipped(),
+                            format!("{}.{}", q.tables[j.left_table].alias, j.left_attr),
+                        )
+                    };
+                    let algo = if op == CompareOp::Eq {
+                        PhysicalJoinAlgo::Hash
+                    } else {
+                        PhysicalJoinAlgo::NestedLoop
+                    };
+                    PhysicalPlan::Join {
+                        algo,
+                        left: Box::new(plan),
+                        right: Box::new(right),
+                        predicate: JoinPredicate {
+                            left_attr,
+                            op,
+                            right_attr,
+                        },
+                    }
+                }
+                None => {
+                    // Cross product via an always-true nested loop is not
+                    // expressible with JoinPredicate; emulate with a
+                    // self-comparing predicate only when a join truly is
+                    // missing.
+                    return Err(DiscoError::Unsupported(format!(
+                        "query requires a cross product involving `{}`; add a join condition",
+                        q.tables[next].alias
+                    )));
+                }
+            };
+            in_tree.push(next);
+        }
+        // Residual join conditions (cycles in the join graph) become
+        // mediator filters comparing two columns — not expressible as
+        // SelectPredicate; reject for now.
+        if applied.iter().zip(&q.joins).any(|(a, _)| !a) && q.joins.len() > order.len() - 1 {
+            return Err(DiscoError::Unsupported(
+                "cyclic join graphs are not supported yet".into(),
+            ));
+        }
+        Ok(plan)
+    }
+
+    /// Stack the post-join operators and estimate the complete plan.
+    fn cost_full(
+        &self,
+        q: &AnalyzedQuery,
+        join_plan: &PhysicalPlan,
+        limit: Option<f64>,
+        counters: &mut Counters,
+    ) -> Result<Option<NodeCost>> {
+        let plan = self.finish_plan(q, join_plan.clone())?;
+        let estimator = Estimator::new(self.registry, self.catalog);
+        let opts = EstimateOptions {
+            cost_limit: limit,
+            wrapper: None,
+        };
+        counters.considered += 1;
+        let report = estimator.estimate_report(&to_logical(&plan), &opts)?;
+        if let Some(r) = &report {
+            counters.nodes += r.nodes_visited;
+            counters.rules += r.rules_evaluated;
+        }
+        Ok(report.map(|r| r.cost))
+    }
+
+    /// Aggregate / project / distinct / sort on top of the join tree.
+    fn finish_plan(&self, q: &AnalyzedQuery, mut plan: PhysicalPlan) -> Result<PhysicalPlan> {
+        if q.is_aggregate() {
+            plan = PhysicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by: q.group_by.clone(),
+                aggs: q.aggs.clone(),
+            };
+        }
+        plan = PhysicalPlan::Project {
+            input: Box::new(plan),
+            columns: q.output.clone(),
+        };
+        if q.distinct {
+            plan = PhysicalPlan::Dedup {
+                input: Box::new(plan),
+            };
+        }
+        if !q.order_by.is_empty() {
+            plan = PhysicalPlan::Sort {
+                input: Box::new(plan),
+                keys: q.order_by.clone(),
+            };
+        }
+        Ok(plan)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    considered: usize,
+    pruned: usize,
+    nodes: usize,
+    rules: usize,
+}
+
+/// One table's chosen access plan.
+#[derive(Debug, Clone)]
+struct AccessPlan {
+    #[allow(dead_code)]
+    table: usize,
+    plan: PhysicalPlan,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::sql::parse_query;
+    use disco_catalog::AttributeStats;
+    use disco_catalog::{Capabilities, CollectionStats, ExtentStats};
+    use disco_common::{AttributeDef, DataType, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_wrapper("a", Capabilities::full()).unwrap();
+        c.register_wrapper("b", Capabilities::scan_only()).unwrap();
+        c.register_collection(
+            "a",
+            "Big",
+            Schema::new(vec![
+                AttributeDef::new("id", DataType::Long),
+                AttributeDef::new("k", DataType::Long),
+            ]),
+            CollectionStats::new(ExtentStats::of(100_000, 64)).with_attribute(
+                "id",
+                AttributeStats::indexed(100_000, Value::Long(0), Value::Long(99_999)),
+            ),
+        )
+        .unwrap();
+        c.register_collection(
+            "a",
+            "Small",
+            Schema::new(vec![
+                AttributeDef::new("sid", DataType::Long),
+                AttributeDef::new("label", DataType::Str),
+            ]),
+            CollectionStats::new(ExtentStats::of(50, 32)).with_attribute(
+                "sid",
+                AttributeStats::indexed(50, Value::Long(0), Value::Long(49)),
+            ),
+        )
+        .unwrap();
+        c.register_collection(
+            "b",
+            "File",
+            Schema::new(vec![AttributeDef::new("fid", DataType::Long)]),
+            CollectionStats::new(ExtentStats::of(500, 16)),
+        )
+        .unwrap();
+        c
+    }
+
+    fn optimize(sql: &str) -> OptimizedPlan {
+        let cat = catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(&parse_query(sql).unwrap(), &cat).unwrap();
+        Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap()
+    }
+
+    fn count_kind(p: &PhysicalPlan, pred: &dyn Fn(&PhysicalPlan) -> bool) -> usize {
+        pred(p) as usize
+            + p.children()
+                .iter()
+                .map(|c| count_kind(c, pred))
+                .sum::<usize>()
+    }
+
+    #[test]
+    fn to_logical_preserves_shape() {
+        let plan = optimize("SELECT id FROM Big WHERE id < 10").physical;
+        let logical = to_logical(&plan);
+        // One submit, projection on top.
+        assert!(matches!(
+            logical.kind(),
+            disco_algebra::OperatorKind::Project
+        ));
+        assert_eq!(logical.collections().len(), 1);
+    }
+
+    #[test]
+    fn selection_pushed_into_capable_wrapper() {
+        let plan = optimize("SELECT id FROM Big WHERE id < 10").physical;
+        // No mediator-side Filter: selection went into the submit.
+        let filters = count_kind(&plan, &|p| matches!(p, PhysicalPlan::Filter { .. }));
+        assert_eq!(filters, 0);
+    }
+
+    #[test]
+    fn scan_only_wrapper_filtered_at_mediator() {
+        let plan = optimize("SELECT fid FROM File WHERE fid < 10").physical;
+        let filters = count_kind(&plan, &|p| matches!(p, PhysicalPlan::Filter { .. }));
+        assert_eq!(filters, 1);
+        // The submit contains a bare scan.
+        fn submit_plan(p: &PhysicalPlan) -> Option<&LogicalPlan> {
+            if let PhysicalPlan::SubmitRemote { plan, .. } = p {
+                return Some(plan);
+            }
+            p.children().iter().find_map(|c| submit_plan(c))
+        }
+        let sub = submit_plan(&plan).unwrap();
+        assert!(matches!(sub.kind(), disco_algebra::OperatorKind::Scan));
+    }
+
+    #[test]
+    fn join_order_puts_selective_side_sensibly() {
+        let out = optimize("SELECT b.id FROM Big b, Small s WHERE b.k = s.sid AND b.id < 100");
+        assert!(out.plans_considered >= 2);
+        // Estimate exists and join output is bounded by inputs.
+        assert!(out.estimated.count_object > 0.0);
+    }
+
+    #[test]
+    fn cross_product_rejected() {
+        let cat = catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(
+            &parse_query("SELECT b.id FROM Big b, Small s").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let e = Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap_err();
+        assert_eq!(e.kind(), "unsupported");
+    }
+
+    #[test]
+    fn greedy_path_used_beyond_threshold() {
+        let cat = catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(
+            &parse_query("SELECT b.id FROM Big b, Small s WHERE b.k = s.sid AND b.id < 10")
+                .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let opts = OptimizerOptions {
+            exhaustive_up_to: 1,
+            ..Default::default()
+        };
+        let out = Optimizer::new(&cat, &reg, opts).optimize(&q).unwrap();
+        // Greedy considers exactly one complete plan.
+        assert_eq!(out.plans_considered, 1);
+    }
+
+    #[test]
+    fn count_only_query_still_ships_a_column() {
+        let plan = optimize("SELECT COUNT(*) AS n FROM Big").physical;
+        let logical = to_logical(&plan);
+        assert!(logical.output_schema().unwrap().index_of("n").is_some());
+    }
+}

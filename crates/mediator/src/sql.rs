@@ -1,0 +1,921 @@
+//! The mediator's query language: a classical conjunctive SQL subset.
+//!
+//! ```sql
+//! SELECT e.name, d.budget * 2 AS double_budget
+//! FROM hr.Employee e, Dept AS d
+//! WHERE e.dept_id = d.id AND e.salary > 1000
+//! ORDER BY e.name DESC
+//! ```
+//!
+//! Supported: `SELECT [DISTINCT]` with expressions and aggregates
+//! (`COUNT/SUM/AVG/MIN/MAX`), comma-style `FROM` with aliases and
+//! optionally wrapper-qualified collection names, conjunctive `WHERE`
+//! (`attr op constant` and `attr op attr` joins), `GROUP BY`, `ORDER BY`.
+
+use std::fmt;
+
+use disco_algebra::{AggFunc, CompareOp};
+use disco_common::{DiscoError, Result, Value};
+
+/// A column reference, optionally qualified by a table alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// A scalar or aggregate expression in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Col(ColRef),
+    Const(Value),
+    /// Aggregate call; `None` argument means `count(*)`.
+    Agg(AggFunc, Option<ColRef>),
+    Arith {
+        op: ArithTok,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
+}
+
+/// Arithmetic operators in select expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithTok {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: SqlExpr,
+    pub alias: Option<String>,
+}
+
+/// A table reference with optional wrapper qualification and alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Wrapper name, when written `wrapper.Collection`.
+    pub wrapper: Option<String>,
+    pub collection: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referred to by in column qualifiers.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.collection)
+    }
+}
+
+/// One parsed WHERE conjunct. `BETWEEN` desugars to two
+/// [`Condition::Restriction`]s during parsing, so this enum stays binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `col op constant`.
+    Restriction {
+        col: ColRef,
+        op: CompareOp,
+        value: Value,
+    },
+    /// `col op col` — a join (or same-table) comparison.
+    ColCompare {
+        left: ColRef,
+        op: CompareOp,
+        right: ColRef,
+    },
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    /// `None` = `SELECT *`.
+    pub select: Option<Vec<SelectItem>>,
+    pub from: Vec<TableRef>,
+    pub where_: Vec<Condition>,
+    pub group_by: Vec<ColRef>,
+    pub order_by: Vec<(ColRef, bool)>,
+}
+
+/// A full statement: one query, or a `UNION [ALL]` chain of queries with
+/// an optional trailing `ORDER BY` applying to the combined result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The union branches, in order (a single-branch statement is a plain
+    /// query).
+    pub branches: Vec<Query>,
+    /// `true` if every combining `UNION` was `UNION ALL` (bag semantics);
+    /// any plain `UNION` makes the whole result set-semantics, per SQL.
+    pub all: bool,
+    /// Statement-level ordering over the combined output.
+    pub order_by: Vec<(ColRef, bool)>,
+}
+
+/// Parse a single query (no `UNION`).
+pub fn parse_query(src: &str) -> Result<Query> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a full statement, including `UNION [ALL]` chains.
+pub fn parse_statement(src: &str) -> Result<Statement> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    let mut branches = vec![p.query()?];
+    let mut all = true;
+    while p.eat_kw("UNION") {
+        if !p.eat_kw("ALL") {
+            all = false;
+        }
+        branches.push(p.query()?);
+    }
+    // In a union, ORDER BY belongs to the statement; Parser::query eagerly
+    // parses it into the last branch — lift it out.
+    let mut order_by = Vec::new();
+    let n = branches.len();
+    if n > 1 {
+        for (i, b) in branches.iter_mut().enumerate() {
+            if !b.order_by.is_empty() {
+                if i + 1 != n {
+                    return Err(DiscoError::Parse(
+                        "ORDER BY may only follow the final UNION branch".into(),
+                    ));
+                }
+                order_by = std::mem::take(&mut b.order_by);
+            }
+        }
+    } else {
+        order_by = std::mem::take(&mut branches[0].order_by);
+    }
+    p.expect_eof()?;
+    Ok(Statement {
+        branches,
+        all,
+        order_by,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Identifier (original case preserved).
+    Ident(String),
+    /// Keyword (upper-cased identifier matching the keyword set).
+    Kw(&'static str),
+    Number(f64),
+    Str(String),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+const KEYWORDS: [&str; 18] = [
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "GROUP", "ORDER", "BY", "AS", "ASC", "DESC",
+    "COUNT", "SUM", "AVG", "MIN", "BETWEEN", "UNION", "ALL",
+];
+// MAX handled separately to keep the array tidy.
+
+fn keyword_of(word: &str) -> Option<&'static str> {
+    let up = word.to_ascii_uppercase();
+    if up == "MAX" {
+        return Some("MAX");
+    }
+    KEYWORDS.iter().find(|k| **k == up).copied()
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(*c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DiscoError::Parse("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while matches!(chars.get(i), Some(c) if c.is_ascii_digit()) {
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'.')
+                    && matches!(chars.get(i + 1), Some(c) if c.is_ascii_digit())
+                {
+                    i += 1;
+                    while matches!(chars.get(i), Some(c) if c.is_ascii_digit()) {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| DiscoError::Parse(format!("bad number `{text}`")))?;
+                out.push(Tok::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while matches!(chars.get(i), Some(c) if c.is_ascii_alphanumeric() || *c == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match keyword_of(&word) {
+                    Some(kw) => out.push(Tok::Kw(kw)),
+                    None => out.push(Tok::Ident(word)),
+                }
+            }
+            other => {
+                return Err(DiscoError::Parse(format!(
+                    "unexpected character `{other}` in query"
+                )))
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Tok>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &'static str) -> bool {
+        if *self.peek() == Tok::Kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &'static str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DiscoError::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(DiscoError::Parse(format!(
+                "trailing input: {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(DiscoError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let select = if *self.peek() == Tok::Star {
+            self.bump();
+            None
+        } else {
+            let mut items = vec![self.select_item()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                items.push(self.select_item()?);
+            }
+            Some(items)
+        };
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            from.push(self.table_ref()?);
+        }
+        let mut where_ = Vec::new();
+        if self.eat_kw("WHERE") {
+            self.condition_into(&mut where_)?;
+            while self.eat_kw("AND") {
+                self.condition_into(&mut where_)?;
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.col_ref()?);
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                group_by.push(self.col_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let col = self.col_ref()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((col, asc));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_,
+            group_by,
+            order_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Tok::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn expr(&mut self) -> Result<SqlExpr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => ArithTok::Add,
+                Tok::Minus => ArithTok::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = SqlExpr::Arith {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+    }
+
+    fn term(&mut self) -> Result<SqlExpr> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => ArithTok::Mul,
+                Tok::Slash => ArithTok::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = SqlExpr::Arith {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        match self.bump() {
+            Tok::Number(n) => Ok(SqlExpr::Const(num_value(n))),
+            Tok::Str(s) => Ok(SqlExpr::Const(Value::Str(s))),
+            Tok::LParen => {
+                let e = self.expr()?;
+                match self.bump() {
+                    Tok::RParen => Ok(e),
+                    other => Err(DiscoError::Parse(format!("expected `)`, found {other:?}"))),
+                }
+            }
+            Tok::Kw(kw @ ("COUNT" | "SUM" | "AVG" | "MIN" | "MAX")) => {
+                let func = match kw {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    "AVG" => AggFunc::Avg,
+                    "MIN" => AggFunc::Min,
+                    "MAX" => AggFunc::Max,
+                    _ => unreachable!(),
+                };
+                match self.bump() {
+                    Tok::LParen => {}
+                    other => {
+                        return Err(DiscoError::Parse(format!(
+                            "expected `(` after aggregate, found {other:?}"
+                        )))
+                    }
+                }
+                let arg = if *self.peek() == Tok::Star {
+                    self.bump();
+                    if func != AggFunc::Count {
+                        return Err(DiscoError::Parse(format!("`{kw}(*)` is not valid")));
+                    }
+                    None
+                } else {
+                    Some(self.col_ref()?)
+                };
+                match self.bump() {
+                    Tok::RParen => Ok(SqlExpr::Agg(func, arg)),
+                    other => Err(DiscoError::Parse(format!("expected `)`, found {other:?}"))),
+                }
+            }
+            Tok::Ident(first) => {
+                if *self.peek() == Tok::Dot {
+                    self.bump();
+                    let col = self.ident()?;
+                    Ok(SqlExpr::Col(ColRef {
+                        table: Some(first),
+                        column: col,
+                    }))
+                } else {
+                    Ok(SqlExpr::Col(ColRef {
+                        table: None,
+                        column: first,
+                    }))
+                }
+            }
+            other => Err(DiscoError::Parse(format!(
+                "unexpected {other:?} in expression"
+            ))),
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef> {
+        let first = self.ident()?;
+        if *self.peek() == Tok::Dot {
+            self.bump();
+            let col = self.ident()?;
+            Ok(ColRef {
+                table: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let first = self.ident()?;
+        let (wrapper, collection) = if *self.peek() == Tok::Dot {
+            self.bump();
+            (Some(first), self.ident()?)
+        } else {
+            (None, first)
+        };
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Tok::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef {
+            wrapper,
+            collection,
+            alias,
+        })
+    }
+
+    /// Parse one condition, desugaring `BETWEEN lo AND hi` into
+    /// `>= lo` and `<= hi` conjuncts.
+    fn condition_into(&mut self, out: &mut Vec<Condition>) -> Result<()> {
+        let save = self.i;
+        let left = self.col_ref()?;
+        if *self.peek() == Tok::Kw("BETWEEN") {
+            self.bump();
+            let lo = self.constant()?;
+            self.expect_kw("AND")?;
+            let hi = self.constant()?;
+            out.push(Condition::Restriction {
+                col: left.clone(),
+                op: CompareOp::Ge,
+                value: lo,
+            });
+            out.push(Condition::Restriction {
+                col: left,
+                op: CompareOp::Le,
+                value: hi,
+            });
+            return Ok(());
+        }
+        self.i = save;
+        out.push(self.condition()?);
+        Ok(())
+    }
+
+    fn constant(&mut self) -> Result<Value> {
+        match self.bump() {
+            Tok::Number(n) => Ok(num_value(n)),
+            Tok::Minus => match self.bump() {
+                Tok::Number(n) => Ok(num_value(-n)),
+                other => Err(DiscoError::Parse(format!(
+                    "expected number, found {other:?}"
+                ))),
+            },
+            Tok::Str(s) => Ok(Value::Str(s)),
+            other => Err(DiscoError::Parse(format!(
+                "expected constant, found {other:?}"
+            ))),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let left = self.col_ref()?;
+        let op = match self.bump() {
+            Tok::Eq => CompareOp::Eq,
+            Tok::Ne => CompareOp::Ne,
+            Tok::Lt => CompareOp::Lt,
+            Tok::Le => CompareOp::Le,
+            Tok::Gt => CompareOp::Gt,
+            Tok::Ge => CompareOp::Ge,
+            other => {
+                return Err(DiscoError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        match self.bump() {
+            Tok::Number(n) => Ok(Condition::Restriction {
+                col: left,
+                op,
+                value: num_value(n),
+            }),
+            Tok::Minus => match self.bump() {
+                Tok::Number(n) => Ok(Condition::Restriction {
+                    col: left,
+                    op,
+                    value: num_value(-n),
+                }),
+                other => Err(DiscoError::Parse(format!(
+                    "expected number, found {other:?}"
+                ))),
+            },
+            Tok::Str(s) => Ok(Condition::Restriction {
+                col: left,
+                op,
+                value: Value::Str(s),
+            }),
+            Tok::Ident(first) => {
+                let right = if *self.peek() == Tok::Dot {
+                    self.bump();
+                    ColRef {
+                        table: Some(first),
+                        column: self.ident()?,
+                    }
+                } else {
+                    ColRef {
+                        table: None,
+                        column: first,
+                    }
+                };
+                Ok(Condition::ColCompare { left, op, right })
+            }
+            other => Err(DiscoError::Parse(format!(
+                "expected constant or column, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn num_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        Value::Long(n as i64)
+    } else {
+        Value::Double(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_projection_selection_join() {
+        let q = parse_query(
+            "SELECT e.name, d.budget FROM hr.Employee e, Dept AS d \
+             WHERE e.dept_id = d.id AND e.salary > 1000 ORDER BY e.name DESC",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].wrapper.as_deref(), Some("hr"));
+        assert_eq!(q.from[0].binding_name(), "e");
+        assert_eq!(q.from[1].binding_name(), "d");
+        assert_eq!(q.where_.len(), 2);
+        assert!(matches!(
+            &q.where_[0],
+            Condition::ColCompare {
+                op: CompareOp::Eq,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &q.where_[1],
+            Condition::Restriction {
+                op: CompareOp::Gt,
+                value: Value::Long(1000),
+                ..
+            }
+        ));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].1);
+    }
+
+    #[test]
+    fn select_star_and_distinct() {
+        let q = parse_query("SELECT DISTINCT * FROM Employee").unwrap();
+        assert!(q.distinct);
+        assert!(q.select.is_none());
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse_query(
+            "SELECT d.name, COUNT(*) AS n, AVG(e.salary) FROM Emp e, Dept d \
+             WHERE e.d = d.id GROUP BY d.name",
+        )
+        .unwrap();
+        let items = q.select.unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(matches!(items[1].expr, SqlExpr::Agg(AggFunc::Count, None)));
+        assert_eq!(items[1].alias.as_deref(), Some("n"));
+        assert!(matches!(items[2].expr, SqlExpr::Agg(AggFunc::Avg, Some(_))));
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_in_select() {
+        let q = parse_query("SELECT salary * 2 + 1 AS x FROM Emp").unwrap();
+        let items = q.select.unwrap();
+        match &items[0].expr {
+            SqlExpr::Arith {
+                op: ArithTok::Add,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    **left,
+                    SqlExpr::Arith {
+                        op: ArithTok::Mul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let q = parse_query("SELECT * FROM T WHERE name = 'O''Brien'").unwrap();
+        assert!(matches!(
+            &q.where_[0],
+            Condition::Restriction { value: Value::Str(s), .. } if s == "O'Brien"
+        ));
+    }
+
+    #[test]
+    fn negative_and_float_constants() {
+        let q = parse_query("SELECT * FROM T WHERE x > -5 AND y <= 2.5").unwrap();
+        assert!(matches!(
+            &q.where_[0],
+            Condition::Restriction {
+                value: Value::Long(-5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &q.where_[1],
+            Condition::Restriction { value: Value::Double(v), .. } if *v == 2.5
+        ));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_query("select * from T where x = 1 order by x asc").is_ok());
+    }
+
+    #[test]
+    fn count_star_only() {
+        assert!(parse_query("SELECT SUM(*) FROM T").is_err());
+        assert!(parse_query("SELECT COUNT(*) FROM T").is_ok());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("SELECT FROM T").is_err());
+        assert!(parse_query("SELECT * T").is_err());
+        assert!(parse_query("SELECT * FROM T WHERE").is_err());
+        assert!(parse_query("SELECT * FROM T trailing junk !").is_err());
+        assert!(parse_query("SELECT * FROM T WHERE name = 'open").is_err());
+    }
+
+    #[test]
+    fn ne_spellings() {
+        let a = parse_query("SELECT * FROM T WHERE x != 1").unwrap();
+        let b = parse_query("SELECT * FROM T WHERE x <> 1").unwrap();
+        assert_eq!(a.where_, b.where_);
+    }
+}
+
+#[cfg(test)]
+mod between_tests {
+    use super::*;
+
+    #[test]
+    fn between_desugars_to_range_conjuncts() {
+        let q = parse_query("SELECT * FROM T WHERE x BETWEEN 10 AND 20 AND y = 1").unwrap();
+        assert_eq!(q.where_.len(), 3);
+        assert!(matches!(
+            &q.where_[0],
+            Condition::Restriction {
+                op: CompareOp::Ge,
+                value: Value::Long(10),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &q.where_[1],
+            Condition::Restriction {
+                op: CompareOp::Le,
+                value: Value::Long(20),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &q.where_[2],
+            Condition::Restriction {
+                op: CompareOp::Eq,
+                value: Value::Long(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn between_requires_constants() {
+        assert!(parse_query("SELECT * FROM T WHERE x BETWEEN a AND b").is_err());
+        assert!(parse_query("SELECT * FROM T WHERE x BETWEEN 1").is_err());
+    }
+
+    #[test]
+    fn between_with_negative_and_string_bounds() {
+        let q = parse_query("SELECT * FROM T WHERE x BETWEEN -5 AND 5").unwrap();
+        assert!(matches!(
+            &q.where_[0],
+            Condition::Restriction {
+                value: Value::Long(-5),
+                ..
+            }
+        ));
+        let q = parse_query("SELECT * FROM T WHERE n BETWEEN 'a' AND 'm'").unwrap();
+        assert_eq!(q.where_.len(), 2);
+    }
+}

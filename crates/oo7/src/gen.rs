@@ -1,0 +1,243 @@
+//! OO7 database generation.
+
+use rand::Rng;
+
+use disco_common::{rng, AttributeDef, DataType, Result, Schema, Value};
+use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
+
+use crate::params::Oo7Config;
+
+/// Schema of `AtomicParts`.
+pub fn atomic_parts_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("Id", DataType::Long),
+        AttributeDef::new("BuildDate", DataType::Long),
+        AttributeDef::new("X", DataType::Long),
+        AttributeDef::new("Y", DataType::Long),
+        AttributeDef::new("PartOf", DataType::Long),
+        AttributeDef::new("DocId", DataType::Long),
+    ])
+}
+
+/// Schema of `Connections`.
+pub fn connections_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("FromId", DataType::Long),
+        AttributeDef::new("ToId", DataType::Long),
+        AttributeDef::new("Kind", DataType::Str),
+        AttributeDef::new("Length", DataType::Long),
+    ])
+}
+
+/// Schema of `CompositeParts`.
+pub fn composite_parts_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("Id", DataType::Long),
+        AttributeDef::new("BuildDate", DataType::Long),
+        AttributeDef::new("DocId", DataType::Long),
+    ])
+}
+
+/// Schema of `Documents`.
+pub fn documents_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("DocId", DataType::Long),
+        AttributeDef::new("Title", DataType::Str),
+        AttributeDef::new("CompId", DataType::Long),
+    ])
+}
+
+/// Schema of `BaseAssemblies`.
+pub fn base_assemblies_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("Id", DataType::Long),
+        AttributeDef::new("ModuleId", DataType::Long),
+    ])
+}
+
+/// Schema of the assembly→composite junction `AssemblyUses`.
+pub fn assembly_uses_schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("AssemblyId", DataType::Long),
+        AttributeDef::new("CompId", DataType::Long),
+    ])
+}
+
+/// Build the full OO7 database in a simulated object store.
+///
+/// `AtomicParts.Id` is indexed (the §5 access path); `CompositeParts.Id`
+/// and `Documents.DocId` are indexed as the OO7 lookup paths.
+pub fn build_store(config: &Oo7Config) -> Result<PagedStore> {
+    let mut r = rng::seeded(config.seed, "oo7-gen");
+    let composites = config.composite_parts();
+    let kinds = ["copper", "fiber", "coax"];
+
+    let mut store = PagedStore::new("oo7", CostProfile::object_store()).with_seed(config.seed);
+
+    // AtomicParts: uniform Id 0..n, random BuildDate over the configured
+    // distinct values, membership in composite parts round-robin.
+    let atomic_rows = (0..config.atomic_parts).map(|i| {
+        let build_date = r.gen_range(0..config.build_dates as i64);
+        vec![
+            Value::Long(i as i64),
+            Value::Long(build_date),
+            Value::Long(r.gen_range(0..100_000)),
+            Value::Long(r.gen_range(0..100_000)),
+            Value::Long((i / config.atomic_per_composite) as i64),
+            Value::Long((i / config.atomic_per_composite) as i64),
+        ]
+    });
+    let mut atomic = CollectionBuilder::new(atomic_parts_schema())
+        .rows(atomic_rows)
+        .object_size(config.atomic_object_size)
+        .page_size(config.page_size)
+        .fill_factor(config.fill_factor)
+        .index("Id");
+    if config.clustered {
+        atomic = atomic.cluster_on("Id");
+    }
+    store.add_collection("AtomicParts", atomic)?;
+
+    // Connections: fan-out per atomic part to random targets.
+    let mut conn_rows = Vec::with_capacity(config.atomic_parts * config.connections_per_atomic);
+    for i in 0..config.atomic_parts {
+        for _ in 0..config.connections_per_atomic {
+            let to = r.gen_range(0..config.atomic_parts) as i64;
+            conn_rows.push(vec![
+                Value::Long(i as i64),
+                Value::Long(to),
+                Value::Str(kinds[r.gen_range(0..kinds.len())].to_owned()),
+                Value::Long(r.gen_range(1..100)),
+            ]);
+        }
+    }
+    store.add_collection(
+        "Connections",
+        CollectionBuilder::new(connections_schema())
+            .rows(conn_rows)
+            .object_size(32)
+            .page_size(config.page_size)
+            .fill_factor(config.fill_factor)
+            .index("FromId"),
+    )?;
+
+    // CompositeParts + Documents (one document per composite).
+    let comp_rows = (0..composites).map(|i| {
+        vec![
+            Value::Long(i as i64),
+            Value::Long(r.gen_range(0..config.build_dates as i64)),
+            Value::Long(i as i64),
+        ]
+    });
+    store.add_collection(
+        "CompositeParts",
+        CollectionBuilder::new(composite_parts_schema())
+            .rows(comp_rows)
+            .object_size(config.composite_object_size)
+            .page_size(config.page_size)
+            .fill_factor(config.fill_factor)
+            .index("Id"),
+    )?;
+    let doc_rows = (0..composites).map(|i| {
+        vec![
+            Value::Long(i as i64),
+            Value::Str(format!("Composite part {i} design notes")),
+            Value::Long(i as i64),
+        ]
+    });
+    store.add_collection(
+        "Documents",
+        CollectionBuilder::new(documents_schema())
+            .rows(doc_rows)
+            .object_size(config.document_object_size)
+            .page_size(config.page_size)
+            .fill_factor(config.fill_factor)
+            .index("DocId"),
+    )?;
+
+    // BaseAssemblies + junction to composites.
+    let base_rows =
+        (0..config.base_assemblies).map(|i| vec![Value::Long(i as i64), Value::Long(0)]);
+    store.add_collection(
+        "BaseAssemblies",
+        CollectionBuilder::new(base_assemblies_schema())
+            .rows(base_rows)
+            .object_size(40)
+            .page_size(config.page_size)
+            .fill_factor(config.fill_factor)
+            .index("Id"),
+    )?;
+    let mut uses_rows = Vec::with_capacity(config.base_assemblies * config.composites_per_assembly);
+    for a in 0..config.base_assemblies {
+        for _ in 0..config.composites_per_assembly {
+            uses_rows.push(vec![
+                Value::Long(a as i64),
+                Value::Long(r.gen_range(0..composites) as i64),
+            ]);
+        }
+    }
+    store.add_collection(
+        "AssemblyUses",
+        CollectionBuilder::new(assembly_uses_schema())
+            .rows(uses_rows)
+            .object_size(16)
+            .page_size(config.page_size)
+            .fill_factor(config.fill_factor),
+    )?;
+
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_sources::DataSource;
+
+    #[test]
+    fn small_store_has_all_collections() {
+        let s = build_store(&Oo7Config::small()).unwrap();
+        let names: Vec<String> = s.collections().into_iter().map(|(n, _)| n).collect();
+        for want in [
+            "AssemblyUses",
+            "AtomicParts",
+            "BaseAssemblies",
+            "CompositeParts",
+            "Connections",
+            "Documents",
+        ] {
+            assert!(names.contains(&want.to_string()), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn atomic_parts_layout_matches_paper_scaling() {
+        let s = build_store(&Oo7Config::small()).unwrap();
+        assert_eq!(s.pages_of("AtomicParts").unwrap(), 100);
+        let stats = s.statistics("AtomicParts").unwrap();
+        assert_eq!(stats.extent.count_object, 7_000);
+        assert_eq!(stats.extent.object_size, 56);
+        let id = stats.attribute("Id");
+        assert!(id.indexed);
+        assert_eq!(id.count_distinct, 7_000);
+        assert_eq!(id.min, Value::Long(0));
+        assert_eq!(id.max, Value::Long(6_999));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = build_store(&Oo7Config::small()).unwrap();
+        let b = build_store(&Oo7Config::small()).unwrap();
+        let sa = a.statistics("Connections").unwrap();
+        let sb = b.statistics("Connections").unwrap();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn documents_reference_composites() {
+        let s = build_store(&Oo7Config::small()).unwrap();
+        let d = s.statistics("Documents").unwrap();
+        assert_eq!(d.extent.count_object, 350);
+        let c = s.statistics("CompositeParts").unwrap();
+        assert_eq!(c.extent.count_object, 350);
+    }
+}

@@ -1,0 +1,28 @@
+//! The OO7 benchmark substrate (\[CDN93\]).
+//!
+//! The paper's validation (§5) runs OO7 queries against ObjectStore; this
+//! crate generates the OO7 design database at the paper's parameters —
+//! `AtomicParts`: 70 000 objects of 56 bytes, uniformly distributed `Id`,
+//! 4 096-byte pages at 96 % fill (≈70 objects/page, 1 000 pages) — and
+//! loads it into a simulated [`PagedStore`](disco_sources::PagedStore).
+//!
+//! Modules:
+//!
+//! * [`params`] — configuration, with [`params::Oo7Config::paper`]
+//!   matching §5 exactly;
+//! * [`gen`] — the data generator (atomic parts, connections, composite
+//!   parts, documents, base assemblies);
+//! * [`queries`] — plan builders for the §5 index-scan experiment and the
+//!   classical OO7 query set (exact match, 1 % / 10 % ranges, joins);
+//! * [`rules`] — the wrapper cost documents: the empty (pure calibration)
+//!   document, the Figure 13 Yao rule, and the clustered-layout rule used
+//!   by the clustering ablation.
+
+pub mod gen;
+pub mod params;
+pub mod queries;
+pub mod rules;
+
+pub use gen::build_store;
+pub use params::Oo7Config;
+pub use queries::{atomic_scan, index_scan_selectivity, Oo7Query};

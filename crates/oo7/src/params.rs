@@ -1,0 +1,105 @@
+//! OO7 configuration.
+
+/// Scale and layout parameters for one OO7 database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Oo7Config {
+    /// Number of atomic parts (the paper's experiment: 70 000).
+    pub atomic_parts: usize,
+    /// Atomic parts per composite part (OO7 small: 20).
+    pub atomic_per_composite: usize,
+    /// Outgoing connections per atomic part (OO7 fan-out 3).
+    pub connections_per_atomic: usize,
+    /// Number of base assemblies (OO7: 3^6 = 729 for a 7-level ternary
+    /// assembly hierarchy).
+    pub base_assemblies: usize,
+    /// Composite parts referenced by each base assembly.
+    pub composites_per_assembly: usize,
+    /// Logical size of one atomic part in bytes (paper: 56).
+    pub atomic_object_size: u64,
+    /// Logical size of one composite part in bytes.
+    pub composite_object_size: u64,
+    /// Logical size of one document in bytes.
+    pub document_object_size: u64,
+    /// Page size in bytes (paper: 4 096).
+    pub page_size: u64,
+    /// Page fill factor (paper: 0.96).
+    pub fill_factor: f64,
+    /// Distinct `BuildDate` values for atomic parts.
+    pub build_dates: usize,
+    /// Cluster `AtomicParts` on `Id` instead of uniform random placement.
+    pub clustered: bool,
+    /// Placement/data seed.
+    pub seed: u64,
+}
+
+impl Oo7Config {
+    /// The §5 experimental setup: 70 000 atomic parts of 56 bytes on
+    /// 4 096-byte pages at 96 % fill — 70 objects per page, 1 000 pages —
+    /// with a uniform, indexed `Id` and unclustered placement.
+    pub fn paper() -> Self {
+        Oo7Config {
+            atomic_parts: 70_000,
+            atomic_per_composite: 20,
+            connections_per_atomic: 3,
+            base_assemblies: 729,
+            composites_per_assembly: 3,
+            atomic_object_size: 56,
+            composite_object_size: 200,
+            document_object_size: 2_000,
+            page_size: 4_096,
+            fill_factor: 0.96,
+            build_dates: 1_000,
+            clustered: false,
+            seed: disco_common::rng::DEFAULT_SEED,
+        }
+    }
+
+    /// A ten-times smaller database for fast tests (7 000 atomic parts,
+    /// 100 pages).
+    pub fn small() -> Self {
+        Oo7Config {
+            atomic_parts: 7_000,
+            base_assemblies: 81,
+            ..Oo7Config::paper()
+        }
+    }
+
+    /// Clustered variant of this configuration.
+    pub fn clustered(mut self) -> Self {
+        self.clustered = true;
+        self
+    }
+
+    /// Number of composite parts implied by the scale.
+    pub fn composite_parts(&self) -> usize {
+        (self.atomic_parts / self.atomic_per_composite).max(1)
+    }
+
+    /// Expected data pages for `AtomicParts` under this layout.
+    pub fn atomic_pages(&self) -> u64 {
+        let per_page =
+            ((self.page_size as f64 * self.fill_factor) as u64 / self.atomic_object_size).max(1);
+        (self.atomic_parts as u64).div_ceil(per_page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_matches_section_5() {
+        let c = Oo7Config::paper();
+        assert_eq!(c.atomic_parts, 70_000);
+        assert_eq!(c.atomic_object_size, 56);
+        assert_eq!(c.atomic_pages(), 1_000);
+        assert_eq!(c.composite_parts(), 3_500);
+    }
+
+    #[test]
+    fn small_is_proportional() {
+        let c = Oo7Config::small();
+        assert_eq!(c.atomic_pages(), 100);
+        assert_eq!(c.composite_parts(), 350);
+    }
+}

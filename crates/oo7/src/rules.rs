@@ -1,0 +1,109 @@
+//! Wrapper cost documents for the OO7 object store.
+//!
+//! Three levels of wrapper-implementor effort, matching the experiments:
+//!
+//! * [`calibrated`] — export nothing: the mediator's generic (calibrated)
+//!   model prices everything;
+//! * [`yao_rules`] — the Figure 13 improvement: predicate-scope rules for
+//!   selections on the indexed `Id` using Yao's formula for the page
+//!   count;
+//! * [`clustered_rules`] — the §7 case the calibration model cannot see:
+//!   `AtomicParts` clustered on `Id`, where a range of `k` objects
+//!   touches only `k / objects-per-page` contiguous pages.
+
+use disco_algebra::CompareOp;
+
+/// The empty cost document: pure generic-model (calibration) regime.
+pub fn calibrated() -> String {
+    String::new()
+}
+
+const OPS: [CompareOp; 5] = [
+    CompareOp::Eq,
+    CompareOp::Lt,
+    CompareOp::Le,
+    CompareOp::Gt,
+    CompareOp::Ge,
+];
+
+/// The Figure 13 rule set: for each comparison the index serves, a
+/// predicate-scope rule on `AtomicParts.Id` whose response time is
+/// `IO * Yao(k, pages) + k * Output`.
+///
+/// `selectivity("Id", $V)` resolves through the mediator's statistics
+/// with the *matched* operator, so one body works for every comparison.
+pub fn yao_rules() -> String {
+    let mut doc =
+        String::from("let PageSize = 4096;\nlet IO = 25.0;\nlet Output = 9.0;\nlet Fill = 0.96;\n");
+    for op in OPS {
+        doc.push_str(&format!(
+            "rule select(AtomicParts, Id {op} $V) {{\n\
+             \tlet PerPage = floor(PageSize * Fill / AtomicParts.ObjectSize);\n\
+             \tlet CountPage = ceil(AtomicParts.CountObject / PerPage);\n\
+             \tCountObject = AtomicParts.CountObject * selectivity(\"Id\", $V);\n\
+             \tTotalSize = CountObject * AtomicParts.ObjectSize;\n\
+             \tTimeFirst = Overhead + IO;\n\
+             \tTimeNext = Output;\n\
+             \tTotalTime = Overhead + IO * yao(CountObject, CountPage) + CountObject * Output;\n\
+             }}\n",
+            op = op.symbol()
+        ));
+    }
+    doc
+}
+
+/// Rules for the clustered layout: qualifying `Id` ranges are contiguous
+/// on disk, so the scan touches `ceil(k / objects-per-page)` pages.
+pub fn clustered_rules() -> String {
+    let mut doc =
+        String::from("let PageSize = 4096;\nlet IO = 25.0;\nlet Output = 9.0;\nlet Fill = 0.96;\n");
+    for op in OPS {
+        doc.push_str(&format!(
+            "rule select(AtomicParts, Id {op} $V) {{\n\
+             \tlet PerPage = floor(PageSize * Fill / AtomicParts.ObjectSize);\n\
+             \tCountObject = AtomicParts.CountObject * selectivity(\"Id\", $V);\n\
+             \tTotalSize = CountObject * AtomicParts.ObjectSize;\n\
+             \tTimeFirst = Overhead + IO;\n\
+             \tTimeNext = Output;\n\
+             \tTotalTime = Overhead + IO * ceil(CountObject / PerPage)\n\
+             \t          + CountObject * Output;\n\
+             }}\n",
+            op = op.symbol()
+        ));
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_costlang::{compile_document, parse_document};
+
+    #[test]
+    fn documents_parse_and_compile() {
+        for (name, doc) in [
+            ("calibrated", calibrated()),
+            ("yao", yao_rules()),
+            ("clustered", clustered_rules()),
+        ] {
+            let parsed =
+                parse_document(&doc).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let compiled = compile_document(&parsed)
+                .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+            if name == "calibrated" {
+                assert!(compiled.rules.is_empty());
+            } else {
+                assert_eq!(compiled.rules.len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn yao_rules_are_predicate_scope() {
+        let doc = compile_document(&parse_document(&yao_rules()).unwrap()).unwrap();
+        for rule in &doc.rules {
+            let scope = disco_core::derive_scope(&rule.head, None);
+            assert_eq!(scope, disco_core::Scope::Predicate);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Paged heap files.
+//!
+//! A heap file maps object ids to pages. Placement is either **uniform
+//! random** — the independence assumption behind Yao's formula, and how a
+//! long-lived object store ends up after churn — or **clustered** on an
+//! attribute's order, which the paper singles out as the behaviour "which
+//! can not be easily captured by a calibrating model" (§7).
+
+use rand::rngs::StdRng;
+
+use disco_common::rng;
+
+/// How objects are assigned to pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Objects land on pages uniformly at random.
+    Random,
+    /// Objects are stored in the order of the given column's values, so
+    /// consecutive key ranges share pages.
+    Clustered,
+}
+
+/// The page layout of one stored collection.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    /// `page_of[i]` = page holding object `i` (in storage-rank order).
+    page_of: Vec<u64>,
+    pages: u64,
+    objects_per_page: usize,
+    page_size: u64,
+    fill_factor: f64,
+}
+
+impl HeapFile {
+    /// Lay out `n` objects of `object_size` bytes on pages of `page_size`
+    /// bytes filled to `fill_factor`.
+    ///
+    /// `rank` gives the storage order: for clustered placement pass the
+    /// rank of each object in the clustering order; for random placement
+    /// a permutation is drawn from `rng`.
+    pub fn layout(
+        n: usize,
+        object_size: u64,
+        page_size: u64,
+        fill_factor: f64,
+        placement: Placement,
+        rank: Option<Vec<usize>>,
+        rng_source: &mut StdRng,
+    ) -> HeapFile {
+        let usable = (page_size as f64 * fill_factor.clamp(0.01, 1.0)) as u64;
+        let per_page = (usable / object_size.max(1)).max(1) as usize;
+        let order: Vec<usize> = match placement {
+            Placement::Random => rng::permutation(rng_source, n),
+            Placement::Clustered => match rank {
+                Some(r) => r,
+                None => (0..n).collect(),
+            },
+        };
+        let mut page_of = vec![0u64; n];
+        for (obj, &pos) in order.iter().enumerate() {
+            // `order` maps object -> storage position for clustered rank;
+            // for random it is a permutation either way.
+            page_of[obj] = (pos / per_page) as u64;
+        }
+        let pages = n.div_ceil(per_page) as u64;
+        HeapFile {
+            page_of,
+            pages,
+            objects_per_page: per_page,
+            page_size,
+            fill_factor,
+        }
+    }
+
+    /// Page of object `i`.
+    pub fn page_of(&self, obj: usize) -> u64 {
+        self.page_of[obj]
+    }
+
+    /// Total number of pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Objects stored per page.
+    pub fn objects_per_page(&self) -> usize {
+        self.objects_per_page
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Fill factor.
+    pub fn fill_factor(&self) -> f64 {
+        self.fill_factor
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.page_of.len()
+    }
+
+    /// `true` when the file holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.page_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_common::rng::seeded;
+
+    #[test]
+    fn oo7_layout_dimensions() {
+        // 70 000 × 56 B, 4096-byte pages at 96% fill → 70/page, 1000 pages.
+        let mut r = seeded(1, "heap");
+        let h = HeapFile::layout(70_000, 56, 4_096, 0.96, Placement::Random, None, &mut r);
+        assert_eq!(h.objects_per_page(), 70);
+        assert_eq!(h.pages(), 1_000);
+        assert_eq!(h.len(), 70_000);
+        assert!(h.page_of.iter().all(|&p| p < 1_000));
+    }
+
+    #[test]
+    fn every_page_gets_at_most_per_page_objects() {
+        let mut r = seeded(2, "heap");
+        let h = HeapFile::layout(1_000, 100, 1_000, 1.0, Placement::Random, None, &mut r);
+        assert_eq!(h.objects_per_page(), 10);
+        let mut counts = vec![0usize; h.pages() as usize];
+        for i in 0..1_000 {
+            counts[h.page_of(i) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 10));
+        assert_eq!(counts.iter().sum::<usize>(), 1_000);
+    }
+
+    #[test]
+    fn clustered_layout_is_contiguous() {
+        let mut r = seeded(3, "heap");
+        let h = HeapFile::layout(100, 100, 1_000, 1.0, Placement::Clustered, None, &mut r);
+        // Identity rank: objects 0..9 on page 0, 10..19 on page 1, …
+        for i in 0..100 {
+            assert_eq!(h.page_of(i), (i / 10) as u64);
+        }
+    }
+
+    #[test]
+    fn clustered_with_explicit_rank() {
+        let mut r = seeded(4, "heap");
+        // Reverse order: object 0 has the highest rank.
+        let rank: Vec<usize> = (0..20).rev().collect();
+        let h = HeapFile::layout(
+            20,
+            100,
+            1_000,
+            1.0,
+            Placement::Clustered,
+            Some(rank),
+            &mut r,
+        );
+        assert_eq!(h.page_of(19), 0);
+        assert_eq!(h.page_of(0), 1);
+    }
+
+    #[test]
+    fn random_layout_spreads_consecutive_objects() {
+        let mut r = seeded(5, "heap");
+        let h = HeapFile::layout(7_000, 56, 4_096, 0.96, Placement::Random, None, &mut r);
+        // Consecutive ids should mostly land on different pages.
+        let same = (1..7_000)
+            .filter(|&i| h.page_of(i) == h.page_of(i - 1))
+            .count();
+        assert!(same < 700, "too much accidental clustering: {same}");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut r = seeded(6, "heap");
+        let h = HeapFile::layout(0, 56, 4_096, 0.96, Placement::Random, None, &mut r);
+        assert!(h.is_empty());
+        assert_eq!(h.pages(), 0);
+        // Oversized objects still get one slot per page.
+        let h = HeapFile::layout(3, 10_000, 4_096, 0.96, Placement::Random, None, &mut r);
+        assert_eq!(h.objects_per_page(), 1);
+        assert_eq!(h.pages(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulated heterogeneous data sources.
+//!
+//! The paper's experiment measures a real ObjectStore installation; this
+//! crate is the substitute substrate (see DESIGN.md §4): storage engines
+//! that *physically execute* algebra subplans against paged storage and
+//! account elapsed time on a virtual clock using the paper's measured
+//! constants (25 ms per page fault, 9 ms per delivered object). Because
+//! qualifying objects are placed on pages by a real random process, the
+//! measured page-fault counts follow the distribution Yao's formula
+//! models — the "experiment" curve of Figure 12 is reproduced by
+//! execution, not by evaluating a formula.
+//!
+//! Modules:
+//!
+//! * [`clock`] — virtual time and per-source cost profiles;
+//! * [`buffer`] — an LRU buffer pool charging I/O on faults;
+//! * [`heap`] — paged heap files with uniform or clustered placement;
+//! * [`btree`] — a from-scratch B+-tree used for index scans;
+//! * [`exec`] — in-memory operator implementations shared by the sources
+//!   and the mediator's local executor;
+//! * [`store`] — the paged store engine ([`PagedStore`]) with
+//!   object-database and relational cost profiles;
+//! * [`flatfile`] — a scan-only flat-file source;
+//! * [`source`] — the [`DataSource`] trait wrappers build on.
+
+pub mod btree;
+pub mod buffer;
+pub mod clock;
+pub mod exec;
+pub mod flatfile;
+pub mod heap;
+pub mod source;
+pub mod store;
+
+pub use btree::BPlusTree;
+pub use buffer::BufferPool;
+pub use clock::{CostProfile, VirtualClock};
+pub use flatfile::FlatFile;
+pub use heap::{HeapFile, Placement};
+pub use source::{DataSource, ExecStats, SubAnswer};
+pub use store::{CollectionBuilder, PagedStore};

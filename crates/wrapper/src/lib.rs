@@ -1,0 +1,20 @@
+//! The wrapper layer (paper §2.1, Figures 1–2).
+//!
+//! A wrapper provides the mediator's interface to one data source. During
+//! the *registration phase* it returns everything the mediator needs: the
+//! schema of its collections, its capabilities (the set of algebra
+//! operations it executes), exported statistics, and compiled cost rules.
+//! During the *query phase* it executes the algebraic subqueries the
+//! mediator submits and returns subanswers.
+//!
+//! [`SourceWrapper`] is the generic implementation over any
+//! [`disco_sources::DataSource`]; the wrapper implementor's job — writing
+//! the cost communication document — is a constructor argument, with a
+//! knob controlling how much statistical information is exported (the
+//! "from nothing to everything" spectrum of §1).
+
+pub mod registration;
+pub mod wrapper;
+
+pub use registration::{Registration, StatsExport};
+pub use wrapper::{SourceWrapper, Wrapper};

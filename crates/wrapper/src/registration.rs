@@ -1,0 +1,52 @@
+//! Registration payloads (steps 1–2 of Figure 1).
+
+use disco_catalog::{Capabilities, CollectionStats};
+use disco_common::Schema;
+use disco_costlang::CompiledDocument;
+
+/// How much statistical information a wrapper exports.
+///
+/// The paper's framework spans "from nothing to everything" (§1): a full
+/// export enables precise selectivity estimation; an extent-only export
+/// leaves attribute statistics to mediator defaults; exporting nothing
+/// falls back entirely on the generic model's standard values — the pure
+/// calibration regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsExport {
+    /// Extent and attribute statistics (the Figure 4 cardinality methods).
+    #[default]
+    Full,
+    /// Only the extent triplet (`CountObject`, `TotalSize`, `ObjectSize`).
+    ExtentOnly,
+    /// No statistics at all.
+    None,
+}
+
+/// Everything a wrapper uploads at registration time.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// Operations the wrapper can execute.
+    pub capabilities: Capabilities,
+    /// `(collection, schema, statistics)` for every exported collection.
+    pub collections: Vec<(String, Schema, CollectionStats)>,
+    /// The compiled cost document: wrapper parameters and cost rules,
+    /// semi-compiled at the wrapper side (§2.4).
+    pub cost_rules: CompiledDocument,
+}
+
+impl Registration {
+    /// Number of cost rules shipped.
+    pub fn rule_count(&self) -> usize {
+        self.cost_rules.rules.len()
+    }
+
+    /// Total shipped bytecode size in bytes (diagnostics: the paper ships
+    /// compiled formulas precisely because they are compact and fast).
+    pub fn shipped_bytes(&self) -> usize {
+        self.cost_rules
+            .rules
+            .iter()
+            .map(|r| r.body.program.encoded_len())
+            .sum()
+    }
+}

@@ -1,0 +1,70 @@
+//! Custom cost rules: how a wrapper implementor improves the mediator's
+//! estimates — the paper's central workflow, shown on the OO7 database.
+//!
+//! Registers the same OO7 object store twice: once exporting nothing
+//! (pure generic/calibration model) and once exporting the Figure 13 Yao
+//! rule, then compares both estimates against real (simulated) execution.
+//!
+//! ```text
+//! cargo run --release --example custom_cost_rules
+//! ```
+
+use disco::cost::Estimator;
+use disco::oo7::{self, Oo7Config};
+use disco::sources::DataSource;
+
+use disco::catalog::Catalog;
+use disco::cost::RuleRegistry;
+use disco::wrapper::{SourceWrapper, Wrapper};
+
+fn register(
+    config: &Oo7Config,
+    cost_document: &str,
+) -> Result<(Catalog, RuleRegistry, disco::sources::PagedStore), Box<dyn std::error::Error>> {
+    let store = oo7::build_store(config)?;
+    let wrapper = SourceWrapper::new("oo7", store.clone()).with_cost_rules(cost_document);
+    let payload = wrapper.registration()?;
+    let mut catalog = Catalog::new();
+    catalog.register_wrapper("oo7", payload.capabilities.clone())?;
+    for (c, s, st) in &payload.collections {
+        catalog.register_collection("oo7", c.clone(), s.clone(), st.clone())?;
+    }
+    let mut registry = RuleRegistry::with_default_model();
+    registry.register_document("oo7", &payload.cost_rules)?;
+    println!(
+        "registered wrapper with {} cost rules ({} bytes of bytecode)",
+        payload.rule_count(),
+        payload.shipped_bytes()
+    );
+    Ok((catalog, registry, store))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = Oo7Config::small();
+
+    println!("-- wrapper A: exports statistics only (generic model prices everything)");
+    let (cat_a, reg_a, store) = register(&config, "")?;
+
+    println!("\n-- wrapper B: additionally exports the Figure 13 Yao rule:");
+    let doc = oo7::rules::yao_rules();
+    println!("{doc}");
+    let (cat_b, reg_b, _) = register(&config, &doc)?;
+
+    println!("\nindex scan on AtomicParts.Id — estimate vs measurement:");
+    println!(
+        "{:>12} {:>14} {:>16} {:>14}",
+        "selectivity", "measured (s)", "generic est (s)", "Yao est (s)"
+    );
+    for sel in [0.02, 0.1, 0.3, 0.6] {
+        let plan = oo7::index_scan_selectivity("oo7", &config, sel);
+        let measured = store.execute(&plan)?.stats.elapsed_ms / 1e3;
+        let generic = Estimator::new(&reg_a, &cat_a).estimate(&plan)?.total_time / 1e3;
+        let yao = Estimator::new(&reg_b, &cat_b).estimate(&plan)?.total_time / 1e3;
+        println!("{sel:>12.2} {measured:>14.2} {generic:>16.2} {yao:>14.2}");
+    }
+    println!(
+        "\nThe generic model assumes one page fault per qualifying object; the\n\
+         wrapper rule applies Yao's formula and tracks the measurement."
+    );
+    Ok(())
+}

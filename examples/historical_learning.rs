@@ -1,0 +1,66 @@
+//! Historical cost learning (§4.3.1): the mediator records real
+//! subquery costs as query-scope rules and adjusts wrapper parameters.
+//!
+//! ```text
+//! cargo run --example historical_learning
+//! ```
+
+use disco::common::{AttributeDef, DataType, Schema, Value};
+use disco::mediator::{Mediator, MediatorOptions};
+use disco::sources::{CollectionBuilder, CostProfile, PagedStore};
+use disco::wrapper::SourceWrapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut store = PagedStore::new("logs", CostProfile::object_store());
+    store.add_collection(
+        "Event",
+        CollectionBuilder::new(Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("severity", DataType::Long),
+        ]))
+        .rows((0..5_000i64).map(|i| vec![Value::Long(i), Value::Long(i % 5)]))
+        .object_size(56)
+        .index("id"),
+    )?;
+
+    let mut mediator = Mediator::new().with_options(MediatorOptions {
+        record_history: true,
+        ..Default::default()
+    });
+    mediator.register(Box::new(SourceWrapper::new("logs", store)))?;
+
+    let sql = "SELECT id FROM Event WHERE id < 500";
+
+    // First run: the estimate comes from the generic model.
+    let first_estimate = mediator.plan(sql)?.estimated.total_time;
+    let first = mediator.query(sql)?;
+    println!("first run:");
+    println!("  estimate  {first_estimate:>10.1} ms");
+    println!("  measured  {:>10.1} ms", first.measured_ms);
+    println!(
+        "  recorded  {} subquery cost(s) into the query scope",
+        mediator.history_recorded()
+    );
+
+    // Second run of the identical query: the recorded real cost drives
+    // the estimate.
+    let second_estimate = mediator.plan(sql)?.estimated.total_time;
+    println!("\nsecond run of the identical query:");
+    println!("  estimate  {second_estimate:>10.1} ms  (from history)");
+    let err_before = (first_estimate - first.measured_ms).abs() / first.measured_ms;
+    let err_after = (second_estimate - first.measured_ms).abs() / first.measured_ms;
+    println!(
+        "\nestimate error vs measurement: {:.0}% before, {:.0}% after recording",
+        err_before * 100.0,
+        err_after * 100.0
+    );
+
+    // A similar-but-different query is NOT served by the cache — the
+    // limitation §4.3.1 discusses.
+    let other = "SELECT id FROM Event WHERE id < 600";
+    println!(
+        "\nperturbed query estimate: {:.1} ms (cache miss, generic model again)",
+        mediator.plan(other)?.estimated.total_time
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Interactive SQL shell over a demo federation.
+//!
+//! ```text
+//! cargo run --example repl
+//! disco> SELECT name, salary FROM Employee WHERE id < 5;
+//! disco> explain SELECT * FROM Employee WHERE salary > 2500;
+//! disco> costs SELECT name FROM Employee WHERE id < 10;
+//! disco> \q
+//! ```
+//!
+//! Also scriptable: `echo "SELECT COUNT(*) FROM Employee;" | cargo run --example repl`.
+
+use std::io::{self, BufRead, Write};
+
+use disco::common::{AttributeDef, DataType, Schema, Value};
+use disco::mediator::Mediator;
+use disco::sources::{CollectionBuilder, CostProfile, PagedStore};
+use disco::wrapper::SourceWrapper;
+
+fn demo_mediator() -> Result<Mediator, Box<dyn std::error::Error>> {
+    let mut hr = PagedStore::new("hr", CostProfile::object_store()).with_histograms(32);
+    hr.add_collection(
+        "Employee",
+        CollectionBuilder::new(Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("name", DataType::Str),
+            AttributeDef::new("salary", DataType::Long),
+            AttributeDef::new("dept_id", DataType::Long),
+        ]))
+        .rows((0..2_000i64).map(|i| {
+            vec![
+                Value::Long(i),
+                Value::Str(format!("employee {i}")),
+                Value::Long(1_000 + (i * 53) % 3_000),
+                Value::Long(i % 12),
+            ]
+        }))
+        .object_size(64)
+        .index("id"),
+    )?;
+    hr.add_collection(
+        "Dept",
+        CollectionBuilder::new(Schema::new(vec![
+            AttributeDef::new("dept_id", DataType::Long),
+            AttributeDef::new("dept_name", DataType::Str),
+        ]))
+        .rows((0..12i64).map(|i| vec![Value::Long(i), Value::Str(format!("department {i}"))]))
+        .object_size(32)
+        .index("dept_id"),
+    )?;
+    let mut m = Mediator::new();
+    m.register(Box::new(SourceWrapper::new("hr", hr)))?;
+    Ok(m)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mediator = demo_mediator()?;
+    println!("disco-rs shell — collections: hr.Employee, hr.Dept");
+    println!("commands: <sql>;  explain <sql>;  costs <sql>;  \\q\n");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    let mut buffer = String::new();
+    print!("disco> ");
+    out.flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed == "\\q" || trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        buffer.push_str(&line);
+        buffer.push(' ');
+        if !buffer.trim_end().ends_with(';') {
+            print!("   ..> ");
+            out.flush()?;
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').trim().to_owned();
+        buffer.clear();
+        run_statement(&mut mediator, &stmt);
+        print!("disco> ");
+        out.flush()?;
+    }
+    Ok(())
+}
+
+fn run_statement(mediator: &mut Mediator, stmt: &str) {
+    let lower = stmt.to_ascii_lowercase();
+    let outcome = if let Some(sql) = lower.strip_prefix("explain ").map(|_| &stmt[8..]) {
+        mediator.explain(sql).map(|text| println!("{text}"))
+    } else if let Some(sql) = lower.strip_prefix("costs ").map(|_| &stmt[6..]) {
+        mediator.explain_costs(sql).map(|text| println!("{text}"))
+    } else if stmt.is_empty() {
+        Ok(())
+    } else {
+        mediator.query(stmt).map(|result| {
+            let names: Vec<&str> = result
+                .schema
+                .attributes()
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect();
+            println!("{}", names.join(" | "));
+            for t in result.tuples.iter().take(25) {
+                let cells: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
+                println!("{}", cells.join(" | "));
+            }
+            if result.tuples.len() > 25 {
+                println!("… {} more rows", result.tuples.len() - 25);
+            }
+            println!(
+                "({} rows, estimated {:.1} ms, measured {:.1} ms)",
+                result.tuples.len(),
+                result.estimated.total_time,
+                result.measured_ms
+            );
+        })
+    };
+    if let Err(e) = outcome {
+        println!("error: {e}");
+    }
+}

@@ -1,0 +1,16 @@
+//! `disco` — facade crate for the DISCO extensible mediator cost model
+//! reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! downstream users need a single dependency. See the README for a
+//! quickstart and `DESIGN.md` for the system inventory.
+
+pub use disco_algebra as algebra;
+pub use disco_catalog as catalog;
+pub use disco_common as common;
+pub use disco_core as cost;
+pub use disco_costlang as costlang;
+pub use disco_mediator as mediator;
+pub use disco_oo7 as oo7;
+pub use disco_sources as sources;
+pub use disco_wrapper as wrapper;

@@ -1,0 +1,251 @@
+//! Workspace-level integration tests: the full register→query→answer
+//! pipeline through the `disco` facade, checked against straightforward
+//! reference computations over the same data.
+
+use disco::catalog::Capabilities;
+use disco::common::{AttributeDef, DataType, Schema, Value};
+use disco::mediator::Mediator;
+use disco::sources::{CollectionBuilder, CostProfile, FlatFile, PagedStore};
+use disco::wrapper::SourceWrapper;
+
+/// Raw data used both to load the sources and to compute expected
+/// answers.
+struct Data {
+    parts: Vec<(i64, &'static str, i64)>, // id, kind, weight
+    offers: Vec<(i64, i64, i64)>,         // part, supplier, price
+    notes: Vec<(i64, String)>,            // part, note
+}
+
+fn data() -> Data {
+    Data {
+        parts: (0..300)
+            .map(|i| {
+                (
+                    i,
+                    ["bolt", "nut", "rod"][(i % 3) as usize],
+                    10 + (i * 13) % 90,
+                )
+            })
+            .collect(),
+        offers: (0..900)
+            .map(|i| (i % 300, i % 25, 50 + (i * 7) % 450))
+            .collect(),
+        notes: (0..60).map(|i| (i * 5, format!("note {i}"))).collect(),
+    }
+}
+
+fn mediator(d: &Data) -> Mediator {
+    let mut parts_db = PagedStore::new("pdb", CostProfile::object_store());
+    parts_db
+        .add_collection(
+            "Part",
+            CollectionBuilder::new(Schema::new(vec![
+                AttributeDef::new("id", DataType::Long),
+                AttributeDef::new("kind", DataType::Str),
+                AttributeDef::new("weight", DataType::Long),
+            ]))
+            .rows(
+                d.parts.iter().map(|(i, k, w)| {
+                    vec![Value::Long(*i), Value::Str((*k).into()), Value::Long(*w)]
+                }),
+            )
+            .object_size(48)
+            .index("id"),
+        )
+        .unwrap();
+
+    let mut erp = PagedStore::new("erp", CostProfile::relational());
+    erp.add_collection(
+        "Offer",
+        CollectionBuilder::new(Schema::new(vec![
+            AttributeDef::new("part", DataType::Long),
+            AttributeDef::new("supplier", DataType::Long),
+            AttributeDef::new("price", DataType::Long),
+        ]))
+        .rows(
+            d.offers
+                .iter()
+                .map(|(p, s, pr)| vec![Value::Long(*p), Value::Long(*s), Value::Long(*pr)]),
+        )
+        .object_size(24)
+        .index("part"),
+    )
+    .unwrap();
+
+    let notes = FlatFile::new(
+        "docs",
+        "Note",
+        Schema::new(vec![
+            AttributeDef::new("part_ref", DataType::Long),
+            AttributeDef::new("text", DataType::Str),
+        ]),
+        d.notes
+            .iter()
+            .map(|(p, t)| vec![Value::Long(*p), Value::Str(t.clone())]),
+    );
+
+    let mut m = Mediator::new();
+    m.register(Box::new(SourceWrapper::new("pdb", parts_db)))
+        .unwrap();
+    m.register(Box::new(SourceWrapper::new("erp", erp)))
+        .unwrap();
+    m.register(Box::new(
+        SourceWrapper::new("docs", notes).with_capabilities(Capabilities::scan_only()),
+    ))
+    .unwrap();
+    m
+}
+
+#[test]
+fn selection_matches_reference() {
+    let d = data();
+    let mut m = mediator(&d);
+    let r = m
+        .query("SELECT id, weight FROM Part WHERE weight >= 80 AND kind = 'bolt'")
+        .unwrap();
+    let expected: Vec<(i64, i64)> = d
+        .parts
+        .iter()
+        .filter(|(_, k, w)| *w >= 80 && *k == "bolt")
+        .map(|(i, _, w)| (*i, *w))
+        .collect();
+    assert_eq!(r.tuples.len(), expected.len());
+    for t in &r.tuples {
+        let id = t.get(0).unwrap().as_i64().unwrap();
+        let w = t.get(1).unwrap().as_i64().unwrap();
+        assert!(expected.contains(&(id, w)));
+    }
+}
+
+#[test]
+fn two_way_join_matches_reference() {
+    let d = data();
+    let mut m = mediator(&d);
+    let r = m
+        .query(
+            "SELECT p.id, o.price FROM Part p, Offer o \
+             WHERE p.id = o.part AND p.weight > 90 AND o.price < 100",
+        )
+        .unwrap();
+    let mut expected = 0usize;
+    for (pid, _, w) in &d.parts {
+        if *w <= 90 {
+            continue;
+        }
+        for (op, _, price) in &d.offers {
+            if op == pid && *price < 100 {
+                expected += 1;
+            }
+        }
+    }
+    assert_eq!(r.tuples.len(), expected);
+}
+
+#[test]
+fn three_way_cross_wrapper_join() {
+    let d = data();
+    let mut m = mediator(&d);
+    let r = m
+        .query(
+            "SELECT p.id, o.price, n.text FROM Part p, Offer o, Note n \
+             WHERE p.id = o.part AND p.id = n.part_ref AND o.price >= 400",
+        )
+        .unwrap();
+    let mut expected = 0usize;
+    for (pid, _, _) in &d.parts {
+        let has_note = d.notes.iter().any(|(np, _)| np == pid);
+        if !has_note {
+            continue;
+        }
+        for (op, _, price) in &d.offers {
+            if op == pid && *price >= 400 {
+                expected += 1;
+            }
+        }
+    }
+    assert_eq!(r.tuples.len(), expected);
+    assert!(expected > 0, "test data produced an empty answer");
+    // All three wrappers were contacted.
+    assert_eq!(r.trace.submits.len(), 3);
+}
+
+#[test]
+fn aggregation_matches_reference() {
+    let d = data();
+    let mut m = mediator(&d);
+    let r = m
+        .query(
+            "SELECT kind, COUNT(*) AS n, MIN(weight) AS lightest \
+             FROM Part GROUP BY kind ORDER BY kind",
+        )
+        .unwrap();
+    assert_eq!(r.tuples.len(), 3);
+    for t in &r.tuples {
+        let kind = t.get(0).unwrap().as_str().unwrap();
+        let n = t.get(1).unwrap().as_i64().unwrap();
+        let lightest = t.get(2).unwrap().as_i64().unwrap();
+        let expect_n = d.parts.iter().filter(|(_, k, _)| *k == kind).count() as i64;
+        let expect_min = d
+            .parts
+            .iter()
+            .filter(|(_, k, _)| *k == kind)
+            .map(|(_, _, w)| *w)
+            .min()
+            .unwrap();
+        assert_eq!(n, expect_n, "{kind}");
+        assert_eq!(lightest, expect_min, "{kind}");
+    }
+    // kinds sorted ascending.
+    let kinds: Vec<&str> = r
+        .tuples
+        .iter()
+        .map(|t| t.get(0).unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(kinds, vec!["bolt", "nut", "rod"]);
+}
+
+#[test]
+fn estimates_track_measurements_with_stats() {
+    let d = data();
+    let mut m = mediator(&d);
+    let sql = "SELECT id FROM Part WHERE id < 30";
+    let plan = m.plan(sql).unwrap();
+    let result = m.query(sql).unwrap();
+    assert_eq!(result.tuples.len(), 30);
+    // Cardinality estimate is exact with full statistics and uniform ids.
+    assert!(
+        (plan.estimated.count_object - 30.0).abs() < 1.5,
+        "{}",
+        plan.estimated.count_object
+    );
+    // Time estimate within 3x (generic model, no wrapper rules).
+    let ratio = plan.estimated.total_time / result.measured_ms;
+    assert!(
+        ratio > 0.3 && ratio < 3.0,
+        "estimate/measured ratio {ratio}"
+    );
+}
+
+#[test]
+fn distinct_ordering_and_expressions_compose() {
+    let d = data();
+    let mut m = mediator(&d);
+    let r = m
+        .query("SELECT DISTINCT kind FROM Part WHERE weight > 95 ORDER BY kind DESC")
+        .unwrap();
+    let mut expected: Vec<&str> = d
+        .parts
+        .iter()
+        .filter(|(_, _, w)| *w > 95)
+        .map(|(_, k, _)| *k)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    expected.reverse();
+    let got: Vec<&str> = r
+        .tuples
+        .iter()
+        .map(|t| t.get(0).unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(got, expected);
+}

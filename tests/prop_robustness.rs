@@ -1,0 +1,137 @@
+//! Workspace-level property tests: the user-facing text interfaces never
+//! panic, and query answers agree with reference filtering under random
+//! predicates.
+
+use proptest::prelude::*;
+
+use disco::algebra::CompareOp;
+use disco::common::{AttributeDef, DataType, Schema, Value};
+use disco::costlang::parse_document;
+use disco::mediator::{parse_query, Mediator};
+use disco::sources::{CollectionBuilder, CostProfile, PagedStore};
+use disco::wrapper::SourceWrapper;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The cost-language parser returns errors, never panics, on
+    /// arbitrary input.
+    #[test]
+    fn cost_parser_never_panics(src in ".{0,200}") {
+        let _ = parse_document(&src);
+    }
+
+    /// Same for the SQL parser.
+    #[test]
+    fn sql_parser_never_panics(src in ".{0,200}") {
+        let _ = parse_query(&src);
+    }
+
+    /// Near-miss documents built from language fragments also never panic.
+    #[test]
+    fn cost_parser_handles_fragment_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "rule", "select", "($C", ", $A = $V)", "{", "}", "TotalTime",
+                "=", "1", ";", "interface", "cardinality", "extent", "let",
+                "min(", ")", "$C.TotalSize", "/", "\"str\"", "77",
+            ]),
+            0..24,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = parse_document(&src);
+    }
+}
+
+fn tiny_mediator(rows: &[(i64, i64)]) -> Mediator {
+    let mut store = PagedStore::new("s", CostProfile::relational());
+    store
+        .add_collection(
+            "T",
+            CollectionBuilder::new(Schema::new(vec![
+                AttributeDef::new("a", DataType::Long),
+                AttributeDef::new("b", DataType::Long),
+            ]))
+            .rows(
+                rows.iter()
+                    .map(|(a, b)| vec![Value::Long(*a), Value::Long(*b)]),
+            )
+            .object_size(16)
+            .index("a"),
+        )
+        .unwrap();
+    let mut m = Mediator::new();
+    m.register(Box::new(SourceWrapper::new("s", store)))
+        .unwrap();
+    m
+}
+
+fn op_sql(op: CompareOp) -> &'static str {
+    op.symbol()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mediator answers equal reference filtering for random data and
+    /// random single-attribute predicates, through the whole pipeline
+    /// (pushdown, index or scan access, execution).
+    #[test]
+    fn selection_agrees_with_reference(
+        rows in prop::collection::vec((0i64..50, -20i64..20), 1..120),
+        use_a in any::<bool>(),
+        op_idx in 0usize..6,
+        value in -25i64..60,
+    ) {
+        let ops = [
+            CompareOp::Eq, CompareOp::Ne, CompareOp::Lt,
+            CompareOp::Le, CompareOp::Gt, CompareOp::Ge,
+        ];
+        let op = ops[op_idx];
+        let col = if use_a { "a" } else { "b" };
+        let mut m = tiny_mediator(&rows);
+        let sql = format!("SELECT a, b FROM T WHERE {col} {} {value}", op_sql(op));
+        let result = m.query(&sql).unwrap();
+        let expected: Vec<(i64, i64)> = rows
+            .iter()
+            .filter(|(a, b)| {
+                let lhs = if use_a { *a } else { *b };
+                op.eval(&Value::Long(lhs), &Value::Long(value))
+            })
+            .copied()
+            .collect();
+        prop_assert_eq!(result.tuples.len(), expected.len());
+        // Multiset equality.
+        let mut got: Vec<(i64, i64)> = result
+            .tuples
+            .iter()
+            .map(|t| {
+                (
+                    t.get(0).unwrap().as_i64().unwrap(),
+                    t.get(1).unwrap().as_i64().unwrap(),
+                )
+            })
+            .collect();
+        let mut want = expected;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Self-joins agree with the quadratic reference.
+    #[test]
+    fn join_agrees_with_reference(
+        rows in prop::collection::vec((0i64..12, -5i64..5), 1..40),
+    ) {
+        let mut m = tiny_mediator(&rows);
+        let result = m
+            .query("SELECT x.a FROM T x, T y WHERE x.a = y.b")
+            .unwrap();
+        let expected = rows
+            .iter()
+            .flat_map(|(a, _)| rows.iter().filter(move |(_, b2)| a == b2))
+            .count();
+        prop_assert_eq!(result.tuples.len(), expected);
+    }
+}
