@@ -1,9 +1,9 @@
-//! Criterion micro-benches of the cost communication language: parse,
+//! Micro-benches of the cost communication language: parse,
 //! compile, and VM evaluation throughput — the paper ships compiled
 //! formulas precisely because "fast evaluation times are a requirement
 //! due to the computational intensity of query optimization" (§2.4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use disco_bench::micro::Micro;
 
 use disco_common::Value;
 use disco_costlang::ast::PathLeaf;
@@ -60,7 +60,7 @@ impl EvalEnv for BenchEnv {
     }
 }
 
-fn bench_parse_compile(c: &mut Criterion) {
+fn bench_parse_compile(c: &mut Micro) {
     c.bench_function("parse_document_yao", |b| {
         b.iter(|| parse_document(YAO_DOC).unwrap())
     });
@@ -70,7 +70,7 @@ fn bench_parse_compile(c: &mut Criterion) {
     });
 }
 
-fn bench_vm(c: &mut Criterion) {
+fn bench_vm(c: &mut Micro) {
     let compiled = compile_document(&parse_document(YAO_DOC).unwrap()).unwrap();
     let body = &compiled.rules[0].body;
     let env = BenchEnv;
@@ -79,5 +79,8 @@ fn bench_vm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse_compile, bench_vm);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_args();
+    bench_parse_compile(&mut c);
+    bench_vm(&mut c);
+}

@@ -1,8 +1,8 @@
-//! Criterion micro-benches of the cost estimator (E5 companion): plan
+//! Micro-benches of the cost estimator (E5 companion): plan
 //! estimation latency under growing registered-rule counts, with and
 //! without matching-relevant scopes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disco_bench::micro::{BenchmarkId, Micro};
 
 use disco_core::{EstimateOptions, Estimator, Provenance, RuleRegistry};
 use disco_costlang::{compile_document, parse_document};
@@ -44,7 +44,7 @@ fn env_with_rules(n_rules: usize) -> (disco_catalog::Catalog, RuleRegistry) {
     (catalog, registry)
 }
 
-fn bench_estimation(c: &mut Criterion) {
+fn bench_estimation(c: &mut Micro) {
     let config = Oo7Config::small();
     let plan = index_scan_selectivity("oo7", &config, 0.3);
     let mut group = c.benchmark_group("estimate_under_rule_load");
@@ -64,7 +64,7 @@ fn bench_estimation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_matching(c: &mut Criterion) {
+fn bench_matching(c: &mut Micro) {
     use disco_core::pattern::match_head;
     let config = Oo7Config::small();
     let plan = index_scan_selectivity("oo7", &config, 0.3);
@@ -77,5 +77,8 @@ fn bench_matching(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimation, bench_matching);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_args();
+    bench_estimation(&mut c);
+    bench_matching(&mut c);
+}

@@ -1,14 +1,14 @@
-//! Criterion micro-benches of the simulated source substrate: B+-tree
+//! Micro-benches of the simulated source substrate: B+-tree
 //! operations and subplan execution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use disco_bench::micro::Micro;
 
 use disco_algebra::CompareOp;
 use disco_common::Value;
 use disco_oo7::{index_scan_selectivity, Oo7Config};
 use disco_sources::{BPlusTree, DataSource};
 
-fn bench_btree(c: &mut Criterion) {
+fn bench_btree(c: &mut Micro) {
     let tree = BPlusTree::build((0..100_000i64).map(|i| (Value::Long(i), i as u32)));
     c.bench_function("btree_lookup", |b| {
         let mut k = 0i64;
@@ -22,7 +22,7 @@ fn bench_btree(c: &mut Criterion) {
     });
 }
 
-fn bench_index_scan(c: &mut Criterion) {
+fn bench_index_scan(c: &mut Micro) {
     let config = Oo7Config::small();
     let store = disco_oo7::build_store(&config).unwrap();
     let plan = index_scan_selectivity("oo7", &config, 0.1);
@@ -31,5 +31,8 @@ fn bench_index_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_btree, bench_index_scan);
-criterion_main!(benches);
+fn main() {
+    let mut c = Micro::from_args();
+    bench_btree(&mut c);
+    bench_index_scan(&mut c);
+}

@@ -8,13 +8,17 @@
 //! ```
 
 use disco_bench::Table;
-use disco_mediator::{Mediator, MediatorOptions};
+use disco_mediator::{JoinEnumeration, Mediator, MediatorOptions};
 use disco_oo7::{build_store, rules, Oo7Config};
 use disco_wrapper::SourceWrapper;
 
 fn mediator(config: &Oo7Config, pruning: bool) -> Mediator {
+    // Pin the exhaustive permutation enumerator: this experiment isolates
+    // the §4.3.2 cost-limit effect, which the DP path's caches would
+    // partially mask.
     let mut m = Mediator::new().with_options(MediatorOptions {
         pruning,
+        enumeration: JoinEnumeration::Permutation,
         ..Default::default()
     });
     m.register(Box::new(

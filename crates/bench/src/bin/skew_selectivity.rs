@@ -18,7 +18,6 @@ use disco_common::QualifiedName;
 use disco_common::{rng, AttributeDef, DataType, Schema, Value};
 use disco_core::{Estimator, RuleRegistry};
 use disco_sources::{CollectionBuilder, CostProfile, DataSource, PagedStore};
-use rand::Rng;
 
 const N: usize = 50_000;
 const DOMAIN: i64 = 1_000;

@@ -6,6 +6,7 @@
 
 pub mod fig12;
 pub mod historical;
+pub mod micro;
 pub mod plan_quality;
 pub mod report;
 pub mod setup;

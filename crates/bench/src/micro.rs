@@ -1,0 +1,134 @@
+//! Minimal micro-benchmark harness (criterion-shaped, dependency-free).
+//!
+//! The workspace builds in offline environments, so the Criterion
+//! dependency was replaced by this small harness exposing the subset of
+//! its API the benches use: [`Micro::bench_function`], benchmark groups
+//! with [`Group::bench_with_input`], and [`Bencher::iter`]. Passing
+//! `--test` (as CI's `cargo bench -- --test` smoke step does) runs every
+//! body exactly once instead of measuring.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark.
+const MEASURE_FOR: Duration = Duration::from_millis(200);
+/// Warm-up time before measurement.
+const WARMUP_FOR: Duration = Duration::from_millis(50);
+
+/// The harness: construct with [`Micro::from_args`] in `main`.
+pub struct Micro {
+    test_mode: bool,
+}
+
+impl Micro {
+    /// Parse harness flags (`--test` = smoke mode). Unknown flags are
+    /// ignored so `cargo bench`'s `--bench` pass-through is harmless.
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Micro { test_mode }
+    }
+
+    /// Benchmark one closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+    }
+
+    /// Start a named group (purely a label prefix).
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            micro: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A labelled group of benchmarks.
+pub struct Group<'a> {
+    micro: &'a mut Micro,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Benchmark one closure with an input parameter label.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher {
+            test_mode: self.micro.test_mode,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&label, &b);
+    }
+
+    /// End the group (no-op; kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark parameter label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label from the parameter's `Display` form.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    test_mode: bool,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure the closure (or run it once in `--test` smoke mode).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            self.iters = 1;
+            return;
+        }
+        // Warm up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP_FOR {
+            black_box(body());
+        }
+        // Measure in growing batches until the time budget is spent.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while total < MEASURE_FOR {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            total += t0.elapsed();
+            iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters <= 1 {
+        println!("{name:<44} ok (smoke)");
+    } else {
+        println!(
+            "{name:<44} {:>12.1} ns/iter ({} iters)",
+            b.ns_per_iter, b.iters
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Estimation caches shared across the candidate plans of one
+//! optimization run.
+//!
+//! The paper stresses that "fast evaluation times are a requirement due
+//! to the computational intensity of query optimization" (§2.4). During
+//! join enumeration the optimizer prices hundreds of candidate plans that
+//! share almost all of their structure: every candidate re-uses the same
+//! per-table access subtrees, and a dynamic-programming frontier extends
+//! one memoized prefix by one table at a time. Two caches exploit that:
+//!
+//! * a **subplan cost memo** — keyed by a canonical fingerprint of the
+//!   logical subtree plus its wrapper execution context, it returns the
+//!   previously computed [`NodeCost`] without re-walking the subtree.
+//!   Estimates are deterministic and independent of the cost limit in
+//!   effect, so memoized values are exact, not approximations;
+//! * a **rule-resolution cache** — keyed by the *shallow* signature of a
+//!   node (operator kind, per-child base collections, node payload,
+//!   subtree collection set and context), it returns the matched rule
+//!   list with bindings, skipping the repeated `match_head` unification
+//!   that dominates per-node association cost. Two distinct subtrees with
+//!   the same node signature (e.g. the same join predicate over different
+//!   inputs) share one resolution.
+//!
+//! The cache is internally synchronized (`Mutex`-guarded maps, atomic
+//! hit counters) so a read-only [`crate::Estimator`] can be shared by
+//! value across scoped threads costing independent candidates in
+//! parallel. Values are deterministic, so concurrent duplicate inserts
+//! are benign.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::cost::NodeCost;
+use crate::pattern::Bindings;
+
+/// Caches shared by every estimation of one optimization run.
+#[derive(Debug, Default)]
+pub struct EstimatorCache {
+    cost: Mutex<HashMap<String, NodeCost>>,
+    rules: Mutex<HashMap<String, Vec<(usize, Bindings)>>>,
+    cost_hits: AtomicUsize,
+    rule_hits: AtomicUsize,
+}
+
+impl EstimatorCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subplan cost memo hits so far.
+    pub fn cost_hits(&self) -> usize {
+        self.cost_hits.load(Ordering::Relaxed)
+    }
+
+    /// Rule-resolution cache hits so far.
+    pub fn rule_hits(&self) -> usize {
+        self.rule_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct subtrees memoized.
+    pub fn cost_entries(&self) -> usize {
+        self.cost.lock().expect("cache poisoned").len()
+    }
+
+    pub(crate) fn cost_get(&self, key: &str) -> Option<NodeCost> {
+        let got = self.cost.lock().expect("cache poisoned").get(key).copied();
+        if got.is_some() {
+            self.cost_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    pub(crate) fn cost_put(&self, key: String, cost: NodeCost) {
+        self.cost.lock().expect("cache poisoned").insert(key, cost);
+    }
+
+    pub(crate) fn rules_get(&self, key: &str) -> Option<Vec<(usize, Bindings)>> {
+        let got = self.rules.lock().expect("cache poisoned").get(key).cloned();
+        if got.is_some() {
+            self.rule_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    pub(crate) fn rules_put(&self, key: String, resolved: Vec<(usize, Bindings)>) {
+        self.rules
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, resolved);
+    }
+}

@@ -23,6 +23,7 @@ use disco_costlang::ast::PathLeaf;
 use disco_costlang::bytecode::{AttrSpec, ChildRef, CollSpec, Instr};
 use disco_costlang::{eval_program, CostVar, EvalEnv};
 
+use crate::cache::EstimatorCache;
 use crate::cost::{NodeCost, PartialCost};
 use crate::explain::{Attribution, ExplainNode};
 use crate::pattern::{match_head, BindingValue, Bindings};
@@ -101,6 +102,31 @@ impl<'a> Estimator<'a> {
         plan: &LogicalPlan,
         opts: &EstimateOptions,
     ) -> Result<Option<EstimateReport>> {
+        self.run_report(plan, opts, None)
+    }
+
+    /// Like [`Estimator::estimate_report`], but memoizing subplan costs
+    /// and rule resolutions in `cache`. One cache is meant to span all
+    /// candidate estimations of one optimization run: candidates sharing
+    /// subtrees (per-table access plans, memoized DP prefixes) are then
+    /// walked once, and repeated `match_head` unification is skipped.
+    /// Cached values are exact, so results are identical to the uncached
+    /// path; only the work counters shrink.
+    pub fn estimate_report_cached(
+        &self,
+        plan: &LogicalPlan,
+        opts: &EstimateOptions,
+        cache: &EstimatorCache,
+    ) -> Result<Option<EstimateReport>> {
+        self.run_report(plan, opts, Some(cache))
+    }
+
+    fn run_report(
+        &self,
+        plan: &LogicalPlan,
+        opts: &EstimateOptions,
+        cache: Option<&EstimatorCache>,
+    ) -> Result<Option<EstimateReport>> {
         let ctx = match &opts.wrapper {
             Some(w) => Some(w.clone()),
             None => infer_wrapper_context(plan),
@@ -111,6 +137,7 @@ impl<'a> Estimator<'a> {
             nodes_visited: 0,
             rules_evaluated: 0,
             explain: false,
+            cache,
         };
         match run.node(plan, ctx.as_deref(), true) {
             Ok((cost, _)) => Ok(Some(EstimateReport {
@@ -140,6 +167,7 @@ impl<'a> Estimator<'a> {
             nodes_visited: 0,
             rules_evaluated: 0,
             explain: true,
+            cache: None,
         };
         match run.node(plan, ctx.as_deref(), true) {
             Ok((_, node)) => Ok(Some(node.expect("explain mode builds a node"))),
@@ -178,6 +206,50 @@ struct Run<'a> {
     nodes_visited: usize,
     rules_evaluated: usize,
     explain: bool,
+    /// Shared subplan-cost memo and rule-resolution cache, when the
+    /// caller opted in (never in explain mode, which needs full nodes).
+    cache: Option<&'a EstimatorCache>,
+}
+
+/// Canonical fingerprint of a whole logical subtree under a wrapper
+/// execution context — the subplan cost memo key. The `Debug` rendering
+/// of a plan covers every cost-relevant field (collections, schemas,
+/// predicates, projections, keys), so equal keys imply equal estimates.
+fn subtree_key(plan: &LogicalPlan, ctx: Option<&str>) -> String {
+    format!("{ctx:?}|{plan:?}")
+}
+
+/// Shallow signature of one node — the rule-resolution cache key. Head
+/// matching ([`match_head`]) inspects only the node's own payload, each
+/// child's base collection, and (for interface-nested rules) the set of
+/// collections the subtree derives from; candidate filtering additionally
+/// depends on the execution context. All of those go into the key, so
+/// different subtrees with equal signatures resolve to the same rules
+/// with the same bindings.
+fn rule_key(plan: &LogicalPlan, ctx: Option<&str>) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = write!(s, "{ctx:?}|{}|", plan.kind());
+    for c in plan.children() {
+        let _ = write!(s, "{:?};", c.base_collection());
+    }
+    let _ = match plan {
+        LogicalPlan::Scan { collection, .. } => write!(s, "|{collection}"),
+        LogicalPlan::Select { predicate, .. } => write!(s, "|{predicate:?}"),
+        LogicalPlan::Project { columns, .. } => write!(s, "|{columns:?}"),
+        LogicalPlan::Sort { keys, .. } => write!(s, "|{keys:?}"),
+        LogicalPlan::Join {
+            predicate, kind, ..
+        } => write!(s, "|{kind:?}:{predicate:?}"),
+        LogicalPlan::Union { .. } | LogicalPlan::Dedup { .. } => Ok(()),
+        LogicalPlan::Aggregate { group_by, aggs, .. } => write!(s, "|{group_by:?}:{aggs:?}"),
+        LogicalPlan::Submit { wrapper, .. } => write!(s, "|{wrapper}"),
+    };
+    let mut colls: Vec<String> = plan.collections().iter().map(|q| q.to_string()).collect();
+    colls.sort();
+    colls.dedup();
+    let _ = write!(s, "|{colls:?}");
+    s
 }
 
 struct Candidate<'a> {
@@ -194,6 +266,21 @@ impl<'a> Run<'a> {
     ) -> std::result::Result<(NodeCost, Option<ExplainNode>), EstErr> {
         self.nodes_visited += 1;
 
+        // Subplan cost memo: an already-estimated subtree returns its
+        // cost without re-walking (values are limit-independent; the
+        // abandonment check below still applies at this node).
+        let memo_key = self.cache.map(|_| subtree_key(plan, ctx));
+        if let (Some(cache), Some(key)) = (self.cache, &memo_key) {
+            if let Some(cost) = cache.cost_get(key) {
+                if let Some(limit) = self.limit {
+                    if (is_root || ctx.is_none()) && cost.total_time > limit {
+                        return Err(EstErr::Pruned);
+                    }
+                }
+                return Ok((cost, None));
+            }
+        }
+
         // Context under which children execute: submit switches into the
         // target wrapper.
         let child_ctx: Option<String> = match plan {
@@ -202,21 +289,37 @@ impl<'a> Run<'a> {
         };
 
         // Phase 1 (association): gather matching rules, most specific
-        // first (the registry keeps them sorted).
-        let candidates: Vec<Candidate<'a>> = self
-            .est
-            .registry
-            .candidates(plan.kind())
-            .filter(|r| match &r.provenance {
-                Provenance::Default => true,
-                Provenance::Local => ctx.is_none(),
-                Provenance::Wrapper(w) => ctx == Some(w.as_str()),
-            })
-            .filter_map(|r| {
-                match_head(&r.head, plan, r.declared_in.as_deref())
-                    .map(|bindings| Candidate { rule: r, bindings })
-            })
-            .collect();
+        // first (the registry keeps them sorted). The rule-resolution
+        // cache skips the repeated `match_head` unification for nodes
+        // sharing a shallow signature.
+        let candidates: Vec<Candidate<'a>> = match self.cache {
+            Some(cache) => {
+                let key = rule_key(plan, ctx);
+                match cache.rules_get(&key) {
+                    Some(resolved) => resolved
+                        .into_iter()
+                        .filter_map(|(id, bindings)| {
+                            self.est
+                                .registry
+                                .rule(id)
+                                .map(|rule| Candidate { rule, bindings })
+                        })
+                        .collect(),
+                    None => {
+                        let fresh = self.resolve_candidates(plan, ctx);
+                        cache.rules_put(
+                            key,
+                            fresh
+                                .iter()
+                                .map(|c| (c.rule.id, c.bindings.clone()))
+                                .collect(),
+                        );
+                        fresh
+                    }
+                }
+            }
+            None => self.resolve_candidates(plan, ctx),
+        };
 
         let child_plans = plan.children();
         let mut children: Vec<Option<NodeCost>> = vec![None; child_plans.len()];
@@ -291,6 +394,13 @@ impl<'a> Run<'a> {
             children: children_explain.into_iter().flatten().collect(),
         });
 
+        // A fully evaluated node's cost does not depend on the limit, so
+        // it is memoizable even when a limit is in effect (an abandoned
+        // run unwinds through `Err` before reaching this point).
+        if let (Some(cache), Some(key)) = (self.cache, memo_key) {
+            cache.cost_put(key, cost);
+        }
+
         // Branch-and-bound abandonment (§4.3.2). Checked only where cost
         // accumulates monotonically — mediator-level nodes and the plan
         // root. Inside wrapper subtrees an index-access formula may price
@@ -302,6 +412,24 @@ impl<'a> Run<'a> {
             }
         }
         Ok((cost, explain_node))
+    }
+
+    /// Phase-1 association without the cache: provenance filter plus head
+    /// unification over the registry's most-specific-first candidates.
+    fn resolve_candidates(&self, plan: &LogicalPlan, ctx: Option<&str>) -> Vec<Candidate<'a>> {
+        self.est
+            .registry
+            .candidates(plan.kind())
+            .filter(|r| match &r.provenance {
+                Provenance::Default => true,
+                Provenance::Local => ctx.is_none(),
+                Provenance::Wrapper(w) => ctx == Some(w.as_str()),
+            })
+            .filter_map(|r| {
+                match_head(&r.head, plan, r.declared_in.as_deref())
+                    .map(|bindings| Candidate { rule: r, bindings })
+            })
+            .collect()
     }
 
     /// Evaluate one candidate rule for one variable. `Ok(None)` = formula

@@ -23,9 +23,12 @@
 //! * [`estimator`] — the two-phase estimation algorithm with per-variable
 //!   fallback, min-combination, required-variable cut-off and
 //!   branch-and-bound cost limits;
+//! * [`cache`] — the subplan cost memo and rule-resolution cache shared
+//!   across all candidate estimations of one optimization run;
 //! * [`historical`] — the §4.3.1 extensions: query-scope rules recorded
 //!   from executed subqueries, and parameter adjustment.
 
+pub mod cache;
 pub mod cost;
 pub mod estimator;
 pub mod explain;
@@ -38,6 +41,7 @@ pub mod rules;
 pub mod scope;
 pub mod yao;
 
+pub use cache::EstimatorCache;
 pub use cost::NodeCost;
 pub use disco_costlang::CostVar;
 pub use estimator::{EstimateOptions, EstimateReport, Estimator};

@@ -1,3 +1,7 @@
+// Gated: requires the `proptest` cargo feature (and the proptest
+// dev-dependency, removed so offline builds succeed — see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property test: the bytecode VM computes exactly what a direct AST
 //! interpreter computes, for arbitrary generated rule bodies.
 

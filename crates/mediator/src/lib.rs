@@ -29,5 +29,5 @@ pub mod sql;
 pub use analyze::{AnalyzedQuery, TableBinding};
 pub use executor::{ExecutionTrace, QueryResult};
 pub use mediator::{Mediator, MediatorOptions};
-pub use optimizer::{to_logical, OptimizedPlan, Optimizer, OptimizerOptions};
+pub use optimizer::{to_logical, JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
 pub use sql::{parse_query, parse_statement, Statement};

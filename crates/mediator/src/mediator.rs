@@ -11,19 +11,34 @@ use disco_wrapper::Wrapper;
 
 use crate::analyze::analyze;
 use crate::executor::{Executor, QueryResult};
-use crate::optimizer::{OptimizedPlan, Optimizer, OptimizerOptions};
+use crate::optimizer::{JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
 
 /// Behaviour switches.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MediatorOptions {
     /// Record executed subqueries as query-scope rules (§4.3.1).
     pub record_history: bool,
     /// Abandon estimation of plans worse than the current best (§4.3.2).
+    /// On by default.
     pub pruning: bool,
     /// Issue wrapper subqueries concurrently (Figure 2 shows steps 4a/4b
     /// in parallel): measured time is dominated by the slowest subquery
     /// instead of their sum.
     pub parallel_submits: bool,
+    /// Join-order search strategy (DP by default; `Permutation` is the
+    /// exhaustive baseline).
+    pub enumeration: JoinEnumeration,
+}
+
+impl Default for MediatorOptions {
+    fn default() -> Self {
+        MediatorOptions {
+            record_history: false,
+            pruning: true,
+            parallel_submits: false,
+            enumeration: JoinEnumeration::default(),
+        }
+    }
 }
 
 /// The DISCO mediator.
@@ -139,6 +154,7 @@ impl Mediator {
         let stmt = crate::sql::parse_statement(sql)?;
         let opts = OptimizerOptions {
             pruning: self.options.pruning,
+            enumeration: self.options.enumeration,
             ..Default::default()
         };
         let optimizer = Optimizer::new(&self.catalog, &self.registry, opts);
@@ -157,6 +173,8 @@ impl Mediator {
         let mut pruned = 0;
         let mut nodes = 0;
         let mut rules = 0;
+        let mut memo_hits = 0;
+        let mut rule_cache_hits = 0;
         for query in &stmt.branches {
             let analyzed = analyze(query, &self.catalog)?;
             let outputs: Vec<String> = analyzed.output.iter().map(|(n, _)| n.clone()).collect();
@@ -177,6 +195,8 @@ impl Mediator {
             pruned += plan.plans_pruned;
             nodes += plan.estimator_nodes;
             rules += plan.estimator_rules;
+            memo_hits += plan.memo_hits;
+            rule_cache_hits += plan.rule_cache_hits;
             branch_plans.push(plan.physical);
         }
         let mut iter = branch_plans.into_iter();
@@ -217,6 +237,8 @@ impl Mediator {
             plans_pruned: pruned,
             estimator_nodes: nodes,
             estimator_rules: rules,
+            memo_hits,
+            rule_cache_hits,
         })
     }
 

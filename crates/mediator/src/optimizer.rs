@@ -7,13 +7,26 @@
 //! * **pushdown variants** per table — execute selections/projections at
 //!   the wrapper (when its capabilities allow) or compensate at the
 //!   mediator;
-//! * **join orders** — left-deep trees, connected-subgraph-first, by
-//!   exhaustive permutation for small queries and greedily beyond;
+//! * **join orders** — left-deep trees, connected-subgraph-first.
 //!
-//! and prices every candidate with the blended estimator. With
-//! [`OptimizerOptions::pruning`] the current best plan's cost becomes the
-//! estimator's cost limit, abandoning estimation of worse plans midway
-//! (§4.3.2).
+//! Join-order search is Selinger-style **dynamic programming over table
+//! subsets** ([`JoinEnumeration::Dp`], the default): a bitset-keyed memo
+//! holds the best joined prefix per subset (a small Pareto set over the
+//! five cost variables, which keeps the search exact even when orders of
+//! one subset differ in cardinality estimates), giving O(2ⁿ·n) candidate
+//! costings instead of the O(n!) complete plans of the exhaustive
+//! permutation enumerator (kept as [`JoinEnumeration::Permutation`] — the
+//! equivalence oracle and perf baseline). Candidate estimation runs over
+//! two shared caches (subplan cost memo + rule-resolution cache, see
+//! [`disco_core::cache`]), and independent candidates of one DP frontier
+//! are costed concurrently on scoped threads. Beyond
+//! [`OptimizerOptions::exhaustive_up_to`] tables, ordering is greedy by
+//! estimated cardinality.
+//!
+//! With [`OptimizerOptions::pruning`] (default on) the best complete
+//! plan's cost becomes the estimator's cost limit, abandoning estimation
+//! of worse candidates midway (§4.3.2); the DP seeds that limit with a
+//! greedy complete plan so even frontier subplans can be abandoned.
 
 use disco_algebra::{
     CompareOp, JoinKind, JoinPredicate, LogicalPlan, OperatorKind, PhysicalJoinAlgo, PhysicalPlan,
@@ -21,25 +34,48 @@ use disco_algebra::{
 };
 use disco_catalog::Catalog;
 use disco_common::{DiscoError, Result};
-use disco_core::{EstimateOptions, Estimator, NodeCost, RuleRegistry};
+use disco_core::{
+    EstimateOptions, EstimateReport, Estimator, EstimatorCache, NodeCost, RuleRegistry,
+};
 
 use crate::analyze::AnalyzedQuery;
+
+/// Join-order search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinEnumeration {
+    /// Subset dynamic programming with memoized prefixes (the default).
+    #[default]
+    Dp,
+    /// Exhaustive left-deep permutation enumeration — the pre-DP
+    /// baseline, kept as the equivalence oracle for tests and the
+    /// speedup baseline for experiments. Runs without the estimation
+    /// caches so its work counters reflect the original cost.
+    Permutation,
+}
+
+/// Hard ceiling on DP table count: the memo is a dense `2^n` vector.
+const DP_MAX_TABLES: usize = 16;
 
 /// Tuning knobs for one optimization run.
 #[derive(Debug, Clone)]
 pub struct OptimizerOptions {
-    /// Abandon plans whose partial cost exceeds the best found so far.
+    /// Abandon plans whose partial cost exceeds the best found so far
+    /// (§4.3.2). On by default.
     pub pruning: bool,
-    /// Up to this many tables, enumerate join orders exhaustively;
-    /// beyond, order greedily by estimated cardinality.
+    /// Up to this many tables, search join orders optimally (DP or
+    /// permutation per `enumeration`); beyond, order greedily by
+    /// estimated cardinality.
     pub exhaustive_up_to: usize,
+    /// Join-order search strategy.
+    pub enumeration: JoinEnumeration,
 }
 
 impl Default for OptimizerOptions {
     fn default() -> Self {
         OptimizerOptions {
-            pruning: false,
-            exhaustive_up_to: 6,
+            pruning: true,
+            exhaustive_up_to: 12,
+            enumeration: JoinEnumeration::Dp,
         }
     }
 }
@@ -52,12 +88,20 @@ pub struct OptimizedPlan {
     pub estimated: NodeCost,
     /// Complete plans costed.
     pub plans_considered: usize,
-    /// Plans abandoned by the cost limit (only with pruning).
+    /// Candidates abandoned by the cost limit (only with pruning):
+    /// complete plans under permutation search, complete plans and DP
+    /// frontier subplans under DP search.
     pub plans_pruned: usize,
-    /// Total estimator node visits across the run.
+    /// Total estimator node visits across the run (memo hits count one
+    /// visit; the subtree walk they skip counts nothing).
     pub estimator_nodes: usize,
     /// Total rule-body evaluations across the run.
     pub estimator_rules: usize,
+    /// Subplan cost-memo hits across the run (0 for the permutation
+    /// baseline, which runs uncached).
+    pub memo_hits: usize,
+    /// Rule-resolution cache hits across the run.
+    pub rule_cache_hits: usize,
 }
 
 /// Cost-based optimizer over a catalog and rule registry.
@@ -116,6 +160,71 @@ pub fn to_logical(plan: &PhysicalPlan) -> LogicalPlan {
     }
 }
 
+/// Iterate the set bit positions of a mask, ascending.
+fn bits(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(i)
+        }
+    })
+}
+
+/// Map `f` over `items` on scoped threads, preserving order. Falls back
+/// to a serial map for tiny inputs or single-core hosts. `f` must be
+/// deterministic: results are reduced sequentially afterwards, so the
+/// outcome is independent of thread scheduling.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(items.len());
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("costing worker panicked"))
+            .collect()
+    })
+}
+
+/// Estimate through the cache when one is in play.
+fn estimate(
+    estimator: &Estimator<'_>,
+    cache: Option<&EstimatorCache>,
+    logical: &LogicalPlan,
+    opts: &EstimateOptions,
+) -> Result<Option<EstimateReport>> {
+    match cache {
+        Some(c) => estimator.estimate_report_cached(logical, opts, c),
+        None => estimator.estimate_report(logical, opts),
+    }
+}
+
 impl<'a> Optimizer<'a> {
     /// Build an optimizer.
     pub fn new(
@@ -137,26 +246,42 @@ impl<'a> Optimizer<'a> {
         }
         let mut counters = Counters::default();
         let estimator = Estimator::new(self.registry, self.catalog);
+        let cache_store = EstimatorCache::new();
+        let cache = matches!(self.options.enumeration, JoinEnumeration::Dp).then_some(&cache_store);
 
-        // Phase 1: best access variant per table.
-        let access: Vec<AccessPlan> = (0..q.tables.len())
-            .map(|t| self.best_access(q, t, &estimator, &mut counters))
-            .collect::<Result<_>>()?;
+        // Phase 1: best access variant per table (independent — costed
+        // in parallel).
+        let access_results = parallel_map((0..q.tables.len()).collect::<Vec<_>>(), |t| {
+            self.best_access(q, t, &estimator, cache)
+        });
+        let mut access: Vec<AccessPlan> = Vec::with_capacity(q.tables.len());
+        for result in access_results {
+            let (plan, used) = result?;
+            counters.merge(used);
+            access.push(plan);
+        }
 
         // Phase 2: join order.
         let n = q.tables.len();
         let (best_join, best_cost) = if n == 1 {
             let plan = access[0].plan.clone();
-            let cost = self
-                .cost_full(q, &plan, None, &mut counters)?
-                .ok_or_else(|| {
-                    DiscoError::Cost("single-table plan was pruned without a limit".into())
-                })?;
+            let (cost, used) = self.cost_full(q, &plan, None, &estimator, cache)?;
+            counters.merge(used);
+            counters.considered += 1;
+            let cost = cost.ok_or_else(|| {
+                DiscoError::Cost("single-table plan was pruned without a limit".into())
+            })?;
             (plan, cost)
-        } else if n <= self.options.exhaustive_up_to {
-            self.enumerate_orders(q, &access, &estimator, &mut counters)?
         } else {
-            self.greedy_order(q, &access, &mut counters)?
+            match self.options.enumeration {
+                JoinEnumeration::Dp if n <= self.options.exhaustive_up_to.min(DP_MAX_TABLES) => {
+                    self.dp_orders(q, &access, &estimator, cache, &mut counters)?
+                }
+                JoinEnumeration::Permutation if n <= self.options.exhaustive_up_to => {
+                    self.enumerate_orders(q, &access, &estimator, cache, &mut counters)?
+                }
+                _ => self.greedy_order(q, &access, &estimator, cache, &mut counters)?,
+            }
         };
 
         let physical = self.finish_plan(q, best_join)?;
@@ -167,6 +292,8 @@ impl<'a> Optimizer<'a> {
             plans_pruned: counters.pruned,
             estimator_nodes: counters.nodes,
             estimator_rules: counters.rules,
+            memo_hits: cache.map_or(0, |c| c.cost_hits()),
+            rule_cache_hits: cache.map_or(0, |c| c.rule_hits()),
         })
     }
 
@@ -176,8 +303,8 @@ impl<'a> Optimizer<'a> {
         q: &AnalyzedQuery,
         t: usize,
         estimator: &Estimator<'_>,
-        counters: &mut Counters,
-    ) -> Result<AccessPlan> {
+        cache: Option<&EstimatorCache>,
+    ) -> Result<(AccessPlan, Counters)> {
         let binding = &q.tables[t];
         let caps = &self
             .catalog
@@ -214,21 +341,27 @@ impl<'a> Optimizer<'a> {
             }
         }
 
+        let mut used = Counters::default();
         let mut best: Option<(f64, AccessPlan)> = None;
         for (push_select, push_project) in variants {
             let plan = self.access_variant(q, t, &cols, &sels, push_select, push_project)?;
             let logical = to_logical(&plan.plan);
-            let report = estimator
-                .estimate_report(&logical, &EstimateOptions::default())?
+            let report = estimate(estimator, cache, &logical, &EstimateOptions::default())?
                 .expect("no cost limit set");
-            counters.nodes += report.nodes_visited;
-            counters.rules += report.rules_evaluated;
+            used.nodes += report.nodes_visited;
+            used.rules += report.rules_evaluated;
             let cost = report.cost.total_time;
             if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
-                best = Some((cost, plan));
+                best = Some((
+                    cost,
+                    AccessPlan {
+                        cost: report.cost,
+                        ..plan
+                    },
+                ));
             }
         }
-        Ok(best.expect("at least one variant").1)
+        Ok((best.expect("at least one variant").1, used))
     }
 
     fn access_variant(
@@ -301,23 +434,210 @@ impl<'a> Optimizer<'a> {
         Ok(AccessPlan {
             table: t,
             plan: phys,
+            cost: NodeCost::ZERO,
+        })
+    }
+
+    /// Selinger-style DP over table subsets: the memo holds, per
+    /// connected subset, the Pareto-optimal joined prefixes (usually a
+    /// single entry). Each frontier extends a memoized prefix by one
+    /// adjacent table; candidates are costed concurrently, and shared
+    /// prefixes are estimated once thanks to the subplan cost memo.
+    fn dp_orders(
+        &self,
+        q: &AnalyzedQuery,
+        access: &[AccessPlan],
+        estimator: &Estimator<'_>,
+        cache: Option<&EstimatorCache>,
+        counters: &mut Counters,
+    ) -> Result<(PhysicalPlan, NodeCost)> {
+        let n = access.len();
+        let full: u64 = (1u64 << n) - 1;
+
+        // The join graph must connect every table (left-deep trees over
+        // cross products are rejected, as in the permutation path) and
+        // must be acyclic (residual join conditions are unsupported).
+        let mut reach: u64 = 1;
+        loop {
+            let grown = reach | q.adjacent_to(reach);
+            if grown == reach {
+                break;
+            }
+            reach = grown;
+        }
+        if reach != full {
+            let missing = bits(full & !reach).next().expect("unreached table");
+            return Err(DiscoError::Unsupported(format!(
+                "query requires a cross product involving `{}`; add a join condition",
+                q.tables[missing].alias
+            )));
+        }
+        if q.joins.len() > n - 1 {
+            return Err(DiscoError::Unsupported(
+                "cyclic join graphs are not supported yet".into(),
+            ));
+        }
+
+        // §4.3.2 seed: a greedy complete plan bounds the cost limit so
+        // frontier subplans can already be abandoned. The greedy plan is
+        // itself in the DP's search space, so the bound is attainable.
+        let mut best: Option<(f64, PhysicalPlan, NodeCost)> = None;
+        if self.options.pruning {
+            let (plan, cost) = self.greedy_order(q, access, estimator, cache, counters)?;
+            best = Some((cost.total_time, plan, cost));
+        }
+
+        let mut memo: Vec<Vec<DpEntry>> = vec![Vec::new(); full as usize + 1];
+        for (t, a) in access.iter().enumerate() {
+            memo[1usize << t].push(DpEntry {
+                plan: a.plan.clone(),
+                cost: a.cost,
+            });
+        }
+
+        for size in 2..=n {
+            // Extend every memoized prefix of size-1 by one adjacent
+            // table (connected-subgraph-first: non-adjacent extensions
+            // would be cross products).
+            let mut cands: Vec<(u64, PhysicalPlan)> = Vec::new();
+            for (prev, entries) in memo.iter().enumerate().skip(1) {
+                let prev_mask = prev as u64;
+                if prev_mask.count_ones() as usize != size - 1 || entries.is_empty() {
+                    continue;
+                }
+                for t in bits(q.adjacent_to(prev_mask)) {
+                    for entry in entries {
+                        let plan = self.extend_join(q, entry.plan.clone(), prev_mask, t, access)?;
+                        cands.push((prev_mask | (1 << t), plan));
+                    }
+                }
+            }
+            let limit = if self.options.pruning {
+                best.as_ref().map(|(c, _, _)| *c)
+            } else {
+                None
+            };
+            if size < n {
+                // Frontier subplans: price the join subtree alone.
+                let results = parallel_map(cands, |(subset, plan)| {
+                    let opts = EstimateOptions {
+                        cost_limit: limit,
+                        wrapper: None,
+                    };
+                    estimate(estimator, cache, &to_logical(&plan), &opts)
+                        .map(|report| (subset, plan, report))
+                });
+                for result in results {
+                    let (subset, plan, report) = result?;
+                    match report {
+                        Some(report) => {
+                            counters.nodes += report.nodes_visited;
+                            counters.rules += report.rules_evaluated;
+                            pareto_insert(
+                                &mut memo[subset as usize],
+                                DpEntry {
+                                    plan,
+                                    cost: report.cost,
+                                },
+                            );
+                        }
+                        None => counters.pruned += 1,
+                    }
+                }
+            } else {
+                // Final layer: complete plans with post-join operators.
+                let results = parallel_map(cands, |(_, plan)| {
+                    self.cost_full(q, &plan, limit, estimator, cache)
+                        .map(|(cost, used)| (plan, cost, used))
+                });
+                for result in results {
+                    let (plan, cost, used) = result?;
+                    counters.merge(used);
+                    counters.considered += 1;
+                    match cost {
+                        Some(cost) => {
+                            if best
+                                .as_ref()
+                                .map(|(c, _, _)| cost.total_time < *c)
+                                .unwrap_or(true)
+                            {
+                                best = Some((cost.total_time, plan, cost));
+                            }
+                        }
+                        None => counters.pruned += 1,
+                    }
+                }
+            }
+        }
+        let (_, plan, cost) = best.ok_or_else(|| DiscoError::Plan("no join order found".into()))?;
+        Ok((plan, cost))
+    }
+
+    /// Join `next`'s access plan onto `tree` using the (unique, the
+    /// graph being acyclic) condition connecting `next` to `tree_mask` —
+    /// the same edge choice and orientation as [`Self::build_join_tree`].
+    fn extend_join(
+        &self,
+        q: &AnalyzedQuery,
+        tree: PhysicalPlan,
+        tree_mask: u64,
+        next: usize,
+        access: &[AccessPlan],
+    ) -> Result<PhysicalPlan> {
+        let j = q
+            .joins
+            .iter()
+            .find(|j| {
+                (j.left_table == next && tree_mask >> j.right_table & 1 == 1)
+                    || (j.right_table == next && tree_mask >> j.left_table & 1 == 1)
+            })
+            .ok_or_else(|| DiscoError::Plan("adjacent table lost its join condition".into()))?;
+        let (left_attr, op, right_attr) = if tree_mask >> j.left_table & 1 == 1 {
+            (
+                format!("{}.{}", q.tables[j.left_table].alias, j.left_attr),
+                j.op,
+                format!("{}.{}", q.tables[j.right_table].alias, j.right_attr),
+            )
+        } else {
+            (
+                format!("{}.{}", q.tables[j.right_table].alias, j.right_attr),
+                j.op.flipped(),
+                format!("{}.{}", q.tables[j.left_table].alias, j.left_attr),
+            )
+        };
+        let algo = if op == CompareOp::Eq {
+            PhysicalJoinAlgo::Hash
+        } else {
+            PhysicalJoinAlgo::NestedLoop
+        };
+        Ok(PhysicalPlan::Join {
+            algo,
+            left: Box::new(tree),
+            right: Box::new(access[next].plan.clone()),
+            predicate: JoinPredicate {
+                left_attr,
+                op,
+                right_attr,
+            },
         })
     }
 
     /// Exhaustive left-deep join-order enumeration with a
-    /// connected-subgraph-first constraint.
+    /// connected-subgraph-first constraint — the permutation oracle.
     fn enumerate_orders(
         &self,
         q: &AnalyzedQuery,
         access: &[AccessPlan],
-        _estimator: &Estimator<'_>,
+        estimator: &Estimator<'_>,
+        cache: Option<&EstimatorCache>,
         counters: &mut Counters,
     ) -> Result<(PhysicalPlan, NodeCost)> {
         let n = access.len();
         let mut best: Option<(f64, PhysicalPlan, NodeCost)> = None;
         let mut order: Vec<usize> = Vec::with_capacity(n);
-        let mut used = vec![false; n];
-        self.recurse_orders(q, access, &mut order, &mut used, &mut best, counters)?;
+        self.recurse_orders(
+            q, access, &mut order, 0, &mut best, estimator, cache, counters,
+        )?;
         let (_, plan, cost) = best.ok_or_else(|| DiscoError::Plan("no join order found".into()))?;
         Ok((plan, cost))
     }
@@ -328,8 +648,10 @@ impl<'a> Optimizer<'a> {
         q: &AnalyzedQuery,
         access: &[AccessPlan],
         order: &mut Vec<usize>,
-        used: &mut Vec<bool>,
+        used_mask: u64,
         best: &mut Option<(f64, PhysicalPlan, NodeCost)>,
+        estimator: &Estimator<'_>,
+        cache: Option<&EstimatorCache>,
         counters: &mut Counters,
     ) -> Result<()> {
         let n = access.len();
@@ -340,7 +662,10 @@ impl<'a> Optimizer<'a> {
             } else {
                 None
             };
-            match self.cost_full(q, &plan, limit, counters)? {
+            let (cost, used) = self.cost_full(q, &plan, limit, estimator, cache)?;
+            counters.merge(used);
+            counters.considered += 1;
+            match cost {
                 Some(cost) => {
                     if best
                         .as_ref()
@@ -354,78 +679,71 @@ impl<'a> Optimizer<'a> {
             }
             return Ok(());
         }
-        // Prefer tables connected to the current prefix; allow cross
-        // products only when nothing is connected.
-        let connected: Vec<usize> = (0..n)
-            .filter(|&i| !used[i])
-            .filter(|&i| {
-                order.is_empty()
-                    || q.joins.iter().any(|j| {
-                        (j.left_table == i && order.contains(&j.right_table))
-                            || (j.right_table == i && order.contains(&j.left_table))
-                    })
-            })
-            .collect();
-        let candidates: Vec<usize> = if connected.is_empty() {
-            (0..n).filter(|&i| !used[i]).collect()
+        // Prefer tables connected to the current prefix (O(1) bitset
+        // adjacency); allow cross products only when nothing is
+        // connected.
+        let unused = !used_mask & ((1u64 << n) - 1);
+        let connected = if order.is_empty() {
+            0
         } else {
-            connected
+            q.adjacent_to(used_mask)
         };
-        for i in candidates {
-            used[i] = true;
+        let candidates = if connected == 0 { unused } else { connected };
+        for i in bits(candidates) {
             order.push(i);
-            self.recurse_orders(q, access, order, used, best, counters)?;
+            self.recurse_orders(
+                q,
+                access,
+                order,
+                used_mask | 1 << i,
+                best,
+                estimator,
+                cache,
+                counters,
+            )?;
             order.pop();
-            used[i] = false;
         }
         Ok(())
     }
 
     /// Greedy order for many-table queries: smallest estimated access
-    /// cardinality first, then connected tables.
+    /// cardinality first (reusing the access-phase estimates), then
+    /// connected tables.
     fn greedy_order(
         &self,
         q: &AnalyzedQuery,
         access: &[AccessPlan],
+        estimator: &Estimator<'_>,
+        cache: Option<&EstimatorCache>,
         counters: &mut Counters,
     ) -> Result<(PhysicalPlan, NodeCost)> {
-        let estimator = Estimator::new(self.registry, self.catalog);
         let n = access.len();
-        let mut card = vec![0.0f64; n];
-        for (i, a) in access.iter().enumerate() {
-            let report = estimator
-                .estimate_report(&to_logical(&a.plan), &EstimateOptions::default())?
-                .expect("no limit");
-            counters.nodes += report.nodes_visited;
-            card[i] = report.cost.count_object;
-        }
         let mut order = Vec::with_capacity(n);
-        let mut used = vec![false; n];
+        let mut used_mask = 0u64;
         for _ in 0..n {
-            let next = (0..n)
-                .filter(|&i| !used[i])
-                .filter(|&i| {
-                    order.is_empty()
-                        || q.joins.iter().any(|j| {
-                            (j.left_table == i && order.contains(&j.right_table))
-                                || (j.right_table == i && order.contains(&j.left_table))
-                        })
-                })
-                .min_by(|&a, &b| card[a].total_cmp(&card[b]))
-                .or_else(|| {
-                    (0..n)
-                        .filter(|&i| !used[i])
-                        .min_by(|&a, &b| card[a].total_cmp(&card[b]))
+            let unused = !used_mask & ((1u64 << n) - 1);
+            let connected = if order.is_empty() {
+                unused
+            } else {
+                q.adjacent_to(used_mask)
+            };
+            let candidates = if connected == 0 { unused } else { connected };
+            let next = bits(candidates)
+                .min_by(|&a, &b| {
+                    access[a]
+                        .cost
+                        .count_object
+                        .total_cmp(&access[b].cost.count_object)
                 })
                 .expect("tables remain");
-            used[next] = true;
+            used_mask |= 1 << next;
             order.push(next);
         }
         let plan = self.build_join_tree(q, access, &order)?;
-        let cost = self
-            .cost_full(q, &plan, None, counters)?
-            .expect("no limit set");
-        Ok((plan, cost))
+        let (cost, used) = self.cost_full(q, &plan, None, estimator, cache)?;
+        counters.merge(used);
+        counters.considered += 1;
+        Ok((plan, cost.expect("no limit set")))
     }
 
     /// Left-deep join tree over the given table order.
@@ -435,15 +753,15 @@ impl<'a> Optimizer<'a> {
         access: &[AccessPlan],
         order: &[usize],
     ) -> Result<PhysicalPlan> {
-        let mut in_tree: Vec<usize> = vec![order[0]];
+        let mut in_tree: u64 = 1 << order[0];
         let mut plan = access[order[0]].plan.clone();
         let mut applied = vec![false; q.joins.len()];
         for &next in &order[1..] {
             // Find a join condition connecting `next` to the tree.
             let found = q.joins.iter().enumerate().find(|(ji, j)| {
                 !applied[*ji]
-                    && ((j.left_table == next && in_tree.contains(&j.right_table))
-                        || (j.right_table == next && in_tree.contains(&j.left_table)))
+                    && ((j.left_table == next && in_tree >> j.right_table & 1 == 1)
+                        || (j.right_table == next && in_tree >> j.left_table & 1 == 1))
             });
             let right = access[next].plan.clone();
             plan = match found {
@@ -451,7 +769,7 @@ impl<'a> Optimizer<'a> {
                     applied[ji] = true;
                     // Qualified names on both sides; flip so the left
                     // attribute belongs to the tree.
-                    let (left_attr, op, right_attr) = if in_tree.contains(&j.left_table) {
+                    let (left_attr, op, right_attr) = if in_tree >> j.left_table & 1 == 1 {
                         (
                             format!("{}.{}", q.tables[j.left_table].alias, j.left_attr),
                             j.op,
@@ -491,7 +809,7 @@ impl<'a> Optimizer<'a> {
                     )));
                 }
             };
-            in_tree.push(next);
+            in_tree |= 1 << next;
         }
         // Residual join conditions (cycles in the join graph) become
         // mediator filters comparing two columns — not expressible as
@@ -505,26 +823,28 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Stack the post-join operators and estimate the complete plan.
+    /// Returns the estimate (`None` = abandoned by the limit) plus the
+    /// estimation work performed, so callers can run concurrently.
     fn cost_full(
         &self,
         q: &AnalyzedQuery,
         join_plan: &PhysicalPlan,
         limit: Option<f64>,
-        counters: &mut Counters,
-    ) -> Result<Option<NodeCost>> {
+        estimator: &Estimator<'_>,
+        cache: Option<&EstimatorCache>,
+    ) -> Result<(Option<NodeCost>, Counters)> {
         let plan = self.finish_plan(q, join_plan.clone())?;
-        let estimator = Estimator::new(self.registry, self.catalog);
         let opts = EstimateOptions {
             cost_limit: limit,
             wrapper: None,
         };
-        counters.considered += 1;
-        let report = estimator.estimate_report(&to_logical(&plan), &opts)?;
+        let report = estimate(estimator, cache, &to_logical(&plan), &opts)?;
+        let mut used = Counters::default();
         if let Some(r) = &report {
-            counters.nodes += r.nodes_visited;
-            counters.rules += r.rules_evaluated;
+            used.nodes = r.nodes_visited;
+            used.rules = r.rules_evaluated;
         }
-        Ok(report.map(|r| r.cost))
+        Ok((report.map(|r| r.cost), used))
     }
 
     /// Aggregate / project / distinct / sort on top of the join tree.
@@ -555,7 +875,36 @@ impl<'a> Optimizer<'a> {
     }
 }
 
-#[derive(Default)]
+/// One memoized joined prefix.
+#[derive(Debug, Clone)]
+struct DpEntry {
+    plan: PhysicalPlan,
+    cost: NodeCost,
+}
+
+/// `a` is at least as good as `b` on every cost variable.
+fn dominates(a: &NodeCost, b: &NodeCost) -> bool {
+    a.total_time <= b.total_time
+        && a.time_first <= b.time_first
+        && a.time_next <= b.time_next
+        && a.count_object <= b.count_object
+        && a.total_size <= b.total_size
+}
+
+/// Keep `entries` a Pareto set: drop the candidate if an existing entry
+/// dominates it (ties keep the earlier entry, so insertion order — which
+/// is deterministic — breaks ties), else insert it and drop the entries
+/// it dominates. Parent costs are monotone in child cost vectors, so a
+/// dominated prefix can never complete into a better plan.
+fn pareto_insert(entries: &mut Vec<DpEntry>, cand: DpEntry) {
+    if entries.iter().any(|e| dominates(&e.cost, &cand.cost)) {
+        return;
+    }
+    entries.retain(|e| !dominates(&cand.cost, &e.cost));
+    entries.push(cand);
+}
+
+#[derive(Debug, Default, Clone, Copy)]
 struct Counters {
     considered: usize,
     pruned: usize,
@@ -563,12 +912,22 @@ struct Counters {
     rules: usize,
 }
 
-/// One table's chosen access plan.
+impl Counters {
+    fn merge(&mut self, other: Counters) {
+        self.considered += other.considered;
+        self.pruned += other.pruned;
+        self.nodes += other.nodes;
+        self.rules += other.rules;
+    }
+}
+
+/// One table's chosen access plan with its blended estimate.
 #[derive(Debug, Clone)]
 struct AccessPlan {
     #[allow(dead_code)]
     table: usize,
     plan: PhysicalPlan,
+    cost: NodeCost,
 }
 
 #[cfg(test)]
@@ -720,5 +1079,129 @@ mod tests {
         let plan = optimize("SELECT COUNT(*) AS n FROM Big").physical;
         let logical = to_logical(&plan);
         assert!(logical.output_schema().unwrap().index_of("n").is_some());
+    }
+
+    #[test]
+    fn dp_matches_permutation_oracle() {
+        let cat = catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(
+            &parse_query("SELECT b.id FROM Big b, Small s WHERE b.k = s.sid AND b.id < 100")
+                .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let dp = Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap();
+        let oracle = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                pruning: false,
+                enumeration: JoinEnumeration::Permutation,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert_eq!(dp.estimated.total_time, oracle.estimated.total_time);
+        assert!(dp.memo_hits > 0, "DP run should hit the subplan memo");
+        assert_eq!(oracle.memo_hits, 0, "oracle runs uncached");
+    }
+
+    /// A skewed 5-table star catalog: the center joins four leaves whose
+    /// cardinalities differ by orders of magnitude.
+    fn star_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_wrapper("w", Capabilities::full()).unwrap();
+        c.register_collection(
+            "w",
+            "Center",
+            Schema::new(vec![
+                AttributeDef::new("id", DataType::Long),
+                AttributeDef::new("k1", DataType::Long),
+                AttributeDef::new("k2", DataType::Long),
+                AttributeDef::new("k3", DataType::Long),
+                AttributeDef::new("k4", DataType::Long),
+            ]),
+            CollectionStats::new(ExtentStats::of(10_000, 80)),
+        )
+        .unwrap();
+        for (i, card) in [(1usize, 20u64), (2, 1_000_000), (3, 500_000), (4, 60)] {
+            c.register_collection(
+                "w",
+                format!("Leaf{i}"),
+                Schema::new(vec![
+                    AttributeDef::new("id", DataType::Long),
+                    AttributeDef::new("v", DataType::Long),
+                ]),
+                CollectionStats::new(ExtentStats::of(card, 32)).with_attribute(
+                    "id",
+                    AttributeStats::indexed(card, Value::Long(0), Value::Long(card as i64 - 1)),
+                ),
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    const STAR_SQL: &str = "SELECT c.id FROM Center c, Leaf1 l1, Leaf2 l2, Leaf3 l3, Leaf4 l4 \
+         WHERE c.k1 = l1.id AND c.k2 = l2.id AND c.k3 = l3.id AND c.k4 = l4.id";
+
+    #[test]
+    fn dp_pruning_abandons_candidates_on_star_query() {
+        let cat = star_catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(&parse_query(STAR_SQL).unwrap(), &cat).unwrap();
+        // Defaults: DP enumeration with pruning enabled.
+        let out = Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap();
+        assert!(
+            out.plans_pruned > 0,
+            "cost-limit pruning abandoned no candidates: {out:?}"
+        );
+        // Pruning must not change the chosen plan's quality.
+        let oracle = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                pruning: false,
+                enumeration: JoinEnumeration::Permutation,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert_eq!(out.estimated.total_time, oracle.estimated.total_time);
+    }
+
+    #[test]
+    fn dp_does_far_less_estimation_work_than_permutation() {
+        let cat = star_catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(&parse_query(STAR_SQL).unwrap(), &cat).unwrap();
+        let dp = Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap();
+        let perm = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                pruning: false,
+                enumeration: JoinEnumeration::Permutation,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert!(
+            dp.estimator_nodes * 2 <= perm.estimator_nodes,
+            "dp={} perm={}",
+            dp.estimator_nodes,
+            perm.estimator_nodes
+        );
+        assert!(dp.plans_considered <= perm.plans_considered);
     }
 }

@@ -4,7 +4,7 @@
 
 use disco_catalog::Capabilities;
 use disco_common::{AttributeDef, DataType, Schema, Value};
-use disco_mediator::{Mediator, MediatorOptions};
+use disco_mediator::{JoinEnumeration, Mediator, MediatorOptions};
 use disco_sources::{CollectionBuilder, CostProfile, FlatFile, PagedStore};
 use disco_wrapper::SourceWrapper;
 
@@ -204,12 +204,19 @@ fn explain_renders_plan() {
 
 #[test]
 fn pruning_reduces_estimation_work() {
-    let m3 = mediator();
+    // Pin the exhaustive permutation enumerator so pruning is the only
+    // difference (the default DP path has its own caches and counters).
     let sql = "SELECT e.name FROM Employee e, Dept d, Audit a \
                WHERE e.dept_id = d.dept_id AND e.id = a.emp_id AND e.id < 50";
+    let m3 = mediator().with_options(MediatorOptions {
+        pruning: false,
+        enumeration: JoinEnumeration::Permutation,
+        ..Default::default()
+    });
     let unpruned = m3.plan(sql).unwrap();
     let m_pruned = mediator().with_options(MediatorOptions {
         pruning: true,
+        enumeration: JoinEnumeration::Permutation,
         ..Default::default()
     });
     let pruned = m_pruned.plan(sql).unwrap();
@@ -218,6 +225,26 @@ fn pruning_reduces_estimation_work() {
     // …with plans abandoned and fewer estimator node visits.
     assert!(pruned.plans_pruned > 0, "{}", pruned.plans_pruned);
     assert!(pruned.estimator_nodes <= unpruned.estimator_nodes);
+}
+
+#[test]
+fn default_dp_matches_permutation_oracle_end_to_end() {
+    let sql = "SELECT e.name FROM Employee e, Dept d, Audit a \
+               WHERE e.dept_id = d.dept_id AND e.id = a.emp_id AND e.id < 50";
+    let dp = mediator().plan(sql).unwrap();
+    let oracle = mediator()
+        .with_options(MediatorOptions {
+            pruning: false,
+            enumeration: JoinEnumeration::Permutation,
+            ..Default::default()
+        })
+        .plan(sql)
+        .unwrap();
+    assert_eq!(dp.estimated.total_time, oracle.estimated.total_time);
+    // The memoized DP prices fewer estimator nodes than the exhaustive
+    // permutation sweep.
+    assert!(dp.estimator_nodes <= oracle.estimator_nodes);
+    assert!(dp.memo_hits > 0);
 }
 
 #[test]

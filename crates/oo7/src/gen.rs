@@ -1,7 +1,5 @@
 //! OO7 database generation.
 
-use rand::Rng;
-
 use disco_common::{rng, AttributeDef, DataType, Result, Schema, Value};
 use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
 
@@ -81,8 +79,8 @@ pub fn build_store(config: &Oo7Config) -> Result<PagedStore> {
         vec![
             Value::Long(i as i64),
             Value::Long(build_date),
-            Value::Long(r.gen_range(0..100_000)),
-            Value::Long(r.gen_range(0..100_000)),
+            Value::Long(r.gen_range(0..100_000i64)),
+            Value::Long(r.gen_range(0..100_000i64)),
             Value::Long((i / config.atomic_per_composite) as i64),
             Value::Long((i / config.atomic_per_composite) as i64),
         ]
@@ -107,7 +105,7 @@ pub fn build_store(config: &Oo7Config) -> Result<PagedStore> {
                 Value::Long(i as i64),
                 Value::Long(to),
                 Value::Str(kinds[r.gen_range(0..kinds.len())].to_owned()),
-                Value::Long(r.gen_range(1..100)),
+                Value::Long(r.gen_range(1..100i64)),
             ]);
         }
     }

@@ -6,9 +6,8 @@
 //! attribute's order, which the paper singles out as the behaviour "which
 //! can not be easily captured by a calibrating model" (§7).
 
-use rand::rngs::StdRng;
-
 use disco_common::rng;
+use disco_common::rng::StdRng;
 
 /// How objects are assigned to pages.
 #[derive(Debug, Clone, PartialEq, Eq)]

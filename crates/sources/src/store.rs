@@ -11,10 +11,9 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-
 use disco_algebra::{CompareOp, LogicalPlan};
 use disco_catalog::{AttributeStats, CollectionStats, ExtentStats};
+use disco_common::rng::StdRng;
 use disco_common::{rng, DiscoError, Result, Schema, Tuple, Value};
 
 use crate::btree::BPlusTree;

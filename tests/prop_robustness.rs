@@ -1,3 +1,7 @@
+// Gated: requires the `proptest` cargo feature (and the proptest
+// dev-dependency, removed so offline builds succeed — see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Workspace-level property tests: the user-facing text interfaces never
 //! panic, and query answers agree with reference filtering under random
 //! predicates.
