@@ -1,0 +1,179 @@
+//! E12 — transport scaling: sequential vs parallel submission over the
+//! channel transport's simulated network.
+//!
+//! Sweeps federations of 1–8 wrappers (one collection each, ~10 ms of
+//! real sleep per round trip via `sleep_scale`) and measures the fetch
+//! wall clock of the same union query submitted sequentially and with
+//! the scoped-thread fan-out. Also runs a degraded 4-wrapper federation
+//! with one endpoint permanently unavailable to demonstrate partial
+//! answers. Besides the table it writes `BENCH_transport.json`
+//! (machine-readable, consumed by CI as an artifact).
+//!
+//! ```text
+//! cargo run --release -p disco-bench --bin transport_scaling
+//! ```
+
+use std::fmt::Write as _;
+
+use disco_bench::Table;
+use disco_common::{AttributeDef, DataType, Schema, Value};
+use disco_mediator::{Mediator, MediatorOptions, QueryResult};
+use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
+use disco_transport::{ChannelTransport, FaultKind, FaultPlan, NetProfile, TransportClient};
+use disco_wrapper::SourceWrapper;
+
+const MAX_WRAPPERS: usize = 8;
+const ROWS_PER_COLLECTION: i64 = 200;
+
+/// Real sleep per simulated round trip: lan() charges ~100 ms, scaled
+/// to ~10 ms of wall clock so the sweep stays fast but measurable.
+const SLEEP_SCALE: f64 = 0.1;
+
+/// A federation of `n` single-collection wrappers `s0..s{n-1}`, the
+/// wrapper named by `faulty` (if any) permanently unavailable.
+fn federation(n: usize, parallel: bool, faulty: Option<usize>) -> Mediator {
+    let mut t = ChannelTransport::new();
+    for i in 0..n {
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", DataType::Long),
+            AttributeDef::new("tag", DataType::Str),
+        ]);
+        let mut store = PagedStore::new(format!("s{i}"), CostProfile::relational());
+        store
+            .add_collection(
+                format!("C{i}"),
+                CollectionBuilder::new(schema).rows(
+                    (0..ROWS_PER_COLLECTION)
+                        .map(|v| vec![Value::Long(v), Value::Str(format!("w{i}r{v}"))]),
+                ),
+            )
+            .expect("collection registers");
+        let faults = if faulty == Some(i) {
+            FaultPlan::always(FaultKind::Unavailable)
+        } else {
+            FaultPlan::none()
+        };
+        t.add_wrapper_with(
+            Box::new(SourceWrapper::new(format!("s{i}"), store)),
+            NetProfile::lan().with_sleep_scale(SLEEP_SCALE),
+            faults,
+        );
+    }
+    let client = TransportClient::new(Box::new(t));
+    let mut m = Mediator::new().with_options(MediatorOptions {
+        parallel_submits: parallel,
+        ..Default::default()
+    });
+    m.connect(client).expect("all wrappers register");
+    m
+}
+
+/// `SELECT x FROM C0 UNION ALL ... UNION ALL SELECT x FROM C{n-1}`.
+fn union_sql(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("SELECT x FROM C{i}"))
+        .collect::<Vec<_>>()
+        .join(" UNION ALL ")
+}
+
+fn run(n: usize, parallel: bool) -> QueryResult {
+    let mut m = federation(n, parallel, None);
+    m.query(&union_sql(n)).expect("query succeeds")
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "wrappers",
+        "tuples",
+        "seq fetch ms",
+        "par fetch ms",
+        "speedup",
+        "predicted par ms",
+        "measured par ms",
+    ]);
+    let mut json_rows = String::new();
+
+    for n in 1..=MAX_WRAPPERS {
+        let seq = run(n, false);
+        let par = run(n, true);
+        assert_eq!(seq.tuples.len(), n * ROWS_PER_COLLECTION as usize);
+        assert_eq!(par.tuples.len(), seq.tuples.len());
+        if n > 1 {
+            assert!(par.trace.concurrent, "parallel run must fan out at n={n}");
+            assert!(
+                par.trace.submit_wall_ms < seq.trace.submit_wall_ms,
+                "parallel fetch must beat sequential at n={n}: {} !< {}",
+                par.trace.submit_wall_ms,
+                seq.trace.submit_wall_ms
+            );
+        }
+        let speedup = seq.trace.submit_wall_ms / par.trace.submit_wall_ms.max(1e-9);
+        t.row(vec![
+            n.to_string(),
+            seq.tuples.len().to_string(),
+            format!("{:.2}", seq.trace.submit_wall_ms),
+            format!("{:.2}", par.trace.submit_wall_ms),
+            format!("{speedup:.1}x"),
+            format!("{:.2}", par.trace.predicted_parallel_ms()),
+            format!("{:.2}", par.trace.parallel_ms()),
+        ]);
+        if !json_rows.is_empty() {
+            json_rows.push(',');
+        }
+        write!(
+            json_rows,
+            "\n    {{\"wrappers\": {n}, \"tuples\": {}, \
+             \"sequential\": {{\"fetch_wall_ms\": {:.3}, \"response_ms\": {:.3}}}, \
+             \"parallel\": {{\"fetch_wall_ms\": {:.3}, \"response_ms\": {:.3}, \
+             \"predicted_ms\": {:.3}, \"concurrent\": {}}}, \
+             \"speedup\": {:.3}}}",
+            seq.tuples.len(),
+            seq.trace.submit_wall_ms,
+            seq.trace.sequential_ms(),
+            par.trace.submit_wall_ms,
+            par.trace.parallel_ms(),
+            par.trace.predicted_parallel_ms(),
+            par.trace.concurrent,
+            speedup,
+        )
+        .expect("write json row");
+    }
+    println!("{}", t.render());
+    println!(
+        "Sequential fetch pays each simulated round trip in turn; the \
+         scoped-thread fan-out overlaps them, so the wall clock tracks \
+         the slowest wrapper instead of the sum."
+    );
+
+    // Degraded federation: 4 wrappers, one permanently down. The query
+    // still answers, minus the dead wrapper's collection.
+    let mut degraded = federation(4, true, Some(2));
+    let r = degraded
+        .query(&union_sql(4))
+        .expect("partial answer, not error");
+    assert!(r.is_partial(), "down wrapper must yield a partial answer");
+    assert_eq!(r.tuples.len(), 3 * ROWS_PER_COLLECTION as usize);
+    let missing: Vec<String> = r.trace.missing.iter().map(|q| q.to_string()).collect();
+    println!(
+        "\ndegraded federation (s2 down): {} tuples, partial answer, missing: {}",
+        r.tuples.len(),
+        missing.join(", ")
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"transport_scaling\",\n  \"workload\": \"union\",\n  \
+         \"wrappers\": [1, {MAX_WRAPPERS}],\n  \"sleep_scale\": {SLEEP_SCALE},\n  \
+         \"rows\": [{json_rows}\n  ],\n  \
+         \"degraded\": {{\"wrappers\": 4, \"down\": \"s2\", \"partial\": {}, \
+         \"tuples\": {}, \"missing\": [{}]}}\n}}\n",
+        r.is_partial(),
+        r.tuples.len(),
+        missing
+            .iter()
+            .map(|m| format!("\"{m}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    std::fs::write("BENCH_transport.json", &json).expect("write BENCH_transport.json");
+    println!("wrote BENCH_transport.json");
+}

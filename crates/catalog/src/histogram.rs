@@ -110,6 +110,19 @@ impl Histogram {
         })
     }
 
+    /// Reassemble a histogram from its parts — the inverse of the accessors,
+    /// used when statistics cross the serialized transport boundary.
+    /// `total` is recomputed from the buckets so a malformed payload cannot
+    /// produce inconsistent selectivities.
+    pub fn from_parts(kind: HistogramKind, buckets: Vec<Bucket>) -> Histogram {
+        let total = buckets.iter().map(|b| b.count).sum();
+        Histogram {
+            kind,
+            buckets,
+            total,
+        }
+    }
+
     /// Construction discipline.
     pub fn kind(&self) -> HistogramKind {
         self.kind
@@ -214,6 +227,14 @@ mod tests {
         assert!(Histogram::equi_width(&[], 4).is_none());
         assert!(Histogram::equi_depth(&[], 4).is_none());
         assert!(Histogram::equi_width(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn from_parts_round_trips_accessors() {
+        let h = Histogram::equi_width(&uniform(), 8).unwrap();
+        let back = Histogram::from_parts(h.kind(), h.buckets().to_vec());
+        assert_eq!(back, h);
+        assert_eq!(back.total(), 1000);
     }
 
     #[test]

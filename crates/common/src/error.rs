@@ -34,6 +34,12 @@ pub enum DiscoError {
     /// The operation is valid but not supported by this implementation or
     /// by the target wrapper's capabilities.
     Unsupported(String),
+    /// A transport call did not complete within its deadline.
+    Timeout(String),
+    /// A remote endpoint is (or declared itself) unavailable: the wrapper
+    /// refused service, exhausted its retry budget, or its circuit breaker
+    /// is open.
+    Unavailable(String),
 }
 
 impl DiscoError {
@@ -47,7 +53,16 @@ impl DiscoError {
             DiscoError::Source(_) => "source",
             DiscoError::Exec(_) => "exec",
             DiscoError::Unsupported(_) => "unsupported",
+            DiscoError::Timeout(_) => "timeout",
+            DiscoError::Unavailable(_) => "unavailable",
         }
+    }
+
+    /// `true` for failures a transport client may meaningfully retry or
+    /// degrade around (the source might come back); semantic errors
+    /// (parse, plan, …) are never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DiscoError::Timeout(_) | DiscoError::Unavailable(_))
     }
 
     /// The message the variant was constructed with.
@@ -59,7 +74,26 @@ impl DiscoError {
             | DiscoError::Cost(m)
             | DiscoError::Source(m)
             | DiscoError::Exec(m)
-            | DiscoError::Unsupported(m) => m,
+            | DiscoError::Unsupported(m)
+            | DiscoError::Timeout(m)
+            | DiscoError::Unavailable(m) => m,
+        }
+    }
+
+    /// Rebuild an error from its `kind()` tag and message — the inverse
+    /// used when errors cross a serialized transport boundary. Unknown
+    /// kinds decode as [`DiscoError::Exec`].
+    pub fn from_kind(kind: &str, message: String) -> DiscoError {
+        match kind {
+            "parse" => DiscoError::Parse(message),
+            "catalog" => DiscoError::Catalog(message),
+            "plan" => DiscoError::Plan(message),
+            "cost" => DiscoError::Cost(message),
+            "source" => DiscoError::Source(message),
+            "unsupported" => DiscoError::Unsupported(message),
+            "timeout" => DiscoError::Timeout(message),
+            "unavailable" => DiscoError::Unavailable(message),
+            _ => DiscoError::Exec(message),
         }
     }
 }
@@ -94,9 +128,43 @@ mod tests {
             DiscoError::Source("s".into()),
             DiscoError::Exec("e".into()),
             DiscoError::Unsupported("u".into()),
+            DiscoError::Timeout("t".into()),
+            DiscoError::Unavailable("d".into()),
         ];
         for v in variants {
             assert!(v.to_string().contains(v.kind()));
         }
+    }
+
+    #[test]
+    fn kind_round_trips_through_from_kind() {
+        let variants = [
+            DiscoError::Parse("m".into()),
+            DiscoError::Catalog("m".into()),
+            DiscoError::Plan("m".into()),
+            DiscoError::Cost("m".into()),
+            DiscoError::Source("m".into()),
+            DiscoError::Exec("m".into()),
+            DiscoError::Unsupported("m".into()),
+            DiscoError::Timeout("m".into()),
+            DiscoError::Unavailable("m".into()),
+        ];
+        for v in variants {
+            let back = DiscoError::from_kind(v.kind(), v.message().to_owned());
+            assert_eq!(back, v);
+        }
+        // Unknown kinds degrade to Exec rather than failing.
+        assert_eq!(
+            DiscoError::from_kind("martian", "m".into()),
+            DiscoError::Exec("m".into())
+        );
+    }
+
+    #[test]
+    fn transience_partition() {
+        assert!(DiscoError::Timeout("t".into()).is_transient());
+        assert!(DiscoError::Unavailable("u".into()).is_transient());
+        assert!(!DiscoError::Plan("p".into()).is_transient());
+        assert!(!DiscoError::Exec("e".into()).is_transient());
     }
 }

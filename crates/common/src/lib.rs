@@ -9,7 +9,9 @@
 //! * [`Schema`] / [`Tuple`] — rows exchanged between wrappers and mediator;
 //! * [`DiscoError`] — the umbrella error type;
 //! * [`rng`] — deterministic random number helpers used by the simulated
-//!   data sources and workload generators.
+//!   data sources and workload generators;
+//! * [`wire`] — the binary encode/decode substrate every payload crossing
+//!   the mediator ↔ wrapper transport boundary is built from.
 //!
 //! Nothing here is specific to cost modelling; it is the substrate the DISCO
 //! reproduction is built on.
@@ -19,8 +21,10 @@ pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use error::{DiscoError, Result};
 pub use schema::{AttributeDef, QualifiedName, Schema, WrapperId};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};
+pub use wire::{WireDecode, WireEncode, WireReader, WireWriter};

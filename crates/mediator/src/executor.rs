@@ -1,20 +1,32 @@
 //! Plan execution (steps 4–6 of Figure 2).
 //!
-//! The executor walks the physical plan, submits wrapper subqueries,
-//! combines subanswers with the shared in-memory operators, and accounts
-//! *measured* time on a mediator-side virtual clock: wrapper-reported
-//! elapsed time + uniform communication cost + mediator CPU. Per-submit
-//! accounting supports both sequential and parallel submission semantics
-//! (Figure 2 shows steps 4a/4b issued concurrently) via
-//! [`ExecutionTrace::sequential_ms`] and [`ExecutionTrace::parallel_ms`].
+//! Execution is two-phase. The *fetch* phase collects every
+//! `SubmitRemote` site of the physical plan and obtains its subanswer —
+//! sequentially, or concurrently on scoped threads when parallel
+//! submission is enabled (Figure 2 shows steps 4a/4b issued in parallel);
+//! the fan-out's wall-clock time is measured. The *combine* phase then
+//! walks the plan, consuming fetched subanswers at the submit sites and
+//! running the shared in-memory operators on a mediator-side virtual
+//! clock.
+//!
+//! Wrappers are reached either in-process (the seed's trait-object table)
+//! or through a [`TransportClient`] — the byte-level RPC boundary with
+//! per-endpoint network simulation, deadlines, retries and circuit
+//! breaking. Over a transport, a subquery that keeps failing transiently
+//! (timeouts, unavailability) can be tolerated instead of fatal: with
+//! partial answers enabled the submit contributes an empty subanswer and
+//! the affected collections are reported in
+//! [`ExecutionTrace::missing`] — a degraded result, not an error.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use disco_algebra::{LogicalPlan, PhysicalJoinAlgo, PhysicalPlan};
-use disco_common::{DiscoError, Result, Schema, Tuple};
+use disco_common::{DiscoError, QualifiedName, Result, Schema, Tuple};
 use disco_core::{NodeCost, RuleRegistry};
 use disco_sources::exec;
-use disco_sources::{ExecStats, VirtualClock};
+use disco_sources::{ExecStats, SubAnswer, VirtualClock};
+use disco_transport::TransportClient;
 use disco_wrapper::Wrapper;
 
 /// Record of one submitted subquery.
@@ -26,38 +38,70 @@ pub struct SubmitTrace {
     pub tuples: usize,
     /// Size of the shipped subanswer in bytes.
     pub bytes: u64,
-    /// Communication time charged for this subanswer (ms).
+    /// Communication time charged for this subanswer (ms, simulated).
     pub comm_ms: f64,
+    /// Measured wall-clock time of the submit, retries included (ms).
+    pub wall_ms: f64,
+    /// Transport attempts spent (1 = first try; 0 = never answered).
+    pub attempts: u32,
+    /// The submit exhausted its retry budget and was substituted with an
+    /// empty subanswer (partial-answer mode).
+    pub failed: bool,
 }
 
 /// Accounting for one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionTrace {
     pub submits: Vec<SubmitTrace>,
-    /// Mediator-side CPU time (ms).
+    /// Mediator-side CPU time (ms, simulated).
     pub mediator_ms: f64,
-    /// Communication time (ms).
+    /// Communication time (ms, simulated).
     pub communication_ms: f64,
-    /// Sum of wrapper-reported elapsed times (ms).
+    /// Sum of wrapper-reported elapsed times (ms, simulated).
     pub wrapper_ms: f64,
+    /// Measured wall-clock time of the whole fetch phase (ms).
+    pub submit_wall_ms: f64,
+    /// Submits were actually fanned out on threads over a transport, so
+    /// [`submit_wall_ms`](Self::submit_wall_ms) reflects real concurrency.
+    pub concurrent: bool,
+    /// Collections whose wrapper stayed down past the retry budget; their
+    /// tuples are absent from the result (partial answer).
+    pub missing: Vec<QualifiedName>,
 }
 
 impl ExecutionTrace {
     /// End-to-end time with sequential subquery submission: all wrapper
-    /// and communication time accumulates.
+    /// and communication time accumulates (simulated).
     pub fn sequential_ms(&self) -> f64 {
         self.wrapper_ms + self.communication_ms + self.mediator_ms
     }
 
-    /// End-to-end time with parallel submission (steps 4a/4b of Figure 2
-    /// issued concurrently): the slowest subquery dominates.
-    pub fn parallel_ms(&self) -> f64 {
+    /// The *analytic* parallel-submission estimate the seed used: the
+    /// slowest subquery dominates (simulated).
+    pub fn predicted_parallel_ms(&self) -> f64 {
         let slowest = self
             .submits
             .iter()
             .map(|s| s.stats.elapsed_ms + s.comm_ms)
             .fold(0.0, f64::max);
         slowest + self.mediator_ms
+    }
+
+    /// End-to-end time with parallel submission. When submits really ran
+    /// concurrently over a transport this is *measured*: the fetch
+    /// fan-out's wall clock plus mediator CPU. Otherwise it falls back to
+    /// the analytic [`predicted_parallel_ms`](Self::predicted_parallel_ms).
+    pub fn parallel_ms(&self) -> f64 {
+        if self.concurrent {
+            self.submit_wall_ms + self.mediator_ms
+        } else {
+            self.predicted_parallel_ms()
+        }
+    }
+
+    /// `true` when every wrapper answered (no degraded collections).
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
     }
 }
 
@@ -73,20 +117,86 @@ pub struct QueryResult {
     pub trace: ExecutionTrace,
 }
 
+impl QueryResult {
+    /// `true` when some wrapper stayed down and the result is a partial
+    /// answer (see [`ExecutionTrace::missing`]).
+    pub fn is_partial(&self) -> bool {
+        !self.trace.missing.is_empty()
+    }
+}
+
+/// How the executor reaches wrappers.
+enum Backend<'a> {
+    /// In-process trait objects (the seed path; no real network).
+    Local(&'a BTreeMap<String, Box<dyn Wrapper>>),
+    /// Byte-level RPC through a transport client.
+    Remote(&'a TransportClient),
+}
+
+/// One `SubmitRemote` site, in combine-phase order. (The expected schema
+/// stays on the plan node; the combine phase checks it there.)
+struct SubmitSite<'p> {
+    wrapper: &'p str,
+    plan: &'p LogicalPlan,
+}
+
+/// The fetch phase's product for one site.
+struct Fetched {
+    outcome: Result<FetchedAnswer>,
+}
+
+struct FetchedAnswer {
+    answer: SubAnswer,
+    comm_ms: f64,
+    wall_ms: f64,
+    attempts: u32,
+}
+
 /// Executes physical plans against registered wrappers.
 pub struct Executor<'a> {
-    wrappers: &'a BTreeMap<String, Box<dyn Wrapper>>,
+    backend: Backend<'a>,
     registry: &'a RuleRegistry,
+    parallel: bool,
+    partial_answers: bool,
 }
 
 impl<'a> Executor<'a> {
-    /// Build an executor over the wrapper table and registry (for the
-    /// mediator-side cost constants).
+    /// Build an executor over the in-process wrapper table and registry
+    /// (for the mediator-side cost constants).
     pub fn new(
         wrappers: &'a BTreeMap<String, Box<dyn Wrapper>>,
         registry: &'a RuleRegistry,
     ) -> Self {
-        Executor { wrappers, registry }
+        Executor {
+            backend: Backend::Local(wrappers),
+            registry,
+            parallel: false,
+            partial_answers: false,
+        }
+    }
+
+    /// Build an executor that submits through a transport client.
+    pub fn remote(client: &'a TransportClient, registry: &'a RuleRegistry) -> Self {
+        Executor {
+            backend: Backend::Remote(client),
+            registry,
+            parallel: false,
+            partial_answers: false,
+        }
+    }
+
+    /// Fan submits out on scoped threads (builder style).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Tolerate wrappers that stay down past the retry budget by
+    /// substituting empty subanswers and reporting the affected
+    /// collections (builder style).
+    pub fn with_partial_answers(mut self, partial: bool) -> Self {
+        self.partial_answers = partial;
+        self
     }
 
     fn param(&self, name: &str, default: f64) -> f64 {
@@ -95,11 +205,67 @@ impl<'a> Executor<'a> {
 
     /// Execute a plan, returning tuples, schema and the trace.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<(Schema, Vec<Tuple>, ExecutionTrace)> {
-        let mut clock = VirtualClock::new();
         let mut trace = ExecutionTrace::default();
-        let (schema, tuples) = self.run(plan, &mut clock, &mut trace)?;
+
+        // Fetch phase: obtain every subanswer up front, possibly in
+        // parallel, measuring the fan-out's wall-clock time.
+        let mut sites = Vec::new();
+        collect_submits(plan, &mut sites);
+        let started = Instant::now();
+        let fetched = self.fetch_all(&sites);
+        trace.submit_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        // Only a threaded fan-out over a real transport yields a wall
+        // clock that means anything: in-process wrappers have no network,
+        // so their "measured" communication would be zero.
+        trace.concurrent =
+            self.parallel && sites.len() > 1 && matches!(self.backend, Backend::Remote(_));
+
+        // Combine phase: walk the plan, consuming fetched answers at the
+        // submit sites and running mediator-side operators.
+        let mut clock = VirtualClock::new();
+        let mut fetched = fetched.into_iter();
+        let (schema, tuples) = self.run(plan, &mut clock, &mut trace, &mut fetched)?;
         trace.mediator_ms = clock.now();
         Ok((schema, tuples, trace))
+    }
+
+    /// Obtain subanswers for all sites, in site order.
+    fn fetch_all(&self, sites: &[SubmitSite<'_>]) -> Vec<Fetched> {
+        if self.parallel && sites.len() > 1 {
+            match self.backend {
+                Backend::Local(wrappers) => {
+                    let msg = self.param("MsgLatency", 100.0);
+                    let byte = self.param("PerByte", 0.001);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = sites
+                            .iter()
+                            .map(|site| s.spawn(move || fetch_local(wrappers, site, msg, byte)))
+                            .collect();
+                        handles.into_iter().map(join_fetch).collect()
+                    })
+                }
+                Backend::Remote(client) => std::thread::scope(|s| {
+                    let handles: Vec<_> = sites
+                        .iter()
+                        .map(|site| s.spawn(move || fetch_remote(client, site)))
+                        .collect();
+                    handles.into_iter().map(join_fetch).collect()
+                }),
+            }
+        } else {
+            sites
+                .iter()
+                .map(|site| match self.backend {
+                    Backend::Local(wrappers) => fetch_local(
+                        wrappers,
+                        site,
+                        self.param("MsgLatency", 100.0),
+                        self.param("PerByte", 0.001),
+                    ),
+                    Backend::Remote(client) => fetch_remote(client, site),
+                })
+                .collect()
+        }
     }
 
     fn run(
@@ -107,6 +273,7 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         clock: &mut VirtualClock,
         trace: &mut ExecutionTrace,
+        fetched: &mut std::vec::IntoIter<Fetched>,
     ) -> Result<(Schema, Vec<Tuple>)> {
         let cpu_pred = self.param("CpuPred", 0.05);
         let cpu_hash = self.param("CpuHash", 0.02);
@@ -116,47 +283,73 @@ impl<'a> Executor<'a> {
                 plan,
                 schema: expected_schema,
             } => {
-                let w = self.wrappers.get(wrapper).ok_or_else(|| {
-                    DiscoError::Exec(format!("wrapper `{wrapper}` is not registered"))
-                })?;
-                let answer = w.execute(plan)?;
-                // A wrapper returning a different shape than it registered
-                // would silently misalign downstream column lookups.
-                if answer.schema.arity() != expected_schema.arity() {
-                    return Err(DiscoError::Exec(format!(
-                        "wrapper `{wrapper}` returned {} columns, plan expected {}",
-                        answer.schema.arity(),
-                        expected_schema.arity()
-                    )));
+                let next = fetched
+                    .next()
+                    .ok_or_else(|| DiscoError::Exec("submit site without a fetch".into()))?;
+                match next.outcome {
+                    Ok(f) => {
+                        // A wrapper returning a different shape than it
+                        // registered would silently misalign downstream
+                        // column lookups.
+                        if f.answer.schema.arity() != expected_schema.arity() {
+                            return Err(DiscoError::Exec(format!(
+                                "wrapper `{wrapper}` returned {} columns, plan expected {}",
+                                f.answer.schema.arity(),
+                                expected_schema.arity()
+                            )));
+                        }
+                        let bytes: u64 = f.answer.tuples.iter().map(Tuple::width).sum();
+                        trace.wrapper_ms += f.answer.stats.elapsed_ms;
+                        trace.communication_ms += f.comm_ms;
+                        trace.submits.push(SubmitTrace {
+                            wrapper: wrapper.clone(),
+                            plan: plan.clone(),
+                            stats: f.answer.stats,
+                            tuples: f.answer.tuples.len(),
+                            bytes,
+                            comm_ms: f.comm_ms,
+                            wall_ms: f.wall_ms,
+                            attempts: f.attempts,
+                            failed: false,
+                        });
+                        Ok((f.answer.schema, f.answer.tuples))
+                    }
+                    Err(e) if self.partial_answers && e.is_transient() => {
+                        // The wrapper stayed down past the retry budget:
+                        // contribute an empty, schema-correct subanswer
+                        // and report what is missing (degraded result).
+                        trace
+                            .missing
+                            .extend(plan.collections().into_iter().cloned());
+                        trace.submits.push(SubmitTrace {
+                            wrapper: wrapper.clone(),
+                            plan: plan.clone(),
+                            stats: ExecStats::default(),
+                            tuples: 0,
+                            bytes: 0,
+                            comm_ms: 0.0,
+                            wall_ms: 0.0,
+                            attempts: 0,
+                            failed: true,
+                        });
+                        Ok((expected_schema.clone(), Vec::new()))
+                    }
+                    Err(e) => Err(e),
                 }
-                let bytes: u64 = answer.tuples.iter().map(Tuple::width).sum();
-                let comm =
-                    self.param("MsgLatency", 100.0) + bytes as f64 * self.param("PerByte", 0.001);
-                trace.wrapper_ms += answer.stats.elapsed_ms;
-                trace.communication_ms += comm;
-                trace.submits.push(SubmitTrace {
-                    wrapper: wrapper.clone(),
-                    plan: plan.clone(),
-                    stats: answer.stats,
-                    tuples: answer.tuples.len(),
-                    bytes,
-                    comm_ms: comm,
-                });
-                Ok((answer.schema, answer.tuples))
             }
             PhysicalPlan::Filter { input, predicate } => {
-                let (schema, tuples) = self.run(input, clock, trace)?;
+                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
                 clock.charge(tuples.len() as f64 * predicate.conjuncts.len() as f64 * cpu_pred);
                 let out = exec::filter(&schema, &tuples, predicate)?;
                 Ok((schema, out))
             }
             PhysicalPlan::Project { input, columns } => {
-                let (schema, tuples) = self.run(input, clock, trace)?;
+                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
                 clock.charge(tuples.len() as f64 * cpu_hash);
                 exec::project(&schema, &tuples, columns)
             }
             PhysicalPlan::Sort { input, keys } => {
-                let (schema, mut tuples) = self.run(input, clock, trace)?;
+                let (schema, mut tuples) = self.run(input, clock, trace, fetched)?;
                 let n = tuples.len() as f64;
                 clock.charge(self.param("SortFactor", 0.02) * n * n.max(2.0).log2());
                 exec::sort(&schema, &mut tuples, keys)?;
@@ -168,8 +361,8 @@ impl<'a> Executor<'a> {
                 right,
                 predicate,
             } => {
-                let (ls, lt) = self.run(left, clock, trace)?;
-                let (rs, rt) = self.run(right, clock, trace)?;
+                let (ls, lt) = self.run(left, clock, trace, fetched)?;
+                let (rs, rt) = self.run(right, clock, trace, fetched)?;
                 let out_schema = ls.join(&rs);
                 let out = match algo {
                     PhysicalJoinAlgo::Hash => {
@@ -195,8 +388,8 @@ impl<'a> Executor<'a> {
                 Ok((out_schema, out))
             }
             PhysicalPlan::Union { left, right } => {
-                let (ls, mut lt) = self.run(left, clock, trace)?;
-                let (rs, rt) = self.run(right, clock, trace)?;
+                let (ls, mut lt) = self.run(left, clock, trace, fetched)?;
+                let (rs, rt) = self.run(right, clock, trace, fetched)?;
                 if ls.arity() != rs.arity() {
                     return Err(DiscoError::Exec("union arity mismatch".into()));
                 }
@@ -205,7 +398,7 @@ impl<'a> Executor<'a> {
                 Ok((ls, lt))
             }
             PhysicalPlan::Dedup { input } => {
-                let (schema, tuples) = self.run(input, clock, trace)?;
+                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
                 clock.charge(tuples.len() as f64 * cpu_hash);
                 Ok((schema, exec::dedup(&tuples)))
             }
@@ -214,7 +407,7 @@ impl<'a> Executor<'a> {
                 group_by,
                 aggs,
             } => {
-                let (schema, tuples) = self.run(input, clock, trace)?;
+                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
                 clock.charge(tuples.len() as f64 * cpu_hash);
                 let out = exec::aggregate(&schema, &tuples, group_by, aggs)?;
                 let out_schema = to_agg_schema(&schema, group_by, aggs)?;
@@ -222,6 +415,69 @@ impl<'a> Executor<'a> {
             }
         }
     }
+}
+
+/// Collect `SubmitRemote` sites in the same order `run` reaches them
+/// (depth-first, left before right).
+fn collect_submits<'p>(plan: &'p PhysicalPlan, out: &mut Vec<SubmitSite<'p>>) {
+    match plan {
+        PhysicalPlan::SubmitRemote { wrapper, plan, .. } => out.push(SubmitSite { wrapper, plan }),
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Dedup { input }
+        | PhysicalPlan::Aggregate { input, .. } => collect_submits(input, out),
+        PhysicalPlan::Join { left, right, .. } | PhysicalPlan::Union { left, right } => {
+            collect_submits(left, out);
+            collect_submits(right, out);
+        }
+    }
+}
+
+/// Fetch one subanswer from an in-process wrapper, charging the seed's
+/// uniform analytic communication cost.
+fn fetch_local(
+    wrappers: &BTreeMap<String, Box<dyn Wrapper>>,
+    site: &SubmitSite<'_>,
+    msg_latency: f64,
+    per_byte: f64,
+) -> Fetched {
+    let started = Instant::now();
+    let outcome = wrappers
+        .get(site.wrapper)
+        .ok_or_else(|| DiscoError::Exec(format!("wrapper `{}` is not registered", site.wrapper)))
+        .and_then(|w| w.execute(site.plan))
+        .map(|answer| {
+            let bytes: u64 = answer.tuples.iter().map(Tuple::width).sum();
+            FetchedAnswer {
+                comm_ms: msg_latency + bytes as f64 * per_byte,
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                attempts: 1,
+                answer,
+            }
+        });
+    Fetched { outcome }
+}
+
+/// Fetch one subanswer over the transport: deadlines, retries and circuit
+/// breaking live in the client; the simulated network model supplies the
+/// communication time.
+fn fetch_remote(client: &TransportClient, site: &SubmitSite<'_>) -> Fetched {
+    let outcome = client
+        .submit(site.wrapper, site.plan)
+        .map(|o| FetchedAnswer {
+            answer: o.answer,
+            comm_ms: o.comm_ms,
+            wall_ms: o.wall_ms,
+            attempts: o.attempts,
+        });
+    Fetched { outcome }
+}
+
+fn join_fetch(handle: std::thread::ScopedJoinHandle<'_, Fetched>) -> Fetched {
+    handle.join().unwrap_or_else(|_| Fetched {
+        outcome: Err(DiscoError::Exec("submit worker thread panicked".into())),
+    })
 }
 
 /// Output schema of an aggregate over a known input schema.
@@ -313,12 +569,17 @@ mod tests {
         assert_eq!(tuples.len(), 10);
         assert_eq!(trace.submits.len(), 1);
         assert!(trace.submits[0].comm_ms > 0.0);
+        assert!(!trace.submits[0].failed);
+        assert_eq!(trace.submits[0].attempts, 1);
         assert!(trace.wrapper_ms > 0.0);
+        assert!(trace.is_complete());
+        // One submit: nothing to overlap, so all accountings agree.
         assert_eq!(trace.sequential_ms(), trace.parallel_ms());
+        assert_eq!(trace.parallel_ms(), trace.predicted_parallel_ms());
     }
 
     #[test]
-    fn parallel_accounting_takes_max() {
+    fn analytic_parallel_prediction_takes_max() {
         let plan = PhysicalPlan::Union {
             left: Box::new(submit(80)),
             right: Box::new(submit(5)),
@@ -335,9 +596,31 @@ mod tests {
             .iter()
             .map(|s| s.stats.elapsed_ms + s.comm_ms)
             .sum();
-        assert!((trace.parallel_ms() - (slow + trace.mediator_ms)).abs() < 1e-9);
+        assert!((trace.predicted_parallel_ms() - (slow + trace.mediator_ms)).abs() < 1e-9);
         assert!((trace.sequential_ms() - (sum + trace.mediator_ms)).abs() < 1e-9);
-        assert!(trace.parallel_ms() < trace.sequential_ms());
+        assert!(trace.predicted_parallel_ms() < trace.sequential_ms());
+        // In-process submits never measure real concurrency: parallel_ms
+        // stays the analytic prediction.
+        assert!(!trace.concurrent);
+        assert_eq!(trace.parallel_ms(), trace.predicted_parallel_ms());
+    }
+
+    #[test]
+    fn local_parallel_fan_out_matches_sequential_results() {
+        let plan = PhysicalPlan::Union {
+            left: Box::new(submit(80)),
+            right: Box::new(submit(5)),
+        };
+        let w = wrappers();
+        let reg = disco_core::RuleRegistry::with_default_model();
+        let exec = Executor::new(&w, &reg).with_parallel(true);
+        let (_, tuples, trace) = exec.execute(&plan).unwrap();
+        assert_eq!(tuples.len(), 85);
+        assert_eq!(trace.submits.len(), 2);
+        assert!(trace.submit_wall_ms >= 0.0);
+        // Local backend: measured wall has no network in it, so the
+        // analytic prediction remains authoritative.
+        assert!(!trace.concurrent);
     }
 
     #[test]
@@ -391,6 +674,18 @@ mod tests {
         let w: BTreeMap<String, Box<dyn Wrapper>> = BTreeMap::new();
         let reg = disco_core::RuleRegistry::with_default_model();
         let exec = Executor::new(&w, &reg);
+        let err = exec.execute(&submit(10)).unwrap_err();
+        assert_eq!(err.kind(), "exec");
+    }
+
+    #[test]
+    fn missing_wrapper_is_not_masked_by_partial_answers() {
+        // Partial answers cover *transient* transport failures; a plan
+        // naming an unregistered wrapper is a configuration bug and must
+        // stay loud.
+        let w: BTreeMap<String, Box<dyn Wrapper>> = BTreeMap::new();
+        let reg = disco_core::RuleRegistry::with_default_model();
+        let exec = Executor::new(&w, &reg).with_partial_answers(true);
         let err = exec.execute(&submit(10)).unwrap_err();
         assert_eq!(err.kind(), "exec");
     }

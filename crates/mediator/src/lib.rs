@@ -27,7 +27,7 @@ pub mod optimizer;
 pub mod sql;
 
 pub use analyze::{AnalyzedQuery, TableBinding};
-pub use executor::{ExecutionTrace, QueryResult};
+pub use executor::{ExecutionTrace, Executor, QueryResult, SubmitTrace};
 pub use mediator::{Mediator, MediatorOptions};
 pub use optimizer::{to_logical, JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
 pub use sql::{parse_query, parse_statement, Statement};

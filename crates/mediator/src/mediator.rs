@@ -7,7 +7,8 @@ use disco_algebra::PhysicalPlan;
 use disco_catalog::Catalog;
 use disco_common::{DiscoError, Result};
 use disco_core::{Estimator, HistoryRecorder, NodeCost, RuleRegistry};
-use disco_wrapper::Wrapper;
+use disco_transport::TransportClient;
+use disco_wrapper::{Registration, Wrapper};
 
 use crate::analyze::analyze;
 use crate::executor::{Executor, QueryResult};
@@ -23,8 +24,15 @@ pub struct MediatorOptions {
     pub pruning: bool,
     /// Issue wrapper subqueries concurrently (Figure 2 shows steps 4a/4b
     /// in parallel): measured time is dominated by the slowest subquery
-    /// instead of their sum.
+    /// instead of their sum. Over a transport the fan-out is real (scoped
+    /// threads) and its wall clock is measured.
     pub parallel_submits: bool,
+    /// Tolerate transport-connected wrappers that stay down past the
+    /// retry budget: their submits contribute empty subanswers and the
+    /// affected collections are reported in the trace, instead of the
+    /// whole query erroring. On by default; only meaningful with a
+    /// connected transport (in-process wrappers cannot fail transiently).
+    pub partial_answers: bool,
     /// Join-order search strategy (DP by default; `Permutation` is the
     /// exhaustive baseline).
     pub enumeration: JoinEnumeration,
@@ -36,6 +44,7 @@ impl Default for MediatorOptions {
             record_history: false,
             pruning: true,
             parallel_submits: false,
+            partial_answers: true,
             enumeration: JoinEnumeration::default(),
         }
     }
@@ -46,6 +55,7 @@ pub struct Mediator {
     catalog: Catalog,
     registry: RuleRegistry,
     wrappers: BTreeMap<String, Box<dyn Wrapper>>,
+    transport: Option<TransportClient>,
     history: HistoryRecorder,
     options: MediatorOptions,
 }
@@ -63,6 +73,7 @@ impl Mediator {
             catalog: Catalog::new(),
             registry: RuleRegistry::with_default_model(),
             wrappers: BTreeMap::new(),
+            transport: None,
             history: HistoryRecorder::new(),
             options: MediatorOptions::default(),
         }
@@ -79,14 +90,40 @@ impl Mediator {
     pub fn register(&mut self, wrapper: Box<dyn Wrapper>) -> Result<()> {
         let name = wrapper.name().to_owned();
         let reg = wrapper.registration()?;
+        self.install_registration(&name, &reg)?;
+        self.wrappers.insert(name, wrapper);
+        Ok(())
+    }
+
+    /// Attach a transport and register every endpoint it reaches: the
+    /// same Figure 1 protocol as [`register`](Self::register), but the
+    /// registration payload arrives serialized over the wire instead of
+    /// via an in-process call. Subsequent queries submit subplans to
+    /// these wrappers through the transport (deadlines, retries, circuit
+    /// breaking, partial answers).
+    pub fn connect(&mut self, client: TransportClient) -> Result<()> {
+        for endpoint in client.endpoints() {
+            let reg = client.register(&endpoint)?;
+            self.install_registration(&endpoint, &reg)?;
+        }
+        self.transport = Some(client);
+        Ok(())
+    }
+
+    /// The attached transport client, if any (breaker introspection).
+    pub fn transport(&self) -> Option<&TransportClient> {
+        self.transport.as_ref()
+    }
+
+    /// Install a registration payload into catalog and registry.
+    fn install_registration(&mut self, name: &str, reg: &Registration) -> Result<()> {
         self.catalog
-            .register_wrapper(&name, reg.capabilities.clone())?;
+            .register_wrapper(name, reg.capabilities.clone())?;
         for (coll, schema, stats) in &reg.collections {
             self.catalog
-                .register_collection(&name, coll.clone(), schema.clone(), stats.clone())?;
+                .register_collection(name, coll.clone(), schema.clone(), stats.clone())?;
         }
-        self.registry.register_document(&name, &reg.cost_rules)?;
-        self.wrappers.insert(name, wrapper);
+        self.registry.register_document(name, &reg.cost_rules)?;
         Ok(())
     }
 
@@ -106,21 +143,18 @@ impl Mediator {
     /// replaces its catalog entries, parameters and rules; recorded
     /// query-scope history for the wrapper is discarded with them.
     pub fn refresh(&mut self, name: &str) -> Result<()> {
-        let wrapper = self
-            .wrappers
-            .get(name)
-            .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{name}` is not registered")))?;
-        let reg = wrapper.registration()?;
+        let reg = if let Some(wrapper) = self.wrappers.get(name) {
+            wrapper.registration()?
+        } else if let Some(client) = &self.transport {
+            client.register(name)?
+        } else {
+            return Err(DiscoError::Catalog(format!(
+                "wrapper `{name}` is not registered"
+            )));
+        };
         self.catalog.unregister_wrapper(name)?;
         self.registry.remove_wrapper(name);
-        self.catalog
-            .register_wrapper(name, reg.capabilities.clone())?;
-        for (coll, schema, stats) in &reg.collections {
-            self.catalog
-                .register_collection(name, coll.clone(), schema.clone(), stats.clone())?;
-        }
-        self.registry.register_document(name, &reg.cost_rules)?;
-        Ok(())
+        self.install_registration(name, &reg)
     }
 
     /// The mediator catalog.
@@ -276,7 +310,12 @@ impl Mediator {
 
     /// Execute a previously optimized plan.
     pub fn execute_plan(&mut self, optimized: OptimizedPlan) -> Result<QueryResult> {
-        let executor = Executor::new(&self.wrappers, &self.registry);
+        let executor = match &self.transport {
+            Some(client) => Executor::remote(client, &self.registry),
+            None => Executor::new(&self.wrappers, &self.registry),
+        }
+        .with_parallel(self.options.parallel_submits)
+        .with_partial_answers(self.options.partial_answers);
         let (schema, tuples, trace) = executor.execute(&optimized.physical)?;
         let measured_ms = if self.options.parallel_submits {
             trace.parallel_ms()
@@ -285,7 +324,9 @@ impl Mediator {
         };
 
         if self.options.record_history {
-            for sub in &trace.submits {
+            // Failed (substituted) submits measured nothing worth
+            // remembering.
+            for sub in trace.submits.iter().filter(|s| !s.failed) {
                 let measured = NodeCost {
                     time_first: sub.stats.time_first_ms,
                     time_next: (sub.stats.elapsed_ms - sub.stats.time_first_ms)

@@ -21,7 +21,9 @@
 //! * [`store`] — the paged store engine ([`PagedStore`]) with
 //!   object-database and relational cost profiles;
 //! * [`flatfile`] — a scan-only flat-file source;
-//! * [`source`] — the [`DataSource`] trait wrappers build on.
+//! * [`source`] — the [`DataSource`] trait wrappers build on;
+//! * [`wire`] — byte codecs shipping subanswers across the transport
+//!   boundary.
 
 pub mod btree;
 pub mod buffer;
@@ -31,6 +33,7 @@ pub mod flatfile;
 pub mod heap;
 pub mod source;
 pub mod store;
+pub mod wire;
 
 pub use btree::BPlusTree;
 pub use buffer::BufferPool;

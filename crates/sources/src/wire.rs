@@ -1,0 +1,113 @@
+//! Wire codecs for subanswers.
+//!
+//! A wrapper ships its subanswer back to the mediator as bytes: the
+//! schema, every tuple, and the measured execution statistics the
+//! historical-cost mechanism records. Built on the substrate codecs of
+//! [`disco_common::wire`].
+
+use disco_common::wire::{WireDecode, WireEncode, WireReader, WireWriter};
+use disco_common::{Result, Schema, Tuple};
+
+use crate::source::{ExecStats, SubAnswer};
+
+impl WireEncode for ExecStats {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f64(self.elapsed_ms);
+        w.put_f64(self.time_first_ms);
+        w.put_u64(self.pages_read);
+        w.put_u64(self.buffer_hits);
+        w.put_u64(self.objects_scanned);
+    }
+}
+
+impl WireDecode for ExecStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(ExecStats {
+            elapsed_ms: r.get_f64()?,
+            time_first_ms: r.get_f64()?,
+            pages_read: r.get_u64()?,
+            buffer_hits: r.get_u64()?,
+            objects_scanned: r.get_u64()?,
+        })
+    }
+}
+
+impl WireEncode for SubAnswer {
+    fn encode(&self, w: &mut WireWriter) {
+        self.schema.encode(w);
+        self.stats.encode(w);
+        w.put_len(self.tuples.len());
+        for t in &self.tuples {
+            t.encode(w);
+        }
+    }
+}
+
+impl WireDecode for SubAnswer {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        let schema = Schema::decode(r)?;
+        let stats = ExecStats::decode(r)?;
+        let n = r.get_len()?;
+        let mut tuples = Vec::with_capacity(n);
+        for _ in 0..n {
+            tuples.push(Tuple::decode(r)?);
+        }
+        Ok(SubAnswer {
+            schema,
+            tuples,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_common::{AttributeDef, DataType, Value};
+
+    fn answer() -> SubAnswer {
+        SubAnswer {
+            schema: Schema::new(vec![
+                AttributeDef::new("id", DataType::Long),
+                AttributeDef::new("name", DataType::Str),
+            ]),
+            tuples: (0..50)
+                .map(|i| Tuple::new(vec![Value::Long(i), Value::Str(format!("row{i}"))]))
+                .collect(),
+            stats: ExecStats {
+                elapsed_ms: 123.5,
+                time_first_ms: 25.0,
+                pages_read: 7,
+                buffer_hits: 3,
+                objects_scanned: 50,
+            },
+        }
+    }
+
+    #[test]
+    fn subanswer_round_trips() {
+        let a = answer();
+        let bytes = a.to_wire_bytes();
+        let back = SubAnswer::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn empty_subanswer_round_trips() {
+        let a = SubAnswer {
+            schema: Schema::default(),
+            tuples: vec![],
+            stats: ExecStats::default(),
+        };
+        let back = SubAnswer::from_wire_bytes(&a.to_wire_bytes()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = answer().to_wire_bytes();
+        for cut in (0..bytes.len()).step_by(13) {
+            assert!(SubAnswer::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! A deterministic per-endpoint circuit breaker.
+//!
+//! Classic three-state breaker (closed → open → half-open), but measured
+//! in *calls*, not wall-clock time: after `failure_threshold` consecutive
+//! transient failures the breaker opens and fails the next
+//! `cooldown_calls` requests fast; the call after that is the half-open
+//! probe. Counting calls instead of seconds keeps fault tests exactly
+//! reproducible.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive transient failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Requests rejected fast while open before allowing a probe.
+    pub cooldown_calls: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown_calls: 4,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are rejected without touching the endpoint.
+    Open,
+    /// One probe request is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// Breaker instance for one endpoint.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_remaining: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_remaining: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Ask to place a request. `false` means fail fast without calling the
+    /// endpoint. While open, each rejected request counts down the
+    /// cooldown; once it reaches zero the breaker half-opens and admits
+    /// the caller as the probe.
+    pub fn try_acquire(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.cooldown_remaining > 0 {
+                    self.cooldown_remaining -= 1;
+                    false
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful call: any state closes.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.cooldown_remaining = 0;
+    }
+
+    /// Record a transient failure. A failed probe re-opens immediately;
+    /// enough consecutive failures open a closed breaker.
+    pub fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => self.open(),
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.policy.failure_threshold {
+                    self.open();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn open(&mut self) {
+        self.state = BreakerState::Open;
+        self.consecutive_failures = 0;
+        self.cooldown_remaining = self.policy.cooldown_calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown_calls: 3,
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_and_admits_probe_after_cooldown() {
+        let mut b = breaker();
+        assert!(b.try_acquire());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_acquire());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Three rejected calls burn the cooldown…
+        assert!(!b.try_acquire());
+        assert!(!b.try_acquire());
+        assert!(!b.try_acquire());
+        // …then the next caller is the half-open probe.
+        assert!(b.try_acquire());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_outcome_decides() {
+        let mut b = breaker();
+        b.on_failure();
+        b.on_failure();
+        for _ in 0..3 {
+            assert!(!b.try_acquire());
+        }
+        assert!(b.try_acquire());
+        b.on_failure(); // failed probe → re-open, full cooldown again
+        assert_eq!(b.state(), BreakerState::Open);
+        for _ in 0..3 {
+            assert!(!b.try_acquire());
+        }
+        assert!(b.try_acquire());
+        b.on_success(); // healthy probe → closed
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        // Streak was reset, so one more failure is still below threshold.
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

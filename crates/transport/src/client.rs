@@ -1,0 +1,335 @@
+//! [`TransportClient`]: the mediator-side driver of a [`Transport`].
+//!
+//! Adds the reliability layer on top of raw byte delivery: per-submit
+//! deadlines, bounded retries with exponential backoff for *transient*
+//! failures (timeouts, unavailability), and a per-endpoint circuit
+//! breaker so a dead wrapper fails fast instead of burning a full retry
+//! budget on every submit. Non-transient errors (a wrapper rejecting a
+//! malformed plan, say) are returned immediately — retrying them cannot
+//! help.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use disco_algebra::LogicalPlan;
+use disco_common::wire::{WireDecode, WireEncode, WireWriter};
+use disco_common::{DiscoError, Result};
+use disco_sources::SubAnswer;
+use disco_wrapper::Registration;
+
+use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+use crate::wire::{encode_plan, Request, Response};
+use crate::Transport;
+
+/// Retry tuning for one submit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Per-attempt reply deadline in wall-clock milliseconds.
+    pub deadline_ms: u64,
+    /// Backoff before the second attempt, in wall-clock milliseconds.
+    pub backoff_base_ms: u64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            deadline_ms: 2_000,
+            backoff_base_ms: 1,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+/// Everything a successful submit reports back to the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// The decoded subanswer.
+    pub answer: SubAnswer,
+    /// Simulated communication time of the *successful* attempt.
+    pub comm_ms: f64,
+    /// Measured wall-clock time of the whole submit, retries included.
+    pub wall_ms: f64,
+    /// Attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+    /// Request size on the wire.
+    pub request_bytes: usize,
+    /// Reply size on the wire.
+    pub response_bytes: usize,
+}
+
+/// Reliability-aware client over any [`Transport`].
+pub struct TransportClient {
+    transport: Box<dyn Transport>,
+    retry: RetryPolicy,
+    breaker_policy: BreakerPolicy,
+    breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
+}
+
+impl TransportClient {
+    /// Wrap a transport with default retry and breaker policies.
+    pub fn new(transport: Box<dyn Transport>) -> Self {
+        TransportClient {
+            transport,
+            retry: RetryPolicy::default(),
+            breaker_policy: BreakerPolicy::default(),
+            breakers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Override the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Override the breaker policy (builder style).
+    pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker_policy = policy;
+        self
+    }
+
+    /// Endpoints reachable through the underlying transport.
+    pub fn endpoints(&self) -> Vec<String> {
+        self.transport.endpoints()
+    }
+
+    /// Current breaker state for an endpoint, if any calls were made.
+    pub fn breaker_state(&self, endpoint: &str) -> Option<BreakerState> {
+        self.breakers
+            .lock()
+            .expect("breaker lock")
+            .get(endpoint)
+            .map(|b| b.state())
+    }
+
+    /// Fetch an endpoint's registration payload over the wire
+    /// (Figure 1, steps 1–2). Registration is not retried: it runs at
+    /// connect time where a failure should be loud.
+    pub fn register(&self, endpoint: &str) -> Result<Registration> {
+        let env = self.transport.call(
+            endpoint,
+            &Request::Register.to_wire_bytes(),
+            Duration::from_millis(self.retry.deadline_ms),
+        )?;
+        match Response::from_wire_bytes(&env.payload)?.into_result()? {
+            Response::Registration(reg) => Ok(reg),
+            other => Err(DiscoError::Exec(format!(
+                "endpoint `{endpoint}` answered registration with {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit a subplan with deadlines, retries and circuit breaking.
+    pub fn submit(&self, endpoint: &str, plan: &LogicalPlan) -> Result<SubmitOutcome> {
+        let started = Instant::now();
+        let mut w = WireWriter::new();
+        Request::Submit(plan.clone()).encode(&mut w);
+        // Encode once; every retry ships the same bytes.
+        let request = w.into_bytes();
+
+        if !self.acquire(endpoint) {
+            return Err(DiscoError::Unavailable(format!(
+                "circuit breaker open for `{endpoint}`"
+            )));
+        }
+
+        let mut backoff_ms = self.retry.backoff_base_ms as f64;
+        let mut last_err = DiscoError::Exec(format!("no attempts made against `{endpoint}`"));
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            if attempt > 1 {
+                if backoff_ms >= 1.0 {
+                    std::thread::sleep(Duration::from_millis(backoff_ms as u64));
+                }
+                backoff_ms *= self.retry.backoff_factor;
+            }
+            let result = self
+                .transport
+                .call(
+                    endpoint,
+                    &request,
+                    Duration::from_millis(self.retry.deadline_ms),
+                )
+                .and_then(|env| {
+                    let response = Response::from_wire_bytes(&env.payload)?.into_result()?;
+                    match response {
+                        Response::Answer(answer) => Ok(SubmitOutcome {
+                            answer,
+                            comm_ms: env.comm_ms,
+                            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                            attempts: attempt,
+                            request_bytes: env.request_bytes,
+                            response_bytes: env.response_bytes,
+                        }),
+                        other => Err(DiscoError::Exec(format!(
+                            "endpoint `{endpoint}` answered submit with {other:?}"
+                        ))),
+                    }
+                });
+            match result {
+                Ok(outcome) => {
+                    self.record(endpoint, true);
+                    return Ok(outcome);
+                }
+                Err(e) if e.is_transient() => {
+                    self.record(endpoint, false);
+                    last_err = e;
+                    // The breaker may have opened mid-budget; stop early
+                    // rather than hammering a tripped endpoint.
+                    if attempt < self.retry.max_attempts && !self.acquire(endpoint) {
+                        return Err(DiscoError::Unavailable(format!(
+                            "circuit breaker open for `{endpoint}`"
+                        )));
+                    }
+                }
+                // Non-transient errors are the wrapper's final word.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn acquire(&self, endpoint: &str) -> bool {
+        self.breakers
+            .lock()
+            .expect("breaker lock")
+            .entry(endpoint.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_policy))
+            .try_acquire()
+    }
+
+    fn record(&self, endpoint: &str, success: bool) {
+        let mut breakers = self.breakers.lock().expect("breaker lock");
+        let b = breakers
+            .entry(endpoint.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_policy));
+        if success {
+            b.on_success();
+        } else {
+            b.on_failure();
+        }
+    }
+}
+
+/// Convenience: encode a plan to its shipped bytes (used by size
+/// accounting in benches and tests).
+pub fn plan_wire_bytes(plan: &LogicalPlan) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    encode_plan(plan, &mut w);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelTransport;
+    use crate::fault::{FaultKind, FaultPlan};
+    use crate::netsim::NetProfile;
+    use disco_algebra::{CompareOp, PlanBuilder};
+    use disco_common::{AttributeDef, DataType, QualifiedName, Schema, Value};
+    use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
+    use disco_wrapper::{SourceWrapper, Wrapper};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("v", DataType::Long),
+        ])
+    }
+
+    fn wrapper(name: &str) -> Box<dyn Wrapper> {
+        let mut store = PagedStore::new(name, CostProfile::relational());
+        store
+            .add_collection(
+                "T",
+                CollectionBuilder::new(schema())
+                    .rows((0..60i64).map(|i| vec![Value::Long(i), Value::Long(i % 3)])),
+            )
+            .unwrap();
+        Box::new(SourceWrapper::new(name, store))
+    }
+
+    fn plan(name: &str) -> LogicalPlan {
+        PlanBuilder::scan(QualifiedName::new(name, "T"), schema())
+            .select("id", CompareOp::Lt, 9i64)
+            .submit(name)
+            .build()
+    }
+
+    fn client(faults: FaultPlan) -> TransportClient {
+        let mut t = ChannelTransport::new();
+        t.add_wrapper_with(wrapper("s"), NetProfile::lan(), faults);
+        TransportClient::new(Box::new(t)).with_retry(RetryPolicy {
+            max_attempts: 3,
+            deadline_ms: 40,
+            backoff_base_ms: 1,
+            backoff_factor: 2.0,
+        })
+    }
+
+    #[test]
+    fn healthy_submit_reports_accounting() {
+        let c = client(FaultPlan::none());
+        let out = c.submit("s", &plan("s")).unwrap();
+        assert_eq!(out.answer.tuples.len(), 9);
+        assert_eq!(out.attempts, 1);
+        assert!(out.comm_ms >= 100.0);
+        assert!(out.request_bytes > 0 && out.response_bytes > 0);
+        assert_eq!(c.breaker_state("s"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn transient_drops_are_retried_to_success() {
+        let c = client(FaultPlan::first_n(FaultKind::Drop, 2));
+        let out = c.submit("s", &plan("s")).unwrap();
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.answer.tuples.len(), 9);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_the_transient_error() {
+        let c = client(FaultPlan::always(FaultKind::Drop));
+        let err = c.submit("s", &plan("s")).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(err.kind(), "timeout");
+    }
+
+    #[test]
+    fn breaker_fails_fast_once_open() {
+        let c = client(FaultPlan::always(FaultKind::Unavailable)).with_breaker(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown_calls: 2,
+        });
+        // One full submit burns exactly the threshold.
+        assert!(c.submit("s", &plan("s")).is_err());
+        assert_eq!(c.breaker_state("s"), Some(BreakerState::Open));
+        // Subsequent submits are rejected without touching the endpoint.
+        let err = c.submit("s", &plan("s")).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(err.message().contains("circuit breaker"));
+    }
+
+    #[test]
+    fn non_transient_wrapper_errors_are_not_retried() {
+        let mut t = ChannelTransport::new();
+        t.add_wrapper(wrapper("s"));
+        let c = TransportClient::new(Box::new(t));
+        // Plan addressed to a different wrapper: the wrapper rejects it.
+        let err = c.submit("s", &plan("ghost")).unwrap_err();
+        assert_eq!(err.kind(), "exec");
+        assert_eq!(c.breaker_state("s"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn registration_travels_the_wire() {
+        let c = client(FaultPlan::none());
+        let reg = c.register("s").unwrap();
+        assert_eq!(reg.collections.len(), 1);
+        assert_eq!(reg.collections[0].0, "T");
+    }
+}

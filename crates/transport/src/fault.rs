@@ -1,0 +1,108 @@
+//! Injectable fault schedules for transport endpoints.
+//!
+//! Faults are keyed by the endpoint's *submit sequence number* (0-based,
+//! counting only [`crate::Request::Submit`] calls — registration traffic
+//! is exempt so a schedule written for a test is not perturbed by setup).
+//! That makes every failure scenario deterministic and replayable.
+
+/// What happens to an affected request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The message is lost: the wrapper never replies and the client's
+    /// deadline expires (`DiscoError::Timeout`).
+    Drop,
+    /// The wrapper answers with a service-unavailable error
+    /// (`DiscoError::Unavailable`).
+    Unavailable,
+    /// The reply is delivered, but the given extra milliseconds are added
+    /// to the simulated communication time.
+    Delay(f64),
+}
+
+/// One scheduled fault window: submits with sequence number in
+/// `[from, until)` suffer `kind`.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultRule {
+    from: u64,
+    until: u64,
+    kind: FaultKind,
+}
+
+/// A deterministic schedule of fault windows for one endpoint.
+///
+/// The first matching window wins, so specific early windows can be
+/// layered over an `always` backdrop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A healthy endpoint.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fault the first `n` submits.
+    pub fn first_n(kind: FaultKind, n: u64) -> Self {
+        FaultPlan::none().window(0, n, kind)
+    }
+
+    /// Fault every submit.
+    pub fn always(kind: FaultKind) -> Self {
+        FaultPlan::none().window(0, u64::MAX, kind)
+    }
+
+    /// Add a window `[from, until)` (builder style).
+    pub fn window(mut self, from: u64, until: u64, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule { from, until, kind });
+        self
+    }
+
+    /// The fault applied to submit number `seq`, if any.
+    pub fn action_for(&self, seq: u64) -> Option<FaultKind> {
+        self.rules
+            .iter()
+            .find(|r| seq >= r.from && seq < r.until)
+            .map(|r| r.kind)
+    }
+
+    /// `true` if no window can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_then_healthy() {
+        let plan = FaultPlan::first_n(FaultKind::Drop, 2);
+        assert_eq!(plan.action_for(0), Some(FaultKind::Drop));
+        assert_eq!(plan.action_for(1), Some(FaultKind::Drop));
+        assert_eq!(plan.action_for(2), None);
+    }
+
+    #[test]
+    fn first_matching_window_wins() {
+        let plan = FaultPlan::always(FaultKind::Unavailable).window(5, 10, FaultKind::Delay(7.0));
+        // The always-backdrop was added first, so it shadows the window.
+        assert_eq!(plan.action_for(6), Some(FaultKind::Unavailable));
+
+        let layered = FaultPlan::none()
+            .window(5, 10, FaultKind::Delay(7.0))
+            .window(0, u64::MAX, FaultKind::Unavailable);
+        assert_eq!(layered.action_for(6), Some(FaultKind::Delay(7.0)));
+        assert_eq!(layered.action_for(11), Some(FaultKind::Unavailable));
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.action_for(0), None);
+        assert_eq!(plan.action_for(u64::MAX - 1), None);
+    }
+}

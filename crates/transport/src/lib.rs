@@ -1,0 +1,73 @@
+//! Remote-wrapper transport runtime.
+//!
+//! The seed mediator called wrappers through in-process trait objects and
+//! charged a uniform analytic `comm_ms` per submit. This crate replaces
+//! that with an honest RPC boundary (DESIGN.md "Transport & fault model"):
+//!
+//! * [`wire`] — everything crossing mediator ↔ wrapper is encoded to
+//!   bytes: subplans out, registration payloads and subanswers back. No
+//!   shared pointers survive the boundary.
+//! * [`channel`] — [`ChannelTransport`] runs each wrapper on its own
+//!   worker thread behind mpsc channels and models the network per
+//!   endpoint (latency, bandwidth, deterministic jitter) instead of the
+//!   old uniform charge.
+//! * [`fault`] — injectable fault schedules (drop / delay / unavailable
+//!   windows) for testing degraded federations.
+//! * [`breaker`] — a deterministic circuit breaker (call-counted, no
+//!   wall-clock dependence).
+//! * [`client`] — [`TransportClient`] drives a [`Transport`] with
+//!   per-submit deadlines, bounded retries with exponential backoff and
+//!   per-endpoint circuit breaking; it is what the mediator's executor
+//!   talks to.
+//!
+//! Everything is deterministic: jitter comes from the workspace RNG
+//! ([`disco_common::rng`]) keyed per endpoint, faults are scheduled by
+//! request sequence number, and the breaker counts calls.
+
+pub mod breaker;
+pub mod channel;
+pub mod client;
+pub mod fault;
+pub mod netsim;
+pub mod wire;
+
+use std::time::Duration;
+
+use disco_common::Result;
+
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+pub use channel::ChannelTransport;
+pub use client::{RetryPolicy, SubmitOutcome, TransportClient};
+pub use fault::{FaultKind, FaultPlan};
+pub use netsim::NetProfile;
+pub use wire::{Request, Response};
+
+/// One delivered reply, with transfer accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Encoded [`Response`] bytes.
+    pub payload: Vec<u8>,
+    /// Simulated round-trip communication time in milliseconds (latency,
+    /// transfer, jitter and any injected delay).
+    pub comm_ms: f64,
+    /// Size of the request as shipped.
+    pub request_bytes: usize,
+    /// Size of the reply as shipped.
+    pub response_bytes: usize,
+}
+
+/// A byte-level RPC boundary between the mediator and wrapper endpoints.
+///
+/// Implementations deliver an encoded [`Request`] to the named endpoint
+/// and return the encoded [`Response`], or time out. They must be callable
+/// from multiple threads at once — the executor fans submits out
+/// concurrently.
+pub trait Transport: Send + Sync {
+    /// Names of the endpoints this transport can reach.
+    fn endpoints(&self) -> Vec<String>;
+
+    /// Deliver `request` to `endpoint` and wait up to `deadline` for the
+    /// reply. A lost or overdue reply is a `DiscoError::Timeout`; an
+    /// unknown endpoint is a configuration error (`DiscoError::Exec`).
+    fn call(&self, endpoint: &str, request: &[u8], deadline: Duration) -> Result<Envelope>;
+}

@@ -1,0 +1,163 @@
+// Gated: requires the `proptest` cargo feature (and the proptest
+// dev-dependency, removed so offline builds succeed — see Cargo.toml).
+#![cfg(feature = "proptest")]
+
+//! Property tests for the transport wire format: encode → decode is the
+//! identity for values, schemas, subanswers, and plans, and arbitrary
+//! byte soup never panics the decoders. The always-on seeded variants
+//! live in `wire_roundtrip.rs`; these add proptest's shrinking.
+
+use proptest::prelude::*;
+
+use disco_algebra::{CompareOp, LogicalPlan, PlanBuilder};
+use disco_common::wire::{WireDecode, WireEncode, WireReader, WireWriter};
+use disco_common::{AttributeDef, DataType, QualifiedName, Schema, Tuple, Value};
+use disco_sources::{ExecStats, SubAnswer};
+use disco_transport::wire::{decode_plan, encode_plan};
+use disco_transport::{Request, Response};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Long),
+        // Finite doubles only: NaN breaks the PartialEq the assertion needs.
+        prop::num::f64::NORMAL.prop_map(Value::Double),
+        ".{0,24}".prop_map(Value::Str),
+    ]
+}
+
+fn datatype_strategy() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Bool),
+        Just(DataType::Long),
+        Just(DataType::Double),
+        Just(DataType::Str),
+    ]
+}
+
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(("[a-z][a-z0-9]{0,6}", datatype_strategy()), 1..6).prop_map(|attrs| {
+        Schema::new(
+            attrs
+                .into_iter()
+                .map(|(name, ty)| AttributeDef::new(name, ty))
+                .collect(),
+        )
+    })
+}
+
+fn subanswer_strategy() -> impl Strategy<Value = SubAnswer> {
+    (
+        schema_strategy(),
+        prop::collection::vec(prop::collection::vec(value_strategy(), 0..6), 0..12),
+        (
+            0.0..1.0e6f64,
+            0.0..1.0e5f64,
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+    )
+        .prop_map(
+            |(schema, rows, (elapsed, first, pages, hits, objs))| SubAnswer {
+                schema,
+                tuples: rows.into_iter().map(Tuple::new).collect(),
+                stats: ExecStats {
+                    elapsed_ms: elapsed,
+                    time_first_ms: first,
+                    pages_read: pages as u64,
+                    buffer_hits: hits as u64,
+                    objects_scanned: objs as u64,
+                },
+            },
+        )
+}
+
+fn plan_strategy() -> impl Strategy<Value = LogicalPlan> {
+    let leaf = (r"[a-z]{1,6}", r"[A-Z][a-z]{0,6}", schema_strategy()).prop_map(
+        |(wrapper, coll, schema)| {
+            PlanBuilder::scan(QualifiedName::new(wrapper, coll), schema).build()
+        },
+    );
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), r"[a-z]{1,6}", value_strategy()).prop_map(|(p, attr, v)| {
+                PlanBuilder::from_plan(p)
+                    .select(attr, CompareOp::Le, v)
+                    .build()
+            }),
+            (inner.clone(), r"[a-z]{1,6}").prop_map(|(p, attr)| {
+                PlanBuilder::from_plan(p).project_attrs(&[&attr]).build()
+            }),
+            inner
+                .clone()
+                .prop_map(|p| PlanBuilder::from_plan(p).dedup().build()),
+            (inner.clone(), inner.clone(), r"[a-z]{1,4}", r"[a-z]{1,4}").prop_map(
+                |(l, r, la, ra)| {
+                    PlanBuilder::from_plan(l)
+                        .join(PlanBuilder::from_plan(r), la, ra)
+                        .build()
+                }
+            ),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| {
+                PlanBuilder::from_plan(l)
+                    .union(PlanBuilder::from_plan(r))
+                    .build()
+            }),
+            (inner, r"[a-z]{1,6}").prop_map(|(p, w)| PlanBuilder::from_plan(p).submit(w).build()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn values_round_trip(v in value_strategy()) {
+        prop_assert_eq!(&v, &Value::from_wire_bytes(&v.to_wire_bytes()).unwrap());
+    }
+
+    #[test]
+    fn schemas_round_trip(s in schema_strategy()) {
+        prop_assert_eq!(&s, &Schema::from_wire_bytes(&s.to_wire_bytes()).unwrap());
+    }
+
+    #[test]
+    fn subanswers_round_trip(a in subanswer_strategy()) {
+        prop_assert_eq!(&a, &SubAnswer::from_wire_bytes(&a.to_wire_bytes()).unwrap());
+    }
+
+    #[test]
+    fn plans_round_trip(p in plan_strategy()) {
+        let mut w = WireWriter::new();
+        encode_plan(&p, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = decode_plan(&mut r).unwrap();
+        r.expect_end().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn requests_round_trip(p in plan_strategy()) {
+        let req = Request::Submit(p);
+        prop_assert_eq!(&req, &Request::from_wire_bytes(&req.to_wire_bytes()).unwrap());
+    }
+
+    #[test]
+    fn responses_round_trip(a in subanswer_strategy()) {
+        let resp = Response::Answer(a);
+        prop_assert_eq!(&resp, &Response::from_wire_bytes(&resp.to_wire_bytes()).unwrap());
+    }
+
+    /// Arbitrary bytes never panic any top-level decoder.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::from_wire_bytes(&bytes);
+        let _ = Response::from_wire_bytes(&bytes);
+        let _ = SubAnswer::from_wire_bytes(&bytes);
+        let mut r = WireReader::new(&bytes);
+        let _ = decode_plan(&mut r);
+    }
+}

@@ -23,7 +23,7 @@ pub enum StatsExport {
 }
 
 /// Everything a wrapper uploads at registration time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Registration {
     /// Operations the wrapper can execute.
     pub capabilities: Capabilities,

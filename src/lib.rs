@@ -13,4 +13,5 @@ pub use disco_costlang as costlang;
 pub use disco_mediator as mediator;
 pub use disco_oo7 as oo7;
 pub use disco_sources as sources;
+pub use disco_transport as transport;
 pub use disco_wrapper as wrapper;
