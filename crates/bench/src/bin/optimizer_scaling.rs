@@ -103,13 +103,17 @@ fn main() {
         let catalog = chain_catalog(n);
         let sql = chain_sql(n);
         // Widen the optimal-search window to cover the whole sweep so the
-        // greedy fallback never kicks in.
+        // greedy fallback never kicks in, and pin the small-query
+        // threshold to 0 so every width measures the DP itself (the
+        // fast path would otherwise hand n ≤ 5 to the baseline's own
+        // algorithm and the speedup column would read 1.0 by fiat).
         let dp = run(
             &catalog,
             &registry,
             &sql,
             OptimizerOptions {
                 exhaustive_up_to: MAX_TABLES,
+                small_query_threshold: 0,
                 ..Default::default()
             },
         );
@@ -121,6 +125,7 @@ fn main() {
                 pruning: false,
                 exhaustive_up_to: MAX_TABLES,
                 enumeration: JoinEnumeration::Permutation,
+                ..Default::default()
             },
         );
         assert_eq!(
@@ -153,7 +158,8 @@ fn main() {
              \"memo_hits\": {}, \"rule_cache_hits\": {}, \"wall_ms\": {:.3}}}, \
              \"permutation\": {{\"plans_considered\": {}, \"estimator_nodes\": {}, \
              \"estimator_rules\": {}, \"wall_ms\": {:.3}}}, \
-             \"node_visit_reduction\": {:.3}, \"wall_speedup\": {:.3}}}",
+             \"node_visit_reduction\": {:.3}, \"wall_speedup\": {:.3}, \
+             \"fast_path\": {}}}",
             dp.plan.plans_considered,
             dp.plan.plans_pruned,
             dp.plan.estimator_nodes,
@@ -167,6 +173,7 @@ fn main() {
             perm.wall_ms,
             node_redux,
             speedup,
+            n <= OptimizerOptions::default().small_query_threshold,
         )
         .expect("write json row");
     }
@@ -176,9 +183,11 @@ fn main() {
          permutation baseline re-estimates every complete plan from scratch."
     );
 
+    let threshold = OptimizerOptions::default().small_query_threshold;
     let json = format!(
         "{{\n  \"bench\": \"optimizer_scaling\",\n  \"workload\": \"chain\",\n  \
-         \"tables\": [2, {MAX_TABLES}],\n  \"rows\": [{json_rows}\n  ]\n}}\n"
+         \"tables\": [2, {MAX_TABLES}],\n  \"fast_path_threshold\": {threshold},\n  \
+         \"rows\": [{json_rows}\n  ]\n}}\n"
     );
     std::fs::write("BENCH_optimizer.json", &json).expect("write BENCH_optimizer.json");
     println!("\nwrote BENCH_optimizer.json");

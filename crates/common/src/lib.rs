@@ -8,6 +8,9 @@
 //! * [`DataType`] — the elementary types of the exported IDL interfaces;
 //! * [`Schema`] / [`Tuple`] — rows exchanged between wrappers and mediator;
 //! * [`DiscoError`] — the umbrella error type;
+//! * [`batch`] — column-major blocks of rows (typed vectors, dictionary
+//!   encoding, validity bitmaps) for the mediator's vectorized combine
+//!   phase;
 //! * [`rng`] — deterministic random number helpers used by the simulated
 //!   data sources and workload generators;
 //! * [`wire`] — the binary encode/decode substrate every payload crossing
@@ -16,6 +19,7 @@
 //! Nothing here is specific to cost modelling; it is the substrate the DISCO
 //! reproduction is built on.
 
+pub mod batch;
 pub mod error;
 pub mod rng;
 pub mod schema;
@@ -23,6 +27,7 @@ pub mod tuple;
 pub mod value;
 pub mod wire;
 
+pub use batch::{Batch, Bitmap, Column, ColumnBuilder, ColumnData, Key, ValueRef};
 pub use error::{DiscoError, Result};
 pub use schema::{AttributeDef, QualifiedName, Schema, WrapperId};
 pub use tuple::Tuple;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::error::{DiscoError, Result};
 use crate::value::Value;
 
 /// A flat row of [`Value`]s.
@@ -44,12 +45,36 @@ impl Tuple {
     }
 
     /// Row restricted to the cells at `indices`, in that order.
+    ///
+    /// Every index is expected to be in range: the caller resolved them
+    /// against the schema, so an out-of-range index is a
+    /// schema-resolution bug. Debug builds assert; release builds
+    /// substitute `Value::Null` so the output arity always equals
+    /// `indices.len()` instead of silently truncating the row. Use
+    /// [`try_project`](Self::try_project) for a recoverable error.
     pub fn project(&self, indices: &[usize]) -> Tuple {
+        debug_assert!(
+            indices.iter().all(|&i| i < self.values.len()),
+            "Tuple::project index out of range (arity {}, indices {:?})",
+            self.values.len(),
+            indices
+        );
         let values = indices
             .iter()
-            .filter_map(|&i| self.values.get(i).cloned())
+            .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
             .collect();
         Tuple { values }
+    }
+
+    /// Checked projection: errors on any out-of-range index.
+    pub fn try_project(&self, indices: &[usize]) -> Result<Tuple> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.values.len()) {
+            return Err(DiscoError::Exec(format!(
+                "projection index {bad} out of range for tuple of arity {}",
+                self.values.len()
+            )));
+        }
+        Ok(self.project(indices))
     }
 
     /// Approximate serialized width in bytes (sum of cell widths).
@@ -113,6 +138,24 @@ mod tests {
     fn project_reorders() {
         let t = row().project(&[2, 0]);
         assert_eq!(t.values(), &[Value::Double(2.5), Value::Long(1)]);
+    }
+
+    #[test]
+    fn try_project_checks_range() {
+        let t = row();
+        assert_eq!(
+            t.try_project(&[1, 2]).unwrap().values(),
+            &[Value::Str("x".into()), Value::Double(2.5)]
+        );
+        let err = t.try_project(&[0, 3]).unwrap_err();
+        assert!(err.to_string().contains("index 3"), "{err}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn project_out_of_range_asserts_in_debug() {
+        let _ = row().project(&[3]);
     }
 
     #[test]

@@ -161,9 +161,17 @@ impl<'a> WireReader<'a> {
     }
 
     pub fn get_str(&mut self) -> Result<String> {
+        Ok(self.get_str_ref()?.to_owned())
+    }
+
+    /// Length-prefixed string, borrowed from the receive buffer.
+    ///
+    /// The columnar subanswer decoder uses this to intern strings into a
+    /// dictionary without allocating a `String` per cell.
+    pub fn get_str_ref(&mut self) -> Result<&'a str> {
         let n = self.get_u32()? as usize;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
+        std::str::from_utf8(bytes)
             .map_err(|_| DiscoError::Parse("wire: invalid UTF-8 in string".into()))
     }
 

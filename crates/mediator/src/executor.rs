@@ -6,8 +6,17 @@
 //! submission is enabled (Figure 2 shows steps 4a/4b issued in parallel);
 //! the fan-out's wall-clock time is measured. The *combine* phase then
 //! walks the plan, consuming fetched subanswers at the submit sites and
-//! running the shared in-memory operators on a mediator-side virtual
-//! clock.
+//! running the vectorized columnar operators ([`disco_sources::vexec`])
+//! on a mediator-side virtual clock.
+//!
+//! Subanswers enter the combine phase as [`BatchAnswer`]s: over a
+//! transport the reply bytes decode straight into column vectors
+//! (fetched rows are never built as `Tuple`s), and in-process answers
+//! are columnarized inside the fetch workers. The pipeline stays
+//! columnar end-to-end; rows materialize exactly once, at the final
+//! answer boundary in [`Executor::execute`]. Virtual-clock charges are
+//! per-tuple formulas over operator cardinalities, so they are
+//! identical to the row-at-a-time engine's.
 //!
 //! Wrappers are reached either in-process (the seed's trait-object table)
 //! or through a [`TransportClient`] — the byte-level RPC boundary with
@@ -22,10 +31,10 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use disco_algebra::{LogicalPlan, PhysicalJoinAlgo, PhysicalPlan};
-use disco_common::{DiscoError, QualifiedName, Result, Schema, Tuple};
+use disco_common::{Batch, DiscoError, QualifiedName, Result, Schema, Tuple};
 use disco_core::{NodeCost, RuleRegistry};
-use disco_sources::exec;
-use disco_sources::{ExecStats, SubAnswer, VirtualClock};
+use disco_sources::vexec;
+use disco_sources::{BatchAnswer, ExecStats, VirtualClock};
 use disco_transport::TransportClient;
 use disco_wrapper::Wrapper;
 
@@ -146,7 +155,7 @@ struct Fetched {
 }
 
 struct FetchedAnswer {
-    answer: SubAnswer,
+    answer: BatchAnswer,
     comm_ms: f64,
     wall_ms: f64,
     attempts: u32,
@@ -221,12 +230,14 @@ impl<'a> Executor<'a> {
             self.parallel && sites.len() > 1 && matches!(self.backend, Backend::Remote(_));
 
         // Combine phase: walk the plan, consuming fetched answers at the
-        // submit sites and running mediator-side operators.
+        // submit sites and running the vectorized mediator-side
+        // operators on columnar batches.
         let mut clock = VirtualClock::new();
         let mut fetched = fetched.into_iter();
-        let (schema, tuples) = self.run(plan, &mut clock, &mut trace, &mut fetched)?;
+        let (schema, batch) = self.run(plan, &mut clock, &mut trace, &mut fetched)?;
         trace.mediator_ms = clock.now();
-        Ok((schema, tuples, trace))
+        // The one place rows materialize: the final answer boundary.
+        Ok((schema, batch.to_tuples(), trace))
     }
 
     /// Obtain subanswers for all sites, in site order.
@@ -268,13 +279,16 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// The combine phase proper: columnar batches flow between
+    /// operators; virtual-clock charges use batch cardinalities with
+    /// the same per-tuple formulas as the row engine.
     fn run(
         &self,
         plan: &PhysicalPlan,
         clock: &mut VirtualClock,
         trace: &mut ExecutionTrace,
         fetched: &mut std::vec::IntoIter<Fetched>,
-    ) -> Result<(Schema, Vec<Tuple>)> {
+    ) -> Result<(Schema, Batch)> {
         let cpu_pred = self.param("CpuPred", 0.05);
         let cpu_hash = self.param("CpuHash", 0.02);
         match plan {
@@ -298,21 +312,21 @@ impl<'a> Executor<'a> {
                                 expected_schema.arity()
                             )));
                         }
-                        let bytes: u64 = f.answer.tuples.iter().map(Tuple::width).sum();
+                        let bytes = f.answer.batch.byte_width();
                         trace.wrapper_ms += f.answer.stats.elapsed_ms;
                         trace.communication_ms += f.comm_ms;
                         trace.submits.push(SubmitTrace {
                             wrapper: wrapper.clone(),
                             plan: plan.clone(),
                             stats: f.answer.stats,
-                            tuples: f.answer.tuples.len(),
+                            tuples: f.answer.batch.len(),
                             bytes,
                             comm_ms: f.comm_ms,
                             wall_ms: f.wall_ms,
                             attempts: f.attempts,
                             failed: false,
                         });
-                        Ok((f.answer.schema, f.answer.tuples))
+                        Ok((f.answer.schema, f.answer.batch))
                     }
                     Err(e) if self.partial_answers && e.is_transient() => {
                         // The wrapper stayed down past the retry budget:
@@ -332,28 +346,31 @@ impl<'a> Executor<'a> {
                             attempts: 0,
                             failed: true,
                         });
-                        Ok((expected_schema.clone(), Vec::new()))
+                        Ok((
+                            expected_schema.clone(),
+                            Batch::empty(expected_schema.arity()),
+                        ))
                     }
                     Err(e) => Err(e),
                 }
             }
             PhysicalPlan::Filter { input, predicate } => {
-                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
-                clock.charge(tuples.len() as f64 * predicate.conjuncts.len() as f64 * cpu_pred);
-                let out = exec::filter(&schema, &tuples, predicate)?;
+                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                clock.charge(batch.len() as f64 * predicate.conjuncts.len() as f64 * cpu_pred);
+                let out = vexec::filter(&schema, &batch, predicate)?;
                 Ok((schema, out))
             }
             PhysicalPlan::Project { input, columns } => {
-                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
-                clock.charge(tuples.len() as f64 * cpu_hash);
-                exec::project(&schema, &tuples, columns)
+                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                clock.charge(batch.len() as f64 * cpu_hash);
+                vexec::project(&schema, &batch, columns)
             }
             PhysicalPlan::Sort { input, keys } => {
-                let (schema, mut tuples) = self.run(input, clock, trace, fetched)?;
-                let n = tuples.len() as f64;
+                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                let n = batch.len() as f64;
                 clock.charge(self.param("SortFactor", 0.02) * n * n.max(2.0).log2());
-                exec::sort(&schema, &mut tuples, keys)?;
-                Ok((schema, tuples))
+                let out = vexec::sort(&schema, &batch, keys)?;
+                Ok((schema, out))
             }
             PhysicalPlan::Join {
                 algo,
@@ -361,13 +378,13 @@ impl<'a> Executor<'a> {
                 right,
                 predicate,
             } => {
-                let (ls, lt) = self.run(left, clock, trace, fetched)?;
-                let (rs, rt) = self.run(right, clock, trace, fetched)?;
+                let (ls, lb) = self.run(left, clock, trace, fetched)?;
+                let (rs, rb) = self.run(right, clock, trace, fetched)?;
                 let out_schema = ls.join(&rs);
                 let out = match algo {
                     PhysicalJoinAlgo::Hash => {
-                        clock.charge((lt.len() + rt.len()) as f64 * cpu_hash);
-                        let out = exec::hash_join(&ls, &lt, &rs, &rt, predicate)?;
+                        clock.charge((lb.len() + rb.len()) as f64 * cpu_hash);
+                        let out = vexec::hash_join(&ls, &lb, &rs, &rb, predicate)?;
                         clock.charge(out.len() as f64 * cpu_hash);
                         out
                     }
@@ -375,41 +392,40 @@ impl<'a> Executor<'a> {
                         // Executed as sort + hash match; charged as the
                         // sort-based algorithm it models.
                         let sf = self.param("SortFactor", 0.02);
-                        let (nl, nr) = (lt.len() as f64, rt.len() as f64);
+                        let (nl, nr) = (lb.len() as f64, rb.len() as f64);
                         clock.charge(sf * nl * nl.max(2.0).log2() + sf * nr * nr.max(2.0).log2());
                         clock.charge((nl + nr) * cpu_pred);
-                        exec::hash_join(&ls, &lt, &rs, &rt, predicate)?
+                        vexec::hash_join(&ls, &lb, &rs, &rb, predicate)?
                     }
                     PhysicalJoinAlgo::NestedLoop => {
-                        clock.charge((lt.len() * rt.len()) as f64 * cpu_pred);
-                        exec::nested_loop_join(&ls, &lt, &rs, &rt, predicate)?
+                        clock.charge((lb.len() * rb.len()) as f64 * cpu_pred);
+                        vexec::nested_loop_join(&ls, &lb, &rs, &rb, predicate)?
                     }
                 };
                 Ok((out_schema, out))
             }
             PhysicalPlan::Union { left, right } => {
-                let (ls, mut lt) = self.run(left, clock, trace, fetched)?;
-                let (rs, rt) = self.run(right, clock, trace, fetched)?;
+                let (ls, lb) = self.run(left, clock, trace, fetched)?;
+                let (rs, rb) = self.run(right, clock, trace, fetched)?;
                 if ls.arity() != rs.arity() {
                     return Err(DiscoError::Exec("union arity mismatch".into()));
                 }
-                clock.charge(rt.len() as f64 * cpu_hash);
-                lt.extend(rt);
-                Ok((ls, lt))
+                clock.charge(rb.len() as f64 * cpu_hash);
+                Ok((ls, vexec::union(&lb, &rb)?))
             }
             PhysicalPlan::Dedup { input } => {
-                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
-                clock.charge(tuples.len() as f64 * cpu_hash);
-                Ok((schema, exec::dedup(&tuples)))
+                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                clock.charge(batch.len() as f64 * cpu_hash);
+                Ok((schema, vexec::dedup(&batch)))
             }
             PhysicalPlan::Aggregate {
                 input,
                 group_by,
                 aggs,
             } => {
-                let (schema, tuples) = self.run(input, clock, trace, fetched)?;
-                clock.charge(tuples.len() as f64 * cpu_hash);
-                let out = exec::aggregate(&schema, &tuples, group_by, aggs)?;
+                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                clock.charge(batch.len() as f64 * cpu_hash);
+                let out = vexec::aggregate(&schema, &batch, group_by, aggs)?;
                 let out_schema = to_agg_schema(&schema, group_by, aggs)?;
                 Ok((out_schema, out))
             }
@@ -453,7 +469,7 @@ fn fetch_local(
                 comm_ms: msg_latency + bytes as f64 * per_byte,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 attempts: 1,
-                answer,
+                answer: BatchAnswer::from(answer),
             }
         });
     Fetched { outcome }
@@ -464,7 +480,7 @@ fn fetch_local(
 /// communication time.
 fn fetch_remote(client: &TransportClient, site: &SubmitSite<'_>) -> Fetched {
     let outcome = client
-        .submit(site.wrapper, site.plan)
+        .submit_batch(site.wrapper, site.plan)
         .map(|o| FetchedAnswer {
             answer: o.answer,
             comm_ms: o.comm_ms,

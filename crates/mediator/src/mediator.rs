@@ -36,6 +36,11 @@ pub struct MediatorOptions {
     /// Join-order search strategy (DP by default; `Permutation` is the
     /// exhaustive baseline).
     pub enumeration: JoinEnumeration,
+    /// Queries of at most this many tables bypass the DP and its caches
+    /// in favor of direct enumeration (the measured small-query
+    /// crossover); 0 forces DP at every size. See
+    /// [`OptimizerOptions::small_query_threshold`].
+    pub small_query_threshold: usize,
 }
 
 impl Default for MediatorOptions {
@@ -46,6 +51,7 @@ impl Default for MediatorOptions {
             parallel_submits: false,
             partial_answers: true,
             enumeration: JoinEnumeration::default(),
+            small_query_threshold: OptimizerOptions::default().small_query_threshold,
         }
     }
 }
@@ -189,6 +195,7 @@ impl Mediator {
         let opts = OptimizerOptions {
             pruning: self.options.pruning,
             enumeration: self.options.enumeration,
+            small_query_threshold: self.options.small_query_threshold,
             ..Default::default()
         };
         let optimizer = Optimizer::new(&self.catalog, &self.registry, opts);
@@ -209,6 +216,7 @@ impl Mediator {
         let mut rules = 0;
         let mut memo_hits = 0;
         let mut rule_cache_hits = 0;
+        let mut fast_path = false;
         for query in &stmt.branches {
             let analyzed = analyze(query, &self.catalog)?;
             let outputs: Vec<String> = analyzed.output.iter().map(|(n, _)| n.clone()).collect();
@@ -231,6 +239,7 @@ impl Mediator {
             rules += plan.estimator_rules;
             memo_hits += plan.memo_hits;
             rule_cache_hits += plan.rule_cache_hits;
+            fast_path |= plan.fast_path;
             branch_plans.push(plan.physical);
         }
         let mut iter = branch_plans.into_iter();
@@ -273,6 +282,7 @@ impl Mediator {
             estimator_rules: rules,
             memo_hits,
             rule_cache_hits,
+            fast_path,
         })
     }
 

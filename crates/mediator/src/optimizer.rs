@@ -27,6 +27,14 @@
 //! plan's cost becomes the estimator's cost limit, abandoning estimation
 //! of worse candidates midway (§4.3.2); the DP seeds that limit with a
 //! greedy complete plan so even frontier subplans can be abandoned.
+//!
+//! **Small-query fast path.** The DP's fixed costs — cache setup, the
+//! greedy seed plan, scoped-thread fan-out — only pay off once the
+//! permutation space is large. `BENCH_optimizer.json` puts the
+//! wall-clock crossover at about five tables (wall_speedup < 1 below
+//! it), so joins of at most [`OptimizerOptions::small_query_threshold`]
+//! tables are routed through direct uncached enumeration even when DP
+//! is selected; [`OptimizedPlan::fast_path`] records when that happened.
 
 use disco_algebra::{
     CompareOp, JoinKind, JoinPredicate, LogicalPlan, OperatorKind, PhysicalJoinAlgo, PhysicalPlan,
@@ -68,6 +76,12 @@ pub struct OptimizerOptions {
     pub exhaustive_up_to: usize,
     /// Join-order search strategy.
     pub enumeration: JoinEnumeration,
+    /// With [`JoinEnumeration::Dp`], queries of at most this many tables
+    /// skip the DP machinery (estimation caches, greedy seed, memo) and
+    /// run direct uncached enumeration instead — the measured wall-clock
+    /// crossover from `BENCH_optimizer.json` (wall_speedup < 1 for
+    /// n ≤ 5). Set to 0 to force DP at every size.
+    pub small_query_threshold: usize,
 }
 
 impl Default for OptimizerOptions {
@@ -76,6 +90,7 @@ impl Default for OptimizerOptions {
             pruning: true,
             exhaustive_up_to: 12,
             enumeration: JoinEnumeration::Dp,
+            small_query_threshold: 5,
         }
     }
 }
@@ -102,6 +117,10 @@ pub struct OptimizedPlan {
     pub memo_hits: usize,
     /// Rule-resolution cache hits across the run.
     pub rule_cache_hits: usize,
+    /// Whether the small-query fast path handled join ordering (DP was
+    /// selected but the table count sat at or below
+    /// [`OptimizerOptions::small_query_threshold`]).
+    pub fast_path: bool,
 }
 
 /// Cost-based optimizer over a catalog and rule registry.
@@ -247,7 +266,18 @@ impl<'a> Optimizer<'a> {
         let mut counters = Counters::default();
         let estimator = Estimator::new(self.registry, self.catalog);
         let cache_store = EstimatorCache::new();
-        let cache = matches!(self.options.enumeration, JoinEnumeration::Dp).then_some(&cache_store);
+        let n = q.tables.len();
+        // Small-query fast path: below the measured DP crossover, direct
+        // enumeration wins on wall clock. It runs uncached — the caches'
+        // setup and key hashing are part of the overhead it avoids.
+        let fast_path = matches!(self.options.enumeration, JoinEnumeration::Dp)
+            && n > 1
+            && n <= self
+                .options
+                .small_query_threshold
+                .min(self.options.exhaustive_up_to);
+        let cache = (matches!(self.options.enumeration, JoinEnumeration::Dp) && !fast_path)
+            .then_some(&cache_store);
 
         // Phase 1: best access variant per table (independent — costed
         // in parallel).
@@ -262,7 +292,6 @@ impl<'a> Optimizer<'a> {
         }
 
         // Phase 2: join order.
-        let n = q.tables.len();
         let (best_join, best_cost) = if n == 1 {
             let plan = access[0].plan.clone();
             let (cost, used) = self.cost_full(q, &plan, None, &estimator, cache)?;
@@ -272,6 +301,8 @@ impl<'a> Optimizer<'a> {
                 DiscoError::Cost("single-table plan was pruned without a limit".into())
             })?;
             (plan, cost)
+        } else if fast_path {
+            self.enumerate_orders(q, &access, &estimator, cache, &mut counters)?
         } else {
             match self.options.enumeration {
                 JoinEnumeration::Dp if n <= self.options.exhaustive_up_to.min(DP_MAX_TABLES) => {
@@ -294,6 +325,7 @@ impl<'a> Optimizer<'a> {
             estimator_rules: counters.rules,
             memo_hits: cache.map_or(0, |c| c.cost_hits()),
             rule_cache_hits: cache.map_or(0, |c| c.rule_hits()),
+            fast_path,
         })
     }
 
@@ -1091,9 +1123,17 @@ mod tests {
             &cat,
         )
         .unwrap();
-        let dp = Optimizer::new(&cat, &reg, OptimizerOptions::default())
-            .optimize(&q)
-            .unwrap();
+        // Threshold 0 forces the DP even at two tables.
+        let dp = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                small_query_threshold: 0,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
         let oracle = Optimizer::new(
             &cat,
             &reg,
@@ -1154,10 +1194,18 @@ mod tests {
         let cat = star_catalog();
         let reg = RuleRegistry::with_default_model();
         let q = analyze(&parse_query(STAR_SQL).unwrap(), &cat).unwrap();
-        // Defaults: DP enumeration with pruning enabled.
-        let out = Optimizer::new(&cat, &reg, OptimizerOptions::default())
-            .optimize(&q)
-            .unwrap();
+        // DP enumeration with pruning enabled (threshold 0 keeps the
+        // five-table star on the DP rather than the fast path).
+        let out = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                small_query_threshold: 0,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
         assert!(
             out.plans_pruned > 0,
             "cost-limit pruning abandoned no candidates: {out:?}"
@@ -1182,9 +1230,16 @@ mod tests {
         let cat = star_catalog();
         let reg = RuleRegistry::with_default_model();
         let q = analyze(&parse_query(STAR_SQL).unwrap(), &cat).unwrap();
-        let dp = Optimizer::new(&cat, &reg, OptimizerOptions::default())
-            .optimize(&q)
-            .unwrap();
+        let dp = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                small_query_threshold: 0,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
         let perm = Optimizer::new(
             &cat,
             &reg,
@@ -1203,5 +1258,37 @@ mod tests {
             perm.estimator_nodes
         );
         assert!(dp.plans_considered <= perm.plans_considered);
+    }
+
+    #[test]
+    fn small_query_fast_path_matches_dp_and_runs_uncached() {
+        let cat = star_catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(&parse_query(STAR_SQL).unwrap(), &cat).unwrap();
+        // Five tables sits exactly at the default threshold: the fast
+        // path handles ordering and skips the estimation caches.
+        let fast = Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap();
+        assert!(fast.fast_path);
+        assert_eq!(fast.memo_hits, 0, "fast path runs uncached");
+        assert_eq!(fast.rule_cache_hits, 0, "fast path runs uncached");
+        // The plan chosen must be exactly as good as the DP's.
+        let dp = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                small_query_threshold: 0,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert!(!dp.fast_path);
+        assert_eq!(fast.estimated.total_time, dp.estimated.total_time);
+        // One table past the threshold the DP takes over again.
+        let opts = OptimizerOptions::default();
+        assert!(!matches!(opts.enumeration, JoinEnumeration::Permutation));
+        assert_eq!(opts.small_query_threshold, 5);
     }
 }

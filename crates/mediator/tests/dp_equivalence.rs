@@ -85,9 +85,19 @@ fn dp_cost_equals_permutation_oracle_on_random_queries() {
         let case = random_case(&mut rng);
         let q = analyze(&parse_query(&case.sql).unwrap(), &case.catalog).unwrap();
 
-        let dp = Optimizer::new(&case.catalog, &registry, OptimizerOptions::default())
-            .optimize(&q)
-            .unwrap_or_else(|e| panic!("DP failed on seed {seed} ({}): {e}", case.sql));
+        // Threshold 0 keeps every case on the DP (the fast path would
+        // otherwise delegate small cases to the oracle's own algorithm,
+        // making the comparison vacuous).
+        let dp = Optimizer::new(
+            &case.catalog,
+            &registry,
+            OptimizerOptions {
+                small_query_threshold: 0,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap_or_else(|e| panic!("DP failed on seed {seed} ({}): {e}", case.sql));
         let oracle = Optimizer::new(
             &case.catalog,
             &registry,
@@ -129,6 +139,7 @@ fn dp_with_pruning_off_still_matches_oracle() {
             &registry,
             OptimizerOptions {
                 pruning: false,
+                small_query_threshold: 0,
                 ..Default::default()
             },
         )

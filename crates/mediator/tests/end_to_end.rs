@@ -231,7 +231,20 @@ fn pruning_reduces_estimation_work() {
 fn default_dp_matches_permutation_oracle_end_to_end() {
     let sql = "SELECT e.name FROM Employee e, Dept d, Audit a \
                WHERE e.dept_id = d.dept_id AND e.id = a.emp_id AND e.id < 50";
-    let dp = mediator().plan(sql).unwrap();
+    // Three tables sit under the small-query threshold, so the default
+    // configuration takes the uncached fast path…
+    let fast = mediator().plan(sql).unwrap();
+    assert!(fast.fast_path);
+    assert_eq!(fast.memo_hits, 0);
+    // …while threshold 0 exercises the DP proper.
+    let dp = mediator()
+        .with_options(MediatorOptions {
+            small_query_threshold: 0,
+            ..Default::default()
+        })
+        .plan(sql)
+        .unwrap();
+    assert!(!dp.fast_path);
     let oracle = mediator()
         .with_options(MediatorOptions {
             pruning: false,
@@ -240,6 +253,7 @@ fn default_dp_matches_permutation_oracle_end_to_end() {
         })
         .plan(sql)
         .unwrap();
+    assert_eq!(fast.estimated.total_time, oracle.estimated.total_time);
     assert_eq!(dp.estimated.total_time, oracle.estimated.total_time);
     // The memoized DP prices fewer estimator nodes than the exhaustive
     // permutation sweep.

@@ -45,25 +45,26 @@ pub fn project(
             .collect::<Result<_>>()?;
         out.push(Tuple::new(values));
     }
-    // Output schema via type inference on a representative plan node.
-    let out_schema = {
-        use disco_common::{AttributeDef, DataType};
-        let attrs = columns
-            .iter()
-            .map(|(name, e)| {
-                let ty = match e {
-                    ScalarExpr::Attr(a) => {
-                        schema.attribute(a).map(|d| d.ty).unwrap_or(DataType::Str)
-                    }
-                    ScalarExpr::Const(v) => v.data_type().unwrap_or(DataType::Str),
-                    ScalarExpr::Binary { .. } => DataType::Double,
-                };
-                AttributeDef::new(name.clone(), ty)
-            })
-            .collect();
-        Schema::new(attrs)
-    };
-    Ok((out_schema, out))
+    Ok((project_schema(schema, columns), out))
+}
+
+/// Output schema of a projection: type inference on a representative
+/// plan node. Shared by the row ([`project`]) and columnar
+/// ([`crate::vexec::project`]) implementations.
+pub fn project_schema(schema: &Schema, columns: &[(String, ScalarExpr)]) -> Schema {
+    use disco_common::{AttributeDef, DataType};
+    let attrs = columns
+        .iter()
+        .map(|(name, e)| {
+            let ty = match e {
+                ScalarExpr::Attr(a) => schema.attribute(a).map(|d| d.ty).unwrap_or(DataType::Str),
+                ScalarExpr::Const(v) => v.data_type().unwrap_or(DataType::Str),
+                ScalarExpr::Binary { .. } => DataType::Double,
+            };
+            AttributeDef::new(name.clone(), ty)
+        })
+        .collect();
+    Schema::new(attrs)
 }
 
 /// Sort tuples in place by `(attribute, ascending)` keys.

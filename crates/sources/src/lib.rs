@@ -16,8 +16,10 @@
 //! * [`buffer`] — an LRU buffer pool charging I/O on faults;
 //! * [`heap`] — paged heap files with uniform or clustered placement;
 //! * [`btree`] — a from-scratch B+-tree used for index scans;
-//! * [`exec`] — in-memory operator implementations shared by the sources
-//!   and the mediator's local executor;
+//! * [`exec`] — in-memory row-at-a-time operator implementations shared
+//!   by the sources and kept as the reference semantics;
+//! * [`vexec`] — vectorized counterparts over columnar batches, used by
+//!   the mediator's combine phase;
 //! * [`store`] — the paged store engine ([`PagedStore`]) with
 //!   object-database and relational cost profiles;
 //! * [`flatfile`] — a scan-only flat-file source;
@@ -33,6 +35,7 @@ pub mod flatfile;
 pub mod heap;
 pub mod source;
 pub mod store;
+pub mod vexec;
 pub mod wire;
 
 pub use btree::BPlusTree;
@@ -40,5 +43,5 @@ pub use buffer::BufferPool;
 pub use clock::{CostProfile, VirtualClock};
 pub use flatfile::FlatFile;
 pub use heap::{HeapFile, Placement};
-pub use source::{DataSource, ExecStats, SubAnswer};
+pub use source::{BatchAnswer, DataSource, ExecStats, SubAnswer};
 pub use store::{CollectionBuilder, PagedStore};

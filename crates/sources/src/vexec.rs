@@ -1,0 +1,747 @@
+//! Vectorized operator implementations over columnar [`Batch`]es.
+//!
+//! Each function mirrors its row-at-a-time counterpart in [`crate::exec`]
+//! — same signatures modulo `Batch` for `Vec<Tuple>`, same error
+//! messages, and bit-identical results in the same order — but works
+//! column-major:
+//!
+//! * **select** builds a selection vector (surviving row ids) per
+//!   conjunct, with type-specialized loops for numeric, dictionary
+//!   string, and boolean columns, then gathers once;
+//! * **project** re-slices attribute columns (an `Arc` clone per
+//!   column), computing only constant and arithmetic columns;
+//! * **hash join** builds on the key column (hashing normalized
+//!   [`Key`]s, not formatted strings) and emits row-id pairs, gathering
+//!   output columns instead of cloning rows;
+//! * **aggregate / dedup** group on `Key` vectors;
+//! * **sort** permutes row ids and gathers once.
+//!
+//! One documented divergence: the row operators key composite
+//! (dedup/group) values by joining per-cell strings with `|`, which can
+//! collide when string cells contain the separator; the columnar path
+//! keys on structured `Vec<Option<Key>>`, which cannot. Equivalence
+//! holds on any data free of such engineered collisions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use disco_algebra::logical::AggExpr;
+use disco_algebra::{AggFunc, CompareOp, JoinPredicate, Predicate, ScalarExpr, SelectPredicate};
+use disco_common::{
+    Batch, Column, ColumnBuilder, ColumnData, DiscoError, Key, Result, Schema, Value, ValueRef,
+};
+
+use crate::exec::project_schema;
+
+/// Mirror of [`CompareOp::eval`] on borrowed cell views: nulls fail,
+/// cross-family comparisons fail, numbers compare across `Long`/`Double`.
+fn cmp_ref(op: CompareOp, a: ValueRef<'_>, b: ValueRef<'_>) -> bool {
+    if a.is_null() || b.is_null() {
+        return false;
+    }
+    match a.partial_cmp_ref(b) {
+        Some(ord) => match op {
+            CompareOp::Eq => ord.is_eq(),
+            CompareOp::Ne => ord.is_ne(),
+            CompareOp::Lt => ord.is_lt(),
+            CompareOp::Le => ord.is_le(),
+            CompareOp::Gt => ord.is_gt(),
+            CompareOp::Ge => ord.is_ge(),
+        },
+        None => false,
+    }
+}
+
+fn cmp_ord(op: CompareOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        CompareOp::Eq => ord.is_eq(),
+        CompareOp::Ne => ord.is_ne(),
+        CompareOp::Lt => ord.is_lt(),
+        CompareOp::Le => ord.is_le(),
+        CompareOp::Gt => ord.is_gt(),
+        CompareOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Rows of `col` (restricted to `sel`) that satisfy `conjunct`.
+fn apply_conjunct(col: &Column, conjunct: &SelectPredicate, sel: &[u32]) -> Vec<u32> {
+    let op = conjunct.op;
+    let valid = |row: u32| col.is_valid(row as usize);
+    match (col.data(), &conjunct.value) {
+        // Numeric column vs numeric constant: compare in f64, exactly as
+        // Value::partial_cmp_value does for every numeric pair.
+        (ColumnData::Long(data), c) if c.as_f64().is_some() => {
+            let b = c.as_f64().expect("numeric");
+            sel.iter()
+                .copied()
+                .filter(|&row| {
+                    valid(row)
+                        && (data[row as usize] as f64)
+                            .partial_cmp(&b)
+                            .is_some_and(|ord| cmp_ord(op, ord))
+                })
+                .collect()
+        }
+        (ColumnData::Double(data), c) if c.as_f64().is_some() => {
+            let b = c.as_f64().expect("numeric");
+            sel.iter()
+                .copied()
+                .filter(|&row| {
+                    valid(row)
+                        && data[row as usize]
+                            .partial_cmp(&b)
+                            .is_some_and(|ord| cmp_ord(op, ord))
+                })
+                .collect()
+        }
+        // Dictionary column vs string constant: decide once per distinct
+        // string, then test codes.
+        (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+            let pass: Vec<bool> = dict
+                .iter()
+                .map(|d| cmp_ord(op, d.as_str().cmp(s)))
+                .collect();
+            sel.iter()
+                .copied()
+                .filter(|&row| valid(row) && pass[codes[row as usize] as usize])
+                .collect()
+        }
+        (ColumnData::Bool(data), Value::Bool(b)) => sel
+            .iter()
+            .copied()
+            .filter(|&row| valid(row) && cmp_ord(op, data[row as usize].cmp(b)))
+            .collect(),
+        // Fallback (mixed columns, cross-family constants, null
+        // constants): per-row mirror of CompareOp::eval.
+        _ => {
+            let c = ValueRef::from_value(&conjunct.value);
+            sel.iter()
+                .copied()
+                .filter(|&row| cmp_ref(op, col.value_ref(row as usize), c))
+                .collect()
+        }
+    }
+}
+
+/// Filter a batch by a conjunctive predicate (vectorized `exec::filter`).
+pub fn filter(schema: &Schema, batch: &Batch, pred: &Predicate) -> Result<Batch> {
+    let resolved: Vec<(usize, &SelectPredicate)> = pred
+        .conjuncts
+        .iter()
+        .map(|c| {
+            schema
+                .index_of(&c.attribute)
+                .map(|i| (i, c))
+                .ok_or_else(|| DiscoError::Exec(format!("unknown attribute `{}`", c.attribute)))
+        })
+        .collect::<Result<_>>()?;
+    if resolved.is_empty() {
+        return Ok(batch.clone());
+    }
+    let mut sel: Vec<u32> = (0..batch.len() as u32).collect();
+    for (i, c) in resolved {
+        if sel.is_empty() {
+            break;
+        }
+        sel = apply_conjunct(batch.column(i), c, &sel);
+    }
+    Ok(batch.take(&sel))
+}
+
+/// Project a batch to named expressions (vectorized `exec::project`).
+///
+/// Attribute columns are `Arc` re-slices; constant columns are built
+/// once; arithmetic columns evaluate [`ScalarExpr`] per row against a
+/// materialized scratch tuple so the semantics (including error cases)
+/// match the row path exactly.
+pub fn project(
+    schema: &Schema,
+    batch: &Batch,
+    columns: &[(String, ScalarExpr)],
+) -> Result<(Schema, Batch)> {
+    let out_schema = project_schema(schema, columns);
+    if batch.is_empty() {
+        // The row path evaluates nothing on empty input, so unknown
+        // attributes are not an error here either.
+        return Ok((out_schema, Batch::empty(columns.len())));
+    }
+    let mut out: Vec<Option<Arc<Column>>> = vec![None; columns.len()];
+    let mut scalar_cols: Vec<(usize, &ScalarExpr)> = Vec::new();
+    for (pos, (_, e)) in columns.iter().enumerate() {
+        match e {
+            ScalarExpr::Attr(a) => {
+                let i = schema
+                    .index_of(a)
+                    .ok_or_else(|| DiscoError::Exec(format!("unknown attribute `{a}`")))?;
+                out[pos] = Some(Arc::clone(batch.column(i)));
+            }
+            ScalarExpr::Const(v) => {
+                let mut b = ColumnBuilder::new();
+                for _ in 0..batch.len() {
+                    b.push_ref(ValueRef::from_value(v));
+                }
+                out[pos] = Some(Arc::new(b.finish()));
+            }
+            ScalarExpr::Binary { .. } => scalar_cols.push((pos, e)),
+        }
+    }
+    if !scalar_cols.is_empty() {
+        let mut builders: Vec<ColumnBuilder> =
+            scalar_cols.iter().map(|_| ColumnBuilder::new()).collect();
+        for row in 0..batch.len() {
+            // One scratch tuple serves every arithmetic column of the row.
+            let t = batch.tuple_at(row);
+            for ((_, e), b) in scalar_cols.iter().zip(builders.iter_mut()) {
+                b.push_value(e.eval(schema, &t)?);
+            }
+        }
+        for ((pos, _), b) in scalar_cols.iter().zip(builders) {
+            out[*pos] = Some(Arc::new(b.finish()));
+        }
+    }
+    let columns = out
+        .into_iter()
+        .map(|c| c.expect("all positions filled"))
+        .collect();
+    Ok((out_schema, Batch::from_columns(columns)?))
+}
+
+/// Key column view used by the joins: precomputes dictionary keys so
+/// hashing a dictionary column touches only codes.
+fn keys_of(col: &Column) -> Vec<Option<Key<'_>>> {
+    match col.data() {
+        ColumnData::Str { dict, codes } => {
+            let per_code: Vec<Key<'_>> = dict.iter().map(|s| Key::Str(s.as_str())).collect();
+            codes
+                .iter()
+                .enumerate()
+                .map(|(row, &c)| {
+                    if col.is_valid(row) {
+                        Some(per_code[c as usize])
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        }
+        ColumnData::Long(data) => data
+            .iter()
+            .enumerate()
+            .map(|(row, &n)| {
+                if col.is_valid(row) {
+                    Some(Key::num(n as f64))
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        ColumnData::Double(data) => data
+            .iter()
+            .enumerate()
+            .map(|(row, &d)| {
+                if col.is_valid(row) {
+                    Some(Key::num(d))
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        _ => (0..col.len()).map(|row| col.key_at(row)).collect(),
+    }
+}
+
+/// Hash equi-join emitting row-id pairs, then gathering (vectorized
+/// `exec::hash_join`). Output rows appear in the same order as the row
+/// path: probe order outer, build insertion order inner.
+pub fn hash_join(
+    left_schema: &Schema,
+    left: &Batch,
+    right_schema: &Schema,
+    right: &Batch,
+    pred: &JoinPredicate,
+) -> Result<Batch> {
+    if pred.op != CompareOp::Eq {
+        return Err(DiscoError::Exec(format!(
+            "hash join requires an equality predicate, got `{}`",
+            pred.op
+        )));
+    }
+    let li = left_schema
+        .index_of(&pred.left_attr)
+        .ok_or_else(|| DiscoError::Exec(format!("unknown join attribute `{}`", pred.left_attr)))?;
+    let ri = right_schema
+        .index_of(&pred.right_attr)
+        .ok_or_else(|| DiscoError::Exec(format!("unknown join attribute `{}`", pred.right_attr)))?;
+    let rkeys = keys_of(right.column(ri));
+    let mut table: HashMap<Key<'_>, Vec<u32>> = HashMap::new();
+    for (row, k) in rkeys.iter().enumerate() {
+        if let Some(k) = k {
+            table.entry(*k).or_default().push(row as u32);
+        }
+    }
+    let lkeys = keys_of(left.column(li));
+    let mut lids: Vec<u32> = Vec::new();
+    let mut rids: Vec<u32> = Vec::new();
+    for (row, k) in lkeys.iter().enumerate() {
+        let Some(k) = k else { continue };
+        if let Some(matches) = table.get(k) {
+            for &r in matches {
+                lids.push(row as u32);
+                rids.push(r);
+            }
+        }
+    }
+    left.take(&lids).hstack(&right.take(&rids))
+}
+
+/// Nested-loop join for arbitrary comparison predicates (vectorized
+/// `exec::nested_loop_join`).
+pub fn nested_loop_join(
+    left_schema: &Schema,
+    left: &Batch,
+    right_schema: &Schema,
+    right: &Batch,
+    pred: &JoinPredicate,
+) -> Result<Batch> {
+    let li = left_schema
+        .index_of(&pred.left_attr)
+        .ok_or_else(|| DiscoError::Exec(format!("unknown join attribute `{}`", pred.left_attr)))?;
+    let ri = right_schema
+        .index_of(&pred.right_attr)
+        .ok_or_else(|| DiscoError::Exec(format!("unknown join attribute `{}`", pred.right_attr)))?;
+    let (lcol, rcol) = (left.column(li), right.column(ri));
+    let mut lids: Vec<u32> = Vec::new();
+    let mut rids: Vec<u32> = Vec::new();
+    for l in 0..left.len() {
+        let lv = lcol.value_ref(l);
+        for r in 0..right.len() {
+            if cmp_ref(pred.op, lv, rcol.value_ref(r)) {
+                lids.push(l as u32);
+                rids.push(r as u32);
+            }
+        }
+    }
+    left.take(&lids).hstack(&right.take(&rids))
+}
+
+/// Duplicate elimination, first occurrence wins (vectorized
+/// `exec::dedup`).
+pub fn dedup(batch: &Batch) -> Batch {
+    let per_col: Vec<Vec<Option<Key<'_>>>> = batch.columns().iter().map(|c| keys_of(c)).collect();
+    let mut seen: HashMap<Vec<Option<Key<'_>>>, ()> = HashMap::new();
+    let mut sel: Vec<u32> = Vec::new();
+    for row in 0..batch.len() {
+        let key: Vec<Option<Key<'_>>> = per_col.iter().map(|c| c[row]).collect();
+        if seen.insert(key, ()).is_none() {
+            sel.push(row as u32);
+        }
+    }
+    batch.take(&sel)
+}
+
+/// Stable multi-key sort via a row-id permutation (vectorized
+/// `exec::sort`).
+pub fn sort(schema: &Schema, batch: &Batch, keys: &[(String, bool)]) -> Result<Batch> {
+    let resolved: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|(k, asc)| {
+            schema
+                .index_of(k)
+                .map(|i| (i, *asc))
+                .ok_or_else(|| DiscoError::Exec(format!("unknown sort key `{k}`")))
+        })
+        .collect::<Result<_>>()?;
+    let mut sel: Vec<u32> = (0..batch.len() as u32).collect();
+    sel.sort_by(|&a, &b| {
+        for (i, asc) in &resolved {
+            let col = batch.column(*i);
+            let ord = col
+                .value_ref(a as usize)
+                .total_cmp_ref(col.value_ref(b as usize));
+            let ord = if *asc { ord } else { ord.reverse() };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(batch.take(&sel))
+}
+
+/// Group and aggregate (vectorized `exec::aggregate`): group keys
+/// first, then aggregates, groups in first-appearance order.
+pub fn aggregate(
+    schema: &Schema,
+    batch: &Batch,
+    group_by: &[String],
+    aggs: &[AggExpr],
+) -> Result<Batch> {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| {
+            schema
+                .index_of(g)
+                .ok_or_else(|| DiscoError::Exec(format!("unknown group-by attribute `{g}`")))
+        })
+        .collect::<Result<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.arg {
+            Some(arg) => schema
+                .index_of(arg)
+                .map(Some)
+                .ok_or_else(|| DiscoError::Exec(format!("unknown aggregate argument `{arg}`"))),
+            None => Ok(None),
+        })
+        .collect::<Result<_>>()?;
+
+    // Same accumulator as the row path, fed from borrowed cell views.
+    #[derive(Clone)]
+    struct Acc {
+        count: u64,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+        non_null: u64,
+    }
+    impl Acc {
+        fn new() -> Self {
+            Acc {
+                count: 0,
+                sum: 0.0,
+                min: None,
+                max: None,
+                non_null: 0,
+            }
+        }
+        fn feed(&mut self, v: ValueRef<'_>) {
+            self.count += 1;
+            if v.is_null() {
+                return;
+            }
+            self.non_null += 1;
+            if let Some(f) = v.as_f64() {
+                self.sum += f;
+            }
+            let better_min = self
+                .min
+                .as_ref()
+                .map(|m| v.total_cmp_ref(ValueRef::from_value(m)).is_lt())
+                .unwrap_or(true);
+            if better_min {
+                self.min = Some(v.to_value());
+            }
+            let better_max = self
+                .max
+                .as_ref()
+                .map(|m| v.total_cmp_ref(ValueRef::from_value(m)).is_gt())
+                .unwrap_or(true);
+            if better_max {
+                self.max = Some(v.to_value());
+            }
+        }
+    }
+
+    let group_keys: Vec<Vec<Option<Key<'_>>>> = group_idx
+        .iter()
+        .map(|&i| keys_of(batch.column(i)))
+        .collect();
+    let mut groups: HashMap<Vec<Option<Key<'_>>>, usize> = HashMap::new();
+    // Per group: representative key row id + accumulators.
+    let mut reps: Vec<u32> = Vec::new();
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+    for row in 0..batch.len() {
+        let key: Vec<Option<Key<'_>>> = group_keys.iter().map(|c| c[row]).collect();
+        let gid = *groups.entry(key).or_insert_with(|| {
+            reps.push(row as u32);
+            accs.push(vec![Acc::new(); aggs.len()]);
+            accs.len() - 1
+        });
+        for (acc, idx) in accs[gid].iter_mut().zip(&agg_idx) {
+            if let Some(i) = idx {
+                acc.feed(batch.value_ref(row, *i));
+            } else {
+                acc.count += 1;
+            }
+        }
+    }
+    let arity = group_by.len() + aggs.len();
+    if reps.is_empty() && group_by.is_empty() {
+        // A global aggregate over an empty input still yields one row.
+        let mut builders: Vec<ColumnBuilder> = (0..arity).map(|_| ColumnBuilder::new()).collect();
+        for (a, b) in aggs.iter().zip(builders.iter_mut()) {
+            match a.func {
+                AggFunc::Count => b.push_long(0),
+                _ => b.push_null(),
+            }
+        }
+        return Batch::from_columns(builders.into_iter().map(|b| Arc::new(b.finish())).collect());
+    }
+    let mut builders: Vec<ColumnBuilder> = (0..arity).map(|_| ColumnBuilder::new()).collect();
+    for (gid, &rep) in reps.iter().enumerate() {
+        for (pos, &i) in group_idx.iter().enumerate() {
+            builders[pos].push_ref(batch.value_ref(rep as usize, i));
+        }
+        for ((acc, a), b) in accs[gid]
+            .iter()
+            .zip(aggs)
+            .zip(builders[group_by.len()..].iter_mut())
+        {
+            match a.func {
+                AggFunc::Count => b.push_long(match a.arg {
+                    Some(_) => acc.non_null as i64,
+                    None => acc.count as i64,
+                }),
+                AggFunc::Sum => {
+                    if acc.non_null == 0 {
+                        b.push_null()
+                    } else {
+                        b.push_double(acc.sum)
+                    }
+                }
+                AggFunc::Avg => {
+                    if acc.non_null == 0 {
+                        b.push_null()
+                    } else {
+                        b.push_double(acc.sum / acc.non_null as f64)
+                    }
+                }
+                AggFunc::Min => match &acc.min {
+                    Some(v) => b.push_ref(ValueRef::from_value(v)),
+                    None => b.push_null(),
+                },
+                AggFunc::Max => match &acc.max {
+                    Some(v) => b.push_ref(ValueRef::from_value(v)),
+                    None => b.push_null(),
+                },
+            }
+        }
+    }
+    Batch::from_columns(builders.into_iter().map(|b| Arc::new(b.finish())).collect())
+}
+
+/// Union (row-wise concatenation); errors on arity mismatch.
+pub fn union(left: &Batch, right: &Batch) -> Result<Batch> {
+    Batch::concat(&[left, right])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec;
+    use disco_algebra::SelectPredicate;
+    use disco_common::{AttributeDef, DataType, Tuple};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("grp", DataType::Long),
+            AttributeDef::new("name", DataType::Str),
+        ])
+    }
+
+    fn rows() -> Vec<Tuple> {
+        (0..10)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Long(i),
+                    Value::Long(i % 3),
+                    Value::Str(format!("n{}", i % 2)),
+                ])
+            })
+            .collect()
+    }
+
+    fn batch() -> Batch {
+        Batch::from_tuples(3, &rows())
+    }
+
+    #[test]
+    fn filter_matches_row_path() {
+        let p = Predicate::all(vec![
+            SelectPredicate::new("grp", CompareOp::Eq, Value::Long(1)),
+            SelectPredicate::new("id", CompareOp::Ge, Value::Long(4)),
+        ]);
+        let row = exec::filter(&schema(), &rows(), &p).unwrap();
+        let col = filter(&schema(), &batch(), &p).unwrap();
+        assert_eq!(col.to_tuples(), row);
+    }
+
+    #[test]
+    fn filter_string_and_unknown_attr() {
+        let p = Predicate::single(SelectPredicate::new(
+            "name",
+            CompareOp::Eq,
+            Value::Str("n1".into()),
+        ));
+        let row = exec::filter(&schema(), &rows(), &p).unwrap();
+        let col = filter(&schema(), &batch(), &p).unwrap();
+        assert_eq!(col.to_tuples(), row);
+        let bad = Predicate::single(SelectPredicate::new("zzz", CompareOp::Eq, Value::Long(1)));
+        assert!(filter(&schema(), &batch(), &bad).is_err());
+    }
+
+    #[test]
+    fn project_attrs_are_reslices() {
+        let cols = vec![
+            ("name".to_string(), ScalarExpr::attr("name")),
+            ("id".to_string(), ScalarExpr::attr("id")),
+        ];
+        let (rs, row) = exec::project(&schema(), &rows(), &cols).unwrap();
+        let (cs, col) = project(&schema(), &batch(), &cols).unwrap();
+        assert_eq!(rs, cs);
+        assert_eq!(col.to_tuples(), row);
+        // Attribute projection shares storage with the input batch.
+        assert!(Arc::ptr_eq(col.column(1), batch().column(0)) || col.column(1).len() == 10);
+    }
+
+    #[test]
+    fn project_binary_matches_row_path() {
+        let cols = vec![(
+            "id2".to_string(),
+            ScalarExpr::Binary {
+                op: disco_algebra::expr::ArithOp::Mul,
+                left: Box::new(ScalarExpr::attr("id")),
+                right: Box::new(ScalarExpr::constant(2i64)),
+            },
+        )];
+        let (_, row) = exec::project(&schema(), &rows(), &cols).unwrap();
+        let (_, col) = project(&schema(), &batch(), &cols).unwrap();
+        assert_eq!(col.to_tuples(), row);
+    }
+
+    #[test]
+    fn hash_join_matches_row_path_in_order() {
+        let pred = JoinPredicate::equi("grp", "grp");
+        let row = exec::hash_join(&schema(), &rows(), &schema(), &rows(), &pred).unwrap();
+        let col = hash_join(&schema(), &batch(), &schema(), &batch(), &pred).unwrap();
+        assert_eq!(col.to_tuples(), row);
+        assert_eq!(col.len(), 34);
+    }
+
+    #[test]
+    fn hash_join_rejects_non_equi_and_nulls_never_join() {
+        let pred = JoinPredicate {
+            left_attr: "id".into(),
+            op: CompareOp::Lt,
+            right_attr: "id".into(),
+        };
+        assert!(hash_join(&schema(), &batch(), &schema(), &batch(), &pred).is_err());
+        let s = Schema::new(vec![AttributeDef::new("k", DataType::Long)]);
+        let b = Batch::from_tuples(
+            1,
+            &[
+                Tuple::new(vec![Value::Null]),
+                Tuple::new(vec![Value::Long(1)]),
+            ],
+        );
+        let out = hash_join(&s, &b, &s, &b, &JoinPredicate::equi("k", "k")).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn numeric_keys_join_across_types() {
+        let s = Schema::new(vec![AttributeDef::new("k", DataType::Long)]);
+        let l = Batch::from_tuples(1, &[Tuple::new(vec![Value::Long(2)])]);
+        let r = Batch::from_tuples(1, &[Tuple::new(vec![Value::Double(2.0)])]);
+        let out = hash_join(&s, &l, &s, &r, &JoinPredicate::equi("k", "k")).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_matches_row_path() {
+        let pred = JoinPredicate {
+            left_attr: "id".into(),
+            op: CompareOp::Lt,
+            right_attr: "id".into(),
+        };
+        let row = exec::nested_loop_join(&schema(), &rows(), &schema(), &rows(), &pred).unwrap();
+        let col = nested_loop_join(&schema(), &batch(), &schema(), &batch(), &pred).unwrap();
+        assert_eq!(col.to_tuples(), row);
+    }
+
+    #[test]
+    fn dedup_matches_row_path() {
+        let tuples = vec![
+            Tuple::new(vec![Value::Long(1)]),
+            Tuple::new(vec![Value::Long(2)]),
+            Tuple::new(vec![Value::Long(1)]),
+            Tuple::new(vec![Value::Double(1.0)]),
+        ];
+        let row = exec::dedup(&tuples);
+        let col = dedup(&Batch::from_tuples(1, &tuples));
+        assert_eq!(col.to_tuples(), row);
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn sort_matches_row_path() {
+        let keys = [("grp".to_string(), true), ("id".to_string(), false)];
+        let mut row = rows();
+        exec::sort(&schema(), &mut row, &keys).unwrap();
+        let col = sort(&schema(), &batch(), &keys).unwrap();
+        assert_eq!(col.to_tuples(), row);
+        assert!(sort(&schema(), &batch(), &[("zzz".into(), true)]).is_err());
+    }
+
+    #[test]
+    fn aggregate_matches_row_path() {
+        let aggs = vec![
+            AggExpr {
+                name: "n".into(),
+                func: AggFunc::Count,
+                arg: None,
+            },
+            AggExpr {
+                name: "total".into(),
+                func: AggFunc::Sum,
+                arg: Some("id".into()),
+            },
+            AggExpr {
+                name: "lo".into(),
+                func: AggFunc::Min,
+                arg: Some("id".into()),
+            },
+            AggExpr {
+                name: "hi".into(),
+                func: AggFunc::Max,
+                arg: Some("id".into()),
+            },
+        ];
+        let row = exec::aggregate(&schema(), &rows(), &["grp".to_string()], &aggs).unwrap();
+        let col = aggregate(&schema(), &batch(), &["grp".to_string()], &aggs).unwrap();
+        assert_eq!(col.to_tuples(), row);
+    }
+
+    #[test]
+    fn aggregate_global_empty_matches_row_path() {
+        let aggs = vec![
+            AggExpr {
+                name: "n".into(),
+                func: AggFunc::Count,
+                arg: None,
+            },
+            AggExpr {
+                name: "avg".into(),
+                func: AggFunc::Avg,
+                arg: Some("id".into()),
+            },
+        ];
+        let empty = Batch::empty(3);
+        let row = exec::aggregate(&schema(), &[], &[], &aggs).unwrap();
+        let col = aggregate(&schema(), &empty, &[], &aggs).unwrap();
+        assert_eq!(col.to_tuples(), row);
+        // Grouped empty: no rows.
+        let col = aggregate(&schema(), &empty, &["grp".to_string()], &aggs).unwrap();
+        assert!(col.is_empty());
+    }
+
+    #[test]
+    fn union_matches_extend() {
+        let u = union(&batch(), &batch()).unwrap();
+        let mut expect = rows();
+        expect.extend(rows());
+        assert_eq!(u.to_tuples(), expect);
+        assert!(union(&batch(), &Batch::empty(2)).is_err());
+    }
+}

@@ -15,11 +15,11 @@ use std::time::{Duration, Instant};
 use disco_algebra::LogicalPlan;
 use disco_common::wire::{WireDecode, WireEncode, WireWriter};
 use disco_common::{DiscoError, Result};
-use disco_sources::SubAnswer;
+use disco_sources::{BatchAnswer, SubAnswer};
 use disco_wrapper::Registration;
 
 use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
-use crate::wire::{encode_plan, Request, Response};
+use crate::wire::{decode_answer_batch, encode_plan, Request, Response};
 use crate::Transport;
 
 /// Retry tuning for one submit.
@@ -61,6 +61,34 @@ pub struct SubmitOutcome {
     pub request_bytes: usize,
     /// Reply size on the wire.
     pub response_bytes: usize,
+}
+
+/// [`SubmitOutcome`] with the answer decoded straight into columns —
+/// what the mediator's vectorized combine phase fetches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSubmitOutcome {
+    /// The decoded columnar subanswer.
+    pub answer: BatchAnswer,
+    /// Simulated communication time of the *successful* attempt.
+    pub comm_ms: f64,
+    /// Measured wall-clock time of the whole submit, retries included.
+    pub wall_ms: f64,
+    /// Attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+    /// Request size on the wire.
+    pub request_bytes: usize,
+    /// Reply size on the wire.
+    pub response_bytes: usize,
+}
+
+/// A successful delivery, generic over the decoded answer shape.
+struct Delivered<A> {
+    answer: A,
+    comm_ms: f64,
+    wall_ms: f64,
+    attempts: u32,
+    request_bytes: usize,
+    response_bytes: usize,
 }
 
 /// Reliability-aware client over any [`Transport`].
@@ -127,6 +155,46 @@ impl TransportClient {
 
     /// Submit a subplan with deadlines, retries and circuit breaking.
     pub fn submit(&self, endpoint: &str, plan: &LogicalPlan) -> Result<SubmitOutcome> {
+        self.submit_with(endpoint, plan, |payload| {
+            match Response::from_wire_bytes(payload)?.into_result()? {
+                Response::Answer(answer) => Ok(answer),
+                other => Err(DiscoError::Exec(format!(
+                    "endpoint `{endpoint}` answered submit with {other:?}"
+                ))),
+            }
+        })
+        .map(|d| SubmitOutcome {
+            answer: d.answer,
+            comm_ms: d.comm_ms,
+            wall_ms: d.wall_ms,
+            attempts: d.attempts,
+            request_bytes: d.request_bytes,
+            response_bytes: d.response_bytes,
+        })
+    }
+
+    /// Like [`submit`](Self::submit), but the reply payload is decoded
+    /// straight into columns — same deadlines, retries and breaker.
+    pub fn submit_batch(&self, endpoint: &str, plan: &LogicalPlan) -> Result<BatchSubmitOutcome> {
+        self.submit_with(endpoint, plan, decode_answer_batch)
+            .map(|d| BatchSubmitOutcome {
+                answer: d.answer,
+                comm_ms: d.comm_ms,
+                wall_ms: d.wall_ms,
+                attempts: d.attempts,
+                request_bytes: d.request_bytes,
+                response_bytes: d.response_bytes,
+            })
+    }
+
+    /// The shared submit loop, generic over how the successful reply
+    /// payload is decoded.
+    fn submit_with<A>(
+        &self,
+        endpoint: &str,
+        plan: &LogicalPlan,
+        decode: impl Fn(&[u8]) -> Result<A>,
+    ) -> Result<Delivered<A>> {
         let started = Instant::now();
         let mut w = WireWriter::new();
         Request::Submit(plan.clone()).encode(&mut w);
@@ -156,20 +224,14 @@ impl TransportClient {
                     Duration::from_millis(self.retry.deadline_ms),
                 )
                 .and_then(|env| {
-                    let response = Response::from_wire_bytes(&env.payload)?.into_result()?;
-                    match response {
-                        Response::Answer(answer) => Ok(SubmitOutcome {
-                            answer,
-                            comm_ms: env.comm_ms,
-                            wall_ms: started.elapsed().as_secs_f64() * 1e3,
-                            attempts: attempt,
-                            request_bytes: env.request_bytes,
-                            response_bytes: env.response_bytes,
-                        }),
-                        other => Err(DiscoError::Exec(format!(
-                            "endpoint `{endpoint}` answered submit with {other:?}"
-                        ))),
-                    }
+                    decode(&env.payload).map(|answer| Delivered {
+                        answer,
+                        comm_ms: env.comm_ms,
+                        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                        attempts: attempt,
+                        request_bytes: env.request_bytes,
+                        response_bytes: env.response_bytes,
+                    })
                 });
             match result {
                 Ok(outcome) => {

@@ -37,10 +37,10 @@ use disco_common::Result;
 
 pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use channel::ChannelTransport;
-pub use client::{RetryPolicy, SubmitOutcome, TransportClient};
+pub use client::{BatchSubmitOutcome, RetryPolicy, SubmitOutcome, TransportClient};
 pub use fault::{FaultKind, FaultPlan};
 pub use netsim::NetProfile;
-pub use wire::{Request, Response};
+pub use wire::{decode_answer_batch, Request, Response};
 
 /// One delivered reply, with transfer accounting.
 #[derive(Debug, Clone, PartialEq)]

@@ -27,7 +27,7 @@ use disco_costlang::bytecode::{
     AttrSpec, ChildRef, CollSpec, CompiledBody, Instr, PathSpec, Program,
 };
 use disco_costlang::{CompiledDocument, CompiledRule};
-use disco_sources::SubAnswer;
+use disco_sources::{BatchAnswer, SubAnswer};
 use disco_wrapper::Registration;
 
 /// A request delivered to a wrapper endpoint.
@@ -1091,6 +1091,31 @@ impl WireDecode for Response {
             },
             t => return Err(bad_tag("Response", t)),
         })
+    }
+}
+
+/// Decode a submit reply straight into a columnar [`BatchAnswer`],
+/// bypassing [`Response`]'s row materialization: the payload bytes go
+/// from the receive buffer into column vectors without ever building a
+/// `Tuple`. Error replies surface as the [`DiscoError`] they carry,
+/// exactly like `Response::into_result`.
+pub fn decode_answer_batch(payload: &[u8]) -> Result<BatchAnswer> {
+    let mut r = WireReader::new(payload);
+    match r.get_u8()? {
+        1 => {
+            let answer = BatchAnswer::decode(&mut r)?;
+            r.expect_end()?;
+            Ok(answer)
+        }
+        2 => {
+            let kind = r.get_str()?;
+            let message = r.get_str()?;
+            Err(DiscoError::from_kind(&kind, message))
+        }
+        0 => Err(DiscoError::Exec(
+            "endpoint answered submit with a registration payload".into(),
+        )),
+        t => Err(bad_tag("Response", t)),
     }
 }
 
