@@ -47,6 +47,13 @@ const JOIN_TARGET_SPEEDUP: f64 = 3.0;
 
 const UNION_PARTS: usize = 8;
 
+/// Observability overhead guard: the per-batch metrics instrumentation
+/// in `vexec` must cost less than this fraction of the three-way join's
+/// wall clock at `OVERHEAD_ROWS`.
+const OVERHEAD_ROWS: usize = 100_000;
+const OVERHEAD_LIMIT: f64 = 0.05;
+const OVERHEAD_REPS: usize = 7;
+
 fn answer_bytes(schema: &Schema, tuples: Vec<Tuple>) -> Vec<u8> {
     SubAnswer {
         schema: schema.clone(),
@@ -259,6 +266,29 @@ fn measure(n: usize, mut f: impl FnMut() -> Vec<Tuple>) -> (f64, Vec<Tuple>) {
     (best, out)
 }
 
+/// Best-of-`reps` wall time (ms).
+fn best_of(reps: usize, mut f: impl FnMut() -> Vec<Tuple>) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out);
+    }
+    best
+}
+
+/// Measure the three-way batch join with the metrics registry disabled
+/// and enabled; returns (off_ms, on_ms).
+fn instrumentation_overhead() -> (f64, f64) {
+    let inputs = join_inputs(OVERHEAD_ROWS);
+    disco_obs::set_enabled(false);
+    let off_ms = best_of(OVERHEAD_REPS, || join_batches(&inputs));
+    disco_obs::set_enabled(true);
+    let on_ms = best_of(OVERHEAD_REPS, || join_batches(&inputs));
+    (off_ms, on_ms)
+}
+
 fn main() {
     println!("E13 — combine-phase scaling: vectorized batches vs row-at-a-time\n");
     let mut t = Table::new(&[
@@ -337,12 +367,31 @@ fn main() {
         "join speedup at {JOIN_TARGET_ROWS} rows fell below the target: {target:.2}x"
     );
 
+    let (off_ms, on_ms) = instrumentation_overhead();
+    let overhead = on_ms / off_ms.max(1e-9) - 1.0;
+    println!(
+        "instrumentation overhead on join3 at {OVERHEAD_ROWS} rows: \
+         off={off_ms:.2}ms on={on_ms:.2}ms ({:+.1}%, limit {:.0}%)",
+        overhead * 100.0,
+        OVERHEAD_LIMIT * 100.0
+    );
+    assert!(
+        overhead < OVERHEAD_LIMIT,
+        "metrics instrumentation slowed the join by {:.1}% (limit {:.0}%)",
+        overhead * 100.0,
+        OVERHEAD_LIMIT * 100.0
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"executor_scaling\",\n  \
          \"workloads\": [\"union\", \"join3\"],\n  \
          \"rows\": [1000, 1000000],\n  \
          \"join_speedup_at_100k\": {target:.3},\n  \
          \"join_speedup_target\": {JOIN_TARGET_SPEEDUP},\n  \
+         \"instrumentation_off_ms\": {off_ms:.3},\n  \
+         \"instrumentation_on_ms\": {on_ms:.3},\n  \
+         \"instrumentation_overhead\": {overhead:.4},\n  \
+         \"instrumentation_overhead_limit\": {OVERHEAD_LIMIT},\n  \
          \"measurements\": [{json_rows}\n  ]\n}}\n"
     );
     std::fs::write("BENCH_executor.json", &json).expect("write BENCH_executor.json");

@@ -41,6 +41,8 @@ pub struct EstimatorCache {
     rules: Mutex<HashMap<String, Vec<(usize, Bindings)>>>,
     cost_hits: AtomicUsize,
     rule_hits: AtomicUsize,
+    cost_lookups: AtomicUsize,
+    rule_lookups: AtomicUsize,
 }
 
 impl EstimatorCache {
@@ -59,12 +61,46 @@ impl EstimatorCache {
         self.rule_hits.load(Ordering::Relaxed)
     }
 
+    /// Subplan cost memo lookups so far (hits + misses).
+    pub fn cost_lookups(&self) -> usize {
+        self.cost_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Rule-resolution cache lookups so far (hits + misses).
+    pub fn rule_lookups(&self) -> usize {
+        self.rule_lookups.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct subtrees memoized.
     pub fn cost_entries(&self) -> usize {
         self.cost.lock().expect("cache poisoned").len()
     }
 
+    /// Fold this run's lookup/hit totals into the global metrics
+    /// registry ([`disco_obs::names::CACHE_LOOKUPS`] / `CACHE_HITS`
+    /// counters, `CACHE_HIT_RATIO` gauges, labelled `cache="cost"` and
+    /// `cache="rules"`). Call once, when the optimization run owning the
+    /// cache finishes — the counters are cumulative across runs, the
+    /// gauges show the latest run.
+    pub fn publish_metrics(&self) {
+        if !disco_obs::enabled() {
+            return;
+        }
+        use disco_obs::names;
+        let publish = |kind: &str, lookups: usize, hits: usize| {
+            let labels = [("cache", kind)];
+            disco_obs::counter(names::CACHE_LOOKUPS, &labels).add(lookups as u64);
+            disco_obs::counter(names::CACHE_HITS, &labels).add(hits as u64);
+            if lookups > 0 {
+                disco_obs::gauge(names::CACHE_HIT_RATIO, &labels).set(hits as f64 / lookups as f64);
+            }
+        };
+        publish("cost", self.cost_lookups(), self.cost_hits());
+        publish("rules", self.rule_lookups(), self.rule_hits());
+    }
+
     pub(crate) fn cost_get(&self, key: &str) -> Option<NodeCost> {
+        self.cost_lookups.fetch_add(1, Ordering::Relaxed);
         let got = self.cost.lock().expect("cache poisoned").get(key).copied();
         if got.is_some() {
             self.cost_hits.fetch_add(1, Ordering::Relaxed);
@@ -77,6 +113,7 @@ impl EstimatorCache {
     }
 
     pub(crate) fn rules_get(&self, key: &str) -> Option<Vec<(usize, Bindings)>> {
+        self.rule_lookups.fetch_add(1, Ordering::Relaxed);
         let got = self.rules.lock().expect("cache poisoned").get(key).cloned();
         if got.is_some() {
             self.rule_hits.fetch_add(1, Ordering::Relaxed);

@@ -387,6 +387,21 @@ impl<'a> Run<'a> {
             partial.set(var, v);
         }
         let cost = partial.finish().expect("all variables computed");
+
+        // Explain mode reports the whole plan: visit the children the
+        // §4.2 cut-off skipped. Their costs are not folded into this
+        // node's (no winning rule reads them) — they are shown so the
+        // tree is complete for EXPLAIN / EXPLAIN ANALYZE.
+        if self.explain {
+            for (i, cp) in child_plans.iter().enumerate() {
+                if children_explain[i].is_none() {
+                    let (c, e) = self.node(cp, child_ctx.as_deref(), false)?;
+                    children[i] = Some(c);
+                    children_explain[i] = e;
+                }
+            }
+        }
+
         let explain_node = self.explain.then(|| ExplainNode {
             operator: describe_node(plan),
             cost,

@@ -13,6 +13,8 @@
 //!   instead of new formulas." [`fit_param`] solves for the parameter
 //!   value; [`ParamAdjuster`] smooths repeated observations.
 
+use std::collections::BTreeMap;
+
 use disco_algebra::{LogicalPlan, OperatorKind};
 use disco_common::{DiscoError, Result, Value};
 use disco_costlang::ast::{AttrTerm, CollTerm, HeadArg, PredRhs, RuleHead, Stmt};
@@ -25,6 +27,7 @@ use crate::registry::{Provenance, RuleRegistry};
 #[derive(Debug, Default)]
 pub struct HistoryRecorder {
     recorded: usize,
+    per_wrapper: BTreeMap<String, usize>,
 }
 
 impl HistoryRecorder {
@@ -36,6 +39,16 @@ impl HistoryRecorder {
     /// Number of rules recorded so far.
     pub fn recorded(&self) -> usize {
         self.recorded
+    }
+
+    /// Rules recorded for one wrapper.
+    pub fn recorded_for(&self, wrapper: &str) -> usize {
+        self.per_wrapper.get(wrapper).copied().unwrap_or(0)
+    }
+
+    /// Per-wrapper recording counts, sorted by wrapper name.
+    pub fn per_wrapper(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.per_wrapper.iter().map(|(w, n)| (w.as_str(), *n))
     }
 
     /// Record the measured cost of an executed wrapper subquery.
@@ -63,6 +76,10 @@ impl HistoryRecorder {
         };
         let id = registry.register_compiled(Provenance::Wrapper(wrapper.to_owned()), rule)?;
         self.recorded += 1;
+        *self.per_wrapper.entry(wrapper.to_owned()).or_default() += 1;
+        if disco_obs::enabled() {
+            disco_obs::counter(disco_obs::names::HISTORY_RECORDED, &[("wrapper", wrapper)]).inc();
+        }
         Ok(id)
     }
 }
@@ -296,6 +313,24 @@ mod tests {
         let join = emp().join(emp(), "salary", "salary").build();
         rec.record(&mut reg, "hr", &join, measured()).unwrap();
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn per_wrapper_counts_track_recordings() {
+        let mut reg = RuleRegistry::empty();
+        let mut rec = HistoryRecorder::new();
+        rec.record(&mut reg, "hr", &emp().build(), measured())
+            .unwrap();
+        let sel = emp().select("salary", CompareOp::Eq, 1i64).build();
+        rec.record(&mut reg, "hr", &sel, measured()).unwrap();
+        let join = emp().join(emp(), "salary", "salary").build();
+        rec.record(&mut reg, "files", &join, measured()).unwrap();
+        assert_eq!(rec.recorded(), 3);
+        assert_eq!(rec.recorded_for("hr"), 2);
+        assert_eq!(rec.recorded_for("files"), 1);
+        assert_eq!(rec.recorded_for("web"), 0);
+        let all: Vec<_> = rec.per_wrapper().collect();
+        assert_eq!(all, vec![("files", 1), ("hr", 2)]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use cache::EstimatorCache;
 pub use cost::NodeCost;
 pub use disco_costlang::CostVar;
 pub use estimator::{EstimateOptions, EstimateReport, Estimator};
-pub use explain::{Attribution, ExplainNode};
+pub use explain::{relative_error, AnalyzeNode, Attribution, ExplainNode, Measured, MeasuredNode};
 pub use historical::{fit_param, HistoryRecorder, ParamAdjuster};
 pub use params::Params;
 pub use pattern::{BindingValue, Bindings};

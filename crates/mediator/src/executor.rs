@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use disco_algebra::{LogicalPlan, PhysicalJoinAlgo, PhysicalPlan};
 use disco_common::{Batch, DiscoError, QualifiedName, Result, Schema, Tuple};
-use disco_core::{NodeCost, RuleRegistry};
+use disco_core::{MeasuredNode, NodeCost, RuleRegistry};
 use disco_sources::vexec;
 use disco_sources::{BatchAnswer, ExecStats, VirtualClock};
 use disco_transport::TransportClient;
@@ -74,8 +74,13 @@ pub struct ExecutionTrace {
     /// [`submit_wall_ms`](Self::submit_wall_ms) reflects real concurrency.
     pub concurrent: bool,
     /// Collections whose wrapper stayed down past the retry budget; their
-    /// tuples are absent from the result (partial answer).
+    /// tuples are absent from the result (partial answer). Sorted and
+    /// deduplicated, so degraded output is deterministic.
     pub missing: Vec<QualifiedName>,
+    /// Per-node measurements of the executed plan (rows produced and
+    /// cumulative simulated time), mirroring the plan tree — the measured
+    /// half of EXPLAIN ANALYZE.
+    pub measured: Option<MeasuredNode>,
 }
 
 impl ExecutionTrace {
@@ -234,8 +239,11 @@ impl<'a> Executor<'a> {
         // operators on columnar batches.
         let mut clock = VirtualClock::new();
         let mut fetched = fetched.into_iter();
-        let (schema, batch) = self.run(plan, &mut clock, &mut trace, &mut fetched)?;
+        let (schema, batch, measured) = self.run(plan, &mut clock, &mut trace, &mut fetched)?;
         trace.mediator_ms = clock.now();
+        trace.measured = Some(measured);
+        trace.missing.sort();
+        trace.missing.dedup();
         // The one place rows materialize: the final answer boundary.
         Ok((schema, batch.to_tuples(), trace))
     }
@@ -279,16 +287,43 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// The combine phase proper: columnar batches flow between
-    /// operators; virtual-clock charges use batch cardinalities with
-    /// the same per-tuple formulas as the row engine.
+    /// One combine-phase node: measures the simulated time of its whole
+    /// subtree (virtual-clock charges plus wrapper and communication
+    /// time — the same cumulative convention as `NodeCost::total_time`)
+    /// and records rows produced, building the measured half of
+    /// EXPLAIN ANALYZE as execution proceeds.
     fn run(
         &self,
         plan: &PhysicalPlan,
         clock: &mut VirtualClock,
         trace: &mut ExecutionTrace,
         fetched: &mut std::vec::IntoIter<Fetched>,
-    ) -> Result<(Schema, Batch)> {
+    ) -> Result<(Schema, Batch, MeasuredNode)> {
+        let before = clock.now() + trace.wrapper_ms + trace.communication_ms;
+        let (schema, batch, operator, failed, children) =
+            self.run_node(plan, clock, trace, fetched)?;
+        let elapsed_ms = clock.now() + trace.wrapper_ms + trace.communication_ms - before;
+        let node = MeasuredNode {
+            operator,
+            rows: batch.len() as u64,
+            elapsed_ms,
+            failed,
+            children,
+        };
+        Ok((schema, batch, node))
+    }
+
+    /// The combine phase proper: columnar batches flow between
+    /// operators; virtual-clock charges use batch cardinalities with
+    /// the same per-tuple formulas as the row engine.
+    #[allow(clippy::type_complexity)]
+    fn run_node(
+        &self,
+        plan: &PhysicalPlan,
+        clock: &mut VirtualClock,
+        trace: &mut ExecutionTrace,
+        fetched: &mut std::vec::IntoIter<Fetched>,
+    ) -> Result<(Schema, Batch, String, bool, Vec<MeasuredNode>)> {
         let cpu_pred = self.param("CpuPred", 0.05);
         let cpu_hash = self.param("CpuHash", 0.02);
         match plan {
@@ -297,6 +332,7 @@ impl<'a> Executor<'a> {
                 plan,
                 schema: expected_schema,
             } => {
+                let operator = format!("submit {wrapper}");
                 let next = fetched
                     .next()
                     .ok_or_else(|| DiscoError::Exec("submit site without a fetch".into()))?;
@@ -326,7 +362,7 @@ impl<'a> Executor<'a> {
                             attempts: f.attempts,
                             failed: false,
                         });
-                        Ok((f.answer.schema, f.answer.batch))
+                        Ok((f.answer.schema, f.answer.batch, operator, false, vec![]))
                     }
                     Err(e) if self.partial_answers && e.is_transient() => {
                         // The wrapper stayed down past the retry budget:
@@ -349,28 +385,32 @@ impl<'a> Executor<'a> {
                         Ok((
                             expected_schema.clone(),
                             Batch::empty(expected_schema.arity()),
+                            operator,
+                            true,
+                            vec![],
                         ))
                     }
                     Err(e) => Err(e),
                 }
             }
             PhysicalPlan::Filter { input, predicate } => {
-                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * predicate.conjuncts.len() as f64 * cpu_pred);
                 let out = vexec::filter(&schema, &batch, predicate)?;
-                Ok((schema, out))
+                Ok((schema, out, "filter".into(), false, vec![child]))
             }
             PhysicalPlan::Project { input, columns } => {
-                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * cpu_hash);
-                vexec::project(&schema, &batch, columns)
+                let (out_schema, out) = vexec::project(&schema, &batch, columns)?;
+                Ok((out_schema, out, "project".into(), false, vec![child]))
             }
             PhysicalPlan::Sort { input, keys } => {
-                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 let n = batch.len() as f64;
                 clock.charge(self.param("SortFactor", 0.02) * n * n.max(2.0).log2());
                 let out = vexec::sort(&schema, &batch, keys)?;
-                Ok((schema, out))
+                Ok((schema, out, "sort".into(), false, vec![child]))
             }
             PhysicalPlan::Join {
                 algo,
@@ -378,8 +418,8 @@ impl<'a> Executor<'a> {
                 right,
                 predicate,
             } => {
-                let (ls, lb) = self.run(left, clock, trace, fetched)?;
-                let (rs, rb) = self.run(right, clock, trace, fetched)?;
+                let (ls, lb, lc) = self.run(left, clock, trace, fetched)?;
+                let (rs, rb, rc) = self.run(right, clock, trace, fetched)?;
                 let out_schema = ls.join(&rs);
                 let out = match algo {
                     PhysicalJoinAlgo::Hash => {
@@ -402,32 +442,35 @@ impl<'a> Executor<'a> {
                         vexec::nested_loop_join(&ls, &lb, &rs, &rb, predicate)?
                     }
                 };
-                Ok((out_schema, out))
+                let operator = format!("join ({algo:?})").to_lowercase();
+                Ok((out_schema, out, operator, false, vec![lc, rc]))
             }
             PhysicalPlan::Union { left, right } => {
-                let (ls, lb) = self.run(left, clock, trace, fetched)?;
-                let (rs, rb) = self.run(right, clock, trace, fetched)?;
+                let (ls, lb, lc) = self.run(left, clock, trace, fetched)?;
+                let (rs, rb, rc) = self.run(right, clock, trace, fetched)?;
                 if ls.arity() != rs.arity() {
                     return Err(DiscoError::Exec("union arity mismatch".into()));
                 }
                 clock.charge(rb.len() as f64 * cpu_hash);
-                Ok((ls, vexec::union(&lb, &rb)?))
+                let out = vexec::union(&lb, &rb)?;
+                Ok((ls, out, "union".into(), false, vec![lc, rc]))
             }
             PhysicalPlan::Dedup { input } => {
-                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * cpu_hash);
-                Ok((schema, vexec::dedup(&batch)))
+                let out = vexec::dedup(&batch);
+                Ok((schema, out, "dedup".into(), false, vec![child]))
             }
             PhysicalPlan::Aggregate {
                 input,
                 group_by,
                 aggs,
             } => {
-                let (schema, batch) = self.run(input, clock, trace, fetched)?;
+                let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * cpu_hash);
                 let out = vexec::aggregate(&schema, &batch, group_by, aggs)?;
                 let out_schema = to_agg_schema(&schema, group_by, aggs)?;
-                Ok((out_schema, out))
+                Ok((out_schema, out, "aggregate".into(), false, vec![child]))
             }
         }
     }
@@ -683,6 +726,31 @@ mod tests {
         assert_eq!(tuples.len(), 1);
         assert_eq!(tuples[0].get(0).unwrap().as_i64(), Some(3));
         assert!(trace.mediator_ms > 0.0);
+    }
+
+    #[test]
+    fn measured_tree_mirrors_plan_and_accounts_all_time() {
+        let plan = PhysicalPlan::Join {
+            algo: PhysicalJoinAlgo::Hash,
+            left: Box::new(submit(10)),
+            right: Box::new(submit(20)),
+            predicate: JoinPredicate::equi("v", "v"),
+        };
+        let (_, tuples, trace) = run(&plan);
+        let root = trace.measured.as_ref().expect("measured tree recorded");
+        assert!(root.operator.starts_with("join"), "{}", root.operator);
+        assert_eq!(root.rows as usize, tuples.len());
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].operator, "submit s");
+        assert_eq!(root.children[0].rows, 10);
+        assert_eq!(root.children[1].rows, 20);
+        // Cumulative convention: the root's measured time is the whole
+        // query's sequential time, children are strictly within it.
+        assert!((root.elapsed_ms - trace.sequential_ms()).abs() < 1e-9);
+        for c in &root.children {
+            assert!(c.elapsed_ms > 0.0);
+            assert!(c.elapsed_ms < root.elapsed_ms);
+        }
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod sql;
 
 pub use analyze::{AnalyzedQuery, TableBinding};
 pub use executor::{ExecutionTrace, Executor, QueryResult, SubmitTrace};
-pub use mediator::{Mediator, MediatorOptions};
+pub use mediator::{AnalyzeReport, Mediator, MediatorOptions};
 pub use optimizer::{to_logical, JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
 pub use sql::{parse_query, parse_statement, Statement};

@@ -6,7 +6,7 @@ use disco_algebra::display::explain_physical;
 use disco_algebra::PhysicalPlan;
 use disco_catalog::Catalog;
 use disco_common::{DiscoError, Result};
-use disco_core::{Estimator, HistoryRecorder, NodeCost, RuleRegistry};
+use disco_core::{AnalyzeNode, Estimator, HistoryRecorder, NodeCost, RuleRegistry};
 use disco_transport::TransportClient;
 use disco_wrapper::{Registration, Wrapper};
 
@@ -64,6 +64,7 @@ pub struct Mediator {
     transport: Option<TransportClient>,
     history: HistoryRecorder,
     options: MediatorOptions,
+    tracer: Option<disco_obs::Tracer>,
 }
 
 impl Default for Mediator {
@@ -82,7 +83,20 @@ impl Mediator {
             transport: None,
             history: HistoryRecorder::new(),
             options: MediatorOptions::default(),
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer: subsequent `plan`/`query` calls record
+    /// per-phase spans (parse, analyze, optimize with enumeration
+    /// sub-phases, execute with per-wrapper submit and combine spans).
+    pub fn set_tracer(&mut self, tracer: disco_obs::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detach the tracer set with [`set_tracer`](Self::set_tracer).
+    pub fn clear_tracer(&mut self) -> Option<disco_obs::Tracer> {
+        self.tracer.take()
     }
 
     /// Set behaviour options.
@@ -191,23 +205,34 @@ impl Mediator {
     /// Optimize a statement (a query or a `UNION [ALL]` chain) without
     /// executing it.
     pub fn plan(&self, sql: &str) -> Result<OptimizedPlan> {
-        let stmt = crate::sql::parse_statement(sql)?;
+        let stmt = {
+            let _s = self.tracer.as_ref().map(|t| t.start("parse"));
+            crate::sql::parse_statement(sql)?
+        };
         let opts = OptimizerOptions {
             pruning: self.options.pruning,
             enumeration: self.options.enumeration,
             small_query_threshold: self.options.small_query_threshold,
             ..Default::default()
         };
-        let optimizer = Optimizer::new(&self.catalog, &self.registry, opts);
+        let mut optimizer = Optimizer::new(&self.catalog, &self.registry, opts);
+        if let Some(t) = &self.tracer {
+            optimizer = optimizer.with_tracer(t.clone());
+        }
 
         if stmt.branches.len() == 1 {
             let mut query = stmt.branches.into_iter().next().expect("one branch");
             query.order_by = stmt.order_by;
-            let analyzed = analyze(&query, &self.catalog)?;
+            let analyzed = {
+                let _s = self.tracer.as_ref().map(|t| t.start("analyze"));
+                analyze(&query, &self.catalog)?
+            };
+            let _s = self.tracer.as_ref().map(|t| t.start("optimize"));
             return optimizer.optimize(&analyzed);
         }
 
         // Union chain: optimize each branch, then combine.
+        let _union_span = self.tracer.as_ref().map(|t| t.start("optimize"));
         let mut branch_plans = Vec::with_capacity(stmt.branches.len());
         let mut first_outputs: Option<Vec<String>> = None;
         let mut considered = 0;
@@ -218,7 +243,10 @@ impl Mediator {
         let mut rule_cache_hits = 0;
         let mut fast_path = false;
         for query in &stmt.branches {
-            let analyzed = analyze(query, &self.catalog)?;
+            let analyzed = {
+                let _s = self.tracer.as_ref().map(|t| t.start("analyze"));
+                analyze(query, &self.catalog)?
+            };
             let outputs: Vec<String> = analyzed.output.iter().map(|(n, _)| n.clone()).collect();
             match &first_outputs {
                 None => first_outputs = Some(outputs),
@@ -318,6 +346,29 @@ impl Mediator {
         self.execute_plan(optimized)
     }
 
+    /// EXPLAIN ANALYZE: optimize, capture the full cost attribution of
+    /// the chosen plan, execute it instrumented, and zip predicted
+    /// against measured node-for-node. The predicted side is computed
+    /// *before* execution, so with history recording enabled the
+    /// query-scope rules a run leaves behind only show up in the next
+    /// run's report.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<AnalyzeReport> {
+        let optimized = self.plan(sql)?;
+        let logical = crate::optimizer::to_logical(&optimized.physical);
+        let predicted = self
+            .estimator()
+            .explain(&logical, &Default::default())?
+            .ok_or_else(|| DiscoError::Cost("estimation pruned unexpectedly".into()))?;
+        let result = self.execute_plan(optimized)?;
+        let measured = result
+            .trace
+            .measured
+            .as_ref()
+            .ok_or_else(|| DiscoError::Plan("executor produced no measured tree".into()))?;
+        let root = AnalyzeNode::zip(&predicted, measured);
+        Ok(AnalyzeReport { root, result })
+    }
+
     /// Execute a previously optimized plan.
     pub fn execute_plan(&mut self, optimized: OptimizedPlan) -> Result<QueryResult> {
         let executor = match &self.transport {
@@ -326,12 +377,44 @@ impl Mediator {
         }
         .with_parallel(self.options.parallel_submits)
         .with_partial_answers(self.options.partial_answers);
+        let span = self.tracer.as_ref().map(|t| t.start("execute"));
         let (schema, tuples, trace) = executor.execute(&optimized.physical)?;
         let measured_ms = if self.options.parallel_submits {
             trace.parallel_ms()
         } else {
             trace.sequential_ms()
         };
+        if let Some(t) = &self.tracer {
+            // Submits and the combine phase ran under the virtual clock
+            // (and, over a transport, on fetch workers): attach them
+            // post-hoc with their measured durations.
+            let at = t.elapsed_us();
+            for sub in &trace.submits {
+                t.record(
+                    &format!("submit:{}", sub.wrapper),
+                    at,
+                    (sub.wall_ms * 1000.0) as u64,
+                    vec![
+                        ("tuples".into(), sub.tuples.to_string()),
+                        ("attempts".into(), sub.attempts.to_string()),
+                        ("failed".into(), sub.failed.to_string()),
+                    ],
+                );
+            }
+            t.record(
+                "combine",
+                at,
+                (trace.mediator_ms * 1000.0) as u64,
+                vec![("rows".into(), tuples.len().to_string())],
+            );
+        }
+        if let Some(s) = span {
+            s.finish();
+        }
+        if disco_obs::enabled() {
+            disco_obs::counter(disco_obs::names::QUERIES, &[]).inc();
+            disco_obs::histogram(disco_obs::names::QUERY_MS, &[]).observe(measured_ms);
+        }
 
         if self.options.record_history {
             // Failed (substituted) submits measured nothing worth
@@ -372,6 +455,50 @@ impl Mediator {
     /// Names of all registered wrappers.
     pub fn wrapper_names(&self) -> Vec<&str> {
         self.wrappers.keys().map(String::as_str).collect()
+    }
+}
+
+/// The outcome of [`Mediator::explain_analyze`]: the executed query
+/// plus the zipped predicted-vs-measured plan tree.
+pub struct AnalyzeReport {
+    /// Root of the zipped tree.
+    pub root: AnalyzeNode,
+    /// The executed query's answer, estimate and trace.
+    pub result: QueryResult,
+}
+
+impl AnalyzeReport {
+    /// Render the per-node report plus a summary footer: end-to-end
+    /// predicted vs measured time, and any collections lost to downed
+    /// wrappers.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.root.render();
+        let predicted = self.result.estimated.total_time;
+        let measured = self.result.measured_ms;
+        let _ = write!(
+            out,
+            "total: predicted={predicted:.3}ms measured={measured:.3}ms error="
+        );
+        match disco_core::relative_error(predicted, measured) {
+            Some(e) => {
+                let _ = writeln!(out, "{:+.1}%", e * 100.0);
+            }
+            None => {
+                let _ = writeln!(out, "n/a");
+            }
+        }
+        if !self.result.trace.missing.is_empty() {
+            let names: Vec<String> = self
+                .result
+                .trace
+                .missing
+                .iter()
+                .map(|q| q.to_string())
+                .collect();
+            let _ = writeln!(out, "missing (wrapper unavailable): {}", names.join(", "));
+        }
+        out
     }
 }
 

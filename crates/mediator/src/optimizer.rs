@@ -128,6 +128,7 @@ pub struct Optimizer<'a> {
     catalog: &'a Catalog,
     registry: &'a RuleRegistry,
     options: OptimizerOptions,
+    tracer: Option<disco_obs::Tracer>,
 }
 
 /// Convert a physical plan to the logical form the estimator prices.
@@ -255,7 +256,15 @@ impl<'a> Optimizer<'a> {
             catalog,
             registry,
             options,
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer; `optimize` then records `access-plans` and
+    /// `join-enumeration` phase spans with work-counter events.
+    pub fn with_tracer(mut self, tracer: disco_obs::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Optimize an analyzed query into a physical plan.
@@ -281,6 +290,7 @@ impl<'a> Optimizer<'a> {
 
         // Phase 1: best access variant per table (independent — costed
         // in parallel).
+        let span = self.tracer.as_ref().map(|t| t.start("access-plans"));
         let access_results = parallel_map((0..q.tables.len()).collect::<Vec<_>>(), |t| {
             self.best_access(q, t, &estimator, cache)
         });
@@ -290,8 +300,28 @@ impl<'a> Optimizer<'a> {
             counters.merge(used);
             access.push(plan);
         }
+        if let Some(s) = span {
+            if let Some(t) = &self.tracer {
+                t.event("tables", n);
+            }
+            s.finish();
+        }
 
         // Phase 2: join order.
+        let strategy = if n == 1 {
+            "single-table"
+        } else if fast_path {
+            "fast-path"
+        } else {
+            match self.options.enumeration {
+                JoinEnumeration::Dp if n <= self.options.exhaustive_up_to.min(DP_MAX_TABLES) => {
+                    "dp"
+                }
+                JoinEnumeration::Permutation if n <= self.options.exhaustive_up_to => "permutation",
+                _ => "greedy",
+            }
+        };
+        let span = self.tracer.as_ref().map(|t| t.start("join-enumeration"));
         let (best_join, best_cost) = if n == 1 {
             let plan = access[0].plan.clone();
             let (cost, used) = self.cost_full(q, &plan, None, &estimator, cache)?;
@@ -314,6 +344,24 @@ impl<'a> Optimizer<'a> {
                 _ => self.greedy_order(q, &access, &estimator, cache, &mut counters)?,
             }
         };
+
+        if let Some(s) = span {
+            if let Some(t) = &self.tracer {
+                t.event("strategy", strategy);
+                t.event("plans_considered", counters.considered);
+                t.event("plans_pruned", counters.pruned);
+                t.event("estimator_nodes", counters.nodes);
+                t.event("estimator_rules", counters.rules);
+                t.event("memo_hits", cache.map_or(0, |c| c.cost_hits()));
+                t.event("rule_cache_hits", cache.map_or(0, |c| c.rule_hits()));
+            }
+            s.finish();
+        }
+        // Publish the run's cache counters (cumulative) and hit-rate
+        // gauges to the global registry.
+        if let Some(c) = cache {
+            c.publish_metrics();
+        }
 
         let physical = self.finish_plan(q, best_join)?;
         Ok(OptimizedPlan {

@@ -1,0 +1,324 @@
+//! EXPLAIN ANALYZE differential tests: the zipped predicted/measured
+//! tree must report exactly the cardinalities the executor produced, a
+//! cost scope for every node, and — on the fault path — the collections
+//! a downed wrapper failed to contribute.
+
+use disco_catalog::Capabilities;
+use disco_common::rng::{seeded, StdRng};
+use disco_common::{AttributeDef, DataType, QualifiedName, Schema, Value};
+use disco_mediator::{AnalyzeReport, Mediator, MediatorOptions};
+use disco_sources::{CollectionBuilder, CostProfile, FlatFile, PagedStore};
+use disco_transport::{
+    ChannelTransport, FaultKind, FaultPlan, NetProfile, RetryPolicy, TransportClient,
+};
+use disco_wrapper::SourceWrapper;
+
+/// Random federation: `n` collections spread over a full-capability
+/// object store and a scan-only relational store, a spanning tree of
+/// equi-joins, and occasional selections. Deterministic per seed, so
+/// two mediators built from the same seed hold identical data.
+fn random_case(seed: u64) -> (Mediator, String) {
+    let mut rng: StdRng = seeded(seed, "explain-analyze");
+    let n = rng.gen_range(2usize..=4);
+    let cards: Vec<i64> = (0..n).map(|_| rng.gen_range(8i64..60)).collect();
+
+    let mut attrs = vec![AttributeDef::new("id", DataType::Long)];
+    for k in 1..n {
+        attrs.push(AttributeDef::new(format!("f{k}"), DataType::Long));
+    }
+    let schema = Schema::new(attrs);
+
+    let mut alpha = PagedStore::new("alpha", CostProfile::object_store());
+    let mut beta = PagedStore::new("beta", CostProfile::relational());
+    for t in 0..n {
+        let rows: Vec<Vec<Value>> = (0..cards[t])
+            .map(|i| {
+                let mut row = vec![Value::Long(i)];
+                for &card in cards.iter().skip(1) {
+                    // Foreign keys always land inside that table's id domain.
+                    row.push(Value::Long((i * 7 + t as i64) % card));
+                }
+                row
+            })
+            .collect();
+        let builder = CollectionBuilder::new(schema.clone())
+            .rows(rows)
+            .object_size(48)
+            .index("id");
+        if rng.gen_range(0usize..2) == 0 {
+            alpha.add_collection(format!("T{t}"), builder).unwrap();
+        } else {
+            beta.add_collection(format!("T{t}"), builder).unwrap();
+        }
+    }
+
+    // Spanning tree: table i joins a parent among 0..i.
+    let mut conds = Vec::new();
+    for i in 1..n {
+        let parent = rng.gen_range(0usize..i);
+        conds.push(format!("t{parent}.f{i} = t{i}.id"));
+    }
+    for (t, &card) in cards.iter().enumerate() {
+        if rng.gen_range(0usize..3) == 0 {
+            let bound = rng.gen_range(1i64..card);
+            conds.push(format!("t{t}.id < {bound}"));
+        }
+    }
+    let from: Vec<String> = (0..n).map(|t| format!("T{t} t{t}")).collect();
+    let sql = format!(
+        "SELECT t0.id FROM {} WHERE {}",
+        from.join(", "),
+        conds.join(" AND ")
+    );
+
+    let mut m = Mediator::new();
+    m.register(Box::new(SourceWrapper::new("alpha", alpha)))
+        .unwrap();
+    m.register(Box::new(
+        SourceWrapper::new("beta", beta).with_capabilities(Capabilities::scan_only()),
+    ))
+    .unwrap();
+    (m, sql)
+}
+
+/// Multiset of executed submit nodes as (operator, rows), sorted.
+fn submit_rows(report: &AnalyzeReport) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = report
+        .root
+        .nodes()
+        .into_iter()
+        .filter(|nd| nd.operator.starts_with("submit -> "))
+        .filter_map(|nd| nd.measured.map(|m| (nd.operator.clone(), m.rows)))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn measured_cardinalities_match_executor_over_100_seeded_queries() {
+    for seed in 0..100u64 {
+        let (mut m, sql) = random_case(seed);
+        let report = m
+            .explain_analyze(&sql)
+            .unwrap_or_else(|e| panic!("seed {seed} ({sql}): {e}"));
+
+        // Root cardinality is exactly the answer size.
+        let root = report.root.measured.expect("root node executed");
+        assert_eq!(
+            root.rows as usize,
+            report.result.tuples.len(),
+            "seed {seed} ({sql})"
+        );
+        assert!(!root.failed);
+
+        // Every executed submit node reports exactly the tuple count the
+        // executor's own submit trace recorded (compared as multisets —
+        // a wrapper can be submitted to more than once).
+        let from_tree = submit_rows(&report);
+        let mut from_trace: Vec<(String, u64)> = report
+            .result
+            .trace
+            .submits
+            .iter()
+            .map(|s| (format!("submit -> {}", s.wrapper), s.tuples as u64))
+            .collect();
+        from_trace.sort();
+        assert_eq!(from_tree, from_trace, "seed {seed} ({sql})");
+
+        // An independent, uninstrumented run over identical data agrees
+        // on the answer cardinality.
+        let (mut m2, sql2) = random_case(seed);
+        assert_eq!(sql, sql2, "case generation must be deterministic");
+        let plain = m2.query(&sql2).unwrap();
+        assert_eq!(
+            plain.tuples.len(),
+            report.result.tuples.len(),
+            "seed {seed}"
+        );
+
+        // Every node of the report — executed or wrapper-side predicted
+        // only — carries a TotalTime scope attribution.
+        for nd in report.root.nodes() {
+            assert!(
+                nd.scope().is_some(),
+                "seed {seed}: node `{}` reports no scope",
+                nd.operator
+            );
+        }
+
+        // The rendering carries the predicted/measured/error lines for
+        // every node.
+        let text = report.render();
+        assert_eq!(
+            text.matches("predicted:").count(),
+            report.root.nodes().len(),
+            "seed {seed}:\n{text}"
+        );
+        assert!(text.contains("total: predicted="), "seed {seed}:\n{text}");
+    }
+}
+
+#[test]
+fn history_recording_shows_up_as_query_scope_on_the_second_run() {
+    // A pushdown-capable wrapper, so the recorded subquery is a
+    // selection with its constant bound — which derives query scope
+    // (a recorded bare scan would only reach collection scope).
+    let mut m = Mediator::new();
+    m.register(Box::new(SourceWrapper::new("hr", hr_store())))
+        .unwrap();
+    let mut m = m.with_options(MediatorOptions {
+        record_history: true,
+        ..Default::default()
+    });
+    let sql = "SELECT name FROM Employee WHERE id < 5";
+    let first = m.explain_analyze(sql).unwrap();
+    // First run predicts from synthetic statistics: no query scope yet.
+    assert!(first
+        .root
+        .nodes()
+        .iter()
+        .all(|nd| nd.scope() != Some(disco_core::Scope::Query)));
+    assert!(m.history_recorded() > 0);
+
+    // The recorded measurement now wins scope blending: the second
+    // report attributes the recorded selection to query scope, and the
+    // submit's predicted time collapses onto the measurement.
+    let second = m.explain_analyze(sql).unwrap();
+    let scopes: Vec<_> = second
+        .root
+        .nodes()
+        .iter()
+        .filter_map(|nd| nd.scope())
+        .collect();
+    assert!(
+        scopes.contains(&disco_core::Scope::Query),
+        "scopes after recording: {scopes:?}"
+    );
+    assert!(
+        second.render().contains("time=query"),
+        "{}",
+        second.render()
+    );
+    let err_first = first.root.time_error().unwrap().abs();
+    let err_second = second.root.time_error().unwrap().abs();
+    assert!(
+        err_second <= err_first,
+        "recording must not worsen the root time error ({err_first} -> {err_second})"
+    );
+}
+
+/// hr: Employee with an indexed id.
+fn hr_store() -> PagedStore {
+    let emp_schema = Schema::new(vec![
+        AttributeDef::new("id", DataType::Long),
+        AttributeDef::new("name", DataType::Str),
+    ]);
+    let mut s = PagedStore::new("hr", CostProfile::object_store());
+    s.add_collection(
+        "Employee",
+        CollectionBuilder::new(emp_schema)
+            .rows((0..100i64).map(|i| vec![Value::Long(i), Value::Str(format!("emp{i:03}"))]))
+            .object_size(48)
+            .index("id"),
+    )
+    .unwrap();
+    s
+}
+
+/// files: a scan-only flat file of audit events.
+fn audit_file() -> FlatFile {
+    FlatFile::new(
+        "files",
+        "Audit",
+        Schema::new(vec![
+            AttributeDef::new("emp_id", DataType::Long),
+            AttributeDef::new("action", DataType::Str),
+        ]),
+        (0..40i64).map(|i| vec![Value::Long(i % 10), Value::Str(format!("a{}", i % 4))]),
+    )
+}
+
+/// Mediator over a ChannelTransport: `hr` healthy, `files` down.
+fn broken_federation() -> Mediator {
+    let mut t = ChannelTransport::new();
+    t.add_wrapper(Box::new(SourceWrapper::new("hr", hr_store())));
+    t.add_wrapper_with(
+        Box::new(
+            SourceWrapper::new("files", audit_file()).with_capabilities(Capabilities::scan_only()),
+        ),
+        NetProfile::lan(),
+        FaultPlan::always(FaultKind::Unavailable),
+    );
+    let client = TransportClient::new(Box::new(t)).with_retry(RetryPolicy {
+        max_attempts: 2,
+        deadline_ms: 20,
+        backoff_base_ms: 1,
+        backoff_factor: 2.0,
+    });
+    let mut m = Mediator::new();
+    m.connect(client).unwrap();
+    m
+}
+
+#[test]
+fn downed_wrapper_reports_missing_collections_and_counts_unavailability() {
+    let mut m = broken_federation();
+    let unavailable = disco_obs::counter(
+        disco_obs::names::WRAPPER_UNAVAILABLE,
+        &[("wrapper", "files")],
+    );
+    let before = unavailable.get();
+
+    // The Audit file appears twice in the plan (self-join) so the raw
+    // missing list would repeat it; the trace must sort and deduplicate.
+    let report = m
+        .explain_analyze(
+            "SELECT e.name FROM Employee e, Audit a, Audit b \
+             WHERE e.id = a.emp_id AND a.emp_id = b.emp_id AND e.id < 5",
+        )
+        .unwrap();
+
+    // Missing collections: in the trace, sorted and deduplicated…
+    assert_eq!(
+        report.result.trace.missing,
+        vec![QualifiedName::new("files", "Audit")]
+    );
+    assert!(report.result.is_partial());
+
+    // …and surfaced by the rendered EXPLAIN ANALYZE output.
+    let text = report.render();
+    assert!(
+        text.contains("missing (wrapper unavailable): files.Audit"),
+        "{text}"
+    );
+    assert!(text.contains("[no answer]"), "{text}");
+
+    // The failed submits are flagged in the tree, with zero rows.
+    let failed: Vec<_> = report
+        .root
+        .nodes()
+        .into_iter()
+        .filter(|nd| nd.measured.is_some_and(|m| m.failed))
+        .collect();
+    assert!(!failed.is_empty());
+    for nd in &failed {
+        assert!(
+            nd.operator.starts_with("submit -> files"),
+            "{}",
+            nd.operator
+        );
+        assert_eq!(nd.measured.unwrap().rows, 0);
+    }
+    // Every node still reports a scope on the fault path.
+    for nd in report.root.nodes() {
+        assert!(nd.scope().is_some(), "node `{}`", nd.operator);
+    }
+
+    // The unavailability counter moved (two failed submit sites, each
+    // exhausting its retry budget at least once).
+    assert!(
+        unavailable.get() >= before + 2,
+        "counter before={before} after={}",
+        unavailable.get()
+    );
+}

@@ -1,0 +1,75 @@
+//! disco-obs: the observability layer.
+//!
+//! Zero-dependency (per the vendored-deps convention) tracing and
+//! metrics, sitting below every other crate in the workspace so that
+//! core, transport, sources, and mediator can all emit telemetry
+//! without dependency cycles:
+//!
+//! * [`trace`] — nested span tracing with a tree/JSON report
+//!   ([`Tracer`], [`TraceReport`]).
+//! * [`metrics`] — process-wide registry of counters, gauges and
+//!   histograms with Prometheus text exposition and a JSON snapshot
+//!   ([`metrics::global`], [`MetricsSnapshot`]).
+//! * [`json`] — the minimal JSON value/parser/writer backing both
+//!   reports (round-trip exact for everything the registry emits).
+//!
+//! Metric names used across the workspace are centralized in [`names`]
+//! so call sites and dashboards cannot drift apart.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{
+    enabled, set_enabled, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{Span, SpanGuard, TraceReport, Tracer};
+
+/// Well-known metric names (see DESIGN.md §Observability).
+pub mod names {
+    /// Counter, labels `{cache="cost"|"rules"}`: lookups against an
+    /// estimator cache.
+    pub const CACHE_LOOKUPS: &str = "cache_lookups_total";
+    /// Counter, labels `{cache="cost"|"rules"}`: lookups that hit.
+    pub const CACHE_HITS: &str = "cache_hits_total";
+    /// Gauge, labels `{cache="cost"|"rules"}`: hits / lookups.
+    pub const CACHE_HIT_RATIO: &str = "cache_hit_ratio";
+    /// Counter, labels `{wrapper}`: transport retry attempts beyond the
+    /// first try.
+    pub const TRANSPORT_RETRIES: &str = "transport_retries_total";
+    /// Counter, labels `{wrapper}`: submissions that exhausted retries
+    /// or were rejected by an open breaker.
+    pub const WRAPPER_UNAVAILABLE: &str = "wrapper_unavailable_total";
+    /// Counter, labels `{wrapper, to="open"|"half_open"|"closed"}`:
+    /// circuit-breaker state transitions.
+    pub const BREAKER_TRANSITIONS: &str = "breaker_transitions_total";
+    /// Counter, labels `{op}`: rows flowing out of a vectorized
+    /// combine operator.
+    pub const VEXEC_ROWS: &str = "vexec_rows_total";
+    /// Counter, labels `{op}`: batches flowing out of a vectorized
+    /// combine operator.
+    pub const VEXEC_BATCHES: &str = "vexec_batches_total";
+    /// Counter, no labels: queries executed by the mediator.
+    pub const QUERIES: &str = "queries_total";
+    /// Counter, labels `{wrapper}`: query-scope cost rules recorded
+    /// from measured submissions.
+    pub const HISTORY_RECORDED: &str = "history_recorded_total";
+    /// Histogram, no labels: end-to-end measured query latency (ms).
+    pub const QUERY_MS: &str = "query_ms";
+}
+
+/// Shorthand for `metrics::global().counter(...)`.
+pub fn counter(name: &str, labels: &[(&str, &str)]) -> Counter {
+    metrics::global().counter(name, labels)
+}
+
+/// Shorthand for `metrics::global().gauge(...)`.
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    metrics::global().gauge(name, labels)
+}
+
+/// Shorthand for `metrics::global().histogram(...)`.
+pub fn histogram(name: &str, labels: &[(&str, &str)]) -> std::sync::Arc<Histogram> {
+    metrics::global().histogram(name, labels)
+}

@@ -1,0 +1,623 @@
+//! Process-wide metrics registry: counters, gauges and histograms with
+//! labels, exposed as Prometheus-style text and as a JSON snapshot that
+//! round-trips (encode → decode → encode is the identity).
+//!
+//! Handles are cheap `Arc`s around atomics: registration takes a short
+//! lock, increments are lock-free. Hot paths that cannot afford even the
+//! registration lookup guard on [`enabled`] (one relaxed atomic load)
+//! and skip the whole call — that switch is what the instrumentation
+//! overhead bench flips.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// Global instrumentation switch. On by default: default-path increments
+/// are per-batch / per-submit, not per-row.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is instrumentation globally enabled?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flip the global instrumentation switch (overhead experiments).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Metric identity: name plus sorted label pairs.
+type MetricId = (String, Vec<(String, String)>);
+
+fn metric_id(name: &str, labels: &[(&str, &str)]) -> MetricId {
+    let mut ls: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    ls.sort();
+    (name.to_owned(), ls)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram bucket upper bounds (a 1–2–5 decade ladder wide
+/// enough for both millisecond timings and row counts).
+pub const DEFAULT_BUCKETS: [f64; 16] = [
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    10_000.0,
+    50_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+];
+
+#[derive(Debug, Default)]
+struct HistState {
+    /// Per-bucket observation counts (non-cumulative; exposition
+    /// accumulates). One extra implicit `+Inf` bucket is `count - sum of
+    /// these`.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+/// A histogram with fixed bucket bounds.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    state: Mutex<HistState>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            state: Mutex::new(HistState {
+                counts: vec![0; bounds.len()],
+                sum: 0.0,
+                count: 0,
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let mut s = self.state.lock().expect("histogram lock");
+        if let Some(i) = self.bounds.iter().position(|b| v <= *b) {
+            s.counts[i] += 1;
+        }
+        s.sum += v;
+        s.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.state.lock().expect("histogram lock").count
+    }
+}
+
+/// Counters, gauges and histograms under one roof.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<MetricId, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter with this name and label set, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut map = self.counters.lock().expect("metrics lock");
+        Counter(Arc::clone(map.entry(metric_id(name, labels)).or_default()))
+    }
+
+    /// The gauge with this name and label set, created on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut map = self.gauges.lock().expect("metrics lock");
+        Gauge(Arc::clone(map.entry(metric_id(name, labels)).or_default()))
+    }
+
+    /// The histogram with this name and label set (default buckets),
+    /// created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with(name, labels, &DEFAULT_BUCKETS)
+    }
+
+    /// Like [`histogram`](Self::histogram) with explicit bucket bounds
+    /// (ignored if the histogram already exists).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock");
+        Arc::clone(
+            map.entry(metric_id(name, labels))
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A point-in-time copy of every metric, deterministically ordered.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|((name, labels), v)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: v.load(Ordering::Relaxed) as f64,
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|((name, labels), v)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: sanitize(f64::from_bits(v.load(Ordering::Relaxed))),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|((name, labels), h)| {
+                let s = h.state.lock().expect("histogram lock");
+                HistogramSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    bounds: h.bounds.clone(),
+                    counts: s.counts.clone(),
+                    sum: sanitize(s.sum),
+                    count: s.count,
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zero every metric (test isolation; handles stay valid).
+    pub fn reset(&self) {
+        for v in self.counters.lock().expect("metrics lock").values() {
+            v.store(0, Ordering::Relaxed);
+        }
+        for v in self.gauges.lock().expect("metrics lock").values() {
+            v.store(0.0f64.to_bits(), Ordering::Relaxed);
+        }
+        for h in self.histograms.lock().expect("metrics lock").values() {
+            let mut s = h.state.lock().expect("histogram lock");
+            s.counts.iter_mut().for_each(|c| *c = 0);
+            s.sum = 0.0;
+            s.count = 0;
+        }
+    }
+}
+
+/// JSON has no literal for non-finite numbers.
+fn sanitize(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// One counter or gauge sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// One histogram sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts, same length as `bounds`.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+}
+
+/// A deterministic, serializable copy of a registry's state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<Sample>,
+    pub gauges: Vec<Sample>,
+    pub histograms: Vec<HistogramSample>,
+}
+
+fn labels_json(labels: &[(String, String)]) -> Json {
+    Json::Obj(
+        labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect(),
+    )
+}
+
+fn labels_from_json(v: &Json) -> Result<Vec<(String, String)>, String> {
+    match v {
+        Json::Obj(members) => members
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_owned()))
+                    .ok_or_else(|| "label value is not a string".to_owned())
+            })
+            .collect(),
+        _ => Err("labels is not an object".into()),
+    }
+}
+
+fn sample_json(s: &Sample) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(s.name.clone())),
+        ("labels".into(), labels_json(&s.labels)),
+        ("value".into(), Json::Num(s.value)),
+    ])
+}
+
+fn sample_from_json(v: &Json) -> Result<Sample, String> {
+    Ok(Sample {
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("sample missing name")?
+            .to_owned(),
+        labels: labels_from_json(v.get("labels").ok_or("sample missing labels")?)?,
+        value: v
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or("sample missing value")?,
+    })
+}
+
+impl MetricsSnapshot {
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        let hists = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(h.name.clone())),
+                    ("labels".into(), labels_json(&h.labels)),
+                    (
+                        "bounds".into(),
+                        Json::Arr(h.bounds.iter().map(|b| Json::Num(*b)).collect()),
+                    ),
+                    (
+                        "counts".into(),
+                        Json::Arr(h.counts.iter().map(|c| Json::Num(*c as f64)).collect()),
+                    ),
+                    ("sum".into(), Json::Num(h.sum)),
+                    ("count".into(), Json::Num(h.count as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Arr(self.counters.iter().map(sample_json).collect()),
+            ),
+            (
+                "gauges".into(),
+                Json::Arr(self.gauges.iter().map(sample_json).collect()),
+            ),
+            ("histograms".into(), Json::Arr(hists)),
+        ])
+        .render()
+    }
+
+    /// Parse a [`to_json`](Self::to_json) dump back.
+    pub fn from_json(src: &str) -> Result<MetricsSnapshot, String> {
+        let v = Json::parse(src)?;
+        let samples = |key: &str| -> Result<Vec<Sample>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing `{key}` array"))?
+                .iter()
+                .map(sample_from_json)
+                .collect()
+        };
+        let histograms = v
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .ok_or("missing `histograms` array")?
+            .iter()
+            .map(|h| {
+                let nums = |key: &str| -> Result<Vec<f64>, String> {
+                    h.get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| format!("histogram missing `{key}`"))?
+                        .iter()
+                        .map(|n| n.as_f64().ok_or_else(|| format!("bad number in `{key}`")))
+                        .collect()
+                };
+                Ok(HistogramSample {
+                    name: h
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("histogram missing name")?
+                        .to_owned(),
+                    labels: labels_from_json(h.get("labels").ok_or("histogram missing labels")?)?,
+                    bounds: nums("bounds")?,
+                    counts: nums("counts")?.iter().map(|c| *c as u64).collect(),
+                    sum: h
+                        .get("sum")
+                        .and_then(Json::as_f64)
+                        .ok_or("histogram missing sum")?,
+                    count: h
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or("histogram missing count")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(MetricsSnapshot {
+            counters: samples("counters")?,
+            gauges: samples("gauges")?,
+            histograms,
+        })
+    }
+
+    /// Prometheus text exposition. Never panics, whatever the metric
+    /// names or label values contain: names are sanitized to the legal
+    /// character set, label values escaped.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut last_name = String::new();
+        let mut typ = |out: &mut String, name: &str, kind: &str| {
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_name = name.to_owned();
+            }
+        };
+        for c in &self.counters {
+            let name = prom_name(&c.name);
+            typ(&mut out, &name, "counter");
+            let _ = writeln!(out, "{name}{} {}", prom_labels(&c.labels, None), c.value);
+        }
+        for g in &self.gauges {
+            let name = prom_name(&g.name);
+            typ(&mut out, &name, "gauge");
+            let _ = writeln!(out, "{name}{} {}", prom_labels(&g.labels, None), g.value);
+        }
+        for h in &self.histograms {
+            let name = prom_name(&h.name);
+            typ(&mut out, &name, "histogram");
+            let mut cum = 0u64;
+            for (b, c) in h.bounds.iter().zip(&h.counts) {
+                cum += c;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cum}",
+                    prom_labels(&h.labels, Some(&format!("{b}")))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                prom_labels(&h.labels, Some("+Inf")),
+                h.count
+            );
+            let _ = writeln!(out, "{name}_sum{} {}", prom_labels(&h.labels, None), h.sum);
+            let _ = writeln!(
+                out,
+                "{name}_count{} {}",
+                prom_labels(&h.labels, None),
+                h.count
+            );
+        }
+        out
+    }
+}
+
+/// Restrict a metric name to `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a label set, optionally with an `le` bucket label appended.
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), prom_escape(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{}\"", prom_escape(le)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escape a label value per the exposition format.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("requests_total", &[("wrapper", "hr")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same id → same handle.
+        assert_eq!(r.counter("requests_total", &[("wrapper", "hr")]).get(), 5);
+        // Label order is irrelevant to identity.
+        let a = r.counter("x", &[("a", "1"), ("b", "2")]);
+        r.counter("x", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(a.get(), 1);
+
+        let g = r.gauge("hit_rate", &[]);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with("ms", &[], &[10.0, 100.0]);
+        for v in [1.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // ignored
+        let snap = r.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.counts, vec![2, 1]);
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 556.0);
+        let text = snap.to_prometheus();
+        assert!(text.contains("ms_bucket{le=\"10\"} 2"), "{text}");
+        assert!(text.contains("ms_bucket{le=\"100\"} 3"), "{text}");
+        assert!(text.contains("ms_bucket{le=\"+Inf\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total", &[("k", "v\"\n\\")]).add(3);
+        r.gauge("g", &[("x", "y")]).set(1.25);
+        r.histogram_with("h_ms", &[], &[1.0, 10.0]).observe(4.0);
+        let snap = r.snapshot();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn exposition_escapes_adversarial_labels() {
+        let r = MetricsRegistry::new();
+        r.counter("weird metric-name!", &[("läbel key", "a\"b\\c\nd")])
+            .inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("weird_metric_name_"), "{text}");
+        assert!(text.contains("a\\\"b\\\\c\\nd"), "{text}");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c", &[]);
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("c", &[]).get(), 1);
+    }
+
+    #[test]
+    fn enabled_toggles() {
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+    }
+}

@@ -1,0 +1,354 @@
+//! Lightweight span tracing: a [`Tracer`] records named, nested spans
+//! with wall-clock timings and key/value events, producing a
+//! [`TraceReport`] that renders as a tree or as JSON (round-trip exact).
+//!
+//! Spans are parented by a LIFO stack on the tracer: `start` pushes,
+//! [`SpanGuard`] drop pops. Work measured elsewhere (e.g. parallel fetch
+//! workers whose wall time is captured by the transport layer) is
+//! attached post-hoc with [`Tracer::record`], which takes explicit
+//! start/duration values instead of sampling the clock.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// One completed (or in-flight) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub name: String,
+    /// Microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Microseconds of wall-clock duration.
+    pub dur_us: u64,
+    /// Key/value annotations, in insertion order.
+    pub events: Vec<(String, String)>,
+    pub children: Vec<Span>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    /// Completed roots.
+    roots: Vec<Span>,
+    /// Open spans, outermost first.
+    stack: Vec<Span>,
+}
+
+/// A cheaply clonable tracer; clones share state.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(Inner {
+                epoch: Instant::now(),
+                roots: Vec::new(),
+                stack: Vec::new(),
+            })),
+        }
+    }
+
+    fn now_us(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a span; it closes (and is attached to its parent) when the
+    /// returned guard drops.
+    pub fn start(&self, name: &str) -> SpanGuard {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let start_us = Self::now_us(&inner);
+        inner.stack.push(Span {
+            name: name.to_owned(),
+            start_us,
+            dur_us: 0,
+            events: Vec::new(),
+            children: Vec::new(),
+        });
+        SpanGuard {
+            tracer: self.clone(),
+            done: false,
+        }
+    }
+
+    /// Annotate the innermost open span (no-op if none is open).
+    pub fn event(&self, key: &str, value: impl ToString) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        if let Some(span) = inner.stack.last_mut() {
+            span.events.push((key.to_owned(), value.to_string()));
+        }
+    }
+
+    /// Attach an already-measured span (child of the innermost open
+    /// span, or a root). `start_us` is relative to this tracer's epoch.
+    pub fn record(&self, name: &str, start_us: u64, dur_us: u64, events: Vec<(String, String)>) {
+        let span = Span {
+            name: name.to_owned(),
+            start_us,
+            dur_us,
+            events,
+            children: Vec::new(),
+        };
+        let mut inner = self.inner.lock().expect("tracer lock");
+        match inner.stack.last_mut() {
+            Some(parent) => parent.children.push(span),
+            None => inner.roots.push(span),
+        }
+    }
+
+    /// Microseconds elapsed since the tracer was created (for computing
+    /// `start_us` values to pass to [`record`](Self::record)).
+    pub fn elapsed_us(&self) -> u64 {
+        let inner = self.inner.lock().expect("tracer lock");
+        Self::now_us(&inner)
+    }
+
+    fn finish_top(&self) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let now = Self::now_us(&inner);
+        if let Some(mut span) = inner.stack.pop() {
+            span.dur_us = now.saturating_sub(span.start_us);
+            match inner.stack.last_mut() {
+                Some(parent) => parent.children.push(span),
+                None => inner.roots.push(span),
+            }
+        }
+    }
+
+    /// Snapshot completed roots (open spans are not included).
+    pub fn report(&self) -> TraceReport {
+        let inner = self.inner.lock().expect("tracer lock");
+        TraceReport {
+            spans: inner.roots.clone(),
+        }
+    }
+}
+
+/// Closes its span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Close the span now instead of at end of scope.
+    pub fn finish(mut self) {
+        self.done = true;
+        self.tracer.finish_top();
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            self.tracer.finish_top();
+        }
+    }
+}
+
+/// A completed trace: a forest of spans.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceReport {
+    pub spans: Vec<Span>,
+}
+
+fn span_json(s: &Span) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(s.name.clone())),
+        ("start_us".into(), Json::Num(s.start_us as f64)),
+        ("dur_us".into(), Json::Num(s.dur_us as f64)),
+        (
+            "events".into(),
+            Json::Arr(
+                s.events
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+                    .collect(),
+            ),
+        ),
+        (
+            "children".into(),
+            Json::Arr(s.children.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+fn span_from_json(v: &Json) -> Result<Span, String> {
+    let events = v
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("span missing events")?
+        .iter()
+        .map(|e| {
+            let pair = e
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or("bad event pair")?;
+            match (pair[0].as_str(), pair[1].as_str()) {
+                (Some(k), Some(val)) => Ok((k.to_owned(), val.to_owned())),
+                _ => Err("event is not a string pair".to_owned()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let children = v
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or("span missing children")?
+        .iter()
+        .map(span_from_json)
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Span {
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span missing name")?
+            .to_owned(),
+        start_us: v
+            .get("start_us")
+            .and_then(Json::as_u64)
+            .ok_or("span missing start_us")?,
+        dur_us: v
+            .get("dur_us")
+            .and_then(Json::as_u64)
+            .ok_or("span missing dur_us")?,
+        events,
+        children,
+    })
+}
+
+impl TraceReport {
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![(
+            "spans".into(),
+            Json::Arr(self.spans.iter().map(span_json).collect()),
+        )])
+        .render()
+    }
+
+    /// Parse a [`to_json`](Self::to_json) dump back.
+    pub fn from_json(src: &str) -> Result<TraceReport, String> {
+        let v = Json::parse(src)?;
+        let spans = v
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("missing `spans` array")?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(TraceReport { spans })
+    }
+
+    /// Indented tree rendering, one span per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        fn walk(out: &mut String, span: &Span, depth: usize) {
+            let _ = write!(
+                out,
+                "{:indent$}{} {:.3}ms",
+                "",
+                span.name,
+                span.dur_us as f64 / 1000.0,
+                indent = depth * 2
+            );
+            for (k, v) in &span.events {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+            for child in &span.children {
+                walk(out, child, depth + 1);
+            }
+        }
+        let mut out = String::new();
+        for span in &self.spans {
+            walk(&mut out, span, 0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_follows_guard_scopes() {
+        let t = Tracer::new();
+        {
+            let _outer = t.start("outer");
+            t.event("phase", "warmup");
+            {
+                let _inner = t.start("inner");
+                t.event("rows", 42);
+            }
+        }
+        let report = t.report();
+        assert_eq!(report.spans.len(), 1);
+        let outer = &report.spans[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.events, vec![("phase".into(), "warmup".into())]);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].events, vec![("rows".into(), "42".into())]);
+    }
+
+    #[test]
+    fn record_attaches_manual_spans() {
+        let t = Tracer::new();
+        {
+            let _fetch = t.start("fetch");
+            t.record("submit:hr", 10, 2500, vec![("tuples".into(), "7".into())]);
+        }
+        t.record("loose", 0, 5, vec![]);
+        let report = t.report();
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].children[0].name, "submit:hr");
+        assert_eq!(report.spans[0].children[0].dur_us, 2500);
+        assert_eq!(report.spans[1].name, "loose");
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let t = Tracer::new();
+        {
+            let _a = t.start("a \"quoted\"\n");
+            t.event("k", "v\\w");
+            let _b = t.start("b");
+        }
+        let report = t.report();
+        let text = report.to_json();
+        let back = TraceReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn render_indents_children() {
+        let t = Tracer::new();
+        {
+            let _a = t.start("optimize");
+            let _b = t.start("dp");
+        }
+        let text = t.report().render();
+        assert!(text.starts_with("optimize "), "{text}");
+        assert!(text.contains("\n  dp "), "{text}");
+    }
+
+    #[test]
+    fn explicit_finish_closes_early() {
+        let t = Tracer::new();
+        let g = t.start("early");
+        g.finish();
+        assert_eq!(t.report().spans.len(), 1);
+    }
+}

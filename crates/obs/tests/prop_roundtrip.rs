@@ -1,0 +1,127 @@
+// Gated: requires the `proptest` cargo feature (and the proptest
+// dev-dependency, removed so offline builds succeed — see Cargo.toml).
+#![cfg(feature = "proptest")]
+
+//! Property tests for the metrics/trace JSON encodings: encode → decode
+//! → encode is the identity, and the Prometheus exposition never panics
+//! on adversarial metric names or label strings. The always-on seeded
+//! variants live in `roundtrip.rs`; these add proptest's shrinking.
+
+use proptest::prelude::*;
+
+use disco_obs::metrics::{HistogramSample, MetricsSnapshot, Sample};
+use disco_obs::trace::{Span, TraceReport};
+use disco_obs::Json;
+
+fn label_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((".{0,16}", ".{0,16}"), 0..4).prop_map(|mut ls| {
+        // The registry stores labels sorted and keyed uniquely.
+        ls.sort();
+        ls.dedup_by(|a, b| a.0 == b.0);
+        ls
+    })
+}
+
+fn sample_strategy() -> impl Strategy<Value = Sample> {
+    (".{0,24}", label_strategy(), prop::num::f64::NORMAL).prop_map(|(name, labels, value)| Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn histogram_strategy() -> impl Strategy<Value = HistogramSample> {
+    (
+        ".{0,24}",
+        label_strategy(),
+        prop::collection::vec((1.0f64..1e9, 0u64..1000), 0..8),
+        prop::num::f64::NORMAL,
+        0u64..100_000,
+    )
+        .prop_map(|(name, labels, buckets, sum, count)| {
+            let (bounds, counts) = buckets.into_iter().unzip();
+            HistogramSample {
+                name,
+                labels,
+                bounds,
+                counts,
+                sum,
+                count,
+            }
+        })
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        prop::collection::vec(sample_strategy(), 0..5),
+        prop::collection::vec(sample_strategy(), 0..5),
+        prop::collection::vec(histogram_strategy(), 0..3),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
+fn span_strategy() -> impl Strategy<Value = Span> {
+    let leaf = (
+        ".{0,24}",
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec((".{0,12}", ".{0,12}"), 0..3),
+    )
+        .prop_map(|(name, start, dur, events)| Span {
+            name,
+            start_us: start as u64,
+            dur_us: dur as u64,
+            events,
+            children: Vec::new(),
+        });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (
+            ".{0,24}",
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec((".{0,12}", ".{0,12}"), 0..3),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(name, start, dur, events, children)| Span {
+                name,
+                start_us: start as u64,
+                dur_us: dur as u64,
+                events,
+                children,
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_snapshot_roundtrip(snap in snapshot_strategy()) {
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).expect("decode");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn exposition_never_panics(snap in snapshot_strategy()) {
+        let _ = snap.to_prometheus();
+    }
+
+    #[test]
+    fn trace_report_roundtrip(spans in prop::collection::vec(span_strategy(), 0..4)) {
+        let report = TraceReport { spans };
+        let text = report.to_json();
+        let back = TraceReport::from_json(&text).expect("decode");
+        prop_assert_eq!(&back, &report);
+        prop_assert_eq!(back.to_json(), text);
+        let _ = report.render();
+    }
+
+    #[test]
+    fn json_parse_never_panics(src in ".{0,256}") {
+        let _ = Json::parse(&src);
+    }
+}

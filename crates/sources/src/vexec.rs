@@ -33,6 +33,17 @@ use disco_common::{
 
 use crate::exec::project_schema;
 
+/// Record one operator's output in the global metrics registry
+/// (`vexec_rows_total` / `vexec_batches_total`, labelled by operator).
+/// Per-batch, not per-row, so the hot loops stay untouched.
+fn observe(op: &str, rows: usize) {
+    if disco_obs::enabled() {
+        let labels = [("op", op)];
+        disco_obs::counter(disco_obs::names::VEXEC_ROWS, &labels).add(rows as u64);
+        disco_obs::counter(disco_obs::names::VEXEC_BATCHES, &labels).inc();
+    }
+}
+
 /// Mirror of [`CompareOp::eval`] on borrowed cell views: nulls fail,
 /// cross-family comparisons fail, numbers compare across `Long`/`Double`.
 fn cmp_ref(op: CompareOp, a: ValueRef<'_>, b: ValueRef<'_>) -> bool {
@@ -136,6 +147,7 @@ pub fn filter(schema: &Schema, batch: &Batch, pred: &Predicate) -> Result<Batch>
         })
         .collect::<Result<_>>()?;
     if resolved.is_empty() {
+        observe("filter", batch.len());
         return Ok(batch.clone());
     }
     let mut sel: Vec<u32> = (0..batch.len() as u32).collect();
@@ -145,6 +157,7 @@ pub fn filter(schema: &Schema, batch: &Batch, pred: &Predicate) -> Result<Batch>
         }
         sel = apply_conjunct(batch.column(i), c, &sel);
     }
+    observe("filter", sel.len());
     Ok(batch.take(&sel))
 }
 
@@ -203,6 +216,7 @@ pub fn project(
         .into_iter()
         .map(|c| c.expect("all positions filled"))
         .collect();
+    observe("project", batch.len());
     Ok((out_schema, Batch::from_columns(columns)?))
 }
 
@@ -291,6 +305,7 @@ pub fn hash_join(
             }
         }
     }
+    observe("hash_join", lids.len());
     left.take(&lids).hstack(&right.take(&rids))
 }
 
@@ -321,6 +336,7 @@ pub fn nested_loop_join(
             }
         }
     }
+    observe("nested_loop_join", lids.len());
     left.take(&lids).hstack(&right.take(&rids))
 }
 
@@ -336,6 +352,7 @@ pub fn dedup(batch: &Batch) -> Batch {
             sel.push(row as u32);
         }
     }
+    observe("dedup", sel.len());
     batch.take(&sel)
 }
 
@@ -365,6 +382,7 @@ pub fn sort(schema: &Schema, batch: &Batch, keys: &[(String, bool)]) -> Result<B
         }
         std::cmp::Ordering::Equal
     });
+    observe("sort", sel.len());
     Ok(batch.take(&sel))
 }
 
@@ -475,6 +493,7 @@ pub fn aggregate(
                 _ => b.push_null(),
             }
         }
+        observe("aggregate", 1);
         return Batch::from_columns(builders.into_iter().map(|b| Arc::new(b.finish())).collect());
     }
     let mut builders: Vec<ColumnBuilder> = (0..arity).map(|_| ColumnBuilder::new()).collect();
@@ -517,11 +536,13 @@ pub fn aggregate(
             }
         }
     }
+    observe("aggregate", reps.len());
     Batch::from_columns(builders.into_iter().map(|b| Arc::new(b.finish())).collect())
 }
 
 /// Union (row-wise concatenation); errors on arity mismatch.
 pub fn union(left: &Batch, right: &Batch) -> Result<Batch> {
+    observe("union", left.len() + right.len());
     Batch::concat(&[left, right])
 }
 

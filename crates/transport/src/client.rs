@@ -202,6 +202,7 @@ impl TransportClient {
         let request = w.into_bytes();
 
         if !self.acquire(endpoint) {
+            note_unavailable(endpoint);
             return Err(DiscoError::Unavailable(format!(
                 "circuit breaker open for `{endpoint}`"
             )));
@@ -211,6 +212,13 @@ impl TransportClient {
         let mut last_err = DiscoError::Exec(format!("no attempts made against `{endpoint}`"));
         for attempt in 1..=self.retry.max_attempts.max(1) {
             if attempt > 1 {
+                if disco_obs::enabled() {
+                    disco_obs::counter(
+                        disco_obs::names::TRANSPORT_RETRIES,
+                        &[("wrapper", endpoint)],
+                    )
+                    .inc();
+                }
                 if backoff_ms >= 1.0 {
                     std::thread::sleep(Duration::from_millis(backoff_ms as u64));
                 }
@@ -244,6 +252,7 @@ impl TransportClient {
                     // The breaker may have opened mid-budget; stop early
                     // rather than hammering a tripped endpoint.
                     if attempt < self.retry.max_attempts && !self.acquire(endpoint) {
+                        note_unavailable(endpoint);
                         return Err(DiscoError::Unavailable(format!(
                             "circuit breaker open for `{endpoint}`"
                         )));
@@ -253,16 +262,20 @@ impl TransportClient {
                 Err(e) => return Err(e),
             }
         }
+        // Retry budget exhausted: the wrapper never answered.
+        note_unavailable(endpoint);
         Err(last_err)
     }
 
     fn acquire(&self, endpoint: &str) -> bool {
-        self.breakers
-            .lock()
-            .expect("breaker lock")
+        let mut breakers = self.breakers.lock().expect("breaker lock");
+        let b = breakers
             .entry(endpoint.to_string())
-            .or_insert_with(|| CircuitBreaker::new(self.breaker_policy))
-            .try_acquire()
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_policy));
+        let before = b.state();
+        let ok = b.try_acquire();
+        note_transition(endpoint, before, b.state());
+        ok
     }
 
     fn record(&self, endpoint: &str, success: bool) {
@@ -270,12 +283,43 @@ impl TransportClient {
         let b = breakers
             .entry(endpoint.to_string())
             .or_insert_with(|| CircuitBreaker::new(self.breaker_policy));
+        let before = b.state();
         if success {
             b.on_success();
         } else {
             b.on_failure();
         }
+        note_transition(endpoint, before, b.state());
     }
+}
+
+/// Count a submit that found its wrapper unreachable: retry budget
+/// exhausted or rejected by an open breaker.
+fn note_unavailable(endpoint: &str) {
+    if disco_obs::enabled() {
+        disco_obs::counter(
+            disco_obs::names::WRAPPER_UNAVAILABLE,
+            &[("wrapper", endpoint)],
+        )
+        .inc();
+    }
+}
+
+/// Count a circuit-breaker state change, labelled with the new state.
+fn note_transition(endpoint: &str, before: BreakerState, after: BreakerState) {
+    if before == after || !disco_obs::enabled() {
+        return;
+    }
+    let to = match after {
+        BreakerState::Closed => "closed",
+        BreakerState::HalfOpen => "half_open",
+        BreakerState::Open => "open",
+    };
+    disco_obs::counter(
+        disco_obs::names::BREAKER_TRANSITIONS,
+        &[("wrapper", endpoint), ("to", to)],
+    )
+    .inc();
 }
 
 /// Convenience: encode a plan to its shipped bytes (used by size

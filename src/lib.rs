@@ -11,6 +11,7 @@ pub use disco_common as common;
 pub use disco_core as cost;
 pub use disco_costlang as costlang;
 pub use disco_mediator as mediator;
+pub use disco_obs as obs;
 pub use disco_oo7 as oo7;
 pub use disco_sources as sources;
 pub use disco_transport as transport;
