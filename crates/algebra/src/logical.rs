@@ -232,6 +232,63 @@ impl LogicalPlan {
         }
     }
 
+    /// The same plan re-addressed to a replica wrapper: every `Submit`
+    /// target and every scanned collection's wrapper qualifier in the
+    /// subtree is rewritten to `wrapper`. Used by hedged execution —
+    /// wrappers reject subplans addressed to somebody else, so a hedge
+    /// to a replica must ship a retargeted copy.
+    pub fn retargeted(&self, wrapper: &str) -> LogicalPlan {
+        match self {
+            LogicalPlan::Scan { collection, schema } => LogicalPlan::Scan {
+                collection: QualifiedName::new(wrapper, &collection.collection),
+                schema: schema.clone(),
+            },
+            LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+                input: Box::new(input.retargeted(wrapper)),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+                input: Box::new(input.retargeted(wrapper)),
+                columns: columns.clone(),
+            },
+            LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+                input: Box::new(input.retargeted(wrapper)),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+                kind,
+            } => LogicalPlan::Join {
+                left: Box::new(left.retargeted(wrapper)),
+                right: Box::new(right.retargeted(wrapper)),
+                predicate: predicate.clone(),
+                kind: *kind,
+            },
+            LogicalPlan::Union { left, right } => LogicalPlan::Union {
+                left: Box::new(left.retargeted(wrapper)),
+                right: Box::new(right.retargeted(wrapper)),
+            },
+            LogicalPlan::Dedup { input } => LogicalPlan::Dedup {
+                input: Box::new(input.retargeted(wrapper)),
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(input.retargeted(wrapper)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            LogicalPlan::Submit { input, .. } => LogicalPlan::Submit {
+                wrapper: wrapper.to_string(),
+                input: Box::new(input.retargeted(wrapper)),
+            },
+        }
+    }
+
     /// All distinct collections scanned anywhere in the subtree.
     pub fn collections(&self) -> Vec<&QualifiedName> {
         fn walk<'a>(p: &'a LogicalPlan, out: &mut Vec<&'a QualifiedName>) {

@@ -1,0 +1,118 @@
+//! Chaos soak: seeded fault-schedule runs over a replicated federation,
+//! every answer checked against the fault-free oracle (see
+//! `disco_bench::chaos`). Each seed is run twice and the transcript
+//! digests compared, so nondeterminism fails the soak just like a wrong
+//! answer does. Writes `CHAOS_soak.json` (consumed by CI as an
+//! artifact) and exits nonzero if any seed fails.
+//!
+//! ```text
+//! cargo run --release -p disco-bench --bin chaos_soak            # full soak
+//! cargo run --release -p disco-bench --bin chaos_soak -- <seed>  # replay one
+//! ```
+
+use std::fmt::Write as _;
+
+use disco_bench::chaos;
+use disco_bench::Table;
+
+const QUERIES_PER_SEED: usize = 60;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: Vec<u64> = if args.is_empty() {
+        (1..=8).collect()
+    } else {
+        args.iter()
+            .map(|a| a.parse().expect("seed must be a u64"))
+            .collect()
+    };
+
+    let mut t = Table::new(&[
+        "seed",
+        "queries",
+        "complete",
+        "partial",
+        "failovers",
+        "hedges",
+        "mismatches",
+        "deterministic",
+        "digest",
+    ]);
+    let mut json_rows = String::new();
+    let mut failed: Vec<u64> = Vec::new();
+
+    for &seed in &seeds {
+        let rep = chaos::run_seed(seed, QUERIES_PER_SEED);
+        let replay = chaos::run_seed(seed, QUERIES_PER_SEED);
+        let deterministic = rep == replay;
+        let ok = rep.passed() && deterministic;
+        if !ok {
+            failed.push(seed);
+        }
+        for m in &rep.mismatches {
+            eprintln!("seed {seed}: {m}");
+        }
+        if !deterministic {
+            eprintln!(
+                "seed {seed}: NONDETERMINISTIC — digests {} vs {}",
+                rep.digest, replay.digest
+            );
+        }
+        t.row(vec![
+            seed.to_string(),
+            rep.queries.to_string(),
+            rep.complete.to_string(),
+            rep.partial.to_string(),
+            rep.failovers.to_string(),
+            rep.hedges.to_string(),
+            rep.mismatches.len().to_string(),
+            deterministic.to_string(),
+            rep.digest.clone(),
+        ]);
+        if !json_rows.is_empty() {
+            json_rows.push(',');
+        }
+        write!(
+            json_rows,
+            "\n    {{\"seed\": {seed}, \"queries\": {}, \"complete\": {}, \
+             \"partial\": {}, \"failovers\": {}, \"hedges\": {}, \
+             \"mismatches\": {}, \"deterministic\": {deterministic}, \
+             \"digest\": \"{}\"}}",
+            rep.queries,
+            rep.complete,
+            rep.partial,
+            rep.failovers,
+            rep.hedges,
+            rep.mismatches.len(),
+            rep.digest,
+        )
+        .expect("write json row");
+    }
+
+    println!("{}", t.render());
+    println!(
+        "Every answer (including degraded ones) must equal the fault-free \
+         oracle with the reported missing collections emptied; each seed \
+         is run twice and must produce identical transcripts."
+    );
+
+    let pass = failed.is_empty();
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_soak\",\n  \"queries_per_seed\": {QUERIES_PER_SEED},\n  \
+         \"seeds\": [{json_rows}\n  ],\n  \"failed_seeds\": [{}],\n  \"pass\": {pass}\n}}\n",
+        failed
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    std::fs::write("CHAOS_soak.json", &json).expect("write CHAOS_soak.json");
+    println!("wrote CHAOS_soak.json");
+
+    if !pass {
+        for seed in &failed {
+            eprintln!("replay: cargo run --release -p disco-bench --bin chaos_soak -- {seed}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -6,8 +6,10 @@
 //! wall clock of the same union query submitted sequentially and with
 //! the scoped-thread fan-out. Also runs a degraded 4-wrapper federation
 //! with one endpoint permanently unavailable to demonstrate partial
-//! answers. Besides the table it writes `BENCH_transport.json`
-//! (machine-readable, consumed by CI as an artifact).
+//! answers, and a replicated straggler federation measuring p50/p99
+//! fetch latency with and without cost-model-driven hedging. Besides
+//! the tables it writes `BENCH_transport.json` (machine-readable,
+//! consumed by CI as an artifact).
 //!
 //! ```text
 //! cargo run --release -p disco-bench --bin transport_scaling
@@ -17,7 +19,7 @@ use std::fmt::Write as _;
 
 use disco_bench::Table;
 use disco_common::{AttributeDef, DataType, Schema, Value};
-use disco_mediator::{Mediator, MediatorOptions, QueryResult};
+use disco_mediator::{Mediator, MediatorOptions, QueryResult, ResiliencePolicy};
 use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
 use disco_transport::{ChannelTransport, FaultKind, FaultPlan, NetProfile, TransportClient};
 use disco_wrapper::SourceWrapper;
@@ -79,6 +81,88 @@ fn union_sql(n: usize) -> String {
 fn run(n: usize, parallel: bool) -> QueryResult {
     let mut m = federation(n, parallel, None);
     m.query(&union_sql(n)).expect("query succeeds")
+}
+
+/// Extra simulated delay on the straggling replica `ra`: `lan()`
+/// charges ~100 ms per round trip, so +900 ms makes it ~10× slower
+/// than its healthy peer `rb`.
+const STRAGGLER_DELAY_MS: f64 = 900.0;
+const HEDGE_ITERATIONS: usize = 20;
+
+/// `R` replicated on `ra` (straggling) and `rb` (healthy); the
+/// optimizer plans to `ra` (declared first, identical cost), so every
+/// fetch must either ride out the straggler or hedge around it.
+fn replicated_federation(hedge: bool) -> Mediator {
+    let mut t = ChannelTransport::new();
+    for (name, faults) in [
+        (
+            "ra",
+            FaultPlan::always(FaultKind::Delay(STRAGGLER_DELAY_MS)),
+        ),
+        ("rb", FaultPlan::none()),
+    ] {
+        let schema = Schema::new(vec![
+            AttributeDef::new("x", DataType::Long),
+            AttributeDef::new("tag", DataType::Str),
+        ]);
+        let mut store = PagedStore::new(name, CostProfile::relational());
+        store
+            .add_collection(
+                "R",
+                CollectionBuilder::new(schema).rows(
+                    (0..ROWS_PER_COLLECTION)
+                        .map(|v| vec![Value::Long(v), Value::Str(format!("{name}r{v}"))]),
+                ),
+            )
+            .expect("collection registers");
+        t.add_wrapper_with(
+            Box::new(SourceWrapper::new(name, store)),
+            NetProfile::lan().with_sleep_scale(SLEEP_SCALE),
+            faults,
+        );
+    }
+    let mut m = Mediator::new().with_options(MediatorOptions {
+        resilience: ResiliencePolicy {
+            hedge,
+            // Wall deadlines/waits are derived from simulated
+            // predictions; the endpoints sleep at SLEEP_SCALE. Hedge as
+            // soon as a submit overruns its predicted TimeFirst — the
+            // tail-latency posture this bench measures.
+            straggler_factor: 1.0,
+            time_scale: SLEEP_SCALE,
+            ..ResiliencePolicy::default()
+        },
+        ..MediatorOptions::default()
+    });
+    m.connect(TransportClient::new(Box::new(t)))
+        .expect("replicas register");
+    m.declare_replicas("R", &["ra", "rb"]).expect("replica set");
+    m
+}
+
+/// Latency samples for repeated single-scan queries against the
+/// straggler federation; a fresh mediator per query keeps the adaptive
+/// health penalty from re-planning to `rb` and hiding the straggler.
+fn straggler_samples(hedge: bool) -> (Vec<f64>, u64) {
+    let mut samples = Vec::with_capacity(HEDGE_ITERATIONS);
+    let mut hedges = 0u64;
+    for _ in 0..HEDGE_ITERATIONS {
+        let mut m = replicated_federation(hedge);
+        let r = m.query("SELECT x FROM R").expect("query succeeds");
+        assert_eq!(r.tuples.len(), ROWS_PER_COLLECTION as usize);
+        assert!(!r.is_partial());
+        samples.push(r.trace.submit_wall_ms);
+        hedges += u64::from(r.trace.hedges);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples, hedges)
+}
+
+/// Quantile of an ascending-sorted sample set (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 fn main() {
@@ -160,12 +244,53 @@ fn main() {
         missing.join(", ")
     );
 
+    // Straggling replica: `ra` is ~10× slower than `rb`. Without
+    // hedging every fetch rides out the straggler; with hedging the
+    // predicted-`TimeFirst` timer fires and `rb` wins the race.
+    let (plain, plain_hedges) = straggler_samples(false);
+    let (hedged, hedged_hedges) = straggler_samples(true);
+    assert_eq!(plain_hedges, 0, "hedging disabled must spend no hedges");
+    assert!(hedged_hedges > 0, "the straggler must trigger hedges");
+    let (plain_p50, plain_p99) = (quantile(&plain, 0.50), quantile(&plain, 0.99));
+    let (hedged_p50, hedged_p99) = (quantile(&hedged, 0.50), quantile(&hedged, 0.99));
+    let p99_improvement = plain_p99 / hedged_p99.max(1e-9);
+    assert!(
+        p99_improvement >= 2.0,
+        "hedging must improve p99 fetch latency at least 2x under a \
+         10x straggler: {plain_p99:.2} ms -> {hedged_p99:.2} ms \
+         ({p99_improvement:.1}x)"
+    );
+    let mut ht = Table::new(&["mode", "p50 fetch ms", "p99 fetch ms", "hedges"]);
+    ht.row(vec![
+        "unhedged".into(),
+        format!("{plain_p50:.2}"),
+        format!("{plain_p99:.2}"),
+        plain_hedges.to_string(),
+    ]);
+    ht.row(vec![
+        "hedged".into(),
+        format!("{hedged_p50:.2}"),
+        format!("{hedged_p99:.2}"),
+        hedged_hedges.to_string(),
+    ]);
+    println!(
+        "\nstraggling replica (ra +{STRAGGLER_DELAY_MS} simulated ms, \
+         {HEDGE_ITERATIONS} queries per mode):"
+    );
+    println!("{}", ht.render());
+    println!("p99 improvement from hedging: {p99_improvement:.1}x");
+
     let json = format!(
         "{{\n  \"bench\": \"transport_scaling\",\n  \"workload\": \"union\",\n  \
          \"wrappers\": [1, {MAX_WRAPPERS}],\n  \"sleep_scale\": {SLEEP_SCALE},\n  \
          \"rows\": [{json_rows}\n  ],\n  \
          \"degraded\": {{\"wrappers\": 4, \"down\": \"s2\", \"partial\": {}, \
-         \"tuples\": {}, \"missing\": [{}]}}\n}}\n",
+         \"tuples\": {}, \"missing\": [{}]}},\n  \
+         \"hedging\": {{\"iterations\": {HEDGE_ITERATIONS}, \"straggler\": \"ra\", \
+         \"straggler_delay_ms\": {STRAGGLER_DELAY_MS}, \
+         \"unhedged\": {{\"p50_ms\": {plain_p50:.3}, \"p99_ms\": {plain_p99:.3}, \"hedges\": {plain_hedges}}}, \
+         \"hedged\": {{\"p50_ms\": {hedged_p50:.3}, \"p99_ms\": {hedged_p99:.3}, \"hedges\": {hedged_hedges}}}, \
+         \"p99_improvement\": {p99_improvement:.3}}}\n}}\n",
         r.is_partial(),
         r.tuples.len(),
         missing

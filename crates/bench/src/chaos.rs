@@ -1,0 +1,281 @@
+//! Deterministic chaos-soak harness for the resilience layer.
+//!
+//! A seeded driver runs a stream of federated queries against a
+//! five-wrapper federation (replicated `R` and `U`, single-homed `S`)
+//! while each endpoint misbehaves according to a fault schedule derived
+//! from the seed. Every answer is checked against an *oracle*: the same
+//! query on a fault-free federation whose collections reported in
+//! `trace.missing` are emptied. A run is correct when every answer
+//! equals its oracle answer — degraded answers are allowed, silently
+//! wrong ones are not.
+//!
+//! Everything is deterministic by construction:
+//!
+//! * endpoints run at `sleep_scale = 0` (no real sleeps) and submits
+//!   are sequential, so no wall-clock race decides an outcome;
+//! * delay faults are caught by *simulated* deadlines
+//!   (`ResiliencePolicy::sim_deadlines`), not elapsed time;
+//! * the straggler wait is set far beyond any test runtime, so hedging
+//!   only fires as failover after a hard failure — never on a timer;
+//! * fault schedules key off per-endpoint submit sequence numbers and
+//!   are generated from `seeded(seed, "chaos:<endpoint>")`.
+//!
+//! Running the same seed twice must therefore produce byte-identical
+//! transcripts; [`SeedReport::digest`] makes that checkable. A failing
+//! seed is replayed with
+//! `cargo run --release -p disco-bench --bin chaos_soak -- <seed>`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use disco_common::rng::seeded;
+use disco_common::{AttributeDef, DataType, Schema, Value};
+use disco_mediator::{Mediator, MediatorOptions, QueryResult, ResiliencePolicy};
+use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
+use disco_transport::{
+    ChannelTransport, FaultKind, FaultPlan, NetProfile, RetryPolicy, TransportClient,
+};
+use disco_wrapper::SourceWrapper;
+
+/// Every endpoint and the collection it serves. `R` and `U` are
+/// replicated pairs; `S` has a single home (its failures degrade).
+const ENDPOINTS: &[(&str, &str)] = &[
+    ("ra", "R"),
+    ("rb", "R"),
+    ("sa", "S"),
+    ("ua", "U"),
+    ("ub", "U"),
+];
+
+/// The query mix cycled by the soak: scans, selections, two-way joins
+/// across wrappers, and unions.
+pub const QUERIES: &[&str] = &[
+    "SELECT v FROM R",
+    "SELECT id, v FROM R WHERE id < 20",
+    "SELECT w FROM S",
+    "SELECT sid FROM S WHERE w = 3",
+    "SELECT uid, t FROM U",
+    "SELECT t FROM U WHERE uid < 10",
+    "SELECT r.v, s.w FROM R r, S s WHERE r.id = s.sid",
+    "SELECT r.id FROM R r, S s WHERE r.id = s.sid AND s.w < 3",
+    "SELECT r.v, u.t FROM R r, U u WHERE r.id = u.uid",
+    "SELECT v FROM R UNION ALL SELECT w FROM S",
+    "SELECT id FROM R WHERE v = 2 UNION ALL SELECT uid FROM U",
+    "SELECT s.w, u.t FROM S s, U u WHERE s.sid = u.uid",
+];
+
+fn schema_for(collection: &str) -> Schema {
+    let (key, val) = match collection {
+        "R" => ("id", "v"),
+        "S" => ("sid", "w"),
+        _ => ("uid", "t"),
+    };
+    Schema::new(vec![
+        AttributeDef::new(key, DataType::Long),
+        AttributeDef::new(val, DataType::Long),
+    ])
+}
+
+/// Fixed, formula-generated rows — identical on every replica.
+fn rows_for(collection: &str) -> Vec<Vec<Value>> {
+    let (count, modulus) = match collection {
+        "R" => (50, 5),
+        "S" => (40, 7),
+        _ => (30, 3),
+    };
+    (0..count)
+        .map(|i| vec![Value::Long(i), Value::Long(i % modulus)])
+        .collect()
+}
+
+/// The resilience posture under chaos: predicted deadlines enforced in
+/// simulated time (delay faults become deterministic timeouts), hedging
+/// restricted to failover (the straggler timer can never fire inside a
+/// test run), and a tight wall-clock ceiling so drop faults stay cheap.
+fn chaos_policy() -> ResiliencePolicy {
+    ResiliencePolicy {
+        predicted_deadlines: true,
+        sim_deadlines: true,
+        time_scale: 0.02,
+        max_deadline_ms: 50.0,
+        min_straggler_wait_ms: 30_000.0,
+        ..ResiliencePolicy::default()
+    }
+}
+
+/// Build the five-wrapper federation; `faults` supplies each endpoint's
+/// schedule and `empty` names collections registered with zero rows
+/// (used by the oracle to mirror a degraded answer).
+fn federation<F: Fn(&str) -> FaultPlan>(faults: F, empty: &BTreeSet<String>) -> Mediator {
+    let mut t = ChannelTransport::new();
+    for (endpoint, collection) in ENDPOINTS {
+        let mut s = PagedStore::new(*endpoint, CostProfile::relational());
+        let rows = if empty.contains(*collection) {
+            Vec::new()
+        } else {
+            rows_for(collection)
+        };
+        s.add_collection(
+            *collection,
+            CollectionBuilder::new(schema_for(collection)).rows(rows),
+        )
+        .expect("collection registers");
+        t.add_wrapper_with(
+            Box::new(SourceWrapper::new(*endpoint, s)),
+            NetProfile::lan(),
+            faults(endpoint),
+        );
+    }
+    let client = TransportClient::new(Box::new(t)).with_retry(RetryPolicy {
+        max_attempts: 2,
+        deadline_ms: 200,
+        backoff_base_ms: 1,
+        backoff_factor: 2.0,
+    });
+    let mut m = Mediator::new().with_options(MediatorOptions {
+        parallel_submits: false,
+        partial_answers: true,
+        resilience: chaos_policy(),
+        ..MediatorOptions::default()
+    });
+    m.connect(client).expect("all wrappers register");
+    m.declare_replicas("R", &["ra", "rb"]).expect("R replicas");
+    m.declare_replicas("U", &["ua", "ub"]).expect("U replicas");
+    m
+}
+
+/// Seeded fault schedule for one endpoint: up to two windows over the
+/// first ~40 submits, each a run of unavailability, huge delays (caught
+/// by the simulated deadline) or dropped messages.
+fn fault_schedule(seed: u64, endpoint: &str) -> FaultPlan {
+    let mut rng = seeded(seed, &format!("chaos:{endpoint}"));
+    let mut plan = FaultPlan::none();
+    for _ in 0..rng.gen_range(0usize..=2) {
+        let from = rng.gen_range(0usize..40) as u64;
+        let len = rng.gen_range(1usize..=5) as u64;
+        let kind = match rng.gen_range(0usize..10) {
+            0..=3 => FaultKind::Unavailable,
+            4..=7 => FaultKind::Delay(1e6 * (1.0 + rng.gen_f64())),
+            _ => FaultKind::Drop,
+        };
+        plan = plan.window(from, from.saturating_add(len), kind);
+    }
+    plan
+}
+
+/// Order-insensitive digest of an answer's tuples.
+fn answer_key(r: &QueryResult) -> String {
+    let mut rows: Vec<String> = r.tuples.iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    rows.join("\n")
+}
+
+/// FNV-1a, for compact transcript digests.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Outcome of soaking one seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedReport {
+    pub seed: u64,
+    /// Queries executed.
+    pub queries: usize,
+    /// Queries answered completely.
+    pub complete: usize,
+    /// Queries degraded to (oracle-correct) partial answers.
+    pub partial: usize,
+    /// Submits served by a replica other than the planned wrapper.
+    pub failovers: u64,
+    /// Straggler hedges spent (expected 0: failover-only hedging).
+    pub hedges: u64,
+    /// Answers that differed from their oracle, with descriptions.
+    pub mismatches: Vec<String>,
+    /// FNV digest of the full run transcript — equal digests mean
+    /// byte-identical runs, which is how determinism is asserted.
+    pub digest: String,
+}
+
+impl SeedReport {
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Soak one seed: run `queries` federated queries under the seed's
+/// fault schedules, checking every answer against its oracle.
+pub fn run_seed(seed: u64, queries: usize) -> SeedReport {
+    let mut m = federation(|e| fault_schedule(seed, e), &BTreeSet::new());
+    let mut oracles: BTreeMap<(usize, BTreeSet<String>), String> = BTreeMap::new();
+    let mut report = SeedReport {
+        seed,
+        queries,
+        complete: 0,
+        partial: 0,
+        failovers: 0,
+        hedges: 0,
+        mismatches: Vec::new(),
+        digest: String::new(),
+    };
+    let mut transcript = String::new();
+
+    for q in 0..queries {
+        let idx = q % QUERIES.len();
+        let sql = QUERIES[idx];
+        let r = match m.query(sql) {
+            Ok(r) => r,
+            Err(e) => {
+                report.mismatches.push(format!(
+                    "query {q} (`{sql}`) errored instead of degrading: {e}"
+                ));
+                transcript.push_str(&format!("{q}:error\n"));
+                continue;
+            }
+        };
+        // A partial answer must equal the fault-free answer with the
+        // reported collections emptied — nothing more may be missing.
+        let missing: BTreeSet<String> = r
+            .trace
+            .missing
+            .iter()
+            .map(|qn| qn.collection.clone())
+            .collect();
+        let got = answer_key(&r);
+        let want = oracles.entry((idx, missing.clone())).or_insert_with(|| {
+            let mut oracle = federation(|_| FaultPlan::none(), &missing);
+            let o = oracle.query(sql).expect("oracle query succeeds");
+            assert!(!o.is_partial(), "oracle must never degrade");
+            answer_key(&o)
+        });
+        if got != *want {
+            report.mismatches.push(format!(
+                "query {q} (`{sql}`): answer diverges from the fault-free \
+                 oracle (missing: [{}]); got {} tuples",
+                missing.iter().cloned().collect::<Vec<_>>().join(", "),
+                r.tuples.len(),
+            ));
+        }
+        if r.is_partial() {
+            report.partial += 1;
+        } else {
+            report.complete += 1;
+        }
+        for s in &r.trace.submits {
+            if !s.failed && !s.served_by.is_empty() && s.served_by != s.wrapper {
+                report.failovers += 1;
+            }
+        }
+        report.hedges += u64::from(r.trace.hedges);
+        transcript.push_str(&format!(
+            "{q}:{:016x}:[{}]\n",
+            fnv64(&got),
+            missing.iter().cloned().collect::<Vec<_>>().join(",")
+        ));
+    }
+    report.digest = format!("{:016x}", fnv64(&transcript));
+    report
+}

@@ -4,6 +4,7 @@
 //! tests can assert on the *shapes* the paper reports — and a binary under
 //! `src/bin/` that prints the same rows the paper's figure/table shows.
 
+pub mod chaos;
 pub mod fig12;
 pub mod historical;
 pub mod micro;

@@ -1,0 +1,36 @@
+//! Tier-1 slice of the chaos soak: a small seed × query matrix runs on
+//! every `cargo test`, the full 8-seed soak lives in the `chaos_soak`
+//! binary (CI's `chaos` job).
+
+use disco_bench::chaos;
+
+#[test]
+fn chaotic_answers_match_the_fault_free_oracle() {
+    for seed in [1u64, 2] {
+        let rep = chaos::run_seed(seed, 24);
+        assert!(
+            rep.passed(),
+            "seed {seed} diverged from the oracle: {:#?}\nreplay: \
+             cargo run --release -p disco-bench --bin chaos_soak -- {seed}",
+            rep.mismatches
+        );
+        assert_eq!(rep.complete + rep.partial, 24);
+    }
+}
+
+#[test]
+fn same_seed_produces_identical_transcripts() {
+    let a = chaos::run_seed(7, 18);
+    let b = chaos::run_seed(7, 18);
+    assert_eq!(a, b, "chaos runs must be deterministic per seed");
+}
+
+#[test]
+fn fault_free_seedless_run_is_fully_complete() {
+    // Seed 0 may still draw fault windows; what must hold everywhere:
+    // nothing straggler-hedges (failover-only posture) and every query
+    // matches its oracle.
+    let rep = chaos::run_seed(0, chaos::QUERIES.len());
+    assert!(rep.passed(), "{:#?}", rep.mismatches);
+    assert_eq!(rep.hedges, 0, "straggler timer must never fire under chaos");
+}

@@ -93,6 +93,9 @@ pub struct WrapperEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     wrappers: BTreeMap<String, WrapperEntry>,
+    /// Declared replica sets: collection name → wrappers serving
+    /// identical copies, in declared (preference) order.
+    replicas: BTreeMap<String, Vec<String>>,
     next_id: u32,
 }
 
@@ -131,12 +134,18 @@ impl Catalog {
     }
 
     /// Remove a wrapper and all its collections (the administrative
-    /// re-registration path of §2.1).
+    /// re-registration path of §2.1). The wrapper also leaves any
+    /// replica sets it was declared in.
     pub fn unregister_wrapper(&mut self, name: &str) -> Result<()> {
         self.wrappers
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{name}` is not registered")))
+            .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{name}` is not registered")))?;
+        for set in self.replicas.values_mut() {
+            set.retain(|w| w != name);
+        }
+        self.replicas.retain(|_, set| set.len() > 1);
+        Ok(())
     }
 
     /// Register a collection under a wrapper.
@@ -204,10 +213,80 @@ impl Catalog {
         Ok(())
     }
 
+    /// Declare that `wrappers` all serve identical copies of
+    /// `collection`, in preference order (the first is the default
+    /// primary; the optimizer may reorder by cost and health). Every
+    /// wrapper must already have the collection registered, and all
+    /// copies must export the same schema.
+    pub fn declare_replicas(&mut self, collection: &str, wrappers: &[&str]) -> Result<()> {
+        if wrappers.len() < 2 {
+            return Err(DiscoError::Catalog(format!(
+                "replica set for `{collection}` needs at least two wrappers"
+            )));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        let mut schema: Option<&Schema> = None;
+        for &w in wrappers {
+            if seen.contains(&w) {
+                return Err(DiscoError::Catalog(format!(
+                    "wrapper `{w}` listed twice in the replica set for `{collection}`"
+                )));
+            }
+            seen.push(w);
+            let entry = self
+                .wrappers
+                .get(w)
+                .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{w}` is not registered")))?;
+            let copy = entry.collections.get(collection).ok_or_else(|| {
+                DiscoError::Catalog(format!(
+                    "wrapper `{w}` does not serve collection `{collection}`"
+                ))
+            })?;
+            match schema {
+                None => schema = Some(&copy.schema),
+                Some(first) if *first != copy.schema => {
+                    return Err(DiscoError::Catalog(format!(
+                        "replica schemas for `{collection}` disagree between \
+                         `{}` and `{w}`",
+                        wrappers[0]
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        self.replicas.insert(
+            collection.to_string(),
+            wrappers.iter().map(|w| w.to_string()).collect(),
+        );
+        Ok(())
+    }
+
+    /// The declared replica set for a collection (preference order), if
+    /// any.
+    pub fn replicas(&self, collection: &str) -> Option<&[String]> {
+        self.replicas.get(collection).map(|v| v.as_slice())
+    }
+
+    /// The other wrappers serving identical copies of `name`'s
+    /// collection, in declared order. Empty when the collection is not
+    /// replicated (or `name`'s wrapper is not in its declared set).
+    pub fn replica_peers(&self, name: &QualifiedName) -> Vec<String> {
+        match self.replicas.get(&name.collection) {
+            Some(set) if set.contains(&name.wrapper) => set
+                .iter()
+                .filter(|w| **w != name.wrapper)
+                .cloned()
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
     /// Resolve a bare collection name to qualified names across wrappers.
     ///
     /// Client queries may name collections unqualified; ambiguity is a
-    /// catalog error surfaced to the user.
+    /// catalog error surfaced to the user — unless the copies form one
+    /// declared replica set, in which case the set's preferred wrapper
+    /// wins (the optimizer will still consider every replica by cost).
     pub fn resolve(&self, collection: &str) -> Result<QualifiedName> {
         let matches: Vec<&CatalogCollection> = self
             .wrappers
@@ -219,9 +298,17 @@ impl Catalog {
                 "unknown collection `{collection}`"
             ))),
             1 => Ok(matches[0].name.clone()),
-            n => Err(DiscoError::Catalog(format!(
-                "collection `{collection}` is ambiguous across {n} wrappers; qualify it"
-            ))),
+            n => {
+                if let Some(set) = self.replicas.get(collection) {
+                    let covered = matches.iter().all(|c| set.contains(&c.name.wrapper));
+                    if covered {
+                        return Ok(QualifiedName::new(set[0].clone(), collection));
+                    }
+                }
+                Err(DiscoError::Catalog(format!(
+                    "collection `{collection}` is ambiguous across {n} wrappers; qualify it"
+                )))
+            }
         }
     }
 
@@ -325,6 +412,78 @@ mod tests {
         .unwrap();
         let e = c.resolve("Employee").unwrap_err();
         assert!(e.message().contains("ambiguous"));
+    }
+
+    #[test]
+    fn replica_sets_resolve_to_the_preferred_wrapper() {
+        let mut c = catalog_with_two_wrappers();
+        c.register_collection(
+            "files",
+            "Employee",
+            schema(),
+            CollectionStats::defaults_for(),
+        )
+        .unwrap();
+        // Ambiguous until declared as replicas…
+        assert!(c.resolve("Employee").is_err());
+        c.declare_replicas("Employee", &["hr", "files"]).unwrap();
+        assert_eq!(
+            c.resolve("Employee").unwrap(),
+            QualifiedName::new("hr", "Employee")
+        );
+        assert_eq!(
+            c.replica_peers(&QualifiedName::new("hr", "Employee")),
+            vec!["files".to_string()]
+        );
+        assert_eq!(
+            c.replica_peers(&QualifiedName::new("files", "Employee")),
+            vec!["hr".to_string()]
+        );
+        // Non-replicated collections have no peers.
+        assert!(c
+            .replica_peers(&QualifiedName::new("files", "Log"))
+            .is_empty());
+    }
+
+    #[test]
+    fn replica_declaration_is_validated() {
+        let mut c = catalog_with_two_wrappers();
+        // files has no Employee copy yet.
+        assert!(c.declare_replicas("Employee", &["hr", "files"]).is_err());
+        // Singleton and duplicate sets are rejected.
+        assert!(c.declare_replicas("Employee", &["hr"]).is_err());
+        assert!(c.declare_replicas("Employee", &["hr", "hr"]).is_err());
+        // Mismatched schemas are rejected.
+        c.register_collection(
+            "files",
+            "Employee",
+            Schema::new(vec![AttributeDef::new("other", DataType::Str)]),
+            CollectionStats::defaults_for(),
+        )
+        .unwrap();
+        let e = c
+            .declare_replicas("Employee", &["hr", "files"])
+            .unwrap_err();
+        assert!(e.message().contains("disagree"));
+    }
+
+    #[test]
+    fn unregister_prunes_replica_sets() {
+        let mut c = catalog_with_two_wrappers();
+        c.register_collection(
+            "files",
+            "Employee",
+            schema(),
+            CollectionStats::defaults_for(),
+        )
+        .unwrap();
+        c.declare_replicas("Employee", &["hr", "files"]).unwrap();
+        c.unregister_wrapper("files").unwrap();
+        assert!(c.replicas("Employee").is_none());
+        assert_eq!(
+            c.resolve("Employee").unwrap(),
+            QualifiedName::new("hr", "Employee")
+        );
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Per-wrapper health tracking for adaptive scope penalties.
+//!
+//! The transport layer records every submit outcome here; the estimator
+//! consults [`HealthTracker::penalty`] as a multiplicative factor on the
+//! time variables of `submit` nodes (wrapper scope, §4.1 of the paper),
+//! so a wrapper that keeps timing out genuinely loses plans to its
+//! replicas — and wins them back as the penalty decays on success.
+//!
+//! Two exponentially-weighted moving averages are kept per wrapper:
+//!
+//! * **failure rate** — 1.0 for a failed submit attempt, 0.0 for a
+//!   successful one;
+//! * **latency ratio** — observed communication time divided by the
+//!   predicted total time for that subplan (only sampled when a
+//!   prediction was available). A healthy wrapper sits at or below 1.0;
+//!   a straggler drifts above it.
+//!
+//! The penalty is `1 + failure_weight·fail + latency_weight·max(0,
+//! ratio − 1)`, clamped to `[1, max_penalty]`. [`HealthTracker::tick`]
+//! applies a mild decay to *every* tracked wrapper once per query so a
+//! penalized wrapper that lost all its traffic (and therefore records
+//! no successes) still recovers instead of being starved forever.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Tuning knobs for [`HealthTracker`]. Embedded in the transport
+/// layer's `ResiliencePolicy` so all resilience knobs live in one
+/// place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// EWMA weight of a new failure/success observation (0..=1).
+    pub failure_alpha: f64,
+    /// EWMA weight of a new latency-ratio observation (0..=1).
+    pub latency_alpha: f64,
+    /// Penalty contribution per unit of failure EWMA.
+    pub failure_weight: f64,
+    /// Penalty contribution per unit of latency ratio above 1.0.
+    pub latency_weight: f64,
+    /// Upper clamp on the multiplicative penalty.
+    pub max_penalty: f64,
+    /// Fraction of each EWMA shed by one [`HealthTracker::tick`] call
+    /// (invoked once per executed query), so unused wrappers heal.
+    pub decay_per_tick: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            failure_alpha: 0.35,
+            latency_alpha: 0.35,
+            failure_weight: 6.0,
+            latency_weight: 1.0,
+            max_penalty: 16.0,
+            decay_per_tick: 0.08,
+        }
+    }
+}
+
+/// Point-in-time view of one wrapper's health, for metrics and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// EWMA of the failure indicator (0 = always succeeds).
+    pub failure_ewma: f64,
+    /// EWMA of observed/predicted latency (1 = exactly as predicted).
+    pub latency_ratio: f64,
+    /// Multiplicative penalty derived from the two EWMAs (≥ 1).
+    pub penalty: f64,
+    /// Total submit attempts observed for this wrapper.
+    pub observations: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Health {
+    failure_ewma: f64,
+    latency_ratio: f64,
+    observations: u64,
+}
+
+impl Health {
+    fn new() -> Self {
+        Health {
+            failure_ewma: 0.0,
+            latency_ratio: 1.0,
+            observations: 0,
+        }
+    }
+}
+
+/// Thread-safe per-wrapper health registry shared between the
+/// transport client (writer) and the estimator (reader).
+#[derive(Debug)]
+pub struct HealthTracker {
+    policy: HealthPolicy,
+    inner: Mutex<BTreeMap<String, Health>>,
+}
+
+impl Default for HealthTracker {
+    fn default() -> Self {
+        HealthTracker::new(HealthPolicy::default())
+    }
+}
+
+impl HealthTracker {
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthTracker {
+            policy,
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Record one successful submit attempt. `observed_ms` is the
+    /// communication time actually charged; `predicted_ms` the cost
+    /// model's total-time prediction for the subplan, when available.
+    pub fn record_success(&self, wrapper: &str, observed_ms: f64, predicted_ms: Option<f64>) {
+        let mut inner = self.inner.lock().unwrap();
+        let h = inner.entry(wrapper.to_string()).or_insert_with(Health::new);
+        h.observations += 1;
+        let a = self.policy.failure_alpha;
+        h.failure_ewma *= 1.0 - a;
+        if let Some(pred) = predicted_ms {
+            if pred > 0.0 && observed_ms.is_finite() {
+                let ratio = observed_ms / pred;
+                let b = self.policy.latency_alpha;
+                h.latency_ratio = (1.0 - b) * h.latency_ratio + b * ratio;
+            }
+        }
+    }
+
+    /// Record one failed submit attempt (timeout, drop, unavailable).
+    pub fn record_failure(&self, wrapper: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        let h = inner.entry(wrapper.to_string()).or_insert_with(Health::new);
+        h.observations += 1;
+        let a = self.policy.failure_alpha;
+        h.failure_ewma = (1.0 - a) * h.failure_ewma + a;
+    }
+
+    /// Mild decay applied to every tracked wrapper; called once per
+    /// executed query so wrappers that lost all traffic still heal.
+    pub fn tick(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let d = self.policy.decay_per_tick;
+        for h in inner.values_mut() {
+            h.failure_ewma *= 1.0 - d;
+            h.latency_ratio = 1.0 + (h.latency_ratio - 1.0) * (1.0 - d);
+        }
+    }
+
+    fn penalty_of(&self, h: &Health) -> f64 {
+        let p = 1.0
+            + self.policy.failure_weight * h.failure_ewma
+            + self.policy.latency_weight * (h.latency_ratio - 1.0).max(0.0);
+        // Dead zone: the EWMAs decay asymptotically and never reach
+        // exactly zero, but a negligible residue must read as fully
+        // healthy so an almost-healed wrapper wins cost ties against
+        // its replicas again (the optimizer compares strictly).
+        if p < 1.05 {
+            return 1.0;
+        }
+        p.clamp(1.0, self.policy.max_penalty.max(1.0))
+    }
+
+    /// Multiplicative wrapper-scope penalty (≥ 1; 1 = healthy or
+    /// never observed).
+    pub fn penalty(&self, wrapper: &str) -> f64 {
+        let inner = self.inner.lock().unwrap();
+        match inner.get(wrapper) {
+            Some(h) => self.penalty_of(h),
+            None => 1.0,
+        }
+    }
+
+    /// Snapshot of every tracked wrapper, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, HealthSnapshot)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HealthSnapshot {
+                        failure_ewma: h.failure_ewma,
+                        latency_ratio: h.latency_ratio,
+                        penalty: self.penalty_of(h),
+                        observations: h.observations,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Forget all recorded history (used by tests and the chaos
+    /// harness between runs).
+    pub fn reset(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_wrapper_is_healthy() {
+        let t = HealthTracker::default();
+        assert_eq!(t.penalty("nowhere"), 1.0);
+    }
+
+    #[test]
+    fn failures_raise_penalty_and_successes_decay_it() {
+        let t = HealthTracker::default();
+        for _ in 0..6 {
+            t.record_failure("w");
+        }
+        let peak = t.penalty("w");
+        assert!(peak > 2.0, "peak penalty {peak} too small");
+        for _ in 0..20 {
+            t.record_success("w", 100.0, Some(100.0));
+        }
+        let healed = t.penalty("w");
+        assert!(
+            healed < peak * 0.2,
+            "penalty {healed} did not decay from {peak}"
+        );
+    }
+
+    #[test]
+    fn straggler_latency_raises_penalty() {
+        let t = HealthTracker::default();
+        for _ in 0..10 {
+            t.record_success("slow", 1000.0, Some(100.0));
+        }
+        assert!(t.penalty("slow") > 2.0);
+        for _ in 0..10 {
+            t.record_success("fast", 50.0, Some(100.0));
+        }
+        assert_eq!(t.penalty("fast"), 1.0);
+    }
+
+    #[test]
+    fn tick_heals_idle_wrappers() {
+        let t = HealthTracker::default();
+        for _ in 0..8 {
+            t.record_failure("w");
+        }
+        let peak = t.penalty("w");
+        for _ in 0..60 {
+            t.tick();
+        }
+        assert!(t.penalty("w") < (peak - 1.0) * 0.05 + 1.0);
+    }
+
+    #[test]
+    fn penalty_is_clamped() {
+        let policy = HealthPolicy {
+            max_penalty: 3.0,
+            ..HealthPolicy::default()
+        };
+        let t = HealthTracker::new(policy);
+        for _ in 0..50 {
+            t.record_failure("w");
+        }
+        assert!(t.penalty("w") <= 3.0);
+    }
+}

@@ -13,6 +13,8 @@
 //!   phase;
 //! * [`rng`] — deterministic random number helpers used by the simulated
 //!   data sources and workload generators;
+//! * [`health`] — per-wrapper failure/latency EWMAs feeding the
+//!   estimator's adaptive wrapper-scope penalties;
 //! * [`wire`] — the binary encode/decode substrate every payload crossing
 //!   the mediator ↔ wrapper transport boundary is built from.
 //!
@@ -21,6 +23,7 @@
 
 pub mod batch;
 pub mod error;
+pub mod health;
 pub mod rng;
 pub mod schema;
 pub mod tuple;
@@ -29,6 +32,7 @@ pub mod wire;
 
 pub use batch::{Batch, Bitmap, Column, ColumnBuilder, ColumnData, Key, ValueRef};
 pub use error::{DiscoError, Result};
+pub use health::{HealthPolicy, HealthSnapshot, HealthTracker};
 pub use schema::{AttributeDef, QualifiedName, Schema, WrapperId};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

@@ -18,7 +18,7 @@
 
 use disco_algebra::{CompareOp, LogicalPlan, SelectPredicate};
 use disco_catalog::{restriction_selectivity, Catalog, CollectionStats};
-use disco_common::{DiscoError, QualifiedName, Result, Value};
+use disco_common::{DiscoError, HealthTracker, QualifiedName, Result, Value};
 use disco_costlang::ast::PathLeaf;
 use disco_costlang::bytecode::{AttrSpec, ChildRef, CollSpec, Instr};
 use disco_costlang::{eval_program, CostVar, EvalEnv};
@@ -63,17 +63,32 @@ pub struct EstimateReport {
 }
 
 /// The estimator: a rule registry plus the catalog it resolves statistics
-/// from.
+/// from, optionally consulting a health tracker for adaptive
+/// wrapper-scope penalties.
 #[derive(Debug, Clone, Copy)]
 pub struct Estimator<'a> {
     registry: &'a RuleRegistry,
     catalog: &'a Catalog,
+    health: Option<&'a HealthTracker>,
 }
 
 impl<'a> Estimator<'a> {
     /// Build an estimator over a registry and catalog.
     pub fn new(registry: &'a RuleRegistry, catalog: &'a Catalog) -> Self {
-        Estimator { registry, catalog }
+        Estimator {
+            registry,
+            catalog,
+            health: None,
+        }
+    }
+
+    /// Consult `health` when pricing `submit` nodes (builder style): the
+    /// node's time variables are multiplied by the target wrapper's
+    /// current penalty, so observed timeouts and stragglers reshape the
+    /// prediction at wrapper scope (§4.1) and plans shift to replicas.
+    pub fn with_health(mut self, health: Option<&'a HealthTracker>) -> Self {
+        self.health = health;
+        self
     }
 
     /// Estimate a plan's cost.
@@ -386,7 +401,22 @@ impl<'a> Run<'a> {
             };
             partial.set(var, v);
         }
-        let cost = partial.finish().expect("all variables computed");
+        let mut cost = partial.finish().expect("all variables computed");
+
+        // Adaptive wrapper-scope penalty: a submit to a wrapper with
+        // observed timeouts or straggling replies gets its time
+        // variables scaled up, so the optimizer routes around it. The
+        // penalty is constant for the duration of one run, so memoized
+        // values stay consistent.
+        let mut health_penalty = 1.0;
+        if let (Some(health), LogicalPlan::Submit { wrapper, .. }) = (self.est.health, plan) {
+            health_penalty = health.penalty(wrapper);
+            if health_penalty > 1.0 {
+                cost.time_first *= health_penalty;
+                cost.time_next *= health_penalty;
+                cost.total_time *= health_penalty;
+            }
+        }
 
         // Explain mode reports the whole plan: visit the children the
         // §4.2 cut-off skipped. Their costs are not folded into this
@@ -403,7 +433,11 @@ impl<'a> Run<'a> {
         }
 
         let explain_node = self.explain.then(|| ExplainNode {
-            operator: describe_node(plan),
+            operator: if health_penalty > 1.0 {
+                format!("{} [health ×{health_penalty:.2}]", describe_node(plan))
+            } else {
+                describe_node(plan)
+            },
             cost,
             attributions,
             children: children_explain.into_iter().flatten().collect(),

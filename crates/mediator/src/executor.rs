@@ -28,14 +28,15 @@
 //! [`ExecutionTrace::missing`] — a degraded result, not an error.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
 
 use disco_algebra::{LogicalPlan, PhysicalJoinAlgo, PhysicalPlan};
 use disco_common::{Batch, DiscoError, QualifiedName, Result, Schema, Tuple};
 use disco_core::{MeasuredNode, NodeCost, RuleRegistry};
 use disco_sources::vexec;
 use disco_sources::{BatchAnswer, ExecStats, VirtualClock};
-use disco_transport::TransportClient;
+use disco_transport::{HedgeTarget, ResiliencePolicy, SubmitOptions, TransportClient};
 use disco_wrapper::Wrapper;
 
 /// Record of one submitted subquery.
@@ -56,6 +57,22 @@ pub struct SubmitTrace {
     /// The submit exhausted its retry budget and was substituted with an
     /// empty subanswer (partial-answer mode).
     pub failed: bool,
+    /// Replica that actually answered (equals `wrapper` unless a hedge
+    /// or failover won the race; empty when the submit failed).
+    pub served_by: String,
+    /// Straggler-triggered hedges this submit launched.
+    pub hedges: u32,
+}
+
+/// The cost model's prediction for one submit site, aligned with the
+/// plan's submit order. Drives predicted deadlines (`TotalTime`) and
+/// straggler thresholds (`TimeFirst`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SitePrediction {
+    /// Predicted `TotalTime` for the subplan, simulated ms.
+    pub total_ms: f64,
+    /// Predicted `TimeFirst` for the subplan, simulated ms.
+    pub first_ms: f64,
 }
 
 /// Accounting for one query execution.
@@ -81,6 +98,11 @@ pub struct ExecutionTrace {
     /// cumulative simulated time), mirroring the plan tree — the measured
     /// half of EXPLAIN ANALYZE.
     pub measured: Option<MeasuredNode>,
+    /// Straggler-triggered hedges launched across all submits.
+    pub hedges: u32,
+    /// The query-level time budget ran out before every submit was
+    /// issued; skipped submits appear in [`missing`](Self::missing).
+    pub budget_exhausted: bool,
 }
 
 impl ExecutionTrace {
@@ -157,6 +179,10 @@ struct SubmitSite<'p> {
 /// The fetch phase's product for one site.
 struct Fetched {
     outcome: Result<FetchedAnswer>,
+    /// The site was never submitted: the query budget ran out first.
+    /// Always degrades to an empty subanswer, even when partial answers
+    /// are off — an exhausted budget is a policy decision, not a fault.
+    budget_skipped: bool,
 }
 
 struct FetchedAnswer {
@@ -164,6 +190,10 @@ struct FetchedAnswer {
     comm_ms: f64,
     wall_ms: f64,
     attempts: u32,
+    /// Replica that answered (the site's wrapper unless a hedge won).
+    served_by: String,
+    /// Straggler-triggered hedges launched for this site.
+    hedges: u32,
 }
 
 /// Executes physical plans against registered wrappers.
@@ -172,6 +202,11 @@ pub struct Executor<'a> {
     registry: &'a RuleRegistry,
     parallel: bool,
     partial_answers: bool,
+    resilience: Option<ResiliencePolicy>,
+    /// Cost predictions per submit site, in submit (collect) order.
+    predictions: Vec<Option<SitePrediction>>,
+    /// Fallback replica wrappers per primary wrapper, in failover order.
+    replicas: BTreeMap<String, Vec<String>>,
 }
 
 impl<'a> Executor<'a> {
@@ -186,6 +221,9 @@ impl<'a> Executor<'a> {
             registry,
             parallel: false,
             partial_answers: false,
+            resilience: None,
+            predictions: Vec::new(),
+            replicas: BTreeMap::new(),
         }
     }
 
@@ -196,6 +234,9 @@ impl<'a> Executor<'a> {
             registry,
             parallel: false,
             partial_answers: false,
+            resilience: None,
+            predictions: Vec::new(),
+            replicas: BTreeMap::new(),
         }
     }
 
@@ -213,6 +254,29 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Derive deadlines, budgets and hedging from the cost model
+    /// (builder style). Only affects the transport backend.
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Some(policy);
+        self
+    }
+
+    /// Attach the optimizer's per-site cost predictions, aligned with
+    /// the plan's submit order (builder style). Sites without a
+    /// prediction fall back to flat deadlines.
+    pub fn with_predictions(mut self, predictions: Vec<Option<SitePrediction>>) -> Self {
+        self.predictions = predictions;
+        self
+    }
+
+    /// Attach failover replica lists: for each wrapper, the peers (in
+    /// preference order) that serve the same collections and can absorb
+    /// a hedge or failover (builder style).
+    pub fn with_replicas(mut self, replicas: BTreeMap<String, Vec<String>>) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
     fn param(&self, name: &str, default: f64) -> f64 {
         self.registry.params().get_f64(name).unwrap_or(default)
     }
@@ -226,8 +290,18 @@ impl<'a> Executor<'a> {
         let mut sites = Vec::new();
         collect_submits(plan, &mut sites);
         let started = Instant::now();
-        let fetched = self.fetch_all(&sites);
+        let budget_deadline = self
+            .resilience
+            .as_ref()
+            .and_then(|p| p.query_budget_ms)
+            .filter(|ms| ms.is_finite() && *ms >= 0.0)
+            .map(|ms| started + Duration::from_micros((ms * 1e3) as u64));
+        let fetched = self.fetch_all(&sites, budget_deadline);
         trace.submit_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        trace.budget_exhausted = fetched.iter().any(|f| f.budget_skipped);
+        if trace.budget_exhausted && disco_obs::enabled() {
+            disco_obs::counter(disco_obs::names::BUDGET_EXHAUSTED, &[]).inc();
+        }
         // Only a threaded fan-out over a real transport yields a wall
         // clock that means anything: in-process wrappers have no network,
         // so their "measured" communication would be zero.
@@ -248,8 +322,18 @@ impl<'a> Executor<'a> {
         Ok((schema, batch.to_tuples(), trace))
     }
 
-    /// Obtain subanswers for all sites, in site order.
-    fn fetch_all(&self, sites: &[SubmitSite<'_>]) -> Vec<Fetched> {
+    /// Obtain subanswers for all sites, in site order. The straggler
+    /// hedge allowance is shared across sites (per-query cap).
+    fn fetch_all(
+        &self,
+        sites: &[SubmitSite<'_>],
+        budget_deadline: Option<Instant>,
+    ) -> Vec<Fetched> {
+        let hedge_budget = AtomicU32::new(
+            self.resilience
+                .as_ref()
+                .map_or(0, |p| p.max_hedges_per_query),
+        );
         if self.parallel && sites.len() > 1 {
             match self.backend {
                 Backend::Local(wrappers) => {
@@ -264,9 +348,21 @@ impl<'a> Executor<'a> {
                     })
                 }
                 Backend::Remote(client) => std::thread::scope(|s| {
+                    let hedge_budget = &hedge_budget;
                     let handles: Vec<_> = sites
                         .iter()
-                        .map(|site| s.spawn(move || fetch_remote(client, site)))
+                        .enumerate()
+                        .map(|(i, site)| {
+                            s.spawn(move || {
+                                self.fetch_remote_site(
+                                    client,
+                                    site,
+                                    i,
+                                    hedge_budget,
+                                    budget_deadline,
+                                )
+                            })
+                        })
                         .collect();
                     handles.into_iter().map(join_fetch).collect()
                 }),
@@ -274,16 +370,111 @@ impl<'a> Executor<'a> {
         } else {
             sites
                 .iter()
-                .map(|site| match self.backend {
+                .enumerate()
+                .map(|(i, site)| match self.backend {
                     Backend::Local(wrappers) => fetch_local(
                         wrappers,
                         site,
                         self.param("MsgLatency", 100.0),
                         self.param("PerByte", 0.001),
                     ),
-                    Backend::Remote(client) => fetch_remote(client, site),
+                    Backend::Remote(client) => {
+                        self.fetch_remote_site(client, site, i, &hedge_budget, budget_deadline)
+                    }
                 })
                 .collect()
+        }
+    }
+
+    /// Fetch one subanswer over the transport, applying the resilience
+    /// policy when one is attached: predicted deadlines (capped by the
+    /// remaining query budget), hedged replica submits and failover.
+    /// Without a policy this is the seed's plain submit.
+    fn fetch_remote_site(
+        &self,
+        client: &TransportClient,
+        site: &SubmitSite<'_>,
+        index: usize,
+        hedge_budget: &AtomicU32,
+        budget_deadline: Option<Instant>,
+    ) -> Fetched {
+        let Some(policy) = &self.resilience else {
+            return fetch_remote(client, site);
+        };
+
+        // Query budget: a site reached after the budget ran out is never
+        // submitted; remaining time caps the per-attempt deadline.
+        let remaining_ms = budget_deadline.map(|d| {
+            let now = Instant::now();
+            if now >= d {
+                0.0
+            } else {
+                (d - now).as_secs_f64() * 1e3
+            }
+        });
+        if remaining_ms.is_some_and(|ms| ms < 1.0) {
+            return Fetched {
+                outcome: Err(DiscoError::Timeout(format!(
+                    "query budget exhausted before submit to `{}`",
+                    site.wrapper
+                ))),
+                budget_skipped: true,
+            };
+        }
+
+        let prediction = self.predictions.get(index).copied().flatten();
+        let total = prediction.map(|p| p.total_ms);
+        let mut opts = SubmitOptions {
+            deadline_ms: policy.wall_deadline_ms(total),
+            sim_deadline_ms: policy.sim_deadline_ms(total),
+            predicted_total_ms: total,
+        };
+        if let Some(rem) = remaining_ms {
+            let cap = rem.ceil().max(1.0) as u64;
+            opts.deadline_ms = Some(opts.deadline_ms.map_or(cap, |d| d.min(cap)));
+        }
+
+        let mut targets = vec![HedgeTarget {
+            endpoint: site.wrapper.to_string(),
+            plan: site.plan.clone(),
+            opts,
+        }];
+        if policy.hedge {
+            if let Some(peers) = self.replicas.get(site.wrapper) {
+                for peer in peers {
+                    targets.push(HedgeTarget {
+                        endpoint: peer.clone(),
+                        plan: site.plan.retargeted(peer),
+                        opts,
+                    });
+                }
+            }
+        }
+        let wait = policy
+            .straggler_wait_ms(prediction.map(|p| p.first_ms))
+            .map(Duration::from_millis);
+        let allowance = hedge_budget.load(Ordering::Relaxed);
+
+        let outcome = client
+            .submit_batch_hedged(&targets, wait, allowance)
+            .map(|h| {
+                if h.hedges > 0 {
+                    let _ = hedge_budget.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(h.hedges))
+                    });
+                }
+                FetchedAnswer {
+                    served_by: targets[h.winner].endpoint.clone(),
+                    hedges: h.hedges,
+                    answer: h.outcome.answer,
+                    comm_ms: h.outcome.comm_ms,
+                    wall_ms: h.outcome.wall_ms,
+                    attempts: h.outcome.attempts,
+                }
+            });
+        Fetched {
+            outcome,
+            budget_skipped: false,
         }
     }
 
@@ -336,6 +527,7 @@ impl<'a> Executor<'a> {
                 let next = fetched
                     .next()
                     .ok_or_else(|| DiscoError::Exec("submit site without a fetch".into()))?;
+                let budget_skipped = next.budget_skipped;
                 match next.outcome {
                     Ok(f) => {
                         // A wrapper returning a different shape than it
@@ -351,6 +543,7 @@ impl<'a> Executor<'a> {
                         let bytes = f.answer.batch.byte_width();
                         trace.wrapper_ms += f.answer.stats.elapsed_ms;
                         trace.communication_ms += f.comm_ms;
+                        trace.hedges += f.hedges;
                         trace.submits.push(SubmitTrace {
                             wrapper: wrapper.clone(),
                             plan: plan.clone(),
@@ -361,10 +554,12 @@ impl<'a> Executor<'a> {
                             wall_ms: f.wall_ms,
                             attempts: f.attempts,
                             failed: false,
+                            served_by: f.served_by,
+                            hedges: f.hedges,
                         });
                         Ok((f.answer.schema, f.answer.batch, operator, false, vec![]))
                     }
-                    Err(e) if self.partial_answers && e.is_transient() => {
+                    Err(e) if (self.partial_answers && e.is_transient()) || budget_skipped => {
                         // The wrapper stayed down past the retry budget:
                         // contribute an empty, schema-correct subanswer
                         // and report what is missing (degraded result).
@@ -381,6 +576,8 @@ impl<'a> Executor<'a> {
                             wall_ms: 0.0,
                             attempts: 0,
                             failed: true,
+                            served_by: String::new(),
+                            hedges: 0,
                         });
                         Ok((
                             expected_schema.clone(),
@@ -476,6 +673,15 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Submit sites of a plan in fetch order (depth-first, left before
+/// right): `(wrapper, subplan)` pairs. The mediator aligns per-site
+/// cost predictions with this order.
+pub(crate) fn submit_sites(plan: &PhysicalPlan) -> Vec<(&str, &LogicalPlan)> {
+    let mut sites = Vec::new();
+    collect_submits(plan, &mut sites);
+    sites.into_iter().map(|s| (s.wrapper, s.plan)).collect()
+}
+
 /// Collect `SubmitRemote` sites in the same order `run` reaches them
 /// (depth-first, left before right).
 fn collect_submits<'p>(plan: &'p PhysicalPlan, out: &mut Vec<SubmitSite<'p>>) {
@@ -512,10 +718,15 @@ fn fetch_local(
                 comm_ms: msg_latency + bytes as f64 * per_byte,
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 attempts: 1,
+                served_by: site.wrapper.to_string(),
+                hedges: 0,
                 answer: BatchAnswer::from(answer),
             }
         });
-    Fetched { outcome }
+    Fetched {
+        outcome,
+        budget_skipped: false,
+    }
 }
 
 /// Fetch one subanswer over the transport: deadlines, retries and circuit
@@ -529,13 +740,19 @@ fn fetch_remote(client: &TransportClient, site: &SubmitSite<'_>) -> Fetched {
             comm_ms: o.comm_ms,
             wall_ms: o.wall_ms,
             attempts: o.attempts,
+            served_by: site.wrapper.to_string(),
+            hedges: 0,
         });
-    Fetched { outcome }
+    Fetched {
+        outcome,
+        budget_skipped: false,
+    }
 }
 
 fn join_fetch(handle: std::thread::ScopedJoinHandle<'_, Fetched>) -> Fetched {
     handle.join().unwrap_or_else(|_| Fetched {
         outcome: Err(DiscoError::Exec("submit worker thread panicked".into())),
+        budget_skipped: false,
     })
 }
 

@@ -27,7 +27,8 @@ pub mod optimizer;
 pub mod sql;
 
 pub use analyze::{AnalyzedQuery, TableBinding};
-pub use executor::{ExecutionTrace, Executor, QueryResult, SubmitTrace};
+pub use disco_transport::ResiliencePolicy;
+pub use executor::{ExecutionTrace, Executor, QueryResult, SitePrediction, SubmitTrace};
 pub use mediator::{AnalyzeReport, Mediator, MediatorOptions};
 pub use optimizer::{to_logical, JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
 pub use sql::{parse_query, parse_statement, Statement};

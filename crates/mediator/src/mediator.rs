@@ -1,17 +1,18 @@
 //! The mediator facade: registration phase + query phase (Figures 1–2).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use disco_algebra::display::explain_physical;
-use disco_algebra::PhysicalPlan;
+use disco_algebra::{LogicalPlan, PhysicalPlan};
 use disco_catalog::Catalog;
-use disco_common::{DiscoError, Result};
+use disco_common::{DiscoError, HealthTracker, Result};
 use disco_core::{AnalyzeNode, Estimator, HistoryRecorder, NodeCost, RuleRegistry};
-use disco_transport::TransportClient;
+use disco_transport::{ResiliencePolicy, TransportClient};
 use disco_wrapper::{Registration, Wrapper};
 
 use crate::analyze::analyze;
-use crate::executor::{Executor, QueryResult};
+use crate::executor::{submit_sites, Executor, QueryResult, SitePrediction};
 use crate::optimizer::{JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
 
 /// Behaviour switches.
@@ -41,6 +42,10 @@ pub struct MediatorOptions {
     /// crossover); 0 forces DP at every size. See
     /// [`OptimizerOptions::small_query_threshold`].
     pub small_query_threshold: usize,
+    /// Cost-model-driven resilience: predicted deadlines, query budgets,
+    /// hedged replica submits and adaptive wrapper penalties. Only
+    /// meaningful with a connected transport.
+    pub resilience: ResiliencePolicy,
 }
 
 impl Default for MediatorOptions {
@@ -52,6 +57,7 @@ impl Default for MediatorOptions {
             partial_answers: true,
             enumeration: JoinEnumeration::default(),
             small_query_threshold: OptimizerOptions::default().small_query_threshold,
+            resilience: ResiliencePolicy::default(),
         }
     }
 }
@@ -65,6 +71,10 @@ pub struct Mediator {
     history: HistoryRecorder,
     options: MediatorOptions,
     tracer: Option<disco_obs::Tracer>,
+    /// Per-wrapper failure/latency EWMAs: written by the transport
+    /// client on every submit, read by the estimator as a wrapper-scope
+    /// penalty, decayed one tick per executed query.
+    health: Arc<HealthTracker>,
 }
 
 impl Default for Mediator {
@@ -76,14 +86,17 @@ impl Default for Mediator {
 impl Mediator {
     /// A mediator with the generic cost model installed.
     pub fn new() -> Self {
+        let options = MediatorOptions::default();
+        let health = Arc::new(HealthTracker::new(options.resilience.health));
         Mediator {
             catalog: Catalog::new(),
             registry: RuleRegistry::with_default_model(),
             wrappers: BTreeMap::new(),
             transport: None,
             history: HistoryRecorder::new(),
-            options: MediatorOptions::default(),
+            options,
             tracer: None,
+            health,
         }
     }
 
@@ -99,10 +112,24 @@ impl Mediator {
         self.tracer.take()
     }
 
-    /// Set behaviour options.
+    /// Set behaviour options. Resets the health tracker to the new
+    /// resilience policy's EWMA tuning (and re-attaches it to a
+    /// connected transport).
     pub fn with_options(mut self, options: MediatorOptions) -> Self {
+        if self.health.policy() != options.resilience.health {
+            self.health = Arc::new(HealthTracker::new(options.resilience.health));
+            self.transport = self
+                .transport
+                .take()
+                .map(|c| c.with_health(self.health.clone()));
+        }
         self.options = options;
         self
+    }
+
+    /// The shared per-wrapper health tracker (introspection).
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
     }
 
     /// The registration phase (Figure 1): upload the wrapper's schema,
@@ -122,6 +149,7 @@ impl Mediator {
     /// these wrappers through the transport (deadlines, retries, circuit
     /// breaking, partial answers).
     pub fn connect(&mut self, client: TransportClient) -> Result<()> {
+        let client = client.with_health(self.health.clone());
         for endpoint in client.endpoints() {
             let reg = client.register(&endpoint)?;
             self.install_registration(&endpoint, &reg)?;
@@ -182,6 +210,14 @@ impl Mediator {
         &self.catalog
     }
 
+    /// Declare that several registered wrappers serve interchangeable
+    /// copies of `collection`: the optimizer may pick any of them by
+    /// cost, and the executor may hedge a straggling submit to (or fail
+    /// over onto) the peers.
+    pub fn declare_replicas(&mut self, collection: &str, wrappers: &[&str]) -> Result<()> {
+        self.catalog.declare_replicas(collection, wrappers)
+    }
+
     /// The blended rule registry.
     pub fn registry(&self) -> &RuleRegistry {
         &self.registry
@@ -197,9 +233,10 @@ impl Mediator {
         self.history.recorded()
     }
 
-    /// An estimator over the current registry/catalog.
+    /// An estimator over the current registry/catalog, consulting the
+    /// adaptive health penalties.
     pub fn estimator(&self) -> Estimator<'_> {
-        Estimator::new(&self.registry, &self.catalog)
+        Estimator::new(&self.registry, &self.catalog).with_health(Some(&self.health))
     }
 
     /// Optimize a statement (a query or a `UNION [ALL]` chain) without
@@ -215,7 +252,8 @@ impl Mediator {
             small_query_threshold: self.options.small_query_threshold,
             ..Default::default()
         };
-        let mut optimizer = Optimizer::new(&self.catalog, &self.registry, opts);
+        let mut optimizer =
+            Optimizer::new(&self.catalog, &self.registry, opts).with_health(Some(&self.health));
         if let Some(t) = &self.tracer {
             optimizer = optimizer.with_tracer(t.clone());
         }
@@ -369,16 +407,84 @@ impl Mediator {
         Ok(AnalyzeReport { root, result })
     }
 
+    /// Per-site cost predictions (`TotalTime`, `TimeFirst`) for the
+    /// plan's submits, in fetch order: each site priced as the
+    /// `Submit` the wrapper will receive. Sites whose estimation fails
+    /// get `None` and fall back to flat deadlines.
+    fn site_predictions(&self, plan: &PhysicalPlan) -> Vec<Option<SitePrediction>> {
+        let estimator = self.estimator();
+        submit_sites(plan)
+            .into_iter()
+            .map(|(wrapper, subplan)| {
+                let submit = LogicalPlan::Submit {
+                    wrapper: wrapper.to_string(),
+                    input: Box::new(subplan.clone()),
+                };
+                estimator.estimate(&submit).ok().map(|cost| SitePrediction {
+                    total_ms: cost.total_time,
+                    first_ms: cost.time_first,
+                })
+            })
+            .collect()
+    }
+
+    /// Failover replica lists for the plan's submit wrappers: declared
+    /// peers serving *every* collection of the site's subplan, ordered
+    /// healthiest first (declared order breaks ties).
+    fn site_replicas(&self, plan: &PhysicalPlan) -> BTreeMap<String, Vec<String>> {
+        let mut replicas = BTreeMap::new();
+        for (wrapper, subplan) in submit_sites(plan) {
+            let mut peers: Option<Vec<String>> = None;
+            for qname in subplan.collections() {
+                let serving = self.catalog.replica_peers(qname);
+                peers = Some(match peers {
+                    None => serving,
+                    Some(prev) => prev.into_iter().filter(|p| serving.contains(p)).collect(),
+                });
+            }
+            let mut peers = peers.unwrap_or_default();
+            peers.sort_by(|a, b| {
+                self.health
+                    .penalty(a)
+                    .partial_cmp(&self.health.penalty(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            replicas.insert(wrapper.to_string(), peers);
+        }
+        replicas
+    }
+
     /// Execute a previously optimized plan.
     pub fn execute_plan(&mut self, optimized: OptimizedPlan) -> Result<QueryResult> {
+        let resilience = &self.options.resilience;
+        // Predictions and replica sets only matter over a transport, and
+        // only when the policy can use them.
+        let predictions =
+            if self.transport.is_some() && (resilience.predicted_deadlines || resilience.hedge) {
+                self.site_predictions(&optimized.physical)
+            } else {
+                Vec::new()
+            };
+        let replicas = if self.transport.is_some() && resilience.hedge {
+            self.site_replicas(&optimized.physical)
+        } else {
+            BTreeMap::new()
+        };
         let executor = match &self.transport {
-            Some(client) => Executor::remote(client, &self.registry),
+            Some(client) => Executor::remote(client, &self.registry)
+                .with_resilience(self.options.resilience.clone())
+                .with_predictions(predictions)
+                .with_replicas(replicas),
             None => Executor::new(&self.wrappers, &self.registry),
         }
         .with_parallel(self.options.parallel_submits)
         .with_partial_answers(self.options.partial_answers);
         let span = self.tracer.as_ref().map(|t| t.start("execute"));
-        let (schema, tuples, trace) = executor.execute(&optimized.physical)?;
+        let executed = executor.execute(&optimized.physical);
+        // One decay tick per executed query — wrappers the query never
+        // touched heal over time instead of staying penalized forever.
+        self.health.tick();
+        let (schema, tuples, trace) = executed?;
         let measured_ms = if self.options.parallel_submits {
             trace.parallel_ms()
         } else {
@@ -398,6 +504,8 @@ impl Mediator {
                         ("tuples".into(), sub.tuples.to_string()),
                         ("attempts".into(), sub.attempts.to_string()),
                         ("failed".into(), sub.failed.to_string()),
+                        ("served_by".into(), sub.served_by.clone()),
+                        ("hedges".into(), sub.hedges.to_string()),
                     ],
                 );
             }
@@ -497,6 +605,24 @@ impl AnalyzeReport {
                 .map(|q| q.to_string())
                 .collect();
             let _ = writeln!(out, "missing (wrapper unavailable): {}", names.join(", "));
+        }
+        let hedged: Vec<String> = self
+            .result
+            .trace
+            .submits
+            .iter()
+            .filter(|s| !s.served_by.is_empty() && s.served_by != s.wrapper)
+            .map(|s| format!("{} -> {}", s.wrapper, s.served_by))
+            .collect();
+        if self.result.trace.hedges > 0 || !hedged.is_empty() {
+            let _ = write!(out, "hedges: {}", self.result.trace.hedges);
+            if !hedged.is_empty() {
+                let _ = write!(out, " (served by replica: {})", hedged.join(", "));
+            }
+            let _ = writeln!(out);
+        }
+        if self.result.trace.budget_exhausted {
+            let _ = writeln!(out, "query budget exhausted: remaining submits skipped");
         }
         out
     }

@@ -41,7 +41,7 @@ use disco_algebra::{
     Predicate, ScalarExpr, SelectPredicate,
 };
 use disco_catalog::Catalog;
-use disco_common::{DiscoError, Result};
+use disco_common::{DiscoError, HealthTracker, QualifiedName, Result};
 use disco_core::{
     EstimateOptions, EstimateReport, Estimator, EstimatorCache, NodeCost, RuleRegistry,
 };
@@ -129,6 +129,7 @@ pub struct Optimizer<'a> {
     registry: &'a RuleRegistry,
     options: OptimizerOptions,
     tracer: Option<disco_obs::Tracer>,
+    health: Option<&'a HealthTracker>,
 }
 
 /// Convert a physical plan to the logical form the estimator prices.
@@ -257,6 +258,7 @@ impl<'a> Optimizer<'a> {
             registry,
             options,
             tracer: None,
+            health: None,
         }
     }
 
@@ -267,13 +269,21 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Consult a health tracker when pricing submits (builder style):
+    /// penalized wrappers estimate slower and lose access plans to
+    /// their replicas.
+    pub fn with_health(mut self, health: Option<&'a HealthTracker>) -> Self {
+        self.health = health;
+        self
+    }
+
     /// Optimize an analyzed query into a physical plan.
     pub fn optimize(&self, q: &AnalyzedQuery) -> Result<OptimizedPlan> {
         if q.tables.is_empty() {
             return Err(DiscoError::Plan("query has no tables".into()));
         }
         let mut counters = Counters::default();
-        let estimator = Estimator::new(self.registry, self.catalog);
+        let estimator = Estimator::new(self.registry, self.catalog).with_health(self.health);
         let cache_store = EstimatorCache::new();
         let n = q.tables.len();
         // Small-query fast path: below the measured DP crossover, direct
@@ -377,7 +387,8 @@ impl<'a> Optimizer<'a> {
         })
     }
 
-    /// Enumerate pushdown variants for one table and keep the cheapest.
+    /// Enumerate pushdown variants (and replica wrappers) for one table
+    /// and keep the cheapest.
     fn best_access(
         &self,
         q: &AnalyzedQuery,
@@ -386,18 +397,12 @@ impl<'a> Optimizer<'a> {
         cache: Option<&EstimatorCache>,
     ) -> Result<(AccessPlan, Counters)> {
         let binding = &q.tables[t];
-        let caps = &self
-            .catalog
-            .wrapper(&binding.qname.wrapper)
-            .ok_or_else(|| {
-                DiscoError::Catalog(format!(
-                    "wrapper `{}` not registered",
-                    binding.qname.wrapper
-                ))
-            })?
-            .capabilities;
-        let can_select = caps.supports(OperatorKind::Select);
-        let can_project = caps.supports(OperatorKind::Project);
+        // The resolved wrapper comes first so it wins cost ties; declared
+        // replica peers compete when health penalties or cost models make
+        // them cheaper.
+        let mut candidates: Vec<String> = vec![binding.qname.wrapper.clone()];
+        candidates.extend(self.catalog.replica_peers(&binding.qname));
+
         let sels: Vec<&SelectPredicate> = q
             .selections
             .iter()
@@ -412,33 +417,44 @@ impl<'a> Optimizer<'a> {
             cols.push(binding.schema.attributes()[0].name.clone());
         }
 
-        let mut variants: Vec<(bool, bool)> = Vec::new();
-        for ps in [can_select && !sels.is_empty(), false] {
-            for pp in [can_project, false] {
-                if !variants.contains(&(ps, pp)) {
-                    variants.push((ps, pp));
-                }
-            }
-        }
-
         let mut used = Counters::default();
         let mut best: Option<(f64, AccessPlan)> = None;
-        for (push_select, push_project) in variants {
-            let plan = self.access_variant(q, t, &cols, &sels, push_select, push_project)?;
-            let logical = to_logical(&plan.plan);
-            let report = estimate(estimator, cache, &logical, &EstimateOptions::default())?
-                .expect("no cost limit set");
-            used.nodes += report.nodes_visited;
-            used.rules += report.rules_evaluated;
-            let cost = report.cost.total_time;
-            if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
-                best = Some((
-                    cost,
-                    AccessPlan {
-                        cost: report.cost,
-                        ..plan
-                    },
-                ));
+        for wrapper in &candidates {
+            let caps = &self
+                .catalog
+                .wrapper(wrapper)
+                .ok_or_else(|| DiscoError::Catalog(format!("wrapper `{wrapper}` not registered")))?
+                .capabilities;
+            let can_select = caps.supports(OperatorKind::Select);
+            let can_project = caps.supports(OperatorKind::Project);
+
+            let mut variants: Vec<(bool, bool)> = Vec::new();
+            for ps in [can_select && !sels.is_empty(), false] {
+                for pp in [can_project, false] {
+                    if !variants.contains(&(ps, pp)) {
+                        variants.push((ps, pp));
+                    }
+                }
+            }
+
+            for (push_select, push_project) in variants {
+                let plan =
+                    self.access_variant(q, t, wrapper, &cols, &sels, (push_select, push_project))?;
+                let logical = to_logical(&plan.plan);
+                let report = estimate(estimator, cache, &logical, &EstimateOptions::default())?
+                    .expect("no cost limit set");
+                used.nodes += report.nodes_visited;
+                used.rules += report.rules_evaluated;
+                let cost = report.cost.total_time;
+                if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                    best = Some((
+                        cost,
+                        AccessPlan {
+                            cost: report.cost,
+                            ..plan
+                        },
+                    ));
+                }
             }
         }
         Ok((best.expect("at least one variant").1, used))
@@ -448,12 +464,17 @@ impl<'a> Optimizer<'a> {
         &self,
         q: &AnalyzedQuery,
         t: usize,
+        wrapper: &str,
         cols: &[String],
         sels: &[&SelectPredicate],
-        push_select: bool,
-        push_project: bool,
+        (push_select, push_project): (bool, bool),
     ) -> Result<AccessPlan> {
         let binding = &q.tables[t];
+        let qname = if wrapper == binding.qname.wrapper {
+            binding.qname.clone()
+        } else {
+            QualifiedName::new(wrapper, &binding.qname.collection)
+        };
         let rename: Vec<(String, ScalarExpr)> = cols
             .iter()
             .map(|c| {
@@ -465,7 +486,7 @@ impl<'a> Optimizer<'a> {
             .collect();
 
         let mut inner = LogicalPlan::Scan {
-            collection: binding.qname.clone(),
+            collection: qname,
             schema: binding.schema.clone(),
         };
         if push_select && !sels.is_empty() {
@@ -482,7 +503,7 @@ impl<'a> Optimizer<'a> {
         }
         let schema = inner.output_schema()?;
         let mut phys = PhysicalPlan::SubmitRemote {
-            wrapper: binding.qname.wrapper.clone(),
+            wrapper: wrapper.to_string(),
             plan: inner,
             schema,
         };

@@ -44,6 +44,21 @@ pub mod names {
     /// Counter, labels `{wrapper, to="open"|"half_open"|"closed"}`:
     /// circuit-breaker state transitions.
     pub const BREAKER_TRANSITIONS: &str = "breaker_transitions_total";
+    /// Counter, labels `{wrapper}`: hedge submits launched at a replica
+    /// because the primary exceeded its straggler threshold.
+    pub const TRANSPORT_HEDGES: &str = "transport_hedges_total";
+    /// Counter, labels `{wrapper}`: hedge submits that won the race
+    /// (answered before the primary).
+    pub const TRANSPORT_HEDGE_WINS: &str = "transport_hedge_wins_total";
+    /// Counter, labels `{wrapper, outcome="met"|"missed"}`: per-submit
+    /// deadline outcomes (missed = a wall or simulated deadline expiry).
+    pub const SUBMIT_DEADLINES: &str = "submit_deadline_outcomes_total";
+    /// Gauge, labels `{wrapper}`: current multiplicative health penalty
+    /// the estimator applies at wrapper scope (1 = healthy).
+    pub const WRAPPER_PENALTY: &str = "wrapper_health_penalty";
+    /// Counter, no labels: queries whose time budget ran out before all
+    /// submits were fetched (degraded to a partial answer).
+    pub const BUDGET_EXHAUSTED: &str = "query_budget_exhausted_total";
     /// Counter, labels `{op}`: rows flowing out of a vectorized
     /// combine operator.
     pub const VEXEC_ROWS: &str = "vexec_rows_total";

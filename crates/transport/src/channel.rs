@@ -40,6 +40,7 @@ struct WorkerHandle {
     tx: Sender<Job>,
     join: Option<JoinHandle<()>>,
     served: Arc<AtomicU64>,
+    profile: NetProfile,
 }
 
 /// A transport whose endpoints are worker threads, one per wrapper.
@@ -77,6 +78,7 @@ impl ChannelTransport {
         let name = wrapper.name().to_string();
         let served = Arc::new(AtomicU64::new(0));
         let served_in_worker = Arc::clone(&served);
+        let endpoint_profile = profile.clone();
         let mut rng = seeded(self.seed, &format!("net:{name}"));
         let (tx, rx) = mpsc::channel::<Job>();
         let join = std::thread::Builder::new()
@@ -137,6 +139,7 @@ impl ChannelTransport {
                 tx,
                 join: Some(join),
                 served,
+                profile: endpoint_profile,
             },
         );
     }
@@ -200,6 +203,16 @@ impl Transport for ChannelTransport {
                 DiscoError::Timeout(format!("no reply from `{endpoint}` within deadline")),
             ),
         }
+    }
+
+    fn latency_floor_ms(&self, endpoint: &str) -> Option<f64> {
+        self.workers
+            .get(endpoint)
+            .map(|w| 2.0 * w.profile.latency_ms)
+    }
+
+    fn sleep_scale(&self, endpoint: &str) -> Option<f64> {
+        self.workers.get(endpoint).map(|w| w.profile.sleep_scale)
     }
 }
 

@@ -1,20 +1,26 @@
 //! [`TransportClient`]: the mediator-side driver of a [`Transport`].
 //!
 //! Adds the reliability layer on top of raw byte delivery: per-submit
-//! deadlines, bounded retries with exponential backoff for *transient*
-//! failures (timeouts, unavailability), and a per-endpoint circuit
-//! breaker so a dead wrapper fails fast instead of burning a full retry
-//! budget on every submit. Non-transient errors (a wrapper rejecting a
-//! malformed plan, say) are returned immediately — retrying them cannot
-//! help.
+//! deadlines (flat or cost-model-predicted via [`SubmitOptions`], always
+//! clamped to the endpoint's latency floor), bounded retries with
+//! full-jitter exponential backoff for *transient* failures (timeouts,
+//! unavailability), a per-endpoint circuit breaker so a dead wrapper
+//! fails fast instead of burning a full retry budget on every submit,
+//! hedged submits racing replica endpoints
+//! ([`submit_batch_hedged`](TransportClient::submit_batch_hedged)), and
+//! per-wrapper health recording feeding the estimator's adaptive scope
+//! penalties. Non-transient errors (a wrapper rejecting a malformed
+//! plan, say) are returned immediately — retrying them cannot help.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use disco_algebra::LogicalPlan;
+use disco_common::rng::{seeded, StdRng, DEFAULT_SEED};
 use disco_common::wire::{WireDecode, WireEncode, WireWriter};
-use disco_common::{DiscoError, Result};
+use disco_common::{DiscoError, HealthTracker, Result};
 use disco_sources::{BatchAnswer, SubAnswer};
 use disco_wrapper::Registration;
 
@@ -44,6 +50,49 @@ impl Default for RetryPolicy {
             backoff_factor: 2.0,
         }
     }
+}
+
+/// Per-call overrides derived from the cost model, layered on top of
+/// the client's [`RetryPolicy`]. The default is "no overrides": flat
+/// deadline, no simulated-time enforcement, no health latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SubmitOptions {
+    /// Wall-clock per-attempt deadline override, in milliseconds
+    /// (typically `k × predicted TotalTime`). Clamped to the endpoint's
+    /// latency floor either way.
+    pub deadline_ms: Option<u64>,
+    /// Simulated-time deadline: a delivered reply whose simulated
+    /// `comm_ms` exceeds this counts as a timeout. Makes delay faults
+    /// deterministic when the transport does not really sleep.
+    pub sim_deadline_ms: Option<f64>,
+    /// The cost model's predicted `TotalTime` for this subplan, in
+    /// simulated milliseconds — recorded into the health tracker as the
+    /// denominator of the observed/predicted latency ratio.
+    pub predicted_total_ms: Option<f64>,
+}
+
+/// One endpoint in a hedged submit race: where to send, the plan
+/// retargeted at that replica, and its per-call options.
+#[derive(Debug, Clone)]
+pub struct HedgeTarget {
+    /// Endpoint (replica wrapper) name.
+    pub endpoint: String,
+    /// The subplan, addressed to this replica.
+    pub plan: LogicalPlan,
+    /// Per-call deadline/prediction overrides for this replica.
+    pub opts: SubmitOptions,
+}
+
+/// Result of a hedged submit race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgedOutcome {
+    /// The winning submit's outcome.
+    pub outcome: BatchSubmitOutcome,
+    /// Index into the target list of the replica that answered.
+    pub winner: usize,
+    /// Straggler-triggered hedges launched (failover after a failed
+    /// replica is not counted).
+    pub hedges: u32,
 }
 
 /// Everything a successful submit reports back to the executor.
@@ -92,44 +141,87 @@ struct Delivered<A> {
 }
 
 /// Reliability-aware client over any [`Transport`].
+///
+/// All state lives behind an `Arc`: hedged-submit races detach the
+/// threads of losing replicas instead of joining them (a join would
+/// re-serialize the race and erase the latency win), so those threads
+/// must be able to outlive the call — and, briefly, the client.
 pub struct TransportClient {
+    core: Arc<ClientCore>,
+}
+
+/// Shared state and submit machinery behind [`TransportClient`].
+struct ClientCore {
     transport: Box<dyn Transport>,
     retry: RetryPolicy,
     breaker_policy: BreakerPolicy,
     breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
+    health: Mutex<Option<Arc<HealthTracker>>>,
+    jitter: Mutex<StdRng>,
 }
 
 impl TransportClient {
     /// Wrap a transport with default retry and breaker policies.
     pub fn new(transport: Box<dyn Transport>) -> Self {
         TransportClient {
-            transport,
-            retry: RetryPolicy::default(),
-            breaker_policy: BreakerPolicy::default(),
-            breakers: Mutex::new(BTreeMap::new()),
+            core: Arc::new(ClientCore {
+                transport,
+                retry: RetryPolicy::default(),
+                breaker_policy: BreakerPolicy::default(),
+                breakers: Mutex::new(BTreeMap::new()),
+                health: Mutex::new(None),
+                jitter: Mutex::new(seeded(DEFAULT_SEED, "transport:retry-jitter")),
+            }),
         }
+    }
+
+    /// Exclusive access for the policy builders, which run before the
+    /// client is shared with any race thread.
+    fn core_mut(&mut self) -> &mut ClientCore {
+        Arc::get_mut(&mut self.core).expect("configure the client before submitting through it")
     }
 
     /// Override the retry policy (builder style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
-        self.retry = retry;
+        self.core_mut().retry = retry;
         self
     }
 
     /// Override the breaker policy (builder style).
     pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
-        self.breaker_policy = policy;
+        self.core_mut().breaker_policy = policy;
         self
+    }
+
+    /// Record submit outcomes into a shared per-wrapper health tracker
+    /// (builder style). The mediator shares the same tracker with its
+    /// estimator, closing the loop from observed failures back into
+    /// wrapper-scope cost penalties.
+    pub fn with_health(self, health: Arc<HealthTracker>) -> Self {
+        *self.core.health.lock().expect("health lock") = Some(health);
+        self
+    }
+
+    /// Re-seed the retry-backoff jitter RNG (builder style).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.core_mut().jitter = Mutex::new(seeded(seed, "transport:retry-jitter"));
+        self
+    }
+
+    /// The shared health tracker, if one was attached.
+    pub fn health(&self) -> Option<Arc<HealthTracker>> {
+        self.core.health.lock().expect("health lock").clone()
     }
 
     /// Endpoints reachable through the underlying transport.
     pub fn endpoints(&self) -> Vec<String> {
-        self.transport.endpoints()
+        self.core.transport.endpoints()
     }
 
     /// Current breaker state for an endpoint, if any calls were made.
     pub fn breaker_state(&self, endpoint: &str) -> Option<BreakerState> {
-        self.breakers
+        self.core
+            .breakers
             .lock()
             .expect("breaker lock")
             .get(endpoint)
@@ -140,10 +232,10 @@ impl TransportClient {
     /// (Figure 1, steps 1–2). Registration is not retried: it runs at
     /// connect time where a failure should be loud.
     pub fn register(&self, endpoint: &str) -> Result<Registration> {
-        let env = self.transport.call(
+        let env = self.core.transport.call(
             endpoint,
             &Request::Register.to_wire_bytes(),
-            Duration::from_millis(self.retry.deadline_ms),
+            Duration::from_millis(self.core.retry.deadline_ms),
         )?;
         match Response::from_wire_bytes(&env.payload)?.into_result()? {
             Response::Registration(reg) => Ok(reg),
@@ -155,14 +247,161 @@ impl TransportClient {
 
     /// Submit a subplan with deadlines, retries and circuit breaking.
     pub fn submit(&self, endpoint: &str, plan: &LogicalPlan) -> Result<SubmitOutcome> {
-        self.submit_with(endpoint, plan, |payload| {
-            match Response::from_wire_bytes(payload)?.into_result()? {
+        self.submit_opts(endpoint, plan, &SubmitOptions::default())
+    }
+
+    /// [`submit`](Self::submit) with per-call deadline/prediction
+    /// overrides.
+    pub fn submit_opts(
+        &self,
+        endpoint: &str,
+        plan: &LogicalPlan,
+        opts: &SubmitOptions,
+    ) -> Result<SubmitOutcome> {
+        self.core.submit_opts(endpoint, plan, opts)
+    }
+
+    /// Like [`submit`](Self::submit), but the reply payload is decoded
+    /// straight into columns — same deadlines, retries and breaker.
+    pub fn submit_batch(&self, endpoint: &str, plan: &LogicalPlan) -> Result<BatchSubmitOutcome> {
+        self.submit_batch_opts(endpoint, plan, &SubmitOptions::default())
+    }
+
+    /// [`submit_batch`](Self::submit_batch) with per-call
+    /// deadline/prediction overrides.
+    pub fn submit_batch_opts(
+        &self,
+        endpoint: &str,
+        plan: &LogicalPlan,
+        opts: &SubmitOptions,
+    ) -> Result<BatchSubmitOutcome> {
+        self.core.submit_batch_opts(endpoint, plan, opts)
+    }
+
+    /// Race a submit across replica endpoints: send to `targets[0]`,
+    /// hedge to the next replica whenever the outstanding submit has
+    /// been silent for `straggler_wait` (at most `hedge_allowance`
+    /// hedges), and fail over to the next replica immediately when a
+    /// launched one fails. First success wins; a losing replica is not
+    /// joined — its detached thread runs on to its own deadline and its
+    /// late reply lands in a dropped channel (joining it would make
+    /// every race as slow as its slowest replica). An error is returned
+    /// only when *every* replica failed.
+    ///
+    /// A hedge goes through the same breaker acquire/record path as any
+    /// submit, so a hedge into a half-open breaker is that breaker's
+    /// single probe — hedging cannot bypass it.
+    pub fn submit_batch_hedged(
+        &self,
+        targets: &[HedgeTarget],
+        straggler_wait: Option<Duration>,
+        hedge_allowance: u32,
+    ) -> Result<HedgedOutcome> {
+        let first = targets
+            .first()
+            .ok_or_else(|| DiscoError::Exec("hedged submit needs at least one target".into()))?;
+        if targets.len() == 1 {
+            return self
+                .submit_batch_opts(&first.endpoint, &first.plan, &first.opts)
+                .map(|outcome| HedgedOutcome {
+                    outcome,
+                    winner: 0,
+                    hedges: 0,
+                });
+        }
+        {
+            let (tx, rx) = mpsc::channel::<(usize, Result<BatchSubmitOutcome>)>();
+            let mut launched = 0usize;
+            let mut pending = 0usize;
+            let mut hedges = 0u32;
+            let launch = |idx: usize, pending: &mut usize| {
+                let t = targets[idx].clone();
+                let tx = tx.clone();
+                let core = Arc::clone(&self.core);
+                std::thread::spawn(move || {
+                    let result = core.submit_batch_opts(&t.endpoint, &t.plan, &t.opts);
+                    // The race may be over; a closed channel is fine.
+                    let _ = tx.send((idx, result));
+                });
+                *pending += 1;
+            };
+            launch(launched, &mut pending);
+            launched += 1;
+            // Loudest error wins the report: a non-transient failure
+            // (e.g. a wrapper rejecting the plan) beats timeouts.
+            let mut last_err: Option<DiscoError> = None;
+            loop {
+                if pending == 0 {
+                    if launched < targets.len() {
+                        // Every launched replica failed: fail over.
+                        launch(launched, &mut pending);
+                        launched += 1;
+                        continue;
+                    }
+                    return Err(last_err.unwrap_or_else(|| {
+                        DiscoError::Exec("hedged submit made no attempts".into())
+                    }));
+                }
+                let can_hedge = hedges < hedge_allowance && launched < targets.len();
+                let message = match (can_hedge, straggler_wait) {
+                    (true, Some(wait)) => match rx.recv_timeout(wait) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Straggler: open a second front at the
+                            // next replica.
+                            note_hedge(&targets[launched].endpoint);
+                            hedges += 1;
+                            launch(launched, &mut pending);
+                            launched += 1;
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => unreachable!("race holds a sender"),
+                    },
+                    _ => rx.recv().expect("race holds a sender"),
+                };
+                match message {
+                    (winner, Ok(outcome)) => {
+                        if winner > 0 {
+                            note_hedge_win(&targets[winner].endpoint);
+                        }
+                        return Ok(HedgedOutcome {
+                            outcome,
+                            winner,
+                            hedges,
+                        });
+                    }
+                    (_, Err(e)) => {
+                        pending -= 1;
+                        let louder = !e.is_transient()
+                            || last_err.as_ref().is_none_or(|prev| prev.is_transient());
+                        if louder {
+                            last_err = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ClientCore {
+    fn submit_opts(
+        &self,
+        endpoint: &str,
+        plan: &LogicalPlan,
+        opts: &SubmitOptions,
+    ) -> Result<SubmitOutcome> {
+        self.submit_with(
+            endpoint,
+            plan,
+            opts,
+            |payload| match Response::from_wire_bytes(payload)?.into_result()? {
                 Response::Answer(answer) => Ok(answer),
                 other => Err(DiscoError::Exec(format!(
                     "endpoint `{endpoint}` answered submit with {other:?}"
                 ))),
-            }
-        })
+            },
+        )
         .map(|d| SubmitOutcome {
             answer: d.answer,
             comm_ms: d.comm_ms,
@@ -173,10 +412,13 @@ impl TransportClient {
         })
     }
 
-    /// Like [`submit`](Self::submit), but the reply payload is decoded
-    /// straight into columns — same deadlines, retries and breaker.
-    pub fn submit_batch(&self, endpoint: &str, plan: &LogicalPlan) -> Result<BatchSubmitOutcome> {
-        self.submit_with(endpoint, plan, decode_answer_batch)
+    fn submit_batch_opts(
+        &self,
+        endpoint: &str,
+        plan: &LogicalPlan,
+        opts: &SubmitOptions,
+    ) -> Result<BatchSubmitOutcome> {
+        self.submit_with(endpoint, plan, opts, decode_answer_batch)
             .map(|d| BatchSubmitOutcome {
                 answer: d.answer,
                 comm_ms: d.comm_ms,
@@ -187,12 +429,41 @@ impl TransportClient {
             })
     }
 
+    /// Effective per-attempt wall deadline: the per-call override (or
+    /// the flat retry default), clamped so it can never be shorter than
+    /// the endpoint's simulated round-trip floor converted to wall time
+    /// — an aggressive predicted deadline on a slow link would
+    /// otherwise time out every attempt before a reply could exist.
+    fn attempt_deadline(&self, endpoint: &str, opts: &SubmitOptions) -> Duration {
+        let mut deadline_ms = opts.deadline_ms.unwrap_or(self.retry.deadline_ms).max(1);
+        if let Some(floor_sim_ms) = self.transport.latency_floor_ms(endpoint) {
+            let scale = self.transport.sleep_scale(endpoint).unwrap_or(0.0);
+            let floor_wall_ms = (floor_sim_ms * scale).ceil() as u64 + 1;
+            deadline_ms = deadline_ms.max(floor_wall_ms);
+        }
+        Duration::from_millis(deadline_ms)
+    }
+
+    /// Effective simulated-time deadline, clamped above the endpoint's
+    /// latency floor (with headroom for transfer and jitter) for the
+    /// same reason as the wall clamp.
+    fn sim_deadline(&self, endpoint: &str, opts: &SubmitOptions) -> Option<f64> {
+        let sim = opts.sim_deadline_ms?;
+        let floor = self
+            .transport
+            .latency_floor_ms(endpoint)
+            .map(|f| f * 1.5)
+            .unwrap_or(0.0);
+        Some(sim.max(floor))
+    }
+
     /// The shared submit loop, generic over how the successful reply
     /// payload is decoded.
     fn submit_with<A>(
         &self,
         endpoint: &str,
         plan: &LogicalPlan,
+        opts: &SubmitOptions,
         decode: impl Fn(&[u8]) -> Result<A>,
     ) -> Result<Delivered<A>> {
         let started = Instant::now();
@@ -200,6 +471,8 @@ impl TransportClient {
         Request::Submit(plan.clone()).encode(&mut w);
         // Encode once; every retry ships the same bytes.
         let request = w.into_bytes();
+        let deadline = self.attempt_deadline(endpoint, opts);
+        let sim_deadline = self.sim_deadline(endpoint, opts);
 
         if !self.acquire(endpoint) {
             note_unavailable(endpoint);
@@ -219,19 +492,26 @@ impl TransportClient {
                     )
                     .inc();
                 }
-                if backoff_ms >= 1.0 {
-                    std::thread::sleep(Duration::from_millis(backoff_ms as u64));
+                // Full jitter: sleep uniform(0, backoff) so parallel
+                // wrapper workers don't retry in lockstep.
+                let sleep_ms = backoff_ms * self.jitter.lock().expect("jitter lock").gen_f64();
+                if sleep_ms >= 0.5 {
+                    std::thread::sleep(Duration::from_micros((sleep_ms * 1000.0) as u64));
                 }
                 backoff_ms *= self.retry.backoff_factor;
             }
             let result = self
                 .transport
-                .call(
-                    endpoint,
-                    &request,
-                    Duration::from_millis(self.retry.deadline_ms),
-                )
+                .call(endpoint, &request, deadline)
                 .and_then(|env| {
+                    if let Some(sim) = sim_deadline {
+                        if env.comm_ms > sim {
+                            return Err(DiscoError::Timeout(format!(
+                                "reply from `{endpoint}` took {:.0} simulated ms, deadline {sim:.0}",
+                                env.comm_ms
+                            )));
+                        }
+                    }
                     decode(&env.payload).map(|answer| Delivered {
                         answer,
                         comm_ms: env.comm_ms,
@@ -244,10 +524,16 @@ impl TransportClient {
             match result {
                 Ok(outcome) => {
                     self.record(endpoint, true);
+                    self.note_health(endpoint, true, outcome.comm_ms, opts);
+                    note_deadline(endpoint, "met");
                     return Ok(outcome);
                 }
                 Err(e) if e.is_transient() => {
                     self.record(endpoint, false);
+                    self.note_health(endpoint, false, 0.0, opts);
+                    if e.kind() == "timeout" {
+                        note_deadline(endpoint, "missed");
+                    }
                     last_err = e;
                     // The breaker may have opened mid-budget; stop early
                     // rather than hammering a tripped endpoint.
@@ -265,6 +551,23 @@ impl TransportClient {
         // Retry budget exhausted: the wrapper never answered.
         note_unavailable(endpoint);
         Err(last_err)
+    }
+
+    /// Record one attempt outcome into the shared health tracker and
+    /// refresh the wrapper's penalty gauge.
+    fn note_health(&self, endpoint: &str, success: bool, comm_ms: f64, opts: &SubmitOptions) {
+        let Some(health) = self.health.lock().expect("health lock").clone() else {
+            return;
+        };
+        if success {
+            health.record_success(endpoint, comm_ms, opts.predicted_total_ms);
+        } else {
+            health.record_failure(endpoint);
+        }
+        if disco_obs::enabled() {
+            disco_obs::gauge(disco_obs::names::WRAPPER_PENALTY, &[("wrapper", endpoint)])
+                .set(health.penalty(endpoint));
+        }
     }
 
     fn acquire(&self, endpoint: &str) -> bool {
@@ -290,6 +593,35 @@ impl TransportClient {
             b.on_failure();
         }
         note_transition(endpoint, before, b.state());
+    }
+}
+
+/// Count a hedge launched at a replica endpoint.
+fn note_hedge(endpoint: &str) {
+    if disco_obs::enabled() {
+        disco_obs::counter(disco_obs::names::TRANSPORT_HEDGES, &[("wrapper", endpoint)]).inc();
+    }
+}
+
+/// Count a hedge that answered before the primary.
+fn note_hedge_win(endpoint: &str) {
+    if disco_obs::enabled() {
+        disco_obs::counter(
+            disco_obs::names::TRANSPORT_HEDGE_WINS,
+            &[("wrapper", endpoint)],
+        )
+        .inc();
+    }
+}
+
+/// Count a per-submit deadline outcome (`met` or `missed`).
+fn note_deadline(endpoint: &str, outcome: &str) {
+    if disco_obs::enabled() {
+        disco_obs::counter(
+            disco_obs::names::SUBMIT_DEADLINES,
+            &[("wrapper", endpoint), ("outcome", outcome)],
+        )
+        .inc();
     }
 }
 

@@ -29,6 +29,7 @@ pub mod channel;
 pub mod client;
 pub mod fault;
 pub mod netsim;
+pub mod resilience;
 pub mod wire;
 
 use std::time::Duration;
@@ -37,9 +38,13 @@ use disco_common::Result;
 
 pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use channel::ChannelTransport;
-pub use client::{BatchSubmitOutcome, RetryPolicy, SubmitOutcome, TransportClient};
+pub use client::{
+    BatchSubmitOutcome, HedgeTarget, HedgedOutcome, RetryPolicy, SubmitOptions, SubmitOutcome,
+    TransportClient,
+};
 pub use fault::{FaultKind, FaultPlan};
 pub use netsim::NetProfile;
+pub use resilience::ResiliencePolicy;
 pub use wire::{decode_answer_batch, Request, Response};
 
 /// One delivered reply, with transfer accounting.
@@ -70,4 +75,20 @@ pub trait Transport: Send + Sync {
     /// reply. A lost or overdue reply is a `DiscoError::Timeout`; an
     /// unknown endpoint is a configuration error (`DiscoError::Exec`).
     fn call(&self, endpoint: &str, request: &[u8], deadline: Duration) -> Result<Envelope>;
+
+    /// The minimum simulated round-trip time for `endpoint` — latency
+    /// only, no transfer or jitter — when the transport models one.
+    /// [`TransportClient`] clamps deadlines to this floor so an
+    /// aggressive predicted deadline can never undercut the link itself.
+    fn latency_floor_ms(&self, _endpoint: &str) -> Option<f64> {
+        None
+    }
+
+    /// Wall-clock milliseconds actually slept per simulated millisecond
+    /// on `endpoint` (`NetProfile::sleep_scale` for the simulated
+    /// transport), when known. Converts the simulated latency floor into
+    /// a wall-clock one.
+    fn sleep_scale(&self, _endpoint: &str) -> Option<f64> {
+        None
+    }
 }
