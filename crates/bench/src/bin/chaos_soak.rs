@@ -2,8 +2,12 @@
 //! every answer checked against the fault-free oracle (see
 //! `disco_bench::chaos`). Each seed is run twice and the transcript
 //! digests compared, so nondeterminism fails the soak just like a wrong
-//! answer does. Writes `CHAOS_soak.json` (consumed by CI as an
-//! artifact) and exits nonzero if any seed fails.
+//! answer does. Each seed is then soaked again with four concurrent
+//! sessions through one `SharedMediator`; interleaving moves the fault
+//! windows so transcripts differ, but every answer must still
+//! digest-match the single-session fault-free oracle. Writes
+//! `CHAOS_soak.json` (consumed by CI as an artifact) and exits nonzero
+//! if any seed fails.
 //!
 //! ```text
 //! cargo run --release -p disco-bench --bin chaos_soak            # full soak
@@ -16,6 +20,8 @@ use disco_bench::chaos;
 use disco_bench::Table;
 
 const QUERIES_PER_SEED: usize = 60;
+/// Concurrent sessions sharing one mediator in the concurrent pass.
+const SESSIONS: usize = 4;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +43,7 @@ fn main() {
         "mismatches",
         "deterministic",
         "digest",
+        "conc mism",
     ]);
     let mut json_rows = String::new();
     let mut failed: Vec<u64> = Vec::new();
@@ -44,12 +51,13 @@ fn main() {
     for &seed in &seeds {
         let rep = chaos::run_seed(seed, QUERIES_PER_SEED);
         let replay = chaos::run_seed(seed, QUERIES_PER_SEED);
+        let conc = chaos::run_seed_concurrent(seed, QUERIES_PER_SEED, SESSIONS);
         let deterministic = rep == replay;
-        let ok = rep.passed() && deterministic;
+        let ok = rep.passed() && deterministic && conc.passed();
         if !ok {
             failed.push(seed);
         }
-        for m in &rep.mismatches {
+        for m in rep.mismatches.iter().chain(&conc.mismatches) {
             eprintln!("seed {seed}: {m}");
         }
         if !deterministic {
@@ -68,6 +76,7 @@ fn main() {
             rep.mismatches.len().to_string(),
             deterministic.to_string(),
             rep.digest.clone(),
+            conc.mismatches.len().to_string(),
         ]);
         if !json_rows.is_empty() {
             json_rows.push(',');
@@ -77,7 +86,9 @@ fn main() {
             "\n    {{\"seed\": {seed}, \"queries\": {}, \"complete\": {}, \
              \"partial\": {}, \"failovers\": {}, \"hedges\": {}, \
              \"mismatches\": {}, \"deterministic\": {deterministic}, \
-             \"digest\": \"{}\"}}",
+             \"digest\": \"{}\", \"concurrent\": {{\"sessions\": {}, \
+             \"queries\": {}, \"complete\": {}, \"partial\": {}, \
+             \"failovers\": {}, \"mismatches\": {}}}}}",
             rep.queries,
             rep.complete,
             rep.partial,
@@ -85,6 +96,12 @@ fn main() {
             rep.hedges,
             rep.mismatches.len(),
             rep.digest,
+            conc.sessions,
+            conc.queries,
+            conc.complete,
+            conc.partial,
+            conc.failovers,
+            conc.mismatches.len(),
         )
         .expect("write json row");
     }
@@ -93,7 +110,10 @@ fn main() {
     println!(
         "Every answer (including degraded ones) must equal the fault-free \
          oracle with the reported missing collections emptied; each seed \
-         is run twice and must produce identical transcripts."
+         is run twice and must produce identical transcripts, then soaked \
+         again with {SESSIONS} concurrent sessions through one shared \
+         mediator (per-answer oracle check; transcripts are \
+         interleaving-dependent there)."
     );
 
     let pass = failed.is_empty();

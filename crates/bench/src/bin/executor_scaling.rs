@@ -16,8 +16,10 @@
 //!   C(cid,w)` with fan-out ≈ 1 (output cardinality equals the input).
 //!
 //! At sizes up to 10 k both paths' outputs are asserted exactly equal
-//! (same tuples, same order); at 100 k the join speedup is asserted to
-//! meet the ≥ 3× target. Besides the table it writes
+//! (same tuples, same order); above that, lengths must match and an
+//! evenly-strided positional sample of ~1 k tuples (plus both ends) is
+//! compared. At 100 k the join speedup is asserted to meet the ≥ 3×
+//! target. Besides the table it writes
 //! `BENCH_executor.json` (machine-readable, consumed by CI as an
 //! artifact).
 //!
@@ -52,7 +54,15 @@ const UNION_PARTS: usize = 8;
 /// wall clock at `OVERHEAD_ROWS`.
 const OVERHEAD_ROWS: usize = 100_000;
 const OVERHEAD_LIMIT: f64 = 0.05;
-const OVERHEAD_REPS: usize = 7;
+/// Interleaved (off, on) measurement pairs; the bound is asserted on
+/// the medians so one noisy pair (scheduler preemption, page cache)
+/// cannot flip the comparison either way.
+const OVERHEAD_PAIRS: usize = 5;
+const OVERHEAD_REPS: usize = 3;
+
+/// Tuples compared per workload when the input is too large for the
+/// full equality assert (an evenly-strided sample plus both ends).
+const EQUIVALENCE_SAMPLE: usize = 1_000;
 
 fn answer_bytes(schema: &Schema, tuples: Vec<Tuple>) -> Vec<u8> {
     SubAnswer {
@@ -278,15 +288,50 @@ fn best_of(reps: usize, mut f: impl FnMut() -> Vec<Tuple>) -> f64 {
     best
 }
 
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
 /// Measure the three-way batch join with the metrics registry disabled
-/// and enabled; returns (off_ms, on_ms).
+/// and enabled, in `OVERHEAD_PAIRS` interleaved pairs; returns the
+/// medians (off_ms, on_ms). A single off/on pair is dominated by
+/// machine noise (past runs reported −9.9 % "overhead"); interleaving
+/// spreads both states across the run and the median discards outliers.
 fn instrumentation_overhead() -> (f64, f64) {
     let inputs = join_inputs(OVERHEAD_ROWS);
-    disco_obs::set_enabled(false);
-    let off_ms = best_of(OVERHEAD_REPS, || join_batches(&inputs));
-    disco_obs::set_enabled(true);
-    let on_ms = best_of(OVERHEAD_REPS, || join_batches(&inputs));
-    (off_ms, on_ms)
+    let mut off = Vec::with_capacity(OVERHEAD_PAIRS);
+    let mut on = Vec::with_capacity(OVERHEAD_PAIRS);
+    for _ in 0..OVERHEAD_PAIRS {
+        disco_obs::set_enabled(false);
+        off.push(best_of(OVERHEAD_REPS, || join_batches(&inputs)));
+        disco_obs::set_enabled(true);
+        on.push(best_of(OVERHEAD_REPS, || join_batches(&inputs)));
+    }
+    (median(&mut off), median(&mut on))
+}
+
+/// Equivalence check for outputs too large to compare in full: both
+/// paths are deterministic and order-preserving, so after the length
+/// check an evenly-strided sample (plus the first and last tuple) is
+/// compared positionally.
+fn assert_sampled_equal(workload: &str, n: usize, row_out: &[Tuple], batch_out: &[Tuple]) {
+    assert_eq!(
+        row_out.len(),
+        batch_out.len(),
+        "row and batch cardinality diverge: {workload} at {n} rows"
+    );
+    let len = row_out.len();
+    if len == 0 {
+        return;
+    }
+    let stride = (len / EQUIVALENCE_SAMPLE).max(1);
+    for i in (0..len).step_by(stride).chain([0, len - 1]) {
+        assert_eq!(
+            row_out[i], batch_out[i],
+            "row and batch outputs diverge at tuple {i}: {workload} at {n} rows"
+        );
+    }
 }
 
 fn main() {
@@ -319,16 +364,17 @@ fn main() {
                 }
             };
             let speedup = row_ms / batch_ms.max(1e-9);
-            let checked = n <= EQUIVALENCE_UP_TO;
-            if checked {
+            let full = n <= EQUIVALENCE_UP_TO;
+            if full {
                 assert_eq!(
                     row_out, batch_out,
                     "row and batch outputs diverge: {workload} at {n} rows"
                 );
             } else {
-                // Full comparison would dwarf the measurement; the
-                // cardinality check still catches gross divergence.
-                assert_eq!(row_out.len(), batch_out.len());
+                // Full comparison would dwarf the measurement; a
+                // strided positional sample still catches real
+                // divergence anywhere in the output.
+                assert_sampled_equal(workload, n, &row_out, &batch_out);
             }
             if workload == "join3" && n == JOIN_TARGET_ROWS {
                 join_target_speedup = Some(speedup);
@@ -340,7 +386,7 @@ fn main() {
                 format!("{row_ms:.2}"),
                 format!("{batch_ms:.2}"),
                 format!("{speedup:.1}x"),
-                if checked { "yes" } else { "count" }.to_string(),
+                if full { "full" } else { "sampled" }.to_string(),
             ]);
             if !json_rows.is_empty() {
                 json_rows.push(',');
@@ -350,8 +396,9 @@ fn main() {
                 "\n    {{\"workload\": \"{workload}\", \"rows\": {n}, \
                  \"output_rows\": {}, \"row_ms\": {row_ms:.3}, \
                  \"batch_ms\": {batch_ms:.3}, \"speedup\": {speedup:.3}, \
-                 \"equivalence_checked\": {checked}}}",
+                 \"equivalence\": \"{}\"}}",
                 row_out.len(),
+                if full { "full" } else { "sampled" },
             )
             .expect("write json row");
         }
@@ -370,7 +417,8 @@ fn main() {
     let (off_ms, on_ms) = instrumentation_overhead();
     let overhead = on_ms / off_ms.max(1e-9) - 1.0;
     println!(
-        "instrumentation overhead on join3 at {OVERHEAD_ROWS} rows: \
+        "instrumentation overhead on join3 at {OVERHEAD_ROWS} rows \
+         (median of {OVERHEAD_PAIRS} interleaved pairs): \
          off={off_ms:.2}ms on={on_ms:.2}ms ({:+.1}%, limit {:.0}%)",
         overhead * 100.0,
         OVERHEAD_LIMIT * 100.0
@@ -388,6 +436,7 @@ fn main() {
          \"rows\": [1000, 1000000],\n  \
          \"join_speedup_at_100k\": {target:.3},\n  \
          \"join_speedup_target\": {JOIN_TARGET_SPEEDUP},\n  \
+         \"instrumentation_pairs\": {OVERHEAD_PAIRS},\n  \
          \"instrumentation_off_ms\": {off_ms:.3},\n  \
          \"instrumentation_on_ms\": {on_ms:.3},\n  \
          \"instrumentation_overhead\": {overhead:.4},\n  \

@@ -1,0 +1,235 @@
+//! Multi-tenant federation server: a TCP front end over the shared
+//! concurrent mediator ([`disco_mediator::SharedMediator`]) with the
+//! cost-driven admission controller gating every query.
+//!
+//! Line protocol (one request per line, UTF-8):
+//!
+//! * `TENANT <name>` — set the connection's tenant (default `default`);
+//!   reply `OK tenant <name>`.
+//! * `SHUTDOWN` — reply `OK bye`, then stop accepting connections and
+//!   drain in-flight handlers.
+//! * anything else — treated as SQL. Reply `OK <rows> <plan-source>
+//!   <class> <wait-ms>` followed by one `ROW <tab-separated values>`
+//!   line per tuple and a final `END`, or `ERR <message>`.
+//!
+//! Modes:
+//!
+//! * `federation_server --port <n>` — serve on 127.0.0.1:<n> until a
+//!   client sends `SHUTDOWN`.
+//! * `federation_server --smoke` — bind an ephemeral port, drive four
+//!   concurrent clients through a short mixed workload over real TCP,
+//!   shut down cleanly, and exit 0 (used by the CI serving smoke job).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use disco_bench::serving::{admission_policy, mixed_sql, shared_federation, tenant_name};
+use disco_mediator::{AdmissionController, SharedMediator};
+
+struct Server {
+    mediator: Arc<SharedMediator>,
+    admission: AdmissionController,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+}
+
+impl Server {
+    fn new(sleep_scale: f64) -> Server {
+        let mediator = shared_federation(sleep_scale);
+        let admission = AdmissionController::new(admission_policy(&mediator));
+        Server {
+            mediator,
+            admission,
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Answer one SQL line: plan (through the shared cache), classify by
+    /// the prediction, admit, execute, render.
+    fn serve_sql(&self, tenant: &str, sql: &str, out: &mut impl Write) -> std::io::Result<()> {
+        let (plan, source) = match self.mediator.plan(sql) {
+            Ok(p) => p,
+            Err(e) => return writeln!(out, "ERR {e}"),
+        };
+        let class = self.admission.policy().classify(plan.estimated.total_time);
+        let permit = self.admission.admit(tenant, class);
+        let served = match self.mediator.execute(plan) {
+            Ok(s) => s,
+            Err(e) => return writeln!(out, "ERR {e}"),
+        };
+        let waited = permit.waited_ms();
+        drop(permit);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        writeln!(
+            out,
+            "OK {} {:?} {} {:.2}",
+            served.result.tuples.len(),
+            source,
+            class.label(),
+            waited
+        )?;
+        for row in &served.result.tuples {
+            let rendered: Vec<String> = row.values().iter().map(|v| format!("{v:?}")).collect();
+            writeln!(out, "ROW {}", rendered.join("\t"))?;
+        }
+        writeln!(out, "END")
+    }
+
+    fn handle_connection(&self, stream: TcpStream) -> std::io::Result<()> {
+        let mut out = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        let mut tenant = "default".to_string();
+        for line in reader.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("TENANT ") {
+                tenant = name.trim().to_string();
+                writeln!(out, "OK tenant {tenant}")?;
+            } else if line == "SHUTDOWN" {
+                writeln!(out, "OK bye")?;
+                self.shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            } else {
+                self.serve_sql(&tenant, line, &mut out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept loop; returns once `SHUTDOWN` has been seen and all
+    /// connection handlers have drained.
+    fn run(self: &Arc<Self>, listener: TcpListener) {
+        let addr = listener.local_addr().expect("listener has an address");
+        let mut handlers = Vec::new();
+        for stream in listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let server = Arc::clone(self);
+            handlers.push(std::thread::spawn(move || {
+                let _ = server.handle_connection(stream);
+                // The shutdown connection unblocks the accept loop so it
+                // can observe the flag (a no-op while serving normally).
+                if server.shutdown.load(Ordering::SeqCst) {
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Smoke client: one tenant, `queries` mixed statements, counting rows
+/// and verifying every reply completes with `END`.
+fn smoke_client(addr: std::net::SocketAddr, client: usize, queries: usize) -> (u64, u64) {
+    let stream = TcpStream::connect(addr).expect("smoke client connects");
+    let mut out = stream.try_clone().expect("stream clones");
+    let mut lines = BufReader::new(stream).lines();
+    let mut next = || {
+        lines
+            .next()
+            .expect("server keeps the connection open")
+            .expect("line reads")
+    };
+    writeln!(out, "TENANT {}", tenant_name(client)).unwrap();
+    assert!(next().starts_with("OK tenant"), "tenant handshake");
+    let (mut ok, mut rows) = (0u64, 0u64);
+    for j in 0..queries {
+        writeln!(out, "{}", mixed_sql(client, j)).unwrap();
+        let head = next();
+        assert!(head.starts_with("OK "), "query {j} failed: {head}");
+        ok += 1;
+        loop {
+            let line = next();
+            if line == "END" {
+                break;
+            }
+            assert!(line.starts_with("ROW "), "unexpected body line: {line}");
+            rows += 1;
+        }
+    }
+    (ok, rows)
+}
+
+fn run_smoke() {
+    let server = Arc::new(Server::new(0.0));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("bound address");
+    let accept = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run(listener))
+    };
+
+    const CLIENTS: usize = 4;
+    const QUERIES: usize = 32;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| std::thread::spawn(move || smoke_client(addr, c, QUERIES)))
+        .collect();
+    let (mut ok, mut rows) = (0u64, 0u64);
+    for h in clients {
+        let (o, r) = h.join().expect("smoke client joins");
+        ok += o;
+        rows += r;
+    }
+
+    let mut shut = TcpStream::connect(addr).expect("shutdown connect");
+    writeln!(shut, "SHUTDOWN").unwrap();
+    let mut reply = String::new();
+    BufReader::new(shut).read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim(), "OK bye", "shutdown acknowledged");
+    accept.join().expect("accept loop joins");
+
+    let stats = server.mediator.cache_stats();
+    assert_eq!(ok, (CLIENTS * QUERIES) as u64, "every query answered OK");
+    assert!(rows > 0, "queries returned rows");
+    assert!(
+        server.served.load(Ordering::Relaxed) >= ok,
+        "server counted the served queries"
+    );
+    println!(
+        "serving smoke: {CLIENTS} clients x {QUERIES} queries over {addr}, \
+         {rows} rows, plan cache hit rate {:.3}, clean shutdown",
+        stats.hit_rate()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--smoke") => run_smoke(),
+        Some("--port") => {
+            let port: u16 = args
+                .get(1)
+                .and_then(|p| p.parse().ok())
+                .expect("usage: federation_server --port <n> | --smoke");
+            let server = Arc::new(Server::new(0.0));
+            let listener = TcpListener::bind(("127.0.0.1", port)).expect("port binds");
+            println!(
+                "federation server listening on {} ({} wrappers behind admission)",
+                listener.local_addr().unwrap(),
+                disco_bench::serving::TABLES
+            );
+            server.run(listener);
+            println!(
+                "federation server shut down after {} queries",
+                server.served.load(Ordering::Relaxed)
+            );
+        }
+        _ => {
+            eprintln!("usage: federation_server --port <n> | --smoke");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Closed-loop load generator for the multi-tenant serving layer.
+//!
+//! Three experiments, all against the shared federation from
+//! `disco_bench::serving`, written to `BENCH_serving.json`:
+//!
+//! 1. **Throughput sweep** — aggregate qps and p50/p99 latency at
+//!    1/8/64/256 concurrent closed-loop clients over a mixed workload
+//!    (7/8 interactive, 1/8 analytical) with simulated network sleeps,
+//!    plus the plan-cache hit rate at each level. Acceptance: ≥4×
+//!    aggregate qps at 64 clients vs 1.
+//! 2. **Plan-cache efficacy** — the same repeated-shape workload planned
+//!    through the cache (decision replay) and cold (full optimization),
+//!    interleaved per query. Acceptance: hit rate ≥0.8 and cached p50
+//!    below cold p50.
+//! 3. **Admission control** — 32 analytical + 8 interactive clients with
+//!    and without the cost-driven admission controller. Acceptance:
+//!    interactive p99 ≥2× better with admission than without.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use disco_bench::serving::{
+    admission_policy, analytical_sql, interactive_sql, mixed_sql, shared_federation, tenant_name,
+    warm_plan_cache, TABLES,
+};
+use disco_bench::Table;
+use disco_mediator::AdmissionController;
+
+/// Real sleep per simulated communication millisecond in the
+/// throughput sweep (lan() charges ~100 ms per round trip).
+const SLEEP_SCALE: f64 = 0.04;
+/// Wall-clock duration of each closed-loop run.
+const RUN_MS: u64 = 2000;
+/// Client counts for the throughput sweep.
+const LEVELS: [usize; 4] = [1, 8, 64, 256];
+/// Queries in the plan-cache efficacy experiment.
+const CACHE_QUERIES: usize = 400;
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct LevelResult {
+    clients: usize,
+    queries: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+}
+
+/// One closed-loop throughput level: `clients` threads each issue the
+/// deterministic mixed stream as fast as responses come back.
+fn throughput_level(clients: usize) -> LevelResult {
+    let sm = shared_federation(SLEEP_SCALE);
+    warm_plan_cache(&sm);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let sm = Arc::clone(&sm);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut lats = Vec::new();
+            barrier.wait();
+            let mut j = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let sql = mixed_sql(c, j);
+                let t0 = Instant::now();
+                sm.query(&sql).expect("serving query succeeds");
+                lats.push(ms(t0));
+                j += 1;
+            }
+            lats
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(RUN_MS));
+    stop.store(true, Ordering::Relaxed);
+    let mut lats: Vec<f64> = Vec::new();
+    for h in handles {
+        lats.extend(h.join().expect("client thread joins"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lats.sort_by(|a, b| a.total_cmp(b));
+    LevelResult {
+        clients,
+        queries: lats.len(),
+        qps: lats.len() as f64 / elapsed,
+        p50_ms: quantile(&lats, 0.50),
+        p99_ms: quantile(&lats, 0.99),
+        hit_rate: sm.cache_stats().hit_rate(),
+    }
+}
+
+struct CacheResult {
+    queries: usize,
+    shapes: usize,
+    hit_rate: f64,
+    cold_p50_ms: f64,
+    cached_p50_ms: f64,
+}
+
+/// Plan the same repeated-shape stream twice per query — once cold
+/// (full optimization, cache bypassed) and once through the shared
+/// cache — and compare planning latency.
+fn plan_cache_section() -> CacheResult {
+    let sm = shared_federation(0.0);
+    let mut cold = Vec::with_capacity(CACHE_QUERIES);
+    let mut cached = Vec::with_capacity(CACHE_QUERIES);
+    for i in 0..CACHE_QUERIES {
+        let shape = i % (2 * TABLES);
+        let sql = if shape < TABLES {
+            interactive_sql(shape, 3 + (i as i64 % 40))
+        } else {
+            analytical_sql(shape - TABLES, 200 + (i as i64 * 13) % 600)
+        };
+        let t0 = Instant::now();
+        sm.with_mediator(|m| m.plan(&sql)).expect("cold plan");
+        cold.push(ms(t0));
+        let t0 = Instant::now();
+        sm.plan(&sql).expect("cached plan");
+        cached.push(ms(t0));
+    }
+    cold.sort_by(|a, b| a.total_cmp(b));
+    cached.sort_by(|a, b| a.total_cmp(b));
+    CacheResult {
+        queries: CACHE_QUERIES,
+        shapes: 2 * TABLES,
+        hit_rate: sm.cache_stats().hit_rate(),
+        cold_p50_ms: quantile(&cold, 0.50),
+        cached_p50_ms: quantile(&cached, 0.50),
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ClassStats {
+    queries: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn class_stats(mut lats: Vec<f64>) -> ClassStats {
+    lats.sort_by(|a, b| a.total_cmp(b));
+    ClassStats {
+        queries: lats.len(),
+        p50_ms: quantile(&lats, 0.50),
+        p99_ms: quantile(&lats, 0.99),
+    }
+}
+
+struct AdmissionResult {
+    interactive: ClassStats,
+    analytical: ClassStats,
+    bypasses: u64,
+}
+
+/// 32 analytical + 8 interactive closed-loop clients. Every query is
+/// classified by the cost model's prediction; with `use_admission` the
+/// controller gates execution, without it queries run unthrottled.
+fn admission_run(use_admission: bool) -> AdmissionResult {
+    const ANALYTICAL_CLIENTS: usize = 32;
+    const INTERACTIVE_CLIENTS: usize = 8;
+    let sm = shared_federation(0.0);
+    warm_plan_cache(&sm);
+    let ctl = Arc::new(AdmissionController::new(admission_policy(&sm)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = ANALYTICAL_CLIENTS + INTERACTIVE_CLIENTS;
+    let barrier = Arc::new(Barrier::new(total + 1));
+
+    let spawn_client = |c: usize, analytical: bool| {
+        let sm = Arc::clone(&sm);
+        let ctl = Arc::clone(&ctl);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let tenant = tenant_name(c);
+            let mut lats = Vec::new();
+            barrier.wait();
+            let mut j = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let sql = if analytical {
+                    analytical_sql((c * 5 + j) % TABLES, 200 + ((j as i64 * 31) % 600))
+                } else {
+                    interactive_sql((c + j) % TABLES, 3 + (j as i64 % 40))
+                };
+                let t0 = Instant::now();
+                let (plan, _) = sm.plan(&sql).expect("plans");
+                let class = ctl.policy().classify(plan.estimated.total_time);
+                let permit = use_admission.then(|| ctl.admit(&tenant, class));
+                sm.execute(plan).expect("executes");
+                drop(permit);
+                lats.push(ms(t0));
+                j += 1;
+            }
+            lats
+        })
+    };
+
+    let mut analytical_handles = Vec::new();
+    let mut interactive_handles = Vec::new();
+    for c in 0..ANALYTICAL_CLIENTS {
+        analytical_handles.push(spawn_client(c, true));
+    }
+    for c in 0..INTERACTIVE_CLIENTS {
+        interactive_handles.push(spawn_client(ANALYTICAL_CLIENTS + c, false));
+    }
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(RUN_MS));
+    stop.store(true, Ordering::Relaxed);
+    let collect = |hs: Vec<std::thread::JoinHandle<Vec<f64>>>| {
+        hs.into_iter()
+            .flat_map(|h| h.join().expect("client joins"))
+            .collect::<Vec<f64>>()
+    };
+    let analytical = class_stats(collect(analytical_handles));
+    let interactive = class_stats(collect(interactive_handles));
+    AdmissionResult {
+        interactive,
+        analytical,
+        bypasses: ctl.bypasses(),
+    }
+}
+
+fn main() {
+    println!("E-serving: multi-tenant serving layer (shared mediator + plan cache + admission)");
+    println!();
+
+    // --- 1. throughput sweep -------------------------------------------
+    let mut levels = Vec::new();
+    let mut table = Table::new(&["clients", "queries", "qps", "p50 ms", "p99 ms", "hit rate"]);
+    for &clients in &LEVELS {
+        let r = throughput_level(clients);
+        table.row(vec![
+            r.clients.to_string(),
+            r.queries.to_string(),
+            format!("{:.1}", r.qps),
+            format!("{:.2}", r.p50_ms),
+            format!("{:.2}", r.p99_ms),
+            format!("{:.3}", r.hit_rate),
+        ]);
+        levels.push(r);
+    }
+    println!("{}", table.render());
+    let qps_1 = levels[0].qps;
+    let qps_64 = levels.iter().find(|l| l.clients == 64).unwrap().qps;
+    let speedup_64 = qps_64 / qps_1;
+    println!("aggregate qps 64 vs 1 client: {speedup_64:.2}x");
+    println!();
+
+    // --- 2. plan-cache efficacy ----------------------------------------
+    let cache = plan_cache_section();
+    println!(
+        "plan cache: {} queries over {} shapes, hit rate {:.3}, \
+         plan p50 cold {:.3} ms vs cached {:.3} ms ({:.2}x)",
+        cache.queries,
+        cache.shapes,
+        cache.hit_rate,
+        cache.cold_p50_ms,
+        cache.cached_p50_ms,
+        cache.cold_p50_ms / cache.cached_p50_ms,
+    );
+    println!();
+
+    // --- 3. admission control ------------------------------------------
+    let without = admission_run(false);
+    let with = admission_run(true);
+    let p99_improvement = without.interactive.p99_ms / with.interactive.p99_ms;
+    let mut table = Table::new(&[
+        "admission",
+        "interactive n",
+        "int p50 ms",
+        "int p99 ms",
+        "analytical n",
+        "ana p99 ms",
+    ]);
+    for (name, r) in [("off", &without), ("on", &with)] {
+        table.row(vec![
+            name.to_string(),
+            r.interactive.queries.to_string(),
+            format!("{:.2}", r.interactive.p50_ms),
+            format!("{:.2}", r.interactive.p99_ms),
+            r.analytical.queries.to_string(),
+            format!("{:.2}", r.analytical.p99_ms),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "interactive p99 improvement with admission: {p99_improvement:.2}x \
+         ({} reserved-lane bypasses)",
+        with.bypasses
+    );
+
+    // --- JSON ----------------------------------------------------------
+    use std::fmt::Write as _;
+    let mut level_rows = String::new();
+    for (i, r) in levels.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        write!(
+            level_rows,
+            "{sep}\n    {{\"clients\": {}, \"queries\": {}, \"qps\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cache_hit_rate\": {:.4}}}",
+            r.clients, r.queries, r.qps, r.p50_ms, r.p99_ms, r.hit_rate
+        )
+        .unwrap();
+    }
+    let admission_obj = |r: &AdmissionResult, with_ctl: bool| {
+        format!(
+            "{{\"interactive_queries\": {}, \"interactive_p50_ms\": {:.3}, \
+             \"interactive_p99_ms\": {:.3}, \"analytical_queries\": {}, \
+             \"analytical_p99_ms\": {:.3}, \"bypasses\": {}}}",
+            r.interactive.queries,
+            r.interactive.p50_ms,
+            r.interactive.p99_ms,
+            r.analytical.queries,
+            r.analytical.p99_ms,
+            if with_ctl { r.bypasses } else { 0 },
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"tables\": {tables},\n  \
+         \"sleep_scale\": {SLEEP_SCALE},\n  \"run_ms\": {RUN_MS},\n  \
+         \"throughput\": [{level_rows}\n  ],\n  \
+         \"qps_speedup_64_vs_1\": {speedup_64:.3},\n  \
+         \"plan_cache\": {{\"queries\": {cq}, \"shapes\": {cs}, \"hit_rate\": {chr:.4}, \
+         \"cold_plan_p50_ms\": {cold:.4}, \"cached_plan_p50_ms\": {cached:.4}}},\n  \
+         \"admission\": {{\n    \"without\": {without},\n    \"with\": {with},\n    \
+         \"interactive_p99_improvement\": {imp:.3}\n  }}\n}}\n",
+        tables = TABLES,
+        cq = cache.queries,
+        cs = cache.shapes,
+        chr = cache.hit_rate,
+        cold = cache.cold_p50_ms,
+        cached = cache.cached_p50_ms,
+        without = admission_obj(&without, false),
+        with = admission_obj(&with, true),
+        imp = p99_improvement,
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
+
+    // Acceptance bounds (ISSUE 6): written after the JSON so a failed
+    // bound still leaves the numbers on disk for inspection.
+    assert!(
+        speedup_64 >= 4.0,
+        "aggregate qps at 64 clients only {speedup_64:.2}x of 1 client (need >= 4x)"
+    );
+    assert!(
+        cache.hit_rate >= 0.8,
+        "plan-cache hit rate {:.3} below 0.8",
+        cache.hit_rate
+    );
+    assert!(
+        cache.cached_p50_ms < cache.cold_p50_ms,
+        "cached plan p50 {:.4} ms not below cold optimize p50 {:.4} ms",
+        cache.cached_p50_ms,
+        cache.cold_p50_ms
+    );
+    assert!(
+        p99_improvement >= 2.0,
+        "interactive p99 with admission only {p99_improvement:.2}x better (need >= 2x)"
+    );
+    println!("all serving acceptance bounds hold");
+}

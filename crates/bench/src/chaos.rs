@@ -26,10 +26,11 @@
 //! `cargo run --release -p disco-bench --bin chaos_soak -- <seed>`.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 
 use disco_common::rng::seeded;
 use disco_common::{AttributeDef, DataType, Schema, Value};
-use disco_mediator::{Mediator, MediatorOptions, QueryResult, ResiliencePolicy};
+use disco_mediator::{Mediator, MediatorOptions, QueryResult, ResiliencePolicy, SharedMediator};
 use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
 use disco_transport::{
     ChannelTransport, FaultKind, FaultPlan, NetProfile, RetryPolicy, TransportClient,
@@ -277,5 +278,147 @@ pub fn run_seed(seed: u64, queries: usize) -> SeedReport {
         ));
     }
     report.digest = format!("{:016x}", fnv64(&transcript));
+    report
+}
+
+/// Outcome of soaking one seed through the shared concurrent mediator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcurrentReport {
+    pub seed: u64,
+    /// Concurrent sessions driven through one [`SharedMediator`].
+    pub sessions: usize,
+    /// Total queries across all sessions.
+    pub queries: usize,
+    pub complete: usize,
+    pub partial: usize,
+    pub failovers: u64,
+    /// Answers whose digest differed from the single-session oracle.
+    pub mismatches: Vec<String>,
+}
+
+impl ConcurrentReport {
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Single-session fault-free oracle digest for `(query, missing)`,
+/// memoized across sessions. Duplicate computation under contention is
+/// harmless — both racers derive the same deterministic answer.
+fn oracle_digest(
+    oracles: &Mutex<BTreeMap<(usize, BTreeSet<String>), String>>,
+    idx: usize,
+    missing: &BTreeSet<String>,
+) -> String {
+    let key = (idx, missing.clone());
+    if let Some(want) = oracles.lock().expect("oracle memo lock").get(&key) {
+        return want.clone();
+    }
+    let mut oracle = federation(|_| FaultPlan::none(), missing);
+    let o = oracle.query(QUERIES[idx]).expect("oracle query succeeds");
+    assert!(!o.is_partial(), "oracle must never degrade");
+    let want = answer_key(&o);
+    oracles
+        .lock()
+        .expect("oracle memo lock")
+        .entry(key)
+        .or_insert(want)
+        .clone()
+}
+
+/// Soak one seed with `sessions` concurrent client threads sharing a
+/// single [`SharedMediator`] over the chaos federation.
+///
+/// Interleaving shifts which submit lands in which fault window, so the
+/// *transcript* is not expected to match the sequential run — but every
+/// individual answer must still digest-equal the single-session
+/// fault-free oracle for whatever degradation it reported. Each session
+/// starts the query mix at a different offset so the streams overlap on
+/// distinct shapes.
+pub fn run_seed_concurrent(
+    seed: u64,
+    queries_per_session: usize,
+    sessions: usize,
+) -> ConcurrentReport {
+    let shared = SharedMediator::new(federation(|e| fault_schedule(seed, e), &BTreeSet::new()));
+    let oracles: Mutex<BTreeMap<(usize, BTreeSet<String>), String>> = Mutex::new(BTreeMap::new());
+    let mut report = ConcurrentReport {
+        seed,
+        sessions,
+        queries: queries_per_session * sessions,
+        complete: 0,
+        partial: 0,
+        failovers: 0,
+        mismatches: Vec::new(),
+    };
+
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let shared = &shared;
+                let oracles = &oracles;
+                scope.spawn(move || {
+                    let mut complete = 0usize;
+                    let mut partial = 0usize;
+                    let mut failovers = 0u64;
+                    let mut mismatches = Vec::new();
+                    for q in 0..queries_per_session {
+                        let idx = (q + s * 3) % QUERIES.len();
+                        let sql = QUERIES[idx];
+                        let r = match shared.query(sql) {
+                            Ok(served) => served.result,
+                            Err(e) => {
+                                mismatches.push(format!(
+                                    "session {s} query {q} (`{sql}`) errored \
+                                     instead of degrading: {e}"
+                                ));
+                                continue;
+                            }
+                        };
+                        let missing: BTreeSet<String> = r
+                            .trace
+                            .missing
+                            .iter()
+                            .map(|qn| qn.collection.clone())
+                            .collect();
+                        let got = answer_key(&r);
+                        let want = oracle_digest(oracles, idx, &missing);
+                        if got != want {
+                            mismatches.push(format!(
+                                "session {s} query {q} (`{sql}`): answer diverges \
+                                 from the fault-free oracle (missing: [{}]); got {} tuples",
+                                missing.iter().cloned().collect::<Vec<_>>().join(", "),
+                                r.tuples.len(),
+                            ));
+                        }
+                        if r.is_partial() {
+                            partial += 1;
+                        } else {
+                            complete += 1;
+                        }
+                        for sub in &r.trace.submits {
+                            if !sub.failed
+                                && !sub.served_by.is_empty()
+                                && sub.served_by != sub.wrapper
+                            {
+                                failovers += 1;
+                            }
+                        }
+                    }
+                    (complete, partial, failovers, mismatches)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak session joins"))
+            .collect::<Vec<_>>()
+    });
+    for (complete, partial, failovers, mismatches) in outcomes {
+        report.complete += complete;
+        report.partial += partial;
+        report.failovers += failovers;
+        report.mismatches.extend(mismatches);
+    }
     report
 }

@@ -10,6 +10,7 @@ pub mod historical;
 pub mod micro;
 pub mod plan_quality;
 pub mod report;
+pub mod serving;
 pub mod setup;
 
 pub use fig12::{run_fig12, Fig12Row};

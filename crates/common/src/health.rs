@@ -22,6 +22,7 @@
 //! no successes) still recovers instead of being starved forever.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Tuning knobs for [`HealthTracker`]. Embedded in the transport
@@ -93,6 +94,12 @@ impl Health {
 pub struct HealthTracker {
     policy: HealthPolicy,
     inner: Mutex<BTreeMap<String, Health>>,
+    /// Bumped whenever any wrapper's *effective* penalty changes
+    /// (quantized to 1/100ths, so asymptotic EWMA residue inside the
+    /// dead zone does not churn it). Plan caches key their entries on
+    /// this: a changed version means a previously-losing access path
+    /// may now win, so cached decisions must be re-derived.
+    version: AtomicU64,
 }
 
 impl Default for HealthTracker {
@@ -106,11 +113,26 @@ impl HealthTracker {
         HealthTracker {
             policy,
             inner: Mutex::new(BTreeMap::new()),
+            version: AtomicU64::new(0),
         }
     }
 
     pub fn policy(&self) -> HealthPolicy {
         self.policy
+    }
+
+    /// Monotonic counter of effective-penalty changes; see the field
+    /// doc. Cheap to poll (one relaxed atomic load).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Quantized effective penalty, the unit of version-change
+    /// detection: identical values mean the optimizer would make the
+    /// same choices, so a plan cached against the old value stays
+    /// valid.
+    fn quantized(&self, h: &Health) -> u64 {
+        (self.penalty_of(h) * 100.0).round() as u64
     }
 
     /// Record one successful submit attempt. `observed_ms` is the
@@ -119,6 +141,7 @@ impl HealthTracker {
     pub fn record_success(&self, wrapper: &str, observed_ms: f64, predicted_ms: Option<f64>) {
         let mut inner = self.inner.lock().unwrap();
         let h = inner.entry(wrapper.to_string()).or_insert_with(Health::new);
+        let before = self.quantized(h);
         h.observations += 1;
         let a = self.policy.failure_alpha;
         h.failure_ewma *= 1.0 - a;
@@ -129,15 +152,22 @@ impl HealthTracker {
                 h.latency_ratio = (1.0 - b) * h.latency_ratio + b * ratio;
             }
         }
+        if self.quantized(h) != before {
+            self.version.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Record one failed submit attempt (timeout, drop, unavailable).
     pub fn record_failure(&self, wrapper: &str) {
         let mut inner = self.inner.lock().unwrap();
         let h = inner.entry(wrapper.to_string()).or_insert_with(Health::new);
+        let before = self.quantized(h);
         h.observations += 1;
         let a = self.policy.failure_alpha;
         h.failure_ewma = (1.0 - a) * h.failure_ewma + a;
+        if self.quantized(h) != before {
+            self.version.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Mild decay applied to every tracked wrapper; called once per
@@ -145,9 +175,15 @@ impl HealthTracker {
     pub fn tick(&self) {
         let mut inner = self.inner.lock().unwrap();
         let d = self.policy.decay_per_tick;
+        let mut changed = false;
         for h in inner.values_mut() {
+            let before = self.quantized(h);
             h.failure_ewma *= 1.0 - d;
             h.latency_ratio = 1.0 + (h.latency_ratio - 1.0) * (1.0 - d);
+            changed |= self.quantized(h) != before;
+        }
+        if changed {
+            self.version.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -197,7 +233,11 @@ impl HealthTracker {
     /// Forget all recorded history (used by tests and the chaos
     /// harness between runs).
     pub fn reset(&self) {
-        self.inner.lock().unwrap().clear();
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.is_empty() {
+            self.version.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.clear();
     }
 }
 
@@ -253,6 +293,32 @@ mod tests {
             t.tick();
         }
         assert!(t.penalty("w") < (peak - 1.0) * 0.05 + 1.0);
+    }
+
+    #[test]
+    fn version_tracks_effective_penalty_changes() {
+        let t = HealthTracker::default();
+        let v0 = t.version();
+        // Healthy traffic inside the dead zone must not churn the
+        // version (otherwise every query would flush plan caches).
+        for _ in 0..10 {
+            t.record_success("w", 100.0, Some(100.0));
+            t.tick();
+        }
+        assert_eq!(t.version(), v0, "healthy steady state bumped version");
+        t.record_failure("w");
+        t.record_failure("w");
+        assert!(t.version() > v0, "penalty shift did not bump version");
+        let v1 = t.version();
+        for _ in 0..80 {
+            t.tick();
+        }
+        assert!(t.version() > v1, "decay back to healthy did not bump");
+        let healed = t.version();
+        for _ in 0..5 {
+            t.tick();
+        }
+        assert_eq!(t.version(), healed, "ticks at rest kept bumping");
     }
 
     #[test]

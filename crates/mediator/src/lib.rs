@@ -18,17 +18,27 @@
 //! * [`executor`] — pull-style execution: submit subqueries, combine
 //!   subanswers, account mediator-side virtual time;
 //! * [`mediator`] — the facade tying registration (Figure 1) and query
-//!   processing (Figure 2) together.
+//!   processing (Figure 2) together;
+//! * [`serving`] — the multi-tenant serving layer: a shared concurrent
+//!   mediator with a decision-replay plan cache and cost-driven
+//!   admission control.
 
 pub mod analyze;
 pub mod executor;
 pub mod mediator;
 pub mod optimizer;
+pub mod serving;
 pub mod sql;
 
 pub use analyze::{AnalyzedQuery, TableBinding};
 pub use disco_transport::ResiliencePolicy;
 pub use executor::{ExecutionTrace, Executor, QueryResult, SitePrediction, SubmitTrace};
 pub use mediator::{AnalyzeReport, Mediator, MediatorOptions};
-pub use optimizer::{to_logical, JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
+pub use optimizer::{
+    to_logical, JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions, PlanDecisions,
+};
+pub use serving::{
+    AdmissionController, AdmissionPermit, AdmissionPolicy, PlanCacheStats, PlanSource, QueryClass,
+    ServedQuery, SharedMediator,
+};
 pub use sql::{parse_query, parse_statement, Statement};

@@ -12,7 +12,7 @@ use disco_transport::{ResiliencePolicy, TransportClient};
 use disco_wrapper::{Registration, Wrapper};
 
 use crate::analyze::analyze;
-use crate::executor::{submit_sites, Executor, QueryResult, SitePrediction};
+use crate::executor::{submit_sites, ExecutionTrace, Executor, QueryResult, SitePrediction};
 use crate::optimizer::{JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
 
 /// Behaviour switches.
@@ -132,6 +132,29 @@ impl Mediator {
         &self.health
     }
 
+    /// The behaviour options currently in force.
+    pub fn options(&self) -> &MediatorOptions {
+        &self.options
+    }
+
+    /// An optimizer over the current catalog/registry with this
+    /// mediator's options and health tracker applied (the same one
+    /// [`Self::plan`] uses for single-branch statements).
+    pub(crate) fn optimizer(&self) -> Optimizer<'_> {
+        let opts = OptimizerOptions {
+            pruning: self.options.pruning,
+            enumeration: self.options.enumeration,
+            small_query_threshold: self.options.small_query_threshold,
+            ..Default::default()
+        };
+        let mut optimizer =
+            Optimizer::new(&self.catalog, &self.registry, opts).with_health(Some(&self.health));
+        if let Some(t) = &self.tracer {
+            optimizer = optimizer.with_tracer(t.clone());
+        }
+        optimizer
+    }
+
     /// The registration phase (Figure 1): upload the wrapper's schema,
     /// capabilities, statistics and compiled cost rules.
     pub fn register(&mut self, wrapper: Box<dyn Wrapper>) -> Result<()> {
@@ -246,17 +269,7 @@ impl Mediator {
             let _s = self.tracer.as_ref().map(|t| t.start("parse"));
             crate::sql::parse_statement(sql)?
         };
-        let opts = OptimizerOptions {
-            pruning: self.options.pruning,
-            enumeration: self.options.enumeration,
-            small_query_threshold: self.options.small_query_threshold,
-            ..Default::default()
-        };
-        let mut optimizer =
-            Optimizer::new(&self.catalog, &self.registry, opts).with_health(Some(&self.health));
-        if let Some(t) = &self.tracer {
-            optimizer = optimizer.with_tracer(t.clone());
-        }
+        let optimizer = self.optimizer();
 
         if stmt.branches.len() == 1 {
             let mut query = stmt.branches.into_iter().next().expect("one branch");
@@ -456,6 +469,21 @@ impl Mediator {
 
     /// Execute a previously optimized plan.
     pub fn execute_plan(&mut self, optimized: OptimizedPlan) -> Result<QueryResult> {
+        let result = self.execute_plan_shared(optimized)?;
+        if self.options.record_history {
+            self.record_trace_history(&result.trace);
+        }
+        Ok(result)
+    }
+
+    /// Execute a previously optimized plan through `&self` — everything
+    /// `execute_plan` does except §4.3.1 history recording (which
+    /// mutates the rule registry and so needs `&mut self`; see
+    /// [`Self::record_trace_history`]). This is the path the concurrent
+    /// serving layer drives under a read lock, so N sessions execute in
+    /// parallel and only a session that actually recorded feedback
+    /// takes the write lock.
+    pub fn execute_plan_shared(&self, optimized: OptimizedPlan) -> Result<QueryResult> {
         let resilience = &self.options.resilience;
         // Predictions and replica sets only matter over a transport, and
         // only when the policy can use them.
@@ -524,25 +552,6 @@ impl Mediator {
             disco_obs::histogram(disco_obs::names::QUERY_MS, &[]).observe(measured_ms);
         }
 
-        if self.options.record_history {
-            // Failed (substituted) submits measured nothing worth
-            // remembering.
-            for sub in trace.submits.iter().filter(|s| !s.failed) {
-                let measured = NodeCost {
-                    time_first: sub.stats.time_first_ms,
-                    time_next: (sub.stats.elapsed_ms - sub.stats.time_first_ms)
-                        / (sub.tuples.max(1) as f64),
-                    total_time: sub.stats.elapsed_ms,
-                    count_object: sub.tuples as f64,
-                    total_size: sub.bytes as f64,
-                };
-                // Unsupported shapes (multi-conjunct etc.) are skipped —
-                // the paper notes the same restriction.
-                let _ = self
-                    .history
-                    .record(&mut self.registry, &sub.wrapper, &sub.plan, measured);
-            }
-        }
         Ok(QueryResult {
             schema,
             tuples,
@@ -550,6 +559,36 @@ impl Mediator {
             estimated: optimized.estimated,
             trace,
         })
+    }
+
+    /// Record measured submits from an execution trace as query-scope
+    /// rules (§4.3.1). Returns how many rules were actually recorded,
+    /// so callers keeping derived state (a plan cache keyed on the
+    /// registry's contents) know whether anything changed.
+    pub fn record_trace_history(&mut self, trace: &ExecutionTrace) -> usize {
+        let mut recorded = 0;
+        // Failed (substituted) submits measured nothing worth
+        // remembering.
+        for sub in trace.submits.iter().filter(|s| !s.failed) {
+            let measured = NodeCost {
+                time_first: sub.stats.time_first_ms,
+                time_next: (sub.stats.elapsed_ms - sub.stats.time_first_ms)
+                    / (sub.tuples.max(1) as f64),
+                total_time: sub.stats.elapsed_ms,
+                count_object: sub.tuples as f64,
+                total_size: sub.bytes as f64,
+            };
+            // Unsupported shapes (multi-conjunct etc.) are skipped —
+            // the paper notes the same restriction.
+            if self
+                .history
+                .record(&mut self.registry, &sub.wrapper, &sub.plan, measured)
+                .is_ok()
+            {
+                recorded += 1;
+            }
+        }
+        recorded
     }
 
     /// Direct access to a registered wrapper (experiments).

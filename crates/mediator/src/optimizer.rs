@@ -123,6 +123,124 @@ pub struct OptimizedPlan {
     pub fast_path: bool,
 }
 
+/// The constant-free residue of one optimization run: which wrapper
+/// served each table, which operators were pushed down, and the join
+/// order. A plan cache stores this instead of the [`PhysicalPlan`]
+/// itself so a later query with the same *shape* but different
+/// constants can be rebuilt by [`Optimizer::replay`] — the incoming
+/// query's own predicates are re-injected, never the cached ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDecisions {
+    /// Per-table (indexed like `AnalyzedQuery::tables`) access choice.
+    access: Vec<AccessDecision>,
+    /// Left-deep join order as table indices.
+    order: Vec<usize>,
+}
+
+/// One table's access-path choice (see [`PlanDecisions`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AccessDecision {
+    wrapper: String,
+    push_select: bool,
+    push_project: bool,
+}
+
+impl PlanDecisions {
+    /// Extract the decisions that produced `plan` for `q`. Returns
+    /// `None` for shapes the replay path cannot rebuild (anything but
+    /// a left-deep tree of single-submit leaves) — callers then simply
+    /// skip caching.
+    pub fn of(q: &AnalyzedQuery, plan: &PhysicalPlan) -> Option<PlanDecisions> {
+        // Strip the post-join operators finish_plan stacked on top:
+        // Sort? → Dedup? → Project(output) → Aggregate? → join tree.
+        let mut p = plan;
+        if let PhysicalPlan::Sort { input, .. } = p {
+            p = input;
+        }
+        if let PhysicalPlan::Dedup { input } = p {
+            p = input;
+        }
+        let PhysicalPlan::Project { input, .. } = p else {
+            return None;
+        };
+        let mut p = input.as_ref();
+        if let PhysicalPlan::Aggregate { input, .. } = p {
+            p = input;
+        }
+        let mut leaves = Vec::new();
+        collect_leaves(p, &mut leaves);
+        if leaves.len() != q.tables.len() {
+            return None;
+        }
+        let mut access: Vec<Option<AccessDecision>> = vec![None; q.tables.len()];
+        let mut order = Vec::with_capacity(leaves.len());
+        for leaf in leaves {
+            let (t, d) = leaf_decision(q, leaf)?;
+            if access[t].is_some() {
+                return None;
+            }
+            access[t] = Some(d);
+            order.push(t);
+        }
+        Some(PlanDecisions {
+            access: access.into_iter().collect::<Option<Vec<_>>>()?,
+            order,
+        })
+    }
+}
+
+/// Flatten a left-deep join tree into its leaves, leftmost first.
+fn collect_leaves<'p>(p: &'p PhysicalPlan, out: &mut Vec<&'p PhysicalPlan>) {
+    if let PhysicalPlan::Join { left, right, .. } = p {
+        collect_leaves(left, out);
+        collect_leaves(right, out);
+    } else {
+        out.push(p);
+    }
+}
+
+/// Parse one access-plan leaf (mediator Project? → Filter? → submit)
+/// back into the table it serves and the decisions that built it.
+fn leaf_decision(q: &AnalyzedQuery, leaf: &PhysicalPlan) -> Option<(usize, AccessDecision)> {
+    let mut p = leaf;
+    let mut mediator_cols: Option<&[(String, ScalarExpr)]> = None;
+    if let PhysicalPlan::Project { input, columns } = p {
+        mediator_cols = Some(columns);
+        p = input;
+    }
+    if let PhysicalPlan::Filter { input, .. } = p {
+        p = input;
+    }
+    let PhysicalPlan::SubmitRemote { wrapper, plan, .. } = p else {
+        return None;
+    };
+    // Inside the submit: Project? → Select? → Scan (access_variant's
+    // construction order). The alias-qualified rename lives in
+    // whichever Project exists.
+    let mut inner = plan;
+    let mut pushed_cols: Option<&[(String, ScalarExpr)]> = None;
+    if let LogicalPlan::Project { input, columns } = inner {
+        pushed_cols = Some(columns);
+        inner = input;
+    }
+    let push_select = matches!(inner, LogicalPlan::Select { .. });
+    let push_project = mediator_cols.is_none();
+    if push_project != pushed_cols.is_some() {
+        return None;
+    }
+    let rename = mediator_cols.or(pushed_cols)?;
+    let (alias, _) = rename.first()?.0.split_once('.')?;
+    let t = q.tables.iter().position(|b| b.alias == alias)?;
+    Some((
+        t,
+        AccessDecision {
+            wrapper: wrapper.clone(),
+            push_select,
+            push_project,
+        },
+    ))
+}
+
 /// Cost-based optimizer over a catalog and rule registry.
 pub struct Optimizer<'a> {
     catalog: &'a Catalog,
@@ -130,6 +248,7 @@ pub struct Optimizer<'a> {
     options: OptimizerOptions,
     tracer: Option<disco_obs::Tracer>,
     health: Option<&'a HealthTracker>,
+    shared_cache: Option<&'a EstimatorCache>,
 }
 
 /// Convert a physical plan to the logical form the estimator prices.
@@ -259,7 +378,19 @@ impl<'a> Optimizer<'a> {
             options,
             tracer: None,
             health: None,
+            shared_cache: None,
         }
+    }
+
+    /// Use an externally-owned estimation cache instead of a fresh
+    /// per-run one, so successive (and concurrent — the cache is
+    /// thread-safe) optimizations amortize one another's subplan
+    /// costings. The caller owns invalidation: cached entries assume a
+    /// fixed registry, catalog, and health state, so the cache must be
+    /// replaced whenever any of those change.
+    pub fn with_cache(mut self, cache: Option<&'a EstimatorCache>) -> Self {
+        self.shared_cache = cache;
+        self
     }
 
     /// Attach a tracer; `optimize` then records `access-plans` and
@@ -296,7 +427,7 @@ impl<'a> Optimizer<'a> {
                 .small_query_threshold
                 .min(self.options.exhaustive_up_to);
         let cache = (matches!(self.options.enumeration, JoinEnumeration::Dp) && !fast_path)
-            .then_some(&cache_store);
+            .then_some(self.shared_cache.unwrap_or(&cache_store));
 
         // Phase 1: best access variant per table (independent — costed
         // in parallel).
@@ -384,6 +515,67 @@ impl<'a> Optimizer<'a> {
             memo_hits: cache.map_or(0, |c| c.cost_hits()),
             rule_cache_hits: cache.map_or(0, |c| c.rule_hits()),
             fast_path,
+        })
+    }
+
+    /// Rebuild a plan for `q` from cached [`PlanDecisions`] without any
+    /// enumeration: one access variant per table, one join tree, one
+    /// estimate. The incoming query's own selections and projections
+    /// are re-injected, so constants differing from the run that
+    /// produced the decisions yield a correct (if possibly no longer
+    /// optimal — standard prepared-statement semantics) plan. Errors
+    /// when the decisions no longer fit the query or catalog; callers
+    /// fall back to [`Self::optimize`].
+    pub fn replay(&self, q: &AnalyzedQuery, decisions: &PlanDecisions) -> Result<OptimizedPlan> {
+        let n = q.tables.len();
+        if decisions.access.len() != n || decisions.order.len() != n || n == 0 {
+            return Err(DiscoError::Plan(
+                "cached decisions do not match query shape".into(),
+            ));
+        }
+        let mut access: Vec<AccessPlan> = Vec::with_capacity(n);
+        for (t, d) in decisions.access.iter().enumerate() {
+            let binding = &q.tables[t];
+            let sels: Vec<&SelectPredicate> = q
+                .selections
+                .iter()
+                .filter(|(ti, _)| *ti == t)
+                .map(|(_, p)| p)
+                .collect();
+            let mut cols: Vec<String> = q.needed[t].clone();
+            if cols.is_empty() {
+                cols.push(binding.schema.attributes()[0].name.clone());
+            }
+            let plan = self.access_variant(
+                q,
+                t,
+                &d.wrapper,
+                &cols,
+                &sels,
+                (d.push_select && !sels.is_empty(), d.push_project),
+            )?;
+            access.push(plan);
+        }
+        let join = if n == 1 {
+            access[0].plan.clone()
+        } else {
+            self.build_join_tree(q, &access, &decisions.order)?
+        };
+        let physical = self.finish_plan(q, join)?;
+        let estimator = Estimator::new(self.registry, self.catalog).with_health(self.health);
+        let report = estimator
+            .estimate_report(&to_logical(&physical), &EstimateOptions::default())?
+            .ok_or_else(|| DiscoError::Cost("replay estimate abandoned without a limit".into()))?;
+        Ok(OptimizedPlan {
+            physical,
+            estimated: report.cost,
+            plans_considered: 0,
+            plans_pruned: 0,
+            estimator_nodes: report.nodes_visited,
+            estimator_rules: report.rules_evaluated,
+            memo_hits: 0,
+            rule_cache_hits: 0,
+            fast_path: false,
         })
     }
 
@@ -1217,6 +1409,34 @@ mod tests {
         assert_eq!(dp.estimated.total_time, oracle.estimated.total_time);
         assert!(dp.memo_hits > 0, "DP run should hit the subplan memo");
         assert_eq!(oracle.memo_hits, 0, "oracle runs uncached");
+    }
+
+    #[test]
+    fn decisions_roundtrip_replay_matches_optimize() {
+        let cat = catalog();
+        let reg = RuleRegistry::with_default_model();
+        let sql = "SELECT b.id FROM Big b, Small s WHERE b.k = s.sid AND b.id < 100";
+        let q = analyze(&parse_query(sql).unwrap(), &cat).unwrap();
+        let opt = Optimizer::new(&cat, &reg, OptimizerOptions::default());
+        let out = opt.optimize(&q).unwrap();
+        let d = PlanDecisions::of(&q, &out.physical).expect("decisions extractable");
+        let replayed = opt.replay(&q, &d).unwrap();
+        assert_eq!(
+            format!("{:?}", replayed.physical),
+            format!("{:?}", out.physical),
+            "replay must rebuild the identical plan"
+        );
+        assert_eq!(replayed.estimated.total_time, out.estimated.total_time);
+        // Same shape, different constant: the replayed plan carries the
+        // *new* constant and matches a fresh optimization of it.
+        let sql2 = "SELECT b.id FROM Big b, Small s WHERE b.k = s.sid AND b.id < 7";
+        let q2 = analyze(&parse_query(sql2).unwrap(), &cat).unwrap();
+        let replayed2 = opt.replay(&q2, &d).unwrap();
+        let out2 = opt.optimize(&q2).unwrap();
+        assert_eq!(
+            format!("{:?}", replayed2.physical),
+            format!("{:?}", out2.physical)
+        );
     }
 
     /// A skewed 5-table star catalog: the center joins four leaves whose

@@ -1,0 +1,903 @@
+//! Multi-tenant serving layer: a shared concurrent mediator with a
+//! decision-replay plan cache and cost-driven admission control.
+//!
+//! [`SharedMediator`] wraps one [`Mediator`] in an `RwLock` so N
+//! sessions plan and execute concurrently (execution is `&self`; see
+//! [`Mediator::execute_plan_shared`]) and amortize one another's work
+//! through three pieces of cross-session shared state:
+//!
+//! * the **plan cache** — keyed by the normalized query shape
+//!   (constants parameterized away), storing the [`PlanDecisions`] of
+//!   the winning plan rather than the plan itself, so a hit replays
+//!   the decisions against the *incoming* query's constants
+//!   (prepared-statement semantics: always correct, possibly no longer
+//!   optimal for wildly different constants);
+//! * the **estimation cache** — the subplan cost memo / rule-resolution
+//!   cache of `disco_core::cache`, shared across sessions' cache-miss
+//!   optimizations;
+//! * the **health tracker** — already `Arc`-shared with the transport;
+//!   its [`version`](disco_common::HealthTracker::version) feeds
+//!   invalidation.
+//!
+//! Both caches are invalidated by exactly the events that could change
+//! a winning plan: §4.3.1 query-scope historical-rule recordings
+//! (history epoch), administrative catalog/registry mutations
+//! ([`SharedMediator::with_mediator_mut`], catalog epoch), and
+//! health-penalty shifts (quantized-penalty version). Hit, miss, and
+//! per-reason invalidation counters go to `disco-obs`.
+//!
+//! [`AdmissionController`] sits in front: a concurrency limit with
+//! per-tenant fair queuing for predicted-expensive ("analytical")
+//! queries, a bypass lane with reserved slots for predicted-cheap
+//! ("interactive") ones — the classification driven by the cost
+//! model's estimated `TotalTime` — and optional per-tenant in-flight
+//! caps.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+use disco_common::{Result, Value};
+use disco_core::EstimatorCache;
+use disco_obs::names;
+
+use crate::analyze::analyze;
+use crate::executor::QueryResult;
+use crate::mediator::Mediator;
+use crate::optimizer::{OptimizedPlan, PlanDecisions};
+use crate::sql::{parse_statement, Condition, SqlExpr, Statement};
+
+// ---------------------------------------------------------------------
+// Cache-key normalization
+// ---------------------------------------------------------------------
+
+/// One-letter type tag for a parameterized constant: the key must
+/// distinguish `id < 10` from `name < 'x'` (different rule resolution)
+/// but not `id < 10` from `id < 20`.
+fn type_tag(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "N",
+        Value::Bool(_) => "B",
+        Value::Long(_) => "L",
+        Value::Double(_) => "D",
+        Value::Str(_) => "S",
+    }
+}
+
+fn render_expr(e: &SqlExpr, out: &mut String) {
+    use std::fmt::Write as _;
+    match e {
+        SqlExpr::Col(c) => {
+            let _ = write!(out, "{c}");
+        }
+        SqlExpr::Const(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+        SqlExpr::Agg(f, arg) => {
+            let _ = write!(out, "{f:?}(");
+            match arg {
+                Some(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                None => out.push('*'),
+            }
+            out.push(')');
+        }
+        SqlExpr::Arith { op, left, right } => {
+            out.push('(');
+            render_expr(left, out);
+            let _ = write!(out, " {op:?} ");
+            render_expr(right, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Canonical render of a statement's *shape*: restriction constants are
+/// replaced by `?`-typed placeholders so queries differing only in
+/// those constants share one cache entry. `UNION` chains return `None`
+/// (uncacheable — they multiply shapes for little reuse).
+pub fn normalized_key(stmt: &Statement) -> Option<String> {
+    use std::fmt::Write as _;
+    if stmt.branches.len() != 1 {
+        return None;
+    }
+    let q = &stmt.branches[0];
+    let mut k = String::with_capacity(96);
+    k.push_str("SELECT ");
+    if q.distinct {
+        k.push_str("DISTINCT ");
+    }
+    match &q.select {
+        None => k.push('*'),
+        Some(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    k.push(',');
+                }
+                render_expr(&item.expr, &mut k);
+                if let Some(a) = &item.alias {
+                    let _ = write!(k, " AS {a}");
+                }
+            }
+        }
+    }
+    k.push_str(" FROM ");
+    for (i, t) in q.from.iter().enumerate() {
+        if i > 0 {
+            k.push(',');
+        }
+        if let Some(w) = &t.wrapper {
+            let _ = write!(k, "{w}.");
+        }
+        let _ = write!(k, "{} {}", t.collection, t.binding_name());
+    }
+    if !q.where_.is_empty() {
+        k.push_str(" WHERE ");
+        for (i, c) in q.where_.iter().enumerate() {
+            if i > 0 {
+                k.push_str(" AND ");
+            }
+            match c {
+                Condition::Restriction { col, op, value } => {
+                    let _ = write!(k, "{col} {op:?} ?{}", type_tag(value));
+                }
+                Condition::ColCompare { left, op, right } => {
+                    let _ = write!(k, "{left} {op:?} {right}");
+                }
+            }
+        }
+    }
+    if !q.group_by.is_empty() {
+        k.push_str(" GROUP BY ");
+        for (i, c) in q.group_by.iter().enumerate() {
+            if i > 0 {
+                k.push(',');
+            }
+            let _ = write!(k, "{c}");
+        }
+    }
+    if !stmt.order_by.is_empty() {
+        k.push_str(" ORDER BY ");
+        for (i, (c, asc)) in stmt.order_by.iter().enumerate() {
+            if i > 0 {
+                k.push(',');
+            }
+            let _ = write!(k, "{c} {}", if *asc { "ASC" } else { "DESC" });
+        }
+    }
+    Some(k)
+}
+
+// ---------------------------------------------------------------------
+// Shared mediator + plan cache
+// ---------------------------------------------------------------------
+
+/// Where a served plan came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Replayed from cached decisions.
+    CacheHit,
+    /// Fully optimized (and, when extractable, now cached).
+    CacheMiss,
+    /// Shape the cache does not handle (`UNION` chains).
+    Uncacheable,
+}
+
+/// Snapshot of the plan cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// hits / (hits + misses); 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let looked = self.hits + self.misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.hits as f64 / looked as f64
+        }
+    }
+}
+
+/// The answer to one served query.
+pub struct ServedQuery {
+    pub result: QueryResult,
+    pub source: PlanSource,
+    /// The cost model's `TotalTime` prediction for the chosen plan —
+    /// what the admission controller classified on.
+    pub predicted_ms: f64,
+}
+
+struct CacheEntry {
+    decisions: PlanDecisions,
+    history_epoch: u64,
+    catalog_epoch: u64,
+    health_version: u64,
+}
+
+/// A [`Mediator`] shared by N concurrent sessions. See the module docs
+/// for the shared-state layout and invalidation protocol.
+///
+/// Lock order (to stay deadlock-free, never acquire in reverse): the
+/// mediator `RwLock` first, then any of the internal `Mutex`es. Read
+/// acquisitions are never nested — a waiting writer would deadlock a
+/// re-entrant reader.
+pub struct SharedMediator {
+    inner: RwLock<Mediator>,
+    plans: Mutex<HashMap<String, CacheEntry>>,
+    /// Shared estimation cache plus the (history, catalog, health)
+    /// state it was built against; swapped for a fresh one when any
+    /// component moves.
+    est_cache: Mutex<(std::sync::Arc<EstimatorCache>, (u64, u64, u64))>,
+    /// Bumped when §4.3.1 history recording added query-scope rules.
+    history_epoch: AtomicU64,
+    /// Bumped by [`Self::with_mediator_mut`] (registration, refresh,
+    /// registry edits — anything that may change catalog or rules).
+    catalog_epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl SharedMediator {
+    /// Wrap a fully-registered mediator for concurrent serving.
+    pub fn new(mediator: Mediator) -> Self {
+        SharedMediator {
+            inner: RwLock::new(mediator),
+            plans: Mutex::new(HashMap::new()),
+            est_cache: Mutex::new((std::sync::Arc::new(EstimatorCache::new()), (0, 0, 0))),
+            history_epoch: AtomicU64::new(0),
+            catalog_epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Read access to the wrapped mediator.
+    pub fn with_mediator<R>(&self, f: impl FnOnce(&Mediator) -> R) -> R {
+        f(&self.inner.read().unwrap())
+    }
+
+    /// Exclusive access to the wrapped mediator for administrative
+    /// mutation (register, refresh, registry edits). Always bumps the
+    /// catalog epoch, invalidating every cached plan — mutations are
+    /// rare and correctness beats precision here.
+    pub fn with_mediator_mut<R>(&self, f: impl FnOnce(&mut Mediator) -> R) -> R {
+        let r = f(&mut self.inner.write().unwrap());
+        self.catalog_epoch.fetch_add(1, Ordering::Relaxed);
+        r
+    }
+
+    /// Plan cache counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every cached plan (tests; administrative).
+    pub fn clear_plan_cache(&self) {
+        self.plans.lock().unwrap().clear();
+    }
+
+    fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if disco_obs::enabled() {
+            disco_obs::counter(names::PLAN_CACHE_HITS, &[]).inc();
+        }
+    }
+
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if disco_obs::enabled() {
+            disco_obs::counter(names::PLAN_CACHE_MISSES, &[]).inc();
+        }
+    }
+
+    fn note_invalidation(&self, reason: &str) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        if disco_obs::enabled() {
+            disco_obs::counter(names::PLAN_CACHE_INVALIDATIONS, &[("reason", reason)]).inc();
+        }
+    }
+
+    /// The estimation cache valid for `state`, replacing a stale one.
+    fn estimation_cache(&self, state: (u64, u64, u64)) -> std::sync::Arc<EstimatorCache> {
+        let mut guard = self.est_cache.lock().unwrap();
+        if guard.1 != state {
+            *guard = (std::sync::Arc::new(EstimatorCache::new()), state);
+        }
+        guard.0.clone()
+    }
+
+    /// Plan a statement through the cache. Returns the plan and where
+    /// it came from.
+    pub fn plan(&self, sql: &str) -> Result<(OptimizedPlan, PlanSource)> {
+        let stmt = parse_statement(sql)?;
+        let Some(key) = normalized_key(&stmt) else {
+            let m = self.inner.read().unwrap();
+            return Ok((m.plan(sql)?, PlanSource::Uncacheable));
+        };
+        let mut query = stmt.branches.into_iter().next().expect("one branch");
+        query.order_by = stmt.order_by;
+
+        let m = self.inner.read().unwrap();
+        let state = (
+            self.history_epoch.load(Ordering::Relaxed),
+            self.catalog_epoch.load(Ordering::Relaxed),
+            m.health().version(),
+        );
+        let analyzed = analyze(&query, m.catalog())?;
+
+        let cached = {
+            let mut plans = self.plans.lock().unwrap();
+            match plans.get(&key) {
+                Some(e) if (e.history_epoch, e.catalog_epoch, e.health_version) == state => {
+                    Some(e.decisions.clone())
+                }
+                Some(e) => {
+                    let reason = if e.catalog_epoch != state.1 {
+                        "catalog"
+                    } else if e.history_epoch != state.0 {
+                        "history"
+                    } else {
+                        "health"
+                    };
+                    plans.remove(&key);
+                    self.note_invalidation(reason);
+                    None
+                }
+                None => None,
+            }
+        };
+        if let Some(decisions) = cached {
+            // A replay failure (e.g. the decisions' wrapper vanished
+            // between the epoch bump and here) falls through to a full
+            // optimization rather than failing the query.
+            if let Ok(plan) = m.optimizer().replay(&analyzed, &decisions) {
+                self.note_hit();
+                return Ok((plan, PlanSource::CacheHit));
+            }
+        }
+
+        self.note_miss();
+        let est_cache = self.estimation_cache(state);
+        let plan = m
+            .optimizer()
+            .with_cache(Some(&est_cache))
+            .optimize(&analyzed)?;
+        if let Some(decisions) = PlanDecisions::of(&analyzed, &plan.physical) {
+            self.plans.lock().unwrap().insert(
+                key,
+                CacheEntry {
+                    decisions,
+                    history_epoch: state.0,
+                    catalog_epoch: state.1,
+                    health_version: state.2,
+                },
+            );
+        }
+        Ok((plan, PlanSource::CacheMiss))
+    }
+
+    /// Execute an already-planned query under the read lock; when the
+    /// mediator records history (§4.3.1), briefly take the write lock
+    /// afterwards and bump the history epoch if rules were recorded.
+    pub fn execute(&self, optimized: OptimizedPlan) -> Result<ServedQuery> {
+        self.execute_with_source(optimized, PlanSource::Uncacheable)
+    }
+
+    fn execute_with_source(
+        &self,
+        optimized: OptimizedPlan,
+        source: PlanSource,
+    ) -> Result<ServedQuery> {
+        let predicted_ms = optimized.estimated.total_time;
+        let (result, wants_history) = {
+            let m = self.inner.read().unwrap();
+            let result = m.execute_plan_shared(optimized)?;
+            let wants =
+                m.options().record_history && result.trace.submits.iter().any(|s| !s.failed);
+            (result, wants)
+        };
+        if wants_history {
+            let recorded = self
+                .inner
+                .write()
+                .unwrap()
+                .record_trace_history(&result.trace);
+            if recorded > 0 {
+                self.history_epoch.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(ServedQuery {
+            result,
+            source,
+            predicted_ms,
+        })
+    }
+
+    /// Full query processing for one session: plan through the cache,
+    /// execute concurrently.
+    pub fn query(&self, sql: &str) -> Result<ServedQuery> {
+        let (optimized, source) = self.plan(sql)?;
+        self.execute_with_source(optimized, source)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+/// Predicted workload class, from estimated `TotalTime`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Predicted-cheap: bypasses the analytical queue into reserved
+    /// slots.
+    Interactive,
+    /// Predicted-expensive: waits in the per-tenant fair queue for one
+    /// of the `max_concurrent` slots.
+    Analytical,
+}
+
+impl QueryClass {
+    /// Metric label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryClass::Interactive => "interactive",
+            QueryClass::Analytical => "analytical",
+        }
+    }
+}
+
+/// Tuning knobs for [`AdmissionController`].
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    /// Concurrency limit for analytical queries.
+    pub max_concurrent: usize,
+    /// Extra slots only interactive queries may occupy (the bypass
+    /// lane); total in-flight is capped at
+    /// `max_concurrent + interactive_reserved`.
+    pub interactive_reserved: usize,
+    /// Queries with estimated `TotalTime` strictly below this are
+    /// interactive.
+    pub interactive_threshold_ms: f64,
+    /// Per-tenant in-flight cap across both classes; 0 = unlimited.
+    pub per_tenant_inflight: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_concurrent: 4,
+            interactive_reserved: 4,
+            interactive_threshold_ms: 500.0,
+            per_tenant_inflight: 0,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Classify a query by the cost model's `TotalTime` prediction.
+    pub fn classify(&self, predicted_total_ms: f64) -> QueryClass {
+        if predicted_total_ms < self.interactive_threshold_ms {
+            QueryClass::Interactive
+        } else {
+            QueryClass::Analytical
+        }
+    }
+}
+
+#[derive(Default)]
+struct AdmState {
+    analytical_inflight: usize,
+    interactive_inflight: usize,
+    tenant_inflight: BTreeMap<String, usize>,
+    /// FIFO ticket queue per tenant (analytical only).
+    queues: BTreeMap<String, VecDeque<u64>>,
+    /// Serve sequence when each tenant last got an analytical slot —
+    /// the recency component of the fairness order.
+    last_served: BTreeMap<String, u64>,
+    next_ticket: u64,
+    serve_seq: u64,
+}
+
+/// Admission scheduler: blocking [`admit`](AdmissionController::admit)
+/// returns an RAII permit whose drop releases the slot.
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+    bypasses: AtomicU64,
+}
+
+impl AdmissionController {
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionController {
+            policy,
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// Interactive admissions that jumped a non-empty analytical queue.
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses.load(Ordering::Relaxed)
+    }
+
+    fn tenant_ok(&self, st: &AdmState, tenant: &str) -> bool {
+        self.policy.per_tenant_inflight == 0
+            || st.tenant_inflight.get(tenant).copied().unwrap_or(0)
+                < self.policy.per_tenant_inflight
+    }
+
+    /// Deficit round-robin: among tenants with a queued analytical
+    /// query and headroom under their cap, the one with the fewest
+    /// in-flight queries runs next; least-recently-served breaks ties,
+    /// then name (deterministic).
+    fn chosen_tenant<'s>(&self, st: &'s AdmState) -> Option<&'s str> {
+        st.queues
+            .iter()
+            .filter(|(t, q)| !q.is_empty() && self.tenant_ok(st, t))
+            .min_by_key(|(t, _)| {
+                (
+                    st.tenant_inflight.get(*t).copied().unwrap_or(0),
+                    st.last_served.get(*t).copied().unwrap_or(0),
+                    t.as_str(),
+                )
+            })
+            .map(|(t, _)| t.as_str())
+    }
+
+    /// Block until `tenant` may run a `class` query; the returned
+    /// permit holds the slot until dropped.
+    pub fn admit(&self, tenant: &str, class: QueryClass) -> AdmissionPermit<'_> {
+        let start = Instant::now();
+        let mut st = self.state.lock().unwrap();
+        match class {
+            QueryClass::Interactive => {
+                loop {
+                    let total = st.analytical_inflight + st.interactive_inflight;
+                    if total < self.policy.max_concurrent + self.policy.interactive_reserved
+                        && self.tenant_ok(&st, tenant)
+                    {
+                        break;
+                    }
+                    st = self.cv.wait(st).unwrap();
+                }
+                if st.queues.values().any(|q| !q.is_empty()) {
+                    self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    if disco_obs::enabled() {
+                        disco_obs::counter(names::ADMISSION_BYPASS, &[]).inc();
+                    }
+                }
+                st.interactive_inflight += 1;
+            }
+            QueryClass::Analytical => {
+                let ticket = st.next_ticket;
+                st.next_ticket += 1;
+                st.queues
+                    .entry(tenant.to_string())
+                    .or_default()
+                    .push_back(ticket);
+                loop {
+                    if st.analytical_inflight < self.policy.max_concurrent
+                        && st.queues.get(tenant).and_then(|q| q.front()) == Some(&ticket)
+                        && self.chosen_tenant(&st) == Some(tenant)
+                    {
+                        break;
+                    }
+                    st = self.cv.wait(st).unwrap();
+                }
+                st.queues.get_mut(tenant).expect("queued").pop_front();
+                st.analytical_inflight += 1;
+                let seq = st.serve_seq;
+                st.serve_seq += 1;
+                st.last_served.insert(tenant.to_string(), seq);
+                // Another tenant's front may have become the chosen one.
+                self.cv.notify_all();
+            }
+        }
+        *st.tenant_inflight.entry(tenant.to_string()).or_default() += 1;
+        drop(st);
+        let waited_ms = start.elapsed().as_secs_f64() * 1000.0;
+        if disco_obs::enabled() {
+            let labels = [("class", class.label())];
+            disco_obs::counter(names::ADMISSION_ADMITTED, &labels).inc();
+            disco_obs::histogram(names::ADMISSION_WAIT_MS, &labels).observe(waited_ms);
+        }
+        AdmissionPermit {
+            controller: self,
+            tenant: tenant.to_string(),
+            class,
+            waited_ms,
+        }
+    }
+
+    fn release(&self, tenant: &str, class: QueryClass) {
+        let mut st = self.state.lock().unwrap();
+        match class {
+            QueryClass::Interactive => st.interactive_inflight -= 1,
+            QueryClass::Analytical => st.analytical_inflight -= 1,
+        }
+        if let Some(n) = st.tenant_inflight.get_mut(tenant) {
+            *n -= 1;
+            if *n == 0 {
+                st.tenant_inflight.remove(tenant);
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// RAII admission slot; dropping it releases the slot and wakes
+/// waiters.
+pub struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+    tenant: String,
+    class: QueryClass,
+    waited_ms: f64,
+}
+
+impl AdmissionPermit<'_> {
+    /// How long this query queued before admission.
+    pub fn waited_ms(&self) -> f64 {
+        self.waited_ms
+    }
+
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.controller.release(&self.tenant, self.class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mediator::MediatorOptions;
+    use disco_common::{AttributeDef, DataType, Schema};
+    use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
+    use disco_wrapper::SourceWrapper;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn store() -> PagedStore {
+        let emp = Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("name", DataType::Str),
+            AttributeDef::new("dept_id", DataType::Long),
+        ]);
+        let dept = Schema::new(vec![
+            AttributeDef::new("dept_id", DataType::Long),
+            AttributeDef::new("budget", DataType::Long),
+        ]);
+        let mut s = PagedStore::new("hr", CostProfile::object_store());
+        s.add_collection(
+            "Employee",
+            CollectionBuilder::new(emp)
+                .rows((0..300i64).map(|i| {
+                    vec![
+                        Value::Long(i),
+                        Value::Str(format!("e{i:03}")),
+                        Value::Long(i % 10),
+                    ]
+                }))
+                .object_size(48)
+                .index("id"),
+        )
+        .unwrap();
+        s.add_collection(
+            "Dept",
+            CollectionBuilder::new(dept)
+                .rows((0..10i64).map(|i| vec![Value::Long(i), Value::Long(i * 100)]))
+                .object_size(24)
+                .index("dept_id"),
+        )
+        .unwrap();
+        s
+    }
+
+    fn shared(record_history: bool) -> SharedMediator {
+        let mut m = Mediator::new().with_options(MediatorOptions {
+            record_history,
+            ..Default::default()
+        });
+        m.register(Box::new(SourceWrapper::new("hr", store())))
+            .unwrap();
+        SharedMediator::new(m)
+    }
+
+    #[test]
+    fn distinct_constants_share_one_key() {
+        let a = parse_statement("SELECT name FROM Employee WHERE id < 10").unwrap();
+        let b = parse_statement("SELECT name FROM Employee WHERE id < 250").unwrap();
+        assert_eq!(normalized_key(&a), normalized_key(&b));
+        // A different constant *type* or shape separates keys.
+        let c = parse_statement("SELECT name FROM Employee WHERE id < 10.5").unwrap();
+        assert_ne!(normalized_key(&a), normalized_key(&c));
+        let d = parse_statement("SELECT name FROM Employee WHERE id > 10").unwrap();
+        assert_ne!(normalized_key(&a), normalized_key(&d));
+        let e = parse_statement(
+            "SELECT name FROM Employee WHERE id < 10 UNION SELECT name FROM Employee",
+        )
+        .unwrap();
+        assert_eq!(normalized_key(&e), None);
+    }
+
+    #[test]
+    fn cache_hits_replay_with_new_constants() {
+        let sm = shared(false);
+        let (_, s1) = sm.plan("SELECT name FROM Employee WHERE id < 10").unwrap();
+        assert_eq!(s1, PlanSource::CacheMiss);
+        let (p2, s2) = sm.plan("SELECT name FROM Employee WHERE id < 42").unwrap();
+        assert_eq!(s2, PlanSource::CacheHit);
+        // The replayed plan carries the new constant.
+        assert!(format!("{:?}", p2.physical).contains("42"));
+        assert_eq!(sm.cache_stats().hits, 1);
+        assert_eq!(sm.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn history_recording_invalidates() {
+        let sm = shared(true);
+        let sql = "SELECT name FROM Employee WHERE id < 10";
+        let served = sm.query(sql).unwrap();
+        assert_eq!(served.source, PlanSource::CacheMiss);
+        // Execution recorded query-scope rules, bumping the history
+        // epoch: the entry written at epoch 0 is now stale.
+        assert!(sm.with_mediator(|m| m.history_recorded()) > 0);
+        let (_, s2) = sm.plan(sql).unwrap();
+        assert_eq!(s2, PlanSource::CacheMiss);
+        assert_eq!(sm.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn health_shift_invalidates() {
+        let sm = shared(false);
+        let sql = "SELECT name FROM Employee WHERE id < 10";
+        sm.plan(sql).unwrap();
+        let (_, s) = sm.plan(sql).unwrap();
+        assert_eq!(s, PlanSource::CacheHit);
+        sm.with_mediator(|m| {
+            for _ in 0..4 {
+                m.health().record_failure("hr");
+            }
+        });
+        let (_, s) = sm.plan(sql).unwrap();
+        assert_eq!(s, PlanSource::CacheMiss);
+        assert_eq!(sm.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn admin_mutation_invalidates() {
+        let sm = shared(false);
+        let sql = "SELECT name FROM Employee WHERE id < 10";
+        sm.plan(sql).unwrap();
+        sm.with_mediator_mut(|_| ());
+        let (_, s) = sm.plan(sql).unwrap();
+        assert_eq!(s, PlanSource::CacheMiss);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_the_cache() {
+        let sm = Arc::new(shared(false));
+        sm.plan("SELECT name FROM Employee WHERE id < 1").unwrap();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let sm = sm.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..5 {
+                    let sql = format!("SELECT name FROM Employee WHERE id < {}", i * 10 + j + 2);
+                    let served = sm.query(&sql).unwrap();
+                    assert_eq!(served.source, PlanSource::CacheHit);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sm.cache_stats().hits, 20);
+    }
+
+    #[test]
+    fn interactive_bypasses_saturated_analytical_lane() {
+        let ctl = Arc::new(AdmissionController::new(AdmissionPolicy {
+            max_concurrent: 1,
+            interactive_reserved: 1,
+            ..Default::default()
+        }));
+        let held = ctl.admit("t1", QueryClass::Analytical);
+        // A second analytical query blocks...
+        let (tx, rx) = mpsc::channel();
+        let c2 = ctl.clone();
+        let waiter = std::thread::spawn(move || {
+            let p = c2.admit("t2", QueryClass::Analytical);
+            tx.send(()).unwrap();
+            drop(p);
+        });
+        assert!(rx
+            .recv_timeout(std::time::Duration::from_millis(50))
+            .is_err());
+        // ...but an interactive one gets a reserved slot immediately,
+        // and counts as a bypass because the analytical queue is
+        // non-empty.
+        let quick = ctl.admit("t3", QueryClass::Interactive);
+        assert_eq!(ctl.bypasses(), 1);
+        drop(quick);
+        // Releasing the analytical slot admits the waiter.
+        drop(held);
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("queued analytical query was never admitted");
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn fair_queue_prefers_tenant_with_fewer_inflight() {
+        let ctl = AdmissionController::new(AdmissionPolicy {
+            max_concurrent: 2,
+            ..Default::default()
+        });
+        let st = ctl.state.lock().unwrap();
+        drop(st);
+        let _a = ctl.admit("busy", QueryClass::Analytical);
+        // busy has 1 in flight; with one slot left and both tenants
+        // queued, `idle` must be chosen.
+        {
+            let mut st = ctl.state.lock().unwrap();
+            st.queues.entry("busy".into()).or_default().push_back(100);
+            st.queues.entry("idle".into()).or_default().push_back(101);
+            assert_eq!(ctl.chosen_tenant(&st), Some("idle"));
+            st.queues.clear();
+        }
+    }
+
+    #[test]
+    fn per_tenant_cap_blocks_and_releases() {
+        let ctl = Arc::new(AdmissionController::new(AdmissionPolicy {
+            max_concurrent: 8,
+            per_tenant_inflight: 1,
+            ..Default::default()
+        }));
+        let first = ctl.admit("t", QueryClass::Analytical);
+        let (tx, rx) = mpsc::channel();
+        let c2 = ctl.clone();
+        let waiter = std::thread::spawn(move || {
+            let _p = c2.admit("t", QueryClass::Analytical);
+            tx.send(()).unwrap();
+        });
+        assert!(rx
+            .recv_timeout(std::time::Duration::from_millis(50))
+            .is_err());
+        drop(first);
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("capped tenant never admitted after release");
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn classification_uses_threshold() {
+        let p = AdmissionPolicy::default();
+        assert_eq!(p.classify(10.0), QueryClass::Interactive);
+        assert_eq!(p.classify(10_000.0), QueryClass::Analytical);
+    }
+}

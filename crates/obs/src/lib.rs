@@ -72,6 +72,26 @@ pub mod names {
     pub const HISTORY_RECORDED: &str = "history_recorded_total";
     /// Histogram, no labels: end-to-end measured query latency (ms).
     pub const QUERY_MS: &str = "query_ms";
+    /// Counter, no labels: plan-cache lookups that replayed a cached
+    /// decision instead of re-optimizing.
+    pub const PLAN_CACHE_HITS: &str = "plan_cache_hits_total";
+    /// Counter, no labels: plan-cache lookups that fell through to the
+    /// full optimizer (shape never seen, or uncacheable statement).
+    pub const PLAN_CACHE_MISSES: &str = "plan_cache_misses_total";
+    /// Counter, labels `{reason="history"|"health"|"catalog"}`: cached
+    /// plans discarded because shared state they were derived from
+    /// changed (§4.3 historical-rule updates, health-penalty shifts,
+    /// catalog mutations).
+    pub const PLAN_CACHE_INVALIDATIONS: &str = "plan_cache_invalidations_total";
+    /// Counter, labels `{class="interactive"|"analytical"}`: queries
+    /// admitted by the serving-layer scheduler.
+    pub const ADMISSION_ADMITTED: &str = "admission_admitted_total";
+    /// Counter, no labels: predicted-cheap queries that bypassed a
+    /// non-empty analytical queue.
+    pub const ADMISSION_BYPASS: &str = "admission_bypass_total";
+    /// Histogram, labels `{class}`: milliseconds a query waited for an
+    /// admission slot before running.
+    pub const ADMISSION_WAIT_MS: &str = "admission_wait_ms";
 }
 
 /// Shorthand for `metrics::global().counter(...)`.

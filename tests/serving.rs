@@ -1,0 +1,138 @@
+//! Workspace-level serving-layer tests: concurrent sessions through one
+//! [`SharedMediator`] must produce answers byte-identical to a private
+//! single-session mediator over the same sources, whether the plan came
+//! from the cache (decision replay) or a fresh optimization.
+
+use std::sync::Arc;
+
+use disco::common::{AttributeDef, DataType, Schema, Value};
+use disco::mediator::{Mediator, MediatorOptions, PlanSource, SharedMediator};
+use disco::sources::{CollectionBuilder, CostProfile, PagedStore};
+use disco::wrapper::SourceWrapper;
+
+fn mediator(record_history: bool) -> Mediator {
+    let mut parts_db = PagedStore::new("pdb", CostProfile::object_store());
+    parts_db
+        .add_collection(
+            "Part",
+            CollectionBuilder::new(Schema::new(vec![
+                AttributeDef::new("id", DataType::Long),
+                AttributeDef::new("kind", DataType::Str),
+                AttributeDef::new("weight", DataType::Long),
+            ]))
+            .rows((0..300).map(|i| {
+                vec![
+                    Value::Long(i),
+                    Value::Str(["bolt", "nut", "rod"][(i % 3) as usize].into()),
+                    Value::Long(10 + (i * 13) % 90),
+                ]
+            }))
+            .object_size(48)
+            .index("id"),
+        )
+        .unwrap();
+    let mut erp = PagedStore::new("erp", CostProfile::relational());
+    erp.add_collection(
+        "Offer",
+        CollectionBuilder::new(Schema::new(vec![
+            AttributeDef::new("part", DataType::Long),
+            AttributeDef::new("supplier", DataType::Long),
+            AttributeDef::new("price", DataType::Long),
+        ]))
+        .rows((0..900).map(|i| {
+            vec![
+                Value::Long(i % 300),
+                Value::Long(i % 25),
+                Value::Long(50 + (i * 7) % 450),
+            ]
+        }))
+        .object_size(24)
+        .index("part"),
+    )
+    .unwrap();
+    let mut m = Mediator::new().with_options(MediatorOptions {
+        record_history,
+        ..MediatorOptions::default()
+    });
+    m.register(Box::new(SourceWrapper::new("pdb", parts_db)))
+        .unwrap();
+    m.register(Box::new(SourceWrapper::new("erp", erp)))
+        .unwrap();
+    m
+}
+
+fn rendered(tuples: &[disco::common::Tuple]) -> String {
+    tuples
+        .iter()
+        .map(|t| format!("{t:?}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Four concurrent sessions replaying one cached plan must all answer
+/// byte-identically to a private single-session mediator.
+#[test]
+fn cross_session_cached_answers_are_byte_identical() {
+    let queries = [
+        "SELECT id, weight FROM Part WHERE weight >= 80 ORDER BY id",
+        "SELECT p.id, o.price FROM Part p, Offer o \
+         WHERE p.id = o.part AND o.price < 100",
+    ];
+    for sql in queries {
+        let reference = rendered(&mediator(false).query(sql).unwrap().tuples);
+        let shared = Arc::new(SharedMediator::new(mediator(false)));
+        // Populate the cache once, then fan out.
+        let first = shared.query(sql).unwrap();
+        assert_eq!(first.source, PlanSource::CacheMiss, "{sql}");
+        assert_eq!(rendered(&first.result.tuples), reference, "{sql}");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let served = shared.query(sql).unwrap();
+                    (served.source, rendered(&served.result.tuples))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (source, answer) = h.join().unwrap();
+            assert_eq!(source, PlanSource::CacheHit, "{sql}");
+            assert_eq!(answer, reference, "{sql}");
+        }
+    }
+}
+
+/// Replaying a cached plan with different constants must answer exactly
+/// like a fresh single-session optimization of that query.
+#[test]
+fn replayed_constants_answer_like_fresh_optimization() {
+    let shared = SharedMediator::new(mediator(false));
+    let (_, source) = shared
+        .plan("SELECT id FROM Part WHERE weight > 40 AND id < 100")
+        .unwrap();
+    assert_eq!(source, PlanSource::CacheMiss);
+    for (lo, hi) in [(20, 250), (85, 7), (0, 300)] {
+        let sql = format!("SELECT id FROM Part WHERE weight > {lo} AND id < {hi}");
+        let served = shared.query(&sql).unwrap();
+        assert_eq!(served.source, PlanSource::CacheHit, "{sql}");
+        let reference = rendered(&mediator(false).query(&sql).unwrap().tuples);
+        assert_eq!(rendered(&served.result.tuples), reference, "{sql}");
+    }
+}
+
+/// Historical feedback invalidates the cached decision, and the
+/// re-optimized plan still answers byte-identically.
+#[test]
+fn history_invalidation_preserves_answers() {
+    let shared = SharedMediator::new(mediator(true));
+    let sql = "SELECT p.id, o.price FROM Part p, Offer o WHERE p.id = o.part";
+    let reference = rendered(&mediator(false).query(sql).unwrap().tuples);
+    let first = shared.query(sql).unwrap();
+    assert_eq!(first.source, PlanSource::CacheMiss);
+    // Executing recorded §4.3 history, so the next plan re-optimizes.
+    let second = shared.query(sql).unwrap();
+    assert_eq!(second.source, PlanSource::CacheMiss);
+    assert_eq!(rendered(&first.result.tuples), reference);
+    assert_eq!(rendered(&second.result.tuples), reference);
+    assert!(shared.cache_stats().invalidations >= 1);
+}
