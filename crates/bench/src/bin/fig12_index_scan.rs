@@ -26,6 +26,8 @@ fn main() {
         "Calibration (s)",
         "Yao formula (s)",
         "pages",
+        "pages (Yao)",
+        "page err",
         "objects",
     ]);
     for r in &rows {
@@ -35,6 +37,9 @@ fn main() {
             format!("{:.1}", r.calibration_s),
             format!("{:.1}", r.yao_s),
             r.pages_touched.to_string(),
+            format!("{:.1}", r.predicted_pages),
+            r.pages_error
+                .map_or("n/a".into(), |e| format!("{:+.1}%", e * 100.0)),
             r.objects.to_string(),
         ]);
     }
@@ -56,6 +61,16 @@ fn main() {
         "Yao-rule estimate error:    mean {:.1}%  max {:.1}%",
         yao_mean * 100.0,
         yao_max * 100.0
+    );
+    let pages: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.predicted_pages, r.pages_touched as f64))
+        .collect();
+    let (pages_mean, pages_max) = error_stats(&pages);
+    println!(
+        "Yao page-count error:       mean {:.1}%  max {:.1}%",
+        pages_mean * 100.0,
+        pages_max * 100.0
     );
     println!(
         "\nShape check: the calibrated linear formula over-estimates once qualifying\n\

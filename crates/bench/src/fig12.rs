@@ -30,6 +30,12 @@ pub struct Fig12Row {
     pub yao_s: f64,
     /// Pages actually faulted by the run.
     pub pages_touched: u64,
+    /// Yao's formula evaluated at the returned cardinality: the page
+    /// count the cost model believes the run faulted.
+    pub predicted_pages: f64,
+    /// Relative error of `predicted_pages` against `pages_touched`
+    /// (`None` when no page was touched but pages were predicted).
+    pub pages_error: Option<f64>,
     /// Objects returned.
     pub objects: usize,
 }
@@ -49,12 +55,22 @@ pub fn run_fig12(config: &Oo7Config, selectivities: &[f64]) -> Result<Vec<Fig12R
         let answer = cal.store.execute(&plan)?;
         let calibration = cal_est.estimate(&plan)?;
         let yao_cost: NodeCost = yao_est.estimate(&plan)?;
+        let predicted_pages = disco_core::yao::yao_pages_exact(
+            config.atomic_parts as u64,
+            config.atomic_pages(),
+            answer.tuples.len() as u64,
+        );
         rows.push(Fig12Row {
             selectivity: sel,
             experiment_s: answer.stats.elapsed_ms / 1_000.0,
             calibration_s: calibration.total_time / 1_000.0,
             yao_s: yao_cost.total_time / 1_000.0,
             pages_touched: answer.stats.pages_read,
+            predicted_pages,
+            pages_error: disco_core::relative_error(
+                predicted_pages,
+                answer.stats.pages_read as f64,
+            ),
             objects: answer.tuples.len(),
         });
     }
@@ -100,6 +116,20 @@ mod tests {
             cal_errs.windows(2).all(|w| w[1] >= w[0] - 0.05),
             "calibration error not growing: {cal_errs:?}"
         );
+
+        // Yao's page prediction lands within 15 % of the pages the
+        // simulated random placement actually faulted, per selectivity.
+        for r in &rows {
+            let err = r.pages_error.expect("pages touched");
+            assert!(
+                err.abs() < 0.15,
+                "sel {}: Yao predicted {:.1} pages, measured {} ({:+.1}%)",
+                r.selectivity,
+                r.predicted_pages,
+                r.pages_touched,
+                err * 100.0
+            );
+        }
 
         // The experiment curve is concave: page faults saturate, so the
         // per-selectivity slope before saturation (sel < 1/objects-per-

@@ -12,6 +12,7 @@ pub mod plan_quality;
 pub mod report;
 pub mod serving;
 pub mod setup;
+pub mod store_bench;
 
 pub use fig12::{run_fig12, Fig12Row};
 pub use plan_quality::{run_plan_quality, PlanQualityRow};

@@ -76,6 +76,36 @@ pub struct CatalogCollection {
     pub stats: CollectionStats,
 }
 
+/// Buffer-cache regime assumed when predicting a wrapper's page I/O.
+///
+/// Yao's formula counts *distinct pages touched*; how many of those
+/// become faults depends on what the source's buffer pool already holds.
+/// The catalog records the administrator's assumption per wrapper so the
+/// estimator can scale page predictions without new cost rules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CacheRegime {
+    /// Every distinct page touched is a fault (fresh pool — the paper's
+    /// calibration setup, and the default).
+    #[default]
+    Cold,
+    /// A fraction of page touches hit cache; faults scale by
+    /// `1 - hit_rate`.
+    Warm {
+        /// Expected buffer-cache hit rate in `[0, 1]`.
+        hit_rate: f64,
+    },
+}
+
+impl CacheRegime {
+    /// Multiplier applied to a cold-cache page prediction.
+    pub fn miss_factor(&self) -> f64 {
+        match *self {
+            CacheRegime::Cold => 1.0,
+            CacheRegime::Warm { hit_rate } => 1.0 - hit_rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
 /// Everything the catalog knows about one wrapper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WrapperEntry {
@@ -87,6 +117,8 @@ pub struct WrapperEntry {
     pub capabilities: Capabilities,
     /// Collections keyed by collection name.
     pub collections: BTreeMap<String, CatalogCollection>,
+    /// Cache regime assumed for page-I/O predictions.
+    pub cache_regime: CacheRegime,
 }
 
 /// The mediator catalog.
@@ -128,9 +160,28 @@ impl Catalog {
                 name,
                 capabilities,
                 collections: BTreeMap::new(),
+                cache_regime: CacheRegime::default(),
             },
         );
         Ok(id)
+    }
+
+    /// Set the cache regime assumed for a wrapper's page predictions.
+    pub fn set_cache_regime(&mut self, wrapper: &str, regime: CacheRegime) -> Result<()> {
+        let entry = self
+            .wrappers
+            .get_mut(wrapper)
+            .ok_or_else(|| DiscoError::Catalog(format!("unknown wrapper `{wrapper}`")))?;
+        entry.cache_regime = regime;
+        Ok(())
+    }
+
+    /// Cache regime of a wrapper ([`CacheRegime::Cold`] when unknown).
+    pub fn cache_regime(&self, wrapper: &str) -> CacheRegime {
+        self.wrappers
+            .get(wrapper)
+            .map(|w| w.cache_regime)
+            .unwrap_or_default()
     }
 
     /// Remove a wrapper and all its collections (the administrative
@@ -517,5 +568,26 @@ mod tests {
         assert!(!f.supports(OperatorKind::Select));
         let sel = Capabilities::of(&[OperatorKind::Select]);
         assert!(sel.supports(OperatorKind::Scan) && sel.supports(OperatorKind::Select));
+    }
+
+    #[test]
+    fn cache_regime_defaults_cold_and_scales_misses() {
+        let mut c = catalog_with_two_wrappers();
+        assert_eq!(c.cache_regime("hr"), CacheRegime::Cold);
+        assert_eq!(c.cache_regime("hr").miss_factor(), 1.0);
+        c.set_cache_regime("hr", CacheRegime::Warm { hit_rate: 0.75 })
+            .unwrap();
+        assert_eq!(c.cache_regime("hr").miss_factor(), 0.25);
+        // Unknown wrappers read as cold; setting on one errors.
+        assert_eq!(c.cache_regime("nope"), CacheRegime::Cold);
+        assert!(c.set_cache_regime("nope", CacheRegime::Cold).is_err());
+    }
+
+    #[test]
+    fn measured_count_page_wins_over_derived() {
+        let derived = ExtentStats::of(70_000, 56);
+        assert_eq!(derived.count_pages(4_096), 958); // ceil(3 920 000 / 4096)
+        let measured = derived.clone().with_count_page(1_000);
+        assert_eq!(measured.count_pages(4_096), 1_000);
     }
 }

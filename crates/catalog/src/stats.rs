@@ -80,6 +80,11 @@ pub struct ExtentStats {
     pub total_size: u64,
     /// Average size of one object in bytes.
     pub object_size: u64,
+    /// Measured page count exported by the source, when its storage
+    /// engine can report real pages (disk-backed stores can; simulated
+    /// and flat-file sources cannot). `None` falls back to the derived
+    /// `TotalSize / PageSize` estimate.
+    pub count_page: Option<u64>,
 }
 
 impl ExtentStats {
@@ -89,12 +94,22 @@ impl ExtentStats {
             count_object,
             total_size: count_object * object_size,
             object_size,
+            count_page: None,
         }
     }
 
-    /// Page count for a given page size, rounding up; at least 1 for a
-    /// non-empty extent.
+    /// Attach a measured page count.
+    pub fn with_count_page(mut self, pages: u64) -> Self {
+        self.count_page = Some(pages);
+        self
+    }
+
+    /// Page count for a given page size. A measured count from the
+    /// source wins; otherwise derive from `TotalSize`, rounding up.
     pub fn count_pages(&self, page_size: u64) -> u64 {
+        if let Some(measured) = self.count_page {
+            return measured;
+        }
         if self.total_size == 0 {
             0
         } else {

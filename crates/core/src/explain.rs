@@ -135,11 +135,13 @@ mod tests {
             rows: 40,
             elapsed_ms: 25.0,
             failed: false,
+            pages: None,
             children: vec![MeasuredNode {
                 operator: "scan a".into(),
                 rows: 100,
                 elapsed_ms: 9.0,
                 failed: false,
+                pages: None,
                 children: Vec::new(),
             }],
         };
@@ -172,10 +174,18 @@ mod tests {
             rows: 10,
             elapsed_ms: 28.0,
             failed: false,
+            pages: Some(12),
             children: Vec::new(),
         };
-        let a = AnalyzeNode::zip(&predicted, &measured);
+        let mut a = AnalyzeNode::zip(&predicted, &measured);
         assert!(a.measured.is_some());
+        // Page I/O line appears once a prediction is filled in.
+        assert_eq!(a.pages_error(), None, "no prediction yet");
+        a.predicted_pages = Some(15.0);
+        let e = a.pages_error().unwrap();
+        assert!((e - 0.25).abs() < 1e-12, "{e}");
+        assert!(a.render().contains("page io:"), "{}", a.render());
+        assert!(a.render().contains("measured=12"), "{}", a.render());
         assert_eq!(a.children.len(), 1);
         let wrapper_side = &a.children[0];
         assert!(wrapper_side.measured.is_none());
@@ -201,6 +211,10 @@ pub struct MeasuredNode {
     /// A submission that returned no answer (downed wrapper, partial
     /// answer mode).
     pub failed: bool,
+    /// Pages the source actually read serving this node (`submit` nodes
+    /// only — the wrapper reports its engine's fault count; combine-phase
+    /// operators perform no page I/O and carry `None`).
+    pub pages: Option<u64>,
     pub children: Vec<MeasuredNode>,
 }
 
@@ -210,6 +224,9 @@ pub struct Measured {
     pub rows: u64,
     pub elapsed_ms: f64,
     pub failed: bool,
+    /// Measured page reads, when the node is a `submit` whose source
+    /// reported them.
+    pub pages: Option<u64>,
 }
 
 /// One node of an EXPLAIN ANALYZE report: the predicted cost and its
@@ -219,6 +236,10 @@ pub struct AnalyzeNode {
     pub operator: String,
     /// Scope-blended prediction for this node.
     pub predicted: NodeCost,
+    /// Predicted page I/O for this node (Yao's `pages_touched`, scaled by
+    /// the wrapper's cache regime). Filled by the mediator for `submit`
+    /// nodes whose subplan reads one collection; `None` elsewhere.
+    pub predicted_pages: Option<f64>,
     /// Which rule, from which scope, produced each predicted variable.
     pub attributions: Vec<Attribution>,
     /// `None` for predicted-only nodes: the wrapper-side subtree of a
@@ -260,11 +281,13 @@ impl AnalyzeNode {
         AnalyzeNode {
             operator: predicted.operator.clone(),
             predicted: predicted.cost,
+            predicted_pages: None,
             attributions: predicted.attributions.clone(),
             measured: Some(Measured {
                 rows: measured.rows,
                 elapsed_ms: measured.elapsed_ms,
                 failed: measured.failed,
+                pages: measured.pages,
             }),
             children,
         }
@@ -274,6 +297,7 @@ impl AnalyzeNode {
         AnalyzeNode {
             operator: predicted.operator.clone(),
             predicted: predicted.cost,
+            predicted_pages: None,
             attributions: predicted.attributions.clone(),
             measured: None,
             children: predicted
@@ -308,6 +332,15 @@ impl AnalyzeNode {
     pub fn time_error(&self) -> Option<f64> {
         let m = self.measured.as_ref()?;
         relative_error(self.predicted.total_time, m.elapsed_ms)
+    }
+
+    /// Relative page-I/O error (predicted Yao pages vs measured page
+    /// reads). `None` unless the node carries both a page prediction and
+    /// a page measurement.
+    pub fn pages_error(&self) -> Option<f64> {
+        let predicted = self.predicted_pages?;
+        let measured = self.measured.as_ref()?.pages?;
+        relative_error(predicted, measured as f64)
     }
 
     /// Every node of the tree, preorder.
@@ -358,6 +391,17 @@ impl AnalyzeNode {
                     fmt(self.time_error()),
                     fmt(self.cardinality_error()),
                 );
+                if self.predicted_pages.is_some() || m.pages.is_some() {
+                    let predicted = self
+                        .predicted_pages
+                        .map_or("n/a".to_owned(), |p| format!("{p:.1}"));
+                    let measured = m.pages.map_or("n/a".to_owned(), |p| p.to_string());
+                    let _ = writeln!(
+                        out,
+                        "{pad}  page io:   predicted={predicted}  measured={measured}  error={}",
+                        fmt(self.pages_error()),
+                    );
+                }
             }
             None => {
                 let _ = writeln!(out, "{pad}  measured:  (wrapper-side; predicted only)");

@@ -457,6 +457,7 @@ mod tests {
             count_object: 70_000,
             total_size: 4_096_000, // 1000 pages exactly
             object_size: 56,
+            count_page: None,
         })
         .with_attribute(
             "Id",

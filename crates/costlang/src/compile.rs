@@ -225,6 +225,7 @@ pub fn interface_to_catalog(iface: &InterfaceDef) -> (Schema, CollectionStats) {
             count_object: e.count_object,
             total_size: e.total_size,
             object_size: e.object_size,
+            count_page: None,
         })
         .unwrap_or_else(|| {
             // Standard values, "as usual" (§6).

@@ -491,7 +491,7 @@ impl<'a> Executor<'a> {
         fetched: &mut std::vec::IntoIter<Fetched>,
     ) -> Result<(Schema, Batch, MeasuredNode)> {
         let before = clock.now() + trace.wrapper_ms + trace.communication_ms;
-        let (schema, batch, operator, failed, children) =
+        let (schema, batch, operator, failed, pages, children) =
             self.run_node(plan, clock, trace, fetched)?;
         let elapsed_ms = clock.now() + trace.wrapper_ms + trace.communication_ms - before;
         let node = MeasuredNode {
@@ -499,6 +499,7 @@ impl<'a> Executor<'a> {
             rows: batch.len() as u64,
             elapsed_ms,
             failed,
+            pages,
             children,
         };
         Ok((schema, batch, node))
@@ -514,7 +515,7 @@ impl<'a> Executor<'a> {
         clock: &mut VirtualClock,
         trace: &mut ExecutionTrace,
         fetched: &mut std::vec::IntoIter<Fetched>,
-    ) -> Result<(Schema, Batch, String, bool, Vec<MeasuredNode>)> {
+    ) -> Result<(Schema, Batch, String, bool, Option<u64>, Vec<MeasuredNode>)> {
         let cpu_pred = self.param("CpuPred", 0.05);
         let cpu_hash = self.param("CpuHash", 0.02);
         match plan {
@@ -541,6 +542,7 @@ impl<'a> Executor<'a> {
                             )));
                         }
                         let bytes = f.answer.batch.byte_width();
+                        let pages = Some(f.answer.stats.pages_read);
                         trace.wrapper_ms += f.answer.stats.elapsed_ms;
                         trace.communication_ms += f.comm_ms;
                         trace.hedges += f.hedges;
@@ -557,7 +559,14 @@ impl<'a> Executor<'a> {
                             served_by: f.served_by,
                             hedges: f.hedges,
                         });
-                        Ok((f.answer.schema, f.answer.batch, operator, false, vec![]))
+                        Ok((
+                            f.answer.schema,
+                            f.answer.batch,
+                            operator,
+                            false,
+                            pages,
+                            vec![],
+                        ))
                     }
                     Err(e) if (self.partial_answers && e.is_transient()) || budget_skipped => {
                         // The wrapper stayed down past the retry budget:
@@ -584,6 +593,7 @@ impl<'a> Executor<'a> {
                             Batch::empty(expected_schema.arity()),
                             operator,
                             true,
+                            None,
                             vec![],
                         ))
                     }
@@ -594,20 +604,20 @@ impl<'a> Executor<'a> {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * predicate.conjuncts.len() as f64 * cpu_pred);
                 let out = vexec::filter(&schema, &batch, predicate)?;
-                Ok((schema, out, "filter".into(), false, vec![child]))
+                Ok((schema, out, "filter".into(), false, None, vec![child]))
             }
             PhysicalPlan::Project { input, columns } => {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * cpu_hash);
                 let (out_schema, out) = vexec::project(&schema, &batch, columns)?;
-                Ok((out_schema, out, "project".into(), false, vec![child]))
+                Ok((out_schema, out, "project".into(), false, None, vec![child]))
             }
             PhysicalPlan::Sort { input, keys } => {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 let n = batch.len() as f64;
                 clock.charge(self.param("SortFactor", 0.02) * n * n.max(2.0).log2());
                 let out = vexec::sort(&schema, &batch, keys)?;
-                Ok((schema, out, "sort".into(), false, vec![child]))
+                Ok((schema, out, "sort".into(), false, None, vec![child]))
             }
             PhysicalPlan::Join {
                 algo,
@@ -640,7 +650,7 @@ impl<'a> Executor<'a> {
                     }
                 };
                 let operator = format!("join ({algo:?})").to_lowercase();
-                Ok((out_schema, out, operator, false, vec![lc, rc]))
+                Ok((out_schema, out, operator, false, None, vec![lc, rc]))
             }
             PhysicalPlan::Union { left, right } => {
                 let (ls, lb, lc) = self.run(left, clock, trace, fetched)?;
@@ -650,13 +660,13 @@ impl<'a> Executor<'a> {
                 }
                 clock.charge(rb.len() as f64 * cpu_hash);
                 let out = vexec::union(&lb, &rb)?;
-                Ok((ls, out, "union".into(), false, vec![lc, rc]))
+                Ok((ls, out, "union".into(), false, None, vec![lc, rc]))
             }
             PhysicalPlan::Dedup { input } => {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * cpu_hash);
                 let out = vexec::dedup(&batch);
-                Ok((schema, out, "dedup".into(), false, vec![child]))
+                Ok((schema, out, "dedup".into(), false, None, vec![child]))
             }
             PhysicalPlan::Aggregate {
                 input,
@@ -667,7 +677,14 @@ impl<'a> Executor<'a> {
                 clock.charge(batch.len() as f64 * cpu_hash);
                 let out = vexec::aggregate(&schema, &batch, group_by, aggs)?;
                 let out_schema = to_agg_schema(&schema, group_by, aggs)?;
-                Ok((out_schema, out, "aggregate".into(), false, vec![child]))
+                Ok((
+                    out_schema,
+                    out,
+                    "aggregate".into(),
+                    false,
+                    None,
+                    vec![child],
+                ))
             }
         }
     }

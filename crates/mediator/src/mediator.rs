@@ -233,6 +233,17 @@ impl Mediator {
         &self.catalog
     }
 
+    /// Declare a wrapper's buffer-cache regime (cold by default). A warm
+    /// regime scales the Yao page prediction in EXPLAIN ANALYZE by the
+    /// expected miss fraction.
+    pub fn set_cache_regime(
+        &mut self,
+        wrapper: &str,
+        regime: disco_catalog::CacheRegime,
+    ) -> Result<()> {
+        self.catalog.set_cache_regime(wrapper, regime)
+    }
+
     /// Declare that several registered wrappers serve interchangeable
     /// copies of `collection`: the optimizer may pick any of them by
     /// cost, and the executor may hedge a straggling submit to (or fail
@@ -405,6 +416,7 @@ impl Mediator {
     /// run's report.
     pub fn explain_analyze(&mut self, sql: &str) -> Result<AnalyzeReport> {
         let optimized = self.plan(sql)?;
+        let physical = optimized.physical.clone();
         let logical = crate::optimizer::to_logical(&optimized.physical);
         let predicted = self
             .estimator()
@@ -416,8 +428,66 @@ impl Mediator {
             .measured
             .as_ref()
             .ok_or_else(|| DiscoError::Plan("executor produced no measured tree".into()))?;
-        let root = AnalyzeNode::zip(&predicted, measured);
+        let mut root = AnalyzeNode::zip(&predicted, measured);
+        self.fill_predicted_pages(&mut root, &physical);
         Ok(AnalyzeReport { root, result })
+    }
+
+    /// Fill `predicted_pages` on the report's executed `submit` nodes:
+    /// Yao's page estimate for the site's base collection, scaled by the
+    /// wrapper's cache regime, so EXPLAIN ANALYZE shows predicted vs
+    /// measured page I/O side by side. Submit nodes are matched to
+    /// [`submit_sites`] in fetch order (both are depth-first, left before
+    /// right). Sites whose subplan reads more than one collection, or
+    /// whose statistics are missing, are left without a prediction.
+    fn fill_predicted_pages(&self, root: &mut AnalyzeNode, plan: &PhysicalPlan) {
+        fn executed_submits<'a>(node: &'a mut AnalyzeNode, out: &mut Vec<&'a mut AnalyzeNode>) {
+            if node.measured.is_some() && node.operator.starts_with("submit ") {
+                // The children are the wrapper-side (predicted-only)
+                // subtree — no executed submits below.
+                out.push(node);
+                return;
+            }
+            for c in &mut node.children {
+                executed_submits(c, out);
+            }
+        }
+        let mut nodes = Vec::new();
+        executed_submits(root, &mut nodes);
+        for (node, (wrapper, subplan)) in nodes.into_iter().zip(submit_sites(plan)) {
+            node.predicted_pages =
+                self.predict_site_pages(wrapper, subplan, node.predicted.count_object);
+        }
+    }
+
+    /// Yao page prediction for one submit site: `yao(n, m, k)` with `n`
+    /// objects on `m` pages (the catalog's measured page count when a
+    /// real engine exported one, else the `TotalSize / PageSize`
+    /// derivation) and `k` the site's predicted result cardinality,
+    /// multiplied by the wrapper's [`CacheRegime`] miss factor — a warm
+    /// cache faults only the predicted miss fraction.
+    fn predict_site_pages(
+        &self,
+        wrapper: &str,
+        subplan: &LogicalPlan,
+        predicted_rows: f64,
+    ) -> Option<f64> {
+        let qname = subplan.base_collection()?;
+        let stats = self.catalog.stats(qname).ok()?;
+        let n = stats.extent.count_object;
+        let page_size = self
+            .registry
+            .wrapper_params(wrapper)
+            .and_then(|p| p.get_f64("PageSize"))
+            .or_else(|| self.registry.params().get_f64("PageSize"))
+            .unwrap_or(disco_core::params::DEFAULT_PAGE_SIZE) as u64;
+        let m = stats.extent.count_pages(page_size);
+        if n == 0 || m == 0 {
+            return None;
+        }
+        let k = (predicted_rows.round().max(0.0) as u64).min(n);
+        let miss = self.catalog.cache_regime(wrapper).miss_factor();
+        Some(disco_core::yao::yao_pages_exact(n, m, k) * miss)
     }
 
     /// Per-site cost predictions (`TotalTime`, `TimeFirst`) for the

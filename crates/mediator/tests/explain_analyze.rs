@@ -3,11 +3,12 @@
 //! cost scope for every node, and — on the fault path — the collections
 //! a downed wrapper failed to contribute.
 
-use disco_catalog::Capabilities;
+use disco_catalog::{CacheRegime, Capabilities};
 use disco_common::rng::{seeded, StdRng};
 use disco_common::{AttributeDef, DataType, QualifiedName, Schema, Value};
 use disco_mediator::{AnalyzeReport, Mediator, MediatorOptions};
-use disco_sources::{CollectionBuilder, CostProfile, FlatFile, PagedStore};
+use disco_sources::{CollectionBuilder, CostProfile, FlatFile, PagedStore, StoreSource};
+use disco_store::{DiskCollectionBuilder, DiskStoreBuilder};
 use disco_transport::{
     ChannelTransport, FaultKind, FaultPlan, NetProfile, RetryPolicy, TransportClient,
 };
@@ -320,5 +321,132 @@ fn downed_wrapper_reports_missing_collections_and_counts_unavailability() {
         unavailable.get() >= before + 2,
         "counter before={before} after={}",
         unavailable.get()
+    );
+}
+
+/// Disk-backed wrapper: two 7 000-object collections (70 objects per
+/// 4 KB page → 100 pages each), one random placement, one clustered on
+/// `id`. Returns the mediator plus a handle onto the shared buffer pool
+/// for cold-cache resets.
+fn disk_federation() -> (Mediator, StoreSource) {
+    let schema = Schema::new(vec![
+        AttributeDef::new("id", DataType::Long),
+        AttributeDef::new("v", DataType::Long),
+    ]);
+    let rows = || (0..7_000i64).map(|i| vec![Value::Long(i), Value::Long(i % 97)]);
+    let store = DiskStoreBuilder::new("disk")
+        .collection(
+            "RParts",
+            DiskCollectionBuilder::new(schema.clone())
+                .rows(rows())
+                .object_size(56)
+                .index("id"),
+        )
+        .collection(
+            "CParts",
+            DiskCollectionBuilder::new(schema)
+                .rows(rows())
+                .object_size(56)
+                .cluster_on("id")
+                .index("id"),
+        )
+        .build()
+        .unwrap();
+    let source = StoreSource::new(store, CostProfile::object_store());
+    let handle = source.clone();
+    let mut m = Mediator::new();
+    m.register(Box::new(SourceWrapper::new("disk", source)))
+        .unwrap();
+    (m, handle)
+}
+
+/// The executed submit node of a report (exactly one expected).
+fn the_submit(report: &AnalyzeReport) -> disco_core::AnalyzeNode {
+    let submits: Vec<_> = report
+        .root
+        .nodes()
+        .into_iter()
+        .filter(|nd| nd.operator.starts_with("submit ") && nd.measured.is_some())
+        .cloned()
+        .collect();
+    assert_eq!(submits.len(), 1, "{}", report.render());
+    submits.into_iter().next().unwrap()
+}
+
+#[test]
+fn page_io_random_placement_matches_yao_and_clustered_beats_it() {
+    let (mut m, pool) = disk_federation();
+    let sql = |t: &str| format!("SELECT id FROM {t} WHERE id < 100");
+
+    // Random placement, cold pool: ~100 qualifying objects spread over
+    // 100 pages — Yao predicts ≈63.4 page faults, and the measured
+    // faults of the real index retrieval must land within 15 %.
+    pool.clear_cache().unwrap();
+    let random = m.explain_analyze(&sql("RParts")).unwrap();
+    let node = the_submit(&random);
+    let predicted = node.predicted_pages.expect("Yao prediction filled");
+    let measured = node.measured.unwrap().pages.expect("submit reports pages");
+    assert!(
+        (55.0..=72.0).contains(&predicted),
+        "Yao(7000,100,~100) ≈ 63.4, got {predicted}"
+    );
+    let err = node.pages_error().expect("both sides present");
+    assert!(
+        err.abs() < 0.15,
+        "random placement: predicted {predicted:.1} vs measured {measured} ({:+.1}%)",
+        err * 100.0
+    );
+    // The rendering shows the page-I/O comparison.
+    assert!(random.render().contains("page io:"), "{}", random.render());
+
+    // Clustered placement, same query: the 100 qualifying objects sit on
+    // ~2 consecutive pages. The wrapper doesn't export clustering (§5),
+    // so the mediator still predicts with Yao — EXPLAIN ANALYZE is where
+    // the §7 divergence becomes visible.
+    pool.clear_cache().unwrap();
+    let clustered = m.explain_analyze(&sql("CParts")).unwrap();
+    let node = the_submit(&clustered);
+    let predicted = node.predicted_pages.expect("Yao prediction filled");
+    let measured = node.measured.unwrap().pages.expect("submit reports pages");
+    assert!(
+        (measured as f64) < predicted / 3.0,
+        "clustered measured {measured} should fall far below Yao {predicted:.1}"
+    );
+    assert!(measured <= 4, "~100 clustered objects span ~2 pages");
+
+    // Non-submit nodes carry no page measurement.
+    for nd in random.root.nodes() {
+        if !nd.operator.starts_with("submit ") {
+            assert_eq!(nd.measured.and_then(|mm| mm.pages), None, "{}", nd.operator);
+        }
+    }
+}
+
+#[test]
+fn warm_cache_regime_scales_the_page_prediction() {
+    let (mut m, pool) = disk_federation();
+    let sql = "SELECT id FROM RParts WHERE id < 100";
+
+    pool.clear_cache().unwrap();
+    let cold = the_submit(&m.explain_analyze(sql).unwrap());
+    let cold_pages = cold.predicted_pages.unwrap();
+
+    // Declare the wrapper's pool warm at 80 % hits: the prediction drops
+    // to the miss fraction. The pool really is warm now (same pages just
+    // faulted), so the measurement agrees with the scaled prediction
+    // direction: far fewer faults than the cold run.
+    m.set_cache_regime("disk", CacheRegime::Warm { hit_rate: 0.8 })
+        .unwrap();
+    let warm = the_submit(&m.explain_analyze(sql).unwrap());
+    let warm_pages = warm.predicted_pages.unwrap();
+    assert!(
+        (warm_pages - 0.2 * cold_pages).abs() < 1e-9,
+        "cold {cold_pages} warm {warm_pages}"
+    );
+    let warm_measured = warm.measured.unwrap().pages.unwrap();
+    let cold_measured = cold.measured.unwrap().pages.unwrap();
+    assert!(
+        warm_measured < cold_measured / 2,
+        "re-running warm must fault less: cold {cold_measured}, warm {warm_measured}"
     );
 }

@@ -92,6 +92,16 @@ pub mod names {
     /// Histogram, labels `{class}`: milliseconds a query waited for an
     /// admission slot before running.
     pub const ADMISSION_WAIT_MS: &str = "admission_wait_ms";
+    /// Counter, labels `{engine="disk"|"simulated", source}`: buffer-pool
+    /// page faults (pages read from storage). One schema for both the
+    /// real pager in `disco-store` and the simulated one in
+    /// `disco-sources`, so dashboards compare them directly.
+    pub const STORE_PAGE_FAULTS: &str = "store_page_faults_total";
+    /// Counter, labels `{engine, source}`: buffer-pool hits (page
+    /// requests served from a resident frame).
+    pub const STORE_BUFFER_HITS: &str = "store_buffer_hits_total";
+    /// Counter, labels `{engine, source}`: frames evicted to make room.
+    pub const STORE_EVICTIONS: &str = "store_evictions_total";
 }
 
 /// Shorthand for `metrics::global().counter(...)`.

@@ -52,6 +52,32 @@ pub fn yao_rules() -> String {
     doc
 }
 
+/// The Figure 13 rule set recalibrated for a warm buffer pool: a cache
+/// expected to absorb `hit_rate` of page requests only pays the miss
+/// fraction of the fault cost, so the exported `IO` constant scales by
+/// `1 − hit_rate` (the same miss factor the catalog's `CacheRegime::Warm`
+/// applies on the mediator side).
+pub fn warm_yao_rules(hit_rate: f64) -> String {
+    let io = 25.0 * (1.0 - hit_rate.clamp(0.0, 1.0));
+    let mut doc =
+        format!("let PageSize = 4096;\nlet IO = {io};\nlet Output = 9.0;\nlet Fill = 0.96;\n");
+    for op in OPS {
+        doc.push_str(&format!(
+            "rule select(AtomicParts, Id {op} $V) {{\n\
+             \tlet PerPage = floor(PageSize * Fill / AtomicParts.ObjectSize);\n\
+             \tlet CountPage = ceil(AtomicParts.CountObject / PerPage);\n\
+             \tCountObject = AtomicParts.CountObject * selectivity(\"Id\", $V);\n\
+             \tTotalSize = CountObject * AtomicParts.ObjectSize;\n\
+             \tTimeFirst = Overhead + IO;\n\
+             \tTimeNext = Output;\n\
+             \tTotalTime = Overhead + IO * yao(CountObject, CountPage) + CountObject * Output;\n\
+             }}\n",
+            op = op.symbol()
+        ));
+    }
+    doc
+}
+
 /// Rules for the clustered layout: qualifying `Id` ranges are contiguous
 /// on disk, so the scan touches `ceil(k / objects-per-page)` pages.
 pub fn clustered_rules() -> String {
@@ -84,6 +110,7 @@ mod tests {
         for (name, doc) in [
             ("calibrated", calibrated()),
             ("yao", yao_rules()),
+            ("warm", warm_yao_rules(0.8)),
             ("clustered", clustered_rules()),
         ] {
             let parsed =
@@ -96,6 +123,24 @@ mod tests {
                 assert_eq!(compiled.rules.len(), 5);
             }
         }
+    }
+
+    #[test]
+    fn warm_rules_scale_io_by_the_miss_fraction() {
+        let cold = compile_document(&parse_document(&warm_yao_rules(0.0)).unwrap()).unwrap();
+        let warm = compile_document(&parse_document(&warm_yao_rules(0.8)).unwrap()).unwrap();
+        let io_of = |doc: &disco_costlang::CompiledDocument| {
+            doc.params
+                .iter()
+                .find(|(n, _)| n == "IO")
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap()
+        };
+        assert_eq!(io_of(&cold), 25.0);
+        assert!((io_of(&warm) - 5.0).abs() < 1e-12);
+        // Fully warm: faults are free; clamped outside [0, 1].
+        let hot = compile_document(&parse_document(&warm_yao_rules(1.5)).unwrap()).unwrap();
+        assert_eq!(io_of(&hot), 0.0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub struct BufferPool {
     tick: u64,
     faults: u64,
     hits: u64,
+    evictions: u64,
 }
 
 impl BufferPool {
@@ -30,6 +31,7 @@ impl BufferPool {
             tick: 0,
             faults: 0,
             hits: 0,
+            evictions: 0,
         }
     }
 
@@ -47,6 +49,7 @@ impl BufferPool {
         if self.resident.len() >= self.capacity {
             if let Some((&lru, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
                 self.resident.remove(&lru);
+                self.evictions += 1;
             }
         }
         self.resident.insert(page, self.tick);
@@ -60,6 +63,11 @@ impl BufferPool {
     /// Buffer hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Pages evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Currently resident page count.
@@ -113,6 +121,7 @@ mod tests {
         b.access(2, &p, &mut clock); // fault again
         assert_eq!(b.faults(), 4);
         assert_eq!(b.resident(), 2);
+        assert_eq!(b.evictions(), 2);
     }
 
     #[test]

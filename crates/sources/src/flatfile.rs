@@ -76,6 +76,7 @@ impl DataSource for FlatFile {
             count_object: n,
             total_size: n * self.line_width,
             object_size: self.line_width,
+            count_page: None,
         }))
     }
 

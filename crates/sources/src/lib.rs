@@ -22,6 +22,8 @@
 //!   the mediator's combine phase;
 //! * [`store`] — the paged store engine ([`PagedStore`]) with
 //!   object-database and relational cost profiles;
+//! * [`disk`] — [`StoreSource`], the same execution paths over the real
+//!   disk-backed engine in `disco-store` (measured page faults);
 //! * [`flatfile`] — a scan-only flat-file source;
 //! * [`source`] — the [`DataSource`] trait wrappers build on;
 //! * [`wire`] — byte codecs shipping subanswers across the transport
@@ -30,6 +32,7 @@
 pub mod btree;
 pub mod buffer;
 pub mod clock;
+pub mod disk;
 pub mod exec;
 pub mod flatfile;
 pub mod heap;
@@ -41,6 +44,7 @@ pub mod wire;
 pub use btree::BPlusTree;
 pub use buffer::BufferPool;
 pub use clock::{CostProfile, VirtualClock};
+pub use disk::StoreSource;
 pub use flatfile::FlatFile;
 pub use heap::{HeapFile, Placement};
 pub use source::{BatchAnswer, DataSource, ExecStats, SubAnswer};

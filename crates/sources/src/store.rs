@@ -402,7 +402,7 @@ impl PagedStore {
 
 /// Is the root operator blocking (first tuple only after all input
 /// consumed)?
-fn blocking_root(plan: &LogicalPlan) -> bool {
+pub(crate) fn blocking_root(plan: &LogicalPlan) -> bool {
     matches!(
         plan,
         LogicalPlan::Sort { .. } | LogicalPlan::Aggregate { .. } | LogicalPlan::Dedup { .. }
@@ -428,6 +428,7 @@ impl DataSource for PagedStore {
             count_object: n,
             total_size: n * c.object_size,
             object_size: c.object_size,
+            count_page: None,
         });
         for (i, attr) in c.schema.attributes().iter().enumerate() {
             let mut min: Option<Value> = None;
@@ -499,6 +500,12 @@ impl DataSource for PagedStore {
                 + (buf.faults() > 0) as u64 as f64 * self.profile.io_ms
                 + one * self.profile.output_ms
         };
+        if disco_obs::metrics::enabled() {
+            let labels = &[("engine", "simulated"), ("source", self.name.as_str())][..];
+            disco_obs::counter(disco_obs::names::STORE_PAGE_FAULTS, labels).add(buf.faults());
+            disco_obs::counter(disco_obs::names::STORE_BUFFER_HITS, labels).add(buf.hits());
+            disco_obs::counter(disco_obs::names::STORE_EVICTIONS, labels).add(buf.evictions());
+        }
         Ok(SubAnswer {
             schema,
             tuples,

@@ -1,0 +1,386 @@
+//! The buffer pool.
+//!
+//! Frames cache [`Page`]s read from a [`PageFile`]. Accessors pin a page
+//! ([`PageRef`] unpins on drop); dirty frames are written back when
+//! evicted (LRU over unpinned frames) or on [`BufferPool::flush`]. All
+//! state sits behind one non-reentrant mutex, so callers must never pin
+//! or allocate from *inside* a [`BufferPool::with_page_mut`] closure.
+//!
+//! Counters distinguish data (heap) from index (B+Tree) faults so cost
+//! models can attribute I/O to the operator that caused it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use disco_common::{DiscoError, Result};
+
+use crate::file::PageFile;
+use crate::page::{Page, PageId, PageKind};
+
+/// Snapshot of pool activity. Monotonic; diff two snapshots with
+/// [`PoolCounters::delta`] to meter one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub faults: u64,
+    /// Faults on heap pages.
+    pub data_faults: u64,
+    /// Faults on B+Tree pages.
+    pub index_faults: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back (eviction or flush).
+    pub writebacks: u64,
+}
+
+impl PoolCounters {
+    /// Activity since `since` was captured.
+    pub fn delta(&self, since: &PoolCounters) -> PoolCounters {
+        PoolCounters {
+            hits: self.hits - since.hits,
+            faults: self.faults - since.faults,
+            data_faults: self.data_faults - since.data_faults,
+            index_faults: self.index_faults - since.index_faults,
+            evictions: self.evictions - since.evictions,
+            writebacks: self.writebacks - since.writebacks,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Arc<Page>,
+    pins: u32,
+    dirty: bool,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: PageFile,
+    capacity: usize,
+    tick: u64,
+    frames: HashMap<PageId, Frame>,
+    counters: PoolCounters,
+}
+
+impl Inner {
+    fn touch(frame: &mut Frame, tick: &mut u64) {
+        *tick += 1;
+        frame.last_used = *tick;
+    }
+
+    /// Make room for one more frame. LRU over unpinned frames, ties (only
+    /// possible across pools, not within one) broken by page id so
+    /// eviction order is a pure function of the access history.
+    fn make_room(&mut self) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(_, f)| f.pins == 0)
+                .map(|(&pid, f)| (f.last_used, pid))
+                .min();
+            let Some((_, pid)) = victim else {
+                return Err(DiscoError::Source(format!(
+                    "store: buffer pool exhausted ({} frames, all pinned)",
+                    self.frames.len()
+                )));
+            };
+            let frame = self.frames.remove(&pid).expect("victim frame present");
+            if frame.dirty {
+                self.file.write_page(pid, &frame.page)?;
+                self.counters.writebacks += 1;
+            }
+            self.counters.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Ensure `id` is resident, recording hit/fault, and return its frame.
+    fn load(&mut self, id: PageId) -> Result<&mut Frame> {
+        if self.frames.contains_key(&id) {
+            self.counters.hits += 1;
+        } else {
+            self.make_room()?;
+            let page = self.file.read_page(id)?;
+            self.counters.faults += 1;
+            match page.kind() {
+                Some(PageKind::Heap) => self.counters.data_faults += 1,
+                Some(PageKind::BTreeLeaf) | Some(PageKind::BTreeInternal) => {
+                    self.counters.index_faults += 1
+                }
+                None => {}
+            }
+            self.frames.insert(
+                id,
+                Frame {
+                    page: Arc::new(page),
+                    pins: 0,
+                    dirty: false,
+                    last_used: 0,
+                },
+            );
+        }
+        let tick = &mut self.tick;
+        let frame = self.frames.get_mut(&id).expect("frame just ensured");
+        Self::touch(frame, tick);
+        Ok(frame)
+    }
+}
+
+/// A shared, thread-safe buffer pool over one page file.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// A pinned page. Derefs to [`Page`]; the pin is released on drop, making
+/// the frame evictable again.
+pub struct PageRef {
+    pool: BufferPool,
+    id: PageId,
+    page: Arc<Page>,
+}
+
+impl std::ops::Deref for PageRef {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.page
+    }
+}
+
+impl PageRef {
+    /// The pinned page's id.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+}
+
+impl Drop for PageRef {
+    fn drop(&mut self) {
+        let mut inner = self.pool.inner.lock().expect("pool mutex");
+        if let Some(frame) = inner.frames.get_mut(&self.id) {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+}
+
+impl BufferPool {
+    /// Wrap `file` with room for `capacity` resident pages.
+    pub fn new(file: PageFile, capacity: usize) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(Mutex::new(Inner {
+                file,
+                capacity: capacity.max(1),
+                tick: 0,
+                frames: HashMap::new(),
+                counters: PoolCounters::default(),
+            })),
+        }
+    }
+
+    /// Allocate a fresh page of `kind`. Born dirty and resident; it
+    /// reaches disk on eviction or flush.
+    pub fn allocate(&self, kind: PageKind) -> Result<PageId> {
+        let mut inner = self.inner.lock().expect("pool mutex");
+        inner.make_room()?;
+        let id = inner.file.allocate();
+        let tick = &mut inner.tick;
+        *tick += 1;
+        let last_used = *tick;
+        inner.frames.insert(
+            id,
+            Frame {
+                page: Arc::new(Page::new(kind)),
+                pins: 0,
+                dirty: true,
+                last_used,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Pin a page for reading. Counts a hit or fault.
+    pub fn pin(&self, id: PageId) -> Result<PageRef> {
+        let page = {
+            let mut inner = self.inner.lock().expect("pool mutex");
+            let frame = inner.load(id)?;
+            frame.pins += 1;
+            Arc::clone(&frame.page)
+        };
+        Ok(PageRef {
+            pool: self.clone(),
+            id,
+            page,
+        })
+    }
+
+    /// Mutate a page in place, marking it dirty. Counts a hit or fault.
+    /// The closure MUST NOT call back into the pool (non-reentrant lock);
+    /// callers that need a second page (e.g. B+Tree splits) allocate it
+    /// *before* entering the closure.
+    pub fn with_page_mut<T>(&self, id: PageId, f: impl FnOnce(&mut Page) -> T) -> Result<T> {
+        let mut inner = self.inner.lock().expect("pool mutex");
+        let frame = inner.load(id)?;
+        frame.dirty = true;
+        Ok(f(Arc::make_mut(&mut frame.page)))
+    }
+
+    /// Write every dirty frame back and sync the file.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock().expect("pool mutex");
+        let mut dirty: Vec<PageId> = inner
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&pid, _)| pid)
+            .collect();
+        dirty.sort_unstable();
+        for pid in dirty {
+            let frame = self.clone_frame_page(&mut inner, pid);
+            inner.file.write_page(pid, &frame)?;
+            inner.counters.writebacks += 1;
+            inner.frames.get_mut(&pid).expect("dirty frame").dirty = false;
+        }
+        inner.file.sync()
+    }
+
+    fn clone_frame_page(&self, inner: &mut Inner, pid: PageId) -> Arc<Page> {
+        Arc::clone(&inner.frames.get(&pid).expect("dirty frame").page)
+    }
+
+    /// Flush, then drop every unpinned frame: the next access pattern
+    /// starts against a cold cache. Counts neither hits nor evictions.
+    pub fn clear_cache(&self) -> Result<()> {
+        self.flush()?;
+        let mut inner = self.inner.lock().expect("pool mutex");
+        inner.frames.retain(|_, f| f.pins > 0);
+        Ok(())
+    }
+
+    /// Current counter snapshot.
+    pub fn counters(&self) -> PoolCounters {
+        self.inner.lock().expect("pool mutex").counters
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().expect("pool mutex").frames.len()
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("pool mutex").capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(capacity: usize) -> BufferPool {
+        let file = PageFile::create_temp("pool").unwrap();
+        BufferPool::new(file, capacity)
+    }
+
+    #[test]
+    fn allocate_write_read_through_pool() {
+        let p = pool(4);
+        let id = p.allocate(PageKind::Heap).unwrap();
+        let slot = p
+            .with_page_mut(id, |pg| pg.insert(b"hello pool").unwrap())
+            .unwrap();
+        let r = p.pin(id).unwrap();
+        assert_eq!(r.record(slot).unwrap(), b"hello pool");
+    }
+
+    #[test]
+    fn eviction_writes_back_and_refault_restores() {
+        let p = pool(2);
+        let ids: Vec<PageId> = (0..3)
+            .map(|i| {
+                let id = p.allocate(PageKind::Heap).unwrap();
+                p.with_page_mut(id, |pg| pg.insert(format!("page {i}").as_bytes()).unwrap())
+                    .unwrap();
+                id
+            })
+            .collect();
+        // Allocating page 2 evicted page 0 (LRU), writing it back.
+        let c = p.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.writebacks, 1);
+        // Touching page 0 again faults it back in, contents intact.
+        let r = p.pin(ids[0]).unwrap();
+        assert_eq!(r.record(0).unwrap(), b"page 0");
+        let c = p.counters();
+        assert_eq!(c.faults, 1);
+        assert_eq!(c.data_faults, 1);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let p = pool(2);
+        let a = p.allocate(PageKind::Heap).unwrap();
+        let b = p.allocate(PageKind::Heap).unwrap();
+        let pin_a = p.pin(a).unwrap();
+        let pin_b = p.pin(b).unwrap();
+        // Pool full of pinned pages: a third allocation must fail cleanly.
+        let err = p.allocate(PageKind::Heap).unwrap_err().to_string();
+        assert!(err.contains("exhausted"), "{err}");
+        drop(pin_a);
+        // With a unpinned, allocation succeeds and evicts a.
+        p.allocate(PageKind::Heap).unwrap();
+        assert_eq!(p.counters().evictions, 1);
+        drop(pin_b);
+    }
+
+    #[test]
+    fn lru_prefers_least_recently_used() {
+        let p = pool(2);
+        let a = p.allocate(PageKind::Heap).unwrap();
+        let b = p.allocate(PageKind::Heap).unwrap();
+        p.flush().unwrap();
+        // Touch a so b becomes LRU.
+        drop(p.pin(a).unwrap());
+        let _c = p.allocate(PageKind::Heap).unwrap();
+        // b was evicted: re-pinning it faults, re-pinning a hits.
+        let before = p.counters();
+        drop(p.pin(a).unwrap());
+        assert_eq!(p.counters().faults, before.faults);
+        drop(p.pin(b).unwrap());
+        assert_eq!(p.counters().faults, before.faults + 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_cold_start() {
+        let p = pool(8);
+        let id = p.allocate(PageKind::BTreeLeaf).unwrap();
+        p.with_page_mut(id, |pg| pg.insert(b"cold").unwrap())
+            .unwrap();
+        p.clear_cache().unwrap();
+        assert_eq!(p.resident(), 0);
+        let before = p.counters();
+        let r = p.pin(id).unwrap();
+        assert_eq!(r.record(0).unwrap(), b"cold");
+        let d = p.counters().delta(&before);
+        assert_eq!(d.faults, 1);
+        assert_eq!(d.index_faults, 1);
+        assert_eq!(d.hits, 0);
+    }
+
+    #[test]
+    fn counters_delta() {
+        let p = pool(4);
+        let id = p.allocate(PageKind::Heap).unwrap();
+        p.clear_cache().unwrap();
+        let before = p.counters();
+        drop(p.pin(id).unwrap());
+        drop(p.pin(id).unwrap());
+        let d = p.counters().delta(&before);
+        assert_eq!(d.faults, 1);
+        assert_eq!(d.hits, 1);
+    }
+}

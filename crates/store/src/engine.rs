@@ -1,0 +1,595 @@
+//! The storage engine: named collections over one page file + buffer
+//! pool, bulk-loaded once and then read-only.
+//!
+//! Loading reproduces the *exact* page placement of the simulated store
+//! in `disco-sources` — same seed derivation (`"{store}::{collection}"`),
+//! same permutation draw, same objects-per-page formula — so measured
+//! page faults are comparable number-for-number with the simulated pager
+//! and with Yao's prediction. Tuples keep their logical (insertion) row
+//! ids: scans return rows in insertion order even though the heap stores
+//! them in placement order, matching the in-memory source byte for byte.
+//!
+//! Queries run under a [`StoreSession`]: a store-wide lock plus a counter
+//! snapshot, so one query's I/O is metered without interference.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use disco_algebra::CompareOp;
+use disco_common::{rng, DiscoError, Result, Schema, Tuple, Value};
+
+use crate::btree::DiskBTree;
+use crate::buffer::{BufferPool, PoolCounters};
+use crate::codec::{decode_tuple, encode_tuple};
+use crate::file::PageFile;
+use crate::heap::{HeapBuilder, HeapFile, Rid};
+
+/// How objects are assigned to pages (mirrors `disco-sources`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Uniform random placement — Yao's independence assumption.
+    Random,
+    /// Storage follows an attribute's order (the §7 effect).
+    Clustered,
+}
+
+/// One loaded collection.
+#[derive(Debug)]
+pub struct DiskCollection {
+    schema: Schema,
+    heap: HeapFile,
+    indexes: BTreeMap<String, DiskBTree>,
+    clustered_on: Option<String>,
+    object_size: u64,
+    /// Logical row id → rid, in insertion order.
+    rids: Vec<Rid>,
+    /// Rid → logical row id.
+    row_of: HashMap<Rid, u32>,
+}
+
+impl DiskCollection {
+    /// The collection's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rids.len()
+    }
+
+    /// Heap pages occupied.
+    pub fn pages(&self) -> u64 {
+        self.heap.pages()
+    }
+
+    /// Modelled object size in bytes.
+    pub fn object_size(&self) -> u64 {
+        self.object_size
+    }
+
+    /// Attribute the storage order follows, if clustered.
+    pub fn clustered_on(&self) -> Option<&str> {
+        self.clustered_on.as_deref()
+    }
+
+    /// Is `attr` indexed?
+    pub fn has_index(&self, attr: &str) -> bool {
+        self.indexes.contains_key(attr)
+    }
+}
+
+/// Builder for one collection (same knobs as the simulated store's
+/// `CollectionBuilder`).
+#[derive(Debug, Clone)]
+pub struct DiskCollectionBuilder {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    object_size: Option<u64>,
+    page_size: u64,
+    fill_factor: f64,
+    cluster_on: Option<String>,
+    indexes: Vec<String>,
+}
+
+impl DiskCollectionBuilder {
+    /// Start a collection with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        DiskCollectionBuilder {
+            schema,
+            tuples: Vec::new(),
+            object_size: None,
+            page_size: crate::page::PAGE_SIZE as u64,
+            fill_factor: 0.96,
+            cluster_on: None,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Add one row.
+    pub fn row(mut self, values: Vec<Value>) -> Self {
+        self.tuples.push(Tuple::new(values));
+        self
+    }
+
+    /// Add many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        self.tuples.extend(rows.into_iter().map(Tuple::new));
+        self
+    }
+
+    /// Modelled object size in bytes (defaults to the average tuple
+    /// width). Controls objects-per-page, not the stored record bytes.
+    pub fn object_size(mut self, bytes: u64) -> Self {
+        self.object_size = Some(bytes);
+        self
+    }
+
+    /// Modelled page size (default 4096 — the physical page size; other
+    /// values shift objects-per-page but pages on disk stay 4 KB).
+    pub fn page_size(mut self, bytes: u64) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Page fill factor (default 0.96, the OO7 setup).
+    pub fn fill_factor(mut self, f: f64) -> Self {
+        self.fill_factor = f;
+        self
+    }
+
+    /// Cluster storage on an attribute's order instead of uniform random
+    /// placement.
+    pub fn cluster_on(mut self, attr: impl Into<String>) -> Self {
+        self.cluster_on = Some(attr.into());
+        self
+    }
+
+    /// Build an on-disk B+-tree index on an attribute.
+    pub fn index(mut self, attr: impl Into<String>) -> Self {
+        self.indexes.push(attr.into());
+        self
+    }
+
+    fn build(self, pool: &BufferPool, rng_source: &mut rng::StdRng) -> Result<DiskCollection> {
+        let n = self.tuples.len();
+        let object_size = self.object_size.unwrap_or_else(|| {
+            let total: u64 = self.tuples.iter().map(Tuple::width).sum();
+            (total / n.max(1) as u64).max(1)
+        });
+        // Storage rank, exactly as the simulated heap computes it.
+        let rank: Vec<usize> = match &self.cluster_on {
+            None => rng::permutation(rng_source, n),
+            Some(attr) => {
+                let idx = self.schema.index_of(attr).ok_or_else(|| {
+                    DiscoError::Source(format!("cannot cluster on unknown attribute `{attr}`"))
+                })?;
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    let (x, y) = (self.tuples[a].get(idx), self.tuples[b].get(idx));
+                    match (x, y) {
+                        (Some(x), Some(y)) => x.total_cmp_value(y),
+                        _ => std::cmp::Ordering::Equal,
+                    }
+                });
+                let mut rank = vec![0usize; n];
+                for (pos, &obj) in order.iter().enumerate() {
+                    rank[obj] = pos;
+                }
+                rank
+            }
+        };
+        let usable = (self.page_size as f64 * self.fill_factor.clamp(0.01, 1.0)) as u64;
+        let per_page = (usable / object_size.max(1)).max(1) as usize;
+        // Invert the rank: storage position → logical row.
+        let mut storage = vec![0usize; n];
+        for (obj, &pos) in rank.iter().enumerate() {
+            storage[pos] = obj;
+        }
+        let mut builder = HeapBuilder::new(pool.clone(), Some(per_page));
+        let mut rids = vec![Rid { page: 0, slot: 0 }; n];
+        for (pos, &row) in storage.iter().enumerate() {
+            let rid = builder.append(&encode_tuple(&self.tuples[row]))?;
+            // Every record must land on its *modelled* page: a byte
+            // spill can leave the total page count intact while moving
+            // the boundaries, which would silently break placement
+            // equivalence with the simulated store.
+            if rid.page as usize != pos / per_page {
+                return Err(DiscoError::Source(format!(
+                    "store: record at storage position {pos} spilled to \
+                     page {} (modelled page {}) — object_size smaller \
+                     than the encoded rows",
+                    rid.page,
+                    pos / per_page
+                )));
+            }
+            rids[row] = rid;
+        }
+        let heap = builder.finish();
+        let mut indexes = BTreeMap::new();
+        for attr in &self.indexes {
+            let idx = self.schema.index_of(attr).ok_or_else(|| {
+                DiscoError::Source(format!("cannot index unknown attribute `{attr}`"))
+            })?;
+            let tree = DiskBTree::build(
+                pool.clone(),
+                self.tuples
+                    .iter()
+                    .enumerate()
+                    .map(|(row, t)| (t.get(idx).cloned().unwrap_or(Value::Null), rids[row])),
+            )?;
+            indexes.insert(attr.clone(), tree);
+        }
+        let row_of = rids
+            .iter()
+            .enumerate()
+            .map(|(row, &rid)| (rid, row as u32))
+            .collect();
+        Ok(DiskCollection {
+            schema: self.schema,
+            heap,
+            indexes,
+            clustered_on: self.cluster_on,
+            object_size,
+            rids,
+            row_of,
+        })
+    }
+}
+
+/// Builder for a [`DiskStore`].
+#[derive(Debug, Clone)]
+pub struct DiskStoreBuilder {
+    name: String,
+    buffer_capacity: usize,
+    seed: u64,
+    collections: Vec<(String, DiskCollectionBuilder)>,
+}
+
+impl DiskStoreBuilder {
+    /// Start a store. Default pool: 2048 frames, same as the simulated
+    /// store (each distinct page faults once per cold query — the regime
+    /// Yao models).
+    pub fn new(name: impl Into<String>) -> Self {
+        DiskStoreBuilder {
+            name: name.into(),
+            buffer_capacity: 2_048,
+            seed: rng::DEFAULT_SEED,
+            collections: Vec::new(),
+        }
+    }
+
+    /// Override the buffer pool capacity (frames).
+    pub fn buffer_capacity(mut self, frames: usize) -> Self {
+        self.buffer_capacity = frames;
+        self
+    }
+
+    /// Override the placement seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a collection to load.
+    pub fn collection(mut self, name: impl Into<String>, builder: DiskCollectionBuilder) -> Self {
+        self.collections.push((name.into(), builder));
+        self
+    }
+
+    /// Create the page file, bulk-load every collection, flush, and drop
+    /// the cache so the first query runs cold.
+    pub fn build(self) -> Result<DiskStore> {
+        let file = PageFile::create_temp(&self.name)?;
+        let pool = BufferPool::new(file, self.buffer_capacity);
+        let mut collections = BTreeMap::new();
+        for (name, builder) in self.collections {
+            if collections.contains_key(&name) {
+                return Err(DiscoError::Source(format!(
+                    "collection `{name}` already loaded"
+                )));
+            }
+            let mut r = rng::seeded(self.seed, &format!("{}::{name}", self.name));
+            collections.insert(name, builder.build(&pool, &mut r)?);
+        }
+        pool.clear_cache()?;
+        Ok(DiskStore {
+            name: Arc::new(self.name),
+            pool,
+            collections: Arc::new(collections),
+            query_lock: Arc::new(Mutex::new(())),
+        })
+    }
+}
+
+/// A read-only disk-backed store. Cheap to clone; clones share the page
+/// file, buffer pool, and counters.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    name: Arc<String>,
+    pool: BufferPool,
+    collections: Arc<BTreeMap<String, DiskCollection>>,
+    query_lock: Arc<Mutex<()>>,
+}
+
+impl DiskStore {
+    /// Store name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Collection names and schemas, in name order.
+    pub fn collections(&self) -> Vec<(String, Schema)> {
+        self.collections
+            .iter()
+            .map(|(n, c)| (n.clone(), c.schema.clone()))
+            .collect()
+    }
+
+    /// Look up one collection.
+    pub fn collection(&self, name: &str) -> Result<&DiskCollection> {
+        self.collections
+            .get(name)
+            .ok_or_else(|| DiscoError::Source(format!("unknown collection `{name}`")))
+    }
+
+    /// Heap pages of a collection.
+    pub fn pages_of(&self, collection: &str) -> Result<u64> {
+        Ok(self.collection(collection)?.pages())
+    }
+
+    /// Lifetime pool counters.
+    pub fn counters(&self) -> PoolCounters {
+        self.pool.counters()
+    }
+
+    /// Buffer pool frame capacity.
+    pub fn buffer_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Flush and drop cached pages: the next query runs cold.
+    pub fn clear_cache(&self) -> Result<()> {
+        self.pool.clear_cache()
+    }
+
+    /// Open a metered session. Holds the store-wide query lock, so I/O
+    /// deltas observed through it belong to this session alone.
+    pub fn session(&self) -> StoreSession<'_> {
+        let guard = self.query_lock.lock().expect("query lock");
+        StoreSession {
+            store: self,
+            start: self.pool.counters(),
+            _guard: guard,
+        }
+    }
+}
+
+/// One query's window onto the store.
+pub struct StoreSession<'a> {
+    store: &'a DiskStore,
+    start: PoolCounters,
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl StoreSession<'_> {
+    /// The underlying store.
+    pub fn store(&self) -> &DiskStore {
+        self.store
+    }
+
+    /// Pool activity since the session opened.
+    pub fn io(&self) -> PoolCounters {
+        self.store.pool.counters().delta(&self.start)
+    }
+
+    /// Full scan in logical (insertion) row order. Pages are read
+    /// sequentially in storage order; rows are slotted back into
+    /// insertion order so answers match the in-memory source exactly.
+    pub fn scan(&self, collection: &str) -> Result<Vec<Tuple>> {
+        let c = self.store.collection(collection)?;
+        let mut out: Vec<Option<Tuple>> = vec![None; c.rids.len()];
+        c.heap.scan(|rid, bytes| {
+            let &row = c.row_of.get(&rid).ok_or_else(|| {
+                DiscoError::Source(format!("store: unmapped rid {rid:?} in `{collection}`"))
+            })?;
+            out[row as usize] = Some(decode_tuple(bytes)?);
+            Ok(())
+        })?;
+        out.into_iter()
+            .enumerate()
+            .map(|(row, t)| {
+                t.ok_or_else(|| {
+                    DiscoError::Source(format!("store: row {row} missing from `{collection}`"))
+                })
+            })
+            .collect()
+    }
+
+    /// Fetch one row by rid (pins its heap page: one hit or fault).
+    pub fn fetch(&self, collection: &str, rid: Rid) -> Result<Tuple> {
+        decode_tuple(&self.store.collection(collection)?.heap.get(rid)?)
+    }
+
+    /// Rids matching `attr op value` via the index, in key order.
+    /// `None` when the attribute has no index or the operator defeats
+    /// one (`Ne`) — same contract as the in-memory tree.
+    pub fn index_rids(
+        &self,
+        collection: &str,
+        attr: &str,
+        op: CompareOp,
+        value: &Value,
+    ) -> Result<Option<Vec<Rid>>> {
+        let c = self.store.collection(collection)?;
+        match c.indexes.get(attr) {
+            Some(tree) => tree.scan(op, value),
+            None => Ok(None),
+        }
+    }
+
+    /// Rids with exactly `value` under `attr`'s index; `None` without an
+    /// index.
+    pub fn lookup_rids(
+        &self,
+        collection: &str,
+        attr: &str,
+        value: &Value,
+    ) -> Result<Option<Vec<Rid>>> {
+        let c = self.store.collection(collection)?;
+        match c.indexes.get(attr) {
+            Some(tree) => tree.lookup(value).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Distinct keys in `attr`'s index, if one exists.
+    pub fn distinct_keys(&self, collection: &str, attr: &str) -> Result<Option<usize>> {
+        let c = self.store.collection(collection)?;
+        match c.indexes.get(attr) {
+            Some(tree) => tree.distinct_keys().map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_common::{AttributeDef, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("label", DataType::Str),
+        ])
+    }
+
+    fn store(n: i64, clustered: bool) -> DiskStore {
+        let mut b = DiskCollectionBuilder::new(schema())
+            .rows((0..n).map(|i| vec![Value::Long(i), Value::Str(format!("row-{i}"))]))
+            .object_size(56)
+            .index("id");
+        if clustered {
+            b = b.cluster_on("id");
+        }
+        DiskStoreBuilder::new("test-store")
+            .collection("T", b)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn scan_returns_insertion_order() {
+        let s = store(500, false);
+        let session = s.session();
+        let rows = session.scan("T").unwrap();
+        assert_eq!(rows.len(), 500);
+        for (i, t) in rows.iter().enumerate() {
+            assert_eq!(t.get(0), Some(&Value::Long(i as i64)));
+            assert_eq!(t.get(1), Some(&Value::Str(format!("row-{i}"))));
+        }
+    }
+
+    #[test]
+    fn layout_matches_simulated_formula() {
+        // 500 objects × 56 B on 4096 B pages at 96 % fill → 70/page → 8.
+        let s = store(500, false);
+        assert_eq!(s.pages_of("T").unwrap(), 8);
+    }
+
+    #[test]
+    fn cold_scan_faults_every_page_once() {
+        let s = store(500, false);
+        s.clear_cache().unwrap();
+        let session = s.session();
+        session.scan("T").unwrap();
+        let io = session.io();
+        assert_eq!(io.data_faults, 8);
+        // Second scan in the same (warm) session: all hits.
+        session.scan("T").unwrap();
+        assert_eq!(session.io().data_faults, 8);
+        assert!(session.io().hits >= 8);
+    }
+
+    #[test]
+    fn index_lookup_touches_one_data_page() {
+        let s = store(500, false);
+        s.clear_cache().unwrap();
+        let session = s.session();
+        let rids = session
+            .lookup_rids("T", "id", &Value::Long(123))
+            .unwrap()
+            .unwrap();
+        assert_eq!(rids.len(), 1);
+        let t = session.fetch("T", rids[0]).unwrap();
+        assert_eq!(t.get(1), Some(&Value::Str("row-123".into())));
+        assert_eq!(session.io().data_faults, 1);
+    }
+
+    #[test]
+    fn clustered_range_scan_touches_few_pages() {
+        let s = store(500, true);
+        s.clear_cache().unwrap();
+        let session = s.session();
+        // 70 consecutive ids live on 1–2 pages when clustered.
+        let rids = session
+            .index_rids("T", "id", CompareOp::Lt, &Value::Long(70))
+            .unwrap()
+            .unwrap();
+        assert_eq!(rids.len(), 70);
+        for rid in rids {
+            session.fetch("T", rid).unwrap();
+        }
+        assert!(session.io().data_faults <= 2, "{:?}", session.io());
+    }
+
+    #[test]
+    fn random_range_scan_touches_many_pages() {
+        let s = store(500, false);
+        s.clear_cache().unwrap();
+        let session = s.session();
+        let rids = session
+            .index_rids("T", "id", CompareOp::Lt, &Value::Long(70))
+            .unwrap()
+            .unwrap();
+        let mut distinct = std::collections::HashSet::new();
+        for rid in &rids {
+            distinct.insert(rid.page);
+        }
+        for rid in rids {
+            session.fetch("T", rid).unwrap();
+        }
+        // Uniform placement scatters 70 of 500 rows across most pages.
+        assert!(session.io().data_faults >= 6, "{:?}", session.io());
+        assert_eq!(session.io().data_faults, distinct.len() as u64);
+    }
+
+    #[test]
+    fn unknown_collection_and_unindexed_attr() {
+        let s = store(10, false);
+        let session = s.session();
+        assert!(session.scan("missing").is_err());
+        assert_eq!(
+            session
+                .index_rids("T", "label", CompareOp::Eq, &Value::Str("row-3".into()))
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn overflow_detected_when_rows_exceed_model() {
+        // object_size 4000 → 1 per page cap, but rows are tiny: fine.
+        // object_size 1 → 3932 per page cap, rows ~20 B: bytes overflow.
+        let r = DiskStoreBuilder::new("overflow")
+            .collection(
+                "T",
+                DiskCollectionBuilder::new(schema())
+                    .rows((0..5000i64).map(|i| vec![Value::Long(i), Value::Str("x".into())]))
+                    .object_size(1),
+            )
+            .build();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! The on-disk page file.
+//!
+//! A [`PageFile`] is a flat array of [`PAGE_SIZE`] pages over one
+//! `std::fs::File`. Writes seal the page checksum; reads verify it.
+//! Stores usually live in per-process temp files deleted on drop, but a
+//! file can also be created at (or reopened from) an explicit path.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use disco_common::{DiscoError, Result};
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Distinguishes temp files created by this process.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn io_err(op: &str, e: std::io::Error) -> DiscoError {
+    DiscoError::Source(format!("store: {op} failed: {e}"))
+}
+
+/// A paged file.
+#[derive(Debug)]
+pub struct PageFile {
+    file: File,
+    path: PathBuf,
+    pages: u64,
+    delete_on_drop: bool,
+}
+
+impl PageFile {
+    /// Create (truncate) a page file at an explicit path.
+    pub fn create(path: impl AsRef<Path>) -> Result<PageFile> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create", e))?;
+        Ok(PageFile {
+            file,
+            path,
+            pages: 0,
+            delete_on_drop: false,
+        })
+    }
+
+    /// Create a page file in the system temp directory, deleted when the
+    /// store is dropped. `tag` makes the name recognizable in listings.
+    pub fn create_temp(tag: &str) -> Result<PageFile> {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let clean: String = tag
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = std::env::temp_dir().join(format!(
+            "disco-store-{}-{n}-{clean}.pages",
+            std::process::id()
+        ));
+        let mut f = PageFile::create(&path)?;
+        f.delete_on_drop = true;
+        Ok(f)
+    }
+
+    /// Reopen an existing page file.
+    pub fn open(path: impl AsRef<Path>) -> Result<PageFile> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("open", e))?;
+        let len = file.metadata().map_err(|e| io_err("stat", e))?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(DiscoError::Source(format!(
+                "store: file length {len} is not a whole number of pages"
+            )));
+        }
+        Ok(PageFile {
+            file,
+            path,
+            pages: len / PAGE_SIZE as u64,
+            delete_on_drop: false,
+        })
+    }
+
+    /// File path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of allocated pages (some may not have reached disk yet —
+    /// the buffer pool owns dirty state).
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Allocate the next page id. No disk write happens here; the page
+    /// materializes on its first write-back.
+    pub fn allocate(&mut self) -> PageId {
+        let id = self.pages;
+        self.pages += 1;
+        id
+    }
+
+    /// Read and validate one page.
+    pub fn read_page(&mut self, id: PageId) -> Result<Page> {
+        if id >= self.pages {
+            return Err(DiscoError::Source(format!(
+                "store: read of unallocated page {id} (file has {})",
+                self.pages
+            )));
+        }
+        self.file
+            .seek(SeekFrom::Start(id * PAGE_SIZE as u64))
+            .map_err(|e| io_err("seek", e))?;
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        self.file
+            .read_exact(&mut buf[..])
+            .map_err(|e| io_err(&format!("read of page {id}"), e))?;
+        let page = Page::from_bytes(buf);
+        page.validate()?;
+        Ok(page)
+    }
+
+    /// Seal and write one page. Writing past the current end (sparse
+    /// regions from out-of-order eviction) is fine; the skipped range
+    /// reads back as zeroes only until its own write-back arrives, and
+    /// the pool never reads a page it has not flushed.
+    pub fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
+        if id >= self.pages {
+            return Err(DiscoError::Source(format!(
+                "store: write of unallocated page {id}"
+            )));
+        }
+        let mut sealed = page.clone();
+        sealed.seal();
+        self.file
+            .seek(SeekFrom::Start(id * PAGE_SIZE as u64))
+            .map_err(|e| io_err("seek", e))?;
+        self.file
+            .write_all(&sealed.bytes()[..])
+            .map_err(|e| io_err(&format!("write of page {id}"), e))?;
+        Ok(())
+    }
+
+    /// Flush file-system buffers.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| io_err("sync", e))
+    }
+}
+
+impl Drop for PageFile {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut f = PageFile::create_temp("roundtrip").unwrap();
+        let a = f.allocate();
+        let b = f.allocate();
+        let mut pa = Page::new(PageKind::Heap);
+        pa.insert(b"first page").unwrap();
+        let mut pb = Page::new(PageKind::BTreeLeaf);
+        pb.insert(b"second page").unwrap();
+        f.write_page(a, &pa).unwrap();
+        f.write_page(b, &pb).unwrap();
+        f.sync().unwrap();
+        let ra = f.read_page(a).unwrap();
+        assert_eq!(ra.record(0).unwrap(), b"first page");
+        assert_eq!(ra.kind(), Some(PageKind::Heap));
+        let rb = f.read_page(b).unwrap();
+        assert_eq!(rb.record(0).unwrap(), b"second page");
+    }
+
+    #[test]
+    fn unallocated_access_rejected() {
+        let mut f = PageFile::create_temp("bounds").unwrap();
+        assert!(f.read_page(0).is_err());
+        assert!(f.write_page(0, &Page::new(PageKind::Heap)).is_err());
+        let id = f.allocate();
+        assert!(f.write_page(id, &Page::new(PageKind::Heap)).is_ok());
+    }
+
+    #[test]
+    fn corruption_detected_on_read() {
+        let mut f = PageFile::create_temp("corrupt").unwrap();
+        let id = f.allocate();
+        let mut p = Page::new(PageKind::Heap);
+        p.insert(b"precious bytes").unwrap();
+        f.write_page(id, &p).unwrap();
+        // Flip a byte on disk behind the page file's back.
+        use std::io::{Seek, SeekFrom, Write};
+        f.file.seek(SeekFrom::Start(100)).unwrap();
+        f.file.write_all(&[0xAB]).unwrap();
+        let err = f.read_page(id).unwrap_err().to_string();
+        assert!(err.contains("checksum") || err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn temp_file_deleted_on_drop() {
+        let path;
+        {
+            let f = PageFile::create_temp("dropme").unwrap();
+            path = f.path().to_path_buf();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let dir = std::env::temp_dir().join(format!("disco-store-reopen-{}", std::process::id()));
+        let mut f = PageFile::create(&dir).unwrap();
+        let id = f.allocate();
+        let mut p = Page::new(PageKind::Heap);
+        p.insert(b"persisted").unwrap();
+        f.write_page(id, &p).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let mut again = PageFile::open(&dir).unwrap();
+        assert_eq!(again.pages(), 1);
+        assert_eq!(
+            again.read_page(id).unwrap().record(0).unwrap(),
+            b"persisted"
+        );
+        drop(again);
+        std::fs::remove_file(&dir).unwrap();
+    }
+}

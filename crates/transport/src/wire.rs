@@ -564,6 +564,9 @@ fn encode_collection_stats(s: &CollectionStats, w: &mut WireWriter) {
     w.put_u64(s.extent.count_object);
     w.put_u64(s.extent.total_size);
     w.put_u64(s.extent.object_size);
+    // 0 encodes "no measured page count": a non-empty extent never
+    // reports 0 pages, and an empty one derives 0 regardless.
+    w.put_u64(s.extent.count_page.unwrap_or(0));
     w.put_len(s.attributes.len());
     for (name, a) in &s.attributes {
         w.put_str(name);
@@ -586,6 +589,10 @@ fn decode_collection_stats(r: &mut WireReader<'_>) -> Result<CollectionStats> {
         count_object: r.get_u64()?,
         total_size: r.get_u64()?,
         object_size: r.get_u64()?,
+        count_page: match r.get_u64()? {
+            0 => None,
+            p => Some(p),
+        },
     };
     let mut stats = CollectionStats::new(extent);
     let n = r.get_len()?;
