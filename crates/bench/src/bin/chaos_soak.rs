@@ -44,6 +44,7 @@ fn main() {
         "deterministic",
         "digest",
         "conc mism",
+        "stream mism",
     ]);
     let mut json_rows = String::new();
     let mut failed: Vec<u64> = Vec::new();
@@ -52,13 +53,17 @@ fn main() {
         let rep = chaos::run_seed(seed, QUERIES_PER_SEED);
         let replay = chaos::run_seed(seed, QUERIES_PER_SEED);
         let conc = chaos::run_seed_concurrent(seed, QUERIES_PER_SEED, SESSIONS);
+        let stream = chaos::run_seed_streaming(seed, QUERIES_PER_SEED);
         let deterministic = rep == replay;
-        let ok = rep.passed() && deterministic && conc.passed();
+        let ok = rep.passed() && deterministic && conc.passed() && stream.passed();
         if !ok {
             failed.push(seed);
         }
         for m in rep.mismatches.iter().chain(&conc.mismatches) {
             eprintln!("seed {seed}: {m}");
+        }
+        for m in &stream.mismatches {
+            eprintln!("seed {seed} (streaming): {m}");
         }
         if !deterministic {
             eprintln!(
@@ -77,6 +82,7 @@ fn main() {
             deterministic.to_string(),
             rep.digest.clone(),
             conc.mismatches.len().to_string(),
+            stream.mismatches.len().to_string(),
         ]);
         if !json_rows.is_empty() {
             json_rows.push(',');
@@ -88,7 +94,9 @@ fn main() {
              \"mismatches\": {}, \"deterministic\": {deterministic}, \
              \"digest\": \"{}\", \"concurrent\": {{\"sessions\": {}, \
              \"queries\": {}, \"complete\": {}, \"partial\": {}, \
-             \"failovers\": {}, \"mismatches\": {}}}}}",
+             \"failovers\": {}, \"mismatches\": {}}}, \
+             \"streaming\": {{\"queries\": {}, \"complete\": {}, \
+             \"partial\": {}, \"failovers\": {}, \"mismatches\": {}}}}}",
             rep.queries,
             rep.complete,
             rep.partial,
@@ -102,6 +110,11 @@ fn main() {
             conc.partial,
             conc.failovers,
             conc.mismatches.len(),
+            stream.queries,
+            stream.complete,
+            stream.partial,
+            stream.failovers,
+            stream.mismatches.len(),
         )
         .expect("write json row");
     }
@@ -113,7 +126,9 @@ fn main() {
          is run twice and must produce identical transcripts, then soaked \
          again with {SESSIONS} concurrent sessions through one shared \
          mediator (per-answer oracle check; transcripts are \
-         interleaving-dependent there)."
+         interleaving-dependent there), and once more with the pipelined \
+         streaming engine executing every query against the same two-phase \
+         oracle."
     );
 
     let pass = failed.is_empty();

@@ -104,9 +104,15 @@ fn chaos_policy() -> ResiliencePolicy {
 }
 
 /// Build the five-wrapper federation; `faults` supplies each endpoint's
-/// schedule and `empty` names collections registered with zero rows
-/// (used by the oracle to mirror a degraded answer).
-fn federation<F: Fn(&str) -> FaultPlan>(faults: F, empty: &BTreeSet<String>) -> Mediator {
+/// schedule, `empty` names collections registered with zero rows (used
+/// by the oracle to mirror a degraded answer), and `streaming` runs
+/// queries through the pipelined engine (small chunks, to exercise the
+/// frame loop; the oracle always stays two-phase).
+fn federation<F: Fn(&str) -> FaultPlan>(
+    faults: F,
+    empty: &BTreeSet<String>,
+    streaming: bool,
+) -> Mediator {
     let mut t = ChannelTransport::new();
     for (endpoint, collection) in ENDPOINTS {
         let mut s = PagedStore::new(*endpoint, CostProfile::relational());
@@ -136,6 +142,8 @@ fn federation<F: Fn(&str) -> FaultPlan>(faults: F, empty: &BTreeSet<String>) -> 
         parallel_submits: false,
         partial_answers: true,
         resilience: chaos_policy(),
+        streaming,
+        streaming_chunk_rows: 16,
         ..MediatorOptions::default()
     });
     m.connect(client).expect("all wrappers register");
@@ -210,7 +218,18 @@ impl SeedReport {
 /// Soak one seed: run `queries` federated queries under the seed's
 /// fault schedules, checking every answer against its oracle.
 pub fn run_seed(seed: u64, queries: usize) -> SeedReport {
-    let mut m = federation(|e| fault_schedule(seed, e), &BTreeSet::new());
+    run_seed_with(seed, queries, false)
+}
+
+/// [`run_seed`] with the pipelined streaming engine executing every
+/// chaos query (the oracle stays two-phase and fault-free): streamed
+/// answers must degrade exactly like two-phase ones under faults.
+pub fn run_seed_streaming(seed: u64, queries: usize) -> SeedReport {
+    run_seed_with(seed, queries, true)
+}
+
+fn run_seed_with(seed: u64, queries: usize, streaming: bool) -> SeedReport {
+    let mut m = federation(|e| fault_schedule(seed, e), &BTreeSet::new(), streaming);
     let mut oracles: BTreeMap<(usize, BTreeSet<String>), String> = BTreeMap::new();
     let mut report = SeedReport {
         seed,
@@ -247,7 +266,7 @@ pub fn run_seed(seed: u64, queries: usize) -> SeedReport {
             .collect();
         let got = answer_key(&r);
         let want = oracles.entry((idx, missing.clone())).or_insert_with(|| {
-            let mut oracle = federation(|_| FaultPlan::none(), &missing);
+            let mut oracle = federation(|_| FaultPlan::none(), &missing, false);
             let o = oracle.query(sql).expect("oracle query succeeds");
             assert!(!o.is_partial(), "oracle must never degrade");
             answer_key(&o)
@@ -314,7 +333,7 @@ fn oracle_digest(
     if let Some(want) = oracles.lock().expect("oracle memo lock").get(&key) {
         return want.clone();
     }
-    let mut oracle = federation(|_| FaultPlan::none(), missing);
+    let mut oracle = federation(|_| FaultPlan::none(), missing, false);
     let o = oracle.query(QUERIES[idx]).expect("oracle query succeeds");
     assert!(!o.is_partial(), "oracle must never degrade");
     let want = answer_key(&o);
@@ -340,7 +359,11 @@ pub fn run_seed_concurrent(
     queries_per_session: usize,
     sessions: usize,
 ) -> ConcurrentReport {
-    let shared = SharedMediator::new(federation(|e| fault_schedule(seed, e), &BTreeSet::new()));
+    let shared = SharedMediator::new(federation(
+        |e| fault_schedule(seed, e),
+        &BTreeSet::new(),
+        false,
+    ));
     let oracles: Mutex<BTreeMap<(usize, BTreeSet<String>), String>> = Mutex::new(BTreeMap::new());
     let mut report = ConcurrentReport {
         seed,

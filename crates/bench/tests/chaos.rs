@@ -19,6 +19,25 @@ fn chaotic_answers_match_the_fault_free_oracle() {
 }
 
 #[test]
+fn streaming_chaotic_answers_match_the_fault_free_oracle() {
+    for seed in [1u64, 2] {
+        let rep = chaos::run_seed_streaming(seed, 24);
+        assert!(
+            rep.passed(),
+            "seed {seed} (streaming) diverged from the oracle: {:#?}",
+            rep.mismatches
+        );
+        assert_eq!(rep.complete + rep.partial, 24);
+        // The streamed run degrades exactly like the two-phase run: same
+        // per-query completeness, same failovers.
+        let two_phase = chaos::run_seed(seed, 24);
+        assert_eq!(rep.complete, two_phase.complete, "seed {seed}");
+        assert_eq!(rep.partial, two_phase.partial, "seed {seed}");
+        assert_eq!(rep.failovers, two_phase.failovers, "seed {seed}");
+    }
+}
+
+#[test]
 fn same_seed_produces_identical_transcripts() {
     let a = chaos::run_seed(7, 18);
     let b = chaos::run_seed(7, 18);

@@ -136,12 +136,14 @@ mod tests {
             elapsed_ms: 25.0,
             failed: false,
             pages: None,
+            first_row_ms: None,
             children: vec![MeasuredNode {
                 operator: "scan a".into(),
                 rows: 100,
                 elapsed_ms: 9.0,
                 failed: false,
                 pages: None,
+                first_row_ms: None,
                 children: Vec::new(),
             }],
         };
@@ -175,6 +177,7 @@ mod tests {
             elapsed_ms: 28.0,
             failed: false,
             pages: Some(12),
+            first_row_ms: Some(2.0),
             children: Vec::new(),
         };
         let mut a = AnalyzeNode::zip(&predicted, &measured);
@@ -186,6 +189,10 @@ mod tests {
         assert!((e - 0.25).abs() < 1e-12, "{e}");
         assert!(a.render().contains("page io:"), "{}", a.render());
         assert!(a.render().contains("measured=12"), "{}", a.render());
+        // TimeFirst 1.0 predicted vs 2.0 measured: −50%.
+        assert_eq!(a.first_row_error(), Some(-0.5));
+        assert!(a.render().contains("time to first:"), "{}", a.render());
+        assert!(a.render().contains("measured=2.0ms"), "{}", a.render());
         assert_eq!(a.children.len(), 1);
         let wrapper_side = &a.children[0];
         assert!(wrapper_side.measured.is_none());
@@ -215,6 +222,11 @@ pub struct MeasuredNode {
     /// only — the wrapper reports its engine's fault count; combine-phase
     /// operators perform no page I/O and carry `None`).
     pub pages: Option<u64>,
+    /// Measured time-to-first-row in simulated milliseconds (`submit`
+    /// nodes only: the wrapper's `TimeFirst` plus the communication time
+    /// of whatever carried the first row — the whole reply in two-phase
+    /// mode, the first stream frame in pipelined mode).
+    pub first_row_ms: Option<f64>,
     pub children: Vec<MeasuredNode>,
 }
 
@@ -227,6 +239,9 @@ pub struct Measured {
     /// Measured page reads, when the node is a `submit` whose source
     /// reported them.
     pub pages: Option<u64>,
+    /// Measured time-to-first-row, when the node is a `submit` (see
+    /// [`MeasuredNode::first_row_ms`]).
+    pub first_row_ms: Option<f64>,
 }
 
 /// One node of an EXPLAIN ANALYZE report: the predicted cost and its
@@ -288,6 +303,7 @@ impl AnalyzeNode {
                 elapsed_ms: measured.elapsed_ms,
                 failed: measured.failed,
                 pages: measured.pages,
+                first_row_ms: measured.first_row_ms,
             }),
             children,
         }
@@ -341,6 +357,14 @@ impl AnalyzeNode {
         let predicted = self.predicted_pages?;
         let measured = self.measured.as_ref()?.pages?;
         relative_error(predicted, measured as f64)
+    }
+
+    /// Relative time-to-first-row error (predicted `TimeFirst` vs the
+    /// measured first-row time). `None` unless the node measured one
+    /// (`submit` nodes).
+    pub fn first_row_error(&self) -> Option<f64> {
+        let measured = self.measured.as_ref()?.first_row_ms?;
+        relative_error(self.predicted.time_first, measured)
     }
 
     /// Every node of the tree, preorder.
@@ -400,6 +424,14 @@ impl AnalyzeNode {
                         out,
                         "{pad}  page io:   predicted={predicted}  measured={measured}  error={}",
                         fmt(self.pages_error()),
+                    );
+                }
+                if let Some(first) = m.first_row_ms {
+                    let _ = writeln!(
+                        out,
+                        "{pad}  time to first: predicted={:.1}ms  measured={first:.1}ms  error={}",
+                        self.predicted.time_first,
+                        fmt(self.first_row_error()),
                     );
                 }
             }

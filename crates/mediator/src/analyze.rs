@@ -53,6 +53,8 @@ pub struct AnalyzedQuery {
     pub distinct: bool,
     /// Order-by over *output* column names.
     pub order_by: Vec<(String, bool)>,
+    /// `LIMIT n` cap on the answer, if written.
+    pub limit: Option<u64>,
     /// Raw columns needed from each table (projection pushdown).
     pub needed: Vec<Vec<String>>,
     /// Join-graph adjacency as bitsets: bit `j` of `adjacency[i]` is set
@@ -319,6 +321,7 @@ pub fn analyze(query: &Query, catalog: &Catalog) -> Result<AnalyzedQuery> {
         aggs,
         distinct: query.distinct,
         order_by,
+        limit: query.limit,
         needed,
         adjacency,
     })

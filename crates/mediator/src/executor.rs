@@ -27,7 +27,9 @@
 //! the affected collections are reported in
 //! [`ExecutionTrace::missing`] — a degraded result, not an error.
 
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
@@ -35,8 +37,11 @@ use disco_algebra::{LogicalPlan, PhysicalJoinAlgo, PhysicalPlan};
 use disco_common::{Batch, DiscoError, QualifiedName, Result, Schema, Tuple};
 use disco_core::{MeasuredNode, NodeCost, RuleRegistry};
 use disco_sources::vexec;
+use disco_sources::vstream::{self, BatchStream};
 use disco_sources::{BatchAnswer, ExecStats, VirtualClock};
-use disco_transport::{HedgeTarget, ResiliencePolicy, SubmitOptions, TransportClient};
+use disco_transport::{
+    HedgeTarget, ResiliencePolicy, SubmitOptions, SubmitStream, TransportClient,
+};
 use disco_wrapper::Wrapper;
 
 /// Record of one submitted subquery.
@@ -62,6 +67,12 @@ pub struct SubmitTrace {
     pub served_by: String,
     /// Straggler-triggered hedges this submit launched.
     pub hedges: u32,
+    /// Measured time-to-first-row (ms, simulated): the wrapper's
+    /// `TimeFirst` plus the communication time of whatever carried the
+    /// first row — the whole reply in two-phase mode, the first stream
+    /// frame in pipelined mode. `0` when the submit failed or its stream
+    /// was abandoned before its end-of-stream stats arrived.
+    pub first_ms: f64,
 }
 
 /// The cost model's prediction for one submit site, aligned with the
@@ -102,7 +113,14 @@ pub struct ExecutionTrace {
     pub hedges: u32,
     /// The query-level time budget ran out before every submit was
     /// issued; skipped submits appear in [`missing`](Self::missing).
+    /// Under streaming execution a budget that expires mid-stream
+    /// truncates the affected streams instead: the rows already
+    /// delivered stay in the answer and the submit trace records them.
     pub budget_exhausted: bool,
+    /// Wall-clock ms until the first non-empty root chunk was produced
+    /// (streaming execution only; `None` in two-phase mode, where the
+    /// first row is only available with the last).
+    pub first_row_wall_ms: Option<f64>,
 }
 
 impl ExecutionTrace {
@@ -491,7 +509,7 @@ impl<'a> Executor<'a> {
         fetched: &mut std::vec::IntoIter<Fetched>,
     ) -> Result<(Schema, Batch, MeasuredNode)> {
         let before = clock.now() + trace.wrapper_ms + trace.communication_ms;
-        let (schema, batch, operator, failed, pages, children) =
+        let (schema, batch, operator, failed, pages, first_row_ms, children) =
             self.run_node(plan, clock, trace, fetched)?;
         let elapsed_ms = clock.now() + trace.wrapper_ms + trace.communication_ms - before;
         let node = MeasuredNode {
@@ -500,6 +518,7 @@ impl<'a> Executor<'a> {
             elapsed_ms,
             failed,
             pages,
+            first_row_ms,
             children,
         };
         Ok((schema, batch, node))
@@ -515,7 +534,15 @@ impl<'a> Executor<'a> {
         clock: &mut VirtualClock,
         trace: &mut ExecutionTrace,
         fetched: &mut std::vec::IntoIter<Fetched>,
-    ) -> Result<(Schema, Batch, String, bool, Option<u64>, Vec<MeasuredNode>)> {
+    ) -> Result<(
+        Schema,
+        Batch,
+        String,
+        bool,
+        Option<u64>,
+        Option<f64>,
+        Vec<MeasuredNode>,
+    )> {
         let cpu_pred = self.param("CpuPred", 0.05);
         let cpu_hash = self.param("CpuHash", 0.02);
         match plan {
@@ -543,6 +570,9 @@ impl<'a> Executor<'a> {
                         }
                         let bytes = f.answer.batch.byte_width();
                         let pages = Some(f.answer.stats.pages_read);
+                        // Two-phase: nothing arrives before the whole
+                        // reply, so first-row time pays the full comm.
+                        let first_ms = f.answer.stats.time_first_ms + f.comm_ms;
                         trace.wrapper_ms += f.answer.stats.elapsed_ms;
                         trace.communication_ms += f.comm_ms;
                         trace.hedges += f.hedges;
@@ -558,6 +588,7 @@ impl<'a> Executor<'a> {
                             failed: false,
                             served_by: f.served_by,
                             hedges: f.hedges,
+                            first_ms,
                         });
                         Ok((
                             f.answer.schema,
@@ -565,6 +596,7 @@ impl<'a> Executor<'a> {
                             operator,
                             false,
                             pages,
+                            Some(first_ms),
                             vec![],
                         ))
                     }
@@ -587,12 +619,14 @@ impl<'a> Executor<'a> {
                             failed: true,
                             served_by: String::new(),
                             hedges: 0,
+                            first_ms: 0.0,
                         });
                         Ok((
                             expected_schema.clone(),
                             Batch::empty(expected_schema.arity()),
                             operator,
                             true,
+                            None,
                             None,
                             vec![],
                         ))
@@ -604,20 +638,28 @@ impl<'a> Executor<'a> {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * predicate.conjuncts.len() as f64 * cpu_pred);
                 let out = vexec::filter(&schema, &batch, predicate)?;
-                Ok((schema, out, "filter".into(), false, None, vec![child]))
+                Ok((schema, out, "filter".into(), false, None, None, vec![child]))
             }
             PhysicalPlan::Project { input, columns } => {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * cpu_hash);
                 let (out_schema, out) = vexec::project(&schema, &batch, columns)?;
-                Ok((out_schema, out, "project".into(), false, None, vec![child]))
+                Ok((
+                    out_schema,
+                    out,
+                    "project".into(),
+                    false,
+                    None,
+                    None,
+                    vec![child],
+                ))
             }
             PhysicalPlan::Sort { input, keys } => {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 let n = batch.len() as f64;
                 clock.charge(self.param("SortFactor", 0.02) * n * n.max(2.0).log2());
                 let out = vexec::sort(&schema, &batch, keys)?;
-                Ok((schema, out, "sort".into(), false, None, vec![child]))
+                Ok((schema, out, "sort".into(), false, None, None, vec![child]))
             }
             PhysicalPlan::Join {
                 algo,
@@ -650,7 +692,7 @@ impl<'a> Executor<'a> {
                     }
                 };
                 let operator = format!("join ({algo:?})").to_lowercase();
-                Ok((out_schema, out, operator, false, None, vec![lc, rc]))
+                Ok((out_schema, out, operator, false, None, None, vec![lc, rc]))
             }
             PhysicalPlan::Union { left, right } => {
                 let (ls, lb, lc) = self.run(left, clock, trace, fetched)?;
@@ -660,13 +702,13 @@ impl<'a> Executor<'a> {
                 }
                 clock.charge(rb.len() as f64 * cpu_hash);
                 let out = vexec::union(&lb, &rb)?;
-                Ok((ls, out, "union".into(), false, None, vec![lc, rc]))
+                Ok((ls, out, "union".into(), false, None, None, vec![lc, rc]))
             }
             PhysicalPlan::Dedup { input } => {
                 let (schema, batch, child) = self.run(input, clock, trace, fetched)?;
                 clock.charge(batch.len() as f64 * cpu_hash);
                 let out = vexec::dedup(&batch);
-                Ok((schema, out, "dedup".into(), false, None, vec![child]))
+                Ok((schema, out, "dedup".into(), false, None, None, vec![child]))
             }
             PhysicalPlan::Aggregate {
                 input,
@@ -682,6 +724,532 @@ impl<'a> Executor<'a> {
                     out,
                     "aggregate".into(),
                     false,
+                    None,
+                    None,
+                    vec![child],
+                ))
+            }
+        }
+    }
+
+    /// Execute a plan with pipelined streaming: wrappers stream their
+    /// subanswers in bounded chunks which flow straight through
+    /// pull-based combine operators ([`disco_sources::vstream`]), so the
+    /// first rows of the answer materialize before the slowest wrapper
+    /// finishes (the runtime counterpart of the cost model's
+    /// `TimeFirst`). Chunk reassembly is byte-identical to
+    /// [`execute`](Self::execute) and virtual-clock charges use the same
+    /// per-tuple formulas, summed per chunk.
+    ///
+    /// `limit` caps the answer and stops pulling once satisfied — the
+    /// early-stop that rewards `TimeFirst`-optimal plans. A query budget
+    /// that expires mid-stream truncates the affected streams, keeping
+    /// the rows already delivered (see
+    /// [`ExecutionTrace::budget_exhausted`]).
+    pub fn execute_streaming(
+        &self,
+        plan: &PhysicalPlan,
+        chunk_rows: u32,
+        limit: Option<u64>,
+    ) -> Result<(Schema, Vec<Tuple>, ExecutionTrace)> {
+        let mut trace = ExecutionTrace::default();
+        let mut sites = Vec::new();
+        collect_submits(plan, &mut sites);
+        let started = Instant::now();
+        let budget_deadline = self
+            .resilience
+            .as_ref()
+            .and_then(|p| p.query_budget_ms)
+            .filter(|ms| ms.is_finite() && *ms >= 0.0)
+            .map(|ms| started + Duration::from_micros((ms * 1e3) as u64));
+        let opened = self.open_all(&sites, budget_deadline, chunk_rows);
+        trace.concurrent =
+            self.parallel && sites.len() > 1 && matches!(self.backend, Backend::Remote(_));
+
+        let ctx = StreamCtx {
+            clock: Rc::new(RefCell::new(VirtualClock::new())),
+            site_states: RefCell::new(Vec::new()),
+            budget_deadline,
+            chunk_rows: chunk_rows.max(1) as usize,
+            cpu_pred: self.param("CpuPred", 0.05),
+            cpu_hash: self.param("CpuHash", 0.02),
+            sort_factor: self.param("SortFactor", 0.02),
+        };
+        let mut opened = opened.into_iter();
+        let (root, tally) = self.build_stream_node(plan, &mut opened, &ctx)?;
+        let mut root: Box<dyn BatchStream> = match limit {
+            Some(n) => Box::new(vstream::LimitStream::new(root, n)),
+            None => root,
+        };
+        let schema = root.schema().clone();
+        let mut chunks: Vec<Batch> = Vec::new();
+        while let Some(b) = root.next_batch()? {
+            if trace.first_row_wall_ms.is_none() && !b.is_empty() {
+                trace.first_row_wall_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+            }
+            chunks.push(b);
+        }
+        // Dropping the tree abandons any undrained streams, releasing
+        // their transport workers (the LIMIT early-stop).
+        drop(root);
+        trace.submit_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        trace.mediator_ms = ctx.clock.borrow().now();
+
+        let states = ctx.site_states.borrow();
+        for (site, state) in sites.iter().zip(states.iter()) {
+            let st = state.borrow();
+            if st.failed {
+                trace
+                    .missing
+                    .extend(site.plan.collections().into_iter().cloned());
+            }
+            trace.budget_exhausted |= st.budget_skipped;
+            trace.wrapper_ms += st.stats.elapsed_ms;
+            trace.communication_ms += st.comm_ms;
+            trace.hedges += st.hedges;
+            trace.submits.push(SubmitTrace {
+                wrapper: site.wrapper.to_string(),
+                plan: site.plan.clone(),
+                stats: st.stats,
+                tuples: st.tuples,
+                bytes: st.bytes,
+                comm_ms: st.comm_ms,
+                wall_ms: st.wall_ms,
+                attempts: st.attempts,
+                failed: st.failed,
+                served_by: st.served_by.clone(),
+                hedges: st.hedges,
+                first_ms: st.first_ms.unwrap_or(0.0),
+            });
+        }
+        drop(states);
+        if trace.budget_exhausted && disco_obs::enabled() {
+            disco_obs::counter(disco_obs::names::BUDGET_EXHAUSTED, &[]).inc();
+        }
+        trace.measured = Some(measured_from_tally(&tally).0);
+        trace.missing.sort();
+        trace.missing.dedup();
+        let batch = if chunks.is_empty() {
+            Batch::empty(schema.arity())
+        } else {
+            let refs: Vec<&Batch> = chunks.iter().collect();
+            Batch::concat(&refs)?
+        };
+        Ok((schema, batch.to_tuples(), trace))
+    }
+
+    /// Open every submit site's stream, in site order — the streaming
+    /// counterpart of [`fetch_all`](Self::fetch_all): the same fan-out
+    /// and budget rules, but each site returns a live stream (with its
+    /// first chunk) instead of a complete answer.
+    fn open_all(
+        &self,
+        sites: &[SubmitSite<'_>],
+        budget_deadline: Option<Instant>,
+        chunk_rows: u32,
+    ) -> Vec<OpenedSite> {
+        let hedge_budget = AtomicU32::new(
+            self.resilience
+                .as_ref()
+                .map_or(0, |p| p.max_hedges_per_query),
+        );
+        if self.parallel && sites.len() > 1 {
+            match self.backend {
+                Backend::Local(wrappers) => {
+                    let msg = self.param("MsgLatency", 100.0);
+                    let byte = self.param("PerByte", 0.001);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = sites
+                            .iter()
+                            .map(|site| s.spawn(move || open_local(wrappers, site, msg, byte)))
+                            .collect();
+                        handles.into_iter().map(join_open).collect()
+                    })
+                }
+                Backend::Remote(client) => std::thread::scope(|s| {
+                    let hedge_budget = &hedge_budget;
+                    let handles: Vec<_> = sites
+                        .iter()
+                        .enumerate()
+                        .map(|(i, site)| {
+                            s.spawn(move || {
+                                self.open_remote_site(
+                                    client,
+                                    site,
+                                    i,
+                                    hedge_budget,
+                                    budget_deadline,
+                                    chunk_rows,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(join_open).collect()
+                }),
+            }
+        } else {
+            sites
+                .iter()
+                .enumerate()
+                .map(|(i, site)| match self.backend {
+                    Backend::Local(wrappers) => open_local(
+                        wrappers,
+                        site,
+                        self.param("MsgLatency", 100.0),
+                        self.param("PerByte", 0.001),
+                    ),
+                    Backend::Remote(client) => self.open_remote_site(
+                        client,
+                        site,
+                        i,
+                        &hedge_budget,
+                        budget_deadline,
+                        chunk_rows,
+                    ),
+                })
+                .collect()
+        }
+    }
+
+    /// Open one site's stream over the transport, mirroring
+    /// [`fetch_remote_site`](Self::fetch_remote_site): the same budget
+    /// pre-check, predicted deadlines and hedged replica targets — but
+    /// racing replicas to the *first chunk* instead of the full answer.
+    fn open_remote_site(
+        &self,
+        client: &TransportClient,
+        site: &SubmitSite<'_>,
+        index: usize,
+        hedge_budget: &AtomicU32,
+        budget_deadline: Option<Instant>,
+        chunk_rows: u32,
+    ) -> OpenedSite {
+        let Some(policy) = &self.resilience else {
+            let outcome = client
+                .submit_stream_opts(
+                    site.wrapper,
+                    site.plan,
+                    &SubmitOptions::default(),
+                    chunk_rows,
+                )
+                .and_then(|s| open_source(s, site.wrapper.to_string(), 0));
+            return OpenedSite {
+                outcome,
+                budget_skipped: false,
+            };
+        };
+
+        let remaining_ms = budget_deadline.map(|d| {
+            let now = Instant::now();
+            if now >= d {
+                0.0
+            } else {
+                (d - now).as_secs_f64() * 1e3
+            }
+        });
+        if remaining_ms.is_some_and(|ms| ms < 1.0) {
+            return OpenedSite {
+                outcome: Err(DiscoError::Timeout(format!(
+                    "query budget exhausted before submit to `{}`",
+                    site.wrapper
+                ))),
+                budget_skipped: true,
+            };
+        }
+
+        let prediction = self.predictions.get(index).copied().flatten();
+        let total = prediction.map(|p| p.total_ms);
+        let mut opts = SubmitOptions {
+            deadline_ms: policy.wall_deadline_ms(total),
+            sim_deadline_ms: policy.sim_deadline_ms(total),
+            predicted_total_ms: total,
+        };
+        if let Some(rem) = remaining_ms {
+            let cap = rem.ceil().max(1.0) as u64;
+            opts.deadline_ms = Some(opts.deadline_ms.map_or(cap, |d| d.min(cap)));
+        }
+
+        let mut targets = vec![HedgeTarget {
+            endpoint: site.wrapper.to_string(),
+            plan: site.plan.clone(),
+            opts,
+        }];
+        if policy.hedge {
+            if let Some(peers) = self.replicas.get(site.wrapper) {
+                for peer in peers {
+                    targets.push(HedgeTarget {
+                        endpoint: peer.clone(),
+                        plan: site.plan.retargeted(peer),
+                        opts,
+                    });
+                }
+            }
+        }
+        let wait = policy
+            .straggler_wait_ms(prediction.map(|p| p.first_ms))
+            .map(Duration::from_millis);
+        let allowance = hedge_budget.load(Ordering::Relaxed);
+
+        let outcome = client
+            .submit_stream_hedged(&targets, wait, allowance, chunk_rows)
+            .and_then(|h| {
+                if h.hedges > 0 {
+                    let _ = hedge_budget.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(h.hedges))
+                    });
+                }
+                open_source(h.stream, targets[h.winner].endpoint.clone(), h.hedges)
+            });
+        OpenedSite {
+            outcome,
+            budget_skipped: false,
+        }
+    }
+
+    /// One node of the streaming tree: builds the operator stream and
+    /// its charge/row tally, consuming opened sources at submit sites in
+    /// the same depth-first order as the two-phase combine.
+    fn build_stream_node(
+        &self,
+        plan: &PhysicalPlan,
+        opened: &mut std::vec::IntoIter<OpenedSite>,
+        ctx: &StreamCtx,
+    ) -> Result<(Box<dyn BatchStream>, TallyNode)> {
+        match plan {
+            PhysicalPlan::SubmitRemote {
+                wrapper,
+                plan: _,
+                schema: expected_schema,
+            } => {
+                let operator = format!("submit {wrapper}");
+                let next = opened
+                    .next()
+                    .ok_or_else(|| DiscoError::Exec("submit site without a fetch".into()))?;
+                let budget_skipped = next.budget_skipped;
+                let state = Rc::new(RefCell::new(SiteState::default()));
+                let (schema, mode) = match next.outcome {
+                    Ok(OpenedSource::Stream {
+                        stream,
+                        first,
+                        schema,
+                        served_by,
+                        hedges,
+                    }) => {
+                        if schema.arity() != expected_schema.arity() {
+                            return Err(DiscoError::Exec(format!(
+                                "wrapper `{wrapper}` returned {} columns, plan expected {}",
+                                schema.arity(),
+                                expected_schema.arity()
+                            )));
+                        }
+                        {
+                            let mut st = state.borrow_mut();
+                            st.attempts = stream.attempts();
+                            st.wall_ms = stream.wall_first_ms();
+                            st.comm_ms = stream.comm_ms();
+                            st.served_by = served_by;
+                            st.hedges = hedges;
+                        }
+                        (
+                            schema,
+                            SiteMode::Remote {
+                                stream,
+                                pending: Some(first),
+                                done: false,
+                            },
+                        )
+                    }
+                    Ok(OpenedSource::Whole {
+                        answer,
+                        comm_ms,
+                        wall_ms,
+                        attempts,
+                        served_by,
+                    }) => {
+                        if answer.schema.arity() != expected_schema.arity() {
+                            return Err(DiscoError::Exec(format!(
+                                "wrapper `{wrapper}` returned {} columns, plan expected {}",
+                                answer.schema.arity(),
+                                expected_schema.arity()
+                            )));
+                        }
+                        {
+                            let mut st = state.borrow_mut();
+                            st.stats = answer.stats;
+                            st.pages = Some(answer.stats.pages_read);
+                            st.bytes = answer.batch.byte_width();
+                            st.comm_ms = comm_ms;
+                            st.wall_ms = wall_ms;
+                            st.attempts = attempts;
+                            st.served_by = served_by;
+                            st.first_ms = Some(answer.stats.time_first_ms + comm_ms);
+                        }
+                        let schema = answer.schema.clone();
+                        let source =
+                            vstream::BatchSource::new(answer.schema, answer.batch, ctx.chunk_rows);
+                        (schema, SiteMode::Whole { source })
+                    }
+                    Err(e) if (self.partial_answers && e.is_transient()) || budget_skipped => {
+                        {
+                            let mut st = state.borrow_mut();
+                            st.failed = true;
+                            st.budget_skipped = budget_skipped;
+                        }
+                        (expected_schema.clone(), SiteMode::Empty { served: false })
+                    }
+                    Err(e) => return Err(e),
+                };
+                ctx.site_states.borrow_mut().push(Rc::clone(&state));
+                let stream = SiteStream {
+                    schema,
+                    state: Rc::clone(&state),
+                    mode,
+                    budget_deadline: ctx.budget_deadline,
+                    partial: self.partial_answers,
+                };
+                Ok(counted(
+                    Box::new(stream),
+                    operator,
+                    Rc::new(Cell::new(0.0)),
+                    Some(state),
+                    vec![],
+                ))
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let (input, child) = self.build_stream_node(input, opened, ctx)?;
+                let charge = Rc::new(Cell::new(0.0));
+                let s = vstream::FilterStream::new(
+                    input,
+                    predicate.clone(),
+                    meter_for(&ctx.clock, &charge),
+                    predicate.conjuncts.len() as f64 * ctx.cpu_pred,
+                );
+                Ok(counted(
+                    Box::new(s),
+                    "filter".into(),
+                    charge,
+                    None,
+                    vec![child],
+                ))
+            }
+            PhysicalPlan::Project { input, columns } => {
+                let (input, child) = self.build_stream_node(input, opened, ctx)?;
+                let charge = Rc::new(Cell::new(0.0));
+                let s = vstream::ProjectStream::new(
+                    input,
+                    columns.clone(),
+                    meter_for(&ctx.clock, &charge),
+                    ctx.cpu_hash,
+                )?;
+                Ok(counted(
+                    Box::new(s),
+                    "project".into(),
+                    charge,
+                    None,
+                    vec![child],
+                ))
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let (input, child) = self.build_stream_node(input, opened, ctx)?;
+                let charge = Rc::new(Cell::new(0.0));
+                let s = vstream::SortStream::new(
+                    input,
+                    keys.clone(),
+                    meter_for(&ctx.clock, &charge),
+                    ctx.sort_factor,
+                );
+                Ok(counted(
+                    Box::new(s),
+                    "sort".into(),
+                    charge,
+                    None,
+                    vec![child],
+                ))
+            }
+            PhysicalPlan::Join {
+                algo,
+                left,
+                right,
+                predicate,
+            } => {
+                let (l, lc) = self.build_stream_node(left, opened, ctx)?;
+                let (r, rc) = self.build_stream_node(right, opened, ctx)?;
+                let charge = Rc::new(Cell::new(0.0));
+                let meter = meter_for(&ctx.clock, &charge);
+                let s: Box<dyn BatchStream> = match algo {
+                    PhysicalJoinAlgo::Hash => Box::new(vstream::HashJoinStream::new(
+                        l,
+                        r,
+                        predicate.clone(),
+                        meter,
+                        ctx.cpu_hash,
+                    )),
+                    PhysicalJoinAlgo::SortMerge => Box::new(vstream::SortMergeStream::new(
+                        l,
+                        r,
+                        predicate.clone(),
+                        meter,
+                        ctx.sort_factor,
+                        ctx.cpu_pred,
+                    )),
+                    PhysicalJoinAlgo::NestedLoop => Box::new(vstream::NestedLoopStream::new(
+                        l,
+                        r,
+                        predicate.clone(),
+                        meter,
+                        ctx.cpu_pred,
+                    )),
+                };
+                let operator = format!("join ({algo:?})").to_lowercase();
+                Ok(counted(s, operator, charge, None, vec![lc, rc]))
+            }
+            PhysicalPlan::Union { left, right } => {
+                let (l, lc) = self.build_stream_node(left, opened, ctx)?;
+                let (r, rc) = self.build_stream_node(right, opened, ctx)?;
+                let charge = Rc::new(Cell::new(0.0));
+                let s =
+                    vstream::UnionStream::new(l, r, meter_for(&ctx.clock, &charge), ctx.cpu_hash)?;
+                Ok(counted(
+                    Box::new(s),
+                    "union".into(),
+                    charge,
+                    None,
+                    vec![lc, rc],
+                ))
+            }
+            PhysicalPlan::Dedup { input } => {
+                let (input, child) = self.build_stream_node(input, opened, ctx)?;
+                let charge = Rc::new(Cell::new(0.0));
+                let s =
+                    vstream::DedupStream::new(input, meter_for(&ctx.clock, &charge), ctx.cpu_hash);
+                Ok(counted(
+                    Box::new(s),
+                    "dedup".into(),
+                    charge,
+                    None,
+                    vec![child],
+                ))
+            }
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let (input, child) = self.build_stream_node(input, opened, ctx)?;
+                let out_schema = to_agg_schema(input.schema(), group_by, aggs)?;
+                let charge = Rc::new(Cell::new(0.0));
+                let s = vstream::AggregateStream::new(
+                    input,
+                    group_by.clone(),
+                    aggs.clone(),
+                    out_schema,
+                    meter_for(&ctx.clock, &charge),
+                    ctx.cpu_hash,
+                );
+                Ok(counted(
+                    Box::new(s),
+                    "aggregate".into(),
+                    charge,
                     None,
                     vec![child],
                 ))
@@ -802,6 +1370,320 @@ fn to_agg_schema(
         attrs.push(AttributeDef::new(a.name.clone(), ty));
     }
     Ok(Schema::new(attrs))
+}
+
+// ---- streaming (pipelined) execution support ----
+
+/// Shared context for building one streaming operator tree.
+struct StreamCtx {
+    /// The mediator's virtual clock, shared by every operator meter.
+    clock: Rc<RefCell<VirtualClock>>,
+    /// Per-site live accounting, pushed in submit (site) order.
+    site_states: RefCell<Vec<Rc<RefCell<SiteState>>>>,
+    budget_deadline: Option<Instant>,
+    chunk_rows: usize,
+    cpu_pred: f64,
+    cpu_hash: f64,
+    sort_factor: f64,
+}
+
+/// Live accounting for one streamed submit site, updated by its source
+/// adapter as chunks arrive and read after the pull loop to assemble
+/// [`SubmitTrace`]s. An abandoned stream (LIMIT satisfied early) keeps
+/// whatever had arrived when pulling stopped — under-counting
+/// `wrapper_ms` there is the point of early termination.
+#[derive(Default)]
+struct SiteState {
+    stats: ExecStats,
+    tuples: usize,
+    bytes: u64,
+    comm_ms: f64,
+    wall_ms: f64,
+    first_ms: Option<f64>,
+    attempts: u32,
+    failed: bool,
+    served_by: String,
+    hedges: u32,
+    budget_skipped: bool,
+    pages: Option<u64>,
+}
+
+/// The open phase's product for one submit site — the streaming
+/// counterpart of [`Fetched`].
+struct OpenedSite {
+    outcome: Result<OpenedSource>,
+    /// Never submitted: the query budget ran out first.
+    budget_skipped: bool,
+}
+
+enum OpenedSource {
+    /// A live stream with its schema-bearing first chunk pre-pulled (so
+    /// retries and hedging are fully settled before the tree is built).
+    Stream {
+        stream: SubmitStream,
+        first: Batch,
+        schema: Schema,
+        served_by: String,
+        hedges: u32,
+    },
+    /// A fully materialized in-process answer, served to the pipeline in
+    /// bounded chunks.
+    Whole {
+        answer: BatchAnswer,
+        comm_ms: f64,
+        wall_ms: f64,
+        attempts: u32,
+        served_by: String,
+    },
+}
+
+/// Pull the schema-bearing first chunk off a freshly opened stream.
+fn open_source(mut stream: SubmitStream, served_by: String, hedges: u32) -> Result<OpenedSource> {
+    let first = stream
+        .next_chunk()?
+        .ok_or_else(|| DiscoError::Exec("stream ended before delivering a schema chunk".into()))?;
+    Ok(OpenedSource::Stream {
+        schema: first.schema,
+        first: first.batch,
+        stream,
+        served_by,
+        hedges,
+    })
+}
+
+/// Open one in-process site: the wrapper executes eagerly (it has no
+/// streaming interface), and the answer is served to the pipeline in
+/// bounded chunks with the seed's analytic communication charge.
+fn open_local(
+    wrappers: &BTreeMap<String, Box<dyn Wrapper>>,
+    site: &SubmitSite<'_>,
+    msg_latency: f64,
+    per_byte: f64,
+) -> OpenedSite {
+    let f = fetch_local(wrappers, site, msg_latency, per_byte);
+    OpenedSite {
+        outcome: f.outcome.map(|fa| OpenedSource::Whole {
+            answer: fa.answer,
+            comm_ms: fa.comm_ms,
+            wall_ms: fa.wall_ms,
+            attempts: fa.attempts,
+            served_by: fa.served_by,
+        }),
+        budget_skipped: f.budget_skipped,
+    }
+}
+
+fn join_open(handle: std::thread::ScopedJoinHandle<'_, OpenedSite>) -> OpenedSite {
+    handle.join().unwrap_or_else(|_| OpenedSite {
+        outcome: Err(DiscoError::Exec("submit worker thread panicked".into())),
+        budget_skipped: false,
+    })
+}
+
+/// How one submit site feeds the streaming pipeline.
+enum SiteMode {
+    /// Live remote stream; the schema-bearing first chunk is pending.
+    Remote {
+        stream: SubmitStream,
+        pending: Option<Batch>,
+        done: bool,
+    },
+    /// Materialized in-process answer served in bounded chunks.
+    Whole { source: vstream::BatchSource },
+    /// Open failed (tolerated) or was budget-skipped: one empty chunk.
+    Empty { served: bool },
+}
+
+/// Source adapter: serves one submit site's chunks into the operator
+/// tree while keeping its [`SiteState`] current — including budget
+/// truncation (stop pulling, keep the rows already delivered) and
+/// tolerated mid-stream faults.
+struct SiteStream {
+    schema: Schema,
+    state: Rc<RefCell<SiteState>>,
+    mode: SiteMode,
+    budget_deadline: Option<Instant>,
+    partial: bool,
+}
+
+impl BatchStream for SiteStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        match &mut self.mode {
+            SiteMode::Empty { served } => {
+                if *served {
+                    return Ok(None);
+                }
+                *served = true;
+                Ok(Some(Batch::empty(self.schema.arity())))
+            }
+            SiteMode::Whole { source } => match source.next_batch()? {
+                None => Ok(None),
+                Some(b) => {
+                    self.state.borrow_mut().tuples += b.len();
+                    Ok(Some(b))
+                }
+            },
+            SiteMode::Remote {
+                stream,
+                pending,
+                done,
+            } => {
+                if *done {
+                    return Ok(None);
+                }
+                if let Some(b) = pending.take() {
+                    let mut st = self.state.borrow_mut();
+                    st.tuples += b.len();
+                    st.bytes += b.byte_width();
+                    return Ok(Some(b));
+                }
+                // The query budget expired mid-stream: truncate here,
+                // keeping the rows already delivered downstream.
+                if self.budget_deadline.is_some_and(|d| Instant::now() >= d) {
+                    *done = true;
+                    let mut st = self.state.borrow_mut();
+                    st.failed = true;
+                    st.budget_skipped = true;
+                    st.comm_ms = stream.comm_ms();
+                    return Ok(None);
+                }
+                let before = Instant::now();
+                match stream.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        let mut st = self.state.borrow_mut();
+                        st.wall_ms += before.elapsed().as_secs_f64() * 1e3;
+                        st.tuples += chunk.batch.len();
+                        st.bytes += chunk.batch.byte_width();
+                        st.comm_ms = stream.comm_ms();
+                        Ok(Some(chunk.batch))
+                    }
+                    Ok(None) => {
+                        *done = true;
+                        let mut st = self.state.borrow_mut();
+                        st.wall_ms += before.elapsed().as_secs_f64() * 1e3;
+                        st.comm_ms = stream.comm_ms();
+                        if let Some(stats) = stream.stats() {
+                            st.stats = stats;
+                            st.pages = Some(stats.pages_read);
+                            st.first_ms = Some(stats.time_first_ms + stream.first_frame_comm_ms());
+                        }
+                        Ok(None)
+                    }
+                    Err(e) if self.partial && e.is_transient() => {
+                        // The stream died after delivering rows: degrade
+                        // to a partial answer with what already arrived.
+                        *done = true;
+                        let mut st = self.state.borrow_mut();
+                        st.failed = true;
+                        st.comm_ms = stream.comm_ms();
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// Row-counting pass-through wrapped around every streaming operator.
+struct CountedStream {
+    inner: Box<dyn BatchStream>,
+    rows: Rc<Cell<u64>>,
+}
+
+impl BatchStream for CountedStream {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let b = self.inner.next_batch()?;
+        if let Some(b) = &b {
+            self.rows.set(self.rows.get() + b.len() as u64);
+        }
+        Ok(b)
+    }
+}
+
+/// Parallel accounting tree mirroring the plan: per-node virtual-clock
+/// charges and output rows, folded into [`MeasuredNode`]s after the
+/// pull loop using the cumulative-time convention of the two-phase
+/// path.
+struct TallyNode {
+    operator: String,
+    charge: Rc<Cell<f64>>,
+    rows: Rc<Cell<u64>>,
+    site: Option<Rc<RefCell<SiteState>>>,
+    children: Vec<TallyNode>,
+}
+
+/// A meter charging both the shared clock and one node's tally.
+fn meter_for(clock: &Rc<RefCell<VirtualClock>>, charge: &Rc<Cell<f64>>) -> vstream::Meter {
+    let clock = Rc::clone(clock);
+    let charge = Rc::clone(charge);
+    Rc::new(move |ms| {
+        clock.borrow_mut().charge(ms);
+        charge.set(charge.get() + ms);
+    })
+}
+
+/// Wrap an operator stream with its row counter and build its tally.
+fn counted(
+    inner: Box<dyn BatchStream>,
+    operator: String,
+    charge: Rc<Cell<f64>>,
+    site: Option<Rc<RefCell<SiteState>>>,
+    children: Vec<TallyNode>,
+) -> (Box<dyn BatchStream>, TallyNode) {
+    let rows = Rc::new(Cell::new(0));
+    let tally = TallyNode {
+        operator,
+        charge,
+        rows: Rc::clone(&rows),
+        site,
+        children,
+    };
+    (Box::new(CountedStream { inner, rows }), tally)
+}
+
+/// Fold a tally tree into measured nodes. Returns the node and its
+/// cumulative simulated time (subtree charges plus wrapper and
+/// communication time — the same convention as the two-phase walk).
+fn measured_from_tally(t: &TallyNode) -> (MeasuredNode, f64) {
+    let mut children = Vec::new();
+    let mut cum = 0.0;
+    for c in &t.children {
+        let (node, ms) = measured_from_tally(c);
+        cum += ms;
+        children.push(node);
+    }
+    let (submit_extra, failed, pages, first) =
+        t.site.as_ref().map_or((0.0, false, None, None), |s| {
+            let s = s.borrow();
+            (
+                s.stats.elapsed_ms + s.comm_ms,
+                s.failed,
+                s.pages,
+                s.first_ms,
+            )
+        });
+    cum += t.charge.get() + submit_extra;
+    (
+        MeasuredNode {
+            operator: t.operator.clone(),
+            rows: t.rows.get(),
+            elapsed_ms: cum,
+            failed,
+            pages,
+            first_row_ms: first,
+            children,
+        },
+        cum,
+    )
 }
 
 #[cfg(test)]
@@ -985,6 +1867,82 @@ mod tests {
             assert!(c.elapsed_ms > 0.0);
             assert!(c.elapsed_ms < root.elapsed_ms);
         }
+    }
+
+    #[test]
+    fn streaming_matches_two_phase_on_combine_pipeline() {
+        let pred = JoinPredicate::equi("v", "v");
+        let plans = [
+            submit(10),
+            PhysicalPlan::Union {
+                left: Box::new(submit(80)),
+                right: Box::new(submit(5)),
+            },
+            PhysicalPlan::Join {
+                algo: PhysicalJoinAlgo::Hash,
+                left: Box::new(submit(10)),
+                right: Box::new(submit(20)),
+                predicate: pred.clone(),
+            },
+            PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::Dedup {
+                    input: Box::new(PhysicalPlan::Project {
+                        input: Box::new(submit(50)),
+                        columns: vec![("v".into(), disco_algebra::ScalarExpr::attr("v"))],
+                    }),
+                }),
+                keys: vec![("v".into(), true)],
+            },
+        ];
+        let w = wrappers();
+        let reg = disco_core::RuleRegistry::with_default_model();
+        let exec = Executor::new(&w, &reg);
+        for plan in &plans {
+            let (s1, t1, tr1) = exec.execute(plan).unwrap();
+            let (s2, t2, tr2) = exec.execute_streaming(plan, 7, None).unwrap();
+            assert_eq!(s1, s2);
+            assert_eq!(t1, t2);
+            assert_eq!(tr1.submits.len(), tr2.submits.len());
+            // Chunked metering sums the same analytic charges; allow
+            // float reassociation noise.
+            assert!((tr1.mediator_ms - tr2.mediator_ms).abs() < 1e-6);
+            let m1 = tr1.measured.unwrap();
+            let m2 = tr2.measured.unwrap();
+            assert_eq!(m1.operator, m2.operator);
+            assert_eq!(m1.rows, m2.rows);
+            assert!((m1.elapsed_ms - m2.elapsed_ms).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn streaming_limit_truncates_answer() {
+        let (schema, tuples, trace) = {
+            let w = wrappers();
+            let reg = disco_core::RuleRegistry::with_default_model();
+            let exec = Executor::new(&w, &reg);
+            exec.execute_streaming(&submit(50), 8, Some(5)).unwrap()
+        };
+        assert_eq!(schema.arity(), 2);
+        assert_eq!(tuples.len(), 5);
+        assert!(trace.first_row_wall_ms.is_some());
+        assert!(trace.is_complete());
+    }
+
+    #[test]
+    fn streaming_records_first_row_time_per_submit() {
+        let w = wrappers();
+        let reg = disco_core::RuleRegistry::with_default_model();
+        let exec = Executor::new(&w, &reg);
+        let (_, _, trace) = exec.execute_streaming(&submit(10), 4, None).unwrap();
+        assert_eq!(trace.submits.len(), 1);
+        // In-process answers materialize whole: first-row time is the
+        // wrapper's TimeFirst plus the full communication charge.
+        let s = &trace.submits[0];
+        assert!((s.first_ms - (s.stats.time_first_ms + s.comm_ms)).abs() < 1e-9);
+        assert!(s.first_ms > 0.0);
+        let m = trace.measured.unwrap();
+        assert_eq!(m.children.len(), 0);
+        assert_eq!(m.first_row_ms, Some(s.first_ms));
     }
 
     #[test]

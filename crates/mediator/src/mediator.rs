@@ -13,7 +13,7 @@ use disco_wrapper::{Registration, Wrapper};
 
 use crate::analyze::analyze;
 use crate::executor::{submit_sites, ExecutionTrace, Executor, QueryResult, SitePrediction};
-use crate::optimizer::{JoinEnumeration, OptimizedPlan, Optimizer, OptimizerOptions};
+use crate::optimizer::{JoinEnumeration, Objective, OptimizedPlan, Optimizer, OptimizerOptions};
 
 /// Behaviour switches.
 #[derive(Debug, Clone)]
@@ -46,6 +46,16 @@ pub struct MediatorOptions {
     /// hedged replica submits and adaptive wrapper penalties. Only
     /// meaningful with a connected transport.
     pub resilience: ResiliencePolicy,
+    /// Execute queries through the pipelined streaming engine: wrappers
+    /// stream `BatchAnswer` chunks and combine operators pull them
+    /// incrementally, so first rows surface before the slowest site has
+    /// finished and `LIMIT` stops pulling early. Off by default (the
+    /// two-phase fetch-then-combine engine); answers are identical
+    /// either way.
+    pub streaming: bool,
+    /// Rows per streamed chunk when [`streaming`](Self::streaming) is
+    /// on (clamped to at least 1).
+    pub streaming_chunk_rows: u32,
 }
 
 impl Default for MediatorOptions {
@@ -58,6 +68,8 @@ impl Default for MediatorOptions {
             enumeration: JoinEnumeration::default(),
             small_query_threshold: OptimizerOptions::default().small_query_threshold,
             resilience: ResiliencePolicy::default(),
+            streaming: false,
+            streaming_chunk_rows: 1024,
         }
     }
 }
@@ -139,7 +151,9 @@ impl Mediator {
 
     /// An optimizer over the current catalog/registry with this
     /// mediator's options and health tracker applied (the same one
-    /// [`Self::plan`] uses for single-branch statements).
+    /// [`Self::plan`] uses for single-branch statements). The default
+    /// `TotalTime` objective; callers planning a `LIMIT` query chain
+    /// [`Optimizer::with_objective`] to rank by `TimeFirst` instead.
     pub(crate) fn optimizer(&self) -> Optimizer<'_> {
         let opts = OptimizerOptions {
             pruning: self.options.pruning,
@@ -280,11 +294,20 @@ impl Mediator {
             let _s = self.tracer.as_ref().map(|t| t.start("parse"));
             crate::sql::parse_statement(sql)?
         };
-        let optimizer = self.optimizer();
+        // A LIMIT marks the query latency-sensitive: rank plans by
+        // `TimeFirst` so the streaming engine surfaces the first rows
+        // (and stops) as early as possible.
+        let objective = if stmt.limit.is_some() {
+            Objective::TimeFirst
+        } else {
+            Objective::TotalTime
+        };
+        let optimizer = self.optimizer().with_objective(objective);
 
         if stmt.branches.len() == 1 {
             let mut query = stmt.branches.into_iter().next().expect("one branch");
             query.order_by = stmt.order_by;
+            query.limit = stmt.limit;
             let analyzed = {
                 let _s = self.tracer.as_ref().map(|t| t.start("analyze"));
                 analyze(&query, &self.catalog)?
@@ -373,6 +396,7 @@ impl Mediator {
             memo_hits,
             rule_cache_hits,
             fast_path,
+            limit: stmt.limit,
         })
     }
 
@@ -578,11 +602,26 @@ impl Mediator {
         .with_parallel(self.options.parallel_submits)
         .with_partial_answers(self.options.partial_answers);
         let span = self.tracer.as_ref().map(|t| t.start("execute"));
-        let executed = executor.execute(&optimized.physical);
+        let executed = if self.options.streaming {
+            executor.execute_streaming(
+                &optimized.physical,
+                self.options.streaming_chunk_rows,
+                optimized.limit,
+            )
+        } else {
+            executor.execute(&optimized.physical)
+        };
         // One decay tick per executed query — wrappers the query never
         // touched heal over time instead of staying penalized forever.
         self.health.tick();
-        let (schema, tuples, trace) = executed?;
+        let (schema, mut tuples, trace) = executed?;
+        // Two-phase LIMIT: the full answer was combined, cap it here
+        // (the streaming engine already stopped pulling at the limit).
+        if !self.options.streaming {
+            if let Some(n) = optimized.limit {
+                tuples.truncate(n as usize);
+            }
+        }
         let measured_ms = if self.options.parallel_submits {
             trace.parallel_ms()
         } else {

@@ -35,6 +35,16 @@
 //! it), so joins of at most [`OptimizerOptions::small_query_threshold`]
 //! tables are routed through direct uncached enumeration even when DP
 //! is selected; [`OptimizedPlan::fast_path`] records when that happened.
+//!
+//! **Objective.** Plans are ranked by [`OptimizerOptions::objective`]:
+//! `TotalTime` (the default — throughput) or `TimeFirst` (latency to the
+//! first answer tuple, the cost model's `TimeFirst` variable). A `LIMIT`
+//! or interactive hint selects `TimeFirst`, pairing with the executor's
+//! streaming path which can stop early. The DP memo's Pareto set already
+//! keeps `time_first`-optimal prefixes, so only the final ranking (and
+//! the access-variant choice) re-keys; §4.3.2 cost-limit pruning is
+//! disabled under `TimeFirst` because the estimator's abandon check
+//! compares accumulated *total* time, not time-to-first.
 
 use disco_algebra::{
     CompareOp, JoinKind, JoinPredicate, LogicalPlan, OperatorKind, PhysicalJoinAlgo, PhysicalPlan,
@@ -64,6 +74,19 @@ pub enum JoinEnumeration {
 /// Hard ceiling on DP table count: the memo is a dense `2^n` vector.
 const DP_MAX_TABLES: usize = 16;
 
+/// Which cost variable ranks complete plans (paper §3: the mediator
+/// cost model exposes several optimization goals, not just one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize `TotalTime` — best full-answer throughput (default).
+    #[default]
+    TotalTime,
+    /// Minimize `TimeFirst` — best latency to the first answer tuple.
+    /// Chosen for `LIMIT`/interactive queries executed by the streaming
+    /// pipeline, which delivers rows as wrappers produce them.
+    TimeFirst,
+}
+
 /// Tuning knobs for one optimization run.
 #[derive(Debug, Clone)]
 pub struct OptimizerOptions {
@@ -82,6 +105,8 @@ pub struct OptimizerOptions {
     /// crossover from `BENCH_optimizer.json` (wall_speedup < 1 for
     /// n ≤ 5). Set to 0 to force DP at every size.
     pub small_query_threshold: usize,
+    /// Cost variable that ranks plans (see [`Objective`]).
+    pub objective: Objective,
 }
 
 impl Default for OptimizerOptions {
@@ -91,6 +116,7 @@ impl Default for OptimizerOptions {
             exhaustive_up_to: 12,
             enumeration: JoinEnumeration::Dp,
             small_query_threshold: 5,
+            objective: Objective::TotalTime,
         }
     }
 }
@@ -121,6 +147,10 @@ pub struct OptimizedPlan {
     /// selected but the table count sat at or below
     /// [`OptimizerOptions::small_query_threshold`]).
     pub fast_path: bool,
+    /// `LIMIT n` carried from the query: the executor caps the answer
+    /// (and, streaming, stops pulling) at `n` rows. Not part of the
+    /// plan tree — enforcement is an executor concern.
+    pub limit: Option<u64>,
 }
 
 /// The constant-free residue of one optimization run: which wrapper
@@ -366,6 +396,20 @@ fn estimate(
 }
 
 impl<'a> Optimizer<'a> {
+    /// The value of the configured objective on one plan estimate.
+    fn objective_value(&self, c: &NodeCost) -> f64 {
+        match self.options.objective {
+            Objective::TotalTime => c.total_time,
+            Objective::TimeFirst => c.time_first,
+        }
+    }
+
+    /// §4.3.2 pruning is sound only when the objective matches the
+    /// estimator's abandon check, which accumulates total time.
+    fn pruning_on(&self) -> bool {
+        self.options.pruning && self.options.objective == Objective::TotalTime
+    }
+
     /// Build an optimizer.
     pub fn new(
         catalog: &'a Catalog,
@@ -405,6 +449,13 @@ impl<'a> Optimizer<'a> {
     /// their replicas.
     pub fn with_health(mut self, health: Option<&'a HealthTracker>) -> Self {
         self.health = health;
+        self
+    }
+
+    /// Rank candidate plans by `objective` instead of the default
+    /// `TotalTime` (builder style). See [`Objective`].
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.options.objective = objective;
         self
     }
 
@@ -515,6 +566,7 @@ impl<'a> Optimizer<'a> {
             memo_hits: cache.map_or(0, |c| c.cost_hits()),
             rule_cache_hits: cache.map_or(0, |c| c.rule_hits()),
             fast_path,
+            limit: q.limit,
         })
     }
 
@@ -576,6 +628,7 @@ impl<'a> Optimizer<'a> {
             memo_hits: 0,
             rule_cache_hits: 0,
             fast_path: false,
+            limit: q.limit,
         })
     }
 
@@ -637,7 +690,7 @@ impl<'a> Optimizer<'a> {
                     .expect("no cost limit set");
                 used.nodes += report.nodes_visited;
                 used.rules += report.rules_evaluated;
-                let cost = report.cost.total_time;
+                let cost = self.objective_value(&report.cost);
                 if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
                     best = Some((
                         cost,
@@ -775,9 +828,9 @@ impl<'a> Optimizer<'a> {
         // frontier subplans can already be abandoned. The greedy plan is
         // itself in the DP's search space, so the bound is attainable.
         let mut best: Option<(f64, PhysicalPlan, NodeCost)> = None;
-        if self.options.pruning {
+        if self.pruning_on() {
             let (plan, cost) = self.greedy_order(q, access, estimator, cache, counters)?;
-            best = Some((cost.total_time, plan, cost));
+            best = Some((self.objective_value(&cost), plan, cost));
         }
 
         let mut memo: Vec<Vec<DpEntry>> = vec![Vec::new(); full as usize + 1];
@@ -805,7 +858,7 @@ impl<'a> Optimizer<'a> {
                     }
                 }
             }
-            let limit = if self.options.pruning {
+            let limit = if self.pruning_on() {
                 best.as_ref().map(|(c, _, _)| *c)
             } else {
                 None
@@ -849,12 +902,9 @@ impl<'a> Optimizer<'a> {
                     counters.considered += 1;
                     match cost {
                         Some(cost) => {
-                            if best
-                                .as_ref()
-                                .map(|(c, _, _)| cost.total_time < *c)
-                                .unwrap_or(true)
-                            {
-                                best = Some((cost.total_time, plan, cost));
+                            let v = self.objective_value(&cost);
+                            if best.as_ref().map(|(c, _, _)| v < *c).unwrap_or(true) {
+                                best = Some((v, plan, cost));
                             }
                         }
                         None => counters.pruned += 1,
@@ -950,7 +1000,7 @@ impl<'a> Optimizer<'a> {
         let n = access.len();
         if order.len() == n {
             let plan = self.build_join_tree(q, access, order)?;
-            let limit = if self.options.pruning {
+            let limit = if self.pruning_on() {
                 best.as_ref().map(|(c, _, _)| *c)
             } else {
                 None
@@ -960,12 +1010,9 @@ impl<'a> Optimizer<'a> {
             counters.considered += 1;
             match cost {
                 Some(cost) => {
-                    if best
-                        .as_ref()
-                        .map(|(c, _, _)| cost.total_time < *c)
-                        .unwrap_or(true)
-                    {
-                        *best = Some((cost.total_time, plan, cost));
+                    let v = self.objective_value(&cost);
+                    if best.as_ref().map(|(c, _, _)| v < *c).unwrap_or(true) {
+                        *best = Some((v, plan, cost));
                     }
                 }
                 None => counters.pruned += 1,
@@ -1547,6 +1594,30 @@ mod tests {
             perm.estimator_nodes
         );
         assert!(dp.plans_considered <= perm.plans_considered);
+    }
+
+    #[test]
+    fn time_first_objective_never_loses_on_latency() {
+        let cat = star_catalog();
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(&parse_query(STAR_SQL).unwrap(), &cat).unwrap();
+        let tt = Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap();
+        let tf = Optimizer::new(
+            &cat,
+            &reg,
+            OptimizerOptions {
+                objective: Objective::TimeFirst,
+                ..Default::default()
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        // Each objective is at least as good as the other on its own
+        // metric; both searched the same space.
+        assert!(tf.estimated.time_first <= tt.estimated.time_first + 1e-9);
+        assert!(tt.estimated.total_time <= tf.estimated.total_time + 1e-9);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use disco_obs::names;
 use crate::analyze::analyze;
 use crate::executor::QueryResult;
 use crate::mediator::Mediator;
-use crate::optimizer::{OptimizedPlan, PlanDecisions};
+use crate::optimizer::{Objective, OptimizedPlan, PlanDecisions};
 use crate::sql::{parse_statement, Condition, SqlExpr, Statement};
 
 // ---------------------------------------------------------------------
@@ -166,6 +166,13 @@ pub fn normalized_key(stmt: &Statement) -> Option<String> {
             }
             let _ = write!(k, "{c} {}", if *asc { "ASC" } else { "DESC" });
         }
+    }
+    // The LIMIT value is parameterized like restriction constants, but
+    // its *presence* is part of the shape: a LIMIT query is planned
+    // under the `TimeFirst` objective and must not share an entry with
+    // its unlimited twin.
+    if stmt.limit.is_some() {
+        k.push_str(" LIMIT ?");
     }
     Some(k)
 }
@@ -329,6 +336,15 @@ impl SharedMediator {
         };
         let mut query = stmt.branches.into_iter().next().expect("one branch");
         query.order_by = stmt.order_by;
+        query.limit = stmt.limit;
+        // Same objective rule as `Mediator::plan`: a LIMIT ranks plans
+        // by `TimeFirst`. The key's ` LIMIT ?` marker keeps the two
+        // objectives' entries apart.
+        let objective = if stmt.limit.is_some() {
+            Objective::TimeFirst
+        } else {
+            Objective::TotalTime
+        };
 
         let m = self.inner.read().unwrap();
         let state = (
@@ -363,7 +379,11 @@ impl SharedMediator {
             // A replay failure (e.g. the decisions' wrapper vanished
             // between the epoch bump and here) falls through to a full
             // optimization rather than failing the query.
-            if let Ok(plan) = m.optimizer().replay(&analyzed, &decisions) {
+            if let Ok(plan) = m
+                .optimizer()
+                .with_objective(objective)
+                .replay(&analyzed, &decisions)
+            {
                 self.note_hit();
                 return Ok((plan, PlanSource::CacheHit));
             }
@@ -373,6 +393,7 @@ impl SharedMediator {
         let est_cache = self.estimation_cache(state);
         let plan = m
             .optimizer()
+            .with_objective(objective)
             .with_cache(Some(&est_cache))
             .optimize(&analyzed)?;
         if let Some(decisions) = PlanDecisions::of(&analyzed, &plan.physical) {

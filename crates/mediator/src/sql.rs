@@ -10,7 +10,10 @@
 //! Supported: `SELECT [DISTINCT]` with expressions and aggregates
 //! (`COUNT/SUM/AVG/MIN/MAX`), comma-style `FROM` with aliases and
 //! optionally wrapper-qualified collection names, conjunctive `WHERE`
-//! (`attr op constant` and `attr op attr` joins), `GROUP BY`, `ORDER BY`.
+//! (`attr op constant` and `attr op attr` joins), `GROUP BY`, `ORDER BY`,
+//! `LIMIT`. A `LIMIT` also signals the optimizer to prefer
+//! `TimeFirst`-optimal plans and the executor to stream (see DESIGN.md
+//! "Streaming execution").
 
 use std::fmt;
 
@@ -107,6 +110,8 @@ pub struct Query {
     pub where_: Vec<Condition>,
     pub group_by: Vec<ColRef>,
     pub order_by: Vec<(ColRef, bool)>,
+    /// `LIMIT n` — cap on the number of answer tuples.
+    pub limit: Option<u64>,
 }
 
 /// A full statement: one query, or a `UNION [ALL]` chain of queries with
@@ -121,6 +126,8 @@ pub struct Statement {
     pub all: bool,
     /// Statement-level ordering over the combined output.
     pub order_by: Vec<(ColRef, bool)>,
+    /// Statement-level cap on the combined output.
+    pub limit: Option<u64>,
 }
 
 /// Parse a single query (no `UNION`).
@@ -144,29 +151,34 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
         }
         branches.push(p.query()?);
     }
-    // In a union, ORDER BY belongs to the statement; Parser::query eagerly
-    // parses it into the last branch — lift it out.
+    // In a union, ORDER BY and LIMIT belong to the statement;
+    // Parser::query eagerly parses them into the last branch — lift
+    // them out.
     let mut order_by = Vec::new();
+    let mut limit = None;
     let n = branches.len();
     if n > 1 {
         for (i, b) in branches.iter_mut().enumerate() {
-            if !b.order_by.is_empty() {
+            if !b.order_by.is_empty() || b.limit.is_some() {
                 if i + 1 != n {
                     return Err(DiscoError::Parse(
-                        "ORDER BY may only follow the final UNION branch".into(),
+                        "ORDER BY / LIMIT may only follow the final UNION branch".into(),
                     ));
                 }
                 order_by = std::mem::take(&mut b.order_by);
+                limit = b.limit.take();
             }
         }
     } else {
         order_by = std::mem::take(&mut branches[0].order_by);
+        limit = branches[0].limit.take();
     }
     p.expect_eof()?;
     Ok(Statement {
         branches,
         all,
         order_by,
+        limit,
     })
 }
 
@@ -199,9 +211,9 @@ enum Tok {
     Eof,
 }
 
-const KEYWORDS: [&str; 18] = [
+const KEYWORDS: [&str; 19] = [
     "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "GROUP", "ORDER", "BY", "AS", "ASC", "DESC",
-    "COUNT", "SUM", "AVG", "MIN", "BETWEEN", "UNION", "ALL",
+    "COUNT", "SUM", "AVG", "MIN", "BETWEEN", "UNION", "ALL", "LIMIT",
 ];
 // MAX handled separately to keep the array tidy.
 
@@ -464,6 +476,18 @@ impl Parser {
                 }
             }
         }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Tok::Number(n) if n.fract() == 0.0 && (0.0..9e15).contains(&n) => Some(n as u64),
+                other => {
+                    return Err(DiscoError::Parse(format!(
+                        "expected non-negative integer after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
         Ok(Query {
             distinct,
             select,
@@ -471,6 +495,7 @@ impl Parser {
             where_,
             group_by,
             order_by,
+            limit,
         })
     }
 
@@ -855,6 +880,18 @@ mod tests {
         assert!(parse_query("SELECT * FROM T WHERE").is_err());
         assert!(parse_query("SELECT * FROM T trailing junk !").is_err());
         assert!(parse_query("SELECT * FROM T WHERE name = 'open").is_err());
+    }
+
+    #[test]
+    fn limit_parses_and_lifts_from_union() {
+        let q = parse_query("SELECT * FROM T ORDER BY x LIMIT 10").unwrap();
+        assert_eq!(q.limit, Some(10));
+        let s = parse_statement("SELECT * FROM T UNION ALL SELECT * FROM U LIMIT 3").unwrap();
+        assert_eq!(s.limit, Some(3));
+        assert!(s.branches.iter().all(|b| b.limit.is_none()));
+        assert!(parse_statement("SELECT * FROM T LIMIT 3 UNION ALL SELECT * FROM U").is_err());
+        assert!(parse_query("SELECT * FROM T LIMIT -1").is_err());
+        assert!(parse_query("SELECT * FROM T LIMIT 2.5").is_err());
     }
 
     #[test]

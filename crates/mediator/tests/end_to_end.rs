@@ -477,6 +477,53 @@ fn union_order_by_in_middle_rejected() {
     assert_eq!(e.kind(), "parse");
 }
 
+#[test]
+fn streaming_mediator_matches_two_phase_answers() {
+    let queries = [
+        "SELECT name, salary FROM Employee WHERE id < 10",
+        "SELECT e.name, d.dept_name FROM Employee e, Dept d \
+         WHERE e.dept_id = d.dept_id AND e.id < 20 ORDER BY e.name",
+        "SELECT d.dept_name, COUNT(*) AS n FROM Employee e, Dept d \
+         WHERE e.dept_id = d.dept_id GROUP BY d.dept_name ORDER BY n DESC",
+        "SELECT name FROM Employee WHERE id < 3 \
+         UNION SELECT name FROM Employee WHERE id < 5",
+        "SELECT e.name, a.action FROM Employee e, Audit a \
+         WHERE e.id = a.emp_id AND e.id < 5",
+    ];
+    for sql in queries {
+        let mut two_phase = mediator();
+        let mut streaming = mediator().with_options(MediatorOptions {
+            streaming: true,
+            streaming_chunk_rows: 7,
+            ..Default::default()
+        });
+        let a = two_phase.query(sql).unwrap();
+        let b = streaming.query(sql).unwrap();
+        assert_eq!(a.schema, b.schema, "{sql}");
+        assert_eq!(a.tuples, b.tuples, "{sql}");
+        assert_eq!(a.trace.submits.len(), b.trace.submits.len(), "{sql}");
+    }
+}
+
+#[test]
+fn limit_caps_answers_in_both_engines() {
+    let sql = "SELECT name FROM Employee WHERE id < 50 ORDER BY name LIMIT 5";
+    let plan = mediator().plan(sql).unwrap();
+    assert_eq!(plan.limit, Some(5));
+    let mut two_phase = mediator();
+    let mut streaming = mediator().with_options(MediatorOptions {
+        streaming: true,
+        streaming_chunk_rows: 8,
+        ..Default::default()
+    });
+    let a = two_phase.query(sql).unwrap();
+    let b = streaming.query(sql).unwrap();
+    assert_eq!(a.tuples.len(), 5);
+    assert_eq!(a.tuples, b.tuples);
+    // The streamed run records when the first rows surfaced.
+    assert!(b.trace.first_row_wall_ms.is_some());
+}
+
 /// A wrapper whose registration payload changes between calls (fresh
 /// statistics each time) — exercises the §2.1 re-registration interface.
 struct EvolvingWrapper {

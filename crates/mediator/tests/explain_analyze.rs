@@ -374,6 +374,54 @@ fn the_submit(report: &AnalyzeReport) -> disco_core::AnalyzeNode {
 }
 
 #[test]
+fn explain_analyze_reports_time_to_first_per_submit() {
+    // Both engines surface predicted vs measured time-to-first-row on
+    // executed submit nodes; the streamed run measures the first frame,
+    // the two-phase run the whole reply.
+    for streaming in [false, true] {
+        let mut m = Mediator::new();
+        m.register(Box::new(SourceWrapper::new("hr", hr_store())))
+            .unwrap();
+        let mut m = m.with_options(MediatorOptions {
+            streaming,
+            streaming_chunk_rows: 8,
+            ..Default::default()
+        });
+        let report = m
+            .explain_analyze("SELECT name FROM Employee WHERE id < 5")
+            .unwrap();
+        let submit = the_submit(&report);
+        let measured = submit.measured.unwrap();
+        let first = measured
+            .first_row_ms
+            .unwrap_or_else(|| panic!("streaming={streaming}: no first-row measurement"));
+        assert!(
+            first > 0.0 && first <= measured.elapsed_ms + 1e-9,
+            "streaming={streaming}: first {first} vs elapsed {}",
+            measured.elapsed_ms
+        );
+        assert!(submit.predicted.time_first > 0.0);
+        assert!(
+            submit.first_row_error().is_some(),
+            "streaming={streaming}: relative error should be computable"
+        );
+        let text = report.render();
+        assert!(
+            text.contains("time to first: predicted="),
+            "streaming={streaming}:\n{text}"
+        );
+        // Combine-phase operators carry no first-row measurement of
+        // their own... except the root, which tracks when the first
+        // answer rows surfaced.
+        for nd in report.root.nodes() {
+            if !nd.operator.starts_with("submit ") && nd.operator != report.root.operator {
+                assert_eq!(nd.measured.and_then(|mm| mm.first_row_ms), None);
+            }
+        }
+    }
+}
+
+#[test]
 fn page_io_random_placement_matches_yao_and_clustered_beats_it() {
     let (mut m, pool) = disk_federation();
     let sql = |t: &str| format!("SELECT id FROM {t} WHERE id < 100");

@@ -20,6 +20,8 @@
 //!   by the sources and kept as the reference semantics;
 //! * [`vexec`] — vectorized counterparts over columnar batches, used by
 //!   the mediator's combine phase;
+//! * [`vstream`] — pull-based streaming versions of the vectorized
+//!   operators, used by the mediator's pipelined execution path;
 //! * [`store`] — the paged store engine ([`PagedStore`]) with
 //!   object-database and relational cost profiles;
 //! * [`disk`] — [`StoreSource`], the same execution paths over the real
@@ -39,6 +41,7 @@ pub mod heap;
 pub mod source;
 pub mod store;
 pub mod vexec;
+pub mod vstream;
 pub mod wire;
 
 pub use btree::BPlusTree;

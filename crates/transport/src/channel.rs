@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -17,17 +17,30 @@ use std::time::Duration;
 use disco_common::rng::{seeded, DEFAULT_SEED};
 use disco_common::wire::{WireDecode, WireEncode};
 use disco_common::{DiscoError, Result};
+use disco_sources::{BatchAnswer, ExecStats};
 use disco_wrapper::Wrapper;
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::netsim::NetProfile;
-use crate::wire::{Request, Response};
-use crate::{Envelope, Transport};
+use crate::wire::{Frame, Request, Response};
+use crate::{Envelope, FrameEnvelope, FrameStream, Transport};
+
+/// Per-stream reply channel capacity: the worker can run at most this
+/// many frames ahead of the consumer before its `send` blocks. This is
+/// the backpressure window of the streaming protocol.
+const STREAM_WINDOW: usize = 4;
 
 /// One queued call: the encoded request and the channel to answer on.
 struct Job {
     request: Vec<u8>,
-    reply: Sender<Reply>,
+    reply: ReplyTo,
+}
+
+/// Where a job's reply goes: a one-shot response channel, or a bounded
+/// frame channel for streaming submits.
+enum ReplyTo {
+    Once(Sender<Reply>),
+    Stream(SyncSender<Reply>),
 }
 
 /// What the worker sends back: simulated communication time + payload.
@@ -91,7 +104,13 @@ impl ChannelTransport {
                     served_in_worker.fetch_add(1, Ordering::Relaxed);
                     let request_bytes = job.request.len();
                     let decoded = Request::from_wire_bytes(&job.request);
-                    let is_submit = matches!(decoded, Ok(Request::Submit(_)));
+                    // Streaming submits consume the same fault sequence
+                    // numbers as one-shot ones, so a schedule behaves
+                    // identically under either execution mode.
+                    let is_submit = matches!(
+                        decoded,
+                        Ok(Request::Submit(_)) | Ok(Request::SubmitStream { .. })
+                    );
                     let action = if is_submit {
                         let a = faults.action_for(submit_seq);
                         submit_seq += 1;
@@ -103,6 +122,19 @@ impl ChannelTransport {
                     if matches!(action, Some(FaultKind::Drop)) {
                         // Message lost: never reply. The caller's deadline
                         // (or the closed channel) reports the timeout.
+                        continue;
+                    }
+
+                    if let ReplyTo::Stream(reply) = &job.reply {
+                        serve_stream(
+                            wrapper.as_ref(),
+                            decoded,
+                            action,
+                            reply,
+                            request_bytes,
+                            &profile,
+                            rng.gen_f64(),
+                        );
                         continue;
                     }
 
@@ -129,7 +161,10 @@ impl ChannelTransport {
                         std::thread::sleep(Duration::from_micros((sleep * 1000.0) as u64));
                     }
                     // A caller that already gave up is not an error here.
-                    let _ = job.reply.send(Reply { comm_ms, payload });
+                    let _ = match &job.reply {
+                        ReplyTo::Once(tx) => tx.send(Reply { comm_ms, payload }).is_ok(),
+                        ReplyTo::Stream(_) => unreachable!("handled above"),
+                    };
                 }
             })
             .expect("spawn wrapper worker thread");
@@ -165,11 +200,131 @@ fn serve(wrapper: &dyn Wrapper, request: Request) -> Response {
     let result = match request {
         Request::Register => wrapper.registration().map(Response::Registration),
         Request::Submit(plan) => wrapper.execute(&plan).map(Response::Answer),
+        Request::SubmitStream { .. } => Err(DiscoError::Exec(
+            "streaming submit requires a streaming call".into(),
+        )),
     };
     result.unwrap_or_else(|e| Response::Error {
         kind: e.kind().to_string(),
         message: e.message().to_string(),
     })
+}
+
+/// Execute a streaming submit, slicing the subanswer into chunk frames
+/// pushed through the bounded `reply` channel. The first frame pays the
+/// full round trip (latency + jitter + any injected delay); later frames
+/// pay transfer time only, pipelined on the established exchange. A
+/// receiver that hangs up releases the worker immediately — remaining
+/// frames are never produced.
+fn serve_stream(
+    wrapper: &dyn Wrapper,
+    decoded: Result<Request>,
+    action: Option<FaultKind>,
+    reply: &SyncSender<Reply>,
+    request_bytes: usize,
+    profile: &NetProfile,
+    draw: f64,
+) {
+    let extra_ms = match action {
+        Some(FaultKind::Delay(ms)) => ms,
+        _ => 0.0,
+    };
+    let mut first = true;
+    let mut send = |frame: Frame| -> bool {
+        let payload = frame.to_wire_bytes();
+        let comm_ms = if first {
+            first = false;
+            profile.comm_ms(request_bytes, payload.len(), draw) + extra_ms
+        } else {
+            profile.transfer_ms(payload.len())
+        };
+        if profile.sleep_scale > 0.0 {
+            let sleep = comm_ms * profile.sleep_scale;
+            std::thread::sleep(Duration::from_micros((sleep * 1000.0) as u64));
+        }
+        reply.send(Reply { comm_ms, payload }).is_ok()
+    };
+
+    let error_frame = |e: &DiscoError| Frame::Error {
+        kind: e.kind().to_string(),
+        message: e.message().to_string(),
+    };
+
+    let (plan, chunk_rows) = match (decoded, action) {
+        (Err(e), _) => {
+            send(error_frame(&e));
+            return;
+        }
+        (Ok(_), Some(FaultKind::Unavailable)) => {
+            send(Frame::Error {
+                kind: "unavailable".to_string(),
+                message: format!("endpoint `{}` is unavailable", wrapper.name()),
+            });
+            return;
+        }
+        (Ok(Request::SubmitStream { plan, chunk_rows }), _) => (plan, chunk_rows),
+        (Ok(_), _) => {
+            send(Frame::Error {
+                kind: "exec".to_string(),
+                message: "streaming call requires a streaming submit".to_string(),
+            });
+            return;
+        }
+    };
+
+    match wrapper.execute(&plan) {
+        Err(e) => {
+            send(error_frame(&e));
+        }
+        Ok(answer) => {
+            let answer = BatchAnswer::from(answer);
+            let chunk = (chunk_rows as usize).max(1);
+            let total = answer.batch.len();
+            let mut start = 0;
+            // Always at least one chunk, so an empty answer still ships
+            // its schema before the end-of-stream frame.
+            loop {
+                let end = (start + chunk).min(total);
+                let sel: Vec<u32> = (start as u32..end as u32).collect();
+                let delivered = send(Frame::Chunk(BatchAnswer {
+                    schema: answer.schema.clone(),
+                    batch: answer.batch.take(&sel),
+                    stats: ExecStats::default(),
+                }));
+                if !delivered {
+                    return;
+                }
+                start = end;
+                if start >= total {
+                    break;
+                }
+            }
+            send(Frame::End(answer.stats));
+        }
+    }
+}
+
+/// Client-side handle for a stream opened on a [`ChannelTransport`]
+/// endpoint: pulls frames off the worker's bounded reply channel.
+struct ChannelFrameStream {
+    rx: Receiver<Reply>,
+    endpoint: String,
+}
+
+impl FrameStream for ChannelFrameStream {
+    fn next_frame(&mut self, deadline: Duration) -> Result<FrameEnvelope> {
+        match self.rx.recv_timeout(deadline) {
+            Ok(reply) => Ok(FrameEnvelope {
+                payload: reply.payload,
+                comm_ms: reply.comm_ms,
+            }),
+            // A hung-up producer (dropped message fault) is, to the
+            // consumer, the same silence as an overdue frame.
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Err(
+                DiscoError::Timeout(format!("no frame from `{}` within deadline", self.endpoint)),
+            ),
+        }
+    }
 }
 
 impl Transport for ChannelTransport {
@@ -187,7 +342,7 @@ impl Transport for ChannelTransport {
             .tx
             .send(Job {
                 request: request.to_vec(),
-                reply: reply_tx,
+                reply: ReplyTo::Once(reply_tx),
             })
             .map_err(|_| DiscoError::Unavailable(format!("endpoint `{endpoint}` is shut down")))?;
         match reply_rx.recv_timeout(deadline) {
@@ -213,6 +368,29 @@ impl Transport for ChannelTransport {
 
     fn sleep_scale(&self, endpoint: &str) -> Option<f64> {
         self.workers.get(endpoint).map(|w| w.profile.sleep_scale)
+    }
+
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+
+    fn call_stream(&self, endpoint: &str, request: &[u8]) -> Result<Box<dyn FrameStream>> {
+        let worker = self
+            .workers
+            .get(endpoint)
+            .ok_or_else(|| DiscoError::Exec(format!("no transport endpoint named `{endpoint}`")))?;
+        let (reply_tx, reply_rx) = mpsc::sync_channel(STREAM_WINDOW);
+        worker
+            .tx
+            .send(Job {
+                request: request.to_vec(),
+                reply: ReplyTo::Stream(reply_tx),
+            })
+            .map_err(|_| DiscoError::Unavailable(format!("endpoint `{endpoint}` is shut down")))?;
+        Ok(Box::new(ChannelFrameStream {
+            rx: reply_rx,
+            endpoint: endpoint.to_string(),
+        }))
     }
 }
 
@@ -381,6 +559,83 @@ mod tests {
             .call("s", &submit_bytes("s"), Duration::from_secs(5))
             .unwrap();
         assert!(slow.comm_ms > fast.comm_ms + 400.0);
+    }
+
+    fn submit_stream_bytes(name: &str, chunk_rows: u32) -> Vec<u8> {
+        Request::SubmitStream {
+            plan: PlanBuilder::scan(QualifiedName::new(name, "T"), schema())
+                .select("id", CompareOp::Lt, 7i64)
+                .submit(name)
+                .build(),
+            chunk_rows,
+        }
+        .to_wire_bytes()
+    }
+
+    #[test]
+    fn streaming_submit_delivers_chunks_then_end() {
+        use crate::wire::decode_frame;
+
+        let mut t = ChannelTransport::new();
+        t.add_wrapper(wrapper("s"));
+        let mut stream = t.call_stream("s", &submit_stream_bytes("s", 3)).unwrap();
+        let mut rows = 0;
+        let mut chunks = 0;
+        loop {
+            let env = stream.next_frame(Duration::from_secs(5)).unwrap();
+            match decode_frame(&env.payload).unwrap() {
+                Frame::Chunk(a) => {
+                    if chunks == 0 {
+                        // First frame pays the round trip (2 × 50 ms)…
+                        assert!(env.comm_ms >= 100.0);
+                    } else {
+                        // …later frames pay transfer only.
+                        assert!(env.comm_ms < 100.0);
+                    }
+                    chunks += 1;
+                    rows += a.batch.len();
+                }
+                Frame::End(stats) => {
+                    assert!(stats.elapsed_ms > 0.0);
+                    break;
+                }
+                Frame::Error { kind, message } => panic!("stream error {kind}: {message}"),
+            }
+        }
+        assert_eq!(rows, 7);
+        assert_eq!(chunks, 3); // 3 + 3 + 1 under chunk_rows = 3
+    }
+
+    #[test]
+    fn dropped_stream_surfaces_as_first_frame_timeout() {
+        let mut t = ChannelTransport::new();
+        t.add_wrapper_with(
+            wrapper("s"),
+            NetProfile::lan(),
+            FaultPlan::first_n(FaultKind::Drop, 1),
+        );
+        let mut stream = t.call_stream("s", &submit_stream_bytes("s", 8)).unwrap();
+        let err = stream.next_frame(Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+        assert!(err.is_transient());
+        // The fault window is consumed: a retry streams normally.
+        let mut stream = t.call_stream("s", &submit_stream_bytes("s", 8)).unwrap();
+        assert!(stream.next_frame(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn abandoned_stream_releases_the_worker() {
+        let mut t = ChannelTransport::new();
+        t.add_wrapper(wrapper("s"));
+        let mut stream = t.call_stream("s", &submit_stream_bytes("s", 1)).unwrap();
+        // Take one frame of many, then hang up mid-stream.
+        assert!(stream.next_frame(Duration::from_secs(5)).is_ok());
+        drop(stream);
+        // The worker must abandon the remaining frames and serve the
+        // next request.
+        assert!(t
+            .call("s", &submit_bytes("s"), Duration::from_secs(5))
+            .is_ok());
     }
 
     #[test]

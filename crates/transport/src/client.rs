@@ -12,7 +12,7 @@
 //! penalties. Non-transient errors (a wrapper rejecting a malformed
 //! plan, say) are returned immediately — retrying them cannot help.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -20,13 +20,13 @@ use std::time::{Duration, Instant};
 use disco_algebra::LogicalPlan;
 use disco_common::rng::{seeded, StdRng, DEFAULT_SEED};
 use disco_common::wire::{WireDecode, WireEncode, WireWriter};
-use disco_common::{DiscoError, HealthTracker, Result};
-use disco_sources::{BatchAnswer, SubAnswer};
+use disco_common::{Batch, DiscoError, HealthTracker, Result, Schema};
+use disco_sources::{BatchAnswer, ExecStats, SubAnswer};
 use disco_wrapper::Registration;
 
 use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
-use crate::wire::{decode_answer_batch, encode_plan, Request, Response};
-use crate::Transport;
+use crate::wire::{decode_answer_batch, decode_frame, encode_plan, Frame, Request, Response};
+use crate::{FrameStream, Transport};
 
 /// Retry tuning for one submit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +128,162 @@ pub struct BatchSubmitOutcome {
     pub request_bytes: usize,
     /// Reply size on the wire.
     pub response_bytes: usize,
+}
+
+/// One decoded chunk of a streamed subanswer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamChunk {
+    /// Schema of the subanswer (identical on every chunk).
+    pub schema: Schema,
+    /// The rows of this chunk, columnar.
+    pub batch: Batch,
+    /// Simulated communication time attributed to this chunk's frame.
+    pub comm_ms: f64,
+}
+
+/// Result of a hedged streaming submit race (see
+/// [`TransportClient::submit_stream_hedged`]).
+pub struct HedgedStreamOutcome {
+    /// The winning replica's open stream, first chunk already buffered.
+    pub stream: SubmitStream,
+    /// Index into the target list of the replica that answered first.
+    pub winner: usize,
+    /// Straggler-triggered hedges launched.
+    pub hedges: u32,
+}
+
+/// Where an open [`SubmitStream`]'s remaining chunks come from.
+enum StreamSource {
+    /// A live transport stream; frames are pulled on demand.
+    Live(Box<dyn FrameStream>),
+    /// The whole answer already arrived (one-shot fallback for
+    /// transports that cannot stream); nothing further will come.
+    Drained,
+}
+
+/// A streamed submit in progress: the reliability-layer counterpart of
+/// [`BatchSubmitOutcome`]. Retries, breaker accounting and the
+/// simulated-time deadline are all settled while opening the stream
+/// (i.e. before the first chunk is surfaced — the only point where a
+/// retry cannot duplicate rows); afterwards the consumer pulls chunks
+/// with [`next_chunk`](SubmitStream::next_chunk) until `Ok(None)`, then
+/// reads the wrapper's stats from [`stats`](SubmitStream::stats).
+/// Dropping the stream early abandons the remaining chunks and releases
+/// the producer.
+pub struct SubmitStream {
+    core: Arc<ClientCore>,
+    endpoint: String,
+    source: StreamSource,
+    deadline: Duration,
+    buffered: VecDeque<StreamChunk>,
+    stats: Option<ExecStats>,
+    comm_ms: f64,
+    first_frame_comm_ms: f64,
+    wall_first_ms: f64,
+    attempts: u32,
+    request_bytes: usize,
+    response_bytes: usize,
+    finished: bool,
+}
+
+impl std::fmt::Debug for SubmitStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitStream")
+            .field("endpoint", &self.endpoint)
+            .field("attempts", &self.attempts)
+            .field("comm_ms", &self.comm_ms)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubmitStream {
+    /// Pull the next chunk. `Ok(None)` is a clean end of stream; an
+    /// error means the stream failed mid-flight and already-delivered
+    /// chunks are all there will be.
+    pub fn next_chunk(&mut self) -> Result<Option<StreamChunk>> {
+        if let Some(chunk) = self.buffered.pop_front() {
+            return Ok(Some(chunk));
+        }
+        if self.finished {
+            return Ok(None);
+        }
+        let StreamSource::Live(stream) = &mut self.source else {
+            self.finished = true;
+            return Ok(None);
+        };
+        let env = match stream.next_frame(self.deadline) {
+            Ok(env) => env,
+            Err(e) => return Err(self.fail(e)),
+        };
+        self.comm_ms += env.comm_ms;
+        self.response_bytes += env.payload.len();
+        match decode_frame(&env.payload) {
+            Ok(Frame::Chunk(a)) => Ok(Some(StreamChunk {
+                schema: a.schema,
+                batch: a.batch,
+                comm_ms: env.comm_ms,
+            })),
+            Ok(Frame::End(stats)) => {
+                self.stats = Some(stats);
+                self.finished = true;
+                Ok(None)
+            }
+            Ok(Frame::Error { kind, message }) => {
+                Err(self.fail(DiscoError::from_kind(&kind, message)))
+            }
+            Err(e) => Err(self.fail(e)),
+        }
+    }
+
+    /// A mid-stream failure is terminal: mark the stream finished and
+    /// feed the breaker/health trackers, mirroring a failed submit.
+    fn fail(&mut self, e: DiscoError) -> DiscoError {
+        self.finished = true;
+        self.source = StreamSource::Drained;
+        self.core.record(&self.endpoint, false);
+        self.core
+            .note_health(&self.endpoint, false, 0.0, &SubmitOptions::default());
+        e
+    }
+
+    /// The wrapper's execution stats, available after the end-of-stream
+    /// frame has been consumed (`next_chunk` returned `Ok(None)`).
+    pub fn stats(&self) -> Option<ExecStats> {
+        self.stats
+    }
+
+    /// Total simulated communication time across all frames so far.
+    pub fn comm_ms(&self) -> f64 {
+        self.comm_ms
+    }
+
+    /// Simulated communication time of the first frame alone — the
+    /// wire's contribution to time-to-first-row.
+    pub fn first_frame_comm_ms(&self) -> f64 {
+        self.first_frame_comm_ms
+    }
+
+    /// Measured wall-clock time from open to the first frame, retries
+    /// included.
+    pub fn wall_first_ms(&self) -> f64 {
+        self.wall_first_ms
+    }
+
+    /// Attempts spent opening the stream (1 = first try succeeded).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Request size on the wire.
+    pub fn request_bytes(&self) -> usize {
+        self.request_bytes
+    }
+
+    /// Reply bytes received across all frames so far.
+    pub fn response_bytes(&self) -> usize {
+        self.response_bytes
+    }
 }
 
 /// A successful delivery, generic over the decoded answer shape.
@@ -382,6 +538,115 @@ impl TransportClient {
             }
         }
     }
+
+    /// Open a streaming submit: deadlines, retries and circuit breaking
+    /// apply up to (and including) the first delivered chunk — the last
+    /// point where a retry cannot duplicate rows — after which chunks
+    /// are pulled incrementally from the returned [`SubmitStream`].
+    /// Against a transport without streaming support this degrades to a
+    /// one-shot [`submit_batch_opts`](Self::submit_batch_opts) served as
+    /// a single-chunk stream.
+    pub fn submit_stream_opts(
+        &self,
+        endpoint: &str,
+        plan: &LogicalPlan,
+        opts: &SubmitOptions,
+        chunk_rows: u32,
+    ) -> Result<SubmitStream> {
+        self.core.open_stream(endpoint, plan, opts, chunk_rows)
+    }
+
+    /// Race a streaming submit across replica endpoints, exactly like
+    /// [`submit_batch_hedged`](Self::submit_batch_hedged) but the race
+    /// is to the *first chunk*: the winner is the replica whose stream
+    /// opens (first frame delivered) first, and its remaining chunks are
+    /// then consumed from the single returned stream. Losing replicas
+    /// are abandoned — dropping their handles releases their workers.
+    pub fn submit_stream_hedged(
+        &self,
+        targets: &[HedgeTarget],
+        straggler_wait: Option<Duration>,
+        hedge_allowance: u32,
+        chunk_rows: u32,
+    ) -> Result<HedgedStreamOutcome> {
+        let first = targets
+            .first()
+            .ok_or_else(|| DiscoError::Exec("hedged submit needs at least one target".into()))?;
+        if targets.len() == 1 {
+            return self
+                .submit_stream_opts(&first.endpoint, &first.plan, &first.opts, chunk_rows)
+                .map(|stream| HedgedStreamOutcome {
+                    stream,
+                    winner: 0,
+                    hedges: 0,
+                });
+        }
+        let (tx, rx) = mpsc::channel::<(usize, Result<SubmitStream>)>();
+        let mut launched = 0usize;
+        let mut pending = 0usize;
+        let mut hedges = 0u32;
+        let launch = |idx: usize, pending: &mut usize| {
+            let t = targets[idx].clone();
+            let tx = tx.clone();
+            let core = Arc::clone(&self.core);
+            std::thread::spawn(move || {
+                let result = core.open_stream(&t.endpoint, &t.plan, &t.opts, chunk_rows);
+                // The race may be over; a closed channel is fine.
+                let _ = tx.send((idx, result));
+            });
+            *pending += 1;
+        };
+        launch(launched, &mut pending);
+        launched += 1;
+        let mut last_err: Option<DiscoError> = None;
+        loop {
+            if pending == 0 {
+                if launched < targets.len() {
+                    // Every launched replica failed: fail over.
+                    launch(launched, &mut pending);
+                    launched += 1;
+                    continue;
+                }
+                return Err(last_err
+                    .unwrap_or_else(|| DiscoError::Exec("hedged submit made no attempts".into())));
+            }
+            let can_hedge = hedges < hedge_allowance && launched < targets.len();
+            let message = match (can_hedge, straggler_wait) {
+                (true, Some(wait)) => match rx.recv_timeout(wait) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        note_hedge(&targets[launched].endpoint);
+                        hedges += 1;
+                        launch(launched, &mut pending);
+                        launched += 1;
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => unreachable!("race holds a sender"),
+                },
+                _ => rx.recv().expect("race holds a sender"),
+            };
+            match message {
+                (winner, Ok(stream)) => {
+                    if winner > 0 {
+                        note_hedge_win(&targets[winner].endpoint);
+                    }
+                    return Ok(HedgedStreamOutcome {
+                        stream,
+                        winner,
+                        hedges,
+                    });
+                }
+                (_, Err(e)) => {
+                    pending -= 1;
+                    let louder = !e.is_transient()
+                        || last_err.as_ref().is_none_or(|prev| prev.is_transient());
+                    if louder {
+                        last_err = Some(e);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl ClientCore {
@@ -549,6 +814,148 @@ impl ClientCore {
             }
         }
         // Retry budget exhausted: the wrapper never answered.
+        note_unavailable(endpoint);
+        Err(last_err)
+    }
+
+    /// Open a streaming submit with the same retry/breaker/deadline
+    /// machinery as [`submit_with`](Self::submit_with). The loop runs
+    /// only until the first frame is delivered: every retry re-issues
+    /// the whole stream, which is safe exactly because no chunk has been
+    /// surfaced yet. The simulated-time deadline is enforced on the
+    /// first frame (which carries the round trip, jitter and any
+    /// injected delay); later frames pay transfer only and ride the
+    /// per-frame wall deadline.
+    fn open_stream(
+        self: &Arc<Self>,
+        endpoint: &str,
+        plan: &LogicalPlan,
+        opts: &SubmitOptions,
+        chunk_rows: u32,
+    ) -> Result<SubmitStream> {
+        let started = Instant::now();
+        if !self.transport.supports_streaming() {
+            // One-shot fallback: the whole answer arrives at once and is
+            // served as a single buffered chunk.
+            let out = self.submit_batch_opts(endpoint, plan, opts)?;
+            return Ok(SubmitStream {
+                core: Arc::clone(self),
+                endpoint: endpoint.to_string(),
+                source: StreamSource::Drained,
+                deadline: Duration::ZERO,
+                buffered: VecDeque::from([StreamChunk {
+                    schema: out.answer.schema,
+                    batch: out.answer.batch,
+                    comm_ms: out.comm_ms,
+                }]),
+                stats: Some(out.answer.stats),
+                comm_ms: out.comm_ms,
+                first_frame_comm_ms: out.comm_ms,
+                wall_first_ms: out.wall_ms,
+                attempts: out.attempts,
+                request_bytes: out.request_bytes,
+                response_bytes: out.response_bytes,
+                finished: true,
+            });
+        }
+
+        let request = Request::SubmitStream {
+            plan: plan.clone(),
+            chunk_rows,
+        }
+        .to_wire_bytes();
+        let deadline = self.attempt_deadline(endpoint, opts);
+        let sim_deadline = self.sim_deadline(endpoint, opts);
+
+        if !self.acquire(endpoint) {
+            note_unavailable(endpoint);
+            return Err(DiscoError::Unavailable(format!(
+                "circuit breaker open for `{endpoint}`"
+            )));
+        }
+
+        let mut backoff_ms = self.retry.backoff_base_ms as f64;
+        let mut last_err = DiscoError::Exec(format!("no attempts made against `{endpoint}`"));
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            if attempt > 1 {
+                if disco_obs::enabled() {
+                    disco_obs::counter(
+                        disco_obs::names::TRANSPORT_RETRIES,
+                        &[("wrapper", endpoint)],
+                    )
+                    .inc();
+                }
+                let sleep_ms = backoff_ms * self.jitter.lock().expect("jitter lock").gen_f64();
+                if sleep_ms >= 0.5 {
+                    std::thread::sleep(Duration::from_micros((sleep_ms * 1000.0) as u64));
+                }
+                backoff_ms *= self.retry.backoff_factor;
+            }
+            let result = self
+                .transport
+                .call_stream(endpoint, &request)
+                .and_then(|mut stream| {
+                    let env = stream.next_frame(deadline)?;
+                    if let Some(sim) = sim_deadline {
+                        if env.comm_ms > sim {
+                            return Err(DiscoError::Timeout(format!(
+                                "first frame from `{endpoint}` took {:.0} simulated ms, deadline {sim:.0}",
+                                env.comm_ms
+                            )));
+                        }
+                    }
+                    match decode_frame(&env.payload)? {
+                        Frame::Chunk(a) => Ok((stream, env.payload.len(), env.comm_ms, a)),
+                        Frame::End(_) => Err(DiscoError::Exec(format!(
+                            "stream from `{endpoint}` ended before delivering a schema chunk"
+                        ))),
+                        Frame::Error { kind, message } => {
+                            Err(DiscoError::from_kind(&kind, message))
+                        }
+                    }
+                });
+            match result {
+                Ok((stream, first_bytes, first_comm, first_chunk)) => {
+                    self.record(endpoint, true);
+                    self.note_health(endpoint, true, first_comm, opts);
+                    note_deadline(endpoint, "met");
+                    return Ok(SubmitStream {
+                        core: Arc::clone(self),
+                        endpoint: endpoint.to_string(),
+                        source: StreamSource::Live(stream),
+                        deadline,
+                        buffered: VecDeque::from([StreamChunk {
+                            schema: first_chunk.schema,
+                            batch: first_chunk.batch,
+                            comm_ms: first_comm,
+                        }]),
+                        stats: None,
+                        comm_ms: first_comm,
+                        first_frame_comm_ms: first_comm,
+                        wall_first_ms: started.elapsed().as_secs_f64() * 1e3,
+                        attempts: attempt,
+                        request_bytes: request.len(),
+                        response_bytes: first_bytes,
+                        finished: false,
+                    });
+                }
+                Err(e) if e.is_transient() => {
+                    self.record(endpoint, false);
+                    self.note_health(endpoint, false, 0.0, opts);
+                    if e.kind() == "timeout" {
+                        note_deadline(endpoint, "missed");
+                    }
+                    last_err = e;
+                    if attempt < self.retry.max_attempts && !self.acquire(endpoint) {
+                        note_unavailable(endpoint);
+                        return Err(DiscoError::Unavailable(format!(
+                            "circuit breaker open for `{endpoint}`"
+                        )));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
         note_unavailable(endpoint);
         Err(last_err)
     }
@@ -769,5 +1176,95 @@ mod tests {
         let reg = c.register("s").unwrap();
         assert_eq!(reg.collections.len(), 1);
         assert_eq!(reg.collections[0].0, "T");
+    }
+
+    /// Drain a stream, returning (chunks, rows, total comm).
+    fn drain(stream: &mut SubmitStream) -> (usize, usize, f64) {
+        let mut chunks = 0;
+        let mut rows = 0;
+        while let Some(c) = stream.next_chunk().unwrap() {
+            chunks += 1;
+            rows += c.batch.len();
+        }
+        (chunks, rows, stream.comm_ms())
+    }
+
+    #[test]
+    fn streamed_submit_matches_one_shot_answer() {
+        let c = client(FaultPlan::none());
+        let one_shot = c.submit_batch("s", &plan("s")).unwrap();
+        let mut stream = c
+            .submit_stream_opts("s", &plan("s"), &SubmitOptions::default(), 4)
+            .unwrap();
+        let mut batches = Vec::new();
+        let mut schema = None;
+        while let Some(chunk) = stream.next_chunk().unwrap() {
+            schema = Some(chunk.schema.clone());
+            batches.push(chunk.batch);
+        }
+        let parts: Vec<&Batch> = batches.iter().collect();
+        let reassembled = Batch::concat(&parts).unwrap();
+        assert_eq!(schema.unwrap(), one_shot.answer.schema);
+        assert_eq!(reassembled.to_tuples(), one_shot.answer.batch.to_tuples());
+        assert_eq!(stream.stats(), Some(one_shot.answer.stats));
+        assert_eq!(stream.attempts(), 1);
+        assert!(stream.first_frame_comm_ms() >= 100.0);
+        // 9 rows in chunks of 4 → 3 chunks.
+        assert_eq!(batches.len(), 3);
+    }
+
+    #[test]
+    fn stream_open_retries_transient_drops() {
+        let c = client(FaultPlan::first_n(FaultKind::Drop, 2));
+        let mut stream = c
+            .submit_stream_opts("s", &plan("s"), &SubmitOptions::default(), 64)
+            .unwrap();
+        assert_eq!(stream.attempts(), 3);
+        let (_, rows, _) = drain(&mut stream);
+        assert_eq!(rows, 9);
+    }
+
+    #[test]
+    fn stream_open_fails_like_a_submit_when_budget_exhausts() {
+        let c = client(FaultPlan::always(FaultKind::Drop));
+        let err = c
+            .submit_stream_opts("s", &plan("s"), &SubmitOptions::default(), 64)
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(err.kind(), "timeout");
+    }
+
+    #[test]
+    fn hedged_stream_fails_over_to_the_replica() {
+        let mut t = ChannelTransport::new();
+        t.add_wrapper_with(
+            wrapper("sa"),
+            NetProfile::lan(),
+            FaultPlan::always(FaultKind::Unavailable),
+        );
+        t.add_wrapper_with(wrapper("sb"), NetProfile::lan(), FaultPlan::none());
+        let c = TransportClient::new(Box::new(t)).with_retry(RetryPolicy {
+            max_attempts: 2,
+            deadline_ms: 40,
+            backoff_base_ms: 1,
+            backoff_factor: 2.0,
+        });
+        let targets = vec![
+            HedgeTarget {
+                endpoint: "sa".into(),
+                plan: plan("sa"),
+                opts: SubmitOptions::default(),
+            },
+            HedgeTarget {
+                endpoint: "sb".into(),
+                plan: plan("sb"),
+                opts: SubmitOptions::default(),
+            },
+        ];
+        let mut out = c.submit_stream_hedged(&targets, None, 2, 64).unwrap();
+        assert_eq!(out.winner, 1);
+        assert_eq!(out.hedges, 0); // failover, not a straggler hedge
+        let (_, rows, _) = drain(&mut out.stream);
+        assert_eq!(rows, 9);
     }
 }

@@ -34,18 +34,18 @@ pub mod wire;
 
 use std::time::Duration;
 
-use disco_common::Result;
+use disco_common::{DiscoError, Result};
 
 pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use channel::ChannelTransport;
 pub use client::{
-    BatchSubmitOutcome, HedgeTarget, HedgedOutcome, RetryPolicy, SubmitOptions, SubmitOutcome,
-    TransportClient,
+    BatchSubmitOutcome, HedgeTarget, HedgedOutcome, HedgedStreamOutcome, RetryPolicy, StreamChunk,
+    SubmitOptions, SubmitOutcome, SubmitStream, TransportClient,
 };
 pub use fault::{FaultKind, FaultPlan};
 pub use netsim::NetProfile;
 pub use resilience::ResiliencePolicy;
-pub use wire::{decode_answer_batch, Request, Response};
+pub use wire::{decode_answer_batch, decode_frame, Frame, Request, Response};
 
 /// One delivered reply, with transfer accounting.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,4 +91,45 @@ pub trait Transport: Send + Sync {
     fn sleep_scale(&self, _endpoint: &str) -> Option<f64> {
         None
     }
+
+    /// Whether [`Transport::call_stream`] is implemented. Callers use
+    /// this to fall back to a one-shot [`Transport::call`] (served as a
+    /// single-chunk stream) against transports that cannot stream.
+    fn supports_streaming(&self) -> bool {
+        false
+    }
+
+    /// Open a streaming call: deliver `request` (a
+    /// [`Request::SubmitStream`]) to `endpoint` and return a handle that
+    /// yields reply [`Frame`]s incrementally. The call itself does not
+    /// block on the wrapper; frames are pulled with
+    /// [`FrameStream::next_frame`] under per-frame deadlines.
+    fn call_stream(&self, endpoint: &str, _request: &[u8]) -> Result<Box<dyn FrameStream>> {
+        Err(DiscoError::Exec(format!(
+            "transport cannot stream from endpoint `{endpoint}`"
+        )))
+    }
+}
+
+/// One streamed reply frame with its transfer accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameEnvelope {
+    /// Encoded [`Frame`] bytes.
+    pub payload: Vec<u8>,
+    /// Simulated communication time attributed to this frame in
+    /// milliseconds. The first frame of a stream carries the round-trip
+    /// latency (plus jitter and any injected delay); later frames pay
+    /// transfer time only, pipelined on the established exchange.
+    pub comm_ms: f64,
+}
+
+/// A live reply stream opened by [`Transport::call_stream`].
+///
+/// End of stream is in-band (a [`Frame::End`] or [`Frame::Error`]
+/// terminator); a frame that fails to arrive within `deadline` is a
+/// `DiscoError::Timeout`. Dropping the handle abandons the stream and
+/// releases the producer.
+pub trait FrameStream: Send {
+    /// Block up to `deadline` for the next frame.
+    fn next_frame(&mut self, deadline: Duration) -> Result<FrameEnvelope>;
 }

@@ -68,6 +68,17 @@ impl NetProfile {
         };
         2.0 * self.latency_ms + transfer + self.jitter_ms * jitter_draw
     }
+
+    /// Transfer time alone for `bytes` shipped on an already-established
+    /// exchange — what the frames of a streamed reply pay after the first
+    /// one has absorbed the round-trip latency.
+    pub fn transfer_ms(&self, bytes: usize) -> f64 {
+        if self.bytes_per_ms > 0.0 {
+            bytes as f64 / self.bytes_per_ms
+        } else {
+            0.0
+        }
+    }
 }
 
 impl Default for NetProfile {

@@ -27,7 +27,7 @@ use disco_costlang::bytecode::{
     AttrSpec, ChildRef, CollSpec, CompiledBody, Instr, PathSpec, Program,
 };
 use disco_costlang::{CompiledDocument, CompiledRule};
-use disco_sources::{BatchAnswer, SubAnswer};
+use disco_sources::{BatchAnswer, ExecStats, SubAnswer};
 use disco_wrapper::Registration;
 
 /// A request delivered to a wrapper endpoint.
@@ -37,6 +37,79 @@ pub enum Request {
     Register,
     /// Execute a subplan (Figure 2, step 4).
     Submit(LogicalPlan),
+    /// Execute a subplan, streaming the answer back incrementally as
+    /// [`Frame`]s of at most `chunk_rows` rows each instead of a single
+    /// [`Response::Answer`].
+    SubmitStream { plan: LogicalPlan, chunk_rows: u32 },
+}
+
+/// One frame of a streamed submit reply ([`Request::SubmitStream`]).
+///
+/// A well-formed stream is one or more `Chunk` frames (the first chunk may
+/// be empty — it still carries the schema) terminated by exactly one `End`
+/// or `Error` frame. Nothing follows the terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// One incremental slice of the subanswer. The embedded stats are
+    /// zeroed; the authoritative stats arrive with [`Frame::End`].
+    Chunk(BatchAnswer),
+    /// Normal end of stream, carrying the wrapper's execution stats for
+    /// the whole subanswer.
+    End(ExecStats),
+    /// The stream failed; no further frames follow.
+    Error { kind: String, message: String },
+}
+
+impl WireEncode for Frame {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Frame::Chunk(a) => {
+                w.put_u8(0);
+                a.encode(w);
+            }
+            Frame::End(stats) => {
+                w.put_u8(1);
+                w.put_f64(stats.elapsed_ms);
+                w.put_f64(stats.time_first_ms);
+                w.put_u64(stats.pages_read);
+                w.put_u64(stats.buffer_hits);
+                w.put_u64(stats.objects_scanned);
+            }
+            Frame::Error { kind, message } => {
+                w.put_u8(2);
+                w.put_str(kind);
+                w.put_str(message);
+            }
+        }
+    }
+}
+
+impl WireDecode for Frame {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => Frame::Chunk(BatchAnswer::decode(r)?),
+            1 => Frame::End(ExecStats {
+                elapsed_ms: r.get_f64()?,
+                time_first_ms: r.get_f64()?,
+                pages_read: r.get_u64()?,
+                buffer_hits: r.get_u64()?,
+                objects_scanned: r.get_u64()?,
+            }),
+            2 => Frame::Error {
+                kind: r.get_str()?,
+                message: r.get_str()?,
+            },
+            t => return Err(bad_tag("Frame", t)),
+        })
+    }
+}
+
+/// Decode a stream frame from a full payload, rejecting trailing bytes.
+pub fn decode_frame(payload: &[u8]) -> Result<Frame> {
+    let mut r = WireReader::new(payload);
+    let frame = Frame::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(frame)
 }
 
 /// A reply from a wrapper endpoint.
@@ -1053,6 +1126,11 @@ impl WireEncode for Request {
                 w.put_u8(1);
                 encode_plan(plan, w);
             }
+            Request::SubmitStream { plan, chunk_rows } => {
+                w.put_u8(2);
+                encode_plan(plan, w);
+                w.put_u64(u64::from(*chunk_rows));
+            }
         }
     }
 }
@@ -1062,6 +1140,12 @@ impl WireDecode for Request {
         Ok(match r.get_u8()? {
             0 => Request::Register,
             1 => Request::Submit(decode_plan(r)?),
+            2 => {
+                let plan = decode_plan(r)?;
+                let chunk_rows = u32::try_from(r.get_u64()?)
+                    .map_err(|_| DiscoError::Parse("wire: chunk_rows exceeds u32".into()))?;
+                Request::SubmitStream { plan, chunk_rows }
+            }
             t => return Err(bad_tag("Request", t)),
         })
     }
@@ -1232,5 +1316,58 @@ mod tests {
         let mut flipped = bytes.clone();
         flipped[0] = 77;
         assert!(Request::from_wire_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn submit_stream_request_round_trips() {
+        let req = Request::SubmitStream {
+            plan: plan(),
+            chunk_rows: 1024,
+        };
+        let bytes = req.to_wire_bytes();
+        assert_eq!(Request::from_wire_bytes(&bytes).unwrap(), req);
+        for cut in 0..bytes.len() {
+            assert!(Request::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_malformed() {
+        use disco_common::{Batch, Tuple};
+        use disco_sources::{BatchAnswer, ExecStats};
+
+        let tuples = vec![
+            Tuple::new(vec![Value::Long(1), Value::Long(2)]),
+            Tuple::new(vec![Value::Long(3), Value::Null]),
+        ];
+        let chunk = Frame::Chunk(BatchAnswer {
+            schema: schema(),
+            batch: Batch::from_tuples(2, &tuples),
+            stats: ExecStats::default(),
+        });
+        let end = Frame::End(ExecStats {
+            elapsed_ms: 12.5,
+            time_first_ms: 3.25,
+            pages_read: 7,
+            buffer_hits: 2,
+            objects_scanned: 40,
+        });
+        let error = Frame::Error {
+            kind: "timeout".into(),
+            message: "no frame".into(),
+        };
+        for frame in [chunk, end, error] {
+            let bytes = frame.to_wire_bytes();
+            assert_eq!(decode_frame(&bytes).unwrap(), frame);
+            for cut in 0..bytes.len() {
+                assert!(decode_frame(&bytes[..cut]).is_err());
+            }
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            assert!(decode_frame(&trailing).is_err());
+            let mut flipped = bytes.clone();
+            flipped[0] = 99;
+            assert!(decode_frame(&flipped).is_err());
+        }
     }
 }

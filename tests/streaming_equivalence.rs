@@ -1,0 +1,230 @@
+//! Differential suite for the pipelined streaming engine: across
+//! randomized seeded federations — fault-free, fault-injected, and
+//! hedged — a streamed execution must produce answers byte-identical to
+//! the two-phase fetch-then-combine engine, degrade to the same partial
+//! answers, and fail over to the same replicas. Only the *timing* story
+//! may differ between the engines (first rows surface earlier, and an
+//! abandoned stream ships fewer bytes), so the comparisons here cover
+//! schema, tuples, completeness, missing collections, per-submit
+//! failure flags and attempts — never `measured_ms` or byte counts.
+
+use std::collections::BTreeSet;
+
+use disco::common::rng::seeded;
+use disco::common::{AttributeDef, DataType, Schema, Value};
+use disco::mediator::{Mediator, MediatorOptions, QueryResult, ResiliencePolicy};
+use disco::sources::{CollectionBuilder, CostProfile, PagedStore};
+use disco::transport::{
+    ChannelTransport, FaultKind, FaultPlan, NetProfile, RetryPolicy, TransportClient,
+};
+use disco::wrapper::SourceWrapper;
+
+/// Endpoints and the collection each serves. `R` is replicated (`ra`,
+/// `rb`) so the hedging cases have a failover target.
+const ENDPOINTS: &[(&str, &str)] = &[("ra", "R"), ("rb", "R"), ("sa", "S"), ("ua", "U")];
+
+/// The query mix: scans, pushed selections, cross-wrapper joins, a
+/// union, aggregation, and ORDER BY / LIMIT shapes (LIMIT also flips
+/// the optimizer to the `TimeFirst` objective).
+const QUERIES: &[&str] = &[
+    "SELECT v FROM R",
+    "SELECT id, v FROM R WHERE id < 23",
+    "SELECT sid FROM S WHERE w = 2",
+    "SELECT r.v, s.w FROM R r, S s WHERE r.id = s.sid",
+    "SELECT r.id FROM R r, S s WHERE r.id = s.sid AND s.w < 4",
+    "SELECT r.v, u.t FROM R r, U u WHERE r.id = u.uid ORDER BY r.v",
+    "SELECT v FROM R UNION ALL SELECT w FROM S",
+    "SELECT id FROM R WHERE v = 1 UNION SELECT uid FROM U",
+    "SELECT v, COUNT(*) AS n FROM R GROUP BY v ORDER BY n DESC",
+    "SELECT id, v FROM R ORDER BY id LIMIT 7",
+    "SELECT r.v, s.w FROM R r, S s WHERE r.id = s.sid LIMIT 5",
+];
+
+fn schema_for(collection: &str) -> Schema {
+    let (key, val) = match collection {
+        "R" => ("id", "v"),
+        "S" => ("sid", "w"),
+        _ => ("uid", "t"),
+    };
+    Schema::new(vec![
+        AttributeDef::new(key, DataType::Long),
+        AttributeDef::new(val, DataType::Long),
+    ])
+}
+
+/// Seeded rows — the same seed yields identical data on every replica
+/// and in both federations under comparison.
+fn rows_for(seed: u64, collection: &str) -> Vec<Vec<Value>> {
+    let mut rng = seeded(seed, &format!("stream-eq:{collection}"));
+    let count = rng.gen_range(10usize..60);
+    let modulus = rng.gen_range(2i64..8);
+    (0..count as i64)
+        .map(|i| vec![Value::Long(i), Value::Long(i % modulus)])
+        .collect()
+}
+
+/// The deterministic resilience posture of the chaos harness: simulated
+/// deadlines catch delay faults, the straggler timer can never fire
+/// inside a test run (hedging is failover-only), and there is no query
+/// budget.
+fn policy() -> ResiliencePolicy {
+    ResiliencePolicy {
+        predicted_deadlines: true,
+        sim_deadlines: true,
+        time_scale: 0.02,
+        max_deadline_ms: 50.0,
+        min_straggler_wait_ms: 30_000.0,
+        ..ResiliencePolicy::default()
+    }
+}
+
+/// Build one federation over a `ChannelTransport`. Both engines get the
+/// same data, profiles, and fault schedules; only `streaming` differs.
+fn federation<F: Fn(&str) -> FaultPlan>(seed: u64, faults: F, streaming: bool) -> Mediator {
+    let mut t = ChannelTransport::new();
+    for (endpoint, collection) in ENDPOINTS {
+        let mut s = PagedStore::new(*endpoint, CostProfile::relational());
+        s.add_collection(
+            *collection,
+            CollectionBuilder::new(schema_for(collection)).rows(rows_for(seed, collection)),
+        )
+        .expect("collection registers");
+        t.add_wrapper_with(
+            Box::new(SourceWrapper::new(*endpoint, s)),
+            NetProfile::lan(),
+            faults(endpoint),
+        );
+    }
+    let client = TransportClient::new(Box::new(t)).with_retry(RetryPolicy {
+        max_attempts: 2,
+        deadline_ms: 200,
+        backoff_base_ms: 1,
+        backoff_factor: 2.0,
+    });
+    let mut m = Mediator::new().with_options(MediatorOptions {
+        partial_answers: true,
+        resilience: policy(),
+        streaming,
+        streaming_chunk_rows: 7,
+        ..MediatorOptions::default()
+    });
+    m.connect(client).expect("all wrappers register");
+    m.declare_replicas("R", &["ra", "rb"]).expect("R replicas");
+    m
+}
+
+/// Assert everything that must be identical between the engines for one
+/// executed query. Timing fields (`measured_ms`, per-submit wall/comm
+/// times, byte counts) are deliberately not compared.
+fn assert_equivalent(sql: &str, ctx: &str, two_phase: &QueryResult, streamed: &QueryResult) {
+    assert_eq!(two_phase.schema, streamed.schema, "{ctx} `{sql}`: schema");
+    assert_eq!(two_phase.tuples, streamed.tuples, "{ctx} `{sql}`: answer");
+    assert_eq!(
+        two_phase.is_partial(),
+        streamed.is_partial(),
+        "{ctx} `{sql}`: completeness"
+    );
+    let missing = |r: &QueryResult| -> BTreeSet<String> {
+        r.trace.missing.iter().map(|q| q.to_string()).collect()
+    };
+    assert_eq!(
+        missing(two_phase),
+        missing(streamed),
+        "{ctx} `{sql}`: missing collections"
+    );
+    assert_eq!(
+        two_phase.trace.submits.len(),
+        streamed.trace.submits.len(),
+        "{ctx} `{sql}`: submit count"
+    );
+    for (a, b) in two_phase.trace.submits.iter().zip(&streamed.trace.submits) {
+        assert_eq!(a.wrapper, b.wrapper, "{ctx} `{sql}`: submit target");
+        assert_eq!(a.failed, b.failed, "{ctx} `{sql}`: {} failed", a.wrapper);
+        assert_eq!(
+            a.attempts, b.attempts,
+            "{ctx} `{sql}`: {} attempts",
+            a.wrapper
+        );
+        assert_eq!(
+            a.served_by, b.served_by,
+            "{ctx} `{sql}`: {} served_by",
+            a.wrapper
+        );
+    }
+}
+
+#[test]
+fn fault_free_streamed_answers_are_byte_identical() {
+    for seed in 0..12u64 {
+        let mut two_phase = federation(seed, |_| FaultPlan::none(), false);
+        let mut streamed = federation(seed, |_| FaultPlan::none(), true);
+        for sql in QUERIES {
+            let a = two_phase.query(sql).unwrap();
+            let b = streamed.query(sql).unwrap();
+            assert!(!a.is_partial(), "seed {seed} `{sql}` degraded faultlessly");
+            assert_equivalent(sql, &format!("seed {seed}"), &a, &b);
+        }
+    }
+}
+
+/// Seeded fault schedule: windows of unavailability, huge delays
+/// (caught by the simulated deadline) and dropped messages, keyed off
+/// per-endpoint submit sequence numbers — identical in both engines
+/// because streaming submits consume the same sequence numbers.
+fn fault_schedule(seed: u64, endpoint: &str) -> FaultPlan {
+    let mut rng = seeded(seed, &format!("stream-eq-fault:{endpoint}"));
+    let mut plan = FaultPlan::none();
+    for _ in 0..rng.gen_range(0usize..=2) {
+        let from = rng.gen_range(0usize..25) as u64;
+        let len = rng.gen_range(1usize..=4) as u64;
+        let kind = match rng.gen_range(0usize..10) {
+            0..=3 => FaultKind::Unavailable,
+            4..=7 => FaultKind::Delay(1e6 * (1.0 + rng.gen_f64())),
+            _ => FaultKind::Drop,
+        };
+        plan = plan.window(from, from.saturating_add(len), kind);
+    }
+    plan
+}
+
+#[test]
+fn injected_faults_degrade_both_engines_identically() {
+    for seed in 0..10u64 {
+        let mut two_phase = federation(seed, |e| fault_schedule(seed, e), false);
+        let mut streamed = federation(seed, |e| fault_schedule(seed, e), true);
+        for (q, sql) in QUERIES.iter().cycle().take(2 * QUERIES.len()).enumerate() {
+            let a = two_phase.query(sql).unwrap();
+            let b = streamed.query(sql).unwrap();
+            assert_equivalent(sql, &format!("seed {seed} query {q}"), &a, &b);
+        }
+    }
+}
+
+#[test]
+fn hedged_failover_matches_two_phase() {
+    // `ra` (the healthier-looking primary) is always down: every submit
+    // of `R` must fail over to `rb` — identically in both engines.
+    let faults = |e: &str| {
+        if e == "ra" {
+            FaultPlan::always(FaultKind::Unavailable)
+        } else {
+            FaultPlan::none()
+        }
+    };
+    let mut two_phase = federation(99, faults, false);
+    let mut streamed = federation(99, faults, true);
+    let mut failovers = 0;
+    for sql in QUERIES {
+        let a = two_phase.query(sql).unwrap();
+        let b = streamed.query(sql).unwrap();
+        assert!(!a.is_partial(), "`{sql}`: replica must cover the outage");
+        assert_equivalent(sql, "hedged", &a, &b);
+        failovers += b
+            .trace
+            .submits
+            .iter()
+            .filter(|s| !s.failed && !s.served_by.is_empty() && s.served_by != s.wrapper)
+            .count();
+    }
+    assert!(failovers > 0, "no submit ever failed over to `rb`");
+}
