@@ -1,0 +1,292 @@
+//! E17 — capability negotiation: what declared wrapper capabilities are
+//! worth, on one fixed workload.
+//!
+//! The same federation — a relational endpoint with a 20k-row `Events`
+//! collection plus a small `Dims` dimension table, and a
+//! semi-structured `Orders` document endpoint — is served under three
+//! capability configurations: `scan-only` (the mediator compensates for
+//! everything), `select-pushdown-only` (predicates evaluate at the
+//! source, whole tuples ship), and `relational` (the full algebra
+//! pushes, including the same-wrapper join and the grouped aggregate).
+//! Every configuration must return identical answers; what changes is
+//! where operators run, how many tuples cross the wire, and what the
+//! negotiated plan costs.
+//!
+//! Asserts the negotiated pushdown is *materially* cheaper: ≥ 2× less
+//! simulated time and ≥ 10× fewer shipped tuples for `relational` vs
+//! `scan-only` on this workload.
+//!
+//! Writes `BENCH_capability.json` (machine-readable, consumed by CI as
+//! an artifact).
+//!
+//! ```text
+//! cargo run --release -p disco-bench --bin capability_negotiation
+//! ```
+
+use std::fmt::Write as _;
+
+use disco_bench::Table;
+use disco_catalog::CapabilityProfile;
+use disco_common::{AttributeDef, DataType, Schema, Value};
+use disco_mediator::{Mediator, QueryResult};
+use disco_sources::{CollectionBuilder, CostProfile, DocField, DocSource, DocValue, PagedStore};
+use disco_transport::{ChannelTransport, FaultPlan, NetProfile, TransportClient};
+use disco_wrapper::SourceWrapper;
+
+const EVENT_ROWS: i64 = 20_000;
+const ORDER_DOCS: i64 = 2_000;
+
+/// The fixed workload: a selective indexed lookup, a grouped aggregate,
+/// a same-wrapper join, and a path-predicate selection on the document
+/// endpoint.
+const QUERIES: &[(&str, &str)] = &[
+    ("selective", "SELECT v FROM Events WHERE id < 200"),
+    (
+        "aggregate",
+        "SELECT grp, COUNT(*) AS n FROM Events WHERE v < 10 GROUP BY grp",
+    ),
+    (
+        "join",
+        "SELECT e.v, d.label FROM Events e, Dims d WHERE e.grp = d.gid AND e.id < 500",
+    ),
+    ("doc-path", "SELECT id, zip FROM Orders WHERE zip = 10001"),
+];
+
+fn relational_store() -> PagedStore {
+    let mut s = PagedStore::new("src", CostProfile::relational());
+    s.add_collection(
+        "Events",
+        CollectionBuilder::new(Schema::new(vec![
+            AttributeDef::new("id", DataType::Long),
+            AttributeDef::new("v", DataType::Long),
+            AttributeDef::new("grp", DataType::Long),
+        ]))
+        .rows((0..EVENT_ROWS).map(|i| {
+            vec![
+                Value::Long(i),
+                Value::Long((i * 31) % 97),
+                Value::Long(i % 8),
+            ]
+        }))
+        .object_size(48)
+        .index("id"),
+    )
+    .expect("Events registers");
+    s.add_collection(
+        "Dims",
+        CollectionBuilder::new(Schema::new(vec![
+            AttributeDef::new("gid", DataType::Long),
+            AttributeDef::new("label", DataType::Str),
+        ]))
+        .rows((0..8i64).map(|i| vec![Value::Long(i), Value::Str(format!("g{i}"))]))
+        .index("gid"),
+    )
+    .expect("Dims registers");
+    s
+}
+
+/// Orders: nested `customer.address.zip` flattened through a path
+/// expression; the document wrapper exports its own navigation rules.
+fn doc_store() -> DocSource {
+    let mut s = DocSource::new("docs");
+    let docs: Vec<DocValue> = (0..ORDER_DOCS)
+        .map(|i| {
+            DocValue::obj([
+                ("id", DocValue::Long(i)),
+                (
+                    "customer",
+                    DocValue::obj([(
+                        "address",
+                        DocValue::obj([("zip", DocValue::Long(10_000 + i % 5))]),
+                    )]),
+                ),
+            ])
+        })
+        .collect();
+    s.add_collection(
+        "Orders",
+        vec![
+            DocField::scalar("id", "id", DataType::Long),
+            DocField::scalar("zip", "customer.address.zip", DataType::Long),
+        ],
+        docs,
+    )
+    .expect("Orders registers");
+    s
+}
+
+fn federation(profile: CapabilityProfile) -> Mediator {
+    let mut t = ChannelTransport::new();
+    t.add_wrapper_with(
+        Box::new(SourceWrapper::new("src", relational_store()).with_profile(profile)),
+        NetProfile::lan(),
+        FaultPlan::none(),
+    );
+    let docs = doc_store();
+    let rules = docs.path_cost_rules();
+    t.add_wrapper_with(
+        Box::new(
+            SourceWrapper::new("docs", docs)
+                .with_profile(profile)
+                .with_cost_rules(rules),
+        ),
+        NetProfile::lan(),
+        FaultPlan::none(),
+    );
+    let mut m = Mediator::new();
+    m.connect(TransportClient::new(Box::new(t)))
+        .expect("wrappers register");
+    m
+}
+
+/// Order-insensitive digest of an answer, for the cross-profile
+/// equality check.
+fn answer_key(r: &QueryResult) -> String {
+    let mut rows: Vec<String> = r.tuples.iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    rows.join("\n")
+}
+
+struct ProfileRun {
+    profile: &'static str,
+    /// Per-query (simulated execution ms, shipped tuples, estimated
+    /// TotalTime).
+    per_query: Vec<(f64, u64, f64)>,
+    total_ms: f64,
+    shipped: u64,
+}
+
+fn run_profile(profile: CapabilityProfile, keys: &mut Vec<Vec<String>>) -> ProfileRun {
+    let mut m = federation(profile);
+    let mut per_query = Vec::new();
+    let mut total_ms = 0.0;
+    let mut shipped = 0u64;
+    let mut my_keys = Vec::new();
+    for (name, sql) in QUERIES {
+        let r = m
+            .query(sql)
+            .unwrap_or_else(|e| panic!("{name} under {}: {e}", profile.name()));
+        assert!(!r.is_partial(), "{name} degraded under {}", profile.name());
+        let ms = r.measured_ms + r.trace.communication_ms;
+        let rows: u64 = r.trace.submits.iter().map(|s| s.tuples as u64).sum();
+        per_query.push((ms, rows, r.estimated.total_time));
+        total_ms += ms;
+        shipped += rows;
+        my_keys.push(answer_key(&r));
+    }
+    keys.push(my_keys);
+    ProfileRun {
+        profile: profile.name(),
+        per_query,
+        total_ms,
+        shipped,
+    }
+}
+
+fn main() {
+    let profiles = [
+        CapabilityProfile::ScanOnly,
+        CapabilityProfile::SelectPushdownOnly,
+        CapabilityProfile::Relational,
+    ];
+    let mut keys: Vec<Vec<String>> = Vec::new();
+    let runs: Vec<ProfileRun> = profiles
+        .iter()
+        .map(|p| run_profile(*p, &mut keys))
+        .collect();
+
+    // Profiles may move operators around, never change answers.
+    for (i, k) in keys.iter().enumerate().skip(1) {
+        assert_eq!(
+            &keys[0], k,
+            "profile `{}` changed an answer vs `{}`",
+            runs[i].profile, runs[0].profile
+        );
+    }
+
+    let mut t = Table::new(&["profile", "query", "sim ms", "shipped", "est TotalTime"]);
+    for run in &runs {
+        for ((name, _), (ms, rows, est)) in QUERIES.iter().zip(&run.per_query) {
+            t.row(vec![
+                run.profile.to_string(),
+                (*name).to_string(),
+                format!("{ms:.1}"),
+                rows.to_string(),
+                format!("{est:.1}"),
+            ]);
+        }
+        t.row(vec![
+            run.profile.to_string(),
+            "TOTAL".to_string(),
+            format!("{:.1}", run.total_ms),
+            run.shipped.to_string(),
+            String::new(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let scan = &runs[0];
+    let select = &runs[1];
+    let full = &runs[2];
+    let time_ratio = scan.total_ms / full.total_ms;
+    let ship_ratio = scan.shipped as f64 / full.shipped as f64;
+    println!(
+        "negotiated pushdown vs scan-only: {time_ratio:.1}x less simulated time, \
+         {ship_ratio:.1}x fewer shipped tuples"
+    );
+
+    // Material wins, with comfortable margins on this workload.
+    assert!(
+        select.total_ms < scan.total_ms,
+        "select pushdown must beat scan-only ({:.1} vs {:.1})",
+        select.total_ms,
+        scan.total_ms
+    );
+    assert!(
+        full.total_ms * 2.0 <= scan.total_ms,
+        "full pushdown must be >= 2x cheaper than scan-only ({:.1} vs {:.1})",
+        full.total_ms,
+        scan.total_ms
+    );
+    assert!(
+        (full.shipped as f64) * 10.0 <= scan.shipped as f64,
+        "full pushdown must ship >= 10x fewer tuples ({} vs {})",
+        full.shipped,
+        scan.shipped
+    );
+
+    let mut json_rows = String::new();
+    for run in &runs {
+        if !json_rows.is_empty() {
+            json_rows.push(',');
+        }
+        let mut queries_json = String::new();
+        for ((name, _), (ms, rows, est)) in QUERIES.iter().zip(&run.per_query) {
+            if !queries_json.is_empty() {
+                queries_json.push(',');
+            }
+            write!(
+                queries_json,
+                "\n      {{\"query\": \"{name}\", \"sim_ms\": {ms:.2}, \
+                 \"shipped_tuples\": {rows}, \"estimated_total_time\": {est:.2}}}"
+            )
+            .expect("write query row");
+        }
+        write!(
+            json_rows,
+            "\n    {{\"profile\": \"{}\", \"total_sim_ms\": {:.2}, \
+             \"shipped_tuples\": {}, \"queries\": [{queries_json}\n    ]}}",
+            run.profile, run.total_ms, run.shipped
+        )
+        .expect("write profile row");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"capability_negotiation\",\n  \
+         \"event_rows\": {EVENT_ROWS},\n  \"order_docs\": {ORDER_DOCS},\n  \
+         \"time_ratio_scan_vs_full\": {time_ratio:.2},\n  \
+         \"ship_ratio_scan_vs_full\": {ship_ratio:.2},\n  \
+         \"profiles\": [{json_rows}\n  ],\n  \"pass\": true\n}}\n"
+    );
+    std::fs::write("BENCH_capability.json", &json).expect("write BENCH_capability.json");
+    println!("wrote BENCH_capability.json");
+}

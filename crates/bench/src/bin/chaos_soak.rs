@@ -1,5 +1,6 @@
-//! Chaos soak: seeded fault-schedule runs over a replicated federation,
-//! every answer checked against the fault-free oracle (see
+//! Chaos soak: seeded fault-schedule runs over a replicated federation
+//! whose endpoints declare seed-derived capability profiles, every
+//! answer checked against the fault-free oracle (see
 //! `disco_bench::chaos`). Each seed is run twice and the transcript
 //! digests compared, so nondeterminism fails the soak just like a wrong
 //! answer does. Each seed is then soaked again with four concurrent
@@ -35,6 +36,7 @@ fn main() {
 
     let mut t = Table::new(&[
         "seed",
+        "caps",
         "queries",
         "complete",
         "partial",
@@ -71,8 +73,15 @@ fn main() {
                 rep.digest, replay.digest
             );
         }
+        let profiles = chaos::profile_assignment(seed);
+        let caps: String = profiles
+            .iter()
+            .map(|(c, p)| format!("{c}={p}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         t.row(vec![
             seed.to_string(),
+            caps,
             rep.queries.to_string(),
             rep.complete.to_string(),
             rep.partial.to_string(),
@@ -87,9 +96,14 @@ fn main() {
         if !json_rows.is_empty() {
             json_rows.push(',');
         }
+        let profiles_json = profiles
+            .iter()
+            .map(|(c, p)| format!("\"{c}\": \"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
         write!(
             json_rows,
-            "\n    {{\"seed\": {seed}, \"queries\": {}, \"complete\": {}, \
+            "\n    {{\"seed\": {seed}, \"profiles\": {{{profiles_json}}}, \"queries\": {}, \"complete\": {}, \
              \"partial\": {}, \"failovers\": {}, \"hedges\": {}, \
              \"mismatches\": {}, \"deterministic\": {deterministic}, \
              \"digest\": \"{}\", \"concurrent\": {{\"sessions\": {}, \

@@ -3,7 +3,12 @@
 //! A seeded driver runs a stream of federated queries against a
 //! five-wrapper federation (replicated `R` and `U`, single-homed `S`)
 //! while each endpoint misbehaves according to a fault schedule derived
-//! from the seed. Every answer is checked against an *oracle*: the same
+//! from the seed. Each endpoint also declares a seed-derived capability
+//! profile (see [`capability_profile`]), so the optimizer's pushdown
+//! split — and hence which operators run in the mediator's combine
+//! plan — varies per seed; the oracle federations declare the same
+//! profiles, so a profile-induced answer change would fail the digest
+//! check just like a fault-induced one. Every answer is checked against an *oracle*: the same
 //! query on a fault-free federation whose collections reported in
 //! `trace.missing` are emptied. A run is correct when every answer
 //! equals its oracle answer — degraded answers are allowed, silently
@@ -28,6 +33,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
+use disco_catalog::CapabilityProfile;
 use disco_common::rng::seeded;
 use disco_common::{AttributeDef, DataType, Schema, Value};
 use disco_mediator::{Mediator, MediatorOptions, QueryResult, ResiliencePolicy, SharedMediator};
@@ -63,6 +69,38 @@ pub const QUERIES: &[&str] = &[
     "SELECT id FROM R WHERE v = 2 UNION ALL SELECT uid FROM U",
     "SELECT s.w, u.t FROM S s, U u WHERE s.sid = u.uid",
 ];
+
+/// Seeded capability profile for one endpoint. Keyed on the *collection*
+/// the endpoint serves, not the endpoint name, so replicas of the same
+/// collection always declare the same profile: failover resubmits the
+/// already-planned subquery, and a replica with a narrower profile would
+/// reject operators its twin accepted — a different failure mode than
+/// the faults this soak injects.
+pub fn capability_profile(seed: u64, endpoint: &str) -> CapabilityProfile {
+    let collection = ENDPOINTS
+        .iter()
+        .find(|(e, _)| *e == endpoint)
+        .map(|(_, c)| *c)
+        .unwrap_or(endpoint);
+    let mut rng = seeded(seed, &format!("chaos-caps:{collection}"));
+    CapabilityProfile::ALL[rng.gen_range(0usize..CapabilityProfile::ALL.len())]
+}
+
+/// The seed's profile assignment, one `(collection, profile)` pair per
+/// distinct collection — for reports and replay messages.
+pub fn profile_assignment(seed: u64) -> Vec<(String, String)> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for (endpoint, collection) in ENDPOINTS {
+        if seen.insert(*collection) {
+            out.push((
+                (*collection).to_string(),
+                capability_profile(seed, endpoint).name().to_string(),
+            ));
+        }
+    }
+    out
+}
 
 fn schema_for(collection: &str) -> Schema {
     let (key, val) = match collection {
@@ -104,12 +142,15 @@ fn chaos_policy() -> ResiliencePolicy {
 }
 
 /// Build the five-wrapper federation; `faults` supplies each endpoint's
-/// schedule, `empty` names collections registered with zero rows (used
-/// by the oracle to mirror a degraded answer), and `streaming` runs
-/// queries through the pipelined engine (small chunks, to exercise the
-/// frame loop; the oracle always stays two-phase).
-fn federation<F: Fn(&str) -> FaultPlan>(
+/// schedule, `caps` each endpoint's declared capability profile (the
+/// oracle must be built with the *same* profiles as the run it checks),
+/// `empty` names collections registered with zero rows (used by the
+/// oracle to mirror a degraded answer), and `streaming` runs queries
+/// through the pipelined engine (small chunks, to exercise the frame
+/// loop; the oracle always stays two-phase).
+fn federation<F: Fn(&str) -> FaultPlan, C: Fn(&str) -> CapabilityProfile>(
     faults: F,
+    caps: C,
     empty: &BTreeSet<String>,
     streaming: bool,
 ) -> Mediator {
@@ -127,7 +168,7 @@ fn federation<F: Fn(&str) -> FaultPlan>(
         )
         .expect("collection registers");
         t.add_wrapper_with(
-            Box::new(SourceWrapper::new(*endpoint, s)),
+            Box::new(SourceWrapper::new(*endpoint, s).with_profile(caps(endpoint))),
             NetProfile::lan(),
             faults(endpoint),
         );
@@ -229,7 +270,12 @@ pub fn run_seed_streaming(seed: u64, queries: usize) -> SeedReport {
 }
 
 fn run_seed_with(seed: u64, queries: usize, streaming: bool) -> SeedReport {
-    let mut m = federation(|e| fault_schedule(seed, e), &BTreeSet::new(), streaming);
+    let mut m = federation(
+        |e| fault_schedule(seed, e),
+        |e| capability_profile(seed, e),
+        &BTreeSet::new(),
+        streaming,
+    );
     let mut oracles: BTreeMap<(usize, BTreeSet<String>), String> = BTreeMap::new();
     let mut report = SeedReport {
         seed,
@@ -266,7 +312,12 @@ fn run_seed_with(seed: u64, queries: usize, streaming: bool) -> SeedReport {
             .collect();
         let got = answer_key(&r);
         let want = oracles.entry((idx, missing.clone())).or_insert_with(|| {
-            let mut oracle = federation(|_| FaultPlan::none(), &missing, false);
+            let mut oracle = federation(
+                |_| FaultPlan::none(),
+                |e| capability_profile(seed, e),
+                &missing,
+                false,
+            );
             let o = oracle.query(sql).expect("oracle query succeeds");
             assert!(!o.is_partial(), "oracle must never degrade");
             answer_key(&o)
@@ -326,6 +377,7 @@ impl ConcurrentReport {
 /// harmless — both racers derive the same deterministic answer.
 fn oracle_digest(
     oracles: &Mutex<BTreeMap<(usize, BTreeSet<String>), String>>,
+    seed: u64,
     idx: usize,
     missing: &BTreeSet<String>,
 ) -> String {
@@ -333,7 +385,12 @@ fn oracle_digest(
     if let Some(want) = oracles.lock().expect("oracle memo lock").get(&key) {
         return want.clone();
     }
-    let mut oracle = federation(|_| FaultPlan::none(), missing, false);
+    let mut oracle = federation(
+        |_| FaultPlan::none(),
+        |e| capability_profile(seed, e),
+        missing,
+        false,
+    );
     let o = oracle.query(QUERIES[idx]).expect("oracle query succeeds");
     assert!(!o.is_partial(), "oracle must never degrade");
     let want = answer_key(&o);
@@ -361,6 +418,7 @@ pub fn run_seed_concurrent(
 ) -> ConcurrentReport {
     let shared = SharedMediator::new(federation(
         |e| fault_schedule(seed, e),
+        |e| capability_profile(seed, e),
         &BTreeSet::new(),
         false,
     ));
@@ -405,7 +463,7 @@ pub fn run_seed_concurrent(
                             .map(|qn| qn.collection.clone())
                             .collect();
                         let got = answer_key(&r);
-                        let want = oracle_digest(oracles, idx, &missing);
+                        let want = oracle_digest(oracles, seed, idx, &missing);
                         if got != want {
                             mismatches.push(format!(
                                 "session {s} query {q} (`{sql}`): answer diverges \

@@ -65,6 +65,87 @@ impl Default for Capabilities {
     }
 }
 
+/// A named capability profile — the declared shapes real sources come
+/// in. Profiles are presets over [`Capabilities`]; the optimizer only
+/// ever consults the capability *set*, so ad-hoc sets remain first
+/// class (they classify as `Custom` for display).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapabilityProfile {
+    /// Relationally complete: the full algebra (the paper's assumption).
+    Relational,
+    /// Evaluates predicates but ships whole tuples (no projection,
+    /// no joins): e.g. a keyword-filter API.
+    SelectPushdownOnly,
+    /// Raw extent delivery only (a flat file): the mediator compensates
+    /// for everything.
+    ScanOnly,
+    /// Everything except joins — single-collection engines.
+    NoJoin,
+    /// Select/project plus server-side aggregation, but no joins —
+    /// a metrics-store shape.
+    AggregateCapable,
+}
+
+impl CapabilityProfile {
+    /// Every declared profile, in display order.
+    pub const ALL: [CapabilityProfile; 5] = [
+        CapabilityProfile::Relational,
+        CapabilityProfile::SelectPushdownOnly,
+        CapabilityProfile::ScanOnly,
+        CapabilityProfile::NoJoin,
+        CapabilityProfile::AggregateCapable,
+    ];
+
+    /// The capability set this profile declares.
+    pub fn capabilities(&self) -> Capabilities {
+        match self {
+            CapabilityProfile::Relational => Capabilities::full(),
+            CapabilityProfile::SelectPushdownOnly => Capabilities::of(&[OperatorKind::Select]),
+            CapabilityProfile::ScanOnly => Capabilities::scan_only(),
+            CapabilityProfile::NoJoin => Capabilities::of(&[
+                OperatorKind::Select,
+                OperatorKind::Project,
+                OperatorKind::Sort,
+                OperatorKind::Dedup,
+                OperatorKind::Aggregate,
+            ]),
+            CapabilityProfile::AggregateCapable => Capabilities::of(&[
+                OperatorKind::Select,
+                OperatorKind::Project,
+                OperatorKind::Aggregate,
+            ]),
+        }
+    }
+
+    /// Stable display name (also accepted by [`CapabilityProfile::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CapabilityProfile::Relational => "relational",
+            CapabilityProfile::SelectPushdownOnly => "select-pushdown-only",
+            CapabilityProfile::ScanOnly => "scan-only",
+            CapabilityProfile::NoJoin => "no-join",
+            CapabilityProfile::AggregateCapable => "aggregate-capable",
+        }
+    }
+
+    /// Parse a profile name (case-insensitive; `_` and `-` both accepted).
+    pub fn parse(name: &str) -> Option<CapabilityProfile> {
+        let norm = name.to_ascii_lowercase().replace('_', "-");
+        CapabilityProfile::ALL
+            .into_iter()
+            .find(|p| p.name() == norm)
+    }
+
+    /// Classify a capability set back to its profile name, or `custom`.
+    pub fn classify(caps: &Capabilities) -> &'static str {
+        CapabilityProfile::ALL
+            .into_iter()
+            .find(|p| p.capabilities() == *caps)
+            .map(|p| p.name())
+            .unwrap_or("custom")
+    }
+}
+
 /// One registered collection: schema plus statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CatalogCollection {
@@ -129,6 +210,9 @@ pub struct Catalog {
     /// identical copies, in declared (preference) order.
     replicas: BTreeMap<String, Vec<String>>,
     next_id: u32,
+    /// Bumped whenever a wrapper's capability set changes after
+    /// registration — plan caches key replayed decisions on it.
+    capability_epoch: u64,
 }
 
 impl Catalog {
@@ -164,6 +248,32 @@ impl Catalog {
             },
         );
         Ok(id)
+    }
+
+    /// Replace a registered wrapper's capability set (the administrative
+    /// path for declaring that a source gained or lost operations).
+    /// Bumps the capability epoch so cached plan decisions negotiated
+    /// against the old set are invalidated.
+    pub fn set_wrapper_capabilities(
+        &mut self,
+        wrapper: &str,
+        capabilities: Capabilities,
+    ) -> Result<()> {
+        let entry = self
+            .wrappers
+            .get_mut(wrapper)
+            .ok_or_else(|| DiscoError::Catalog(format!("unknown wrapper `{wrapper}`")))?;
+        if entry.capabilities != capabilities {
+            entry.capabilities = capabilities;
+            self.capability_epoch += 1;
+        }
+        Ok(())
+    }
+
+    /// Epoch counter incremented on every post-registration capability
+    /// change ([`Catalog::set_wrapper_capabilities`]).
+    pub fn capability_epoch(&self) -> u64 {
+        self.capability_epoch
     }
 
     /// Set the cache regime assumed for a wrapper's page predictions.
@@ -568,6 +678,48 @@ mod tests {
         assert!(!f.supports(OperatorKind::Select));
         let sel = Capabilities::of(&[OperatorKind::Select]);
         assert!(sel.supports(OperatorKind::Scan) && sel.supports(OperatorKind::Select));
+    }
+
+    #[test]
+    fn capability_profiles_round_trip() {
+        for p in CapabilityProfile::ALL {
+            assert_eq!(CapabilityProfile::parse(p.name()), Some(p));
+            assert_eq!(CapabilityProfile::classify(&p.capabilities()), p.name());
+        }
+        assert_eq!(
+            CapabilityProfile::parse("Scan_Only"),
+            Some(CapabilityProfile::ScanOnly)
+        );
+        assert_eq!(CapabilityProfile::parse("nonsense"), None);
+        // Ad-hoc sets classify as custom.
+        let odd = Capabilities::of(&[OperatorKind::Union]);
+        assert_eq!(CapabilityProfile::classify(&odd), "custom");
+        // Profile shapes make sense.
+        let nj = CapabilityProfile::NoJoin.capabilities();
+        assert!(nj.supports(OperatorKind::Aggregate) && !nj.supports(OperatorKind::Join));
+        let ac = CapabilityProfile::AggregateCapable.capabilities();
+        assert!(ac.supports(OperatorKind::Aggregate) && !ac.supports(OperatorKind::Sort));
+    }
+
+    #[test]
+    fn capability_changes_bump_the_epoch() {
+        let mut c = catalog_with_two_wrappers();
+        assert_eq!(c.capability_epoch(), 0);
+        c.set_wrapper_capabilities("files", CapabilityProfile::Relational.capabilities())
+            .unwrap();
+        assert_eq!(c.capability_epoch(), 1);
+        assert!(c
+            .wrapper("files")
+            .unwrap()
+            .capabilities
+            .supports(OperatorKind::Join));
+        // No-op changes don't churn the epoch; unknown wrappers error.
+        c.set_wrapper_capabilities("files", CapabilityProfile::Relational.capabilities())
+            .unwrap();
+        assert_eq!(c.capability_epoch(), 1);
+        assert!(c
+            .set_wrapper_capabilities("ghost", Capabilities::full())
+            .is_err());
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod histogram;
 pub mod selectivity;
 pub mod stats;
 
-pub use catalog::{CacheRegime, Capabilities, Catalog, CatalogCollection, WrapperEntry};
+pub use catalog::{
+    CacheRegime, Capabilities, CapabilityProfile, Catalog, CatalogCollection, WrapperEntry,
+};
 pub use histogram::{Histogram, HistogramKind};
 pub use selectivity::{join_selectivity, predicate_selectivity, restriction_selectivity};
 pub use stats::{AttributeStats, CollectionStats, ExtentStats, StatName};

@@ -208,11 +208,20 @@ impl CollectionStats {
 
     /// Attribute statistics, falling back to defaults derived from the
     /// extent when the wrapper did not export this attribute.
+    ///
+    /// Plans qualify attributes by table alias (`b.k`) while wrappers
+    /// export statistics under the bare attribute name (`k`); a qualified
+    /// miss retries the suffix after the last dot before defaulting.
     pub fn attribute(&self, name: &str) -> AttributeStats {
-        self.attributes
-            .get(name)
-            .cloned()
-            .unwrap_or_else(|| AttributeStats::defaults_for(self.extent.count_object))
+        if let Some(a) = self.attributes.get(name) {
+            return a.clone();
+        }
+        if let Some((_, bare)) = name.rsplit_once('.') {
+            if let Some(a) = self.attributes.get(bare) {
+                return a.clone();
+            }
+        }
+        AttributeStats::defaults_for(self.extent.count_object)
     }
 
     /// Generic statistic lookup by the Figure 7 scheme.

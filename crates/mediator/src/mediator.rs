@@ -266,6 +266,18 @@ impl Mediator {
         self.catalog.declare_replicas(collection, wrappers)
     }
 
+    /// Administratively replace a wrapper's declared capability set
+    /// (e.g. a source upgrade enabling pushdown, or an operator being
+    /// disabled). Bumps the catalog's capability epoch so plan caches
+    /// drop decisions negotiated against the old profile.
+    pub fn set_wrapper_capabilities(
+        &mut self,
+        wrapper: &str,
+        capabilities: disco_catalog::Capabilities,
+    ) -> Result<()> {
+        self.catalog.set_wrapper_capabilities(wrapper, capabilities)
+    }
+
     /// The blended rule registry.
     pub fn registry(&self) -> &RuleRegistry {
         &self.registry
@@ -327,6 +339,7 @@ impl Mediator {
         let mut memo_hits = 0;
         let mut rule_cache_hits = 0;
         let mut fast_path = false;
+        let mut negotiation = Vec::new();
         for query in &stmt.branches {
             let analyzed = {
                 let _s = self.tracer.as_ref().map(|t| t.start("analyze"));
@@ -353,6 +366,7 @@ impl Mediator {
             memo_hits += plan.memo_hits;
             rule_cache_hits += plan.rule_cache_hits;
             fast_path |= plan.fast_path;
+            negotiation.extend(plan.negotiation);
             branch_plans.push(plan.physical);
         }
         let mut iter = branch_plans.into_iter();
@@ -397,6 +411,10 @@ impl Mediator {
             rule_cache_hits,
             fast_path,
             limit: stmt.limit,
+            // Unions are not replayable as one decision set; branches
+            // cache individually when queried alone.
+            decisions: None,
+            negotiation,
         })
     }
 
@@ -413,12 +431,26 @@ impl Mediator {
         Ok(node.render())
     }
 
-    /// Render the chosen plan and its estimate.
+    /// Render the chosen plan and its estimate, including the
+    /// capability-negotiation report: which operators were pushed into
+    /// which wrapper, which were lifted into the mediator's combine
+    /// plan because a profile forbids them, and which stayed local by
+    /// cost.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let plan = self.plan(sql)?;
+        let mut negotiation = String::new();
+        if !plan.negotiation.is_empty() {
+            negotiation.push_str("negotiation:\n");
+            for note in &plan.negotiation {
+                negotiation.push_str("  ");
+                negotiation.push_str(note);
+                negotiation.push('\n');
+            }
+        }
         Ok(format!(
-            "{}estimated: {}\nplans considered: {} (pruned {})\n",
+            "{}{}estimated: {}\nplans considered: {} (pruned {})\n",
             explain_physical(&plan.physical),
+            negotiation,
             plan.estimated,
             plan.plans_considered,
             plan.plans_pruned

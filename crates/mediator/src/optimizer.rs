@@ -50,7 +50,7 @@ use disco_algebra::{
     CompareOp, JoinKind, JoinPredicate, LogicalPlan, OperatorKind, PhysicalJoinAlgo, PhysicalPlan,
     Predicate, ScalarExpr, SelectPredicate,
 };
-use disco_catalog::Catalog;
+use disco_catalog::{CapabilityProfile, Catalog};
 use disco_common::{DiscoError, HealthTracker, QualifiedName, Result};
 use disco_core::{
     EstimateOptions, EstimateReport, Estimator, EstimatorCache, NodeCost, RuleRegistry,
@@ -107,6 +107,11 @@ pub struct OptimizerOptions {
     pub small_query_threshold: usize,
     /// Cost variable that ranks plans (see [`Objective`]).
     pub objective: Objective,
+    /// Run the capability-negotiation pass after join enumeration
+    /// (fusing same-wrapper joins and pushing grouped aggregates when
+    /// the estimator prices the pushed form no worse). On by default;
+    /// off isolates the enumerator, e.g. for DP-vs-oracle equivalence.
+    pub negotiation: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -117,6 +122,7 @@ impl Default for OptimizerOptions {
             enumeration: JoinEnumeration::Dp,
             small_query_threshold: 5,
             objective: Objective::TotalTime,
+            negotiation: true,
         }
     }
 }
@@ -151,6 +157,15 @@ pub struct OptimizedPlan {
     /// (and, streaming, stops pulling) at `n` rows. Not part of the
     /// plan tree — enforcement is an executor concern.
     pub limit: Option<u64>,
+    /// Constant-free decisions extracted from the *pre-negotiation*
+    /// plan (the left-deep per-table shape [`Optimizer::replay`]
+    /// rebuilds; negotiation re-runs deterministically on replay).
+    /// `None` for shapes the replay path cannot rebuild.
+    pub decisions: Option<PlanDecisions>,
+    /// Human-readable capability-negotiation outcome, one line per
+    /// operator: what was pushed into which wrapper, what was lifted
+    /// into the mediator's combine plan, and why. Rendered by EXPLAIN.
+    pub negotiation: Vec<String>,
 }
 
 /// The constant-free residue of one optimization run: which wrapper
@@ -556,6 +571,23 @@ impl<'a> Optimizer<'a> {
         }
 
         let physical = self.finish_plan(q, best_join)?;
+        // Decisions are extracted from the pre-negotiation plan: the
+        // negotiation pass may fuse leaves into multi-table submits,
+        // which the replay path rebuilds by re-running negotiation.
+        let decisions = PlanDecisions::of(q, &physical);
+        let (physical, best_cost, negotiation) = if self.options.negotiation {
+            self.negotiate(
+                q,
+                physical,
+                best_cost,
+                decisions.as_ref(),
+                &estimator,
+                cache,
+                &mut counters,
+            )?
+        } else {
+            (physical, best_cost, Vec::new())
+        };
         Ok(OptimizedPlan {
             physical,
             estimated: best_cost,
@@ -567,6 +599,8 @@ impl<'a> Optimizer<'a> {
             rule_cache_hits: cache.map_or(0, |c| c.rule_hits()),
             fast_path,
             limit: q.limit,
+            decisions,
+            negotiation,
         })
     }
 
@@ -618,17 +652,36 @@ impl<'a> Optimizer<'a> {
         let report = estimator
             .estimate_report(&to_logical(&physical), &EstimateOptions::default())?
             .ok_or_else(|| DiscoError::Cost("replay estimate abandoned without a limit".into()))?;
+        // Negotiation is deterministic given catalog + registry + health,
+        // so replaying the cached decisions re-derives the same pushdown
+        // split the original optimization chose.
+        let mut counters = Counters::default();
+        let (physical, estimated, negotiation) = if self.options.negotiation {
+            self.negotiate(
+                q,
+                physical,
+                report.cost,
+                Some(decisions),
+                &estimator,
+                None,
+                &mut counters,
+            )?
+        } else {
+            (physical, report.cost, Vec::new())
+        };
         Ok(OptimizedPlan {
             physical,
-            estimated: report.cost,
+            estimated,
             plans_considered: 0,
             plans_pruned: 0,
-            estimator_nodes: report.nodes_visited,
-            estimator_rules: report.rules_evaluated,
+            estimator_nodes: report.nodes_visited + counters.nodes,
+            estimator_rules: report.rules_evaluated + counters.rules,
             memo_hits: 0,
             rule_cache_hits: 0,
             fast_path: false,
             limit: q.limit,
+            decisions: Some(decisions.clone()),
+            negotiation,
         })
     }
 
@@ -1213,6 +1266,466 @@ impl<'a> Optimizer<'a> {
         }
         Ok(plan)
     }
+
+    /// Capability-driven pushdown negotiation (the post-plan rewrite).
+    ///
+    /// The access phase already negotiates select/project pushdown per
+    /// table against declared capabilities; this pass handles the
+    /// *multi-table* operators. Joins whose two sides land on the same
+    /// Join-capable wrapper are fused into one submit, and a grouped
+    /// aggregate sitting directly on a lone submit is pushed into an
+    /// Aggregate-capable wrapper. Each rewrite is adopted only when the
+    /// estimator prices it no worse than the mediator-side original
+    /// under the configured objective, so a wrapper whose exported cost
+    /// rules make source-side joins expensive keeps them in the combine
+    /// plan. The returned notes record every pushed/lifted decision and
+    /// why; EXPLAIN renders them.
+    #[allow(clippy::too_many_arguments)]
+    fn negotiate(
+        &self,
+        q: &AnalyzedQuery,
+        plan: PhysicalPlan,
+        cost: NodeCost,
+        decisions: Option<&PlanDecisions>,
+        estimator: &Estimator<'_>,
+        cache: Option<&EstimatorCache>,
+        counters: &mut Counters,
+    ) -> Result<(PhysicalPlan, NodeCost, Vec<String>)> {
+        let mut plan = plan;
+        let mut cost = cost;
+        let price = |cand: &PhysicalPlan, counters: &mut Counters| -> Result<NodeCost> {
+            let report = estimate(
+                estimator,
+                cache,
+                &to_logical(cand),
+                &EstimateOptions::default(),
+            )?
+            .expect("no cost limit set");
+            counters.nodes += report.nodes_visited;
+            counters.rules += report.rules_evaluated;
+            Ok(report.cost)
+        };
+        // Join fusion: price every variant and adopt the cheapest one
+        // that is no worse than the mediator-side plan. Taking the min
+        // over both orientations keeps the outcome independent of how
+        // the enumerator tie-broke commuted join orders.
+        let mut best: Option<(PhysicalPlan, NodeCost)> = None;
+        for cand in fusion_variants(&plan, self.catalog) {
+            let c = price(&cand, counters)?;
+            let admissible = self.objective_value(&c) <= self.objective_value(&cost);
+            let improves = best
+                .as_ref()
+                .is_none_or(|(_, b)| self.objective_value(&c) < self.objective_value(b));
+            if admissible && improves {
+                best = Some((cand, c));
+            }
+        }
+        if let Some((p, c)) = best {
+            plan = p;
+            cost = c;
+        }
+        if q.is_aggregate() {
+            let (pushed, changed) = push_aggregate(&plan, self.catalog);
+            if changed {
+                let c = price(&pushed, counters)?;
+                if self.objective_value(&c) <= self.objective_value(&cost) {
+                    plan = pushed;
+                    cost = c;
+                }
+            }
+        }
+        let notes = self.negotiation_notes(q, decisions, &plan);
+        Ok((plan, cost, notes))
+    }
+
+    /// Derive the pushed-vs-lifted report from the final plan: which
+    /// operators execute inside which wrapper, which were lifted into
+    /// the mediator combine plan because a profile forbids them, and
+    /// which stayed local by cost.
+    fn negotiation_notes(
+        &self,
+        q: &AnalyzedQuery,
+        decisions: Option<&PlanDecisions>,
+        plan: &PhysicalPlan,
+    ) -> Vec<String> {
+        let mut notes = Vec::new();
+        let profile = |w: &str| -> &'static str {
+            self.catalog
+                .wrapper(w)
+                .map(|e| CapabilityProfile::classify(&e.capabilities))
+                .unwrap_or("unknown")
+        };
+        let supports = |w: &str, op: OperatorKind| -> bool {
+            self.catalog
+                .wrapper(w)
+                .is_some_and(|e| e.capabilities.supports(op))
+        };
+        if let Some(d) = decisions {
+            for (t, a) in d.access.iter().enumerate() {
+                let alias = &q.tables[t].alias;
+                if q.selections.iter().any(|(ti, _)| *ti == t) {
+                    if a.push_select {
+                        notes.push(format!("select on `{alias}`: pushed to `{}`", a.wrapper));
+                    } else if !supports(&a.wrapper, OperatorKind::Select) {
+                        notes.push(format!(
+                            "select on `{alias}`: lifted to mediator combine plan \
+                             (profile `{}` of `{}` forbids select)",
+                            profile(&a.wrapper),
+                            a.wrapper
+                        ));
+                    } else {
+                        notes.push(format!("select on `{alias}`: kept at mediator by cost"));
+                    }
+                }
+                if a.push_project {
+                    notes.push(format!("project on `{alias}`: pushed to `{}`", a.wrapper));
+                } else if !supports(&a.wrapper, OperatorKind::Project) {
+                    notes.push(format!(
+                        "project on `{alias}`: lifted to mediator combine plan \
+                         (profile `{}` of `{}` forbids project)",
+                        profile(&a.wrapper),
+                        a.wrapper
+                    ));
+                } else {
+                    notes.push(format!("project on `{alias}`: kept at mediator by cost"));
+                }
+            }
+        }
+        let mut stack = vec![plan];
+        while let Some(p) = stack.pop() {
+            match p {
+                PhysicalPlan::Join {
+                    left,
+                    right,
+                    predicate,
+                    ..
+                } => {
+                    let mut all = left.wrappers();
+                    for w in right.wrappers() {
+                        if !all.contains(&w) {
+                            all.push(w);
+                        }
+                    }
+                    if all.len() > 1 {
+                        notes.push(format!(
+                            "join ({predicate}): combined at mediator (cross-wrapper: {})",
+                            all.join(", ")
+                        ));
+                    } else if let Some(w) = all.first() {
+                        if !supports(w, OperatorKind::Join) {
+                            notes.push(format!(
+                                "join ({predicate}): lifted to mediator combine plan \
+                                 (profile `{}` of `{w}` forbids join)",
+                                profile(w)
+                            ));
+                        } else {
+                            notes.push(format!("join ({predicate}): kept at mediator by cost"));
+                        }
+                    }
+                }
+                PhysicalPlan::Aggregate {
+                    input, group_by, ..
+                } => {
+                    let ws = input.wrappers();
+                    if group_by.is_empty() {
+                        notes.push(
+                            "aggregate: kept at mediator (global aggregates must \
+                             survive partial answers)"
+                                .into(),
+                        );
+                    } else if ws.len() > 1 {
+                        notes.push(
+                            "aggregate: combined at mediator (inputs span multiple wrappers)"
+                                .into(),
+                        );
+                    } else if !matches!(input.as_ref(), PhysicalPlan::SubmitRemote { .. }) {
+                        notes.push(
+                            "aggregate: combined at mediator (input is not a single subquery)"
+                                .into(),
+                        );
+                    } else if let Some(w) = ws.first() {
+                        if !supports(w, OperatorKind::Aggregate) {
+                            notes.push(format!(
+                                "aggregate: lifted to mediator combine plan \
+                                 (profile `{}` of `{w}` forbids aggregate)",
+                                profile(w)
+                            ));
+                        } else {
+                            notes.push("aggregate: kept at mediator by cost".into());
+                        }
+                    }
+                }
+                PhysicalPlan::SubmitRemote {
+                    wrapper,
+                    plan: inner,
+                    ..
+                } => {
+                    let mut istack = vec![inner];
+                    while let Some(ip) = istack.pop() {
+                        match ip {
+                            LogicalPlan::Join { predicate, .. } => {
+                                notes.push(format!("join ({predicate}): pushed to `{wrapper}`"));
+                            }
+                            LogicalPlan::Aggregate { .. } => {
+                                notes.push(format!("aggregate: pushed to `{wrapper}`"));
+                            }
+                            _ => {}
+                        }
+                        istack.extend(ip.children());
+                    }
+                }
+                _ => {}
+            }
+            stack.extend(p.children());
+        }
+        notes
+    }
+}
+
+/// Per-node cap on fusion variants, keeping the product of choices at
+/// nested joins bounded.
+const FUSION_VARIANT_CAP: usize = 16;
+
+/// All distinct fused rewrites of `plan`: every way of collapsing
+/// `Join(Submit(w, A), Submit(w, B))` into `Submit(w, Join(A, B))` when
+/// `w` declares Join capability and both subqueries already export the
+/// alias-qualified schema the predicate names (pushed projects). Both
+/// join orientations are produced — the generic join formula is
+/// asymmetric (index join needs the inner side) and the enumerator may
+/// have tie-broken orientation arbitrarily, so the negotiated outcome
+/// must not depend on it. Applied recursively, so three or more tables
+/// homed on one relational wrapper fuse into a single submit. The
+/// unchanged plan is not among the variants.
+fn fusion_variants(plan: &PhysicalPlan, catalog: &Catalog) -> Vec<PhysicalPlan> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for (cand, changed) in fusion_variants_node(plan, catalog) {
+        if changed && seen.insert(format!("{cand:?}")) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Fuse one `Join(Submit, Submit)` pair, orienting `outer ⋈ inner`.
+fn fuse_pair(
+    outer: &PhysicalPlan,
+    inner: &PhysicalPlan,
+    predicate: &JoinPredicate,
+    commute: bool,
+    catalog: &Catalog,
+) -> Option<PhysicalPlan> {
+    let (
+        PhysicalPlan::SubmitRemote {
+            wrapper: lw,
+            plan: lp,
+            schema: ls,
+        },
+        PhysicalPlan::SubmitRemote {
+            wrapper: rw,
+            plan: rp,
+            schema: rs,
+        },
+    ) = (outer, inner)
+    else {
+        return None;
+    };
+    let capable = lw == rw
+        && catalog
+            .wrapper(lw)
+            .is_some_and(|w| w.capabilities.supports(OperatorKind::Join));
+    if !capable
+        || ls.index_of(&predicate.left_attr).is_none()
+        || rs.index_of(&predicate.right_attr).is_none()
+    {
+        return None;
+    }
+    let fused = if commute {
+        LogicalPlan::Join {
+            left: Box::new(rp.clone()),
+            right: Box::new(lp.clone()),
+            predicate: JoinPredicate {
+                left_attr: predicate.right_attr.clone(),
+                op: predicate.op.flipped(),
+                right_attr: predicate.left_attr.clone(),
+            },
+            kind: JoinKind::Inner,
+        }
+    } else {
+        LogicalPlan::Join {
+            left: Box::new(lp.clone()),
+            right: Box::new(rp.clone()),
+            predicate: predicate.clone(),
+            kind: JoinKind::Inner,
+        }
+    };
+    let schema = fused.output_schema().ok()?;
+    Some(PhysicalPlan::SubmitRemote {
+        wrapper: lw.clone(),
+        plan: fused,
+        schema,
+    })
+}
+
+/// Recursive variant enumeration: each entry pairs a rewritten subtree
+/// with whether any fusion happened inside it.
+fn fusion_variants_node(plan: &PhysicalPlan, catalog: &Catalog) -> Vec<(PhysicalPlan, bool)> {
+    let unary = |input: &PhysicalPlan, rebuild: &dyn Fn(PhysicalPlan) -> PhysicalPlan| {
+        fusion_variants_node(input, catalog)
+            .into_iter()
+            .map(|(i, c)| (rebuild(i), c))
+            .collect::<Vec<_>>()
+    };
+    let mut out = match plan {
+        PhysicalPlan::Join {
+            algo,
+            left,
+            right,
+            predicate,
+        } => {
+            let lv = fusion_variants_node(left, catalog);
+            let rv = fusion_variants_node(right, catalog);
+            let mut out = Vec::new();
+            for (l, lc) in &lv {
+                for (r, rc) in &rv {
+                    if let Some(fused) = fuse_pair(l, r, predicate, false, catalog) {
+                        out.push((fused, true));
+                    }
+                    if let Some(fused) = fuse_pair(l, r, predicate, true, catalog) {
+                        out.push((fused, true));
+                    }
+                    out.push((
+                        PhysicalPlan::Join {
+                            algo: *algo,
+                            left: Box::new(l.clone()),
+                            right: Box::new(r.clone()),
+                            predicate: predicate.clone(),
+                        },
+                        *lc || *rc,
+                    ));
+                }
+            }
+            out
+        }
+        PhysicalPlan::Filter { input, predicate } => unary(input, &|i| PhysicalPlan::Filter {
+            input: Box::new(i),
+            predicate: predicate.clone(),
+        }),
+        PhysicalPlan::Project { input, columns } => unary(input, &|i| PhysicalPlan::Project {
+            input: Box::new(i),
+            columns: columns.clone(),
+        }),
+        PhysicalPlan::Sort { input, keys } => unary(input, &|i| PhysicalPlan::Sort {
+            input: Box::new(i),
+            keys: keys.clone(),
+        }),
+        PhysicalPlan::Dedup { input } => {
+            unary(input, &|i| PhysicalPlan::Dedup { input: Box::new(i) })
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => unary(input, &|i| PhysicalPlan::Aggregate {
+            input: Box::new(i),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        }),
+        PhysicalPlan::Union { left, right } => {
+            let lv = fusion_variants_node(left, catalog);
+            let rv = fusion_variants_node(right, catalog);
+            let mut out = Vec::new();
+            for (l, lc) in &lv {
+                for (r, rc) in &rv {
+                    out.push((
+                        PhysicalPlan::Union {
+                            left: Box::new(l.clone()),
+                            right: Box::new(r.clone()),
+                        },
+                        *lc || *rc,
+                    ));
+                }
+            }
+            out
+        }
+        PhysicalPlan::SubmitRemote { .. } => vec![(plan.clone(), false)],
+    };
+    out.truncate(FUSION_VARIANT_CAP);
+    out
+}
+
+/// Push a *grouped* aggregate sitting directly on a lone submit into an
+/// Aggregate-capable wrapper. Global aggregates stay at the mediator:
+/// their empty-input semantics (one `Count = 0` row) must survive a
+/// failed wrapper degrading the submit to an empty partial answer, which
+/// a pushed aggregate cannot honor.
+fn push_aggregate(plan: &PhysicalPlan, catalog: &Catalog) -> (PhysicalPlan, bool) {
+    match plan {
+        PhysicalPlan::Sort { input, keys } => {
+            let (i, c) = push_aggregate(input, catalog);
+            (
+                PhysicalPlan::Sort {
+                    input: Box::new(i),
+                    keys: keys.clone(),
+                },
+                c,
+            )
+        }
+        PhysicalPlan::Dedup { input } => {
+            let (i, c) = push_aggregate(input, catalog);
+            (PhysicalPlan::Dedup { input: Box::new(i) }, c)
+        }
+        PhysicalPlan::Project { input, columns } => {
+            let (i, c) = push_aggregate(input, catalog);
+            (
+                PhysicalPlan::Project {
+                    input: Box::new(i),
+                    columns: columns.clone(),
+                },
+                c,
+            )
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            if !group_by.is_empty() {
+                if let PhysicalPlan::SubmitRemote {
+                    wrapper,
+                    plan: inner,
+                    ..
+                } = input.as_ref()
+                {
+                    let capable = catalog
+                        .wrapper(wrapper)
+                        .is_some_and(|w| w.capabilities.supports(OperatorKind::Aggregate));
+                    if capable {
+                        let pushed = LogicalPlan::Aggregate {
+                            input: Box::new(inner.clone()),
+                            group_by: group_by.clone(),
+                            aggs: aggs.clone(),
+                        };
+                        // `output_schema` doubles as the check that every
+                        // grouping/aggregate name resolves inside the
+                        // subquery's exported schema.
+                        if let Ok(schema) = pushed.output_schema() {
+                            return (
+                                PhysicalPlan::SubmitRemote {
+                                    wrapper: wrapper.clone(),
+                                    plan: pushed,
+                                    schema,
+                                },
+                                true,
+                            );
+                        }
+                    }
+                }
+            }
+            (plan.clone(), false)
+        }
+        other => (other.clone(), false),
+    }
 }
 
 /// One memoized joined prefix.
@@ -1466,7 +1979,7 @@ mod tests {
         let q = analyze(&parse_query(sql).unwrap(), &cat).unwrap();
         let opt = Optimizer::new(&cat, &reg, OptimizerOptions::default());
         let out = opt.optimize(&q).unwrap();
-        let d = PlanDecisions::of(&q, &out.physical).expect("decisions extractable");
+        let d = out.decisions.clone().expect("decisions extractable");
         let replayed = opt.replay(&q, &d).unwrap();
         assert_eq!(
             format!("{:?}", replayed.physical),
@@ -1483,6 +1996,123 @@ mod tests {
         assert_eq!(
             format!("{:?}", replayed2.physical),
             format!("{:?}", out2.physical)
+        );
+    }
+
+    #[test]
+    fn same_wrapper_join_fuses_into_one_submit() {
+        let out = optimize("SELECT b.id FROM Big b, Small s WHERE b.k = s.sid AND b.id < 100");
+        let submits = count_kind(&out.physical, &|p| {
+            matches!(p, PhysicalPlan::SubmitRemote { .. })
+        });
+        let joins = count_kind(&out.physical, &|p| matches!(p, PhysicalPlan::Join { .. }));
+        assert_eq!(
+            submits, 1,
+            "same-wrapper join should fuse: {:?}",
+            out.physical
+        );
+        assert_eq!(joins, 0);
+        assert!(
+            out.negotiation.iter().any(|n| n.contains("pushed to `a`")),
+            "negotiation notes should record the pushed join: {:?}",
+            out.negotiation
+        );
+    }
+
+    #[test]
+    fn cross_wrapper_join_stays_at_mediator() {
+        let out = optimize("SELECT b.id FROM Big b, File f WHERE b.k = f.fid");
+        let submits = count_kind(&out.physical, &|p| {
+            matches!(p, PhysicalPlan::SubmitRemote { .. })
+        });
+        let joins = count_kind(&out.physical, &|p| matches!(p, PhysicalPlan::Join { .. }));
+        assert_eq!(submits, 2);
+        assert_eq!(joins, 1);
+        assert!(
+            out.negotiation.iter().any(|n| n.contains("cross-wrapper")),
+            "{:?}",
+            out.negotiation
+        );
+        // The scan-only wrapper's lifted select shows up too.
+        let out = optimize("SELECT b.id FROM Big b, File f WHERE b.k = f.fid AND f.fid < 10");
+        assert!(
+            out.negotiation
+                .iter()
+                .any(|n| n.contains("forbids select") && n.contains("scan-only")),
+            "{:?}",
+            out.negotiation
+        );
+    }
+
+    #[test]
+    fn no_join_profile_lifts_same_wrapper_join() {
+        let mut cat = catalog();
+        cat.register_wrapper(
+            "nj",
+            disco_catalog::CapabilityProfile::NoJoin.capabilities(),
+        )
+        .unwrap();
+        for (name, key) in [("L", "lid"), ("M", "mid")] {
+            cat.register_collection(
+                "nj",
+                name,
+                Schema::new(vec![AttributeDef::new(key, DataType::Long)]),
+                CollectionStats::new(ExtentStats::of(100, 16)),
+            )
+            .unwrap();
+        }
+        let reg = RuleRegistry::with_default_model();
+        let q = analyze(
+            &parse_query("SELECT l.lid FROM L l, M m WHERE l.lid = m.mid").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let out = Optimizer::new(&cat, &reg, OptimizerOptions::default())
+            .optimize(&q)
+            .unwrap();
+        let joins = count_kind(&out.physical, &|p| matches!(p, PhysicalPlan::Join { .. }));
+        assert_eq!(joins, 1, "no-join profile must keep the join local");
+        assert!(
+            out.negotiation
+                .iter()
+                .any(|n| n.contains("forbids join") && n.contains("no-join")),
+            "{:?}",
+            out.negotiation
+        );
+    }
+
+    #[test]
+    fn grouped_aggregate_pushes_global_stays() {
+        let grouped = optimize("SELECT k, COUNT(*) AS n FROM Big GROUP BY k");
+        let local_aggs = count_kind(&grouped.physical, &|p| {
+            matches!(p, PhysicalPlan::Aggregate { .. })
+        });
+        assert_eq!(
+            local_aggs, 0,
+            "grouped aggregate should push: {:?}",
+            grouped.physical
+        );
+        assert!(
+            grouped
+                .negotiation
+                .iter()
+                .any(|n| n.contains("aggregate: pushed to `a`")),
+            "{:?}",
+            grouped.negotiation
+        );
+        // Global aggregates keep their empty-input row at the mediator.
+        let global = optimize("SELECT COUNT(*) AS n FROM Big");
+        let local_aggs = count_kind(&global.physical, &|p| {
+            matches!(p, PhysicalPlan::Aggregate { .. })
+        });
+        assert_eq!(local_aggs, 1);
+        assert!(
+            global
+                .negotiation
+                .iter()
+                .any(|n| n.contains("survive partial answers")),
+            "{:?}",
+            global.negotiation
         );
     }
 

@@ -225,8 +225,12 @@ struct CacheEntry {
     decisions: PlanDecisions,
     history_epoch: u64,
     catalog_epoch: u64,
+    capability_epoch: u64,
     health_version: u64,
 }
+
+/// The cache-validity state: `(history, catalog, capability, health)`.
+type CacheState = (u64, u64, u64, u64);
 
 /// A [`Mediator`] shared by N concurrent sessions. See the module docs
 /// for the shared-state layout and invalidation protocol.
@@ -238,10 +242,9 @@ struct CacheEntry {
 pub struct SharedMediator {
     inner: RwLock<Mediator>,
     plans: Mutex<HashMap<String, CacheEntry>>,
-    /// Shared estimation cache plus the (history, catalog, health)
-    /// state it was built against; swapped for a fresh one when any
-    /// component moves.
-    est_cache: Mutex<(std::sync::Arc<EstimatorCache>, (u64, u64, u64))>,
+    /// Shared estimation cache plus the [`CacheState`] it was built
+    /// against; swapped for a fresh one when any component moves.
+    est_cache: Mutex<(std::sync::Arc<EstimatorCache>, CacheState)>,
     /// Bumped when §4.3.1 history recording added query-scope rules.
     history_epoch: AtomicU64,
     /// Bumped by [`Self::with_mediator_mut`] (registration, refresh,
@@ -258,7 +261,7 @@ impl SharedMediator {
         SharedMediator {
             inner: RwLock::new(mediator),
             plans: Mutex::new(HashMap::new()),
-            est_cache: Mutex::new((std::sync::Arc::new(EstimatorCache::new()), (0, 0, 0))),
+            est_cache: Mutex::new((std::sync::Arc::new(EstimatorCache::new()), (0, 0, 0, 0))),
             history_epoch: AtomicU64::new(0),
             catalog_epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -317,8 +320,23 @@ impl SharedMediator {
         }
     }
 
+    /// Change one wrapper's declared capability profile without the
+    /// blanket catalog-epoch bump of [`Self::with_mediator_mut`]: the
+    /// capability epoch in the cache key is what invalidates replayed
+    /// decisions negotiated against the old profile.
+    pub fn set_capability_profile(
+        &self,
+        wrapper: &str,
+        profile: disco_catalog::CapabilityProfile,
+    ) -> Result<()> {
+        self.inner
+            .write()
+            .unwrap()
+            .set_wrapper_capabilities(wrapper, profile.capabilities())
+    }
+
     /// The estimation cache valid for `state`, replacing a stale one.
-    fn estimation_cache(&self, state: (u64, u64, u64)) -> std::sync::Arc<EstimatorCache> {
+    fn estimation_cache(&self, state: CacheState) -> std::sync::Arc<EstimatorCache> {
         let mut guard = self.est_cache.lock().unwrap();
         if guard.1 != state {
             *guard = (std::sync::Arc::new(EstimatorCache::new()), state);
@@ -350,6 +368,7 @@ impl SharedMediator {
         let state = (
             self.history_epoch.load(Ordering::Relaxed),
             self.catalog_epoch.load(Ordering::Relaxed),
+            m.catalog().capability_epoch(),
             m.health().version(),
         );
         let analyzed = analyze(&query, m.catalog())?;
@@ -357,7 +376,14 @@ impl SharedMediator {
         let cached = {
             let mut plans = self.plans.lock().unwrap();
             match plans.get(&key) {
-                Some(e) if (e.history_epoch, e.catalog_epoch, e.health_version) == state => {
+                Some(e)
+                    if (
+                        e.history_epoch,
+                        e.catalog_epoch,
+                        e.capability_epoch,
+                        e.health_version,
+                    ) == state =>
+                {
                     Some(e.decisions.clone())
                 }
                 Some(e) => {
@@ -365,6 +391,8 @@ impl SharedMediator {
                         "catalog"
                     } else if e.history_epoch != state.0 {
                         "history"
+                    } else if e.capability_epoch != state.2 {
+                        "capability"
                     } else {
                         "health"
                     };
@@ -396,14 +424,18 @@ impl SharedMediator {
             .with_objective(objective)
             .with_cache(Some(&est_cache))
             .optimize(&analyzed)?;
-        if let Some(decisions) = PlanDecisions::of(&analyzed, &plan.physical) {
+        // The optimizer carries the decisions extracted *before* the
+        // negotiation pass: a fused plan is not decomposable back into
+        // per-table access choices, but replay re-runs negotiation.
+        if let Some(decisions) = plan.decisions.clone() {
             self.plans.lock().unwrap().insert(
                 key,
                 CacheEntry {
                     decisions,
                     history_epoch: state.0,
                     catalog_epoch: state.1,
-                    health_version: state.2,
+                    capability_epoch: state.2,
+                    health_version: state.3,
                 },
             );
         }
@@ -817,6 +849,36 @@ mod tests {
         sm.with_mediator_mut(|_| ());
         let (_, s) = sm.plan(sql).unwrap();
         assert_eq!(s, PlanSource::CacheMiss);
+    }
+
+    #[test]
+    fn capability_profile_change_invalidates() {
+        let sm = shared(false);
+        let sql = "SELECT name FROM Employee WHERE id < 10";
+        sm.plan(sql).unwrap();
+        let (_, s) = sm.plan(sql).unwrap();
+        assert_eq!(s, PlanSource::CacheHit);
+        // Demote the wrapper to scan-only: decisions that pushed the
+        // selection are no longer legal and must not replay.
+        sm.set_capability_profile("hr", disco_catalog::CapabilityProfile::ScanOnly)
+            .unwrap();
+        let (plan, s) = sm.plan(sql).unwrap();
+        assert_eq!(s, PlanSource::CacheMiss);
+        assert_eq!(sm.cache_stats().invalidations, 1);
+        // The re-optimized plan lifts the selection to the mediator.
+        let filters = count_filters(&plan.physical);
+        assert_eq!(filters, 1);
+        // A profile set to its current value is not a change.
+        sm.plan(sql).unwrap();
+        sm.set_capability_profile("hr", disco_catalog::CapabilityProfile::ScanOnly)
+            .unwrap();
+        let (_, s) = sm.plan(sql).unwrap();
+        assert_eq!(s, PlanSource::CacheHit);
+    }
+
+    fn count_filters(p: &disco_algebra::PhysicalPlan) -> usize {
+        matches!(p, disco_algebra::PhysicalPlan::Filter { .. }) as usize
+            + p.children().iter().map(|c| count_filters(c)).sum::<usize>()
     }
 
     #[test]

@@ -87,12 +87,17 @@ fn dp_cost_equals_permutation_oracle_on_random_queries() {
 
         // Threshold 0 keeps every case on the DP (the fast path would
         // otherwise delegate small cases to the oracle's own algorithm,
-        // making the comparison vacuous).
+        // making the comparison vacuous). Negotiation off on both sides:
+        // the post-enumeration rewrite's benefit is not monotone in
+        // enumerated cost, so equal-cost join trees may negotiate to
+        // different final costs — the property under test is the
+        // enumerator's.
         let dp = Optimizer::new(
             &case.catalog,
             &registry,
             OptimizerOptions {
                 small_query_threshold: 0,
+                negotiation: false,
                 ..Default::default()
             },
         )
@@ -104,6 +109,7 @@ fn dp_cost_equals_permutation_oracle_on_random_queries() {
             OptimizerOptions {
                 pruning: false,
                 enumeration: JoinEnumeration::Permutation,
+                negotiation: false,
                 ..Default::default()
             },
         )
@@ -140,6 +146,7 @@ fn dp_with_pruning_off_still_matches_oracle() {
             OptimizerOptions {
                 pruning: false,
                 small_query_threshold: 0,
+                negotiation: false,
                 ..Default::default()
             },
         )
@@ -151,6 +158,7 @@ fn dp_with_pruning_off_still_matches_oracle() {
             OptimizerOptions {
                 pruning: false,
                 enumeration: JoinEnumeration::Permutation,
+                negotiation: false,
                 ..Default::default()
             },
         )

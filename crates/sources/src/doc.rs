@@ -1,0 +1,678 @@
+//! A semi-structured document source (Tout-XML lineage).
+//!
+//! Collections hold nested documents — objects, arrays, scalars — and
+//! the wrapper exposes them to the mediator through a *flattening
+//! boundary*: each collection declares a set of path expressions
+//! ([`DocField`]) that project the documents onto a flat relational
+//! schema at the `Scan` boundary, after which the ordinary row
+//! operators (and hence the columnar combine engine upstream) apply
+//! unchanged. Three path semantics cover the paper-adjacent predicate
+//! classes:
+//!
+//! * `Scalar` — `a.b.c = k`: the value at the path, `Null` when any
+//!   step is missing;
+//! * `Exists` — existence tests: a `Bool` column, `true` iff the path
+//!   resolves to a non-null value;
+//! * `Unnest` — array containment: one output row per element of the
+//!   array at the path (no rows for an empty or missing array), so
+//!   `array contains k` becomes an ordinary equality selection on the
+//!   unnested column.
+//!
+//! Costs are navigation-dominated: every document pays one pointer
+//! chase per path step, which is what [`DocSource::path_cost_rules`]
+//! exports to the mediator as wrapper cost rules — a cost shape the
+//! generic page-I/O model cannot express.
+
+use disco_algebra::{CompareOp, LogicalPlan};
+use disco_catalog::{AttributeStats, CollectionStats, ExtentStats};
+use disco_common::{AttributeDef, DataType, DiscoError, Result, Schema, Tuple, Value};
+
+use crate::clock::VirtualClock;
+use crate::exec;
+use crate::source::{DataSource, ExecStats, SubAnswer};
+
+/// A nested document value. Objects keep declaration order, which makes
+/// flattening (and therefore every downstream answer) deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DocValue {
+    Null,
+    Bool(bool),
+    Long(i64),
+    Double(f64),
+    Str(String),
+    Array(Vec<DocValue>),
+    Object(Vec<(String, DocValue)>),
+}
+
+impl DocValue {
+    /// Object constructor from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, DocValue)>) -> DocValue {
+        DocValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Array constructor.
+    pub fn arr(items: impl IntoIterator<Item = DocValue>) -> DocValue {
+        DocValue::Array(items.into_iter().collect())
+    }
+
+    /// Scalar conversion for the flat boundary; composites and `Null`
+    /// flatten to [`Value::Null`].
+    fn to_scalar(&self) -> Value {
+        match self {
+            DocValue::Bool(b) => Value::Bool(*b),
+            DocValue::Long(n) => Value::Long(*n),
+            DocValue::Double(d) => Value::Double(*d),
+            DocValue::Str(s) => Value::Str(s.clone()),
+            DocValue::Null | DocValue::Array(_) | DocValue::Object(_) => Value::Null,
+        }
+    }
+}
+
+impl From<i64> for DocValue {
+    fn from(v: i64) -> Self {
+        DocValue::Long(v)
+    }
+}
+impl From<f64> for DocValue {
+    fn from(v: f64) -> Self {
+        DocValue::Double(v)
+    }
+}
+impl From<&str> for DocValue {
+    fn from(v: &str) -> Self {
+        DocValue::Str(v.into())
+    }
+}
+impl From<bool> for DocValue {
+    fn from(v: bool) -> Self {
+        DocValue::Bool(v)
+    }
+}
+
+/// How a declared path flattens into a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathKind {
+    /// The scalar at the path; `Null` when missing.
+    Scalar(DataType),
+    /// `true` iff the path resolves to a non-null value.
+    Exists,
+    /// One row per element of the array at the path.
+    Unnest(DataType),
+}
+
+/// One declared path expression: exported column `name`, navigated
+/// dotted `path`, flattening semantics `kind`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocField {
+    pub name: String,
+    pub path: String,
+    pub kind: PathKind,
+}
+
+impl DocField {
+    pub fn scalar(name: impl Into<String>, path: impl Into<String>, ty: DataType) -> Self {
+        DocField {
+            name: name.into(),
+            path: path.into(),
+            kind: PathKind::Scalar(ty),
+        }
+    }
+
+    pub fn exists(name: impl Into<String>, path: impl Into<String>) -> Self {
+        DocField {
+            name: name.into(),
+            path: path.into(),
+            kind: PathKind::Exists,
+        }
+    }
+
+    pub fn unnest(name: impl Into<String>, path: impl Into<String>, ty: DataType) -> Self {
+        DocField {
+            name: name.into(),
+            path: path.into(),
+            kind: PathKind::Unnest(ty),
+        }
+    }
+
+    fn ty(&self) -> DataType {
+        match &self.kind {
+            PathKind::Scalar(ty) | PathKind::Unnest(ty) => *ty,
+            PathKind::Exists => DataType::Bool,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.path.split('.').count()
+    }
+}
+
+/// One document collection with its flattening declaration.
+#[derive(Debug, Clone)]
+struct DocCollection {
+    name: String,
+    fields: Vec<DocField>,
+    docs: Vec<DocValue>,
+}
+
+impl DocCollection {
+    fn schema(&self) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| AttributeDef::new(f.name.clone(), f.ty()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Navigated path steps per document (what navigation cost scales
+    /// with).
+    fn nav_depth(&self) -> usize {
+        self.fields.iter().map(DocField::depth).sum()
+    }
+
+    /// Flatten every document through the declared paths.
+    fn flatten(&self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        let unnest = self
+            .fields
+            .iter()
+            .position(|f| matches!(f.kind, PathKind::Unnest(_)));
+        for doc in &self.docs {
+            let base: Vec<Value> = self
+                .fields
+                .iter()
+                .map(|f| match &f.kind {
+                    PathKind::Scalar(_) => {
+                        navigate(doc, &f.path).map_or(Value::Null, DocValue::to_scalar)
+                    }
+                    PathKind::Exists => Value::Bool(!matches!(
+                        navigate(doc, &f.path),
+                        None | Some(DocValue::Null)
+                    )),
+                    // Placeholder; replaced per element below.
+                    PathKind::Unnest(_) => Value::Null,
+                })
+                .collect();
+            match unnest {
+                None => out.push(Tuple::new(base)),
+                Some(u) => {
+                    // One row per array element; no array (or an empty
+                    // one) contributes no rows.
+                    let Some(DocValue::Array(items)) = navigate(doc, &self.fields[u].path) else {
+                        continue;
+                    };
+                    for item in items {
+                        let mut row = base.clone();
+                        row[u] = item.to_scalar();
+                        out.push(Tuple::new(row));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Descend a dotted path through object fields. Arrays and scalars met
+/// before the final step end the navigation (the path is missing).
+fn navigate<'a>(doc: &'a DocValue, path: &str) -> Option<&'a DocValue> {
+    let mut cur = doc;
+    for step in path.split('.') {
+        let DocValue::Object(pairs) = cur else {
+            return None;
+        };
+        cur = pairs.iter().find(|(k, _)| k == step).map(|(_, v)| v)?;
+    }
+    Some(cur)
+}
+
+/// The document source: nested collections behind a flattening
+/// relational boundary.
+#[derive(Debug, Clone)]
+pub struct DocSource {
+    name: String,
+    collections: Vec<DocCollection>,
+    /// Cost to open a collection (ms).
+    pub open_ms: f64,
+    /// Cost of one path-navigation step on one document (ms).
+    pub nav_ms: f64,
+    /// Cost to deliver one flattened row (ms).
+    pub output_ms: f64,
+    /// Per-tuple predicate evaluation (ms).
+    pub cpu_pred_ms: f64,
+    /// Per-tuple hashing (join/dedup/aggregate) (ms).
+    pub cpu_hash_ms: f64,
+    /// Sort coefficient: `sort_factor_ms * n * log2 n`.
+    pub sort_factor_ms: f64,
+}
+
+impl DocSource {
+    pub fn new(name: impl Into<String>) -> Self {
+        DocSource {
+            name: name.into(),
+            collections: Vec::new(),
+            open_ms: 80.0,
+            nav_ms: 0.02,
+            output_ms: 9.0,
+            cpu_pred_ms: 0.05,
+            cpu_hash_ms: 0.02,
+            sort_factor_ms: 0.02,
+        }
+    }
+
+    /// Add a collection of documents with its flattening declaration.
+    pub fn add_collection(
+        &mut self,
+        name: impl Into<String>,
+        fields: Vec<DocField>,
+        docs: Vec<DocValue>,
+    ) -> Result<()> {
+        let name = name.into();
+        if fields.is_empty() {
+            return Err(DiscoError::Source(format!(
+                "document collection `{name}` declares no paths"
+            )));
+        }
+        for f in &fields {
+            if f.name.contains('.') {
+                return Err(DiscoError::Source(format!(
+                    "exported column `{}` must not contain dots",
+                    f.name
+                )));
+            }
+        }
+        let unnests = fields
+            .iter()
+            .filter(|f| matches!(f.kind, PathKind::Unnest(_)))
+            .count();
+        if unnests > 1 {
+            return Err(DiscoError::Source(format!(
+                "document collection `{name}` declares {unnests} unnest paths; at most one \
+                 is supported"
+            )));
+        }
+        if self.collections.iter().any(|c| c.name == name) {
+            return Err(DiscoError::Source(format!(
+                "duplicate document collection `{name}`"
+            )));
+        }
+        self.collections.push(DocCollection { name, fields, docs });
+        Ok(())
+    }
+
+    fn collection(&self, name: &str) -> Result<&DocCollection> {
+        self.collections
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| DiscoError::Source(format!("unknown document collection `{name}`")))
+    }
+
+    /// Wrapper cost rules describing path navigation: scans pay one
+    /// pointer chase per document per path step instead of page I/O.
+    /// The exported `DocDepth` is the worst declared depth, keeping the
+    /// rule a single wrapper-scope formula (§3's interface documents
+    /// could refine this per collection).
+    pub fn path_cost_rules(&self) -> String {
+        let depth = self
+            .collections
+            .iter()
+            .map(DocCollection::nav_depth)
+            .max()
+            .unwrap_or(1);
+        format!(
+            "let DocOpen = {open};\n\
+             let NavMs = {nav};\n\
+             let DocDepth = {depth};\n\
+             let DocOutput = {output};\n\
+             rule scan($C) {{\n\
+                 TimeFirst = DocOpen + NavMs * DocDepth + DocOutput;\n\
+                 TotalTime = DocOpen + $C.CountObject * (NavMs * DocDepth + DocOutput);\n\
+             }}\n",
+            open = self.open_ms,
+            nav = self.nav_ms,
+            output = self.output_ms,
+        )
+    }
+
+    fn exec(
+        &self,
+        plan: &LogicalPlan,
+        clock: &mut VirtualClock,
+        scanned: &mut u64,
+    ) -> Result<(Schema, Vec<Tuple>)> {
+        match plan {
+            LogicalPlan::Scan { collection, .. } => {
+                let c = self.collection(&collection.collection)?;
+                clock.charge(self.open_ms);
+                clock.charge(c.docs.len() as f64 * c.nav_depth() as f64 * self.nav_ms);
+                *scanned += c.docs.len() as u64;
+                Ok((c.schema(), c.flatten()))
+            }
+            LogicalPlan::Select { input, predicate } => {
+                let (schema, tuples) = self.exec(input, clock, scanned)?;
+                clock.charge(
+                    tuples.len() as f64 * predicate.conjuncts.len() as f64 * self.cpu_pred_ms,
+                );
+                let out = exec::filter(&schema, &tuples, predicate)?;
+                Ok((schema, out))
+            }
+            LogicalPlan::Project { input, columns } => {
+                let (schema, tuples) = self.exec(input, clock, scanned)?;
+                clock.charge(tuples.len() as f64 * self.cpu_hash_ms);
+                exec::project(&schema, &tuples, columns)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let (schema, mut tuples) = self.exec(input, clock, scanned)?;
+                let n = tuples.len() as f64;
+                clock.charge(self.sort_factor_ms * n * n.max(2.0).log2());
+                exec::sort(&schema, &mut tuples, keys)?;
+                Ok((schema, tuples))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+                ..
+            } => {
+                let (ls, lt) = self.exec(left, clock, scanned)?;
+                let (rs, rt) = self.exec(right, clock, scanned)?;
+                let out_schema = ls.join(&rs);
+                let out = if predicate.op == CompareOp::Eq {
+                    clock.charge((lt.len() + rt.len()) as f64 * self.cpu_hash_ms);
+                    exec::hash_join(&ls, &lt, &rs, &rt, predicate)?
+                } else {
+                    clock.charge((lt.len() * rt.len()) as f64 * self.cpu_pred_ms);
+                    exec::nested_loop_join(&ls, &lt, &rs, &rt, predicate)?
+                };
+                Ok((out_schema, out))
+            }
+            LogicalPlan::Union { left, right } => {
+                let (ls, mut lt) = self.exec(left, clock, scanned)?;
+                let (rs, rt) = self.exec(right, clock, scanned)?;
+                if ls.arity() != rs.arity() {
+                    return Err(DiscoError::Exec("union arity mismatch".into()));
+                }
+                lt.extend(rt);
+                Ok((ls, lt))
+            }
+            LogicalPlan::Dedup { input } => {
+                let (schema, tuples) = self.exec(input, clock, scanned)?;
+                clock.charge(tuples.len() as f64 * self.cpu_hash_ms);
+                Ok((schema, exec::dedup(&tuples)))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let (schema, tuples) = self.exec(input, clock, scanned)?;
+                clock.charge(tuples.len() as f64 * self.cpu_hash_ms);
+                let out = exec::aggregate(&schema, &tuples, group_by, aggs)?;
+                Ok((plan.output_schema()?, out))
+            }
+            LogicalPlan::Submit { .. } => Err(DiscoError::Source(
+                "data sources do not execute `submit` operators".into(),
+            )),
+        }
+    }
+}
+
+impl DataSource for DocSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn collections(&self) -> Vec<(String, Schema)> {
+        self.collections
+            .iter()
+            .map(|c| (c.name.clone(), c.schema()))
+            .collect()
+    }
+
+    fn statistics(&self, collection: &str) -> Option<CollectionStats> {
+        let c = self.collection(collection).ok()?;
+        let schema = c.schema();
+        let tuples = c.flatten();
+        let n = tuples.len() as u64;
+        let total: u64 = tuples.iter().map(Tuple::width).sum();
+        let mut stats = CollectionStats::new(ExtentStats {
+            count_object: n,
+            total_size: total,
+            object_size: (total / n.max(1)).max(1),
+            count_page: None,
+        });
+        for (i, attr) in schema.attributes().iter().enumerate() {
+            let mut distinct = std::collections::BTreeSet::new();
+            let (mut min, mut max): (Option<Value>, Option<Value>) = (None, None);
+            for t in &tuples {
+                let Some(v) = t.get(i) else { continue };
+                if *v == Value::Null {
+                    continue;
+                }
+                distinct.insert(format!("{v}"));
+                if min
+                    .as_ref()
+                    .map(|m| v.total_cmp_value(m).is_lt())
+                    .unwrap_or(true)
+                {
+                    min = Some(v.clone());
+                }
+                if max
+                    .as_ref()
+                    .map(|m| v.total_cmp_value(m).is_gt())
+                    .unwrap_or(true)
+                {
+                    max = Some(v.clone());
+                }
+            }
+            stats = stats.with_attribute(
+                attr.name.clone(),
+                AttributeStats::new(
+                    distinct.len().max(1) as u64,
+                    min.unwrap_or(Value::Null),
+                    max.unwrap_or(Value::Null),
+                ),
+            );
+        }
+        Some(stats)
+    }
+
+    fn execute(&self, plan: &LogicalPlan) -> Result<SubAnswer> {
+        let mut clock = VirtualClock::new();
+        let mut scanned = 0u64;
+        let (schema, tuples) = self.exec(plan, &mut clock, &mut scanned)?;
+        let produced = clock.now();
+        clock.charge(tuples.len() as f64 * self.output_ms);
+        let elapsed = clock.now();
+        let one = (!tuples.is_empty()) as u64 as f64;
+        let time_first = if crate::store::blocking_root(plan) {
+            produced + one * self.output_ms
+        } else {
+            self.open_ms + one * self.output_ms
+        };
+        Ok(SubAnswer {
+            schema,
+            tuples,
+            stats: ExecStats {
+                elapsed_ms: elapsed,
+                time_first_ms: time_first.min(elapsed),
+                pages_read: 0,
+                buffer_hits: 0,
+                objects_scanned: scanned,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::PlanBuilder;
+    use disco_common::QualifiedName;
+
+    fn orders() -> DocSource {
+        let mut s = DocSource::new("docs");
+        let docs: Vec<DocValue> = (0..20i64)
+            .map(|i| {
+                DocValue::obj([
+                    ("id", DocValue::Long(i)),
+                    (
+                        "customer",
+                        DocValue::obj([
+                            ("name", DocValue::Str(format!("c{}", i % 5))),
+                            (
+                                "address",
+                                DocValue::obj([("zip", DocValue::Long(10_000 + i % 3))]),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "tags",
+                        DocValue::arr((0..(i % 4)).map(|t| DocValue::Str(format!("t{t}")))),
+                    ),
+                    (
+                        "discount",
+                        if i % 2 == 0 {
+                            DocValue::Double(0.1)
+                        } else {
+                            DocValue::Null
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        s.add_collection(
+            "Orders",
+            vec![
+                DocField::scalar("id", "id", DataType::Long),
+                DocField::scalar("zip", "customer.address.zip", DataType::Long),
+                DocField::exists("has_discount", "discount"),
+            ],
+            docs.clone(),
+        )
+        .unwrap();
+        s.add_collection(
+            "OrderTags",
+            vec![
+                DocField::scalar("id", "id", DataType::Long),
+                DocField::unnest("tag", "tags", DataType::Str),
+            ],
+            docs,
+        )
+        .unwrap();
+        s
+    }
+
+    fn scan(s: &DocSource, coll: &str) -> PlanBuilder {
+        let schema = s
+            .collections()
+            .into_iter()
+            .find(|(n, _)| n == coll)
+            .unwrap()
+            .1;
+        PlanBuilder::scan(QualifiedName::new("docs", coll), schema)
+    }
+
+    #[test]
+    fn scalar_paths_flatten_with_nulls_for_missing() {
+        let s = orders();
+        let a = s.execute(&scan(&s, "Orders").build()).unwrap();
+        assert_eq!(a.tuples.len(), 20);
+        // Deep path resolved.
+        assert_eq!(a.tuples[0].get(1), Some(&Value::Long(10_000)));
+        // Existence column reflects the null discount on odd ids.
+        assert_eq!(a.tuples[0].get(2), Some(&Value::Bool(true)));
+        assert_eq!(a.tuples[1].get(2), Some(&Value::Bool(false)));
+        assert_eq!(a.stats.objects_scanned, 20);
+        assert!(a.stats.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn unnest_emits_one_row_per_element_and_none_for_empty() {
+        let s = orders();
+        let a = s.execute(&scan(&s, "OrderTags").build()).unwrap();
+        // i % 4 tags per doc: 20/4 * (0+1+2+3) = 30 rows.
+        assert_eq!(a.tuples.len(), 30);
+        // Array containment as equality on the unnested column.
+        let contains = s
+            .execute(
+                &scan(&s, "OrderTags")
+                    .select("tag", CompareOp::Eq, Value::Str("t2".into()))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(contains.tuples.len(), 5);
+        for t in &contains.tuples {
+            assert_eq!(t.get(1), Some(&Value::Str("t2".into())));
+        }
+    }
+
+    #[test]
+    fn path_predicates_and_aggregates_run_source_side() {
+        let s = orders();
+        let a = s
+            .execute(
+                &scan(&s, "Orders")
+                    .select("zip", CompareOp::Eq, 10_001i64)
+                    .build(),
+            )
+            .unwrap();
+        assert!(!a.tuples.is_empty());
+        for t in &a.tuples {
+            assert_eq!(t.get(1), Some(&Value::Long(10_001)));
+        }
+        let g = s
+            .execute(
+                &scan(&s, "Orders")
+                    .aggregate(&["zip"], vec![("n", disco_algebra::AggFunc::Count, None)])
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(g.tuples.len(), 3);
+    }
+
+    #[test]
+    fn statistics_derive_from_flattened_rows() {
+        let s = orders();
+        let st = s.statistics("OrderTags").unwrap();
+        assert_eq!(st.extent.count_object, 30);
+        assert_eq!(st.attribute("tag").count_distinct, 3);
+        let st = s.statistics("Orders").unwrap();
+        assert_eq!(st.attribute("zip").min, Value::Long(10_000));
+        assert_eq!(st.attribute("zip").max, Value::Long(10_002));
+    }
+
+    #[test]
+    fn cost_rules_parse_and_reflect_navigation() {
+        let s = orders();
+        let text = s.path_cost_rules();
+        let doc = disco_costlang::parse_document(&text).unwrap();
+        let compiled = disco_costlang::compile_document(&doc).unwrap();
+        assert_eq!(compiled.rules.len(), 1);
+        // Depth: Orders navigates 1 + 3 + 1 = 5 steps/doc, OrderTags 2.
+        assert!(text.contains("let DocDepth = 5"));
+    }
+
+    #[test]
+    fn declaration_is_validated() {
+        let mut s = DocSource::new("docs");
+        assert!(s.add_collection("Empty", vec![], vec![]).is_err());
+        assert!(s
+            .add_collection(
+                "Dotted",
+                vec![DocField::scalar("a.b", "a.b", DataType::Long)],
+                vec![],
+            )
+            .is_err());
+        assert!(s
+            .add_collection(
+                "TwoUnnests",
+                vec![
+                    DocField::unnest("x", "xs", DataType::Long),
+                    DocField::unnest("y", "ys", DataType::Long),
+                ],
+                vec![],
+            )
+            .is_err());
+    }
+}

@@ -35,6 +35,7 @@ pub mod btree;
 pub mod buffer;
 pub mod clock;
 pub mod disk;
+pub mod doc;
 pub mod exec;
 pub mod flatfile;
 pub mod heap;
@@ -48,6 +49,7 @@ pub use btree::BPlusTree;
 pub use buffer::BufferPool;
 pub use clock::{CostProfile, VirtualClock};
 pub use disk::StoreSource;
+pub use doc::{DocField, DocSource, DocValue, PathKind};
 pub use flatfile::FlatFile;
 pub use heap::{HeapFile, Placement};
 pub use source::{BatchAnswer, DataSource, ExecStats, SubAnswer};

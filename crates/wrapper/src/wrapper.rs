@@ -1,7 +1,7 @@
 //! The wrapper trait and the generic source-backed implementation.
 
 use disco_algebra::LogicalPlan;
-use disco_catalog::{Capabilities, CollectionStats};
+use disco_catalog::{Capabilities, CapabilityProfile, CollectionStats};
 use disco_common::{DiscoError, Result};
 use disco_costlang::{compile_document, interface_to_catalog, parse_document, CompiledDocument};
 use disco_sources::{DataSource, SubAnswer};
@@ -55,6 +55,11 @@ impl<S: DataSource> SourceWrapper<S> {
     pub fn with_capabilities(mut self, capabilities: Capabilities) -> Self {
         self.capabilities = capabilities;
         self
+    }
+
+    /// Restrict the advertised capabilities to a declared profile.
+    pub fn with_profile(self, profile: CapabilityProfile) -> Self {
+        self.with_capabilities(profile.capabilities())
     }
 
     /// Provide the cost communication document (the wrapper implementor's
@@ -134,6 +139,23 @@ impl<S: DataSource + Send + Sync> Wrapper for SourceWrapper<S> {
             }
             other => other,
         };
+        // Capability boundary: a wrapper refuses any subquery operator
+        // its declared profile does not admit, independently of what
+        // the optimizer believed. This is where the pushdown-legality
+        // property is ultimately enforced.
+        let mut stack = vec![plan];
+        while let Some(p) = stack.pop() {
+            let op = p.kind();
+            if !self.capabilities.supports(op) {
+                return Err(DiscoError::Exec(format!(
+                    "wrapper `{}` (profile `{}`) received a {op} operator its \
+                     capabilities do not admit",
+                    self.name,
+                    CapabilityProfile::classify(&self.capabilities),
+                )));
+            }
+            stack.extend(p.children());
+        }
         self.source.execute(plan)
     }
 }
@@ -258,6 +280,22 @@ mod tests {
         // Misrouted submit is rejected.
         let wrong = w.execute(&scan().submit("elsewhere").build());
         assert!(wrong.is_err());
+    }
+
+    #[test]
+    fn scan_only_wrapper_rejects_pushed_operators() {
+        let w = SourceWrapper::new("oo7", store())
+            .with_profile(disco_catalog::CapabilityProfile::ScanOnly);
+        // Bare scans pass the boundary.
+        assert!(w.execute(&scan().build()).is_ok());
+        // A pushed select is refused even though the source could run it.
+        let e = w
+            .execute(&scan().select("Id", CompareOp::Lt, 10i64).build())
+            .unwrap_err();
+        assert!(e.to_string().contains("scan-only"), "{e}");
+        // The profile is also what registration advertises.
+        let reg = w.registration().unwrap();
+        assert!(!reg.capabilities.supports(OperatorKind::Select));
     }
 
     #[test]
