@@ -47,6 +47,8 @@ fn main() {
         "digest",
         "conc mism",
         "stream mism",
+        "replans",
+        "adapt mism",
     ]);
     let mut json_rows = String::new();
     let mut failed: Vec<u64> = Vec::new();
@@ -56,8 +58,11 @@ fn main() {
         let replay = chaos::run_seed(seed, QUERIES_PER_SEED);
         let conc = chaos::run_seed_concurrent(seed, QUERIES_PER_SEED, SESSIONS);
         let stream = chaos::run_seed_streaming(seed, QUERIES_PER_SEED);
-        let deterministic = rep == replay;
-        let ok = rep.passed() && deterministic && conc.passed() && stream.passed();
+        let adaptive = chaos::run_seed_adaptive(seed, QUERIES_PER_SEED);
+        let adaptive_replay = chaos::run_seed_adaptive(seed, QUERIES_PER_SEED);
+        let deterministic = rep == replay && adaptive == adaptive_replay;
+        let ok =
+            rep.passed() && deterministic && conc.passed() && stream.passed() && adaptive.passed();
         if !ok {
             failed.push(seed);
         }
@@ -66,6 +71,9 @@ fn main() {
         }
         for m in &stream.mismatches {
             eprintln!("seed {seed} (streaming): {m}");
+        }
+        for m in &adaptive.mismatches {
+            eprintln!("seed {seed} (adaptive): {m}");
         }
         if !deterministic {
             eprintln!(
@@ -92,6 +100,8 @@ fn main() {
             rep.digest.clone(),
             conc.mismatches.len().to_string(),
             stream.mismatches.len().to_string(),
+            adaptive.replans.to_string(),
+            adaptive.mismatches.len().to_string(),
         ]);
         if !json_rows.is_empty() {
             json_rows.push(',');
@@ -110,7 +120,9 @@ fn main() {
              \"queries\": {}, \"complete\": {}, \"partial\": {}, \
              \"failovers\": {}, \"mismatches\": {}}}, \
              \"streaming\": {{\"queries\": {}, \"complete\": {}, \
-             \"partial\": {}, \"failovers\": {}, \"mismatches\": {}}}}}",
+             \"partial\": {}, \"failovers\": {}, \"mismatches\": {}}}, \
+             \"adaptive\": {{\"queries\": {}, \"complete\": {}, \
+             \"partial\": {}, \"replans\": {}, \"mismatches\": {}}}}}",
             rep.queries,
             rep.complete,
             rep.partial,
@@ -129,6 +141,11 @@ fn main() {
             stream.partial,
             stream.failovers,
             stream.mismatches.len(),
+            adaptive.queries,
+            adaptive.complete,
+            adaptive.partial,
+            adaptive.replans,
+            adaptive.mismatches.len(),
         )
         .expect("write json row");
     }
@@ -140,9 +157,11 @@ fn main() {
          is run twice and must produce identical transcripts, then soaked \
          again with {SESSIONS} concurrent sessions through one shared \
          mediator (per-answer oracle check; transcripts are \
-         interleaving-dependent there), and once more with the pipelined \
+         interleaving-dependent there), once more with the pipelined \
          streaming engine executing every query against the same two-phase \
-         oracle."
+         oracle, and finally with mid-query adaptive re-optimization armed \
+         (aggressive trigger) — re-planned answers must stay \
+         oracle-identical and deterministic."
     );
 
     let pass = failed.is_empty();

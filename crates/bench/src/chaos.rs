@@ -36,7 +36,9 @@ use std::sync::Mutex;
 use disco_catalog::CapabilityProfile;
 use disco_common::rng::seeded;
 use disco_common::{AttributeDef, DataType, Schema, Value};
-use disco_mediator::{Mediator, MediatorOptions, QueryResult, ResiliencePolicy, SharedMediator};
+use disco_mediator::{
+    AdaptivePolicy, Mediator, MediatorOptions, QueryResult, ResiliencePolicy, SharedMediator,
+};
 use disco_sources::{CollectionBuilder, CostProfile, PagedStore};
 use disco_transport::{
     ChannelTransport, FaultKind, FaultPlan, NetProfile, RetryPolicy, TransportClient,
@@ -114,7 +116,11 @@ fn schema_for(collection: &str) -> Schema {
     ])
 }
 
-/// Fixed, formula-generated rows — identical on every replica.
+/// Fixed, formula-generated rows — identical on every replica. `S.w` is
+/// deliberately skewed (value 1 covers 75% of the rows while the full
+/// 0..7 range keeps `count_distinct` at 7): the uniformity assumption
+/// misestimates `w`-filtered queries ~2.5–3×, which is what lets the
+/// adaptive soak's aggressive trigger actually fire mid-query.
 fn rows_for(collection: &str) -> Vec<Vec<Value>> {
     let (count, modulus) = match collection {
         "R" => (50, 5),
@@ -122,7 +128,14 @@ fn rows_for(collection: &str) -> Vec<Vec<Value>> {
         _ => (30, 3),
     };
     (0..count)
-        .map(|i| vec![Value::Long(i), Value::Long(i % modulus)])
+        .map(|i| {
+            let v = if collection == "S" && i < 30 {
+                1
+            } else {
+                i % modulus
+            };
+            vec![Value::Long(i), Value::Long(v)]
+        })
         .collect()
 }
 
@@ -153,6 +166,16 @@ fn federation<F: Fn(&str) -> FaultPlan, C: Fn(&str) -> CapabilityProfile>(
     caps: C,
     empty: &BTreeSet<String>,
     streaming: bool,
+) -> Mediator {
+    federation_adaptive(faults, caps, empty, streaming, AdaptivePolicy::default())
+}
+
+fn federation_adaptive<F: Fn(&str) -> FaultPlan, C: Fn(&str) -> CapabilityProfile>(
+    faults: F,
+    caps: C,
+    empty: &BTreeSet<String>,
+    streaming: bool,
+    adaptive: AdaptivePolicy,
 ) -> Mediator {
     let mut t = ChannelTransport::new();
     for (endpoint, collection) in ENDPOINTS {
@@ -185,6 +208,7 @@ fn federation<F: Fn(&str) -> FaultPlan, C: Fn(&str) -> CapabilityProfile>(
         resilience: chaos_policy(),
         streaming,
         streaming_chunk_rows: 16,
+        adaptive,
         ..MediatorOptions::default()
     });
     m.connect(client).expect("all wrappers register");
@@ -243,6 +267,9 @@ pub struct SeedReport {
     pub failovers: u64,
     /// Straggler hedges spent (expected 0: failover-only hedging).
     pub hedges: u64,
+    /// Mid-query re-plans considered (only the adaptive soak produces
+    /// them; answers must stay oracle-identical regardless).
+    pub replans: u64,
     /// Answers that differed from their oracle, with descriptions.
     pub mismatches: Vec<String>,
     /// FNV digest of the full run transcript — equal digests mean
@@ -259,22 +286,48 @@ impl SeedReport {
 /// Soak one seed: run `queries` federated queries under the seed's
 /// fault schedules, checking every answer against its oracle.
 pub fn run_seed(seed: u64, queries: usize) -> SeedReport {
-    run_seed_with(seed, queries, false)
+    run_seed_with(seed, queries, false, AdaptivePolicy::default())
 }
 
 /// [`run_seed`] with the pipelined streaming engine executing every
 /// chaos query (the oracle stays two-phase and fault-free): streamed
 /// answers must degrade exactly like two-phase ones under faults.
 pub fn run_seed_streaming(seed: u64, queries: usize) -> SeedReport {
-    run_seed_with(seed, queries, true)
+    run_seed_with(seed, queries, true, AdaptivePolicy::default())
 }
 
-fn run_seed_with(seed: u64, queries: usize, streaming: bool) -> SeedReport {
-    let mut m = federation(
+/// [`run_seed`] with mid-query adaptive re-optimization armed on the
+/// streaming engine, under an aggressive trigger (low threshold, no dead
+/// zone) so the query mix's natural estimate errors — and fault-emptied
+/// subanswers — exercise the abandon/re-drive path while every answer is
+/// still checked against the static fault-free oracle.
+pub fn run_seed_adaptive(seed: u64, queries: usize) -> SeedReport {
+    run_seed_with(
+        seed,
+        queries,
+        true,
+        AdaptivePolicy {
+            enabled: true,
+            error_threshold: 1.5,
+            min_rows: 1.0,
+            switch_margin: 0.05,
+            max_replans: 1,
+        },
+    )
+}
+
+fn run_seed_with(
+    seed: u64,
+    queries: usize,
+    streaming: bool,
+    adaptive: AdaptivePolicy,
+) -> SeedReport {
+    let mut m = federation_adaptive(
         |e| fault_schedule(seed, e),
         |e| capability_profile(seed, e),
         &BTreeSet::new(),
         streaming,
+        adaptive,
     );
     let mut oracles: BTreeMap<(usize, BTreeSet<String>), String> = BTreeMap::new();
     let mut report = SeedReport {
@@ -284,6 +337,7 @@ fn run_seed_with(seed: u64, queries: usize, streaming: bool) -> SeedReport {
         partial: 0,
         failovers: 0,
         hedges: 0,
+        replans: 0,
         mismatches: Vec::new(),
         digest: String::new(),
     };
@@ -341,6 +395,7 @@ fn run_seed_with(seed: u64, queries: usize, streaming: bool) -> SeedReport {
             }
         }
         report.hedges += u64::from(r.trace.hedges);
+        report.replans += r.trace.replans.len() as u64;
         transcript.push_str(&format!(
             "{q}:{:016x}:[{}]\n",
             fnv64(&got),

@@ -53,3 +53,18 @@ fn fault_free_seedless_run_is_fully_complete() {
     assert!(rep.passed(), "{:#?}", rep.mismatches);
     assert_eq!(rep.hedges, 0, "straggler timer must never fire under chaos");
 }
+
+#[test]
+fn adaptive_chaotic_answers_match_the_fault_free_oracle() {
+    for seed in [1u64, 2] {
+        let rep = chaos::run_seed_adaptive(seed, 24);
+        assert!(
+            rep.passed(),
+            "seed {seed} (adaptive) diverged from the oracle: {:#?}",
+            rep.mismatches
+        );
+        assert_eq!(rep.complete + rep.partial, 24);
+        // Determinism holds with the re-planner in the loop.
+        assert_eq!(rep, chaos::run_seed_adaptive(seed, 24), "seed {seed}");
+    }
+}

@@ -40,6 +40,12 @@ pub enum DiscoError {
     /// refused service, exhausted its retry budget, or its circuit breaker
     /// is open.
     Unavailable(String),
+    /// Internal control-flow sentinel: a running pipelined combine is
+    /// being abandoned for mid-query re-optimization. Propagates unchanged
+    /// through pull-based operators to the executor's pull loop, which
+    /// catches it and re-drives from the already-materialized subanswers.
+    /// Never surfaces to callers.
+    Replan(String),
 }
 
 impl DiscoError {
@@ -55,6 +61,7 @@ impl DiscoError {
             DiscoError::Unsupported(_) => "unsupported",
             DiscoError::Timeout(_) => "timeout",
             DiscoError::Unavailable(_) => "unavailable",
+            DiscoError::Replan(_) => "replan",
         }
     }
 
@@ -76,7 +83,8 @@ impl DiscoError {
             | DiscoError::Exec(m)
             | DiscoError::Unsupported(m)
             | DiscoError::Timeout(m)
-            | DiscoError::Unavailable(m) => m,
+            | DiscoError::Unavailable(m)
+            | DiscoError::Replan(m) => m,
         }
     }
 
@@ -93,6 +101,7 @@ impl DiscoError {
             "unsupported" => DiscoError::Unsupported(message),
             "timeout" => DiscoError::Timeout(message),
             "unavailable" => DiscoError::Unavailable(message),
+            "replan" => DiscoError::Replan(message),
             _ => DiscoError::Exec(message),
         }
     }

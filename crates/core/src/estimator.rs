@@ -41,6 +41,57 @@ const VAR_ORDER: [CostVar; 5] = [
     CostVar::TotalTime,
 ];
 
+/// Observed subanswer cardinalities keyed by submit site, used for
+/// mid-query re-optimization: once a wrapper's answer has materialized,
+/// its *measured* row count and byte size replace the catalog-derived
+/// estimate at the matching `submit` node, and every combine-plan
+/// candidate is re-priced against reality.
+///
+/// Keys are [`CardinalityOverrides::submit_key`] of the submit's wrapper
+/// and subplan, so the same subanswer is recognized no matter where a
+/// candidate join order places it. An estimator carrying overrides must
+/// use a **fresh** [`EstimatorCache`]: memoized costs bake the override
+/// in, so a cache shared across different override sets would replay
+/// stale cardinalities.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CardinalityOverrides {
+    map: std::collections::BTreeMap<String, (f64, f64)>,
+}
+
+impl CardinalityOverrides {
+    /// An empty override set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical key for a submit site: wrapper name plus the exact
+    /// subplan shipped to it.
+    pub fn submit_key(wrapper: &str, input: &LogicalPlan) -> String {
+        format!("{wrapper}|{input:?}")
+    }
+
+    /// Record an observed `(rows, bytes)` for one submit site.
+    pub fn insert(&mut self, wrapper: &str, input: &LogicalPlan, rows: f64, bytes: f64) {
+        self.map
+            .insert(Self::submit_key(wrapper, input), (rows, bytes));
+    }
+
+    /// Look up the observation for a submit site, if any.
+    pub fn get(&self, wrapper: &str, input: &LogicalPlan) -> Option<(f64, f64)> {
+        self.map.get(&Self::submit_key(wrapper, input)).copied()
+    }
+
+    /// True when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Options controlling one estimation run.
 #[derive(Debug, Clone, Default)]
 pub struct EstimateOptions {
@@ -70,6 +121,7 @@ pub struct Estimator<'a> {
     registry: &'a RuleRegistry,
     catalog: &'a Catalog,
     health: Option<&'a HealthTracker>,
+    overrides: Option<&'a CardinalityOverrides>,
 }
 
 impl<'a> Estimator<'a> {
@@ -79,6 +131,7 @@ impl<'a> Estimator<'a> {
             registry,
             catalog,
             health: None,
+            overrides: None,
         }
     }
 
@@ -88,6 +141,16 @@ impl<'a> Estimator<'a> {
     /// prediction at wrapper scope (§4.1) and plans shift to replicas.
     pub fn with_health(mut self, health: Option<&'a HealthTracker>) -> Self {
         self.health = health;
+        self
+    }
+
+    /// Replace catalog cardinalities with measured ones at matching
+    /// `submit` nodes (builder style). Used by mid-query re-optimization:
+    /// candidates are re-priced with the rows that actually arrived.
+    /// Callers must pair overrides with a fresh [`EstimatorCache`] — see
+    /// [`CardinalityOverrides`].
+    pub fn with_overrides(mut self, overrides: Option<&'a CardinalityOverrides>) -> Self {
+        self.overrides = overrides;
         self
     }
 
@@ -418,6 +481,20 @@ impl<'a> Run<'a> {
             }
         }
 
+        // Mid-query cardinality correction: the subanswer for this submit
+        // has already materialized, so its *measured* row count and size
+        // replace the estimate — ancestor joins are then priced against
+        // reality. Time variables are left alone: the fetch is sunk cost,
+        // identical under every candidate combine order.
+        let mut observed = None;
+        if let (Some(ov), LogicalPlan::Submit { wrapper, input }) = (self.est.overrides, plan) {
+            if let Some((rows, bytes)) = ov.get(wrapper, input) {
+                cost.count_object = rows;
+                cost.total_size = bytes;
+                observed = Some(rows);
+            }
+        }
+
         // Explain mode reports the whole plan: visit the children the
         // §4.2 cut-off skipped. Their costs are not folded into this
         // node's (no winning rule reads them) — they are shown so the
@@ -433,10 +510,15 @@ impl<'a> Run<'a> {
         }
 
         let explain_node = self.explain.then(|| ExplainNode {
-            operator: if health_penalty > 1.0 {
-                format!("{} [health ×{health_penalty:.2}]", describe_node(plan))
-            } else {
-                describe_node(plan)
+            operator: {
+                let mut op = describe_node(plan);
+                if health_penalty > 1.0 {
+                    op = format!("{op} [health ×{health_penalty:.2}]");
+                }
+                if let Some(rows) = observed {
+                    op = format!("{op} [observed {rows:.0} rows]");
+                }
+                op
             },
             cost,
             attributions,

@@ -44,7 +44,7 @@ pub mod yao;
 pub use cache::EstimatorCache;
 pub use cost::NodeCost;
 pub use disco_costlang::CostVar;
-pub use estimator::{EstimateOptions, EstimateReport, Estimator};
+pub use estimator::{CardinalityOverrides, EstimateOptions, EstimateReport, Estimator};
 pub use explain::{relative_error, AnalyzeNode, Attribution, ExplainNode, Measured, MeasuredNode};
 pub use historical::{fit_param, HistoryRecorder, ParamAdjuster};
 pub use params::Params;

@@ -1,0 +1,691 @@
+//! Mid-query adaptive re-optimization (ROADMAP item 4).
+//!
+//! The paper's §4.3 feedback loop corrects cost estimates *between*
+//! queries and its §4.3.2 branch-and-bound abandons plans *during
+//! optimization*; this module generalizes both into **runtime plan
+//! abandonment**. Once subanswers materialize (after the two-phase fetch
+//! phase, or mid-stream under pipelined execution), the executor compares
+//! measured cardinalities against the optimizer's per-site predictions.
+//! When the relative error crosses [`AdaptivePolicy::error_threshold`]
+//! (outside the [`AdaptivePolicy::min_rows`] dead zone), the
+//! [`Replanner`] re-enumerates left-deep join orders over the combine
+//! plan with the *measured* cardinalities substituted at the submit
+//! leaves ([`disco_core::CardinalityOverrides`]) and switches only when
+//! the predicted win exceeds [`AdaptivePolicy::switch_margin`]. Already
+//! fetched subanswers are never re-fetched: the executor re-drives the
+//! combine from the materialized batches.
+//!
+//! Re-planning is pure mediator-side arithmetic over the memoized
+//! estimator — BENCH_optimizer.json shows enumeration is microseconds at
+//! combine-plan sizes — so the cost of *considering* a switch is noise
+//! next to one mis-ordered join.
+
+use disco_algebra::{CompareOp, JoinPredicate, LogicalPlan, PhysicalJoinAlgo, PhysicalPlan};
+use disco_catalog::Catalog;
+use disco_common::HealthTracker;
+use disco_core::{CardinalityOverrides, EstimateOptions, Estimator, EstimatorCache, RuleRegistry};
+
+use crate::optimizer::to_logical;
+
+/// Knobs for mid-query re-optimization, carried on
+/// [`MediatorOptions`](crate::mediator::MediatorOptions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Master switch; off by default (static plans, zero overhead).
+    pub enabled: bool,
+    /// Trigger when `max(observed/predicted, predicted/observed)` for
+    /// some subanswer reaches this factor (a *ratio*, so 4.0 means 4×
+    /// off in either direction).
+    pub error_threshold: f64,
+    /// Dead zone: ignore misestimates whose absolute row difference is
+    /// below this — tiny subanswers are cheap to combine in any order,
+    /// and re-planning them would only add noise.
+    pub min_rows: f64,
+    /// Switch plans only when the re-estimated combine cost beats the
+    /// corrected cost of the current plan by this fraction (0.1 = the
+    /// candidate must be ≥10% cheaper), so estimate jitter cannot cause
+    /// plan thrashing.
+    pub switch_margin: f64,
+    /// At most this many re-plans per query (abandoning a combine and
+    /// re-driving it is cheap but not free).
+    pub max_replans: usize,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            enabled: false,
+            error_threshold: 4.0,
+            min_rows: 256.0,
+            switch_margin: 0.1,
+            max_replans: 1,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// An enabled policy with the default thresholds.
+    pub fn enabled() -> Self {
+        AdaptivePolicy {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// True when `observed` vs `predicted` rows crosses the trigger
+    /// (threshold ratio outside the dead zone).
+    pub fn triggers(&self, predicted: f64, observed: f64) -> bool {
+        if (observed - predicted).abs() < self.min_rows {
+            return false;
+        }
+        let p = predicted.max(1.0);
+        let o = observed.max(1.0);
+        (o / p).max(p / o) >= self.error_threshold
+    }
+}
+
+/// One submit site's measured outcome, aligned with the plan's submit
+/// (fetch) order.
+#[derive(Debug, Clone)]
+pub struct SiteObservation {
+    pub wrapper: String,
+    /// The logical subplan shipped to the wrapper (the override key).
+    pub plan: LogicalPlan,
+    /// The optimizer's predicted result cardinality, when it priced this
+    /// site.
+    pub predicted_rows: Option<f64>,
+    pub observed_rows: f64,
+    pub observed_bytes: f64,
+    /// The site failed or was truncated: its measurement is a lower
+    /// bound, not a cardinality — it still corrects the override (the
+    /// materialized input really is that small) but never *triggers* a
+    /// re-plan.
+    pub failed: bool,
+}
+
+/// A recorded re-plan decision, threaded into the execution trace and
+/// rendered by EXPLAIN ANALYZE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanEvent {
+    /// The wrapper whose misestimate triggered the check (worst error).
+    pub wrapper: String,
+    pub predicted_rows: f64,
+    pub observed_rows: f64,
+    /// Corrected estimate of the *current* combine plan (ms), with the
+    /// already-spent fetch costs excluded as sunk.
+    pub old_cost_ms: f64,
+    /// Corrected estimate of the best candidate order (ms), same basis.
+    pub new_cost_ms: f64,
+    /// Whether the win cleared the switch margin and the plan was
+    /// actually abandoned.
+    pub switched: bool,
+    /// `"two_phase"` or `"streaming"`.
+    pub engine: &'static str,
+}
+
+impl ReplanEvent {
+    /// One-line rendering, e.g.
+    /// `re-optimized: predicted 1k rows, observed 800k at `s` — switched
+    /// join order (est. 1234.0ms -> 56.0ms)`.
+    pub fn render(&self) -> String {
+        let verdict = if self.switched {
+            format!(
+                "switched join order (est. {:.1}ms -> {:.1}ms)",
+                self.old_cost_ms, self.new_cost_ms
+            )
+        } else {
+            format!(
+                "kept plan (best candidate {:.1}ms vs {:.1}ms, within margin)",
+                self.new_cost_ms, self.old_cost_ms
+            )
+        };
+        format!(
+            "re-optimized: predicted {} rows, observed {} at `{}` — {}",
+            fmt_rows(self.predicted_rows),
+            fmt_rows(self.observed_rows),
+            self.wrapper,
+            verdict
+        )
+    }
+}
+
+fn fmt_rows(n: f64) -> String {
+    if n >= 10_000.0 {
+        format!("{:.0}k", n / 1000.0)
+    } else {
+        format!("{n:.0}")
+    }
+}
+
+/// Outcome of one [`Replanner::consider`] call that crossed the trigger.
+#[derive(Debug, Clone)]
+pub struct ReplanOutcome {
+    pub event: ReplanEvent,
+    /// The replacement plan when the event switched.
+    pub new_plan: Option<PhysicalPlan>,
+}
+
+/// Re-entrant join enumeration over an executed combine plan: decompose
+/// the join tree into opaque leaves (each an already-fetched submit
+/// subtree, possibly fused or filtered), re-enumerate left-deep orders
+/// with measured cardinalities substituted at the submit nodes, and
+/// propose a switch when one clears the margin.
+pub struct Replanner<'a> {
+    registry: &'a RuleRegistry,
+    catalog: &'a Catalog,
+    health: Option<&'a HealthTracker>,
+    policy: AdaptivePolicy,
+}
+
+/// One leaf of the decomposed join tree with its resolved output schema.
+struct Leaf {
+    plan: PhysicalPlan,
+    schema: disco_common::Schema,
+    /// Measured output rows (sum of overrides inside the leaf, else the
+    /// static estimate) — drives the greedy fallback order.
+    rows: f64,
+}
+
+/// A join predicate re-anchored to leaf indices.
+struct Edge {
+    a: usize,
+    a_attr: String,
+    op: CompareOp,
+    b: usize,
+    b_attr: String,
+    used: bool,
+}
+
+/// Mediator-side unary operators stripped off the top of the plan before
+/// the join tree, reapplied verbatim over the re-ordered tree.
+enum Suffix {
+    Filter(disco_algebra::Predicate),
+    Project(Vec<(String, disco_algebra::ScalarExpr)>),
+    Sort(Vec<(String, bool)>),
+    Dedup,
+    Aggregate {
+        group_by: Vec<String>,
+        aggs: Vec<disco_algebra::logical::AggExpr>,
+    },
+}
+
+/// Beyond this many leaves the order search degrades to greedy
+/// (smallest measured input first) — same spirit as the optimizer's
+/// `exhaustive_up_to` bound, scaled to combine-plan sizes.
+const EXHAUSTIVE_LEAVES: usize = 8;
+
+impl<'a> Replanner<'a> {
+    /// Build a replanner over the mediator's catalog/registry/health.
+    pub fn new(
+        registry: &'a RuleRegistry,
+        catalog: &'a Catalog,
+        health: Option<&'a HealthTracker>,
+        policy: AdaptivePolicy,
+    ) -> Self {
+        Replanner {
+            registry,
+            catalog,
+            health,
+            policy,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &AdaptivePolicy {
+        &self.policy
+    }
+
+    /// Compare observations against predictions; when the worst error
+    /// crosses the trigger, re-enumerate the combine plan with corrected
+    /// cardinalities. `None` = nothing crossed the trigger (the dead
+    /// zone and threshold held) or the plan has no reorderable join
+    /// tree. `Some` always carries a [`ReplanEvent`] for the trace; the
+    /// plan inside is `Some` only when the win cleared the margin.
+    pub fn consider(
+        &self,
+        plan: &PhysicalPlan,
+        observations: &[SiteObservation],
+        engine: &'static str,
+    ) -> Option<ReplanOutcome> {
+        if !self.policy.enabled {
+            return None;
+        }
+        // Worst misestimate among trustworthy (fully measured) sites.
+        let worst = observations
+            .iter()
+            .filter(|o| !o.failed)
+            .filter_map(|o| {
+                let p = o.predicted_rows?;
+                self.policy
+                    .triggers(p, o.observed_rows)
+                    .then(|| (o, (o.observed_rows.max(1.0) / p.max(1.0)).ln().abs()))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))?
+            .0;
+
+        if disco_obs::enabled() {
+            disco_obs::counter(disco_obs::names::REPLAN_CONSIDERED, &[("engine", engine)]).inc();
+        }
+
+        let mut event = ReplanEvent {
+            wrapper: worst.wrapper.clone(),
+            predicted_rows: worst.predicted_rows.unwrap_or(0.0),
+            observed_rows: worst.observed_rows,
+            old_cost_ms: 0.0,
+            new_cost_ms: 0.0,
+            switched: false,
+            engine,
+        };
+
+        // Every observation (failed ones included) corrects its submit
+        // leaf: the materialized input *is* that size now.
+        let mut overrides = CardinalityOverrides::new();
+        for o in observations {
+            overrides.insert(&o.wrapper, &o.plan, o.observed_rows, o.observed_bytes);
+        }
+
+        let (suffix, tree) = split_suffix(plan);
+        let Some((leaves, edges)) = decompose(tree, &overrides, self) else {
+            // Nothing reorderable (single site, undecomposable tree):
+            // record that the trigger fired but the plan stands.
+            return Some(ReplanOutcome {
+                event,
+                new_plan: None,
+            });
+        };
+
+        // Overrides bake into memoized costs, so the cache must be fresh
+        // for this override set (see `CardinalityOverrides`).
+        let cache = EstimatorCache::new();
+        let estimator = Estimator::new(self.registry, self.catalog)
+            .with_health(self.health)
+            .with_overrides(Some(&overrides));
+        let Some(current) = self.price(tree, &estimator, &cache, None) else {
+            return Some(ReplanOutcome {
+                event,
+                new_plan: None,
+            });
+        };
+        // The fetches are sunk: every candidate order consumes the same
+        // already-materialized subanswers, so the margin is judged on the
+        // combine-side cost alone — leaving the identical submit terms in
+        // would dilute any join-order win below the margin.
+        let sunk: f64 = leaves
+            .iter()
+            .filter_map(|l| self.price(&l.plan, &estimator, &cache, None))
+            .sum();
+        event.old_cost_ms = (current - sunk).max(0.0);
+        event.new_cost_ms = event.old_cost_ms;
+
+        let Some(best) = self.search(&leaves, &edges, &estimator, &cache, current) else {
+            // Every candidate priced (or pruned) at or above the current
+            // order: keep the plan.
+            return Some(ReplanOutcome {
+                event,
+                new_plan: None,
+            });
+        };
+        event.new_cost_ms = (best.1 - sunk).max(0.0);
+
+        if event.new_cost_ms < event.old_cost_ms * (1.0 - self.policy.switch_margin) {
+            event.switched = true;
+            if disco_obs::enabled() {
+                disco_obs::counter(disco_obs::names::REPLAN_EXECUTED, &[("engine", engine)]).inc();
+                disco_obs::histogram(disco_obs::names::REPLAN_WIN_MS, &[("engine", engine)])
+                    .observe(event.old_cost_ms - event.new_cost_ms);
+            }
+            let new_plan = apply_suffix(suffix, best.0);
+            return Some(ReplanOutcome {
+                event,
+                new_plan: Some(new_plan),
+            });
+        }
+        Some(ReplanOutcome {
+            event,
+            new_plan: None,
+        })
+    }
+
+    /// Corrected `TotalTime` of a combine tree (submit leaves priced at
+    /// their measured cardinality; `limit` prunes hopeless candidates —
+    /// §4.3.2 with the current plan as the bound).
+    fn price(
+        &self,
+        tree: &PhysicalPlan,
+        estimator: &Estimator<'_>,
+        cache: &EstimatorCache,
+        limit: Option<f64>,
+    ) -> Option<f64> {
+        let opts = EstimateOptions {
+            cost_limit: limit,
+            wrapper: None,
+        };
+        estimator
+            .estimate_report_cached(&to_logical(tree), &opts, cache)
+            .ok()
+            .flatten()
+            .map(|r| r.cost.total_time)
+    }
+
+    /// Enumerate connected left-deep orders over the leaves (exhaustive
+    /// up to [`EXHAUSTIVE_LEAVES`], greedy smallest-first beyond) and
+    /// return the cheapest rebuilt tree with its corrected cost.
+    fn search(
+        &self,
+        leaves: &[Leaf],
+        edges: &[Edge],
+        estimator: &Estimator<'_>,
+        cache: &EstimatorCache,
+        current: f64,
+    ) -> Option<(PhysicalPlan, f64)> {
+        let n = leaves.len();
+        let orders: Vec<Vec<usize>> = if n <= EXHAUSTIVE_LEAVES {
+            let mut all = Vec::new();
+            let mut prefix = Vec::with_capacity(n);
+            enumerate_connected(n, edges, &mut prefix, &mut all);
+            all
+        } else {
+            greedy_order(leaves, edges).into_iter().collect()
+        };
+        let mut best: Option<(PhysicalPlan, f64)> = None;
+        for order in orders {
+            let Some(tree) = build_tree(leaves, edges, &order) else {
+                continue;
+            };
+            let bound = best.as_ref().map_or(current, |b| b.1.min(current));
+            let Some(cost) = self.price(&tree, estimator, cache, Some(bound)) else {
+                continue; // pruned: already worse than the bound
+            };
+            if best.as_ref().is_none_or(|b| cost < b.1) {
+                best = Some((tree, cost));
+            }
+        }
+        best
+    }
+}
+
+/// Strip mediator-side unary operators off the top of the plan until the
+/// join tree (or whatever else) is exposed, outermost first.
+fn split_suffix(plan: &PhysicalPlan) -> (Vec<Suffix>, &PhysicalPlan) {
+    let mut suffix = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            PhysicalPlan::Filter { input, predicate } => {
+                suffix.push(Suffix::Filter(predicate.clone()));
+                cur = input;
+            }
+            PhysicalPlan::Project { input, columns } => {
+                suffix.push(Suffix::Project(columns.clone()));
+                cur = input;
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                suffix.push(Suffix::Sort(keys.clone()));
+                cur = input;
+            }
+            PhysicalPlan::Dedup { input } => {
+                suffix.push(Suffix::Dedup);
+                cur = input;
+            }
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                suffix.push(Suffix::Aggregate {
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                });
+                cur = input;
+            }
+            _ => return (suffix, cur),
+        }
+    }
+}
+
+/// Reapply stripped operators (innermost last in `suffix`, so rebuild in
+/// reverse).
+fn apply_suffix(suffix: Vec<Suffix>, mut tree: PhysicalPlan) -> PhysicalPlan {
+    for s in suffix.into_iter().rev() {
+        tree = match s {
+            Suffix::Filter(predicate) => PhysicalPlan::Filter {
+                input: Box::new(tree),
+                predicate,
+            },
+            Suffix::Project(columns) => PhysicalPlan::Project {
+                input: Box::new(tree),
+                columns,
+            },
+            Suffix::Sort(keys) => PhysicalPlan::Sort {
+                input: Box::new(tree),
+                keys,
+            },
+            Suffix::Dedup => PhysicalPlan::Dedup {
+                input: Box::new(tree),
+            },
+            Suffix::Aggregate { group_by, aggs } => PhysicalPlan::Aggregate {
+                input: Box::new(tree),
+                group_by,
+                aggs,
+            },
+        };
+    }
+    tree
+}
+
+/// Flatten the join tree into leaves (any non-`Join` subtree is opaque —
+/// a submit, a fused multi-table submit, a filtered submit, even a
+/// union) and predicates re-anchored to leaf indices. `None` when the
+/// tree is not a cleanly decomposable inner-equi/theta join tree (an
+/// attribute resolving to zero or several leaves, a join algorithm we
+/// could not rebuild, …) — in that case the plan is left alone, which is
+/// always safe.
+fn decompose(
+    tree: &PhysicalPlan,
+    overrides: &CardinalityOverrides,
+    rp: &Replanner<'_>,
+) -> Option<(Vec<Leaf>, Vec<Edge>)> {
+    let mut leaf_plans: Vec<&PhysicalPlan> = Vec::new();
+    let mut preds: Vec<&JoinPredicate> = Vec::new();
+    collect(tree, &mut leaf_plans, &mut preds);
+    if leaf_plans.len() < 2 || preds.len() != leaf_plans.len() - 1 {
+        return None;
+    }
+
+    let estimator = Estimator::new(rp.registry, rp.catalog)
+        .with_health(rp.health)
+        .with_overrides(Some(overrides));
+    let mut leaves = Vec::with_capacity(leaf_plans.len());
+    for lp in &leaf_plans {
+        let logical = to_logical(lp);
+        let schema = logical.output_schema().ok()?;
+        // Leaf cardinality under overrides, for the greedy fallback.
+        let rows = estimator
+            .estimate(&logical)
+            .map(|c| c.count_object)
+            .unwrap_or(f64::MAX);
+        leaves.push(Leaf {
+            plan: (*lp).clone(),
+            schema,
+            rows,
+        });
+    }
+
+    let mut edges = Vec::with_capacity(preds.len());
+    for p in preds {
+        let a = owner(&leaves, &p.left_attr)?;
+        let b = owner(&leaves, &p.right_attr)?;
+        if a == b {
+            return None;
+        }
+        edges.push(Edge {
+            a,
+            a_attr: p.left_attr.clone(),
+            op: p.op,
+            b,
+            b_attr: p.right_attr.clone(),
+            used: false,
+        });
+    }
+    Some((leaves, edges))
+}
+
+/// Collect join-tree leaves and predicates depth-first, left before
+/// right (matching submit/fetch order).
+fn collect<'p>(
+    plan: &'p PhysicalPlan,
+    leaves: &mut Vec<&'p PhysicalPlan>,
+    preds: &mut Vec<&'p JoinPredicate>,
+) {
+    match plan {
+        PhysicalPlan::Join {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            preds.push(predicate);
+            collect(left, leaves, preds);
+            collect(right, leaves, preds);
+        }
+        other => leaves.push(other),
+    }
+}
+
+/// The unique leaf whose output schema contains `attr` (attributes are
+/// alias-qualified, so ambiguity means the tree is not safely
+/// decomposable).
+fn owner(leaves: &[Leaf], attr: &str) -> Option<usize> {
+    let mut found = None;
+    for (i, l) in leaves.iter().enumerate() {
+        if l.schema.index_of(attr).is_some() {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+/// All left-deep orders where each next leaf connects to the prefix by
+/// some edge (the optimizer's connected-subgraph-first constraint).
+fn enumerate_connected(
+    n: usize,
+    edges: &[Edge],
+    prefix: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if prefix.len() == n {
+        out.push(prefix.clone());
+        return;
+    }
+    for next in 0..n {
+        if prefix.contains(&next) {
+            continue;
+        }
+        if !prefix.is_empty() && !connects(edges, prefix, next) {
+            continue;
+        }
+        prefix.push(next);
+        enumerate_connected(n, edges, prefix, out);
+        prefix.pop();
+    }
+}
+
+fn connects(edges: &[Edge], prefix: &[usize], next: usize) -> bool {
+    edges
+        .iter()
+        .any(|e| (e.a == next && prefix.contains(&e.b)) || (e.b == next && prefix.contains(&e.a)))
+}
+
+/// Greedy connected order by measured leaf cardinality (smallest first).
+fn greedy_order(leaves: &[Leaf], edges: &[Edge]) -> Option<Vec<usize>> {
+    let n = leaves.len();
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|i| !order.contains(i))
+            .filter(|&i| order.is_empty() || connects(edges, &order, i))
+            .min_by(|&a, &b| leaves[a].rows.total_cmp(&leaves[b].rows))?;
+        order.push(next);
+    }
+    Some(order)
+}
+
+/// Rebuild a left-deep join tree over `order`, consuming one connecting
+/// edge per step with the optimizer's orientation rule (left attribute
+/// belongs to the tree; flip the comparison otherwise) and algorithm
+/// rule (equality ⇒ hash, else nested loop).
+fn build_tree(leaves: &[Leaf], edges: &[Edge], order: &[usize]) -> Option<PhysicalPlan> {
+    let mut used: Vec<bool> = edges.iter().map(|e| e.used).collect();
+    let mut in_tree = vec![false; leaves.len()];
+    in_tree[order[0]] = true;
+    let mut tree = leaves[order[0]].plan.clone();
+    for &next in &order[1..] {
+        let (ei, e) = edges.iter().enumerate().find(|(ei, e)| {
+            !used[*ei] && ((e.a == next && in_tree[e.b]) || (e.b == next && in_tree[e.a]))
+        })?;
+        used[ei] = true;
+        let (left_attr, op, right_attr) = if in_tree[e.a] {
+            (e.a_attr.clone(), e.op, e.b_attr.clone())
+        } else {
+            (e.b_attr.clone(), e.op.flipped(), e.a_attr.clone())
+        };
+        let algo = if op == CompareOp::Eq {
+            PhysicalJoinAlgo::Hash
+        } else {
+            PhysicalJoinAlgo::NestedLoop
+        };
+        tree = PhysicalPlan::Join {
+            algo,
+            left: Box::new(tree),
+            right: Box::new(leaves[next].plan.clone()),
+            predicate: JoinPredicate {
+                left_attr,
+                op,
+                right_attr,
+            },
+        };
+        in_tree[next] = true;
+    }
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_dead_zone_and_threshold() {
+        let p = AdaptivePolicy {
+            enabled: true,
+            error_threshold: 4.0,
+            min_rows: 100.0,
+            ..Default::default()
+        };
+        // Inside the dead zone: 10 vs 90 rows is 9x off but only 80 rows.
+        assert!(!p.triggers(10.0, 90.0));
+        // Outside the dead zone and over the threshold, both directions.
+        assert!(p.triggers(100.0, 5000.0));
+        assert!(p.triggers(5000.0, 100.0));
+        // Outside the dead zone but under the threshold.
+        assert!(!p.triggers(1000.0, 2000.0));
+    }
+
+    #[test]
+    fn event_renders_the_roadmap_line() {
+        let e = ReplanEvent {
+            wrapper: "s".into(),
+            predicted_rows: 1000.0,
+            observed_rows: 800_000.0,
+            old_cost_ms: 1234.0,
+            new_cost_ms: 56.0,
+            switched: true,
+            engine: "two_phase",
+        };
+        let line = e.render();
+        assert!(line.starts_with("re-optimized: predicted 1000 rows, observed 800k"));
+        assert!(line.contains("switched join order"));
+    }
+}

@@ -44,6 +44,8 @@ use disco_transport::{
 };
 use disco_wrapper::Wrapper;
 
+use crate::adaptive::{ReplanEvent, Replanner, SiteObservation};
+
 /// Record of one submitted subquery.
 #[derive(Debug, Clone)]
 pub struct SubmitTrace {
@@ -73,6 +75,13 @@ pub struct SubmitTrace {
     /// frame in pipelined mode. `0` when the submit failed or its stream
     /// was abandoned before its end-of-stream stats arrived.
     pub first_ms: f64,
+    /// The subanswer was delivered in full: the wrapper answered and its
+    /// stream (if any) ran to end-of-stream, so [`tuples`](Self::tuples)
+    /// is the subquery's true cardinality and [`stats`](Self::stats) are
+    /// the wrapper's final numbers. `false` for failed submits *and* for
+    /// streams truncated early (LIMIT satisfied, budget expired) — whose
+    /// partial counts must not teach the §4.3 history.
+    pub complete: bool,
 }
 
 /// The cost model's prediction for one submit site, aligned with the
@@ -84,6 +93,9 @@ pub struct SitePrediction {
     pub total_ms: f64,
     /// Predicted `TimeFirst` for the subplan, simulated ms.
     pub first_ms: f64,
+    /// Predicted subanswer cardinality (`count_object`) — the number the
+    /// adaptive re-optimizer compares against measured cardinalities.
+    pub rows: f64,
 }
 
 /// Accounting for one query execution.
@@ -121,6 +133,14 @@ pub struct ExecutionTrace {
     /// (streaming execution only; `None` in two-phase mode, where the
     /// first row is only available with the last).
     pub first_row_wall_ms: Option<f64>,
+    /// Mid-query re-optimization decisions, in the order they were
+    /// considered: one entry per time measured cardinalities crossed the
+    /// adaptive error threshold (whether or not the plan switched).
+    pub replans: Vec<ReplanEvent>,
+    /// The combine plan the answer was actually produced with, when a
+    /// re-plan abandoned the optimizer's order mid-query. `None` when the
+    /// original plan ran to completion.
+    pub final_plan: Option<PhysicalPlan>,
 }
 
 impl ExecutionTrace {
@@ -225,6 +245,8 @@ pub struct Executor<'a> {
     predictions: Vec<Option<SitePrediction>>,
     /// Fallback replica wrappers per primary wrapper, in failover order.
     replicas: BTreeMap<String, Vec<String>>,
+    /// Mid-query re-optimizer; `None` runs every plan to completion.
+    adaptive: Option<Replanner<'a>>,
 }
 
 impl<'a> Executor<'a> {
@@ -242,6 +264,7 @@ impl<'a> Executor<'a> {
             resilience: None,
             predictions: Vec::new(),
             replicas: BTreeMap::new(),
+            adaptive: None,
         }
     }
 
@@ -255,6 +278,7 @@ impl<'a> Executor<'a> {
             resilience: None,
             predictions: Vec::new(),
             replicas: BTreeMap::new(),
+            adaptive: None,
         }
     }
 
@@ -295,6 +319,16 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Attach a mid-query re-optimizer (builder style). After the fetch
+    /// phase (or, under streaming, as subanswer cardinalities become
+    /// known) measured cardinalities are compared against the attached
+    /// [`SitePrediction`]s; a large enough error re-enumerates the
+    /// combine plan and may abandon the running order.
+    pub fn with_adaptive(mut self, replanner: Option<Replanner<'a>>) -> Self {
+        self.adaptive = replanner;
+        self
+    }
+
     fn param(&self, name: &str, default: f64) -> f64 {
         self.registry.params().get_f64(name).unwrap_or(default)
     }
@@ -326,11 +360,31 @@ impl<'a> Executor<'a> {
         trace.concurrent =
             self.parallel && sites.len() > 1 && matches!(self.backend, Backend::Remote(_));
 
+        // Adaptive checkpoint: every subanswer cardinality is now known.
+        // If the measurements contradict the optimizer's predictions,
+        // re-enumerate the combine plan before any join work starts —
+        // fetched subanswers are a sunk cost, the combine order is not.
+        let mut switched: Option<PhysicalPlan> = None;
+        if let Some(replanner) = &self.adaptive {
+            let observations = two_phase_observations(&sites, &fetched, &self.predictions);
+            if let Some(outcome) = replanner.consider(plan, &observations, "two_phase") {
+                if let Some(new_plan) = outcome.new_plan {
+                    trace.final_plan = Some(new_plan.clone());
+                    switched = Some(new_plan);
+                }
+                trace.replans.push(outcome.event);
+            }
+        }
+        let plan = switched.as_ref().unwrap_or(plan);
+
         // Combine phase: walk the plan, consuming fetched answers at the
         // submit sites and running the vectorized mediator-side
-        // operators on columnar batches.
+        // operators on columnar batches. The pool maps each submit site
+        // to its fetched answer by (wrapper, subplan) so a re-planned
+        // order still consumes the answers fetched for the original —
+        // nothing is re-fetched.
         let mut clock = VirtualClock::new();
-        let mut fetched = fetched.into_iter();
+        let mut fetched = FetchPool::new(&sites, fetched);
         let (schema, batch, measured) = self.run(plan, &mut clock, &mut trace, &mut fetched)?;
         trace.mediator_ms = clock.now();
         trace.measured = Some(measured);
@@ -506,7 +560,7 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         clock: &mut VirtualClock,
         trace: &mut ExecutionTrace,
-        fetched: &mut std::vec::IntoIter<Fetched>,
+        fetched: &mut FetchPool,
     ) -> Result<(Schema, Batch, MeasuredNode)> {
         let before = clock.now() + trace.wrapper_ms + trace.communication_ms;
         let (schema, batch, operator, failed, pages, first_row_ms, children) =
@@ -533,7 +587,7 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         clock: &mut VirtualClock,
         trace: &mut ExecutionTrace,
-        fetched: &mut std::vec::IntoIter<Fetched>,
+        fetched: &mut FetchPool,
     ) -> Result<(
         Schema,
         Batch,
@@ -553,7 +607,7 @@ impl<'a> Executor<'a> {
             } => {
                 let operator = format!("submit {wrapper}");
                 let next = fetched
-                    .next()
+                    .take(wrapper, plan)
                     .ok_or_else(|| DiscoError::Exec("submit site without a fetch".into()))?;
                 let budget_skipped = next.budget_skipped;
                 match next.outcome {
@@ -589,6 +643,7 @@ impl<'a> Executor<'a> {
                             served_by: f.served_by,
                             hedges: f.hedges,
                             first_ms,
+                            complete: true,
                         });
                         Ok((
                             f.answer.schema,
@@ -620,6 +675,7 @@ impl<'a> Executor<'a> {
                             served_by: String::new(),
                             hedges: 0,
                             first_ms: 0.0,
+                            complete: false,
                         });
                         Ok((
                             expected_schema.clone(),
@@ -766,9 +822,24 @@ impl<'a> Executor<'a> {
         trace.concurrent =
             self.parallel && sites.len() > 1 && matches!(self.backend, Backend::Remote(_));
 
+        // Arm the adaptive trip-wire: site streams buffer their chunks
+        // and abort the combine when measurements contradict predictions.
+        let trigger = self.adaptive.as_ref().and_then(|r| {
+            let policy = r.policy();
+            (policy.enabled && policy.max_replans >= 1).then(|| {
+                Rc::new(StreamTrigger {
+                    policy: policy.clone(),
+                    fired: Cell::new(false),
+                })
+            })
+        });
         let ctx = StreamCtx {
             clock: Rc::new(RefCell::new(VirtualClock::new())),
             site_states: RefCell::new(Vec::new()),
+            site_modes: RefCell::new(Vec::new()),
+            site_schemas: RefCell::new(Vec::new()),
+            trigger,
+            replay: false,
             budget_deadline,
             chunk_rows: chunk_rows.max(1) as usize,
             cpu_pred: self.param("CpuPred", 0.05),
@@ -776,18 +847,130 @@ impl<'a> Executor<'a> {
             sort_factor: self.param("SortFactor", 0.02),
         };
         let mut opened = opened.into_iter();
-        let (root, tally) = self.build_stream_node(plan, &mut opened, &ctx)?;
+        let (root, mut tally) = self.build_stream_node(plan, &mut opened, &ctx)?;
         let mut root: Box<dyn BatchStream> = match limit {
             Some(n) => Box::new(vstream::LimitStream::new(root, n)),
             None => root,
         };
         let schema = root.schema().clone();
         let mut chunks: Vec<Batch> = Vec::new();
-        while let Some(b) = root.next_batch()? {
-            if trace.first_row_wall_ms.is_none() && !b.is_empty() {
-                trace.first_row_wall_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+        // After a re-plan the per-submit accounting comes from the
+        // re-driven tree's states, aligned with the new plan's submit
+        // order; `None` means the original plan ran to completion.
+        let mut assembly: Option<Vec<SiteAssembly>> = None;
+        loop {
+            match root.next_batch() {
+                Ok(Some(b)) => {
+                    if trace.first_row_wall_ms.is_none() && !b.is_empty() {
+                        trace.first_row_wall_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+                    }
+                    chunks.push(b);
+                }
+                Ok(None) => break,
+                Err(DiscoError::Replan(_)) => {
+                    // Abandon the in-flight combine: drop the operator
+                    // tree (discarding its intermediate results) but keep
+                    // the shared site handles, then finish draining every
+                    // subanswer — the re-drive consumes what was already
+                    // shipped; no wrapper is re-fetched.
+                    drop(root);
+                    let modes: Vec<_> = ctx.site_modes.borrow().clone();
+                    let states: Vec<_> = ctx.site_states.borrow().clone();
+                    for (mode, state) in modes.iter().zip(&states) {
+                        drain_site(mode, state, budget_deadline, self.partial_answers)?;
+                    }
+                    let schemas: Vec<Schema> = ctx.site_schemas.borrow().clone();
+                    let observations: Vec<SiteObservation> = sites
+                        .iter()
+                        .zip(&states)
+                        .map(|(site, st)| {
+                            let st = st.borrow();
+                            SiteObservation {
+                                wrapper: site.wrapper.to_string(),
+                                plan: site.plan.clone(),
+                                predicted_rows: st.predicted_rows,
+                                observed_rows: st.tuples as f64,
+                                observed_bytes: st.bytes as f64,
+                                failed: st.failed,
+                            }
+                        })
+                        .collect();
+                    let replanner = self.adaptive.as_ref().ok_or_else(|| {
+                        DiscoError::Exec("replan raised without a replanner".into())
+                    })?;
+                    let mut drive: Option<PhysicalPlan> = None;
+                    if let Some(outcome) = replanner.consider(plan, &observations, "streaming") {
+                        if let Some(new_plan) = outcome.new_plan {
+                            trace.final_plan = Some(new_plan.clone());
+                            drive = Some(new_plan);
+                        }
+                        trace.replans.push(outcome.event);
+                    }
+                    let drive = drive.unwrap_or_else(|| plan.clone());
+
+                    // Re-drive the combine from the materialized
+                    // subanswers on the same virtual clock — the
+                    // abandoned combine's charges stay in `mediator_ms`;
+                    // abandonment is not free. Fresh states, no trigger:
+                    // one re-plan per execution.
+                    let mut pool = ReplayPool::new(&sites, &states, &schemas)?;
+                    let ctx2 = StreamCtx {
+                        clock: Rc::clone(&ctx.clock),
+                        site_states: RefCell::new(Vec::new()),
+                        site_modes: RefCell::new(Vec::new()),
+                        site_schemas: RefCell::new(Vec::new()),
+                        trigger: None,
+                        replay: true,
+                        budget_deadline: None,
+                        chunk_rows: ctx.chunk_rows,
+                        cpu_pred: ctx.cpu_pred,
+                        cpu_hash: ctx.cpu_hash,
+                        sort_factor: ctx.sort_factor,
+                    };
+                    let mut new_sites = Vec::new();
+                    collect_submits(&drive, &mut new_sites);
+                    let mut reopened = Vec::with_capacity(new_sites.len());
+                    let mut snaps = Vec::with_capacity(new_sites.len());
+                    for site in &new_sites {
+                        let (opened_site, snap) = pool.take(site.wrapper, site.plan)?;
+                        reopened.push(opened_site);
+                        snaps.push(snap);
+                    }
+                    let (r2, t2) =
+                        self.build_stream_node(&drive, &mut reopened.into_iter(), &ctx2)?;
+                    // The rebuilt materialized sources recompute derived
+                    // accounting at build time; restore the fields only
+                    // the abandoned live streams knew.
+                    for (state, snap) in ctx2.site_states.borrow().iter().zip(&snaps) {
+                        let mut st = state.borrow_mut();
+                        st.failed = snap.failed;
+                        st.budget_skipped = snap.budget_skipped;
+                        st.hedges = snap.hedges;
+                        st.attempts = snap.attempts;
+                        st.pages = snap.pages;
+                        st.first_ms = snap.first_ms;
+                        st.bytes = snap.bytes;
+                        st.complete = snap.complete;
+                    }
+                    assembly = Some(
+                        new_sites
+                            .iter()
+                            .zip(ctx2.site_states.borrow().iter())
+                            .map(|(site, st)| {
+                                (site.wrapper.to_string(), site.plan.clone(), Rc::clone(st))
+                            })
+                            .collect(),
+                    );
+                    tally = t2;
+                    root = match limit {
+                        Some(n) => Box::new(vstream::LimitStream::new(r2, n)),
+                        None => r2,
+                    };
+                    chunks.clear();
+                    trace.first_row_wall_ms = None;
+                }
+                Err(e) => return Err(e),
             }
-            chunks.push(b);
         }
         // Dropping the tree abandons any undrained streams, releasing
         // their transport workers (the LIMIT early-stop).
@@ -795,21 +978,28 @@ impl<'a> Executor<'a> {
         trace.submit_wall_ms = started.elapsed().as_secs_f64() * 1e3;
         trace.mediator_ms = ctx.clock.borrow().now();
 
-        let states = ctx.site_states.borrow();
-        for (site, state) in sites.iter().zip(states.iter()) {
+        let assembly: Vec<SiteAssembly> = match assembly {
+            Some(a) => a,
+            None => sites
+                .iter()
+                .zip(ctx.site_states.borrow().iter())
+                .map(|(site, st)| (site.wrapper.to_string(), site.plan.clone(), Rc::clone(st)))
+                .collect(),
+        };
+        for (wrapper, site_plan, state) in &assembly {
             let st = state.borrow();
             if st.failed {
                 trace
                     .missing
-                    .extend(site.plan.collections().into_iter().cloned());
+                    .extend(site_plan.collections().into_iter().cloned());
             }
             trace.budget_exhausted |= st.budget_skipped;
             trace.wrapper_ms += st.stats.elapsed_ms;
             trace.communication_ms += st.comm_ms;
             trace.hedges += st.hedges;
             trace.submits.push(SubmitTrace {
-                wrapper: site.wrapper.to_string(),
-                plan: site.plan.clone(),
+                wrapper: wrapper.clone(),
+                plan: site_plan.clone(),
                 stats: st.stats,
                 tuples: st.tuples,
                 bytes: st.bytes,
@@ -820,9 +1010,9 @@ impl<'a> Executor<'a> {
                 served_by: st.served_by.clone(),
                 hedges: st.hedges,
                 first_ms: st.first_ms.unwrap_or(0.0),
+                complete: st.complete,
             });
         }
-        drop(states);
         if trace.budget_exhausted && disco_obs::enabled() {
             disco_obs::counter(disco_obs::names::BUDGET_EXHAUSTED, &[]).inc();
         }
@@ -1027,6 +1217,17 @@ impl<'a> Executor<'a> {
                     .ok_or_else(|| DiscoError::Exec("submit site without a fetch".into()))?;
                 let budget_skipped = next.budget_skipped;
                 let state = Rc::new(RefCell::new(SiteState::default()));
+                if ctx.trigger.is_some() {
+                    // Predictions align with submit order, which is also
+                    // the order sites are pushed into the context.
+                    let site_idx = ctx.site_states.borrow().len();
+                    state.borrow_mut().predicted_rows = self
+                        .predictions
+                        .get(site_idx)
+                        .copied()
+                        .flatten()
+                        .map(|p| p.rows);
+                }
                 let (schema, mode) = match next.outcome {
                     Ok(OpenedSource::Stream {
                         stream,
@@ -1087,7 +1288,13 @@ impl<'a> Executor<'a> {
                         let schema = answer.schema.clone();
                         let source =
                             vstream::BatchSource::new(answer.schema, answer.batch, ctx.chunk_rows);
-                        (schema, SiteMode::Whole { source })
+                        (
+                            schema,
+                            SiteMode::Whole {
+                                source,
+                                truth: !ctx.replay,
+                            },
+                        )
                     }
                     Err(e) if (self.partial_answers && e.is_transient()) || budget_skipped => {
                         {
@@ -1100,12 +1307,16 @@ impl<'a> Executor<'a> {
                     Err(e) => return Err(e),
                 };
                 ctx.site_states.borrow_mut().push(Rc::clone(&state));
+                let mode = Rc::new(RefCell::new(mode));
+                ctx.site_modes.borrow_mut().push(Rc::clone(&mode));
+                ctx.site_schemas.borrow_mut().push(schema.clone());
                 let stream = SiteStream {
                     schema,
                     state: Rc::clone(&state),
                     mode,
                     budget_deadline: ctx.budget_deadline,
                     partial: self.partial_answers,
+                    trigger: ctx.trigger.clone(),
                 };
                 Ok(counted(
                     Box::new(stream),
@@ -1258,6 +1469,78 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Key identifying one submit site's fetch: a re-planned combine order
+/// permutes submit sites but never changes their `(wrapper, subplan)`
+/// pairs, so the key re-associates already-fetched answers with their
+/// sites under any order.
+fn pool_key(wrapper: &str, plan: &LogicalPlan) -> String {
+    format!("{wrapper}|{plan:?}")
+}
+
+/// Fetched subanswers keyed by submit site. For the original plan this
+/// degenerates to in-order consumption (sites are pushed and taken in
+/// the same depth-first order); after a mid-query re-plan it hands each
+/// submit site the answer fetched for it under the old order. Duplicate
+/// sites (same wrapper and subplan submitted twice) consume distinct
+/// entries in first-in-first-out order.
+struct FetchPool {
+    entries: Vec<(String, Option<Fetched>)>,
+}
+
+impl FetchPool {
+    fn new(sites: &[SubmitSite<'_>], fetched: Vec<Fetched>) -> Self {
+        FetchPool {
+            entries: sites
+                .iter()
+                .zip(fetched)
+                .map(|(site, f)| (pool_key(site.wrapper, site.plan), Some(f)))
+                .collect(),
+        }
+    }
+
+    fn take(&mut self, wrapper: &str, plan: &LogicalPlan) -> Option<Fetched> {
+        let key = pool_key(wrapper, plan);
+        self.entries
+            .iter_mut()
+            .find(|(k, f)| *k == key && f.is_some())
+            .and_then(|(_, f)| f.take())
+    }
+}
+
+/// Pair each fetched subanswer with its prediction for the adaptive
+/// checkpoint. Failed or budget-skipped sites observe zero rows and are
+/// flagged so they can correct the re-enumeration's cardinalities
+/// without themselves triggering a re-plan.
+fn two_phase_observations(
+    sites: &[SubmitSite<'_>],
+    fetched: &[Fetched],
+    predictions: &[Option<SitePrediction>],
+) -> Vec<SiteObservation> {
+    sites
+        .iter()
+        .zip(fetched)
+        .enumerate()
+        .map(|(i, (site, f))| {
+            let (observed_rows, observed_bytes, failed) = match &f.outcome {
+                Ok(fa) => (
+                    fa.answer.batch.len() as f64,
+                    fa.answer.batch.byte_width() as f64,
+                    false,
+                ),
+                Err(_) => (0.0, 0.0, true),
+            };
+            SiteObservation {
+                wrapper: site.wrapper.to_string(),
+                plan: site.plan.clone(),
+                predicted_rows: predictions.get(i).copied().flatten().map(|p| p.rows),
+                observed_rows,
+                observed_bytes,
+                failed,
+            }
+        })
+        .collect()
+}
+
 /// Submit sites of a plan in fetch order (depth-first, left before
 /// right): `(wrapper, subplan)` pairs. The mediator aligns per-site
 /// cost predictions with this order.
@@ -1380,6 +1663,21 @@ struct StreamCtx {
     clock: Rc<RefCell<VirtualClock>>,
     /// Per-site live accounting, pushed in submit (site) order.
     site_states: RefCell<Vec<Rc<RefCell<SiteState>>>>,
+    /// Per-site source handles, aligned with `site_states`. Kept outside
+    /// the operator tree so a re-plan can drop the tree yet keep draining
+    /// the live streams it abandoned.
+    site_modes: RefCell<Vec<Rc<RefCell<SiteMode>>>>,
+    /// Per-site subanswer schemas, aligned with `site_states` — needed to
+    /// rebuild materialized sources after a re-plan.
+    site_schemas: RefCell<Vec<Schema>>,
+    /// Armed when adaptive re-optimization is on: site streams buffer
+    /// what they deliver and raise [`DiscoError::Replan`] when measured
+    /// cardinalities cross the policy's error threshold.
+    trigger: Option<Rc<StreamTrigger>>,
+    /// This tree re-drives a re-plan from replayed (possibly partial)
+    /// materialized subanswers: exhausting a source proves nothing about
+    /// true cardinalities.
+    replay: bool,
     budget_deadline: Option<Instant>,
     chunk_rows: usize,
     cpu_pred: f64,
@@ -1387,11 +1685,56 @@ struct StreamCtx {
     sort_factor: f64,
 }
 
+/// Shared adaptive trip-wire for one streaming execution. `fired` is
+/// set by the first site stream whose measured cardinality contradicts
+/// its prediction badly enough; at most one re-plan is raised per
+/// execution (the re-driven tree is built without a trigger).
+struct StreamTrigger {
+    policy: crate::adaptive::AdaptivePolicy,
+    fired: Cell<bool>,
+}
+
+impl StreamTrigger {
+    /// Underestimate check, valid mid-stream: the site has *already*
+    /// delivered `threshold ×` its predicted cardinality and is still
+    /// going — no need to wait for end-of-stream to know the prediction
+    /// was wrong.
+    fn fire_if_exceeded(&self, predicted: Option<f64>, observed: f64) -> Result<()> {
+        match predicted {
+            Some(p) if observed > p && self.policy.triggers(p, observed) => self.fire(p, observed),
+            _ => Ok(()),
+        }
+    }
+
+    /// Either-direction check, valid only at end-of-stream (an
+    /// overestimate can only be confirmed once the stream is done).
+    fn fire_if_wrong(&self, predicted: Option<f64>, observed: f64) -> Result<()> {
+        match predicted {
+            Some(p) if self.policy.triggers(p, observed) => self.fire(p, observed),
+            _ => Ok(()),
+        }
+    }
+
+    fn fire(&self, predicted: f64, observed: f64) -> Result<()> {
+        if self.fired.get() {
+            return Ok(());
+        }
+        self.fired.set(true);
+        Err(DiscoError::Replan(format!(
+            "predicted {predicted:.0} rows, observed {observed:.0}"
+        )))
+    }
+}
+
 /// Live accounting for one streamed submit site, updated by its source
 /// adapter as chunks arrive and read after the pull loop to assemble
 /// [`SubmitTrace`]s. An abandoned stream (LIMIT satisfied early) keeps
 /// whatever had arrived when pulling stopped — under-counting
 /// `wrapper_ms` there is the point of early termination.
+/// Per-submit accounting triple for the streaming engine: wrapper name,
+/// the subquery it ran, and the shared state its stream wrote into.
+type SiteAssembly = (String, LogicalPlan, Rc<RefCell<SiteState>>);
+
 #[derive(Default)]
 struct SiteState {
     stats: ExecStats,
@@ -1406,6 +1749,15 @@ struct SiteState {
     hedges: u32,
     budget_skipped: bool,
     pages: Option<u64>,
+    /// The stream ran to end-of-stream (final stats arrived), so
+    /// `tuples` is the subquery's true cardinality.
+    complete: bool,
+    /// Predicted cardinality for this site (adaptive executions only).
+    predicted_rows: Option<f64>,
+    /// Every chunk this site has delivered, buffered only while an
+    /// adaptive trigger is armed — the materialized subanswer a re-plan
+    /// re-drives the combine from without re-fetching.
+    delivered: Vec<Batch>,
 }
 
 /// The open phase's product for one submit site — the streaming
@@ -1488,22 +1840,227 @@ enum SiteMode {
         pending: Option<Batch>,
         done: bool,
     },
-    /// Materialized in-process answer served in bounded chunks.
-    Whole { source: vstream::BatchSource },
+    /// Materialized answer served in bounded chunks.
+    Whole {
+        source: vstream::BatchSource,
+        /// Exhausting this source proves the subquery's true cardinality
+        /// (a complete in-process answer). `false` when the source
+        /// replays a re-plan's possibly-partial materialized subanswer —
+        /// exhausting it must not overwrite the snapshot's
+        /// [`SiteState::complete`].
+        truth: bool,
+    },
     /// Open failed (tolerated) or was budget-skipped: one empty chunk.
     Empty { served: bool },
+}
+
+/// Drain one abandoned site to completion, appending whatever is still
+/// in flight to its delivered buffer — the same budget-truncation and
+/// tolerated-fault rules as [`SiteStream::next_batch`], minus the
+/// downstream delivery and the (already fired) trigger.
+fn drain_site(
+    mode: &Rc<RefCell<SiteMode>>,
+    state: &Rc<RefCell<SiteState>>,
+    budget_deadline: Option<Instant>,
+    partial: bool,
+) -> Result<()> {
+    let mut mode = mode.borrow_mut();
+    loop {
+        match &mut *mode {
+            SiteMode::Empty { served } => {
+                *served = true;
+                return Ok(());
+            }
+            SiteMode::Whole { source, truth } => match source.next_batch()? {
+                Some(b) => {
+                    let mut st = state.borrow_mut();
+                    st.tuples += b.len();
+                    st.delivered.push(b);
+                }
+                None => {
+                    if *truth {
+                        state.borrow_mut().complete = true;
+                    }
+                    return Ok(());
+                }
+            },
+            SiteMode::Remote {
+                stream,
+                pending,
+                done,
+            } => {
+                if *done {
+                    return Ok(());
+                }
+                if let Some(b) = pending.take() {
+                    let mut st = state.borrow_mut();
+                    st.tuples += b.len();
+                    st.bytes += b.byte_width();
+                    st.delivered.push(b);
+                    continue;
+                }
+                if budget_deadline.is_some_and(|d| Instant::now() >= d) {
+                    *done = true;
+                    let mut st = state.borrow_mut();
+                    st.failed = true;
+                    st.budget_skipped = true;
+                    st.comm_ms = stream.comm_ms();
+                    return Ok(());
+                }
+                let before = Instant::now();
+                match stream.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        let mut st = state.borrow_mut();
+                        st.wall_ms += before.elapsed().as_secs_f64() * 1e3;
+                        st.tuples += chunk.batch.len();
+                        st.bytes += chunk.batch.byte_width();
+                        st.comm_ms = stream.comm_ms();
+                        st.delivered.push(chunk.batch);
+                    }
+                    Ok(None) => {
+                        *done = true;
+                        let mut st = state.borrow_mut();
+                        st.wall_ms += before.elapsed().as_secs_f64() * 1e3;
+                        st.comm_ms = stream.comm_ms();
+                        if let Some(stats) = stream.stats() {
+                            st.stats = stats;
+                            st.pages = Some(stats.pages_read);
+                            st.first_ms = Some(stats.time_first_ms + stream.first_frame_comm_ms());
+                            st.complete = true;
+                        }
+                        return Ok(());
+                    }
+                    Err(e) if partial && e.is_transient() => {
+                        *done = true;
+                        let mut st = state.borrow_mut();
+                        st.failed = true;
+                        st.comm_ms = stream.comm_ms();
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// Snapshot of the accounting fields a rebuilt materialized source
+/// cannot reconstruct, captured from the abandoned live site and
+/// restored onto the re-driven tree's fresh [`SiteState`].
+struct ReplaySnap {
+    failed: bool,
+    budget_skipped: bool,
+    hedges: u32,
+    attempts: u32,
+    pages: Option<u64>,
+    first_ms: Option<f64>,
+    bytes: u64,
+    complete: bool,
+}
+
+/// Materialized subanswers keyed by submit site for the re-drive — the
+/// streaming counterpart of [`FetchPool`]: the re-planned order permutes
+/// sites, the pool hands each one the subanswer its wrapper already
+/// shipped.
+struct ReplayPool {
+    entries: Vec<(String, Option<(OpenedSite, ReplaySnap)>)>,
+}
+
+impl ReplayPool {
+    fn new(
+        sites: &[SubmitSite<'_>],
+        states: &[Rc<RefCell<SiteState>>],
+        schemas: &[Schema],
+    ) -> Result<Self> {
+        let mut entries = Vec::with_capacity(sites.len());
+        for ((site, state), schema) in sites.iter().zip(states).zip(schemas) {
+            let st = state.borrow();
+            let refs: Vec<&Batch> = st.delivered.iter().collect();
+            let batch = if refs.is_empty() {
+                Batch::empty(schema.arity())
+            } else {
+                Batch::concat(&refs)?
+            };
+            let opened = OpenedSite {
+                outcome: Ok(OpenedSource::Whole {
+                    answer: BatchAnswer {
+                        schema: schema.clone(),
+                        batch,
+                        stats: st.stats,
+                    },
+                    comm_ms: st.comm_ms,
+                    wall_ms: st.wall_ms,
+                    attempts: st.attempts,
+                    served_by: st.served_by.clone(),
+                }),
+                budget_skipped: st.budget_skipped,
+            };
+            let snap = ReplaySnap {
+                failed: st.failed,
+                budget_skipped: st.budget_skipped,
+                hedges: st.hedges,
+                attempts: st.attempts,
+                pages: st.pages,
+                first_ms: st.first_ms,
+                bytes: st.bytes,
+                complete: st.complete,
+            };
+            entries.push((pool_key(site.wrapper, site.plan), Some((opened, snap))));
+        }
+        Ok(ReplayPool { entries })
+    }
+
+    fn take(&mut self, wrapper: &str, plan: &LogicalPlan) -> Result<(OpenedSite, ReplaySnap)> {
+        let key = pool_key(wrapper, plan);
+        self.entries
+            .iter_mut()
+            .find(|(k, e)| *k == key && e.is_some())
+            .and_then(|(_, e)| e.take())
+            .ok_or_else(|| {
+                DiscoError::Exec(format!(
+                    "re-planned order references unfetched submit site `{wrapper}`"
+                ))
+            })
+    }
 }
 
 /// Source adapter: serves one submit site's chunks into the operator
 /// tree while keeping its [`SiteState`] current — including budget
 /// truncation (stop pulling, keep the rows already delivered) and
-/// tolerated mid-stream faults.
+/// tolerated mid-stream faults. The mode handle is shared with the
+/// [`StreamCtx`] so an adaptive re-plan can keep draining the source
+/// after the operator tree (and this adapter) is dropped.
 struct SiteStream {
     schema: Schema,
     state: Rc<RefCell<SiteState>>,
-    mode: SiteMode,
+    mode: Rc<RefCell<SiteMode>>,
     budget_deadline: Option<Instant>,
     partial: bool,
+    /// Armed for adaptive executions: buffer delivered chunks and raise
+    /// [`DiscoError::Replan`] on a bad-enough cardinality misestimate.
+    trigger: Option<Rc<StreamTrigger>>,
+}
+
+impl SiteStream {
+    /// Record a delivered chunk against the site state; with a trigger
+    /// armed, also buffer it and run the mid-stream underestimate check.
+    fn deliver(&self, b: &Batch, st: &mut SiteState) -> Result<()> {
+        st.tuples += b.len();
+        if let Some(t) = &self.trigger {
+            st.delivered.push(b.clone());
+            t.fire_if_exceeded(st.predicted_rows, st.tuples as f64)?;
+        }
+        Ok(())
+    }
+
+    /// End-of-stream: the measured cardinality is final, so an armed
+    /// trigger may now confirm an overestimate too.
+    fn finish(&self, st: &SiteState) -> Result<()> {
+        match &self.trigger {
+            Some(t) => t.fire_if_wrong(st.predicted_rows, st.tuples as f64),
+            None => Ok(()),
+        }
+    }
 }
 
 impl BatchStream for SiteStream {
@@ -1512,7 +2069,9 @@ impl BatchStream for SiteStream {
     }
 
     fn next_batch(&mut self) -> Result<Option<Batch>> {
-        match &mut self.mode {
+        let mode = Rc::clone(&self.mode);
+        let mut mode = mode.borrow_mut();
+        match &mut *mode {
             SiteMode::Empty { served } => {
                 if *served {
                     return Ok(None);
@@ -1520,10 +2079,17 @@ impl BatchStream for SiteStream {
                 *served = true;
                 Ok(Some(Batch::empty(self.schema.arity())))
             }
-            SiteMode::Whole { source } => match source.next_batch()? {
-                None => Ok(None),
+            SiteMode::Whole { source, truth } => match source.next_batch()? {
+                None => {
+                    let mut st = self.state.borrow_mut();
+                    if *truth {
+                        st.complete = true;
+                        self.finish(&st)?;
+                    }
+                    Ok(None)
+                }
                 Some(b) => {
-                    self.state.borrow_mut().tuples += b.len();
+                    self.deliver(&b, &mut self.state.borrow_mut())?;
                     Ok(Some(b))
                 }
             },
@@ -1537,8 +2103,8 @@ impl BatchStream for SiteStream {
                 }
                 if let Some(b) = pending.take() {
                     let mut st = self.state.borrow_mut();
-                    st.tuples += b.len();
                     st.bytes += b.byte_width();
+                    self.deliver(&b, &mut st)?;
                     return Ok(Some(b));
                 }
                 // The query budget expired mid-stream: truncate here,
@@ -1556,9 +2122,9 @@ impl BatchStream for SiteStream {
                     Ok(Some(chunk)) => {
                         let mut st = self.state.borrow_mut();
                         st.wall_ms += before.elapsed().as_secs_f64() * 1e3;
-                        st.tuples += chunk.batch.len();
                         st.bytes += chunk.batch.byte_width();
                         st.comm_ms = stream.comm_ms();
+                        self.deliver(&chunk.batch, &mut st)?;
                         Ok(Some(chunk.batch))
                     }
                     Ok(None) => {
@@ -1570,7 +2136,9 @@ impl BatchStream for SiteStream {
                             st.stats = stats;
                             st.pages = Some(stats.pages_read);
                             st.first_ms = Some(stats.time_first_ms + stream.first_frame_comm_ms());
+                            st.complete = true;
                         }
+                        self.finish(&st)?;
                         Ok(None)
                     }
                     Err(e) if self.partial && e.is_transient() => {

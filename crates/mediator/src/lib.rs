@@ -17,12 +17,17 @@
 //!   pruning (§4.3.2);
 //! * [`executor`] — pull-style execution: submit subqueries, combine
 //!   subanswers, account mediator-side virtual time;
+//! * [`adaptive`] — mid-query re-optimization: when measured subanswer
+//!   cardinalities contradict the optimizer's predictions, re-enumerate
+//!   the combine plan with corrected cardinalities and abandon the
+//!   running order for a cheaper one (runtime §4.3.2);
 //! * [`mediator`] — the facade tying registration (Figure 1) and query
 //!   processing (Figure 2) together;
 //! * [`serving`] — the multi-tenant serving layer: a shared concurrent
 //!   mediator with a decision-replay plan cache and cost-driven
 //!   admission control.
 
+pub mod adaptive;
 pub mod analyze;
 pub mod executor;
 pub mod mediator;
@@ -30,6 +35,7 @@ pub mod optimizer;
 pub mod serving;
 pub mod sql;
 
+pub use adaptive::{AdaptivePolicy, ReplanEvent, Replanner, SiteObservation};
 pub use analyze::{AnalyzedQuery, TableBinding};
 pub use disco_transport::ResiliencePolicy;
 pub use executor::{ExecutionTrace, Executor, QueryResult, SitePrediction, SubmitTrace};

@@ -11,6 +11,7 @@ use disco_core::{AnalyzeNode, Estimator, HistoryRecorder, NodeCost, RuleRegistry
 use disco_transport::{ResiliencePolicy, TransportClient};
 use disco_wrapper::{Registration, Wrapper};
 
+use crate::adaptive::{AdaptivePolicy, Replanner};
 use crate::analyze::analyze;
 use crate::executor::{submit_sites, ExecutionTrace, Executor, QueryResult, SitePrediction};
 use crate::optimizer::{JoinEnumeration, Objective, OptimizedPlan, Optimizer, OptimizerOptions};
@@ -56,6 +57,13 @@ pub struct MediatorOptions {
     /// Rows per streamed chunk when [`streaming`](Self::streaming) is
     /// on (clamped to at least 1).
     pub streaming_chunk_rows: u32,
+    /// Mid-query adaptive re-optimization: when measured subanswer
+    /// cardinalities contradict the optimizer's predictions badly
+    /// enough, re-enumerate the combine plan with corrected
+    /// cardinalities and abandon the running join order for a cheaper
+    /// one — fetched subanswers are reused, never re-fetched. Off by
+    /// default; works with both engines.
+    pub adaptive: AdaptivePolicy,
 }
 
 impl Default for MediatorOptions {
@@ -70,6 +78,7 @@ impl Default for MediatorOptions {
             resilience: ResiliencePolicy::default(),
             streaming: false,
             streaming_chunk_rows: 1024,
+            adaptive: AdaptivePolicy::default(),
         }
     }
 }
@@ -484,6 +493,22 @@ impl Mediator {
             .measured
             .as_ref()
             .ok_or_else(|| DiscoError::Plan("executor produced no measured tree".into()))?;
+        // A mid-query re-plan executed a different combine order than the
+        // one priced above: re-explain the plan that actually ran (with
+        // the original, pre-execution statistics) so predicted and
+        // measured zip node-for-node. The re-plan itself is reported in
+        // the footer (see `AnalyzeReport::render`).
+        let (predicted, physical) = match &result.trace.final_plan {
+            Some(final_plan) => {
+                let logical = crate::optimizer::to_logical(final_plan);
+                let predicted = self
+                    .estimator()
+                    .explain(&logical, &Default::default())?
+                    .ok_or_else(|| DiscoError::Cost("estimation pruned unexpectedly".into()))?;
+                (predicted, final_plan.clone())
+            }
+            None => (predicted, physical),
+        };
         let mut root = AnalyzeNode::zip(&predicted, measured);
         self.fill_predicted_pages(&mut root, &physical);
         Ok(AnalyzeReport { root, result })
@@ -562,6 +587,7 @@ impl Mediator {
                 estimator.estimate(&submit).ok().map(|cost| SitePrediction {
                     total_ms: cost.total_time,
                     first_ms: cost.time_first,
+                    rows: cost.count_object,
                 })
             })
             .collect()
@@ -611,28 +637,40 @@ impl Mediator {
     /// takes the write lock.
     pub fn execute_plan_shared(&self, optimized: OptimizedPlan) -> Result<QueryResult> {
         let resilience = &self.options.resilience;
-        // Predictions and replica sets only matter over a transport, and
-        // only when the policy can use them.
-        let predictions =
-            if self.transport.is_some() && (resilience.predicted_deadlines || resilience.hedge) {
-                self.site_predictions(&optimized.physical)
-            } else {
-                Vec::new()
-            };
+        // Predictions matter over a transport when the policy can use
+        // them, and on either backend when adaptive re-optimization
+        // needs predicted cardinalities to compare measurements against.
+        let adaptive = self.options.adaptive.enabled;
+        let predictions = if adaptive
+            || (self.transport.is_some() && (resilience.predicted_deadlines || resilience.hedge))
+        {
+            self.site_predictions(&optimized.physical)
+        } else {
+            Vec::new()
+        };
         let replicas = if self.transport.is_some() && resilience.hedge {
             self.site_replicas(&optimized.physical)
         } else {
             BTreeMap::new()
         };
+        let replanner = adaptive.then(|| {
+            Replanner::new(
+                &self.registry,
+                &self.catalog,
+                Some(&self.health),
+                self.options.adaptive.clone(),
+            )
+        });
         let executor = match &self.transport {
             Some(client) => Executor::remote(client, &self.registry)
                 .with_resilience(self.options.resilience.clone())
                 .with_predictions(predictions)
                 .with_replicas(replicas),
-            None => Executor::new(&self.wrappers, &self.registry),
+            None => Executor::new(&self.wrappers, &self.registry).with_predictions(predictions),
         }
         .with_parallel(self.options.parallel_submits)
-        .with_partial_answers(self.options.partial_answers);
+        .with_partial_answers(self.options.partial_answers)
+        .with_adaptive(replanner);
         let span = self.tracer.as_ref().map(|t| t.start("execute"));
         let executed = if self.options.streaming {
             executor.execute_streaming(
@@ -708,9 +746,13 @@ impl Mediator {
     /// registry's contents) know whether anything changed.
     pub fn record_trace_history(&mut self, trace: &ExecutionTrace) -> usize {
         let mut recorded = 0;
-        // Failed (substituted) submits measured nothing worth
-        // remembering.
-        for sub in trace.submits.iter().filter(|s| !s.failed) {
+        // Record every *fully measured* submit — including those of
+        // queries that otherwise degraded to a partial answer or had
+        // sibling streams budget-truncated: a complete subanswer's
+        // cardinality is trustworthy regardless of what happened to the
+        // rest of the query. Failed (substituted) and truncated submits
+        // measured nothing worth remembering.
+        for sub in trace.submits.iter().filter(|s| s.complete) {
             let measured = NodeCost {
                 time_first: sub.stats.time_first_ms,
                 time_next: (sub.stats.elapsed_ms - sub.stats.time_first_ms)
@@ -803,6 +845,9 @@ impl AnalyzeReport {
         }
         if self.result.trace.budget_exhausted {
             let _ = writeln!(out, "query budget exhausted: remaining submits skipped");
+        }
+        for replan in &self.result.trace.replans {
+            let _ = writeln!(out, "{}", replan.render());
         }
         out
     }

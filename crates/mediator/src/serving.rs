@@ -454,14 +454,35 @@ impl SharedMediator {
         optimized: OptimizedPlan,
         source: PlanSource,
     ) -> Result<ServedQuery> {
+        self.execute_keyed(optimized, source, None)
+    }
+
+    fn execute_keyed(
+        &self,
+        optimized: OptimizedPlan,
+        source: PlanSource,
+        key: Option<&str>,
+    ) -> Result<ServedQuery> {
         let predicted_ms = optimized.estimated.total_time;
         let (result, wants_history) = {
             let m = self.inner.read().unwrap();
             let result = m.execute_plan_shared(optimized)?;
             let wants =
-                m.options().record_history && result.trace.submits.iter().any(|s| !s.failed);
+                m.options().record_history && result.trace.submits.iter().any(|s| s.complete);
             (result, wants)
         };
+        // A mid-query re-plan that switched proves the cached decisions
+        // for this shape were derived from misestimated cardinalities:
+        // evict them so other sessions (and other constants) re-optimize
+        // instead of replaying the bad order. The switched plan itself is
+        // never cached — it was corrected for *this* query's constants.
+        if result.trace.replans.iter().any(|r| r.switched) {
+            if let Some(key) = key {
+                if self.plans.lock().unwrap().remove(key).is_some() && disco_obs::enabled() {
+                    disco_obs::counter(disco_obs::names::PLAN_CACHE_REPLAN_BYPASS, &[]).inc();
+                }
+            }
+        }
         if wants_history {
             let recorded = self
                 .inner
@@ -483,7 +504,10 @@ impl SharedMediator {
     /// execute concurrently.
     pub fn query(&self, sql: &str) -> Result<ServedQuery> {
         let (optimized, source) = self.plan(sql)?;
-        self.execute_with_source(optimized, source)
+        let key = parse_statement(sql)
+            .ok()
+            .and_then(|stmt| normalized_key(&stmt));
+        self.execute_keyed(optimized, source, key.as_deref())
     }
 }
 
